@@ -1,0 +1,88 @@
+//! Ablation study: how much each individual optimization of Section 4.3
+//! contributes, measured on the GEMM search space.
+//!
+//! * variable ordering (Algorithm 1's `SortVariables`)
+//! * domain preprocessing by specific constraints
+//! * forward checking
+//! * constraint decomposition + specific-constraint recognition (the parser)
+//! * AC-3 generalized arc consistency (an optional extra pass, off by default)
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use at_searchspace::{
+    build_search_space_with, BuildOptions, Method, RestrictionLowering,
+};
+use at_csp::OptimizedSolverConfig;
+use at_workloads::gemm;
+
+fn bench_ablation(c: &mut Criterion) {
+    let spec = gemm().spec;
+    let mut group = c.benchmark_group("ablation/gemm");
+    group.sample_size(10);
+
+    let configs: Vec<(&str, BuildOptions)> = vec![
+        ("full", BuildOptions::default()),
+        (
+            "no-variable-ordering",
+            BuildOptions {
+                solver_config: Some(OptimizedSolverConfig {
+                    variable_ordering: false,
+                    ..Default::default()
+                }),
+                ..Default::default()
+            },
+        ),
+        (
+            "no-preprocessing",
+            BuildOptions {
+                solver_config: Some(OptimizedSolverConfig {
+                    preprocess: false,
+                    ..Default::default()
+                }),
+                ..Default::default()
+            },
+        ),
+        (
+            "no-forward-checking",
+            BuildOptions {
+                solver_config: Some(OptimizedSolverConfig {
+                    forward_check: false,
+                    ..Default::default()
+                }),
+                ..Default::default()
+            },
+        ),
+        (
+            "no-parser-generic-lowering",
+            BuildOptions {
+                lowering: Some(RestrictionLowering::Generic),
+                ..Default::default()
+            },
+        ),
+        (
+            "with-arc-consistency",
+            BuildOptions {
+                solver_config: Some(OptimizedSolverConfig {
+                    arc_consistency: true,
+                    ..Default::default()
+                }),
+                ..Default::default()
+            },
+        ),
+    ];
+
+    for (name, options) in configs {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                build_search_space_with(&spec, Method::Optimized, options)
+                    .unwrap()
+                    .0
+                    .len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion benchmarks behind Figure 5 and Table 2: construction time per
+//! method on the (smaller) real-world search spaces.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use at_searchspace::{build_search_space, Method};
+use at_workloads::{atf_prl, dedispersion, gemm, microhh};
+
+fn bench_realworld(c: &mut Criterion) {
+    let workloads = vec![dedispersion(), gemm(), microhh(), atf_prl(2)];
+    let mut group = c.benchmark_group("figure5/realworld_construction");
+    group.sample_size(10);
+    for workload in &workloads {
+        for method in [Method::Optimized, Method::ParallelOptimized, Method::ChainOfTrees] {
+            group.bench_with_input(
+                BenchmarkId::new(method.label(), &workload.spec.name),
+                &workload.spec,
+                |b, spec| b.iter(|| build_search_space(spec, method).unwrap().0.len()),
+            );
+        }
+    }
+    group.finish();
+
+    // the brute-force baselines only on the smallest space to keep bench runtime sane
+    let dedisp = dedispersion();
+    let mut group = c.benchmark_group("figure5/realworld_bruteforce_baseline");
+    group.sample_size(10);
+    group.bench_function("brute-force/Dedispersion", |b| {
+        b.iter(|| build_search_space(&dedisp.spec, Method::BruteForce).unwrap().0.len())
+    });
+    group.bench_function("original/Dedispersion", |b| {
+        b.iter(|| build_search_space(&dedisp.spec, Method::Original).unwrap().0.len())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_realworld);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Criterion benchmarks of the resolved-search-space operations that
+//! optimization algorithms rely on (Section 4.4): hash lookups, neighbor
+//! queries and sampling.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use at_searchspace::{
+    build_search_space, latin_hypercube_sample, neighbors, sample_indices, Method, NeighborIndex,
+    NeighborMethod,
+};
+use at_workloads::dedispersion;
+
+fn bench_searchspace_ops(c: &mut Criterion) {
+    let (space, _) = build_search_space(&dedispersion().spec, Method::Optimized).unwrap();
+    let index = NeighborIndex::build(&space);
+    let some_config = space.get(space.len() / 2).unwrap().to_vec();
+
+    let mut group = c.benchmark_group("searchspace_ops/dedispersion");
+    group.bench_function("contains", |b| b.iter(|| space.contains(&some_config)));
+    group.bench_function("index_of", |b| b.iter(|| space.index_of(&some_config)));
+    group.bench_function("hamming_neighbors_indexed", |b| {
+        b.iter(|| neighbors(&space, space.len() / 2, NeighborMethod::Hamming, Some(&index)).len())
+    });
+    group.bench_function("adjacent_neighbors_scan", |b| {
+        b.iter(|| neighbors(&space, space.len() / 2, NeighborMethod::Adjacent, None).len())
+    });
+    group.bench_function("random_sample_100", |b| {
+        b.iter(|| {
+            let mut rng = ChaCha8Rng::seed_from_u64(1);
+            sample_indices(&space, 100, &mut rng).len()
+        })
+    });
+    group.bench_function("latin_hypercube_sample_32", |b| {
+        b.iter(|| {
+            let mut rng = ChaCha8Rng::seed_from_u64(1);
+            latin_hypercube_sample(&space, 32, &mut rng).len()
+        })
+    });
+    group.bench_function("true_bounds", |b| b.iter(|| space.true_bounds().len()));
+    group.finish();
+
+    let mut group = c.benchmark_group("searchspace_ops/neighbor_index_build");
+    group.sample_size(10);
+    group.bench_function("dedispersion", |b| {
+        b.iter(|| NeighborIndex::build(&space).hamming_neighbors(&space, 0).len())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_searchspace_ops);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Criterion benchmarks of the raw CSP solvers on a Listing 3-style problem,
+//! isolating solver overhead from the search space machinery.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use at_csp::prelude::*;
+use at_csp::value::int_values;
+
+fn block_size_problem(extra_dims: usize) -> Problem {
+    let mut p = Problem::new();
+    let mut xs: Vec<i64> = vec![1, 2, 4, 8, 16];
+    xs.extend((1..=32).map(|i| 32 * i));
+    p.add_variable("block_size_x", int_values(xs)).unwrap();
+    p.add_variable("block_size_y", int_values((0..6).map(|i| 1 << i)))
+        .unwrap();
+    for d in 0..extra_dims {
+        p.add_variable(format!("extra_{d}"), int_values(1..=8)).unwrap();
+    }
+    p.add_constraint(MinProduct::new(32.0), &["block_size_x", "block_size_y"])
+        .unwrap();
+    p.add_constraint(MaxProduct::new(1024.0), &["block_size_x", "block_size_y"])
+        .unwrap();
+    if extra_dims >= 2 {
+        p.add_constraint(MaxSum::new(10.0), &["extra_0", "extra_1"]).unwrap();
+    }
+    p
+}
+
+fn bench_solvers(c: &mut Criterion) {
+    let problem = block_size_problem(3);
+    let mut group = c.benchmark_group("solvers/block_size_3_extra_dims");
+    group.sample_size(20);
+    group.bench_function("brute-force", |b| {
+        b.iter(|| BruteForceSolver::new().solve(&problem).unwrap().solutions.len())
+    });
+    group.bench_function("original", |b| {
+        b.iter(|| {
+            OriginalBacktrackingSolver::new()
+                .solve(&problem)
+                .unwrap()
+                .solutions
+                .len()
+        })
+    });
+    group.bench_function("optimized", |b| {
+        b.iter(|| OptimizedSolver::new().solve(&problem).unwrap().solutions.len())
+    });
+    group.bench_function("parallel", |b| {
+        b.iter(|| ParallelSolver::new().solve(&problem).unwrap().solutions.len())
+    });
+    group.finish();
+
+    let small = block_size_problem(0);
+    let mut group = c.benchmark_group("solvers/blocking_clause_small");
+    group.sample_size(10);
+    group.bench_function("blocking-clause", |b| {
+        b.iter(|| BlockingClauseSolver::new().solve(&small).unwrap().solutions.len())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_solvers);
+criterion_main!(benches);

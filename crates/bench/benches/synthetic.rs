@@ -1,0 +1,54 @@
+//! Criterion benchmarks behind Figures 3 and 4: construction time per method
+//! on representative synthetic search spaces of increasing size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use at_searchspace::{build_search_space, Method};
+use at_workloads::{generate, SyntheticConfig};
+
+fn bench_synthetic_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure3/synthetic_construction");
+    group.sample_size(10);
+    for &target in &[10_000u64, 100_000, 1_000_000] {
+        let spec = generate(SyntheticConfig {
+            dimensions: 4,
+            target_cartesian_size: target,
+            num_constraints: 3,
+            seed: 42,
+        });
+        for method in [
+            Method::BruteForce,
+            Method::Original,
+            Method::Optimized,
+            Method::ParallelOptimized,
+            Method::ChainOfTrees,
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(method.label(), target),
+                &spec,
+                |b, spec| b.iter(|| build_search_space(spec, method).unwrap().0.len()),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_blocking_clause_reduced(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure4/blocking_clause_reduced");
+    group.sample_size(10);
+    let spec = generate(SyntheticConfig {
+        dimensions: 3,
+        target_cartesian_size: 1_000,
+        num_constraints: 2,
+        seed: 7,
+    });
+    for method in [Method::BlockingClause, Method::BruteForce, Method::Optimized] {
+        group.bench_function(method.label(), |b| {
+            b.iter(|| build_search_space(&spec, method).unwrap().0.len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_synthetic_scaling, bench_blocking_clause_reduced);
+criterion_main!(benches);

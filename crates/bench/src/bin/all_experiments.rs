@@ -1,0 +1,31 @@
+//! Run every experiment binary's workload in a single (quick) pass.
+//!
+//! This is a convenience for regenerating all evaluation output at once with
+//! reduced problem counts; the individual `figure*` / `table2` binaries
+//! expose the full-fidelity runs and their options.
+//!
+//! Usage: `cargo run --release -p at-bench --bin all_experiments`
+
+use std::process::Command;
+
+fn run(bin: &str, args: &[&str]) {
+    println!("\n################ {bin} {} ################", args.join(" "));
+    let status = Command::new(std::env::current_exe().expect("self path").parent().expect("dir").join(bin))
+        .args(args)
+        .status();
+    match status {
+        Ok(s) if s.success() => {}
+        Ok(s) => eprintln!("{bin} exited with {s}"),
+        Err(e) => eprintln!("failed to launch {bin}: {e} (run `cargo build --release -p at-bench` first)"),
+    }
+}
+
+fn main() {
+    run("figure2", &["--count", "30"]);
+    run("figure3", &["--count", "30"]);
+    run("figure4", &["--count", "10"]);
+    run("table2", &[]);
+    run("figure5", &[]);
+    run("figure6", &["--repeats", "3"]);
+    run("figure7", &["--repeats", "3"]);
+}

@@ -1,0 +1,55 @@
+//! Figure 1: the optimization of a constraint via the parsing pipeline.
+//!
+//! Prints each stage of the pipeline for the paper's running example
+//! `2 <= block_size_y <= 32 <= block_size_x * block_size_y <= 1024`
+//! (or any constraint passed with `--constraint "<expr>"`): the parsed AST,
+//! the constant-folded form, the decomposed conjuncts, and the recognised
+//! specific constraints / compiled function constraints.
+//!
+//! Usage: `cargo run --release -p at-bench --bin figure1 [--constraint "<expr>"]`
+
+use at_bench::{cli, header};
+use at_expr::{decompose, fold, parse, parse_restriction, recognize};
+
+fn main() {
+    let source = cli::opt_string("constraint").unwrap_or_else(|| {
+        "2 <= block_size_y <= 32 <= block_size_x * block_size_y <= 1024".to_string()
+    });
+    println!("Figure 1 — parsing pipeline for:\n  {source}");
+
+    header("step 1: parse + constant folding");
+    let parsed = parse(&source).expect("parse");
+    let folded = fold(parsed.clone());
+    println!("  variables: {:?}", folded.variables());
+    println!("  folded AST: {folded:?}");
+
+    header("step 2: decomposition into minimal-scope conjuncts");
+    let pieces = decompose(folded);
+    for (i, piece) in pieces.iter().enumerate() {
+        println!("  conjunct {}: vars {:?}", i + 1, piece.variables());
+    }
+
+    header("step 3: specific-constraint recognition");
+    for (i, piece) in pieces.iter().enumerate() {
+        match recognize(piece) {
+            Some(r) => println!(
+                "  conjunct {}: {} over {:?}",
+                i + 1,
+                r.description,
+                r.scope
+            ),
+            None => println!("  conjunct {}: compiled Function constraint", i + 1),
+        }
+    }
+
+    header("resulting constraint set");
+    let restriction = parse_restriction(&source).expect("pipeline");
+    for c in &restriction.constraints {
+        println!("  {:<16} scope {:?}", c.constraint.kind(), c.scope);
+    }
+    println!(
+        "\n{} of {} constraints are specific (preprocessable) constraints.",
+        restriction.specific_count(),
+        restriction.constraints.len()
+    );
+}

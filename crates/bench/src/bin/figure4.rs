@@ -1,0 +1,66 @@
+//! Figure 4: construction performance of a one-solution-at-a-time solver
+//! (PySMT + Z3 in the paper, the blocking-clause enumerator here) compared to
+//! brute force and the optimized solver, on synthetic spaces reduced by one
+//! order of magnitude.
+//!
+//! Usage: `cargo run --release -p at-bench --bin figure4 [--count 20] [--seed 42]`
+
+use at_bench::{cli, format_seconds, header, loglog_regression, measure_all, totals_per_method};
+use at_searchspace::Method;
+use at_workloads::{generate, reduced_synthetic_suite};
+
+fn main() {
+    let count = cli::opt_usize("count", 20);
+    let seed = cli::opt_u64("seed", 42);
+    let methods = [Method::BlockingClause, Method::BruteForce, Method::Optimized];
+    println!(
+        "Figure 4 — blocking-clause enumeration vs brute force vs optimized on {count} reduced synthetic spaces"
+    );
+
+    let suite = reduced_synthetic_suite(count, seed);
+    let mut measurements = Vec::new();
+    header("per-space construction times");
+    println!(
+        "{:<28} {:>10} {:>14} {:>14} {:>14}",
+        "space", "valid", "blocking", "brute-force", "optimized"
+    );
+    for config in &suite {
+        let spec = generate(*config);
+        let ms = measure_all(&spec, &methods);
+        println!(
+            "{:<28} {:>10} {:>14} {:>14} {:>14}",
+            spec.name,
+            ms[0].num_valid,
+            format_seconds(ms[0].seconds),
+            format_seconds(ms[1].seconds),
+            format_seconds(ms[2].seconds),
+        );
+        measurements.extend(ms);
+    }
+
+    header("scaling in the number of valid configurations (log-log slope)");
+    for &method in &methods {
+        let xs: Vec<f64> = measurements
+            .iter()
+            .filter(|m| m.method == method)
+            .map(|m| m.num_valid.max(1) as f64)
+            .collect();
+        let ys: Vec<f64> = measurements
+            .iter()
+            .filter(|m| m.method == method)
+            .map(|m| m.seconds)
+            .collect();
+        if let Some((slope, _, r2)) = loglog_regression(&xs, &ys) {
+            println!("{:<20} slope {:>6.3}  R^2 {:>6.3}", method.label(), slope, r2);
+        }
+    }
+    println!(
+        "\nPaper reference: PySMT exhibits superlinear scaling (slope 1.090) versus 0.649 for \
+         the optimized method, and is orders of magnitude slower than brute force."
+    );
+
+    header("total time");
+    for (method, total) in totals_per_method(&measurements) {
+        println!("{:<20} {}", method.label(), format_seconds(total));
+    }
+}

@@ -1,0 +1,22 @@
+//! Figure 6: impact of the construction method on an end-to-end Hotspot
+//! tuning run.
+//!
+//! The paper tunes the Hotspot kernel for 30 minutes with random sampling,
+//! repeated 10 times, using the three Python-based construction methods; the
+//! time spent constructing the search space comes out of the tuning budget.
+//! Here the construction times are measured for the Rust implementations and
+//! the kernel is a deterministic simulated performance model on a virtual
+//! clock. Because the Rust constructions are far faster than the Python ones,
+//! the default budget is scaled to a multiple of the slowest measured
+//! construction so the qualitative effect (slow construction ⇒ late start ⇒
+//! worse best-found configuration) is preserved; pass `--budget <seconds>`
+//! to override.
+//!
+//! Usage: `cargo run --release -p at-bench --bin figure6 [--repeats 10] [--budget 60]`
+
+use at_bench::experiments::run_tuning_experiment;
+use at_workloads::hotspot;
+
+fn main() {
+    run_tuning_experiment("Figure 6", &hotspot().spec, 6);
+}

@@ -1,0 +1,13 @@
+//! Figure 7: impact of the construction method on an end-to-end GEMM tuning
+//! run (the companion experiment to Figure 6; the paper scales the budget by
+//! the ratio of valid configurations between GEMM and Hotspot, from 30 down
+//! to 10 minutes).
+//!
+//! Usage: `cargo run --release -p at-bench --bin figure7 [--repeats 10] [--budget 20]`
+
+use at_bench::experiments::run_tuning_experiment;
+use at_workloads::gemm;
+
+fn main() {
+    run_tuning_experiment("Figure 7", &gemm().spec, 7);
+}

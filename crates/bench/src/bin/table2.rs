@@ -1,0 +1,52 @@
+//! Table 2: characteristics of the real-world search spaces.
+//!
+//! Prints the reconstructed spaces' Cartesian size, number of valid
+//! configurations, parameter/constraint counts, average distinct parameters
+//! per constraint, value-count range, percentage of valid configurations and
+//! the closed-form average number of constraint evaluations required by brute
+//! force — next to the values the paper reports.
+//!
+//! Usage: `cargo run --release -p at-bench --bin table2 [--full]`
+//! (`--full` includes ATF PRL 8x8, which takes considerably longer)
+
+use at_bench::{cli, format_seconds, header, measure};
+use at_searchspace::{Method, SpaceCharacteristics};
+use at_workloads::all_real_world;
+
+fn main() {
+    let full = cli::flag("full");
+    println!("Table 2 — characteristics of the real-world search spaces");
+    if !full {
+        println!("(ATF PRL 8x8 skipped; pass --full to include it)");
+    }
+
+    header("measured");
+    println!("{}", SpaceCharacteristics::table_header());
+    let mut rows = Vec::new();
+    for workload in all_real_world() {
+        if !full && workload.spec.name == "ATF PRL 8x8" {
+            continue;
+        }
+        let (m, space, _) = measure(&workload.spec, Method::Optimized);
+        let characteristics = SpaceCharacteristics::compute(&workload.spec, &space);
+        println!("{}", characteristics.table_row());
+        rows.push((workload, characteristics, m));
+    }
+
+    header("paper-reported vs measured (Cartesian size / valid configurations)");
+    println!(
+        "{:<16} {:>16} {:>16} {:>14} {:>14} {:>12}",
+        "Name", "paper Cartesian", "ours Cartesian", "paper valid", "ours valid", "build time"
+    );
+    for (workload, characteristics, m) in &rows {
+        println!(
+            "{:<16} {:>16} {:>16} {:>14} {:>14} {:>12}",
+            workload.spec.name,
+            workload.paper.cartesian_size,
+            characteristics.cartesian_size,
+            workload.paper.num_valid,
+            characteristics.num_valid,
+            format_seconds(m.seconds),
+        );
+    }
+}

@@ -1,0 +1,107 @@
+//! Shared experiment drivers used by the figure binaries.
+
+use std::time::Duration;
+
+use at_searchspace::{Method, SearchSpaceSpec};
+use at_tuner::{tune, RandomSampling};
+use at_workloads::performance_model_for;
+
+use crate::{cli, format_seconds, header, measure};
+
+/// Run the end-to-end tuning experiment behind Figures 6 and 7: measure the
+/// construction time of each method, then run budgeted random-sampling tuning
+/// on a virtual clock with the construction time charged up front, and print
+/// the mean best-found runtime at fractions of the budget.
+pub fn run_tuning_experiment(figure: &str, spec: &SearchSpaceSpec, seed: u64) {
+    let repeats = cli::opt_usize("repeats", 10);
+    let methods = [Method::BruteForce, Method::Original, Method::Optimized];
+    println!(
+        "{figure} — best configuration found over a tuning run of `{}` using random sampling, {repeats} repeats",
+        spec.name
+    );
+
+    // Measure construction time per method once.
+    header("construction times");
+    let mut constructions = Vec::new();
+    let mut slowest = 0.0f64;
+    let mut space_opt = None;
+    for &method in &methods {
+        let (m, space, _) = measure(spec, method);
+        println!("  {:<14} {}", method.label(), format_seconds(m.seconds));
+        slowest = slowest.max(m.seconds);
+        if method == Method::Optimized {
+            space_opt = Some(space);
+        }
+        constructions.push((method, m.seconds));
+    }
+    let space = space_opt.expect("optimized space");
+
+    // Budget: override or 3x the slowest construction (min 10 virtual seconds).
+    let budget_s = cli::opt_f64("budget", (slowest * 3.0).max(10.0));
+    let budget = Duration::from_secs_f64(budget_s);
+    println!(
+        "\nvirtual tuning budget: {} (the paper uses 30 minutes for Hotspot, 10 for GEMM)",
+        format_seconds(budget_s)
+    );
+
+    let model = performance_model_for(&spec.name, &space, seed);
+    let checkpoints = 10usize;
+
+    header("mean best runtime (ms, lower is better) at fractions of the budget");
+    print!("{:<16}", "method");
+    for c in 1..=checkpoints {
+        print!(" {:>9.0}%", c as f64 / checkpoints as f64 * 100.0);
+    }
+    println!();
+    for (method, construction) in &constructions {
+        let mut sums = vec![0.0f64; checkpoints];
+        let mut counts = vec![0usize; checkpoints];
+        for repeat in 0..repeats {
+            let run = tune(
+                &space,
+                &model,
+                &RandomSampling,
+                budget,
+                Duration::from_secs_f64(*construction),
+                seed * 1000 + repeat as u64,
+            );
+            for c in 1..=checkpoints {
+                let t = budget_s * 1000.0 * c as f64 / checkpoints as f64;
+                if let Some(best) = run.best_at(t) {
+                    sums[c - 1] += best;
+                    counts[c - 1] += 1;
+                }
+            }
+        }
+        print!("{:<16}", method.label());
+        for c in 0..checkpoints {
+            if counts[c] == 0 {
+                print!(" {:>10}", "-");
+            } else {
+                print!(" {:>10.3}", sums[c] / counts[c] as f64);
+            }
+        }
+        println!();
+    }
+    println!(
+        "\nA `-` entry means the search space construction had not finished at that point of \
+         the budget, which is the effect the paper demonstrates: slow construction methods \
+         start tuning late and end with a worse configuration."
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use at_searchspace::TunableParameter;
+
+    #[test]
+    fn tuning_experiment_runs_on_a_tiny_space() {
+        let spec = SearchSpaceSpec::new("tiny")
+            .with_param(TunableParameter::pow2("x", 5))
+            .with_param(TunableParameter::pow2("y", 5))
+            .with_expr("4 <= x * y <= 64");
+        // smoke test: must not panic
+        run_tuning_experiment("test", &spec, 1);
+    }
+}

@@ -1,0 +1,332 @@
+//! # at-bench — the evaluation harness
+//!
+//! Shared utilities for the figure/table binaries and the Criterion benches:
+//! timed construction runs across methods, log-log regression (the scaling
+//! slopes of Figures 3–5), kernel density estimation (the KDE panels), and
+//! simple textual table/summary formatting.
+
+#![warn(missing_docs)]
+
+use std::time::Instant;
+
+use at_searchspace::{
+    build_search_space, BuildReport, Method, SearchSpace, SearchSpaceSpec,
+};
+
+pub mod experiments;
+
+/// One timed construction measurement.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Name of the search space.
+    pub space: String,
+    /// Construction method.
+    pub method: Method,
+    /// Wall-clock construction time in seconds.
+    pub seconds: f64,
+    /// Number of valid configurations found.
+    pub num_valid: usize,
+    /// Cartesian size of the unconstrained space.
+    pub cartesian_size: u128,
+}
+
+/// Construct `spec` with `method`, returning the measurement and the space.
+pub fn measure(spec: &SearchSpaceSpec, method: Method) -> (Measurement, SearchSpace, BuildReport) {
+    let start = Instant::now();
+    let (space, report) = build_search_space(spec, method).expect("construction failed");
+    let seconds = start.elapsed().as_secs_f64();
+    (
+        Measurement {
+            space: spec.name.clone(),
+            method,
+            seconds,
+            num_valid: space.len(),
+            cartesian_size: report.cartesian_size,
+        },
+        space,
+        report,
+    )
+}
+
+/// Construct `spec` with each of `methods`, validating that all of them find
+/// the same number of configurations as the first one.
+pub fn measure_all(spec: &SearchSpaceSpec, methods: &[Method]) -> Vec<Measurement> {
+    let mut out = Vec::with_capacity(methods.len());
+    let mut reference: Option<usize> = None;
+    for &method in methods {
+        let (m, space, _) = measure(spec, method);
+        match reference {
+            None => reference = Some(space.len()),
+            Some(expected) => assert_eq!(
+                space.len(),
+                expected,
+                "{}: {} disagrees on the number of valid configurations",
+                spec.name,
+                method.label()
+            ),
+        }
+        out.push(m);
+    }
+    out
+}
+
+/// Ordinary least squares on `log10(x)` vs `log10(y)`.
+/// Returns `(slope, intercept, r_squared)`. Pairs with non-positive values
+/// are skipped.
+pub fn loglog_regression(xs: &[f64], ys: &[f64]) -> Option<(f64, f64, f64)> {
+    let pts: Vec<(f64, f64)> = xs
+        .iter()
+        .zip(ys.iter())
+        .filter(|(&x, &y)| x > 0.0 && y > 0.0)
+        .map(|(&x, &y)| (x.log10(), y.log10()))
+        .collect();
+    if pts.len() < 2 {
+        return None;
+    }
+    let n = pts.len() as f64;
+    let sx: f64 = pts.iter().map(|p| p.0).sum();
+    let sy: f64 = pts.iter().map(|p| p.1).sum();
+    let sxx: f64 = pts.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = pts.iter().map(|p| p.0 * p.1).sum();
+    let denom = n * sxx - sx * sx;
+    if denom.abs() < 1e-12 {
+        return None;
+    }
+    let slope = (n * sxy - sx * sy) / denom;
+    let intercept = (sy - slope * sx) / n;
+    let mean_y = sy / n;
+    let ss_tot: f64 = pts.iter().map(|p| (p.1 - mean_y).powi(2)).sum();
+    let ss_res: f64 = pts
+        .iter()
+        .map(|p| (p.1 - (slope * p.0 + intercept)).powi(2))
+        .sum();
+    let r2 = if ss_tot > 0.0 { 1.0 - ss_res / ss_tot } else { 1.0 };
+    Some((slope, intercept, r2))
+}
+
+/// The valid-configuration count at which method `a` (with regression `ra`)
+/// would be overtaken by method `b` (with regression `rb`), i.e. where the
+/// two power-law fits cross. Returns `None` when the fits never cross for
+/// positive sizes.
+pub fn crossover_point(ra: (f64, f64), rb: (f64, f64)) -> Option<f64> {
+    let (slope_a, int_a) = ra;
+    let (slope_b, int_b) = rb;
+    if (slope_a - slope_b).abs() < 1e-12 {
+        return None;
+    }
+    let log_x = (int_b - int_a) / (slope_a - slope_b);
+    Some(10f64.powf(log_x))
+}
+
+/// Gaussian kernel density estimate of `values` (in log10 space) evaluated on
+/// `grid_points` points spanning the data range. Returns `(grid, density)`.
+pub fn log_kde(values: &[f64], grid_points: usize) -> (Vec<f64>, Vec<f64>) {
+    let logs: Vec<f64> = values.iter().filter(|&&v| v > 0.0).map(|v| v.log10()).collect();
+    if logs.is_empty() || grid_points == 0 {
+        return (Vec::new(), Vec::new());
+    }
+    let min = logs.iter().cloned().fold(f64::INFINITY, f64::min) - 0.5;
+    let max = logs.iter().cloned().fold(f64::NEG_INFINITY, f64::max) + 0.5;
+    let n = logs.len() as f64;
+    let mean = logs.iter().sum::<f64>() / n;
+    let var = logs.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n.max(1.0);
+    // Silverman's rule of thumb
+    let bandwidth = (1.06 * var.sqrt() * n.powf(-0.2)).max(1e-3);
+    let grid: Vec<f64> = (0..grid_points)
+        .map(|i| min + (max - min) * i as f64 / (grid_points - 1).max(1) as f64)
+        .collect();
+    let density: Vec<f64> = grid
+        .iter()
+        .map(|&x| {
+            logs.iter()
+                .map(|&v| {
+                    let z = (x - v) / bandwidth;
+                    (-0.5 * z * z).exp()
+                })
+                .sum::<f64>()
+                / (n * bandwidth * (2.0 * std::f64::consts::PI).sqrt())
+        })
+        .collect();
+    (grid, density)
+}
+
+/// Quartile summary of a sample: `(min, q1, median, q3, max)`.
+pub fn quartiles(values: &[f64]) -> Option<(f64, f64, f64, f64, f64)> {
+    if values.is_empty() {
+        return None;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+    let q = |f: f64| -> f64 {
+        let idx = f * (sorted.len() - 1) as f64;
+        let lo = idx.floor() as usize;
+        let hi = idx.ceil() as usize;
+        let frac = idx - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    };
+    Some((sorted[0], q(0.25), q(0.5), q(0.75), sorted[sorted.len() - 1]))
+}
+
+/// Geometric mean of positive values.
+pub fn geometric_mean(values: &[f64]) -> f64 {
+    let positive: Vec<f64> = values.iter().copied().filter(|&v| v > 0.0).collect();
+    if positive.is_empty() {
+        return 0.0;
+    }
+    (positive.iter().map(|v| v.ln()).sum::<f64>() / positive.len() as f64).exp()
+}
+
+/// Sum of the construction times per method over a set of measurements, as
+/// `(method, total seconds)` pairs ordered by total time.
+pub fn totals_per_method(measurements: &[Measurement]) -> Vec<(Method, f64)> {
+    let mut totals: Vec<(Method, f64)> = Vec::new();
+    for m in measurements {
+        match totals.iter_mut().find(|(method, _)| *method == m.method) {
+            Some(entry) => entry.1 += m.seconds,
+            None => totals.push((m.method, m.seconds)),
+        }
+    }
+    totals.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("no NaN"));
+    totals
+}
+
+/// Format a duration in seconds with an adaptive unit.
+pub fn format_seconds(seconds: f64) -> String {
+    if seconds < 1e-3 {
+        format!("{:.1} µs", seconds * 1e6)
+    } else if seconds < 1.0 {
+        format!("{:.2} ms", seconds * 1e3)
+    } else if seconds < 120.0 {
+        format!("{:.2} s", seconds)
+    } else {
+        format!("{:.1} min", seconds / 60.0)
+    }
+}
+
+/// Print a section header for the experiment binaries.
+pub fn header(title: &str) {
+    println!();
+    println!("=== {title} ===");
+}
+
+/// Minimal command line helpers shared by the figure/table binaries.
+pub mod cli {
+    /// True when `--name` was passed.
+    pub fn flag(name: &str) -> bool {
+        std::env::args().any(|a| a == format!("--{name}"))
+    }
+
+    /// The value of `--name <value>` parsed as `usize`, or `default`.
+    pub fn opt_usize(name: &str, default: usize) -> usize {
+        opt_string(name)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+
+    /// The value of `--name <value>` parsed as `f64`, or `default`.
+    pub fn opt_f64(name: &str, default: f64) -> f64 {
+        opt_string(name)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+
+    /// The value of `--name <value>` parsed as `u64`, or `default`.
+    pub fn opt_u64(name: &str, default: u64) -> u64 {
+        opt_string(name)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+
+    /// The raw value of `--name <value>`, if present.
+    pub fn opt_string(name: &str) -> Option<String> {
+        let args: Vec<String> = std::env::args().collect();
+        args.iter()
+            .position(|a| a == &format!("--{name}"))
+            .and_then(|i| args.get(i + 1).cloned())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use at_searchspace::{SearchSpaceSpec, TunableParameter};
+
+    fn tiny_spec() -> SearchSpaceSpec {
+        SearchSpaceSpec::new("tiny")
+            .with_param(TunableParameter::pow2("x", 5))
+            .with_param(TunableParameter::pow2("y", 5))
+            .with_expr("4 <= x * y <= 64")
+    }
+
+    #[test]
+    fn measure_all_agrees_across_methods() {
+        let spec = tiny_spec();
+        let ms = measure_all(
+            &spec,
+            &[Method::BruteForce, Method::Optimized, Method::ChainOfTrees],
+        );
+        assert_eq!(ms.len(), 3);
+        assert!(ms.iter().all(|m| m.num_valid == ms[0].num_valid));
+        assert!(ms.iter().all(|m| m.seconds >= 0.0));
+    }
+
+    #[test]
+    fn regression_recovers_a_power_law() {
+        // y = 3 * x^0.8
+        let xs: Vec<f64> = (1..=50).map(|i| i as f64 * 100.0).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 * x.powf(0.8)).collect();
+        let (slope, intercept, r2) = loglog_regression(&xs, &ys).unwrap();
+        assert!((slope - 0.8).abs() < 1e-9);
+        assert!((10f64.powf(intercept) - 3.0).abs() < 1e-6);
+        assert!(r2 > 0.999);
+    }
+
+    #[test]
+    fn regression_rejects_degenerate_input() {
+        assert!(loglog_regression(&[1.0], &[2.0]).is_none());
+        assert!(loglog_regression(&[1.0, 1.0], &[2.0, 3.0]).is_none());
+    }
+
+    #[test]
+    fn crossover_of_two_power_laws() {
+        // y1 = 1e-6 * x^1.0 and y2 = 1e-3 * x^0.5 cross at x = 1e6^(1/0.5)=... compute
+        let a = (1.0, -6.0);
+        let b = (0.5, -3.0);
+        let x = crossover_point(a, b).unwrap();
+        // at the crossover both predict the same time
+        let ya = 10f64.powf(a.1) * x.powf(a.0);
+        let yb = 10f64.powf(b.1) * x.powf(b.0);
+        assert!((ya - yb).abs() / ya < 1e-9);
+        assert!(crossover_point((1.0, -6.0), (1.0, -3.0)).is_none());
+    }
+
+    #[test]
+    fn kde_integrates_to_roughly_one() {
+        let values: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let (grid, density) = log_kde(&values, 200);
+        assert_eq!(grid.len(), 200);
+        let step = grid[1] - grid[0];
+        let integral: f64 = density.iter().sum::<f64>() * step;
+        assert!((integral - 1.0).abs() < 0.1, "integral {integral}");
+    }
+
+    #[test]
+    fn quartiles_and_geometric_mean() {
+        let (min, q1, med, q3, max) = quartiles(&[1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
+        assert_eq!((min, q1, med, q3, max), (1.0, 2.0, 3.0, 4.0, 5.0));
+        assert!(quartiles(&[]).is_none());
+        assert!((geometric_mean(&[1.0, 100.0]) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn totals_and_formatting() {
+        let spec = tiny_spec();
+        let ms = measure_all(&spec, &[Method::BruteForce, Method::Optimized]);
+        let totals = totals_per_method(&ms);
+        assert_eq!(totals.len(), 2);
+        assert!(format_seconds(0.000001).contains("µs"));
+        assert!(format_seconds(0.5).contains("ms"));
+        assert!(format_seconds(5.0).contains("s"));
+        assert!(format_seconds(600.0).contains("min"));
+    }
+}

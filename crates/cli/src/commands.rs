@@ -1,0 +1,426 @@
+//! Implementations of the `atss` subcommands.
+
+use std::fmt::Write as _;
+use std::time::Duration;
+
+use at_searchspace::{
+    build_search_space, spec_from_json, to_csv, to_json_cache, Method, SearchSpaceSpec,
+    SpaceCharacteristics,
+};
+use at_tuner::{strategy_by_name, tune as run_tuning};
+use at_workloads::{all_real_world, performance_model_for, real_world_by_name, real_world_names};
+
+use crate::args::ParsedArgs;
+use crate::CliError;
+
+/// The help text.
+pub fn help() -> String {
+    "\
+atss — auto-tuning search space construction (ICPP'25 reproduction)
+
+USAGE:
+    atss <command> [flags]
+
+COMMANDS:
+    workloads       List the built-in real-world search spaces (Table 2)
+    construct       Construct a search space and print or export it
+                      --workload <name> | --spec <file.json>
+                      --method <brute-force|original|optimized|parallel-optimized|
+                                chain-of-trees|blocking-clause>   (default: optimized)
+                      --format <count|summary|csv|json>           (default: summary)
+                      --out <path>                                 write instead of print
+    compare         Time several construction methods on one space
+                      --workload <name> | --spec <file.json>
+                      --methods <comma-separated labels>
+    tune            Run a simulated tuning session on a built-in workload
+                      --workload <name>  --strategy <name>  --budget-ms <n>
+                      --method <construction method>  --seed <n>
+    spec-template   Print an example JSON space specification
+    help            Show this message
+
+Built-in workloads: dedispersion, expdist, hotspot, gemm, microhh,
+prl-2x2, prl-4x4, prl-8x8.
+"
+    .to_string()
+}
+
+/// An example specification file.
+pub fn spec_template() -> String {
+    r#"{
+  "name": "example",
+  "parameters": [
+    {"name": "block_size_x", "values": [1, 2, 4, 8, 16, 32, 64, 128, 256]},
+    {"name": "block_size_y", "values": [1, 2, 4, 8, 16, 32]},
+    {"name": "work_per_thread", "values": [1, 2, 4, 8]},
+    {"name": "use_shared_memory", "values": [0, 1]}
+  ],
+  "restrictions": [
+    "32 <= block_size_x * block_size_y <= 1024",
+    "work_per_thread <= block_size_y",
+    "use_shared_memory == 0 or block_size_x * work_per_thread * 4 <= 4096"
+  ]
+}
+"#
+    .to_string()
+}
+
+/// Resolve the search space specification selected by `--workload` or `--spec`.
+fn resolve_spec(args: &ParsedArgs) -> Result<SearchSpaceSpec, CliError> {
+    match (args.get("workload"), args.get("spec")) {
+        (Some(name), None) => real_world_by_name(name).map(|w| w.spec).ok_or_else(|| {
+            CliError::Run(format!(
+                "unknown workload `{name}` (available: {})",
+                real_world_names().join(", ")
+            ))
+        }),
+        (None, Some(path)) => {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| CliError::Run(format!("cannot read `{path}`: {e}")))?;
+            spec_from_json(&text).map_err(|e| CliError::Run(format!("cannot parse `{path}`: {e}")))
+        }
+        (Some(_), Some(_)) => Err(CliError::Run(
+            "pass either --workload or --spec, not both".to_string(),
+        )),
+        (None, None) => Err(CliError::Run(
+            "pass --workload <name> or --spec <file.json>".to_string(),
+        )),
+    }
+}
+
+fn resolve_method(args: &ParsedArgs) -> Result<Method, CliError> {
+    match args.get("method") {
+        None => Ok(Method::Optimized),
+        Some(label) => Method::from_label(label).ok_or_else(|| {
+            CliError::Run(format!(
+                "unknown method `{label}` (available: {})",
+                Method::all()
+                    .iter()
+                    .map(|m| m.label())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ))
+        }),
+    }
+}
+
+/// `atss workloads`
+pub fn workloads(args: &ParsedArgs) -> Result<String, CliError> {
+    args.ensure_known_flags(&[])?;
+    let mut out = String::new();
+    writeln!(
+        out,
+        "{:<14} {:>16} {:>8} {:>12} {:>18}",
+        "name", "cartesian", "params", "constraints", "paper valid"
+    )
+    .expect("write to string");
+    for w in all_real_world() {
+        writeln!(
+            out,
+            "{:<14} {:>16} {:>8} {:>12} {:>18}",
+            w.spec.name,
+            w.spec.cartesian_size(),
+            w.spec.num_params(),
+            w.spec.num_restrictions(),
+            w.paper.num_valid,
+        )
+        .expect("write to string");
+    }
+    writeln!(
+        out,
+        "\nshort names for --workload: {}",
+        real_world_names().join(", ")
+    )
+    .expect("write to string");
+    Ok(out)
+}
+
+/// `atss construct`
+pub fn construct(args: &ParsedArgs) -> Result<String, CliError> {
+    args.ensure_known_flags(&["workload", "spec", "method", "format", "out"])?;
+    let spec = resolve_spec(args)?;
+    let method = resolve_method(args)?;
+    let (space, report) = build_search_space(&spec, method)
+        .map_err(|e| CliError::Run(format!("construction failed: {e}")))?;
+
+    let format = args.get("format").unwrap_or("summary");
+    let rendered = match format {
+        "count" => format!("{}\n", space.len()),
+        "csv" => to_csv(&space),
+        "json" => to_json_cache(&space),
+        "summary" => {
+            let characteristics = SpaceCharacteristics::compute(&spec, &space);
+            let mut out = String::new();
+            writeln!(out, "space:                {}", spec.name).expect("write to string");
+            writeln!(out, "method:               {}", method.label()).expect("write to string");
+            writeln!(out, "construction time:    {:?}", report.duration).expect("write to string");
+            writeln!(out, "cartesian size:       {}", report.cartesian_size)
+                .expect("write to string");
+            writeln!(out, "valid configurations: {}", space.len()).expect("write to string");
+            writeln!(
+                out,
+                "valid fraction:       {:.3} %",
+                characteristics.percent_valid
+            )
+            .expect("write to string");
+            writeln!(
+                out,
+                "constraints (as written / after lowering): {} / {}",
+                spec.num_restrictions(),
+                report.num_constraints
+            )
+            .expect("write to string");
+            writeln!(
+                out,
+                "constraint checks:    {}",
+                report.stats.constraint_checks
+            )
+            .expect("write to string");
+            out
+        }
+        other => {
+            return Err(CliError::Run(format!(
+                "unknown format `{other}` (count, summary, csv, json)"
+            )))
+        }
+    };
+
+    match args.get("out") {
+        None => Ok(rendered),
+        Some(path) => {
+            std::fs::write(path, &rendered)
+                .map_err(|e| CliError::Run(format!("cannot write `{path}`: {e}")))?;
+            Ok(format!(
+                "wrote {} bytes ({} configurations) to {path}\n",
+                rendered.len(),
+                space.len()
+            ))
+        }
+    }
+}
+
+/// `atss compare`
+pub fn compare(args: &ParsedArgs) -> Result<String, CliError> {
+    args.ensure_known_flags(&["workload", "spec", "methods"])?;
+    let spec = resolve_spec(args)?;
+    let methods: Vec<Method> = match args.get("methods") {
+        None => vec![Method::Optimized, Method::ChainOfTrees, Method::Original],
+        Some(list) => list
+            .split(',')
+            .map(|label| {
+                Method::from_label(label.trim())
+                    .ok_or_else(|| CliError::Run(format!("unknown method `{label}`")))
+            })
+            .collect::<Result<_, _>>()?,
+    };
+
+    let mut out = String::new();
+    writeln!(out, "space: {}", spec.name).expect("write to string");
+    writeln!(
+        out,
+        "{:<20} {:>14} {:>12} {:>18}",
+        "method", "time", "valid", "constraint checks"
+    )
+    .expect("write to string");
+    let mut reference: Option<usize> = None;
+    for method in methods {
+        let (space, report) = build_search_space(&spec, method)
+            .map_err(|e| CliError::Run(format!("{}: {e}", method.label())))?;
+        if let Some(expected) = reference {
+            if expected != space.len() {
+                return Err(CliError::Run(format!(
+                    "{} produced {} configurations, expected {expected}",
+                    method.label(),
+                    space.len()
+                )));
+            }
+        } else {
+            reference = Some(space.len());
+        }
+        writeln!(
+            out,
+            "{:<20} {:>14} {:>12} {:>18}",
+            method.label(),
+            format!("{:.3?}", report.duration),
+            space.len(),
+            report.stats.constraint_checks
+        )
+        .expect("write to string");
+    }
+    Ok(out)
+}
+
+/// `atss tune`
+pub fn tune(args: &ParsedArgs) -> Result<String, CliError> {
+    args.ensure_known_flags(&["workload", "strategy", "budget-ms", "method", "seed"])?;
+    let name = args.require("workload")?;
+    let workload = real_world_by_name(name)
+        .ok_or_else(|| CliError::Run(format!("unknown workload `{name}`")))?;
+    let strategy_name = args.get("strategy").unwrap_or("random");
+    let strategy = strategy_by_name(strategy_name)
+        .ok_or_else(|| CliError::Run(format!("unknown strategy `{strategy_name}`")))?;
+    let budget_ms: u64 = args.number("budget-ms", 30_000u64).map_err(CliError::Args)?;
+    let seed: u64 = args.number("seed", 42u64).map_err(CliError::Args)?;
+    let method = resolve_method(args)?;
+
+    let (space, report) = build_search_space(&workload.spec, method)
+        .map_err(|e| CliError::Run(format!("construction failed: {e}")))?;
+    let model = performance_model_for(&workload.spec.name, &space, seed);
+    let run = run_tuning(
+        &space,
+        &model,
+        strategy.as_ref(),
+        Duration::from_millis(budget_ms),
+        report.duration,
+        seed,
+    );
+
+    let mut out = String::new();
+    writeln!(out, "workload:           {}", workload.spec.name).expect("write to string");
+    writeln!(out, "construction:       {} ({:?})", method.label(), report.duration)
+        .expect("write to string");
+    writeln!(out, "strategy:           {}", run.strategy).expect("write to string");
+    writeln!(out, "budget:             {budget_ms} ms (virtual)").expect("write to string");
+    writeln!(out, "evaluations:        {}", run.num_evaluations()).expect("write to string");
+    match run.best_runtime_ms() {
+        Some(best) => {
+            writeln!(out, "best runtime:       {best:.3} ms (simulated)").expect("write to string")
+        }
+        None => writeln!(out, "best runtime:       none (budget exhausted by construction)")
+            .expect("write to string"),
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::parse;
+
+    fn parsed(args: &[&str]) -> ParsedArgs {
+        parse(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>()).unwrap()
+    }
+
+    #[test]
+    fn resolve_spec_requires_a_source() {
+        assert!(resolve_spec(&parsed(&["construct"])).is_err());
+        assert!(resolve_spec(&parsed(&[
+            "construct",
+            "--workload",
+            "gemm",
+            "--spec",
+            "x.json"
+        ]))
+        .is_err());
+        let spec = resolve_spec(&parsed(&["construct", "--workload", "gemm"])).unwrap();
+        assert_eq!(spec.name, "GEMM");
+    }
+
+    #[test]
+    fn resolve_spec_reads_files() {
+        let dir = std::env::temp_dir().join("at-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("space.json");
+        std::fs::write(&path, spec_template()).unwrap();
+        let spec = resolve_spec(&parsed(&[
+            "construct",
+            "--spec",
+            path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert_eq!(spec.name, "example");
+        assert!(resolve_spec(&parsed(&["construct", "--spec", "/no/such/file.json"])).is_err());
+    }
+
+    #[test]
+    fn resolve_method_defaults_to_optimized() {
+        assert_eq!(
+            resolve_method(&parsed(&["construct"])).unwrap(),
+            Method::Optimized
+        );
+        assert_eq!(
+            resolve_method(&parsed(&["construct", "--method", "chain-of-trees"])).unwrap(),
+            Method::ChainOfTrees
+        );
+        assert!(resolve_method(&parsed(&["construct", "--method", "nope"])).is_err());
+    }
+
+    #[test]
+    fn construct_csv_and_count_formats() {
+        let count = construct(&parsed(&[
+            "construct",
+            "--workload",
+            "dedispersion",
+            "--format",
+            "count",
+        ]))
+        .unwrap();
+        let n: usize = count.trim().parse().unwrap();
+        assert!(n > 1000);
+        let csv = construct(&parsed(&[
+            "construct",
+            "--workload",
+            "dedispersion",
+            "--format",
+            "csv",
+        ]))
+        .unwrap();
+        assert_eq!(csv.lines().count(), n + 1); // header + one line per config
+        assert!(csv.lines().next().unwrap().contains("block_size_x"));
+    }
+
+    #[test]
+    fn construct_writes_output_files() {
+        let dir = std::env::temp_dir().join("at-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("dedispersion.json");
+        let msg = construct(&parsed(&[
+            "construct",
+            "--workload",
+            "dedispersion",
+            "--format",
+            "json",
+            "--out",
+            path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(msg.contains("wrote"));
+        let written = std::fs::read_to_string(&path).unwrap();
+        assert!(written.contains("configurations"));
+    }
+
+    #[test]
+    fn compare_rejects_unknown_methods() {
+        assert!(compare(&parsed(&[
+            "compare",
+            "--workload",
+            "dedispersion",
+            "--methods",
+            "optimized,warp-drive"
+        ]))
+        .is_err());
+    }
+
+    #[test]
+    fn unknown_flag_is_caught_per_command() {
+        assert!(construct(&parsed(&[
+            "construct",
+            "--workload",
+            "dedispersion",
+            "--formt",
+            "count"
+        ]))
+        .is_err());
+    }
+
+    #[test]
+    fn tune_with_unknown_strategy_fails() {
+        assert!(tune(&parsed(&[
+            "tune",
+            "--workload",
+            "dedispersion",
+            "--strategy",
+            "astrology"
+        ]))
+        .is_err());
+    }
+}

@@ -1,0 +1,256 @@
+//! The chain of trees: linked per-group trees and whole-space operations.
+
+use at_csp::Value;
+use rand::Rng;
+
+use crate::tree::GroupTree;
+
+/// A chain of per-group trees representing a constrained search space.
+#[derive(Debug, Clone)]
+pub struct ChainOfTrees {
+    /// Variable names of the full space, in declaration order.
+    names: Vec<String>,
+    /// The group trees, in group order.
+    trees: Vec<GroupTree>,
+}
+
+impl ChainOfTrees {
+    /// Assemble a chain from its trees. `names` are the full space's
+    /// parameter names in declaration order.
+    pub fn new(names: Vec<String>, trees: Vec<GroupTree>) -> Self {
+        ChainOfTrees { names, trees }
+    }
+
+    /// Parameter names in declaration order.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// The per-group trees.
+    pub fn trees(&self) -> &[GroupTree] {
+        &self.trees
+    }
+
+    /// Number of valid configurations (product of per-tree leaf counts).
+    pub fn size(&self) -> u128 {
+        self.trees
+            .iter()
+            .map(|t| t.leaf_count as u128)
+            .fold(1, |a, b| a.saturating_mul(b))
+    }
+
+    /// Total constraint evaluations spent building the chain.
+    pub fn constraint_checks(&self) -> u64 {
+        self.trees.iter().map(|t| t.constraint_checks).sum()
+    }
+
+    /// Total number of tree nodes (memory proxy; the chain is usually much
+    /// smaller than the flat enumeration).
+    pub fn node_count(&self) -> usize {
+        self.trees.iter().map(|t| t.node_count()).sum()
+    }
+
+    /// Whether the space is empty.
+    pub fn is_empty(&self) -> bool {
+        self.trees.iter().any(|t| t.leaf_count == 0)
+    }
+
+    /// The configuration at `index` (0 ≤ index < `size()`), decoded mixed-radix
+    /// over the group sizes. Values are returned in declaration order.
+    pub fn configuration(&self, index: u128) -> Option<Vec<Value>> {
+        if index >= self.size() || self.is_empty() {
+            return None;
+        }
+        let mut remaining = index;
+        let mut values: Vec<Option<Value>> = vec![None; self.names.len()];
+        // Least-significant group last for a stable lexicographic-ish order.
+        for tree in self.trees.iter().rev() {
+            let radix = tree.leaf_count as u128;
+            let digit = (remaining % radix) as usize;
+            remaining /= radix;
+            let combo = tree.combination(digit)?;
+            for (pos, &param) in tree.params.iter().enumerate() {
+                values[param] = Some(combo[pos].clone());
+            }
+        }
+        values.into_iter().collect()
+    }
+
+    /// Enumerate every configuration in the space (values in declaration
+    /// order). Intended for validation and for spaces that fit in memory.
+    pub fn enumerate(&self) -> Vec<Vec<Value>> {
+        if self.is_empty() {
+            return Vec::new();
+        }
+        let per_group: Vec<Vec<Vec<Value>>> = self.trees.iter().map(|t| t.enumerate()).collect();
+        let mut out: Vec<Vec<Option<Value>>> = vec![vec![None; self.names.len()]];
+        for (tree, combos) in self.trees.iter().zip(per_group.iter()) {
+            let mut next = Vec::with_capacity(out.len() * combos.len());
+            for partial in &out {
+                for combo in combos {
+                    let mut row = partial.clone();
+                    for (pos, &param) in tree.params.iter().enumerate() {
+                        row[param] = Some(combo[pos].clone());
+                    }
+                    next.push(row);
+                }
+            }
+            out = next;
+        }
+        out.into_iter()
+            .map(|row| row.into_iter().map(|v| v.expect("all params covered")).collect())
+            .collect()
+    }
+
+    /// Sample a configuration uniformly at random by index.
+    pub fn sample_uniform<R: Rng>(&self, rng: &mut R) -> Option<Vec<Value>> {
+        if self.is_empty() {
+            return None;
+        }
+        let size = self.size();
+        let index = rng.gen_range(0..size as u64 as u128);
+        self.configuration(index)
+    }
+
+    /// Sample by walking each tree from the root, picking a uniformly random
+    /// child at every level. This is the "naive" tree sampling the paper
+    /// notes is *biased towards the sparser parts* of the chain-of-trees:
+    /// paths through sparsely populated subtrees are over-represented.
+    pub fn sample_path_biased<R: Rng>(&self, rng: &mut R) -> Option<Vec<Value>> {
+        if self.is_empty() {
+            return None;
+        }
+        let mut values: Vec<Option<Value>> = vec![None; self.names.len()];
+        for tree in &self.trees {
+            let mut nodes = &tree.roots;
+            for level in 0..tree.depth() {
+                let node = &nodes[rng.gen_range(0..nodes.len())];
+                values[tree.params[level]] = Some(node.value.clone());
+                nodes = &node.children;
+            }
+        }
+        values.into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::{GroupConstraint, GroupTree};
+    use at_csp::value::int_values;
+    use at_csp::MaxProduct;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use std::collections::HashSet;
+    use std::sync::Arc;
+
+    /// Two groups: (x, y) with x*y <= 8, and an independent z.
+    fn small_chain() -> ChainOfTrees {
+        let t1 = GroupTree::build(
+            vec![0, 1],
+            &[int_values([1, 2, 4]), int_values([1, 2, 4])],
+            &[GroupConstraint {
+                constraint: Arc::new(MaxProduct::new(8.0)),
+                scope_positions: vec![0, 1],
+                ready_at: 1,
+            }],
+        );
+        let t2 = GroupTree::build(vec![2], &[int_values([10, 20])], &[]);
+        ChainOfTrees::new(
+            vec!["x".to_string(), "y".to_string(), "z".to_string()],
+            vec![t1, t2],
+        )
+    }
+
+    fn reference() -> HashSet<(i64, i64, i64)> {
+        let mut set = HashSet::new();
+        for x in [1i64, 2, 4] {
+            for y in [1i64, 2, 4] {
+                for z in [10i64, 20] {
+                    if x * y <= 8 {
+                        set.insert((x, y, z));
+                    }
+                }
+            }
+        }
+        set
+    }
+
+    fn as_tuple(row: &[Value]) -> (i64, i64, i64) {
+        (
+            row[0].as_i64().unwrap(),
+            row[1].as_i64().unwrap(),
+            row[2].as_i64().unwrap(),
+        )
+    }
+
+    #[test]
+    fn size_and_enumeration_match_reference() {
+        let chain = small_chain();
+        let expected = reference();
+        assert_eq!(chain.size(), expected.len() as u128);
+        let got: HashSet<_> = chain.enumerate().iter().map(|r| as_tuple(r)).collect();
+        assert_eq!(got, expected);
+        assert!(!chain.is_empty());
+        assert!(chain.constraint_checks() > 0);
+    }
+
+    #[test]
+    fn indexed_configurations_cover_the_space_exactly_once() {
+        let chain = small_chain();
+        let mut seen = HashSet::new();
+        for i in 0..chain.size() {
+            let row = chain.configuration(i).unwrap();
+            assert!(seen.insert(as_tuple(&row)), "duplicate at index {i}");
+        }
+        assert_eq!(seen, reference());
+        assert!(chain.configuration(chain.size()).is_none());
+    }
+
+    #[test]
+    fn uniform_sampling_hits_every_configuration() {
+        let chain = small_chain();
+        let mut rng = ChaCha8Rng::seed_from_u64(42);
+        let mut seen = HashSet::new();
+        for _ in 0..2000 {
+            seen.insert(as_tuple(&chain.sample_uniform(&mut rng).unwrap()));
+        }
+        assert_eq!(seen, reference());
+    }
+
+    #[test]
+    fn biased_sampling_yields_valid_configurations() {
+        let chain = small_chain();
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let expected = reference();
+        for _ in 0..200 {
+            let row = chain.sample_path_biased(&mut rng).unwrap();
+            assert!(expected.contains(&as_tuple(&row)));
+        }
+    }
+
+    #[test]
+    fn empty_chain_reports_empty() {
+        let t = GroupTree::build(
+            vec![0],
+            &[int_values([10, 20])],
+            &[GroupConstraint {
+                constraint: Arc::new(MaxProduct::new(1.0)),
+                scope_positions: vec![0],
+                ready_at: 0,
+            }],
+        );
+        let chain = ChainOfTrees::new(vec!["x".to_string()], vec![t]);
+        assert!(chain.is_empty());
+        assert_eq!(chain.size(), 0);
+        assert!(chain.enumerate().is_empty());
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        assert!(chain.sample_uniform(&mut rng).is_none());
+    }
+
+    #[test]
+    fn node_count_is_reported() {
+        let chain = small_chain();
+        assert!(chain.node_count() >= 3);
+    }
+}

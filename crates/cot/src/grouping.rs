@@ -1,0 +1,120 @@
+//! Parameter grouping by constraint interdependence.
+//!
+//! Two parameters are *interdependent* when they occur in the scope of the
+//! same constraint (Rasch et al.). The chain-of-trees method first partitions
+//! the parameters into connected components of this interdependence relation;
+//! each component becomes one tree, independent parameters become
+//! single-parameter trees.
+
+/// A disjoint-set (union-find) structure over parameter indices.
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<usize>,
+    rank: Vec<u8>,
+}
+
+impl UnionFind {
+    /// Create `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n).collect(),
+            rank: vec![0; n],
+        }
+    }
+
+    /// Find the representative of `x` with path compression.
+    pub fn find(&mut self, x: usize) -> usize {
+        if self.parent[x] != x {
+            let root = self.find(self.parent[x]);
+            self.parent[x] = root;
+        }
+        self.parent[x]
+    }
+
+    /// Merge the sets containing `a` and `b`.
+    pub fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return;
+        }
+        match self.rank[ra].cmp(&self.rank[rb]) {
+            std::cmp::Ordering::Less => self.parent[ra] = rb,
+            std::cmp::Ordering::Greater => self.parent[rb] = ra,
+            std::cmp::Ordering::Equal => {
+                self.parent[rb] = ra;
+                self.rank[ra] += 1;
+            }
+        }
+    }
+}
+
+/// Partition `num_params` parameters into interdependence groups given the
+/// constraint scopes (each scope is a list of parameter indices).
+///
+/// Groups are returned in order of their smallest member; members within a
+/// group keep declaration order. Parameters not mentioned by any constraint
+/// form singleton groups.
+pub fn group_parameters(num_params: usize, scopes: &[Vec<usize>]) -> Vec<Vec<usize>> {
+    let mut uf = UnionFind::new(num_params);
+    for scope in scopes {
+        for w in scope.windows(2) {
+            uf.union(w[0], w[1]);
+        }
+    }
+    let mut groups: Vec<Vec<usize>> = Vec::new();
+    let mut root_to_group: Vec<Option<usize>> = vec![None; num_params];
+    for p in 0..num_params {
+        let root = uf.find(p);
+        match root_to_group[root] {
+            Some(g) => groups[g].push(p),
+            None => {
+                root_to_group[root] = Some(groups.len());
+                groups.push(vec![p]);
+            }
+        }
+    }
+    groups
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn union_find_basic() {
+        let mut uf = UnionFind::new(5);
+        uf.union(0, 1);
+        uf.union(3, 4);
+        assert_eq!(uf.find(0), uf.find(1));
+        assert_ne!(uf.find(1), uf.find(3));
+        uf.union(1, 3);
+        assert_eq!(uf.find(0), uf.find(4));
+        assert_ne!(uf.find(2), uf.find(0));
+    }
+
+    #[test]
+    fn grouping_connected_components() {
+        // constraints over {0,1}, {1,2} and {4,5}; 3 and 6 are free
+        let groups = group_parameters(7, &[vec![0, 1], vec![1, 2], vec![4, 5]]);
+        assert_eq!(groups, vec![vec![0, 1, 2], vec![3], vec![4, 5], vec![6]]);
+    }
+
+    #[test]
+    fn no_constraints_all_singletons() {
+        let groups = group_parameters(3, &[]);
+        assert_eq!(groups, vec![vec![0], vec![1], vec![2]]);
+    }
+
+    #[test]
+    fn single_group_when_fully_connected() {
+        let groups = group_parameters(4, &[vec![0, 1, 2, 3]]);
+        assert_eq!(groups.len(), 1);
+        assert_eq!(groups[0], vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn unary_constraints_do_not_merge() {
+        let groups = group_parameters(3, &[vec![0], vec![2]]);
+        assert_eq!(groups.len(), 3);
+    }
+}

@@ -1,0 +1,290 @@
+//! Comparison constraints between a variable and a constant, or between two
+//! variables. These arise from decomposed comparison chains such as
+//! `2 <= block_size_y <= 32 <= block_size_x * block_size_y <= 1024`.
+
+use std::cmp::Ordering;
+
+use super::Constraint;
+use crate::domain::DomainStore;
+use crate::error::CspResult;
+use crate::value::Value;
+
+/// A comparison operator with Python semantics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+}
+
+impl CmpOp {
+    /// Apply the operator to two values. Returns `false` on type errors,
+    /// except for `!=` which treats incomparable values as unequal.
+    pub fn apply(&self, a: &Value, b: &Value) -> bool {
+        match self {
+            CmpOp::Eq => a.py_eq(b),
+            CmpOp::Ne => !a.py_eq(b),
+            _ => match a.compare(b) {
+                Some(ord) => self.apply_ordering(ord),
+                None => false,
+            },
+        }
+    }
+
+    /// Apply the operator to an [`Ordering`].
+    pub fn apply_ordering(&self, ord: Ordering) -> bool {
+        match self {
+            CmpOp::Lt => ord == Ordering::Less,
+            CmpOp::Le => ord != Ordering::Greater,
+            CmpOp::Gt => ord == Ordering::Greater,
+            CmpOp::Ge => ord != Ordering::Less,
+            CmpOp::Eq => ord == Ordering::Equal,
+            CmpOp::Ne => ord != Ordering::Equal,
+        }
+    }
+
+    /// The operator with swapped operands (`a op b` ⇔ `b op.swap() a`).
+    pub fn swap(&self) -> CmpOp {
+        match self {
+            CmpOp::Lt => CmpOp::Gt,
+            CmpOp::Le => CmpOp::Ge,
+            CmpOp::Gt => CmpOp::Lt,
+            CmpOp::Ge => CmpOp::Le,
+            CmpOp::Eq => CmpOp::Eq,
+            CmpOp::Ne => CmpOp::Ne,
+        }
+    }
+
+    /// The logical negation of the operator (`!(a op b)` ⇔ `a op.negate() b`).
+    pub fn negate(&self) -> CmpOp {
+        match self {
+            CmpOp::Lt => CmpOp::Ge,
+            CmpOp::Le => CmpOp::Gt,
+            CmpOp::Gt => CmpOp::Le,
+            CmpOp::Ge => CmpOp::Lt,
+            CmpOp::Eq => CmpOp::Ne,
+            CmpOp::Ne => CmpOp::Eq,
+        }
+    }
+
+    /// Source form of the operator.
+    pub fn symbol(&self) -> &'static str {
+        match self {
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+            CmpOp::Eq => "==",
+            CmpOp::Ne => "!=",
+        }
+    }
+}
+
+/// Unary constraint `x op constant`. Fully resolved by preprocessing.
+#[derive(Debug)]
+pub struct VarCompare {
+    op: CmpOp,
+    constant: Value,
+}
+
+impl VarCompare {
+    /// Build `x op constant`.
+    pub fn new(op: CmpOp, constant: Value) -> Self {
+        VarCompare { op, constant }
+    }
+
+    /// The comparison operator.
+    pub fn op(&self) -> CmpOp {
+        self.op
+    }
+
+    /// The constant operand.
+    pub fn constant(&self) -> &Value {
+        &self.constant
+    }
+}
+
+impl Constraint for VarCompare {
+    fn kind(&self) -> &'static str {
+        "VarCompare"
+    }
+
+    fn evaluate(&self, values: &[Value]) -> bool {
+        self.op.apply(&values[0], &self.constant)
+    }
+
+    fn preprocess(&self, scope: &[usize], domains: &mut DomainStore) -> CspResult<usize> {
+        let removed = domains
+            .domain_mut(scope[0])
+            .retain(|v| self.op.apply(v, &self.constant));
+        Ok(removed)
+    }
+}
+
+/// Binary constraint `x op y` between two variables.
+#[derive(Debug)]
+pub struct PairCompare {
+    op: CmpOp,
+}
+
+impl PairCompare {
+    /// Build `x op y` where `x` is the first and `y` the second scope variable.
+    pub fn new(op: CmpOp) -> Self {
+        PairCompare { op }
+    }
+
+    /// The comparison operator.
+    pub fn op(&self) -> CmpOp {
+        self.op
+    }
+}
+
+impl Constraint for PairCompare {
+    fn kind(&self) -> &'static str {
+        "PairCompare"
+    }
+
+    fn evaluate(&self, values: &[Value]) -> bool {
+        self.op.apply(&values[0], &values[1])
+    }
+
+    fn preprocess(&self, scope: &[usize], domains: &mut DomainStore) -> CspResult<usize> {
+        // Bound-consistency pruning for ordering operators: a value of x that
+        // cannot be matched by any y (and vice versa) can never participate in
+        // a solution.
+        let (xmin, xmax) = match (
+            domains.domain(scope[0]).numeric_min(),
+            domains.domain(scope[0]).numeric_max(),
+        ) {
+            (Some(a), Some(b)) => (a, b),
+            _ => return Ok(0),
+        };
+        let (ymin, ymax) = match (
+            domains.domain(scope[1]).numeric_min(),
+            domains.domain(scope[1]).numeric_max(),
+        ) {
+            (Some(a), Some(b)) => (a, b),
+            _ => return Ok(0),
+        };
+        let mut removed = 0usize;
+        match self.op {
+            CmpOp::Lt | CmpOp::Le => {
+                let op = self.op;
+                removed += domains.domain_mut(scope[0]).retain(|v| {
+                    v.as_f64()
+                        .map(|f| op.apply(&Value::Float(f), &Value::Float(ymax)))
+                        .unwrap_or(false)
+                });
+                removed += domains.domain_mut(scope[1]).retain(|v| {
+                    v.as_f64()
+                        .map(|f| op.apply(&Value::Float(xmin), &Value::Float(f)))
+                        .unwrap_or(false)
+                });
+            }
+            CmpOp::Gt | CmpOp::Ge => {
+                let op = self.op;
+                removed += domains.domain_mut(scope[0]).retain(|v| {
+                    v.as_f64()
+                        .map(|f| op.apply(&Value::Float(f), &Value::Float(ymin)))
+                        .unwrap_or(false)
+                });
+                removed += domains.domain_mut(scope[1]).retain(|v| {
+                    v.as_f64()
+                        .map(|f| op.apply(&Value::Float(xmax), &Value::Float(f)))
+                        .unwrap_or(false)
+                });
+            }
+            CmpOp::Eq | CmpOp::Ne => {}
+        }
+        Ok(removed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::Domain;
+    use crate::value::int_values;
+
+    fn store(domains: Vec<Vec<i64>>) -> DomainStore {
+        let mut s = DomainStore::new();
+        for d in domains {
+            s.push(Domain::new(int_values(d)));
+        }
+        s
+    }
+
+    #[test]
+    fn op_apply() {
+        assert!(CmpOp::Le.apply(&Value::Int(2), &Value::Int(2)));
+        assert!(!CmpOp::Lt.apply(&Value::Int(2), &Value::Int(2)));
+        assert!(CmpOp::Ne.apply(&Value::Int(2), &Value::str("2")));
+        assert!(!CmpOp::Eq.apply(&Value::Int(2), &Value::str("2")));
+        assert!(CmpOp::Gt.apply(&Value::Float(2.5), &Value::Int(2)));
+    }
+
+    #[test]
+    fn op_swap_negate_symbol() {
+        assert_eq!(CmpOp::Lt.swap(), CmpOp::Gt);
+        assert_eq!(CmpOp::Le.negate(), CmpOp::Gt);
+        assert_eq!(CmpOp::Eq.swap(), CmpOp::Eq);
+        assert_eq!(CmpOp::Ne.negate(), CmpOp::Eq);
+        assert_eq!(CmpOp::Ge.symbol(), ">=");
+    }
+
+    #[test]
+    fn var_compare_preprocess() {
+        let c = VarCompare::new(CmpOp::Ge, Value::Int(4));
+        let mut doms = store(vec![vec![1, 2, 4, 8, 16]]);
+        assert_eq!(c.preprocess(&[0], &mut doms).unwrap(), 2);
+        assert_eq!(doms.domain(0).values(), &int_values([4, 8, 16])[..]);
+        assert!(c.evaluate(&int_values([8])));
+        assert!(!c.evaluate(&int_values([2])));
+    }
+
+    #[test]
+    fn pair_compare_evaluate() {
+        let c = PairCompare::new(CmpOp::Le);
+        assert!(c.evaluate(&int_values([2, 4])));
+        assert!(!c.evaluate(&int_values([5, 4])));
+        assert_eq!(c.op(), CmpOp::Le);
+    }
+
+    #[test]
+    fn pair_compare_bound_pruning() {
+        // x <= y with x in {1..10}, y in {1..4}: x in {5..10} impossible.
+        let c = PairCompare::new(CmpOp::Le);
+        let mut doms = store(vec![vec![1, 2, 5, 8, 10], vec![1, 2, 4]]);
+        let removed = c.preprocess(&[0, 1], &mut doms).unwrap();
+        assert_eq!(removed, 3);
+        assert_eq!(doms.domain(0).values(), &int_values([1, 2])[..]);
+        // y values below x's minimum (1) stay since 1 <= y for all.
+        assert_eq!(doms.domain(1).len(), 3);
+    }
+
+    #[test]
+    fn pair_compare_gt_pruning() {
+        // x > y with x in {1,2,3}, y in {2,3,4}: x=1,2 can't exceed min(y)=2? only x>2 survive vs ymin.
+        let c = PairCompare::new(CmpOp::Gt);
+        let mut doms = store(vec![vec![1, 2, 3], vec![2, 3, 4]]);
+        c.preprocess(&[0, 1], &mut doms).unwrap();
+        assert_eq!(doms.domain(0).values(), &int_values([3])[..]);
+        assert_eq!(doms.domain(1).values(), &int_values([2])[..]);
+    }
+
+    #[test]
+    fn eq_ne_no_bound_pruning() {
+        let c = PairCompare::new(CmpOp::Eq);
+        let mut doms = store(vec![vec![1, 2], vec![2, 3]]);
+        assert_eq!(c.preprocess(&[0, 1], &mut doms).unwrap(), 0);
+    }
+}

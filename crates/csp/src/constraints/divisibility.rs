@@ -1,0 +1,214 @@
+//! Divisibility constraints.
+//!
+//! Divisibility is one of the most common constraint shapes in auto-tuning:
+//! tile sizes must divide block sizes, unroll factors must divide loop trip
+//! counts, cache-block sizes must divide the input size. Recognising these as
+//! specific constraints enables domain pruning that a generic function
+//! constraint cannot provide.
+
+use super::Constraint;
+use crate::assignment::Assignment;
+use crate::domain::DomainStore;
+use crate::error::CspResult;
+use crate::value::Value;
+
+/// Unary constraint `x % modulus == remainder`.
+#[derive(Debug)]
+pub struct ModuloEquals {
+    modulus: i64,
+    remainder: i64,
+}
+
+impl ModuloEquals {
+    /// Build `x % modulus == remainder`. `modulus` must be non-zero.
+    pub fn new(modulus: i64, remainder: i64) -> Self {
+        assert!(modulus != 0, "modulus must be non-zero");
+        ModuloEquals { modulus, remainder }
+    }
+
+    /// The modulus.
+    pub fn modulus(&self) -> i64 {
+        self.modulus
+    }
+
+    /// The required remainder.
+    pub fn remainder(&self) -> i64 {
+        self.remainder
+    }
+}
+
+impl Constraint for ModuloEquals {
+    fn kind(&self) -> &'static str {
+        "ModuloEquals"
+    }
+
+    fn evaluate(&self, values: &[Value]) -> bool {
+        values.iter().all(|v| match v.as_i64() {
+            Some(i) => i.rem_euclid(self.modulus) == self.remainder,
+            None => false,
+        })
+    }
+
+    fn preprocess(&self, scope: &[usize], domains: &mut DomainStore) -> CspResult<usize> {
+        let mut removed = 0;
+        for &var in scope {
+            removed += domains
+                .domain_mut(var)
+                .retain(|v| self.evaluate(std::slice::from_ref(v)));
+        }
+        Ok(removed)
+    }
+}
+
+/// Binary constraint `dividend % divisor == 0` (the divisor evenly divides the
+/// dividend). Scope order: `[dividend, divisor]`.
+#[derive(Debug, Default)]
+pub struct Divides;
+
+impl Divides {
+    /// Build the constraint.
+    pub fn new() -> Self {
+        Divides
+    }
+}
+
+impl Constraint for Divides {
+    fn kind(&self) -> &'static str {
+        "Divides"
+    }
+
+    fn evaluate(&self, values: &[Value]) -> bool {
+        match (values[0].as_i64(), values[1].as_i64()) {
+            (Some(dividend), Some(divisor)) if divisor != 0 => dividend % divisor == 0,
+            _ => false,
+        }
+    }
+
+    fn check(
+        &self,
+        scope: &[usize],
+        assignment: &Assignment,
+        domains: &mut DomainStore,
+        forward_check: bool,
+    ) -> bool {
+        super::generic_check(self, scope, assignment, domains, forward_check)
+    }
+
+    fn preprocess(&self, scope: &[usize], domains: &mut DomainStore) -> CspResult<usize> {
+        if scope.len() != 2 {
+            return Ok(0);
+        }
+        let dividend_values: Vec<i64> = domains
+            .domain(scope[0])
+            .values()
+            .iter()
+            .filter_map(|v| v.as_i64())
+            .collect();
+        let divisor_values: Vec<i64> = domains
+            .domain(scope[1])
+            .values()
+            .iter()
+            .filter_map(|v| v.as_i64())
+            .collect();
+        // Every value must be numeric for sound pruning.
+        if dividend_values.len() != domains.domain(scope[0]).len()
+            || divisor_values.len() != domains.domain(scope[1]).len()
+        {
+            return Ok(0);
+        }
+        let mut removed = 0;
+        // A dividend value needs at least one divisor value dividing it.
+        removed += domains.domain_mut(scope[0]).retain(|v| {
+            let dividend = v.as_i64().expect("numeric");
+            divisor_values
+                .iter()
+                .any(|&d| d != 0 && dividend % d == 0)
+        });
+        // A divisor value needs at least one dividend value it divides.
+        removed += domains.domain_mut(scope[1]).retain(|v| {
+            let divisor = v.as_i64().expect("numeric");
+            divisor != 0 && dividend_values.iter().any(|&n| n % divisor == 0)
+        });
+        Ok(removed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::Domain;
+    use crate::value::int_values;
+
+    fn store(domains: Vec<Vec<i64>>) -> DomainStore {
+        let mut s = DomainStore::new();
+        for d in domains {
+            s.push(Domain::new(int_values(d)));
+        }
+        s
+    }
+
+    #[test]
+    fn modulo_equals_evaluate_and_preprocess() {
+        let c = ModuloEquals::new(16, 0);
+        assert!(c.evaluate(&int_values([32])));
+        assert!(!c.evaluate(&int_values([20])));
+        assert_eq!(c.modulus(), 16);
+        assert_eq!(c.remainder(), 0);
+        let mut doms = store(vec![vec![1, 8, 16, 24, 32, 48]]);
+        assert_eq!(c.preprocess(&[0], &mut doms).unwrap(), 3);
+        assert_eq!(doms.domain(0).values(), &int_values([16, 32, 48])[..]);
+    }
+
+    #[test]
+    fn modulo_equals_non_zero_remainder() {
+        let c = ModuloEquals::new(4, 1);
+        assert!(c.evaluate(&int_values([5])));
+        assert!(!c.evaluate(&int_values([4])));
+        assert!(!c.evaluate(&[Value::str("x")]));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn modulo_zero_panics() {
+        let _ = ModuloEquals::new(0, 0);
+    }
+
+    #[test]
+    fn divides_evaluate() {
+        let c = Divides::new();
+        assert!(c.evaluate(&int_values([32, 8])));
+        assert!(!c.evaluate(&int_values([32, 5])));
+        assert!(!c.evaluate(&int_values([32, 0])));
+    }
+
+    #[test]
+    fn divides_preprocess_prunes_both_sides() {
+        let c = Divides::new();
+        // dividend in {7, 8, 9}, divisor in {4, 5}: 7 and 9 have no divisor,
+        // 5 divides nothing.
+        let mut doms = store(vec![vec![7, 8, 9], vec![4, 5]]);
+        let removed = c.preprocess(&[0, 1], &mut doms).unwrap();
+        assert_eq!(removed, 3);
+        assert_eq!(doms.domain(0).values(), &int_values([8])[..]);
+        assert_eq!(doms.domain(1).values(), &int_values([4])[..]);
+    }
+
+    #[test]
+    fn divides_forward_checks_through_generic_path() {
+        let c = Divides::new();
+        let mut doms = store(vec![vec![12], vec![1, 2, 3, 4, 5, 6, 7, 8]]);
+        let mut a = Assignment::new(2);
+        a.assign(0, Value::Int(12));
+        assert!(c.check(&[0, 1], &a, &mut doms, true));
+        assert_eq!(doms.domain(1).values(), &int_values([1, 2, 3, 4, 6])[..]);
+    }
+
+    #[test]
+    fn divides_preprocess_skips_non_numeric_domains() {
+        let c = Divides::new();
+        let mut s = DomainStore::new();
+        s.push(Domain::new(vec![Value::str("a"), Value::Int(4)]));
+        s.push(Domain::new(int_values([2])));
+        assert_eq!(c.preprocess(&[0, 1], &mut s).unwrap(), 0);
+    }
+}

@@ -1,0 +1,115 @@
+//! Generic user-defined function constraints.
+//!
+//! This is the Rust analogue of Kernel Tuner's lambda-based constraints and
+//! python-constraint's `FunctionConstraint`: an arbitrary predicate over the
+//! scope values. Function constraints are the fallback when the expression
+//! parser cannot map a constraint onto one of the specific constraint types.
+
+use std::fmt;
+use std::sync::Arc;
+
+use super::Constraint;
+use crate::value::Value;
+
+/// Predicate signature for function constraints.
+pub type ConstraintFn = dyn Fn(&[Value]) -> bool + Send + Sync;
+
+/// A constraint defined by an arbitrary predicate over the scope values
+/// (given in scope order).
+#[derive(Clone)]
+pub struct FunctionConstraint {
+    func: Arc<ConstraintFn>,
+    label: String,
+}
+
+impl FunctionConstraint {
+    /// Wrap a predicate. The `label` is used in debug output only.
+    pub fn new<F>(func: F) -> Self
+    where
+        F: Fn(&[Value]) -> bool + Send + Sync + 'static,
+    {
+        FunctionConstraint {
+            func: Arc::new(func),
+            label: "<fn>".to_string(),
+        }
+    }
+
+    /// Wrap a predicate with a descriptive label (e.g. the source text).
+    pub fn with_label<F>(func: F, label: impl Into<String>) -> Self
+    where
+        F: Fn(&[Value]) -> bool + Send + Sync + 'static,
+    {
+        FunctionConstraint {
+            func: Arc::new(func),
+            label: label.into(),
+        }
+    }
+
+    /// The debug label.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+}
+
+impl fmt::Debug for FunctionConstraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FunctionConstraint")
+            .field("label", &self.label)
+            .finish()
+    }
+}
+
+impl Constraint for FunctionConstraint {
+    fn kind(&self) -> &'static str {
+        "Function"
+    }
+
+    fn evaluate(&self, values: &[Value]) -> bool {
+        (self.func)(values)
+    }
+
+    fn is_specific(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assignment::Assignment;
+    use crate::domain::{Domain, DomainStore};
+    use crate::value::int_values;
+
+    #[test]
+    fn evaluates_predicate() {
+        let c = FunctionConstraint::new(|vals: &[Value]| {
+            vals[0].as_i64().unwrap() * vals[1].as_i64().unwrap() >= 32
+        });
+        assert!(c.evaluate(&int_values([8, 4])));
+        assert!(!c.evaluate(&int_values([2, 4])));
+        assert_eq!(c.kind(), "Function");
+        assert!(!c.is_specific());
+    }
+
+    #[test]
+    fn forward_checking_through_generic_path() {
+        let c = FunctionConstraint::with_label(
+            |vals: &[Value]| vals[0].as_i64().unwrap() + vals[1].as_i64().unwrap() <= 5,
+            "x + y <= 5",
+        );
+        assert_eq!(c.label(), "x + y <= 5");
+        let mut doms = DomainStore::new();
+        doms.push(Domain::new(int_values([1, 2, 3])));
+        doms.push(Domain::new(int_values([1, 2, 3, 4, 5])));
+        let mut a = Assignment::new(2);
+        a.assign(0, Value::Int(3));
+        assert!(c.check(&[0, 1], &a, &mut doms, true));
+        assert_eq!(doms.domain(1).values(), &int_values([1, 2])[..]);
+    }
+
+    #[test]
+    fn debug_format_contains_label() {
+        let c = FunctionConstraint::with_label(|_| true, "always");
+        assert!(format!("{c:?}").contains("always"));
+    }
+}

@@ -1,0 +1,178 @@
+//! Set membership constraints (`InSet`, `NotInSet`) and fixed values.
+//!
+//! These arise from constraints such as `tile_size in (1, 2, 4)` or from
+//! conditional constraints whose condition has been constant-folded away
+//! (e.g. `sh_power == 1`). They are fully resolved during preprocessing.
+
+use std::collections::HashSet;
+
+use super::Constraint;
+use crate::domain::DomainStore;
+use crate::error::CspResult;
+use crate::value::Value;
+
+/// Every variable in the scope must take a value from the given set.
+#[derive(Debug)]
+pub struct InSet {
+    set: HashSet<Value>,
+}
+
+impl InSet {
+    /// Build from any iterator of values.
+    pub fn new<I: IntoIterator<Item = Value>>(values: I) -> Self {
+        InSet {
+            set: values.into_iter().collect(),
+        }
+    }
+
+    /// Number of allowed values.
+    pub fn len(&self) -> usize {
+        self.set.len()
+    }
+
+    /// True if the allowed set is empty (the constraint is unsatisfiable).
+    pub fn is_empty(&self) -> bool {
+        self.set.is_empty()
+    }
+}
+
+impl Constraint for InSet {
+    fn kind(&self) -> &'static str {
+        "InSet"
+    }
+
+    fn evaluate(&self, values: &[Value]) -> bool {
+        values.iter().all(|v| self.set.contains(v))
+    }
+
+    fn preprocess(&self, scope: &[usize], domains: &mut DomainStore) -> CspResult<usize> {
+        let mut removed = 0usize;
+        for &var in scope {
+            removed += domains.domain_mut(var).retain(|v| self.set.contains(v));
+        }
+        Ok(removed)
+    }
+}
+
+/// No variable in the scope may take a value from the given set.
+#[derive(Debug)]
+pub struct NotInSet {
+    set: HashSet<Value>,
+}
+
+impl NotInSet {
+    /// Build from any iterator of values.
+    pub fn new<I: IntoIterator<Item = Value>>(values: I) -> Self {
+        NotInSet {
+            set: values.into_iter().collect(),
+        }
+    }
+}
+
+impl Constraint for NotInSet {
+    fn kind(&self) -> &'static str {
+        "NotInSet"
+    }
+
+    fn evaluate(&self, values: &[Value]) -> bool {
+        values.iter().all(|v| !self.set.contains(v))
+    }
+
+    fn preprocess(&self, scope: &[usize], domains: &mut DomainStore) -> CspResult<usize> {
+        let mut removed = 0usize;
+        for &var in scope {
+            removed += domains.domain_mut(var).retain(|v| !self.set.contains(v));
+        }
+        Ok(removed)
+    }
+}
+
+/// A single variable is pinned to one exact value.
+#[derive(Debug)]
+pub struct FixedValue {
+    value: Value,
+}
+
+impl FixedValue {
+    /// Build `x == value`.
+    pub fn new(value: Value) -> Self {
+        FixedValue { value }
+    }
+
+    /// The pinned value.
+    pub fn value(&self) -> &Value {
+        &self.value
+    }
+}
+
+impl Constraint for FixedValue {
+    fn kind(&self) -> &'static str {
+        "FixedValue"
+    }
+
+    fn evaluate(&self, values: &[Value]) -> bool {
+        values.iter().all(|v| v == &self.value)
+    }
+
+    fn preprocess(&self, scope: &[usize], domains: &mut DomainStore) -> CspResult<usize> {
+        let mut removed = 0usize;
+        for &var in scope {
+            removed += domains.domain_mut(var).retain(|v| v == &self.value);
+        }
+        Ok(removed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::Domain;
+    use crate::value::int_values;
+
+    fn store(domains: Vec<Vec<i64>>) -> DomainStore {
+        let mut s = DomainStore::new();
+        for d in domains {
+            s.push(Domain::new(int_values(d)));
+        }
+        s
+    }
+
+    #[test]
+    fn in_set_evaluate_and_preprocess() {
+        let c = InSet::new(int_values([1, 2, 4]));
+        assert!(c.evaluate(&int_values([2, 4])));
+        assert!(!c.evaluate(&int_values([2, 3])));
+        assert_eq!(c.len(), 3);
+        assert!(!c.is_empty());
+        let mut doms = store(vec![vec![1, 2, 3, 4, 5]]);
+        assert_eq!(c.preprocess(&[0], &mut doms).unwrap(), 2);
+        assert_eq!(doms.domain(0).values(), &int_values([1, 2, 4])[..]);
+    }
+
+    #[test]
+    fn not_in_set() {
+        let c = NotInSet::new(int_values([3, 5]));
+        assert!(c.evaluate(&int_values([1, 2])));
+        assert!(!c.evaluate(&int_values([1, 3])));
+        let mut doms = store(vec![vec![1, 2, 3, 4, 5]]);
+        assert_eq!(c.preprocess(&[0], &mut doms).unwrap(), 2);
+    }
+
+    #[test]
+    fn fixed_value() {
+        let c = FixedValue::new(Value::Int(8));
+        assert!(c.evaluate(&int_values([8])));
+        assert!(!c.evaluate(&int_values([4])));
+        assert_eq!(c.value(), &Value::Int(8));
+        let mut doms = store(vec![vec![1, 4, 8, 16]]);
+        assert_eq!(c.preprocess(&[0], &mut doms).unwrap(), 3);
+        assert_eq!(doms.domain(0).values(), &int_values([8])[..]);
+    }
+
+    #[test]
+    fn in_set_with_strings() {
+        let c = InSet::new(vec![Value::str("on"), Value::str("off")]);
+        assert!(c.evaluate(&[Value::str("on")]));
+        assert!(!c.evaluate(&[Value::str("auto")]));
+    }
+}

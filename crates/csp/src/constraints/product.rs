@@ -1,0 +1,443 @@
+//! Product constraints: `MaxProduct`, `MinProduct` and `ExactProduct`.
+//!
+//! Products of tunable parameters are the single most common constraint shape
+//! in auto-tuning (e.g. *the thread block may not exceed 1024 threads*, *the
+//! tile must hold at least 32 elements*, *shared memory usage must fit*). The
+//! paper adds `MaxProduct`/`MinProduct` as specific constraints precisely
+//! because recognising them enables domain preprocessing and early partial
+//! rejection (Section 4.3.2).
+
+use std::sync::OnceLock;
+
+use super::{numeric_product, Constraint};
+use crate::assignment::Assignment;
+use crate::domain::DomainStore;
+use crate::error::CspResult;
+use crate::value::Value;
+
+/// Cached facts about the scope domains, established during preprocessing and
+/// reused for partial-assignment reasoning. Domains only ever shrink during
+/// the search, so these facts stay valid once computed.
+#[derive(Debug, Clone, Copy, Default)]
+struct ScopeFacts {
+    /// Every value of every scope domain is `>= 0`.
+    all_non_negative: bool,
+    /// Every value of every scope domain is `>= 1`.
+    all_ge_one: bool,
+}
+
+fn scope_facts(scope: &[usize], domains: &DomainStore) -> ScopeFacts {
+    let mut facts = ScopeFacts {
+        all_non_negative: true,
+        all_ge_one: true,
+    };
+    for &var in scope {
+        match domains.domain(var).numeric_min() {
+            Some(min) => {
+                if min < 0.0 {
+                    facts.all_non_negative = false;
+                }
+                if min < 1.0 {
+                    facts.all_ge_one = false;
+                }
+            }
+            None => {
+                facts.all_non_negative = false;
+                facts.all_ge_one = false;
+            }
+        }
+    }
+    facts
+}
+
+/// `prod(scope) <= limit` (or `< limit` when `strict`).
+#[derive(Debug)]
+pub struct MaxProduct {
+    limit: f64,
+    strict: bool,
+    facts: OnceLock<ScopeFacts>,
+}
+
+impl MaxProduct {
+    /// `prod(scope) <= limit`.
+    pub fn new(limit: f64) -> Self {
+        MaxProduct {
+            limit,
+            strict: false,
+            facts: OnceLock::new(),
+        }
+    }
+
+    /// `prod(scope) < limit`.
+    pub fn strict(limit: f64) -> Self {
+        MaxProduct {
+            limit,
+            strict: true,
+            facts: OnceLock::new(),
+        }
+    }
+
+    /// The product limit.
+    pub fn limit(&self) -> f64 {
+        self.limit
+    }
+
+    fn within(&self, product: f64) -> bool {
+        if self.strict {
+            product < self.limit
+        } else {
+            product <= self.limit
+        }
+    }
+}
+
+impl Constraint for MaxProduct {
+    fn kind(&self) -> &'static str {
+        "MaxProduct"
+    }
+
+    fn evaluate(&self, values: &[Value]) -> bool {
+        match numeric_product(values) {
+            Some(p) => self.within(p),
+            None => false,
+        }
+    }
+
+    fn check(
+        &self,
+        scope: &[usize],
+        assignment: &Assignment,
+        domains: &mut DomainStore,
+        forward_check: bool,
+    ) -> bool {
+        let facts = *self
+            .facts
+            .get_or_init(|| scope_facts(scope, domains));
+        // Early partial rejection: with every remaining factor >= 1 the
+        // product can only grow, so exceeding the limit now is fatal.
+        if facts.all_ge_one {
+            let mut partial = 1.0f64;
+            let mut missing = 0usize;
+            for &var in scope {
+                match assignment.get(var) {
+                    Some(v) => match v.as_f64() {
+                        Some(f) => partial *= f,
+                        None => return false,
+                    },
+                    None => missing += 1,
+                }
+            }
+            if !self.within(partial) {
+                return false;
+            }
+            if missing == 0 {
+                return true;
+            }
+        }
+        super::generic_check(self, scope, assignment, domains, forward_check)
+    }
+
+    fn preprocess(&self, scope: &[usize], domains: &mut DomainStore) -> CspResult<usize> {
+        let facts = scope_facts(scope, domains);
+        let _ = self.facts.set(facts);
+        if !facts.all_non_negative || scope.len() < 2 {
+            // With a unary scope the generic evaluation is already exact; with
+            // possible negative factors no sound one-sided pruning exists.
+            if scope.len() == 1 && facts.all_non_negative {
+                let removed = domains
+                    .domain_mut(scope[0])
+                    .retain(|v| v.as_f64().map(|f| self.within(f)).unwrap_or(false));
+                return Ok(removed);
+            }
+            return Ok(0);
+        }
+        // For each variable, the smallest possible product of the *other*
+        // variables bounds how large this variable's value may be.
+        let mins: Vec<f64> = scope
+            .iter()
+            .map(|&v| domains.domain(v).numeric_min().unwrap_or(0.0))
+            .collect();
+        let mut removed = 0usize;
+        for (i, &var) in scope.iter().enumerate() {
+            let others_min: f64 = mins
+                .iter()
+                .enumerate()
+                .filter(|(j, _)| *j != i)
+                .map(|(_, m)| *m)
+                .product();
+            removed += domains.domain_mut(var).retain(|v| match v.as_f64() {
+                Some(f) => self.within(f * others_min),
+                None => false,
+            });
+        }
+        Ok(removed)
+    }
+}
+
+/// `prod(scope) >= minimum` (or `> minimum` when `strict`).
+#[derive(Debug)]
+pub struct MinProduct {
+    minimum: f64,
+    strict: bool,
+    facts: OnceLock<ScopeFacts>,
+}
+
+impl MinProduct {
+    /// `prod(scope) >= minimum`.
+    pub fn new(minimum: f64) -> Self {
+        MinProduct {
+            minimum,
+            strict: false,
+            facts: OnceLock::new(),
+        }
+    }
+
+    /// `prod(scope) > minimum`.
+    pub fn strict(minimum: f64) -> Self {
+        MinProduct {
+            minimum,
+            strict: true,
+            facts: OnceLock::new(),
+        }
+    }
+
+    /// The product minimum.
+    pub fn minimum(&self) -> f64 {
+        self.minimum
+    }
+
+    fn within(&self, product: f64) -> bool {
+        if self.strict {
+            product > self.minimum
+        } else {
+            product >= self.minimum
+        }
+    }
+}
+
+impl Constraint for MinProduct {
+    fn kind(&self) -> &'static str {
+        "MinProduct"
+    }
+
+    fn evaluate(&self, values: &[Value]) -> bool {
+        match numeric_product(values) {
+            Some(p) => self.within(p),
+            None => false,
+        }
+    }
+
+    fn check(
+        &self,
+        scope: &[usize],
+        assignment: &Assignment,
+        domains: &mut DomainStore,
+        forward_check: bool,
+    ) -> bool {
+        let facts = *self.facts.get_or_init(|| scope_facts(scope, domains));
+        if facts.all_non_negative {
+            // Upper-bound the achievable product: assigned values times the
+            // domain maxima of the unassigned variables.
+            let mut bound = 1.0f64;
+            let mut missing = 0usize;
+            let mut ok = true;
+            for &var in scope {
+                match assignment.get(var) {
+                    Some(v) => match v.as_f64() {
+                        Some(f) => bound *= f,
+                        None => return false,
+                    },
+                    None => {
+                        missing += 1;
+                        match domains.domain(var).numeric_max() {
+                            Some(m) => bound *= m,
+                            None => ok = false,
+                        }
+                    }
+                }
+            }
+            if ok && !self.within(bound) {
+                return false;
+            }
+            if missing == 0 {
+                return true;
+            }
+        }
+        super::generic_check(self, scope, assignment, domains, forward_check)
+    }
+
+    fn preprocess(&self, scope: &[usize], domains: &mut DomainStore) -> CspResult<usize> {
+        let facts = scope_facts(scope, domains);
+        let _ = self.facts.set(facts);
+        if !facts.all_non_negative {
+            return Ok(0);
+        }
+        if scope.len() == 1 {
+            let removed = domains
+                .domain_mut(scope[0])
+                .retain(|v| v.as_f64().map(|f| self.within(f)).unwrap_or(false));
+            return Ok(removed);
+        }
+        let maxs: Vec<f64> = scope
+            .iter()
+            .map(|&v| domains.domain(v).numeric_max().unwrap_or(0.0))
+            .collect();
+        let mut removed = 0usize;
+        for (i, &var) in scope.iter().enumerate() {
+            let others_max: f64 = maxs
+                .iter()
+                .enumerate()
+                .filter(|(j, _)| *j != i)
+                .map(|(_, m)| *m)
+                .product();
+            removed += domains.domain_mut(var).retain(|v| match v.as_f64() {
+                Some(f) => self.within(f * others_max),
+                None => false,
+            });
+        }
+        Ok(removed)
+    }
+}
+
+/// `prod(scope) == target`.
+#[derive(Debug)]
+pub struct ExactProduct {
+    target: f64,
+}
+
+impl ExactProduct {
+    /// `prod(scope) == target`.
+    pub fn new(target: f64) -> Self {
+        ExactProduct { target }
+    }
+
+    /// The required product.
+    pub fn target(&self) -> f64 {
+        self.target
+    }
+}
+
+impl Constraint for ExactProduct {
+    fn kind(&self) -> &'static str {
+        "ExactProduct"
+    }
+
+    fn evaluate(&self, values: &[Value]) -> bool {
+        match numeric_product(values) {
+            Some(p) => p == self.target,
+            None => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::Domain;
+    use crate::value::int_values;
+
+    fn store(domains: Vec<Vec<i64>>) -> DomainStore {
+        let mut s = DomainStore::new();
+        for d in domains {
+            s.push(Domain::new(int_values(d)));
+        }
+        s
+    }
+
+    #[test]
+    fn max_product_evaluate() {
+        let c = MaxProduct::new(1024.0);
+        assert!(c.evaluate(&int_values([32, 32])));
+        assert!(!c.evaluate(&int_values([64, 32])));
+        assert!(MaxProduct::strict(1024.0).evaluate(&int_values([31, 32])));
+        assert!(!MaxProduct::strict(1024.0).evaluate(&int_values([32, 32])));
+        assert!(!c.evaluate(&[Value::str("x"), Value::Int(2)]));
+    }
+
+    #[test]
+    fn min_product_evaluate() {
+        let c = MinProduct::new(32.0);
+        assert!(c.evaluate(&int_values([8, 4])));
+        assert!(!c.evaluate(&int_values([2, 4])));
+        assert!(!MinProduct::strict(32.0).evaluate(&int_values([8, 4])));
+    }
+
+    #[test]
+    fn exact_product_evaluate() {
+        let c = ExactProduct::new(64.0);
+        assert!(c.evaluate(&int_values([8, 8])));
+        assert!(!c.evaluate(&int_values([8, 4])));
+        assert_eq!(c.target(), 64.0);
+    }
+
+    #[test]
+    fn max_product_preprocess_prunes() {
+        let c = MaxProduct::new(64.0);
+        let mut doms = store(vec![vec![1, 16, 32, 128], vec![2, 4]]);
+        let removed = c.preprocess(&[0, 1], &mut doms).unwrap();
+        // 128 * min(2) = 256 > 64 must go; 32*2=64 stays.
+        assert_eq!(removed, 1);
+        assert_eq!(doms.domain(0).values(), &int_values([1, 16, 32])[..]);
+    }
+
+    #[test]
+    fn min_product_preprocess_prunes() {
+        let c = MinProduct::new(64.0);
+        let mut doms = store(vec![vec![1, 2, 16, 32], vec![2, 4]]);
+        let removed = c.preprocess(&[0, 1], &mut doms).unwrap();
+        // value * max_other(4) >= 64 required → 1*4 and 2*4 go.
+        assert_eq!(removed, 2);
+        assert_eq!(doms.domain(0).values(), &int_values([16, 32])[..]);
+    }
+
+    #[test]
+    fn max_product_no_prune_with_negatives() {
+        let c = MaxProduct::new(10.0);
+        let mut doms = store(vec![vec![-5, 100], vec![2, 4]]);
+        let removed = c.preprocess(&[0, 1], &mut doms).unwrap();
+        assert_eq!(removed, 0);
+    }
+
+    #[test]
+    fn max_product_partial_rejection() {
+        let c = MaxProduct::new(1024.0);
+        let mut doms = store(vec![vec![32, 64], vec![32, 64], vec![1, 2]]);
+        c.preprocess(&[0, 1, 2], &mut doms).unwrap();
+        let mut a = Assignment::new(3);
+        a.assign(0, Value::Int(64));
+        a.assign(1, Value::Int(64));
+        // 64*64 = 4096 > 1024 already: rejected with a variable still missing.
+        assert!(!c.check(&[0, 1, 2], &a, &mut doms, false));
+    }
+
+    #[test]
+    fn min_product_partial_bound_rejection() {
+        let c = MinProduct::new(1000.0);
+        let mut doms = store(vec![vec![1, 2], vec![1, 2], vec![1, 4]]);
+        let mut a = Assignment::new(3);
+        a.assign(0, Value::Int(1));
+        a.assign(1, Value::Int(2));
+        // best case 1*2*4 = 8 < 1000: reject early.
+        assert!(!c.check(&[0, 1, 2], &a, &mut doms, false));
+    }
+
+    #[test]
+    fn unary_scope_preprocess() {
+        let c = MaxProduct::new(8.0);
+        let mut doms = store(vec![vec![1, 4, 8, 16]]);
+        let removed = c.preprocess(&[0], &mut doms).unwrap();
+        assert_eq!(removed, 1);
+        assert_eq!(doms.domain(0).values(), &int_values([1, 4, 8])[..]);
+    }
+
+    #[test]
+    fn forward_check_still_works() {
+        let c = MaxProduct::new(64.0);
+        let mut doms = store(vec![vec![4], vec![4, 8, 16, 32]]);
+        c.preprocess(&[0, 1], &mut doms).unwrap();
+        let mut a = Assignment::new(2);
+        a.assign(0, Value::Int(4));
+        assert!(c.check(&[0, 1], &a, &mut doms, true));
+        assert_eq!(doms.domain(1).values(), &int_values([4, 8, 16])[..]);
+    }
+}

@@ -1,0 +1,415 @@
+//! Sum constraints: `MaxSum`, `MinSum` and `ExactSum`, with optional weights.
+//!
+//! Weighted sums express resource budgets such as *total shared memory used
+//! by all buffers must fit in 48 KiB* or register-count limits.
+
+use std::sync::OnceLock;
+
+use super::{numeric_sum, Constraint};
+use crate::assignment::Assignment;
+use crate::domain::DomainStore;
+use crate::error::CspResult;
+use crate::value::Value;
+
+fn weighted(values: &[Value], weights: Option<&[f64]>) -> Option<f64> {
+    match weights {
+        None => numeric_sum(values),
+        Some(w) => values
+            .iter()
+            .zip(w.iter())
+            .try_fold(0.0, |acc, (v, w)| Some(acc + v.as_f64()? * w)),
+    }
+}
+
+fn all_non_negative(scope: &[usize], domains: &DomainStore, weights: Option<&[f64]>) -> bool {
+    scope.iter().enumerate().all(|(i, &var)| {
+        let w = weights.map(|w| w[i]).unwrap_or(1.0);
+        match domains.domain(var).numeric_min() {
+            Some(min) => min * w >= 0.0 && w >= 0.0,
+            None => false,
+        }
+    })
+}
+
+/// `sum(w_i * x_i) <= limit` (or `<` when strict).
+#[derive(Debug)]
+pub struct MaxSum {
+    limit: f64,
+    strict: bool,
+    weights: Option<Vec<f64>>,
+    non_negative: OnceLock<bool>,
+}
+
+impl MaxSum {
+    /// `sum(scope) <= limit`.
+    pub fn new(limit: f64) -> Self {
+        MaxSum {
+            limit,
+            strict: false,
+            weights: None,
+            non_negative: OnceLock::new(),
+        }
+    }
+
+    /// `sum(scope) < limit`.
+    pub fn strict(limit: f64) -> Self {
+        MaxSum {
+            strict: true,
+            ..MaxSum::new(limit)
+        }
+    }
+
+    /// Weighted variant: `sum(w_i * x_i) <= limit`.
+    pub fn weighted(limit: f64, weights: Vec<f64>) -> Self {
+        MaxSum {
+            weights: Some(weights),
+            ..MaxSum::new(limit)
+        }
+    }
+
+    /// The sum limit.
+    pub fn limit(&self) -> f64 {
+        self.limit
+    }
+
+    fn within(&self, sum: f64) -> bool {
+        if self.strict {
+            sum < self.limit
+        } else {
+            sum <= self.limit
+        }
+    }
+}
+
+impl Constraint for MaxSum {
+    fn kind(&self) -> &'static str {
+        "MaxSum"
+    }
+
+    fn evaluate(&self, values: &[Value]) -> bool {
+        match weighted(values, self.weights.as_deref()) {
+            Some(s) => self.within(s),
+            None => false,
+        }
+    }
+
+    fn check(
+        &self,
+        scope: &[usize],
+        assignment: &Assignment,
+        domains: &mut DomainStore,
+        forward_check: bool,
+    ) -> bool {
+        let non_negative = *self
+            .non_negative
+            .get_or_init(|| all_non_negative(scope, domains, self.weights.as_deref()));
+        if non_negative {
+            // Remaining terms can only add: reject once the partial sum exceeds the limit.
+            let mut partial = 0.0f64;
+            let mut missing = 0usize;
+            for (i, &var) in scope.iter().enumerate() {
+                let w = self.weights.as_ref().map(|w| w[i]).unwrap_or(1.0);
+                match assignment.get(var) {
+                    Some(v) => match v.as_f64() {
+                        Some(f) => partial += f * w,
+                        None => return false,
+                    },
+                    None => missing += 1,
+                }
+            }
+            if !self.within(partial) {
+                return false;
+            }
+            if missing == 0 {
+                return true;
+            }
+        }
+        super::generic_check(self, scope, assignment, domains, forward_check)
+    }
+
+    fn preprocess(&self, scope: &[usize], domains: &mut DomainStore) -> CspResult<usize> {
+        let non_negative = all_non_negative(scope, domains, self.weights.as_deref());
+        let _ = self.non_negative.set(non_negative);
+        if !non_negative {
+            return Ok(0);
+        }
+        let mins: Vec<f64> = scope
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| {
+                let w = self.weights.as_ref().map(|w| w[i]).unwrap_or(1.0);
+                domains.domain(v).numeric_min().unwrap_or(0.0) * w
+            })
+            .collect();
+        let total_min: f64 = mins.iter().sum();
+        let mut removed = 0usize;
+        for (i, &var) in scope.iter().enumerate() {
+            let w = self.weights.as_ref().map(|w| w[i]).unwrap_or(1.0);
+            let others_min = total_min - mins[i];
+            removed += domains.domain_mut(var).retain(|v| match v.as_f64() {
+                Some(f) => self.within(f * w + others_min),
+                None => false,
+            });
+        }
+        Ok(removed)
+    }
+}
+
+/// `sum(w_i * x_i) >= minimum` (or `>` when strict).
+#[derive(Debug)]
+pub struct MinSum {
+    minimum: f64,
+    strict: bool,
+    weights: Option<Vec<f64>>,
+}
+
+impl MinSum {
+    /// `sum(scope) >= minimum`.
+    pub fn new(minimum: f64) -> Self {
+        MinSum {
+            minimum,
+            strict: false,
+            weights: None,
+        }
+    }
+
+    /// `sum(scope) > minimum`.
+    pub fn strict(minimum: f64) -> Self {
+        MinSum {
+            strict: true,
+            ..MinSum::new(minimum)
+        }
+    }
+
+    /// Weighted variant: `sum(w_i * x_i) >= minimum`.
+    pub fn weighted(minimum: f64, weights: Vec<f64>) -> Self {
+        MinSum {
+            weights: Some(weights),
+            ..MinSum::new(minimum)
+        }
+    }
+
+    /// The sum minimum.
+    pub fn minimum(&self) -> f64 {
+        self.minimum
+    }
+
+    fn within(&self, sum: f64) -> bool {
+        if self.strict {
+            sum > self.minimum
+        } else {
+            sum >= self.minimum
+        }
+    }
+}
+
+impl Constraint for MinSum {
+    fn kind(&self) -> &'static str {
+        "MinSum"
+    }
+
+    fn evaluate(&self, values: &[Value]) -> bool {
+        match weighted(values, self.weights.as_deref()) {
+            Some(s) => self.within(s),
+            None => false,
+        }
+    }
+
+    fn check(
+        &self,
+        scope: &[usize],
+        assignment: &Assignment,
+        domains: &mut DomainStore,
+        forward_check: bool,
+    ) -> bool {
+        // Upper-bound the achievable sum with the domain maxima of the
+        // unassigned variables; if even that misses the minimum, reject.
+        let mut bound = 0.0f64;
+        let mut missing = 0usize;
+        let mut bound_valid = true;
+        for (i, &var) in scope.iter().enumerate() {
+            let w = self.weights.as_ref().map(|w| w[i]).unwrap_or(1.0);
+            match assignment.get(var) {
+                Some(v) => match v.as_f64() {
+                    Some(f) => bound += f * w,
+                    None => return false,
+                },
+                None => {
+                    missing += 1;
+                    let extreme = if w >= 0.0 {
+                        domains.domain(var).numeric_max()
+                    } else {
+                        domains.domain(var).numeric_min()
+                    };
+                    match extreme {
+                        Some(m) => bound += m * w,
+                        None => bound_valid = false,
+                    }
+                }
+            }
+        }
+        if bound_valid && !self.within(bound) {
+            return false;
+        }
+        if missing == 0 {
+            return true;
+        }
+        super::generic_check(self, scope, assignment, domains, forward_check)
+    }
+
+    fn preprocess(&self, scope: &[usize], domains: &mut DomainStore) -> CspResult<usize> {
+        if scope.len() != 1 {
+            return Ok(0);
+        }
+        let w = self.weights.as_ref().map(|w| w[0]).unwrap_or(1.0);
+        let removed = domains.domain_mut(scope[0]).retain(|v| match v.as_f64() {
+            Some(f) => self.within(f * w),
+            None => false,
+        });
+        Ok(removed)
+    }
+}
+
+/// `sum(w_i * x_i) == target`.
+#[derive(Debug)]
+pub struct ExactSum {
+    target: f64,
+    weights: Option<Vec<f64>>,
+}
+
+impl ExactSum {
+    /// `sum(scope) == target`.
+    pub fn new(target: f64) -> Self {
+        ExactSum {
+            target,
+            weights: None,
+        }
+    }
+
+    /// Weighted variant.
+    pub fn weighted(target: f64, weights: Vec<f64>) -> Self {
+        ExactSum {
+            target,
+            weights: Some(weights),
+        }
+    }
+
+    /// The required sum.
+    pub fn target(&self) -> f64 {
+        self.target
+    }
+}
+
+impl Constraint for ExactSum {
+    fn kind(&self) -> &'static str {
+        "ExactSum"
+    }
+
+    fn evaluate(&self, values: &[Value]) -> bool {
+        match weighted(values, self.weights.as_deref()) {
+            Some(s) => s == self.target,
+            None => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::Domain;
+    use crate::value::int_values;
+
+    fn store(domains: Vec<Vec<i64>>) -> DomainStore {
+        let mut s = DomainStore::new();
+        for d in domains {
+            s.push(Domain::new(int_values(d)));
+        }
+        s
+    }
+
+    #[test]
+    fn max_sum_evaluate() {
+        let c = MaxSum::new(10.0);
+        assert!(c.evaluate(&int_values([4, 6])));
+        assert!(!c.evaluate(&int_values([5, 6])));
+        assert!(!MaxSum::strict(10.0).evaluate(&int_values([4, 6])));
+    }
+
+    #[test]
+    fn weighted_max_sum() {
+        // 4*x + 2*y <= 20
+        let c = MaxSum::weighted(20.0, vec![4.0, 2.0]);
+        assert!(c.evaluate(&int_values([3, 4])));
+        assert!(!c.evaluate(&int_values([4, 3])));
+    }
+
+    #[test]
+    fn min_sum_evaluate() {
+        let c = MinSum::new(5.0);
+        assert!(c.evaluate(&int_values([2, 3])));
+        assert!(!c.evaluate(&int_values([1, 3])));
+        assert!(!MinSum::strict(5.0).evaluate(&int_values([2, 3])));
+        assert_eq!(c.minimum(), 5.0);
+    }
+
+    #[test]
+    fn exact_sum_evaluate() {
+        let c = ExactSum::new(6.0);
+        assert!(c.evaluate(&int_values([2, 4])));
+        assert!(!c.evaluate(&int_values([2, 5])));
+        let w = ExactSum::weighted(10.0, vec![2.0, 1.0]);
+        assert!(w.evaluate(&int_values([3, 4])));
+    }
+
+    #[test]
+    fn max_sum_preprocess_prunes() {
+        let c = MaxSum::new(10.0);
+        let mut doms = store(vec![vec![1, 5, 9, 12], vec![2, 4]]);
+        let removed = c.preprocess(&[0, 1], &mut doms).unwrap();
+        // others_min = 2, so 9 + 2 = 11 > 10 and 12 + 2 go.
+        assert_eq!(removed, 2);
+        assert_eq!(doms.domain(0).values(), &int_values([1, 5])[..]);
+    }
+
+    #[test]
+    fn max_sum_partial_rejection() {
+        let c = MaxSum::new(10.0);
+        let mut doms = store(vec![vec![6], vec![6], vec![1, 2]]);
+        c.preprocess(&[0, 1, 2], &mut doms).unwrap();
+        let mut a = Assignment::new(3);
+        a.assign(0, Value::Int(6));
+        a.assign(1, Value::Int(6));
+        assert!(!c.check(&[0, 1, 2], &a, &mut doms, false));
+    }
+
+    #[test]
+    fn min_sum_bound_rejection() {
+        let c = MinSum::new(100.0);
+        let mut doms = store(vec![vec![1, 2], vec![1, 2], vec![1, 5]]);
+        let mut a = Assignment::new(3);
+        a.assign(0, Value::Int(2));
+        // best case 2 + 2 + 5 = 9 < 100
+        assert!(!c.check(&[0, 1, 2], &a, &mut doms, false));
+    }
+
+    #[test]
+    fn no_prune_with_negative_values() {
+        let c = MaxSum::new(5.0);
+        let mut doms = store(vec![vec![-10, 20], vec![1, 2]]);
+        assert_eq!(c.preprocess(&[0, 1], &mut doms).unwrap(), 0);
+    }
+
+    #[test]
+    fn non_numeric_rejects() {
+        let c = MaxSum::new(5.0);
+        assert!(!c.evaluate(&[Value::str("a"), Value::Int(1)]));
+    }
+
+    #[test]
+    fn min_sum_unary_preprocess() {
+        let c = MinSum::new(4.0);
+        let mut doms = store(vec![vec![1, 2, 4, 8]]);
+        assert_eq!(c.preprocess(&[0], &mut doms).unwrap(), 2);
+        assert_eq!(doms.domain(0).values(), &int_values([4, 8])[..]);
+    }
+}

@@ -1,0 +1,192 @@
+//! Table (extension) constraints: explicitly allowed or forbidden tuples.
+//!
+//! Some tuning dependencies are easiest to state by simply listing the
+//! combinations that are allowed (for example, the three legal
+//! `(vector_width, element_type)` pairs a kernel supports) or forbidden
+//! (combinations known to miscompile). ConfigSpace calls the latter
+//! *forbidden clauses*; CSP literature calls both *extension* constraints.
+
+use rustc_hash::FxHashSet;
+
+use super::Constraint;
+use crate::domain::DomainStore;
+use crate::error::CspResult;
+use crate::value::Value;
+
+/// Only the listed tuples are allowed (values in scope order).
+#[derive(Debug)]
+pub struct AllowedTuples {
+    tuples: FxHashSet<Vec<Value>>,
+    arity: usize,
+}
+
+impl AllowedTuples {
+    /// Create the constraint from the allowed tuples. All tuples must have the
+    /// same length, which must match the scope the constraint is attached to.
+    pub fn new(tuples: impl IntoIterator<Item = Vec<Value>>) -> Self {
+        let tuples: FxHashSet<Vec<Value>> = tuples.into_iter().collect();
+        let arity = tuples.iter().map(|t| t.len()).next().unwrap_or(0);
+        debug_assert!(tuples.iter().all(|t| t.len() == arity));
+        AllowedTuples { tuples, arity }
+    }
+
+    /// Number of allowed tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// True when no tuple is allowed (the constraint is unsatisfiable).
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+}
+
+impl Constraint for AllowedTuples {
+    fn kind(&self) -> &'static str {
+        "AllowedTuples"
+    }
+
+    fn evaluate(&self, values: &[Value]) -> bool {
+        values.len() == self.arity && self.tuples.contains(values)
+    }
+
+    fn preprocess(&self, scope: &[usize], domains: &mut DomainStore) -> CspResult<usize> {
+        if scope.len() != self.arity {
+            return Ok(0);
+        }
+        // A domain value is only useful if it appears at that position in at
+        // least one allowed tuple.
+        let mut removed = 0usize;
+        for (pos, &var) in scope.iter().enumerate() {
+            removed += domains
+                .domain_mut(var)
+                .retain(|v| self.tuples.iter().any(|t| &t[pos] == v));
+        }
+        Ok(removed)
+    }
+}
+
+/// The listed tuples are forbidden (values in scope order); everything else is
+/// allowed.
+#[derive(Debug)]
+pub struct ForbiddenTuples {
+    tuples: FxHashSet<Vec<Value>>,
+    arity: usize,
+}
+
+impl ForbiddenTuples {
+    /// Create the constraint from the forbidden tuples.
+    pub fn new(tuples: impl IntoIterator<Item = Vec<Value>>) -> Self {
+        let tuples: FxHashSet<Vec<Value>> = tuples.into_iter().collect();
+        let arity = tuples.iter().map(|t| t.len()).next().unwrap_or(0);
+        debug_assert!(tuples.iter().all(|t| t.len() == arity));
+        ForbiddenTuples { tuples, arity }
+    }
+
+    /// Number of forbidden tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// True when nothing is forbidden (the constraint is trivially satisfied).
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+}
+
+impl Constraint for ForbiddenTuples {
+    fn kind(&self) -> &'static str {
+        "ForbiddenTuples"
+    }
+
+    fn evaluate(&self, values: &[Value]) -> bool {
+        values.len() != self.arity || !self.tuples.contains(values)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domain::Domain;
+    use crate::prelude::*;
+    use crate::value::int_values;
+
+    fn allowed() -> AllowedTuples {
+        AllowedTuples::new(vec![
+            int_values([1, 2]),
+            int_values([2, 4]),
+            int_values([4, 8]),
+        ])
+    }
+
+    #[test]
+    fn allowed_tuples_evaluate() {
+        let c = allowed();
+        assert_eq!(c.len(), 3);
+        assert!(!c.is_empty());
+        assert!(c.evaluate(&int_values([2, 4])));
+        assert!(!c.evaluate(&int_values([2, 8])));
+        assert!(!c.evaluate(&int_values([2])));
+    }
+
+    #[test]
+    fn allowed_tuples_preprocess_projects_domains() {
+        let c = allowed();
+        let mut domains = DomainStore::new();
+        domains.push(Domain::new(int_values([1, 2, 3, 4])));
+        domains.push(Domain::new(int_values([2, 4, 6, 8])));
+        let removed = c.preprocess(&[0, 1], &mut domains).unwrap();
+        assert_eq!(removed, 2); // 3 from the first domain, 6 from the second
+        assert_eq!(domains.domain(0).values(), &int_values([1, 2, 4])[..]);
+        assert_eq!(domains.domain(1).values(), &int_values([2, 4, 8])[..]);
+    }
+
+    #[test]
+    fn forbidden_tuples_evaluate() {
+        let c = ForbiddenTuples::new(vec![int_values([1, 1]), int_values([2, 2])]);
+        assert_eq!(c.len(), 2);
+        assert!(!c.is_empty());
+        assert!(c.evaluate(&int_values([1, 2])));
+        assert!(!c.evaluate(&int_values([2, 2])));
+        // arity mismatch: the constraint cannot apply, so it does not reject
+        assert!(c.evaluate(&int_values([2])));
+    }
+
+    #[test]
+    fn empty_allowed_set_is_unsatisfiable_in_a_problem() {
+        let mut p = Problem::new();
+        p.add_variable("x", int_values([1, 2])).unwrap();
+        p.add_variable("y", int_values([1, 2])).unwrap();
+        p.add_constraint(AllowedTuples::new(Vec::<Vec<Value>>::new()), &["x", "y"])
+            .unwrap();
+        let r = OptimizedSolver::new().solve(&p).unwrap();
+        assert!(r.solutions.is_empty());
+    }
+
+    #[test]
+    fn table_constraints_agree_with_brute_force() {
+        let mut p = Problem::new();
+        p.add_variable("vector_width", int_values([1, 2, 4, 8])).unwrap();
+        p.add_variable("elements_per_thread", int_values([1, 2, 4])).unwrap();
+        p.add_constraint(
+            AllowedTuples::new(vec![
+                int_values([1, 1]),
+                int_values([2, 2]),
+                int_values([4, 2]),
+                int_values([4, 4]),
+                int_values([8, 4]),
+            ]),
+            &["vector_width", "elements_per_thread"],
+        )
+        .unwrap();
+        p.add_constraint(
+            ForbiddenTuples::new(vec![int_values([8, 4])]),
+            &["vector_width", "elements_per_thread"],
+        )
+        .unwrap();
+        let bf = BruteForceSolver::new().solve(&p).unwrap();
+        let opt = OptimizedSolver::new().solve(&p).unwrap();
+        assert_eq!(bf.solutions.len(), 4);
+        assert!(bf.solutions.same_solutions(&opt.solutions));
+    }
+}

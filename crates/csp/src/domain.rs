@@ -1,0 +1,322 @@
+//! Finite variable domains with hide/restore support for forward checking.
+//!
+//! A [`Domain`] is an ordered list of candidate [`Value`]s for one variable.
+//! During search, forward checking temporarily *hides* values that are
+//! incompatible with the current partial assignment; on backtrack the hidden
+//! values are restored. This mirrors the `Domain` class of python-constraint
+//! (`pushState` / `popState` / `hideValue`).
+
+use crate::value::Value;
+
+/// The domain of a single variable.
+#[derive(Debug, Clone)]
+pub struct Domain {
+    values: Vec<Value>,
+    hidden: Vec<Value>,
+    states: Vec<usize>,
+}
+
+impl Domain {
+    /// Create a domain from a list of values. Duplicate values are retained
+    /// (problem construction is responsible for deduplication if desired).
+    pub fn new(values: Vec<Value>) -> Self {
+        Domain {
+            values,
+            hidden: Vec::new(),
+            states: Vec::new(),
+        }
+    }
+
+    /// Currently visible values.
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// Number of currently visible values.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when no values are currently visible.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Whether the (visible) domain contains `value`.
+    pub fn contains(&self, value: &Value) -> bool {
+        self.values.iter().any(|v| v == value)
+    }
+
+    /// Permanently remove a value (used by preprocessing).
+    /// Returns `true` if a value was removed.
+    pub fn remove(&mut self, value: &Value) -> bool {
+        if let Some(pos) = self.values.iter().position(|v| v == value) {
+            self.values.remove(pos);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Permanently retain only values for which the predicate holds.
+    /// Returns the number of removed values.
+    pub fn retain<F: FnMut(&Value) -> bool>(&mut self, mut pred: F) -> usize {
+        let before = self.values.len();
+        self.values.retain(|v| pred(v));
+        before - self.values.len()
+    }
+
+    /// Record a restore point for [`Domain::pop_state`].
+    pub fn push_state(&mut self) {
+        self.states.push(self.hidden.len());
+    }
+
+    /// Restore all values hidden since the matching [`Domain::push_state`].
+    pub fn pop_state(&mut self) {
+        let mark = self.states.pop().unwrap_or(0);
+        while self.hidden.len() > mark {
+            let v = self.hidden.pop().expect("hidden not empty");
+            self.values.push(v);
+        }
+    }
+
+    /// Temporarily hide `value` until the enclosing state is popped.
+    /// Returns `true` if the value was present and is now hidden.
+    pub fn hide_value(&mut self, value: &Value) -> bool {
+        if let Some(pos) = self.values.iter().position(|v| v == value) {
+            let v = self.values.remove(pos);
+            self.hidden.push(v);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Hide all values for which the predicate returns `false`.
+    /// Returns `true` if at least one value remains visible afterwards.
+    pub fn hide_where<F: FnMut(&Value) -> bool>(&mut self, mut keep: F) -> bool {
+        let mut i = 0;
+        while i < self.values.len() {
+            if keep(&self.values[i]) {
+                i += 1;
+            } else {
+                let v = self.values.remove(i);
+                self.hidden.push(v);
+            }
+        }
+        !self.values.is_empty()
+    }
+
+    /// Reset the domain, restoring every hidden value and dropping states.
+    pub fn reset(&mut self) {
+        while let Some(v) = self.hidden.pop() {
+            self.values.push(v);
+        }
+        self.states.clear();
+    }
+
+    /// Minimum numeric value in the visible domain, if all values are numeric.
+    pub fn numeric_min(&self) -> Option<f64> {
+        self.values
+            .iter()
+            .map(|v| v.as_f64())
+            .try_fold(f64::INFINITY, |acc, v| v.map(|v| acc.min(v)))
+            .filter(|_| !self.values.is_empty())
+    }
+
+    /// Maximum numeric value in the visible domain, if all values are numeric.
+    pub fn numeric_max(&self) -> Option<f64> {
+        self.values
+            .iter()
+            .map(|v| v.as_f64())
+            .try_fold(f64::NEG_INFINITY, |acc, v| v.map(|v| acc.max(v)))
+            .filter(|_| !self.values.is_empty())
+    }
+}
+
+/// The set of domains of all variables in a problem, indexed by variable id.
+#[derive(Debug, Clone, Default)]
+pub struct DomainStore {
+    domains: Vec<Domain>,
+}
+
+impl DomainStore {
+    /// Create an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Create a store from per-variable domains in variable-id order.
+    pub fn from_domains(domains: Vec<Domain>) -> Self {
+        DomainStore { domains }
+    }
+
+    /// Add a domain, returning its variable id.
+    pub fn push(&mut self, domain: Domain) -> usize {
+        self.domains.push(domain);
+        self.domains.len() - 1
+    }
+
+    /// Number of variables.
+    pub fn len(&self) -> usize {
+        self.domains.len()
+    }
+
+    /// True when the store holds no variables.
+    pub fn is_empty(&self) -> bool {
+        self.domains.is_empty()
+    }
+
+    /// Domain of variable `var`.
+    pub fn domain(&self, var: usize) -> &Domain {
+        &self.domains[var]
+    }
+
+    /// Mutable domain of variable `var`.
+    pub fn domain_mut(&mut self, var: usize) -> &mut Domain {
+        &mut self.domains[var]
+    }
+
+    /// Iterate over `(variable id, domain)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &Domain)> {
+        self.domains.iter().enumerate()
+    }
+
+    /// Product of visible domain sizes (the Cartesian size), saturating.
+    pub fn cartesian_size(&self) -> u128 {
+        self.domains
+            .iter()
+            .map(|d| d.len() as u128)
+            .fold(1u128, |a, b| a.saturating_mul(b))
+    }
+
+    /// Push a restore state on every domain.
+    pub fn push_state_all(&mut self) {
+        for d in &mut self.domains {
+            d.push_state();
+        }
+    }
+
+    /// Pop a restore state from every domain.
+    pub fn pop_state_all(&mut self) {
+        for d in &mut self.domains {
+            d.pop_state();
+        }
+    }
+
+    /// Reset every domain.
+    pub fn reset_all(&mut self) {
+        for d in &mut self.domains {
+            d.reset();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::int_values;
+
+    #[test]
+    fn basic_accessors() {
+        let d = Domain::new(int_values([1, 2, 3]));
+        assert_eq!(d.len(), 3);
+        assert!(!d.is_empty());
+        assert!(d.contains(&Value::Int(2)));
+        assert!(!d.contains(&Value::Int(9)));
+        assert_eq!(d.numeric_min(), Some(1.0));
+        assert_eq!(d.numeric_max(), Some(3.0));
+    }
+
+    #[test]
+    fn hide_and_restore() {
+        let mut d = Domain::new(int_values([1, 2, 3, 4]));
+        d.push_state();
+        assert!(d.hide_value(&Value::Int(2)));
+        assert!(d.hide_value(&Value::Int(4)));
+        assert!(!d.hide_value(&Value::Int(9)));
+        assert_eq!(d.len(), 2);
+        d.pop_state();
+        assert_eq!(d.len(), 4);
+        assert!(d.contains(&Value::Int(2)));
+        assert!(d.contains(&Value::Int(4)));
+    }
+
+    #[test]
+    fn nested_states() {
+        let mut d = Domain::new(int_values([1, 2, 3, 4, 5]));
+        d.push_state();
+        d.hide_value(&Value::Int(1));
+        d.push_state();
+        d.hide_value(&Value::Int(2));
+        d.hide_value(&Value::Int(3));
+        assert_eq!(d.len(), 2);
+        d.pop_state();
+        assert_eq!(d.len(), 4);
+        d.pop_state();
+        assert_eq!(d.len(), 5);
+    }
+
+    #[test]
+    fn hide_where_keeps_matching() {
+        let mut d = Domain::new(int_values([1, 2, 3, 4, 5, 6]));
+        d.push_state();
+        let nonempty = d.hide_where(|v| v.as_i64().unwrap() % 2 == 0);
+        assert!(nonempty);
+        assert_eq!(d.values(), &int_values([2, 4, 6])[..]);
+        d.pop_state();
+        assert_eq!(d.len(), 6);
+    }
+
+    #[test]
+    fn hide_where_can_empty_domain() {
+        let mut d = Domain::new(int_values([1, 3, 5]));
+        d.push_state();
+        let nonempty = d.hide_where(|v| v.as_i64().unwrap() % 2 == 0);
+        assert!(!nonempty);
+        assert!(d.is_empty());
+        d.pop_state();
+        assert_eq!(d.len(), 3);
+    }
+
+    #[test]
+    fn permanent_removal() {
+        let mut d = Domain::new(int_values([1, 2, 3, 4]));
+        assert!(d.remove(&Value::Int(3)));
+        assert!(!d.remove(&Value::Int(3)));
+        assert_eq!(d.retain(|v| v.as_i64().unwrap() < 4), 1);
+        assert_eq!(d.values(), &int_values([1, 2])[..]);
+    }
+
+    #[test]
+    fn reset_restores_everything() {
+        let mut d = Domain::new(int_values([1, 2, 3]));
+        d.push_state();
+        d.hide_value(&Value::Int(1));
+        d.hide_value(&Value::Int(2));
+        d.reset();
+        assert_eq!(d.len(), 3);
+    }
+
+    #[test]
+    fn store_cartesian_size() {
+        let mut s = DomainStore::new();
+        s.push(Domain::new(int_values([1, 2, 3])));
+        s.push(Domain::new(int_values([1, 2])));
+        s.push(Domain::new(int_values([1, 2, 3, 4])));
+        assert_eq!(s.cartesian_size(), 24);
+        assert_eq!(s.len(), 3);
+        s.push_state_all();
+        s.domain_mut(1).hide_value(&Value::Int(1));
+        assert_eq!(s.cartesian_size(), 12);
+        s.pop_state_all();
+        assert_eq!(s.cartesian_size(), 24);
+    }
+
+    #[test]
+    fn non_numeric_min_max() {
+        let d = Domain::new(vec![Value::str("a"), Value::str("b")]);
+        assert_eq!(d.numeric_min(), None);
+        assert_eq!(d.numeric_max(), None);
+    }
+}

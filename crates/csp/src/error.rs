@@ -1,0 +1,52 @@
+//! Error types for problem definition and solving.
+
+use std::fmt;
+
+/// Errors arising from building or solving a constraint problem.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CspError {
+    /// A constraint referenced a variable name that was never added.
+    UnknownVariable(String),
+    /// A variable with the same name was added twice.
+    DuplicateVariable(String),
+    /// A variable was added with an empty domain.
+    EmptyDomain(String),
+    /// A constraint was given an invalid scope (e.g. empty, or wrong arity).
+    InvalidScope(String),
+    /// A type error occurred while evaluating a constraint.
+    TypeError(String),
+    /// A solver-specific failure.
+    Solver(String),
+}
+
+impl fmt::Display for CspError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CspError::UnknownVariable(n) => write!(f, "unknown variable `{n}`"),
+            CspError::DuplicateVariable(n) => write!(f, "variable `{n}` defined twice"),
+            CspError::EmptyDomain(n) => write!(f, "variable `{n}` has an empty domain"),
+            CspError::InvalidScope(m) => write!(f, "invalid constraint scope: {m}"),
+            CspError::TypeError(m) => write!(f, "type error: {m}"),
+            CspError::Solver(m) => write!(f, "solver error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CspError {}
+
+/// Result alias for CSP operations.
+pub type CspResult<T> = Result<T, CspError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(CspError::UnknownVariable("x".into())
+            .to_string()
+            .contains("x"));
+        assert!(CspError::EmptyDomain("y".into()).to_string().contains("y"));
+        assert!(CspError::TypeError("bad".into()).to_string().contains("bad"));
+    }
+}

@@ -1,0 +1,200 @@
+//! Solution sets: the fully resolved search space.
+//!
+//! The paper stresses output formats that are "close to the internal
+//! representation" (Section 4.3.4): the solver produces a dense matrix of
+//! values (one row per solution, columns in variable order) instead of one
+//! dictionary per solution, avoiding expensive per-solution rearrangement.
+
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use crate::value::Value;
+
+/// The set of all valid configurations found by a solver.
+///
+/// Rows are stored densely in variable order; the variable names are shared
+/// so that name-keyed views can be produced on demand.
+#[derive(Debug, Clone, Default)]
+pub struct SolutionSet {
+    names: Arc<[String]>,
+    rows: Vec<Vec<Value>>,
+}
+
+impl SolutionSet {
+    /// Create an empty set over the given variable names.
+    pub fn new(names: Vec<String>) -> Self {
+        SolutionSet {
+            names: names.into(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Create from pre-computed rows.
+    pub fn from_rows(names: Vec<String>, rows: Vec<Vec<Value>>) -> Self {
+        SolutionSet {
+            names: names.into(),
+            rows,
+        }
+    }
+
+    /// The variable names, in column order.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Number of solutions.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when there are no solutions.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Append a solution row (values in variable order).
+    pub fn push(&mut self, row: Vec<Value>) {
+        debug_assert_eq!(row.len(), self.names.len());
+        self.rows.push(row);
+    }
+
+    /// The raw rows.
+    pub fn rows(&self) -> &[Vec<Value>] {
+        &self.rows
+    }
+
+    /// A single row.
+    pub fn row(&self, i: usize) -> &[Value] {
+        &self.rows[i]
+    }
+
+    /// Iterate over rows.
+    pub fn iter(&self) -> impl Iterator<Item = &[Value]> {
+        self.rows.iter().map(|r| r.as_slice())
+    }
+
+    /// Produce a `(name, value)` view of row `i`.
+    pub fn named_row(&self, i: usize) -> Vec<(&str, &Value)> {
+        self.names
+            .iter()
+            .map(|n| n.as_str())
+            .zip(self.rows[i].iter())
+            .collect()
+    }
+
+    /// Merge another solution set (same column order assumed).
+    pub fn extend(&mut self, other: SolutionSet) {
+        debug_assert_eq!(self.names.len(), other.names.len());
+        self.rows.extend(other.rows);
+    }
+
+    /// Sort rows lexicographically by their display form, producing a
+    /// canonical order for set comparisons in tests.
+    pub fn canonicalize(&mut self) {
+        self.rows.sort_by_cached_key(|row| {
+            row.iter()
+                .map(|v| v.to_string())
+                .collect::<Vec<_>>()
+                .join("\u{1}")
+        });
+    }
+
+    /// Compare two solution sets as *sets* (order independent).
+    pub fn same_solutions(&self, other: &SolutionSet) -> bool {
+        if self.len() != other.len() || self.names.len() != other.names.len() {
+            return false;
+        }
+        // Column order may differ between construction methods; align by name.
+        let perm: Option<Vec<usize>> = self
+            .names
+            .iter()
+            .map(|n| other.names.iter().position(|m| m == n))
+            .collect();
+        let perm = match perm {
+            Some(p) => p,
+            None => return false,
+        };
+        let key = |row: &[Value]| -> String {
+            row.iter()
+                .map(|v| v.to_string())
+                .collect::<Vec<_>>()
+                .join("\u{1}")
+        };
+        let ours: HashSet<String> = self.rows.iter().map(|r| key(r)).collect();
+        let theirs: HashSet<String> = other
+            .rows
+            .iter()
+            .map(|r| {
+                let reordered: Vec<Value> = perm.iter().map(|&j| r[j].clone()).collect();
+                key(&reordered)
+            })
+            .collect();
+        ours == theirs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::int_values;
+
+    fn names(n: &[&str]) -> Vec<String> {
+        n.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn push_and_views() {
+        let mut s = SolutionSet::new(names(&["x", "y"]));
+        assert!(s.is_empty());
+        s.push(int_values([1, 2]));
+        s.push(int_values([3, 4]));
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.row(1), &int_values([3, 4])[..]);
+        let named = s.named_row(0);
+        assert_eq!(named[0], ("x", &Value::Int(1)));
+        assert_eq!(s.iter().count(), 2);
+    }
+
+    #[test]
+    fn same_solutions_order_independent() {
+        let mut a = SolutionSet::new(names(&["x", "y"]));
+        a.push(int_values([1, 2]));
+        a.push(int_values([3, 4]));
+        let mut b = SolutionSet::new(names(&["x", "y"]));
+        b.push(int_values([3, 4]));
+        b.push(int_values([1, 2]));
+        assert!(a.same_solutions(&b));
+        b.push(int_values([5, 6]));
+        assert!(!a.same_solutions(&b));
+    }
+
+    #[test]
+    fn same_solutions_handles_column_permutation() {
+        let mut a = SolutionSet::new(names(&["x", "y"]));
+        a.push(int_values([1, 2]));
+        let mut b = SolutionSet::new(names(&["y", "x"]));
+        b.push(int_values([2, 1]));
+        assert!(a.same_solutions(&b));
+    }
+
+    #[test]
+    fn canonicalize_sorts() {
+        let mut s = SolutionSet::new(names(&["x"]));
+        s.push(int_values([3]));
+        s.push(int_values([1]));
+        s.push(int_values([2]));
+        s.canonicalize();
+        let vals: Vec<i64> = s.iter().map(|r| r[0].as_i64().unwrap()).collect();
+        assert_eq!(vals, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn extend_merges() {
+        let mut a = SolutionSet::new(names(&["x"]));
+        a.push(int_values([1]));
+        let mut b = SolutionSet::new(names(&["x"]));
+        b.push(int_values([2]));
+        a.extend(b);
+        assert_eq!(a.len(), 2);
+    }
+}

@@ -1,0 +1,187 @@
+//! Brute-force search space construction.
+//!
+//! Iterates the full Cartesian product of all domains and filters out
+//! combinations that violate a constraint — the baseline every auto-tuning
+//! framework falls back to in the absence of something smarter. A rayon-based
+//! parallel mode splits the first dimension across worker threads.
+
+use rayon::prelude::*;
+
+use super::{SolveResult, Solver};
+use crate::error::CspResult;
+use crate::problem::Problem;
+use crate::solution::SolutionSet;
+use crate::stats::SolveStats;
+use crate::value::Value;
+
+/// Exhaustive enumeration of the Cartesian product with post-hoc filtering.
+#[derive(Debug, Clone, Default)]
+pub struct BruteForceSolver {
+    parallel: bool,
+}
+
+impl BruteForceSolver {
+    /// Sequential brute force (the paper's `brute-force` series).
+    pub fn new() -> Self {
+        BruteForceSolver { parallel: false }
+    }
+
+    /// Parallel brute force: the outermost parameter is split across rayon
+    /// worker threads.
+    pub fn parallel() -> Self {
+        BruteForceSolver { parallel: true }
+    }
+
+    fn enumerate_suffix(
+        problem: &Problem,
+        prefix: &[Value],
+        solutions: &mut SolutionSet,
+        stats: &mut SolveStats,
+    ) {
+        // Odometer enumeration over the variables after the prefix.
+        let num_vars = problem.num_variables();
+        let start = prefix.len();
+        let domains: Vec<&[Value]> = (start..num_vars)
+            .map(|v| problem.domain(v).values())
+            .collect();
+        if domains.iter().any(|d| d.is_empty()) {
+            return;
+        }
+        let mut indices = vec![0usize; num_vars - start];
+        let mut values: Vec<Value> = Vec::with_capacity(num_vars);
+        loop {
+            values.clear();
+            values.extend_from_slice(prefix);
+            for (i, &idx) in indices.iter().enumerate() {
+                values.push(domains[i][idx].clone());
+            }
+            stats.nodes += 1;
+            let mut ok = true;
+            let mut scope_buf: Vec<Value> = Vec::new();
+            for entry in problem.constraints() {
+                scope_buf.clear();
+                scope_buf.extend(entry.scope.iter().map(|&v| values[v].clone()));
+                stats.constraint_checks += 1;
+                if !entry.constraint.evaluate(&scope_buf) {
+                    ok = false;
+                    break;
+                }
+            }
+            if ok {
+                solutions.push(values.clone());
+                stats.solutions += 1;
+            }
+            // advance odometer
+            let mut pos = indices.len();
+            loop {
+                if pos == 0 {
+                    return;
+                }
+                pos -= 1;
+                indices[pos] += 1;
+                if indices[pos] < domains[pos].len() {
+                    break;
+                }
+                indices[pos] = 0;
+            }
+        }
+    }
+}
+
+impl Solver for BruteForceSolver {
+    fn name(&self) -> &'static str {
+        if self.parallel {
+            "brute-force-parallel"
+        } else {
+            "brute-force"
+        }
+    }
+
+    fn solve(&self, problem: &Problem) -> CspResult<SolveResult> {
+        let names = problem.variable_names().to_vec();
+        if problem.num_variables() == 0 {
+            return Ok(SolveResult {
+                solutions: SolutionSet::new(names),
+                stats: SolveStats::default(),
+            });
+        }
+        if !self.parallel {
+            let mut solutions = SolutionSet::new(names);
+            let mut stats = SolveStats::default();
+            Self::enumerate_suffix(problem, &[], &mut solutions, &mut stats);
+            return Ok(SolveResult { solutions, stats });
+        }
+        // Parallel: one task per value of the first variable.
+        let first_values: Vec<Value> = problem.domain(0).values().to_vec();
+        let partials: Vec<(SolutionSet, SolveStats)> = first_values
+            .par_iter()
+            .map(|v| {
+                let mut solutions = SolutionSet::new(problem.variable_names().to_vec());
+                let mut stats = SolveStats::default();
+                Self::enumerate_suffix(problem, &[v.clone()], &mut solutions, &mut stats);
+                (solutions, stats)
+            })
+            .collect();
+        let mut solutions = SolutionSet::new(names);
+        let mut stats = SolveStats::default();
+        for (s, st) in partials {
+            solutions.extend(s);
+            stats.merge(&st);
+        }
+        Ok(SolveResult { solutions, stats })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_support::*;
+    use super::*;
+
+    #[test]
+    fn block_size_count_matches_reference() {
+        let p = block_size_problem();
+        let r = BruteForceSolver::new().solve(&p).unwrap();
+        assert_eq!(r.solutions.len(), expected_block_size_solutions());
+        assert_eq!(r.stats.solutions as usize, r.solutions.len());
+        assert_eq!(r.stats.nodes, p.cartesian_size() as u64);
+    }
+
+    #[test]
+    fn mixed_problem_count() {
+        let p = mixed_problem();
+        let r = BruteForceSolver::new().solve(&p).unwrap();
+        assert_eq!(r.solutions.len(), expected_mixed_solutions());
+    }
+
+    #[test]
+    fn unsatisfiable_yields_empty() {
+        let p = unsatisfiable_problem();
+        let r = BruteForceSolver::new().solve(&p).unwrap();
+        assert!(r.solutions.is_empty());
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let p = block_size_problem();
+        let seq = BruteForceSolver::new().solve(&p).unwrap();
+        let par = BruteForceSolver::parallel().solve(&p).unwrap();
+        assert!(seq.solutions.same_solutions(&par.solutions));
+        assert_eq!(seq.stats.nodes, par.stats.nodes);
+    }
+
+    #[test]
+    fn every_reported_solution_is_valid() {
+        let p = mixed_problem();
+        let r = BruteForceSolver::new().solve(&p).unwrap();
+        for row in r.solutions.iter() {
+            assert!(p.is_valid_configuration(row));
+        }
+    }
+
+    #[test]
+    fn empty_problem() {
+        let p = Problem::new();
+        let r = BruteForceSolver::new().solve(&p).unwrap();
+        assert!(r.solutions.is_empty());
+    }
+}

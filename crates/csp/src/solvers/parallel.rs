@@ -1,0 +1,137 @@
+//! Data-parallel all-solutions solver.
+//!
+//! The search tree is split on the first variable of the optimized search
+//! order: each of its values induces an independent subproblem, which rayon
+//! distributes over worker threads. Every subproblem is solved with the same
+//! iterative optimized search; results are concatenated. Because subproblems
+//! share no mutable state, the result is identical to the sequential solver
+//! (up to row order).
+
+use rayon::prelude::*;
+
+use super::optimized::OptimizedSolver;
+use super::{OptimizedSolverConfig, SolveResult, Solver};
+use crate::error::CspResult;
+use crate::problem::Problem;
+use crate::solution::SolutionSet;
+use crate::stats::SolveStats;
+use crate::value::Value;
+
+/// Parallel variant of [`OptimizedSolver`] using first-variable domain splitting.
+#[derive(Debug, Clone, Default)]
+pub struct ParallelSolver {
+    config: OptimizedSolverConfig,
+}
+
+impl ParallelSolver {
+    /// Parallel solver with all optimizations enabled.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Parallel solver with an explicit optimization configuration.
+    pub fn with_config(config: OptimizedSolverConfig) -> Self {
+        ParallelSolver { config }
+    }
+}
+
+impl Solver for ParallelSolver {
+    fn name(&self) -> &'static str {
+        "parallel"
+    }
+
+    fn solve(&self, problem: &Problem) -> CspResult<SolveResult> {
+        let names = problem.variable_names().to_vec();
+        let mut stats = SolveStats::default();
+        if problem.num_variables() == 0 {
+            return Ok(SolveResult {
+                solutions: SolutionSet::new(names),
+                stats,
+            });
+        }
+        let mut domains = problem.domain_store();
+        if self.config.preprocess
+            && !OptimizedSolver::preprocess(problem, &mut domains, &mut stats)?
+        {
+            return Ok(SolveResult {
+                solutions: SolutionSet::new(names),
+                stats,
+            });
+        }
+        let order = OptimizedSolver::variable_order(problem, self.config.variable_ordering);
+        let constraints_per_var = problem.constraints_per_variable();
+        let split_var = order[0];
+        let split_values: Vec<Value> = domains.domain(split_var).values().to_vec();
+        let forward_check = self.config.forward_check;
+
+        let partials: Vec<(SolutionSet, SolveStats)> = split_values
+            .par_iter()
+            .map(|value| {
+                let mut local_domains = domains.clone();
+                local_domains
+                    .domain_mut(split_var)
+                    .retain(|v| v == value);
+                let mut local_solutions = SolutionSet::new(problem.variable_names().to_vec());
+                let mut local_stats = SolveStats::default();
+                OptimizedSolver::search(
+                    problem,
+                    &mut local_domains,
+                    &order,
+                    &constraints_per_var,
+                    forward_check,
+                    &mut local_solutions,
+                    &mut local_stats,
+                );
+                (local_solutions, local_stats)
+            })
+            .collect();
+
+        let mut solutions = SolutionSet::new(names);
+        for (s, st) in partials {
+            solutions.extend(s);
+            stats.merge(&st);
+        }
+        Ok(SolveResult { solutions, stats })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_support::*;
+    use super::super::{BruteForceSolver, OptimizedSolver};
+    use super::*;
+
+    #[test]
+    fn matches_sequential_optimized() {
+        let p = block_size_problem();
+        let seq = OptimizedSolver::new().solve(&p).unwrap();
+        let par = ParallelSolver::new().solve(&p).unwrap();
+        assert!(seq.solutions.same_solutions(&par.solutions));
+    }
+
+    #[test]
+    fn matches_brute_force_on_mixed() {
+        let p = mixed_problem();
+        let bf = BruteForceSolver::new().solve(&p).unwrap();
+        let par = ParallelSolver::new().solve(&p).unwrap();
+        assert!(bf.solutions.same_solutions(&par.solutions));
+    }
+
+    #[test]
+    fn unsatisfiable_is_empty() {
+        let p = unsatisfiable_problem();
+        let r = ParallelSolver::new().solve(&p).unwrap();
+        assert!(r.solutions.is_empty());
+    }
+
+    #[test]
+    fn works_without_forward_checking() {
+        let p = mixed_problem();
+        let cfg = OptimizedSolverConfig {
+            forward_check: false,
+            ..Default::default()
+        };
+        let r = ParallelSolver::with_config(cfg).solve(&p).unwrap();
+        assert_eq!(r.solutions.len(), expected_mixed_solutions());
+    }
+}

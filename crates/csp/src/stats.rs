@@ -1,0 +1,96 @@
+//! Solver statistics: constraint evaluations, search nodes, pruning counts.
+//!
+//! Table 2 of the paper reports the *average number of constraint evaluations
+//! required* to brute-force a search space; the solvers here count their
+//! actual constraint checks so the harness can reproduce that column and
+//! compare solver effort independent of wall-clock noise.
+
+/// Counters accumulated during one solver run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolveStats {
+    /// Number of constraint checks / evaluations performed.
+    pub constraint_checks: u64,
+    /// Number of search nodes visited (value assignments tried).
+    pub nodes: u64,
+    /// Number of solutions found.
+    pub solutions: u64,
+    /// Number of domain values removed by preprocessing.
+    pub preprocess_removed: u64,
+    /// Number of backtracks performed.
+    pub backtracks: u64,
+}
+
+impl SolveStats {
+    /// Merge another stats record into this one (used by parallel solvers).
+    pub fn merge(&mut self, other: &SolveStats) {
+        self.constraint_checks += other.constraint_checks;
+        self.nodes += other.nodes;
+        self.solutions += other.solutions;
+        self.preprocess_removed += other.preprocess_removed;
+        self.backtracks += other.backtracks;
+    }
+}
+
+/// Theoretical average number of constraint evaluations for brute force, as
+/// defined in Section 5.3 of the paper: every invalid combination is rejected
+/// after between 1 (best case) and `|S_c|` (worst case) evaluations — on
+/// average `(1 + |S_c|)/2` — and every valid combination is counted once, so
+/// `avg = |S_i| * (1 + |S_c|)/2 + |S_v|`. This reproduces the rightmost
+/// column of Table 2 exactly (e.g. Dedispersion 33414, ExpDist 23889240).
+pub fn expected_brute_force_evaluations(
+    invalid: u128,
+    valid: u128,
+    num_constraints: usize,
+) -> f64 {
+    invalid as f64 * (1.0 + num_constraints as f64) / 2.0 + valid as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = SolveStats {
+            constraint_checks: 10,
+            nodes: 5,
+            solutions: 2,
+            preprocess_removed: 1,
+            backtracks: 3,
+        };
+        let b = SolveStats {
+            constraint_checks: 7,
+            nodes: 2,
+            solutions: 1,
+            preprocess_removed: 0,
+            backtracks: 1,
+        };
+        a.merge(&b);
+        assert_eq!(a.constraint_checks, 17);
+        assert_eq!(a.nodes, 7);
+        assert_eq!(a.solutions, 3);
+        assert_eq!(a.backtracks, 4);
+    }
+
+    #[test]
+    fn paper_formula_matches_dedispersion_row() {
+        // Table 2: Dedispersion has Cartesian 22272, 49.973% valid, 3
+        // constraints, avg evaluations 33414.
+        let cartesian = 22272u128;
+        let valid = (cartesian as f64 * 0.49973).round() as u128;
+        let invalid = cartesian - valid;
+        let avg = expected_brute_force_evaluations(invalid, valid, 3);
+        assert!((avg - 33414.0).abs() < 150.0, "avg = {avg}");
+    }
+
+    #[test]
+    fn paper_formula_matches_expdist_row() {
+        // Table 2: ExpDist has Cartesian 9732096, 294000 valid configurations,
+        // 4 constraints, avg evaluations 23889240.
+        let cartesian = 9_732_096u128;
+        let valid = 294_000u128;
+        let invalid = cartesian - valid;
+        let avg = expected_brute_force_evaluations(invalid, valid, 4);
+        assert!((avg - 23_889_240.0).abs() < 1.0, "avg = {avg}");
+    }
+}

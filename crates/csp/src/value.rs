@@ -1,0 +1,458 @@
+//! Dynamic values for tunable parameters.
+//!
+//! Auto-tuning frameworks such as Kernel Tuner allow tunable parameters to
+//! take integer, floating point, boolean and string values, and constraints
+//! are written against them with Python semantics (integers and floats mix
+//! freely, `/` is true division, `//` is floor division, `**` is power).
+//! [`Value`] reproduces those semantics so constraint expressions written for
+//! the Python tuners evaluate identically here.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+/// A single parameter value.
+///
+/// Values are small and cheap to clone: strings are reference counted.
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// A signed integer value.
+    Int(i64),
+    /// A double-precision floating point value.
+    Float(f64),
+    /// A boolean value. Booleans participate in arithmetic as 0/1, mirroring
+    /// Python's `bool` (a subtype of `int`).
+    Bool(bool),
+    /// A string value (e.g. a code-generation variant name).
+    Str(Arc<str>),
+}
+
+impl Value {
+    /// Build a string value.
+    pub fn str(s: impl AsRef<str>) -> Self {
+        Value::Str(Arc::from(s.as_ref()))
+    }
+
+    /// Returns `true` for [`Value::Int`], [`Value::Float`] and [`Value::Bool`].
+    pub fn is_numeric(&self) -> bool {
+        matches!(self, Value::Int(_) | Value::Float(_) | Value::Bool(_))
+    }
+
+    /// Returns the value as an `f64` if it is numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            Value::Bool(b) => Some(if *b { 1.0 } else { 0.0 }),
+            Value::Str(_) => None,
+        }
+    }
+
+    /// Returns the value as an `i64` if it is an integer-like value
+    /// (an `Int`, a `Bool`, or a `Float` with an exact integral value).
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            Value::Bool(b) => Some(if *b { 1 } else { 0 }),
+            Value::Float(f) if f.fract() == 0.0 && f.abs() < 9.0e18 => Some(*f as i64),
+            _ => None,
+        }
+    }
+
+    /// Returns the string contents if the value is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Python-style truthiness: zero, `false` and the empty string are falsy.
+    pub fn truthy(&self) -> bool {
+        match self {
+            Value::Int(i) => *i != 0,
+            Value::Float(f) => *f != 0.0,
+            Value::Bool(b) => *b,
+            Value::Str(s) => !s.is_empty(),
+        }
+    }
+
+    /// Name of the runtime type, for error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Int(_) => "int",
+            Value::Float(_) => "float",
+            Value::Bool(_) => "bool",
+            Value::Str(_) => "str",
+        }
+    }
+
+    fn as_int_like(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            Value::Bool(b) => Some(if *b { 1 } else { 0 }),
+            _ => None,
+        }
+    }
+
+    /// Addition with Python numeric promotion. Returns `None` on a type error.
+    pub fn add(&self, other: &Value) -> Option<Value> {
+        match (self.as_int_like(), other.as_int_like()) {
+            (Some(a), Some(b)) => match a.checked_add(b) {
+                Some(v) => Some(Value::Int(v)),
+                None => Some(Value::Float(a as f64 + b as f64)),
+            },
+            _ => Some(Value::Float(self.as_f64()? + other.as_f64()?)),
+        }
+    }
+
+    /// Subtraction with Python numeric promotion.
+    pub fn sub(&self, other: &Value) -> Option<Value> {
+        match (self.as_int_like(), other.as_int_like()) {
+            (Some(a), Some(b)) => match a.checked_sub(b) {
+                Some(v) => Some(Value::Int(v)),
+                None => Some(Value::Float(a as f64 - b as f64)),
+            },
+            _ => Some(Value::Float(self.as_f64()? - other.as_f64()?)),
+        }
+    }
+
+    /// Multiplication with Python numeric promotion.
+    pub fn mul(&self, other: &Value) -> Option<Value> {
+        match (self.as_int_like(), other.as_int_like()) {
+            (Some(a), Some(b)) => match a.checked_mul(b) {
+                Some(v) => Some(Value::Int(v)),
+                None => Some(Value::Float(a as f64 * b as f64)),
+            },
+            _ => Some(Value::Float(self.as_f64()? * other.as_f64()?)),
+        }
+    }
+
+    /// True division (always produces a float), like Python's `/`.
+    pub fn div(&self, other: &Value) -> Option<Value> {
+        let d = other.as_f64()?;
+        if d == 0.0 {
+            return None;
+        }
+        Some(Value::Float(self.as_f64()? / d))
+    }
+
+    /// Floor division, like Python's `//`.
+    pub fn floordiv(&self, other: &Value) -> Option<Value> {
+        match (self.as_int_like(), other.as_int_like()) {
+            (Some(a), Some(b)) => {
+                if b == 0 {
+                    return None;
+                }
+                Some(Value::Int(a.div_euclid(b)))
+            }
+            _ => {
+                let d = other.as_f64()?;
+                if d == 0.0 {
+                    return None;
+                }
+                Some(Value::Float((self.as_f64()? / d).floor()))
+            }
+        }
+    }
+
+    /// Modulo, like Python's `%` (result takes the sign of the divisor).
+    pub fn rem(&self, other: &Value) -> Option<Value> {
+        match (self.as_int_like(), other.as_int_like()) {
+            (Some(a), Some(b)) => {
+                if b == 0 {
+                    return None;
+                }
+                Some(Value::Int(a.rem_euclid(b)))
+            }
+            _ => {
+                let d = other.as_f64()?;
+                if d == 0.0 {
+                    return None;
+                }
+                let r = self.as_f64()?.rem_euclid(d);
+                Some(Value::Float(r))
+            }
+        }
+    }
+
+    /// Exponentiation, like Python's `**`.
+    pub fn pow(&self, other: &Value) -> Option<Value> {
+        match (self.as_int_like(), other.as_int_like()) {
+            (Some(a), Some(b)) if b >= 0 && b <= u32::MAX as i64 => {
+                match a.checked_pow(b as u32) {
+                    Some(v) => Some(Value::Int(v)),
+                    None => Some(Value::Float((a as f64).powf(b as f64))),
+                }
+            }
+            _ => Some(Value::Float(self.as_f64()?.powf(other.as_f64()?))),
+        }
+    }
+
+    /// Unary negation.
+    pub fn neg(&self) -> Option<Value> {
+        match self {
+            Value::Int(i) => Some(Value::Int(-i)),
+            Value::Float(f) => Some(Value::Float(-f)),
+            Value::Bool(b) => Some(Value::Int(if *b { -1 } else { 0 })),
+            Value::Str(_) => None,
+        }
+    }
+
+    /// Ordering with Python comparison semantics: numerics compare by value
+    /// across `Int`/`Float`/`Bool`, strings compare lexicographically, and
+    /// cross-type comparisons between numbers and strings are undefined.
+    pub fn compare(&self, other: &Value) -> Option<Ordering> {
+        match (self, other) {
+            (Value::Str(a), Value::Str(b)) => Some(a.cmp(b)),
+            (Value::Str(_), _) | (_, Value::Str(_)) => None,
+            _ => self.as_f64()?.partial_cmp(&other.as_f64()?),
+        }
+    }
+
+    /// Python `==` semantics: numerics compare by value, strings by content,
+    /// numbers never equal strings.
+    pub fn py_eq(&self, other: &Value) -> bool {
+        match (self, other) {
+            (Value::Str(a), Value::Str(b)) => a == b,
+            (Value::Str(_), _) | (_, Value::Str(_)) => false,
+            _ => match (self.as_f64(), other.as_f64()) {
+                (Some(a), Some(b)) => a == b,
+                _ => false,
+            },
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.py_eq(other)
+    }
+}
+
+impl Eq for Value {}
+
+impl Hash for Value {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        match self {
+            Value::Str(s) => {
+                2u8.hash(state);
+                s.hash(state);
+            }
+            v => {
+                // Hash numerics consistently with `py_eq`: integral floats and
+                // booleans hash identically to the corresponding integer.
+                let f = v.as_f64().expect("numeric variant");
+                if f.fract() == 0.0 && f.abs() < 9.0e18 {
+                    0u8.hash(state);
+                    (f as i64).hash(state);
+                } else {
+                    1u8.hash(state);
+                    f.to_bits().hash(state);
+                }
+            }
+        }
+    }
+}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        self.compare(other)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(v) => write!(f, "{v}"),
+            Value::Bool(b) => write!(f, "{}", if *b { "True" } else { "False" }),
+            Value::Str(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::Int(v as i64)
+    }
+}
+
+impl From<u32> for Value {
+    fn from(v: u32) -> Self {
+        Value::Int(v as i64)
+    }
+}
+
+impl From<usize> for Value {
+    fn from(v: usize) -> Self {
+        Value::Int(v as i64)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::str(v)
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::str(v)
+    }
+}
+
+/// Convenience: build a `Vec<Value>` of integers from an iterator.
+pub fn int_values<I: IntoIterator<Item = i64>>(iter: I) -> Vec<Value> {
+    iter.into_iter().map(Value::Int).collect()
+}
+
+/// Convenience: build a `Vec<Value>` of powers of two `2^0 .. 2^(n-1)`.
+pub fn pow2_values(n: u32) -> Vec<Value> {
+    (0..n).map(|i| Value::Int(1 << i)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+
+    fn hash_of(v: &Value) -> u64 {
+        let mut h = DefaultHasher::new();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn int_arithmetic_stays_int() {
+        let a = Value::Int(6);
+        let b = Value::Int(4);
+        assert_eq!(a.add(&b).unwrap(), Value::Int(10));
+        assert_eq!(a.sub(&b).unwrap(), Value::Int(2));
+        assert_eq!(a.mul(&b).unwrap(), Value::Int(24));
+        assert_eq!(a.floordiv(&b).unwrap(), Value::Int(1));
+        assert_eq!(a.rem(&b).unwrap(), Value::Int(2));
+        assert_eq!(a.pow(&Value::Int(2)).unwrap(), Value::Int(36));
+    }
+
+    #[test]
+    fn true_division_is_float() {
+        let a = Value::Int(6);
+        let b = Value::Int(4);
+        assert_eq!(a.div(&b).unwrap(), Value::Float(1.5));
+    }
+
+    #[test]
+    fn division_by_zero_is_none() {
+        assert!(Value::Int(1).div(&Value::Int(0)).is_none());
+        assert!(Value::Int(1).floordiv(&Value::Int(0)).is_none());
+        assert!(Value::Int(1).rem(&Value::Int(0)).is_none());
+    }
+
+    #[test]
+    fn mixed_arithmetic_promotes_to_float() {
+        let a = Value::Int(3);
+        let b = Value::Float(0.5);
+        assert_eq!(a.add(&b).unwrap(), Value::Float(3.5));
+        assert_eq!(a.mul(&b).unwrap(), Value::Float(1.5));
+    }
+
+    #[test]
+    fn overflow_promotes_to_float() {
+        let a = Value::Int(i64::MAX);
+        let r = a.add(&Value::Int(1)).unwrap();
+        assert!(matches!(r, Value::Float(_)));
+    }
+
+    #[test]
+    fn bool_participates_as_int() {
+        assert_eq!(Value::Bool(true).add(&Value::Int(1)).unwrap(), Value::Int(2));
+        assert_eq!(Value::Bool(false).mul(&Value::Int(5)).unwrap(), Value::Int(0));
+    }
+
+    #[test]
+    fn python_floor_and_mod_signs() {
+        // Python: -7 // 2 == -4, -7 % 2 == 1
+        assert_eq!(
+            Value::Int(-7).floordiv(&Value::Int(2)).unwrap(),
+            Value::Int(-4)
+        );
+        assert_eq!(Value::Int(-7).rem(&Value::Int(2)).unwrap(), Value::Int(1));
+    }
+
+    #[test]
+    fn cross_type_equality() {
+        assert_eq!(Value::Int(2), Value::Float(2.0));
+        assert_eq!(Value::Bool(true), Value::Int(1));
+        assert_ne!(Value::Int(2), Value::str("2"));
+        assert_eq!(Value::str("abc"), Value::str("abc"));
+    }
+
+    #[test]
+    fn hash_consistent_with_eq() {
+        assert_eq!(hash_of(&Value::Int(2)), hash_of(&Value::Float(2.0)));
+        assert_eq!(hash_of(&Value::Bool(true)), hash_of(&Value::Int(1)));
+    }
+
+    #[test]
+    fn comparisons() {
+        assert_eq!(
+            Value::Int(2).compare(&Value::Float(2.5)),
+            Some(Ordering::Less)
+        );
+        assert_eq!(
+            Value::str("b").compare(&Value::str("a")),
+            Some(Ordering::Greater)
+        );
+        assert_eq!(Value::Int(2).compare(&Value::str("a")), None);
+    }
+
+    #[test]
+    fn truthiness() {
+        assert!(!Value::Int(0).truthy());
+        assert!(Value::Int(-1).truthy());
+        assert!(!Value::str("").truthy());
+        assert!(Value::str("x").truthy());
+        assert!(!Value::Float(0.0).truthy());
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Value::Int(5).to_string(), "5");
+        assert_eq!(Value::Bool(true).to_string(), "True");
+        assert_eq!(Value::str("abc").to_string(), "abc");
+    }
+
+    #[test]
+    fn helpers() {
+        assert_eq!(pow2_values(4), int_values([1, 2, 4, 8]));
+        assert_eq!(Value::Float(4.0).as_i64(), Some(4));
+        assert_eq!(Value::Float(4.5).as_i64(), None);
+        assert_eq!(Value::str("x").as_f64(), None);
+    }
+
+    #[test]
+    fn pow_negative_exponent_is_float() {
+        let r = Value::Int(2).pow(&Value::Int(-1)).unwrap();
+        assert_eq!(r, Value::Float(0.5));
+    }
+}

@@ -1,0 +1,392 @@
+//! Abstract syntax tree of constraint expressions.
+
+use at_csp::{CmpOp, Value};
+use rustc_hash::FxHashMap;
+
+use crate::error::{ExprError, ExprResult};
+
+/// Binary arithmetic operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/` (true division)
+    Div,
+    /// `//` (floor division)
+    FloorDiv,
+    /// `%`
+    Mod,
+    /// `**`
+    Pow,
+}
+
+impl BinOp {
+    /// Apply the operator to two values with Python semantics.
+    pub fn apply(&self, a: &Value, b: &Value) -> ExprResult<Value> {
+        let result = match self {
+            BinOp::Add => a.add(b),
+            BinOp::Sub => a.sub(b),
+            BinOp::Mul => a.mul(b),
+            BinOp::Div => a.div(b),
+            BinOp::FloorDiv => a.floordiv(b),
+            BinOp::Mod => a.rem(b),
+            BinOp::Pow => a.pow(b),
+        };
+        result.ok_or_else(|| {
+            ExprError::Type(format!(
+                "cannot apply {:?} to {} and {}",
+                self,
+                a.type_name(),
+                b.type_name()
+            ))
+        })
+    }
+
+    /// Source form of the operator.
+    pub fn symbol(&self) -> &'static str {
+        match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::FloorDiv => "//",
+            BinOp::Mod => "%",
+            BinOp::Pow => "**",
+        }
+    }
+}
+
+/// Built-in functions usable in constraints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BuiltinFn {
+    /// `min(...)` of two or more arguments.
+    Min,
+    /// `max(...)` of two or more arguments.
+    Max,
+    /// `abs(x)`.
+    Abs,
+}
+
+impl BuiltinFn {
+    /// Resolve a function name.
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "min" => Some(BuiltinFn::Min),
+            "max" => Some(BuiltinFn::Max),
+            "abs" => Some(BuiltinFn::Abs),
+            _ => None,
+        }
+    }
+}
+
+/// A constraint expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// A literal constant.
+    Const(Value),
+    /// A reference to a tunable parameter.
+    Var(String),
+    /// Unary negation `-x`.
+    Neg(Box<Expr>),
+    /// Logical negation `not x`.
+    Not(Box<Expr>),
+    /// Binary arithmetic.
+    Binary {
+        /// The operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// A (possibly chained) comparison: `first op1 e1 op2 e2 ...`.
+    Compare {
+        /// The leftmost operand.
+        first: Box<Expr>,
+        /// The remaining `(operator, operand)` pairs, at least one.
+        rest: Vec<(CmpOp, Expr)>,
+    },
+    /// Conjunction of two or more expressions.
+    And(Vec<Expr>),
+    /// Disjunction of two or more expressions.
+    Or(Vec<Expr>),
+    /// Membership test `value in [a, b, c]` (or `not in` when negated).
+    In {
+        /// The tested expression.
+        value: Box<Expr>,
+        /// The candidate list.
+        set: Vec<Expr>,
+        /// True for `not in`.
+        negated: bool,
+    },
+    /// A call to a built-in function.
+    Call {
+        /// The function.
+        func: BuiltinFn,
+        /// The arguments.
+        args: Vec<Expr>,
+    },
+}
+
+impl Expr {
+    /// Collect the distinct variable names referenced by the expression, in
+    /// order of first appearance.
+    pub fn variables(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.collect_variables(&mut out);
+        out
+    }
+
+    fn collect_variables(&self, out: &mut Vec<String>) {
+        match self {
+            Expr::Const(_) => {}
+            Expr::Var(name) => {
+                if !out.iter().any(|n| n == name) {
+                    out.push(name.clone());
+                }
+            }
+            Expr::Neg(e) | Expr::Not(e) => e.collect_variables(out),
+            Expr::Binary { lhs, rhs, .. } => {
+                lhs.collect_variables(out);
+                rhs.collect_variables(out);
+            }
+            Expr::Compare { first, rest } => {
+                first.collect_variables(out);
+                for (_, e) in rest {
+                    e.collect_variables(out);
+                }
+            }
+            Expr::And(es) | Expr::Or(es) => {
+                for e in es {
+                    e.collect_variables(out);
+                }
+            }
+            Expr::In { value, set, .. } => {
+                value.collect_variables(out);
+                for e in set {
+                    e.collect_variables(out);
+                }
+            }
+            Expr::Call { args, .. } => {
+                for e in args {
+                    e.collect_variables(out);
+                }
+            }
+        }
+    }
+
+    /// Evaluate the expression under an environment mapping variable names to
+    /// values. This reference interpreter defines the semantics that both the
+    /// bytecode VM and the recognized specific constraints must reproduce.
+    pub fn evaluate(&self, env: &FxHashMap<String, Value>) -> ExprResult<Value> {
+        match self {
+            Expr::Const(v) => Ok(v.clone()),
+            Expr::Var(name) => env
+                .get(name)
+                .cloned()
+                .ok_or_else(|| ExprError::Type(format!("unbound variable `{name}`"))),
+            Expr::Neg(e) => {
+                let v = e.evaluate(env)?;
+                v.neg()
+                    .ok_or_else(|| ExprError::Type(format!("cannot negate {}", v.type_name())))
+            }
+            Expr::Not(e) => Ok(Value::Bool(!e.evaluate(env)?.truthy())),
+            Expr::Binary { op, lhs, rhs } => {
+                let a = lhs.evaluate(env)?;
+                let b = rhs.evaluate(env)?;
+                op.apply(&a, &b)
+            }
+            Expr::Compare { first, rest } => {
+                let mut prev = first.evaluate(env)?;
+                for (op, e) in rest {
+                    let next = e.evaluate(env)?;
+                    if !op.apply(&prev, &next) {
+                        return Ok(Value::Bool(false));
+                    }
+                    prev = next;
+                }
+                Ok(Value::Bool(true))
+            }
+            Expr::And(es) => {
+                for e in es {
+                    if !e.evaluate(env)?.truthy() {
+                        return Ok(Value::Bool(false));
+                    }
+                }
+                Ok(Value::Bool(true))
+            }
+            Expr::Or(es) => {
+                for e in es {
+                    if e.evaluate(env)?.truthy() {
+                        return Ok(Value::Bool(true));
+                    }
+                }
+                Ok(Value::Bool(false))
+            }
+            Expr::In { value, set, negated } => {
+                let v = value.evaluate(env)?;
+                let mut found = false;
+                for e in set {
+                    if e.evaluate(env)?.py_eq(&v) {
+                        found = true;
+                        break;
+                    }
+                }
+                Ok(Value::Bool(found != *negated))
+            }
+            Expr::Call { func, args } => {
+                let mut values = Vec::with_capacity(args.len());
+                for a in args {
+                    values.push(a.evaluate(env)?);
+                }
+                apply_builtin(*func, &values)
+            }
+        }
+    }
+
+    /// True when the expression contains no variable references.
+    pub fn is_constant(&self) -> bool {
+        self.variables().is_empty()
+    }
+}
+
+/// Apply a built-in function to evaluated arguments.
+pub fn apply_builtin(func: BuiltinFn, values: &[Value]) -> ExprResult<Value> {
+    match func {
+        BuiltinFn::Abs => {
+            if values.len() != 1 {
+                return Err(ExprError::Type("abs() takes exactly one argument".into()));
+            }
+            match &values[0] {
+                Value::Int(i) => Ok(Value::Int(i.abs())),
+                Value::Float(f) => Ok(Value::Float(f.abs())),
+                Value::Bool(b) => Ok(Value::Int(if *b { 1 } else { 0 })),
+                Value::Str(_) => Err(ExprError::Type("abs() of a string".into())),
+            }
+        }
+        BuiltinFn::Min | BuiltinFn::Max => {
+            if values.len() < 2 {
+                return Err(ExprError::Type(
+                    "min()/max() take at least two arguments".into(),
+                ));
+            }
+            let mut best = values[0].clone();
+            for v in &values[1..] {
+                let ord = v
+                    .compare(&best)
+                    .ok_or_else(|| ExprError::Type("min()/max() of incomparable values".into()))?;
+                let take = if func == BuiltinFn::Min {
+                    ord == std::cmp::Ordering::Less
+                } else {
+                    ord == std::cmp::Ordering::Greater
+                };
+                if take {
+                    best = v.clone();
+                }
+            }
+            Ok(best)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env(pairs: &[(&str, i64)]) -> FxHashMap<String, Value> {
+        pairs
+            .iter()
+            .map(|(k, v)| (k.to_string(), Value::Int(*v)))
+            .collect()
+    }
+
+    #[test]
+    fn variables_in_order_of_appearance() {
+        let e = Expr::Binary {
+            op: BinOp::Mul,
+            lhs: Box::new(Expr::Var("y".into())),
+            rhs: Box::new(Expr::Binary {
+                op: BinOp::Add,
+                lhs: Box::new(Expr::Var("x".into())),
+                rhs: Box::new(Expr::Var("y".into())),
+            }),
+        };
+        assert_eq!(e.variables(), vec!["y".to_string(), "x".to_string()]);
+    }
+
+    #[test]
+    fn evaluate_arithmetic() {
+        let e = Expr::Binary {
+            op: BinOp::Mul,
+            lhs: Box::new(Expr::Var("x".into())),
+            rhs: Box::new(Expr::Const(Value::Int(3))),
+        };
+        assert_eq!(e.evaluate(&env(&[("x", 4)])).unwrap(), Value::Int(12));
+    }
+
+    #[test]
+    fn evaluate_chained_comparison() {
+        let e = Expr::Compare {
+            first: Box::new(Expr::Const(Value::Int(2))),
+            rest: vec![
+                (CmpOp::Le, Expr::Var("x".into())),
+                (CmpOp::Le, Expr::Const(Value::Int(10))),
+            ],
+        };
+        assert_eq!(e.evaluate(&env(&[("x", 5)])).unwrap(), Value::Bool(true));
+        assert_eq!(e.evaluate(&env(&[("x", 11)])).unwrap(), Value::Bool(false));
+    }
+
+    #[test]
+    fn evaluate_bool_ops_shortcircuit_semantics() {
+        let e = Expr::And(vec![
+            Expr::Const(Value::Bool(false)),
+            // would error if evaluated strictly before the `and` decision
+            Expr::Binary {
+                op: BinOp::Div,
+                lhs: Box::new(Expr::Const(Value::Int(1))),
+                rhs: Box::new(Expr::Const(Value::Int(0))),
+            },
+        ]);
+        assert_eq!(e.evaluate(&env(&[])).unwrap(), Value::Bool(false));
+    }
+
+    #[test]
+    fn evaluate_membership() {
+        let e = Expr::In {
+            value: Box::new(Expr::Var("x".into())),
+            set: vec![Expr::Const(Value::Int(1)), Expr::Const(Value::Int(2))],
+            negated: false,
+        };
+        assert_eq!(e.evaluate(&env(&[("x", 2)])).unwrap(), Value::Bool(true));
+        assert_eq!(e.evaluate(&env(&[("x", 3)])).unwrap(), Value::Bool(false));
+    }
+
+    #[test]
+    fn builtins() {
+        assert_eq!(
+            apply_builtin(BuiltinFn::Min, &[Value::Int(3), Value::Int(1)]).unwrap(),
+            Value::Int(1)
+        );
+        assert_eq!(
+            apply_builtin(BuiltinFn::Max, &[Value::Int(3), Value::Float(4.5)]).unwrap(),
+            Value::Float(4.5)
+        );
+        assert_eq!(
+            apply_builtin(BuiltinFn::Abs, &[Value::Int(-3)]).unwrap(),
+            Value::Int(3)
+        );
+        assert!(apply_builtin(BuiltinFn::Abs, &[Value::str("x")]).is_err());
+        assert!(apply_builtin(BuiltinFn::Min, &[Value::Int(1)]).is_err());
+    }
+
+    #[test]
+    fn unbound_variable_errors() {
+        let e = Expr::Var("missing".into());
+        assert!(e.evaluate(&env(&[])).is_err());
+    }
+}

@@ -1,0 +1,303 @@
+//! Compilation of expressions to VM programs, and the `VmConstraint` adapter
+//! that plugs compiled expressions into the CSP solver as (optimized)
+//! function constraints.
+
+use std::fmt;
+
+use at_csp::{Constraint, Value};
+use rustc_hash::FxHashMap;
+
+use crate::ast::{BuiltinFn, Expr};
+use crate::error::{ExprError, ExprResult};
+use crate::vm::{Op, Program};
+
+/// Compile an expression against an explicit scope (variable name → load index
+/// is the position in `scope`). Every variable used by the expression must be
+/// present in `scope`.
+pub fn compile(expr: &Expr, scope: &[String]) -> ExprResult<Program> {
+    let index: FxHashMap<&str, usize> = scope
+        .iter()
+        .enumerate()
+        .map(|(i, n)| (n.as_str(), i))
+        .collect();
+    let mut ops = Vec::new();
+    emit(expr, &index, &mut ops)?;
+    Ok(Program::new(ops, scope.len()))
+}
+
+/// Compile an expression, deriving the scope from the variables it references
+/// (in order of first appearance). Returns the program and the scope.
+pub fn compile_auto(expr: &Expr) -> ExprResult<(Program, Vec<String>)> {
+    let scope = expr.variables();
+    let program = compile(expr, &scope)?;
+    Ok((program, scope))
+}
+
+fn emit(expr: &Expr, index: &FxHashMap<&str, usize>, ops: &mut Vec<Op>) -> ExprResult<()> {
+    match expr {
+        Expr::Const(v) => ops.push(Op::Const(v.clone())),
+        Expr::Var(name) => {
+            let i = index.get(name.as_str()).ok_or_else(|| {
+                ExprError::Type(format!("variable `{name}` is not in the constraint scope"))
+            })?;
+            ops.push(Op::Load(*i));
+        }
+        Expr::Neg(e) => {
+            emit(e, index, ops)?;
+            ops.push(Op::Neg);
+        }
+        Expr::Not(e) => {
+            emit(e, index, ops)?;
+            ops.push(Op::Not);
+        }
+        Expr::Binary { op, lhs, rhs } => {
+            emit(lhs, index, ops)?;
+            emit(rhs, index, ops)?;
+            ops.push(Op::Binary(*op));
+        }
+        Expr::Compare { first, rest } => {
+            if rest.len() == 1 {
+                emit(first, index, ops)?;
+                emit(&rest[0].1, index, ops)?;
+                ops.push(Op::Compare(rest[0].0));
+            } else {
+                // A chained comparison is equivalent to the conjunction of its
+                // pairwise comparisons (operands are side-effect free here).
+                let mut conjuncts = Vec::with_capacity(rest.len());
+                let mut prev = (**first).clone();
+                for (op, next) in rest {
+                    conjuncts.push(Expr::Compare {
+                        first: Box::new(prev.clone()),
+                        rest: vec![(*op, next.clone())],
+                    });
+                    prev = next.clone();
+                }
+                emit(&Expr::And(conjuncts), index, ops)?;
+            }
+        }
+        Expr::And(parts) => {
+            emit_bool_chain(parts, true, index, ops)?;
+        }
+        Expr::Or(parts) => {
+            emit_bool_chain(parts, false, index, ops)?;
+        }
+        Expr::In { value, set, negated } => {
+            emit(value, index, ops)?;
+            let mut constants = Vec::with_capacity(set.len());
+            for e in set {
+                match e {
+                    Expr::Const(v) => constants.push(v.clone()),
+                    other => {
+                        return Err(ExprError::Unsupported(format!(
+                            "membership sets must contain only constants, found {other:?}"
+                        )))
+                    }
+                }
+            }
+            ops.push(Op::In {
+                set: constants,
+                negated: *negated,
+            });
+        }
+        Expr::Call { func, args } => {
+            validate_call(*func, args.len())?;
+            for a in args {
+                emit(a, index, ops)?;
+            }
+            ops.push(Op::Call(*func, args.len()));
+        }
+    }
+    Ok(())
+}
+
+fn validate_call(func: BuiltinFn, argc: usize) -> ExprResult<()> {
+    let ok = match func {
+        BuiltinFn::Abs => argc == 1,
+        BuiltinFn::Min | BuiltinFn::Max => argc >= 2,
+    };
+    if ok {
+        Ok(())
+    } else {
+        Err(ExprError::Type(format!(
+            "wrong number of arguments ({argc}) for {func:?}"
+        )))
+    }
+}
+
+/// Emit a short-circuiting boolean chain. `is_and` selects between `and`
+/// (jump on false) and `or` (jump on true).
+fn emit_bool_chain(
+    parts: &[Expr],
+    is_and: bool,
+    index: &FxHashMap<&str, usize>,
+    ops: &mut Vec<Op>,
+) -> ExprResult<()> {
+    let mut jump_sites = Vec::new();
+    for (i, part) in parts.iter().enumerate() {
+        emit(part, index, ops)?;
+        if i + 1 < parts.len() {
+            jump_sites.push(ops.len());
+            ops.push(if is_and {
+                Op::JumpIfFalseOrPop(usize::MAX)
+            } else {
+                Op::JumpIfTrueOrPop(usize::MAX)
+            });
+        }
+    }
+    let end = ops.len();
+    for site in jump_sites {
+        match &mut ops[site] {
+            Op::JumpIfFalseOrPop(t) | Op::JumpIfTrueOrPop(t) => *t = end,
+            _ => unreachable!("jump site"),
+        }
+    }
+    Ok(())
+}
+
+/// A compiled expression usable as a CSP [`Constraint`].
+///
+/// Evaluation errors (division by zero, type errors) make the constraint
+/// evaluate to `false`, matching how the Python tuners treat restrictions
+/// that raise for a candidate configuration.
+pub struct VmConstraint {
+    program: Program,
+    source: String,
+}
+
+impl VmConstraint {
+    /// Wrap a compiled program. `source` is kept for diagnostics.
+    pub fn new(program: Program, source: impl Into<String>) -> Self {
+        VmConstraint {
+            program,
+            source: source.into(),
+        }
+    }
+
+    /// The original source text.
+    pub fn source(&self) -> &str {
+        &self.source
+    }
+
+    /// The compiled program.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+}
+
+impl fmt::Debug for VmConstraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("VmConstraint")
+            .field("source", &self.source)
+            .field("arity", &self.program.arity())
+            .finish()
+    }
+}
+
+impl Constraint for VmConstraint {
+    fn kind(&self) -> &'static str {
+        "CompiledFunction"
+    }
+
+    fn evaluate(&self, values: &[Value]) -> bool {
+        match self.program.eval(values) {
+            Ok(v) => v.truthy(),
+            Err(_) => false,
+        }
+    }
+
+    fn is_specific(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fold::fold;
+    use crate::parser::parse;
+    use at_csp::value::int_values;
+
+    fn compile_src(src: &str) -> (Program, Vec<String>) {
+        compile_auto(&fold(parse(src).unwrap())).unwrap()
+    }
+
+    #[test]
+    fn compiled_matches_interpreter() {
+        let sources = [
+            "32 <= x * y <= 1024",
+            "x % 16 == 0 and y % 2 == 0",
+            "x == 0 or y % x == 0",
+            "not (x > y)",
+            "x in [1, 2, 4, 8] and y not in (3, 5)",
+            "min(x, y) >= 2",
+            "abs(x - y) <= 4",
+            "x ** 2 + y ** 2 <= 100",
+            "x // 2 == y",
+        ];
+        for src in sources {
+            let expr = fold(parse(src).unwrap());
+            let (program, scope) = compile_auto(&expr).unwrap();
+            for x in 0..6i64 {
+                for y in 1..6i64 {
+                    let env: FxHashMap<String, Value> = [
+                        ("x".to_string(), Value::Int(x)),
+                        ("y".to_string(), Value::Int(y)),
+                    ]
+                    .into_iter()
+                    .collect();
+                    let expected = expr.evaluate(&env).map(|v| v.truthy());
+                    let values: Vec<Value> =
+                        scope.iter().map(|n| env.get(n).unwrap().clone()).collect();
+                    let got = program.eval(&values).map(|v| v.truthy());
+                    match (expected, got) {
+                        (Ok(a), Ok(b)) => assert_eq!(a, b, "{src} x={x} y={y}"),
+                        (Err(_), Err(_)) => {}
+                        (a, b) => panic!("{src}: interpreter {a:?} vs vm {b:?}"),
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scope_order_is_first_appearance() {
+        let (_, scope) = compile_src("y * x <= 10 and x > 1");
+        assert_eq!(scope, vec!["y".to_string(), "x".to_string()]);
+    }
+
+    #[test]
+    fn vm_constraint_adapter() {
+        let (program, scope) = compile_src("x * y >= 32");
+        assert_eq!(scope.len(), 2);
+        let c = VmConstraint::new(program, "x * y >= 32");
+        assert!(c.evaluate(&int_values([8, 4])));
+        assert!(!c.evaluate(&int_values([2, 4])));
+        assert!(!c.is_specific());
+        assert_eq!(c.kind(), "CompiledFunction");
+        assert_eq!(c.source(), "x * y >= 32");
+        assert!(format!("{c:?}").contains("x * y"));
+    }
+
+    #[test]
+    fn evaluation_error_means_false() {
+        let (program, _) = compile_src("10 % x == 0");
+        let c = VmConstraint::new(program, "10 % x == 0");
+        assert!(!c.evaluate(&int_values([0])));
+        assert!(c.evaluate(&int_values([5])));
+    }
+
+    #[test]
+    fn unknown_scope_variable_errors() {
+        let expr = fold(parse("x + y > 3").unwrap());
+        assert!(compile(&expr, &["x".to_string()]).is_err());
+    }
+
+    #[test]
+    fn dynamic_membership_set_unsupported() {
+        let expr = fold(parse("x in [y, 2]").unwrap());
+        assert!(matches!(
+            compile_auto(&expr),
+            Err(ExprError::Unsupported(_))
+        ));
+    }
+}

@@ -1,0 +1,126 @@
+//! Constraint decomposition (Figure 1, step 2).
+//!
+//! A compound constraint such as
+//! `2 <= block_size_y <= 32 <= block_size_x * block_size_y <= 1024`
+//! can only be evaluated once *both* parameters are resolved. Splitting it
+//! into the independent conjuncts
+//!
+//! * `2 <= block_size_y`
+//! * `block_size_y <= 32`
+//! * `32 <= block_size_x * block_size_y`
+//! * `block_size_x * block_size_y <= 1024`
+//!
+//! lets the solver discard invalid configurations as soon as a *single*
+//! parameter is resolved, and exposes each conjunct to specific-constraint
+//! recognition (step 3).
+
+use crate::ast::Expr;
+
+/// Split an expression into independently enforceable conjuncts.
+///
+/// Top-level `and`s are flattened and chained comparisons are expanded into
+/// pairwise comparisons. Disjunctions and negations are left intact (they
+/// cannot be decomposed without changing semantics).
+pub fn decompose(expr: Expr) -> Vec<Expr> {
+    let mut out = Vec::new();
+    split(expr, &mut out);
+    out
+}
+
+fn split(expr: Expr, out: &mut Vec<Expr>) {
+    match expr {
+        Expr::And(parts) => {
+            for part in parts {
+                split(part, out);
+            }
+        }
+        Expr::Compare { first, rest } if rest.len() > 1 => {
+            // a op1 b op2 c  →  (a op1 b) and (b op2 c)
+            let mut prev = *first;
+            for (op, next) in rest {
+                out.push(Expr::Compare {
+                    first: Box::new(prev.clone()),
+                    rest: vec![(op, next.clone())],
+                });
+                prev = next;
+            }
+        }
+        other => out.push(other),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fold::fold;
+    use crate::parser::parse;
+    use at_csp::Value;
+    use rustc_hash::FxHashMap;
+
+    fn pieces(src: &str) -> Vec<Expr> {
+        decompose(fold(parse(src).unwrap()))
+    }
+
+    fn env(pairs: &[(&str, i64)]) -> FxHashMap<String, Value> {
+        pairs
+            .iter()
+            .map(|(k, v)| (k.to_string(), Value::Int(*v)))
+            .collect()
+    }
+
+    #[test]
+    fn figure1_example_decomposes_into_four() {
+        let ps = pieces("2 <= block_size_y <= 32 <= block_size_x * block_size_y <= 1024");
+        assert_eq!(ps.len(), 4);
+        // the first two conjuncts involve only block_size_y
+        assert_eq!(ps[0].variables(), vec!["block_size_y".to_string()]);
+        assert_eq!(ps[1].variables(), vec!["block_size_y".to_string()]);
+        assert_eq!(ps[2].variables().len(), 2);
+        assert_eq!(ps[3].variables().len(), 2);
+    }
+
+    #[test]
+    fn top_level_and_is_flattened() {
+        let ps = pieces("a > 1 and b > 2 and c > 3 and d > 4");
+        assert_eq!(ps.len(), 4);
+    }
+
+    #[test]
+    fn nested_and_flattened() {
+        let ps = pieces("(a > 1 and b > 2) and (c > 3 and d < 2)");
+        assert_eq!(ps.len(), 4);
+    }
+
+    #[test]
+    fn or_is_not_split() {
+        let ps = pieces("a > 1 or b > 2");
+        assert_eq!(ps.len(), 1);
+    }
+
+    #[test]
+    fn chain_inside_and() {
+        let ps = pieces("1 <= a <= 4 and b == 2");
+        assert_eq!(ps.len(), 3);
+    }
+
+    #[test]
+    fn decomposition_preserves_semantics() {
+        let src = "2 <= y <= 32 <= x * y <= 1024 and x % 2 == 0";
+        let original = fold(parse(src).unwrap());
+        let parts = decompose(original.clone());
+        for (x, y) in [(16i64, 4i64), (2, 1), (64, 64), (7, 8), (32, 1), (33, 2)] {
+            let env = env(&[("x", x), ("y", y)]);
+            let reference = original.evaluate(&env).unwrap().truthy();
+            let conjunction = parts
+                .iter()
+                .all(|p| p.evaluate(&env).unwrap().truthy());
+            assert_eq!(reference, conjunction, "x={x} y={y}");
+        }
+    }
+
+    #[test]
+    fn single_comparison_is_untouched() {
+        let ps = pieces("x * y <= 1024");
+        assert_eq!(ps.len(), 1);
+    }
+}

@@ -1,0 +1,61 @@
+//! Errors produced while parsing or compiling constraint expressions.
+
+use std::fmt;
+
+/// Errors from the constraint expression pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExprError {
+    /// The lexer met an unexpected character.
+    Lex {
+        /// Explanation.
+        message: String,
+        /// Byte offset in the source.
+        position: usize,
+    },
+    /// The parser met an unexpected token.
+    Parse {
+        /// Explanation.
+        message: String,
+        /// Byte offset in the source.
+        position: usize,
+    },
+    /// The expression uses a feature the compiler does not support.
+    Unsupported(String),
+    /// A type error detected at compile or evaluation time.
+    Type(String),
+}
+
+impl fmt::Display for ExprError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExprError::Lex { message, position } => {
+                write!(f, "lex error at byte {position}: {message}")
+            }
+            ExprError::Parse { message, position } => {
+                write!(f, "parse error at byte {position}: {message}")
+            }
+            ExprError::Unsupported(m) => write!(f, "unsupported expression: {m}"),
+            ExprError::Type(m) => write!(f, "type error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ExprError {}
+
+/// Result alias for expression operations.
+pub type ExprResult<T> = Result<T, ExprError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = ExprError::Parse {
+            message: "unexpected token".into(),
+            position: 4,
+        };
+        assert!(e.to_string().contains("byte 4"));
+        assert!(ExprError::Unsupported("x".into()).to_string().contains("x"));
+    }
+}

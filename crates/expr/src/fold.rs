@@ -1,0 +1,159 @@
+//! Constant folding (Figure 1, step 1).
+//!
+//! Sub-expressions without variable references are evaluated at parse time,
+//! and boolean connectives are simplified (`x and True` → `x`,
+//! `x or True` → `True`, …). Folding never changes the semantics: when the
+//! evaluation of a constant sub-expression would fail (e.g. division by
+//! zero), the sub-expression is left untouched so the error surfaces at the
+//! same point as without folding.
+
+use at_csp::Value;
+use rustc_hash::FxHashMap;
+
+use crate::ast::Expr;
+
+/// Fold constant sub-expressions.
+pub fn fold(expr: Expr) -> Expr {
+    let folded = match expr {
+        Expr::Const(_) | Expr::Var(_) => expr,
+        Expr::Neg(e) => Expr::Neg(Box::new(fold(*e))),
+        Expr::Not(e) => {
+            let inner = fold(*e);
+            if let Expr::Const(v) = &inner {
+                return Expr::Const(Value::Bool(!v.truthy()));
+            }
+            Expr::Not(Box::new(inner))
+        }
+        Expr::Binary { op, lhs, rhs } => Expr::Binary {
+            op,
+            lhs: Box::new(fold(*lhs)),
+            rhs: Box::new(fold(*rhs)),
+        },
+        Expr::Compare { first, rest } => Expr::Compare {
+            first: Box::new(fold(*first)),
+            rest: rest.into_iter().map(|(op, e)| (op, fold(e))).collect(),
+        },
+        Expr::And(es) => {
+            let mut kept = Vec::new();
+            for e in es {
+                let e = fold(e);
+                match e {
+                    Expr::Const(v) if v.truthy() => {} // neutral element
+                    Expr::Const(v) => return Expr::Const(v), // short-circuits to false
+                    other => kept.push(other),
+                }
+            }
+            match kept.len() {
+                0 => Expr::Const(Value::Bool(true)),
+                1 => kept.pop().expect("one element"),
+                _ => Expr::And(kept),
+            }
+        }
+        Expr::Or(es) => {
+            let mut kept = Vec::new();
+            for e in es {
+                let e = fold(e);
+                match e {
+                    Expr::Const(v) if !v.truthy() => {} // neutral element
+                    Expr::Const(v) => return Expr::Const(v), // short-circuits to true
+                    other => kept.push(other),
+                }
+            }
+            match kept.len() {
+                0 => Expr::Const(Value::Bool(false)),
+                1 => kept.pop().expect("one element"),
+                _ => Expr::Or(kept),
+            }
+        }
+        Expr::In { value, set, negated } => Expr::In {
+            value: Box::new(fold(*value)),
+            set: set.into_iter().map(fold).collect(),
+            negated,
+        },
+        Expr::Call { func, args } => Expr::Call {
+            func,
+            args: args.into_iter().map(fold).collect(),
+        },
+    };
+    // If the (sub)expression has become fully constant, evaluate it now.
+    if !matches!(folded, Expr::Const(_)) && folded.is_constant() {
+        let env: FxHashMap<String, Value> = FxHashMap::default();
+        if let Ok(v) = folded.evaluate(&env) {
+            return Expr::Const(v);
+        }
+    }
+    folded
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn folded(src: &str) -> Expr {
+        fold(parse(src).unwrap())
+    }
+
+    #[test]
+    fn folds_arithmetic() {
+        assert_eq!(folded("2 * 3 + 4"), Expr::Const(Value::Int(10)));
+        assert_eq!(folded("2 ** 10"), Expr::Const(Value::Int(1024)));
+    }
+
+    #[test]
+    fn folds_comparisons_and_bools() {
+        assert_eq!(folded("1 < 2"), Expr::Const(Value::Bool(true)));
+        assert_eq!(folded("not (1 < 2)"), Expr::Const(Value::Bool(false)));
+        assert_eq!(folded("1 < 2 and 3 < 4"), Expr::Const(Value::Bool(true)));
+    }
+
+    #[test]
+    fn drops_neutral_conjuncts() {
+        let e = folded("x > 1 and True and 2 < 3");
+        assert_eq!(e, parse("x > 1").unwrap());
+    }
+
+    #[test]
+    fn false_conjunct_collapses() {
+        assert_eq!(folded("x > 1 and 1 > 2"), Expr::Const(Value::Bool(false)));
+    }
+
+    #[test]
+    fn true_disjunct_collapses() {
+        assert_eq!(folded("x > 1 or 2 > 1"), Expr::Const(Value::Bool(true)));
+    }
+
+    #[test]
+    fn neutral_disjunct_dropped() {
+        let e = folded("x > 1 or False");
+        assert_eq!(e, parse("x > 1").unwrap());
+    }
+
+    #[test]
+    fn division_by_zero_left_untouched() {
+        // Must not panic and must not silently become a constant.
+        let e = folded("x > 1 / 0");
+        assert!(matches!(e, Expr::Compare { .. }));
+    }
+
+    #[test]
+    fn folds_inside_variable_expressions() {
+        // The constant factor 16*4 folds even though x is unknown.
+        let e = folded("x * (16 * 4)");
+        match e {
+            Expr::Binary { rhs, .. } => assert_eq!(*rhs, Expr::Const(Value::Int(64))),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn membership_of_constants_folds() {
+        assert_eq!(folded("3 in [1, 2, 3]"), Expr::Const(Value::Bool(true)));
+        assert_eq!(folded("5 not in [1, 2, 3]"), Expr::Const(Value::Bool(true)));
+    }
+
+    #[test]
+    fn call_folds() {
+        assert_eq!(folded("min(3, 4) == 3"), Expr::Const(Value::Bool(true)));
+    }
+}

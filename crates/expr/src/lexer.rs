@@ -1,0 +1,271 @@
+//! Lexer for constraint expressions.
+
+use at_csp::CmpOp;
+
+use crate::error::{ExprError, ExprResult};
+use crate::token::{Token, TokenKind};
+
+/// Tokenize `source` into a vector of tokens ending with [`TokenKind::Eof`].
+pub fn tokenize(source: &str) -> ExprResult<Vec<Token>> {
+    let bytes = source.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        let start = i;
+        match c {
+            ' ' | '\t' | '\n' | '\r' => {
+                i += 1;
+            }
+            '(' => {
+                tokens.push(Token { kind: TokenKind::LParen, position: start });
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token { kind: TokenKind::RParen, position: start });
+                i += 1;
+            }
+            '[' => {
+                tokens.push(Token { kind: TokenKind::LBracket, position: start });
+                i += 1;
+            }
+            ']' => {
+                tokens.push(Token { kind: TokenKind::RBracket, position: start });
+                i += 1;
+            }
+            ',' => {
+                tokens.push(Token { kind: TokenKind::Comma, position: start });
+                i += 1;
+            }
+            '+' => {
+                tokens.push(Token { kind: TokenKind::Plus, position: start });
+                i += 1;
+            }
+            '-' => {
+                tokens.push(Token { kind: TokenKind::Minus, position: start });
+                i += 1;
+            }
+            '%' => {
+                tokens.push(Token { kind: TokenKind::Percent, position: start });
+                i += 1;
+            }
+            '*' => {
+                if bytes.get(i + 1) == Some(&b'*') {
+                    tokens.push(Token { kind: TokenKind::DoubleStar, position: start });
+                    i += 2;
+                } else {
+                    tokens.push(Token { kind: TokenKind::Star, position: start });
+                    i += 1;
+                }
+            }
+            '/' => {
+                if bytes.get(i + 1) == Some(&b'/') {
+                    tokens.push(Token { kind: TokenKind::DoubleSlash, position: start });
+                    i += 2;
+                } else {
+                    tokens.push(Token { kind: TokenKind::Slash, position: start });
+                    i += 1;
+                }
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token { kind: TokenKind::Cmp(CmpOp::Le), position: start });
+                    i += 2;
+                } else {
+                    tokens.push(Token { kind: TokenKind::Cmp(CmpOp::Lt), position: start });
+                    i += 1;
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token { kind: TokenKind::Cmp(CmpOp::Ge), position: start });
+                    i += 2;
+                } else {
+                    tokens.push(Token { kind: TokenKind::Cmp(CmpOp::Gt), position: start });
+                    i += 1;
+                }
+            }
+            '=' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token { kind: TokenKind::Cmp(CmpOp::Eq), position: start });
+                    i += 2;
+                } else {
+                    return Err(ExprError::Lex {
+                        message: "single `=` is not a comparison; use `==`".to_string(),
+                        position: start,
+                    });
+                }
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token { kind: TokenKind::Cmp(CmpOp::Ne), position: start });
+                    i += 2;
+                } else {
+                    return Err(ExprError::Lex {
+                        message: "unexpected `!`".to_string(),
+                        position: start,
+                    });
+                }
+            }
+            '"' | '\'' => {
+                let quote = c;
+                let mut j = i + 1;
+                while j < bytes.len() && bytes[j] as char != quote {
+                    j += 1;
+                }
+                if j >= bytes.len() {
+                    return Err(ExprError::Lex {
+                        message: "unterminated string literal".to_string(),
+                        position: start,
+                    });
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Str(source[i + 1..j].to_string()),
+                    position: start,
+                });
+                i = j + 1;
+            }
+            c if c.is_ascii_digit() => {
+                let mut j = i;
+                let mut is_float = false;
+                while j < bytes.len() {
+                    let d = bytes[j] as char;
+                    if d.is_ascii_digit() || d == '_' {
+                        j += 1;
+                    } else if d == '.' && !is_float {
+                        is_float = true;
+                        j += 1;
+                    } else if (d == 'e' || d == 'E')
+                        && j + 1 < bytes.len()
+                        && ((bytes[j + 1] as char).is_ascii_digit()
+                            || bytes[j + 1] == b'+'
+                            || bytes[j + 1] == b'-')
+                    {
+                        is_float = true;
+                        j += 2;
+                    } else {
+                        break;
+                    }
+                }
+                let text: String = source[i..j].chars().filter(|&c| c != '_').collect();
+                let kind = if is_float {
+                    TokenKind::Float(text.parse::<f64>().map_err(|e| ExprError::Lex {
+                        message: format!("bad float literal `{text}`: {e}"),
+                        position: start,
+                    })?)
+                } else {
+                    TokenKind::Int(text.parse::<i64>().map_err(|e| ExprError::Lex {
+                        message: format!("bad integer literal `{text}`: {e}"),
+                        position: start,
+                    })?)
+                };
+                tokens.push(Token { kind, position: start });
+                i = j;
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut j = i;
+                while j < bytes.len() {
+                    let d = bytes[j] as char;
+                    if d.is_ascii_alphanumeric() || d == '_' {
+                        j += 1;
+                    } else {
+                        break;
+                    }
+                }
+                let word = &source[i..j];
+                let kind = match word {
+                    "and" => TokenKind::And,
+                    "or" => TokenKind::Or,
+                    "not" => TokenKind::Not,
+                    "in" => TokenKind::In,
+                    "True" => TokenKind::True,
+                    "False" => TokenKind::False,
+                    _ => TokenKind::Ident(word.to_string()),
+                };
+                tokens.push(Token { kind, position: start });
+                i = j;
+            }
+            other => {
+                return Err(ExprError::Lex {
+                    message: format!("unexpected character `{other}`"),
+                    position: start,
+                });
+            }
+        }
+    }
+    tokens.push(Token {
+        kind: TokenKind::Eof,
+        position: source.len(),
+    });
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        tokenize(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_the_listing2_constraint() {
+        let k = kinds("32 <= block_size_x*block_size_y <= 1024");
+        assert_eq!(
+            k,
+            vec![
+                TokenKind::Int(32),
+                TokenKind::Cmp(CmpOp::Le),
+                TokenKind::Ident("block_size_x".into()),
+                TokenKind::Star,
+                TokenKind::Ident("block_size_y".into()),
+                TokenKind::Cmp(CmpOp::Le),
+                TokenKind::Int(1024),
+                TokenKind::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_operators() {
+        let k = kinds("a ** 2 // 3 % 4 != 5 == 6 > 7 >= 8 < 9");
+        assert!(k.contains(&TokenKind::DoubleStar));
+        assert!(k.contains(&TokenKind::DoubleSlash));
+        assert!(k.contains(&TokenKind::Percent));
+        assert!(k.contains(&TokenKind::Cmp(CmpOp::Ne)));
+        assert!(k.contains(&TokenKind::Cmp(CmpOp::Eq)));
+        assert!(k.contains(&TokenKind::Cmp(CmpOp::Ge)));
+    }
+
+    #[test]
+    fn lexes_keywords_and_literals() {
+        let k = kinds("x in [1, 2.5, 'abc'] and not True or False");
+        assert!(k.contains(&TokenKind::In));
+        assert!(k.contains(&TokenKind::And));
+        assert!(k.contains(&TokenKind::Not));
+        assert!(k.contains(&TokenKind::Or));
+        assert!(k.contains(&TokenKind::True));
+        assert!(k.contains(&TokenKind::False));
+        assert!(k.contains(&TokenKind::Float(2.5)));
+        assert!(k.contains(&TokenKind::Str("abc".into())));
+    }
+
+    #[test]
+    fn underscores_in_numbers() {
+        assert_eq!(kinds("1_000")[0], TokenKind::Int(1000));
+    }
+
+    #[test]
+    fn scientific_notation() {
+        assert_eq!(kinds("1e3")[0], TokenKind::Float(1000.0));
+        assert_eq!(kinds("2.5e-2")[0], TokenKind::Float(0.025));
+    }
+
+    #[test]
+    fn errors() {
+        assert!(tokenize("a = 3").is_err());
+        assert!(tokenize("a ! b").is_err());
+        assert!(tokenize("'unterminated").is_err());
+        assert!(tokenize("a $ b").is_err());
+    }
+}

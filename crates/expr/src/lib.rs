@@ -1,0 +1,46 @@
+//! # at-expr — the constraint expression pipeline
+//!
+//! Auto-tuning users write constraints as Python-style expression strings
+//! (Listing 2 of the paper), e.g.
+//! `"32 <= block_size_x*block_size_y <= 1024"`. This crate implements the
+//! paper's runtime parser (Section 4.2, Figure 1): it parses such strings,
+//! constant-folds them, decomposes them into minimal-scope conjuncts,
+//! recognises *specific* constraints (`MaxProduct`, `MinSum`, …) that the CSP
+//! solver can preprocess, and compiles whatever remains into a small bytecode
+//! VM — the analogue of the paper's runtime compilation of `Function`
+//! constraints.
+//!
+//! ```
+//! use at_expr::parse_restriction;
+//!
+//! let parsed = parse_restriction("32 <= block_size_x*block_size_y <= 1024").unwrap();
+//! assert_eq!(parsed.constraints.len(), 2); // MinProduct + MaxProduct
+//! assert_eq!(parsed.specific_count(), 2);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod compile;
+pub mod decompose;
+pub mod error;
+pub mod fold;
+pub mod lexer;
+pub mod parser;
+pub mod pipeline;
+pub mod recognize;
+pub mod token;
+pub mod vm;
+
+pub use ast::{BinOp, BuiltinFn, Expr};
+pub use compile::{compile, compile_auto, VmConstraint};
+pub use decompose::decompose;
+pub use error::{ExprError, ExprResult};
+pub use fold::fold;
+pub use lexer::tokenize;
+pub use parser::parse;
+pub use pipeline::{
+    parse_restriction, parse_restriction_generic, restriction_from_expr, ParsedRestriction,
+};
+pub use recognize::{recognize, RecognizedConstraint};
+pub use vm::{Op, Program};

@@ -1,0 +1,410 @@
+//! Recursive descent parser with Python operator precedence.
+//!
+//! Grammar (highest precedence last):
+//!
+//! ```text
+//! expr        := or_expr
+//! or_expr     := and_expr ("or" and_expr)*
+//! and_expr    := not_expr ("and" not_expr)*
+//! not_expr    := "not" not_expr | comparison
+//! comparison  := arith (( "<" | "<=" | ">" | ">=" | "==" | "!=" ) arith)*
+//!              | arith ("not")? "in" collection
+//! arith       := term (("+" | "-") term)*
+//! term        := factor (("*" | "/" | "//" | "%") factor)*
+//! factor      := ("-" | "+") factor | power
+//! power       := atom ("**" factor)?
+//! atom        := INT | FLOAT | STR | "True" | "False" | IDENT
+//!              | IDENT "(" args ")" | "(" expr ")" | collection
+//! collection  := "[" expr ("," expr)* "]" | "(" expr ("," expr)+ ")"
+//! ```
+
+use at_csp::Value;
+
+use crate::ast::{BinOp, BuiltinFn, Expr};
+use crate::error::{ExprError, ExprResult};
+use crate::lexer::tokenize;
+use crate::token::{Token, TokenKind};
+
+/// Parse a constraint expression.
+pub fn parse(source: &str) -> ExprResult<Expr> {
+    let tokens = tokenize(source)?;
+    let mut parser = Parser { tokens, pos: 0 };
+    let expr = parser.parse_or()?;
+    parser.expect_eof()?;
+    Ok(expr)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos].kind
+    }
+
+    fn position(&self) -> usize {
+        self.tokens[self.pos].position
+    }
+
+    fn advance(&mut self) -> TokenKind {
+        let kind = self.tokens[self.pos].kind.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        kind
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.peek() == kind {
+            self.advance();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: &TokenKind) -> ExprResult<()> {
+        if self.eat(kind) {
+            Ok(())
+        } else {
+            Err(ExprError::Parse {
+                message: format!("expected {}, found {}", kind.describe(), self.peek().describe()),
+                position: self.position(),
+            })
+        }
+    }
+
+    fn expect_eof(&mut self) -> ExprResult<()> {
+        if matches!(self.peek(), TokenKind::Eof) {
+            Ok(())
+        } else {
+            Err(ExprError::Parse {
+                message: format!("unexpected trailing {}", self.peek().describe()),
+                position: self.position(),
+            })
+        }
+    }
+
+    fn parse_or(&mut self) -> ExprResult<Expr> {
+        let first = self.parse_and()?;
+        let mut parts = vec![first];
+        while self.eat(&TokenKind::Or) {
+            parts.push(self.parse_and()?);
+        }
+        Ok(if parts.len() == 1 {
+            parts.pop().expect("one element")
+        } else {
+            Expr::Or(parts)
+        })
+    }
+
+    fn parse_and(&mut self) -> ExprResult<Expr> {
+        let first = self.parse_not()?;
+        let mut parts = vec![first];
+        while self.eat(&TokenKind::And) {
+            parts.push(self.parse_not()?);
+        }
+        Ok(if parts.len() == 1 {
+            parts.pop().expect("one element")
+        } else {
+            Expr::And(parts)
+        })
+    }
+
+    fn parse_not(&mut self) -> ExprResult<Expr> {
+        if self.eat(&TokenKind::Not) {
+            Ok(Expr::Not(Box::new(self.parse_not()?)))
+        } else {
+            self.parse_comparison()
+        }
+    }
+
+    fn parse_comparison(&mut self) -> ExprResult<Expr> {
+        let first = self.parse_arith()?;
+        // Membership test?
+        if matches!(self.peek(), TokenKind::In)
+            || (matches!(self.peek(), TokenKind::Not)
+                && matches!(self.tokens.get(self.pos + 1).map(|t| &t.kind), Some(TokenKind::In)))
+        {
+            let negated = self.eat(&TokenKind::Not);
+            self.expect(&TokenKind::In)?;
+            let set = self.parse_collection()?;
+            return Ok(Expr::In {
+                value: Box::new(first),
+                set,
+                negated,
+            });
+        }
+        let mut rest = Vec::new();
+        while let TokenKind::Cmp(op) = self.peek() {
+            let op = *op;
+            self.advance();
+            let rhs = self.parse_arith()?;
+            rest.push((op, rhs));
+        }
+        if rest.is_empty() {
+            Ok(first)
+        } else {
+            Ok(Expr::Compare {
+                first: Box::new(first),
+                rest,
+            })
+        }
+    }
+
+    fn parse_collection(&mut self) -> ExprResult<Vec<Expr>> {
+        let (open, close) = match self.peek() {
+            TokenKind::LBracket => (TokenKind::LBracket, TokenKind::RBracket),
+            TokenKind::LParen => (TokenKind::LParen, TokenKind::RParen),
+            other => {
+                return Err(ExprError::Parse {
+                    message: format!("expected a list or tuple after `in`, found {}", other.describe()),
+                    position: self.position(),
+                })
+            }
+        };
+        self.expect(&open)?;
+        let mut items = Vec::new();
+        if self.peek() != &close {
+            loop {
+                items.push(self.parse_or()?);
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+                // allow trailing comma
+                if self.peek() == &close {
+                    break;
+                }
+            }
+        }
+        self.expect(&close)?;
+        Ok(items)
+    }
+
+    fn parse_arith(&mut self) -> ExprResult<Expr> {
+        let mut lhs = self.parse_term()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Plus => BinOp::Add,
+                TokenKind::Minus => BinOp::Sub,
+                _ => break,
+            };
+            self.advance();
+            let rhs = self.parse_term()?;
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn parse_term(&mut self) -> ExprResult<Expr> {
+        let mut lhs = self.parse_factor()?;
+        loop {
+            let op = match self.peek() {
+                TokenKind::Star => BinOp::Mul,
+                TokenKind::Slash => BinOp::Div,
+                TokenKind::DoubleSlash => BinOp::FloorDiv,
+                TokenKind::Percent => BinOp::Mod,
+                _ => break,
+            };
+            self.advance();
+            let rhs = self.parse_factor()?;
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn parse_factor(&mut self) -> ExprResult<Expr> {
+        if self.eat(&TokenKind::Minus) {
+            return Ok(Expr::Neg(Box::new(self.parse_factor()?)));
+        }
+        if self.eat(&TokenKind::Plus) {
+            return self.parse_factor();
+        }
+        self.parse_power()
+    }
+
+    fn parse_power(&mut self) -> ExprResult<Expr> {
+        let base = self.parse_atom()?;
+        if self.eat(&TokenKind::DoubleStar) {
+            // Right associative, and `-` binds tighter on the exponent side.
+            let exponent = self.parse_factor()?;
+            return Ok(Expr::Binary {
+                op: BinOp::Pow,
+                lhs: Box::new(base),
+                rhs: Box::new(exponent),
+            });
+        }
+        Ok(base)
+    }
+
+    fn parse_atom(&mut self) -> ExprResult<Expr> {
+        let position = self.position();
+        match self.advance() {
+            TokenKind::Int(v) => Ok(Expr::Const(Value::Int(v))),
+            TokenKind::Float(v) => Ok(Expr::Const(Value::Float(v))),
+            TokenKind::Str(s) => Ok(Expr::Const(Value::str(s))),
+            TokenKind::True => Ok(Expr::Const(Value::Bool(true))),
+            TokenKind::False => Ok(Expr::Const(Value::Bool(false))),
+            TokenKind::Ident(name) => {
+                if self.peek() == &TokenKind::LParen {
+                    let func = BuiltinFn::from_name(&name).ok_or_else(|| ExprError::Parse {
+                        message: format!("unknown function `{name}` (supported: min, max, abs)"),
+                        position,
+                    })?;
+                    self.expect(&TokenKind::LParen)?;
+                    let mut args = Vec::new();
+                    if self.peek() != &TokenKind::RParen {
+                        loop {
+                            args.push(self.parse_or()?);
+                            if !self.eat(&TokenKind::Comma) {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect(&TokenKind::RParen)?;
+                    Ok(Expr::Call { func, args })
+                } else {
+                    Ok(Expr::Var(name))
+                }
+            }
+            TokenKind::LParen => {
+                let inner = self.parse_or()?;
+                self.expect(&TokenKind::RParen)?;
+                Ok(inner)
+            }
+            other => Err(ExprError::Parse {
+                message: format!("unexpected {}", other.describe()),
+                position,
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use at_csp::CmpOp;
+    use rustc_hash::FxHashMap;
+
+    fn eval(src: &str, env: &[(&str, i64)]) -> Value {
+        let env: FxHashMap<String, Value> = env
+            .iter()
+            .map(|(k, v)| (k.to_string(), Value::Int(*v)))
+            .collect();
+        parse(src).unwrap().evaluate(&env).unwrap()
+    }
+
+    #[test]
+    fn parses_listing2_constraint() {
+        let e = parse("32 <= block_size_x*block_size_y <= 1024").unwrap();
+        match &e {
+            Expr::Compare { rest, .. } => assert_eq!(rest.len(), 2),
+            other => panic!("expected a chained comparison, got {other:?}"),
+        }
+        assert_eq!(
+            e.variables(),
+            vec!["block_size_x".to_string(), "block_size_y".to_string()]
+        );
+    }
+
+    #[test]
+    fn precedence_mul_before_add() {
+        assert_eq!(eval("2 + 3 * 4", &[]), Value::Int(14));
+        assert_eq!(eval("(2 + 3) * 4", &[]), Value::Int(20));
+    }
+
+    #[test]
+    fn power_is_right_associative() {
+        assert_eq!(eval("2 ** 3 ** 2", &[]), Value::Int(512));
+    }
+
+    #[test]
+    fn unary_minus_and_power() {
+        assert_eq!(eval("-2 ** 2", &[]), Value::Int(-4)); // like Python: -(2**2)
+        assert_eq!(eval("2 ** -1", &[]), Value::Float(0.5));
+    }
+
+    #[test]
+    fn floor_division_and_modulo() {
+        assert_eq!(eval("7 // 2", &[]), Value::Int(3));
+        assert_eq!(eval("7 % 2", &[]), Value::Int(1));
+        assert_eq!(eval("x % 16 == 0", &[("x", 32)]), Value::Bool(true));
+    }
+
+    #[test]
+    fn comparison_chain_evaluates_like_python() {
+        assert_eq!(eval("1 <= 2 <= 3", &[]), Value::Bool(true));
+        assert_eq!(eval("1 <= 5 <= 3", &[]), Value::Bool(false));
+        assert_eq!(
+            eval("2 <= y <= 32 <= x * y <= 1024", &[("x", 16), ("y", 4)]),
+            Value::Bool(true)
+        );
+    }
+
+    #[test]
+    fn boolean_operators() {
+        assert_eq!(eval("1 < 2 and 3 < 4", &[]), Value::Bool(true));
+        assert_eq!(eval("1 < 2 and 4 < 3", &[]), Value::Bool(false));
+        assert_eq!(eval("1 > 2 or 3 < 4", &[]), Value::Bool(true));
+        assert_eq!(eval("not 1 > 2", &[]), Value::Bool(true));
+    }
+
+    #[test]
+    fn membership() {
+        assert_eq!(eval("x in [1, 2, 4]", &[("x", 4)]), Value::Bool(true));
+        assert_eq!(eval("x in (1, 2, 4)", &[("x", 3)]), Value::Bool(false));
+        assert_eq!(eval("x not in [1, 2]", &[("x", 3)]), Value::Bool(true));
+    }
+
+    #[test]
+    fn builtin_calls() {
+        assert_eq!(eval("min(x, 4)", &[("x", 9)]), Value::Int(4));
+        assert_eq!(eval("max(x, 4) == 9", &[("x", 9)]), Value::Bool(true));
+        assert_eq!(eval("abs(0 - x)", &[("x", 3)]), Value::Int(3));
+    }
+
+    #[test]
+    fn conditional_style_constraint() {
+        // typical Kernel Tuner restriction: only applies when a switch is on
+        let src = "sh_power == 0 or tile_x % 2 == 0";
+        assert_eq!(eval(src, &[("sh_power", 0), ("tile_x", 3)]), Value::Bool(true));
+        assert_eq!(eval(src, &[("sh_power", 1), ("tile_x", 3)]), Value::Bool(false));
+        assert_eq!(eval(src, &[("sh_power", 1), ("tile_x", 4)]), Value::Bool(true));
+    }
+
+    #[test]
+    fn errors_on_garbage() {
+        assert!(parse("1 +").is_err());
+        assert!(parse("foo(1)").is_err());
+        assert!(parse("(1").is_err());
+        assert!(parse("1 2").is_err());
+        assert!(parse("x in 3").is_err());
+    }
+
+    #[test]
+    fn cmp_ops_parse() {
+        for (src, expected) in [
+            ("a < b", CmpOp::Lt),
+            ("a <= b", CmpOp::Le),
+            ("a > b", CmpOp::Gt),
+            ("a >= b", CmpOp::Ge),
+            ("a == b", CmpOp::Eq),
+            ("a != b", CmpOp::Ne),
+        ] {
+            match parse(src).unwrap() {
+                Expr::Compare { rest, .. } => assert_eq!(rest[0].0, expected),
+                other => panic!("{other:?}"),
+            }
+        }
+    }
+}

@@ -1,0 +1,257 @@
+//! The end-to-end constraint parsing pipeline of Figure 1:
+//!
+//! 1. parse the user-written Python-style restriction string,
+//! 2. constant-fold,
+//! 3. decompose into minimal-scope conjuncts,
+//! 4. recognise specific constraints where possible,
+//! 5. compile the remainder to bytecode `Function` constraints.
+//!
+//! Two entry points are provided: [`parse_restriction`] runs the full
+//! optimizing pipeline, [`parse_restriction_generic`] skips steps 2–4 and
+//! produces a single compiled function constraint over all referenced
+//! parameters — the lowering used for the `original` / `brute-force` baseline
+//! series in the paper's evaluation.
+
+use std::sync::Arc;
+
+use at_csp::ConstraintRef;
+
+use crate::ast::Expr;
+use crate::compile::{compile, VmConstraint};
+use crate::decompose::decompose;
+use crate::error::{ExprError, ExprResult};
+use crate::fold::fold;
+use crate::parser::parse;
+use crate::recognize::{recognize, RecognizedConstraint};
+
+/// The result of parsing one restriction string.
+#[derive(Debug, Clone, Default)]
+pub struct ParsedRestriction {
+    /// The original source text.
+    pub source: String,
+    /// The constraints the restriction decomposed into.
+    pub constraints: Vec<RecognizedConstraint>,
+    /// True when the restriction folded to a constant `False`: the search
+    /// space is empty regardless of parameter values.
+    pub always_false: bool,
+}
+
+impl ParsedRestriction {
+    /// True when the restriction folded to a constant `True` (no constraints).
+    pub fn is_trivial(&self) -> bool {
+        !self.always_false && self.constraints.is_empty()
+    }
+
+    /// Number of specific (non-function) constraints produced.
+    pub fn specific_count(&self) -> usize {
+        self.constraints
+            .iter()
+            .filter(|c| c.constraint.is_specific())
+            .count()
+    }
+}
+
+/// Run the full optimizing pipeline on a restriction string.
+pub fn parse_restriction(source: &str) -> ExprResult<ParsedRestriction> {
+    let expr = fold(parse(source)?);
+    restriction_from_expr(expr, source)
+}
+
+/// Build a [`ParsedRestriction`] from an already parsed (and possibly folded)
+/// expression.
+pub fn restriction_from_expr(expr: Expr, source: &str) -> ExprResult<ParsedRestriction> {
+    if let Expr::Const(v) = &expr {
+        return Ok(ParsedRestriction {
+            source: source.to_string(),
+            constraints: Vec::new(),
+            always_false: !v.truthy(),
+        });
+    }
+    let mut constraints = Vec::new();
+    let mut always_false = false;
+    for piece in decompose(expr) {
+        if let Expr::Const(v) = &piece {
+            if !v.truthy() {
+                always_false = true;
+            }
+            continue;
+        }
+        if let Some(recognized) = recognize(&piece) {
+            constraints.push(recognized);
+            continue;
+        }
+        // Fallback: compile the conjunct to a bytecode function constraint.
+        let scope = piece.variables();
+        if scope.is_empty() {
+            return Err(ExprError::Unsupported(format!(
+                "conjunct of `{source}` references no parameters and is not constant"
+            )));
+        }
+        let program = compile(&piece, &scope)?;
+        let constraint: ConstraintRef = Arc::new(VmConstraint::new(program, source));
+        constraints.push(RecognizedConstraint {
+            constraint,
+            scope,
+            description: "CompiledFunction".to_string(),
+        });
+    }
+    Ok(ParsedRestriction {
+        source: source.to_string(),
+        constraints,
+        always_false,
+    })
+}
+
+/// Parse a restriction string into a *single* compiled function constraint
+/// over all referenced parameters, without folding, decomposition or
+/// recognition (the unoptimized baseline lowering).
+pub fn parse_restriction_generic(source: &str) -> ExprResult<ParsedRestriction> {
+    let expr = parse(source)?;
+    if let Expr::Const(v) = &expr {
+        return Ok(ParsedRestriction {
+            source: source.to_string(),
+            constraints: Vec::new(),
+            always_false: !v.truthy(),
+        });
+    }
+    let scope = expr.variables();
+    if scope.is_empty() {
+        // Constant expression that is not a literal (e.g. `1 < 2`): evaluate.
+        let env = rustc_hash::FxHashMap::default();
+        let value = expr.evaluate(&env)?;
+        return Ok(ParsedRestriction {
+            source: source.to_string(),
+            constraints: Vec::new(),
+            always_false: !value.truthy(),
+        });
+    }
+    let program = compile(&expr, &scope)?;
+    let constraint: ConstraintRef = Arc::new(VmConstraint::new(program, source));
+    Ok(ParsedRestriction {
+        source: source.to_string(),
+        constraints: vec![RecognizedConstraint {
+            constraint,
+            scope,
+            description: "CompiledFunction".to_string(),
+        }],
+        always_false: false,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use at_csp::value::int_values;
+    use at_csp::Value;
+    use rustc_hash::FxHashMap;
+
+    #[test]
+    fn figure1_pipeline_produces_four_specific_constraints() {
+        let r =
+            parse_restriction("2 <= block_size_y <= 32 <= block_size_x * block_size_y <= 1024")
+                .unwrap();
+        assert_eq!(r.constraints.len(), 4);
+        assert_eq!(r.specific_count(), 4);
+        let kinds: Vec<&str> = r.constraints.iter().map(|c| c.constraint.kind()).collect();
+        assert_eq!(
+            kinds,
+            vec!["VarCompare", "VarCompare", "MinProduct", "MaxProduct"]
+        );
+    }
+
+    #[test]
+    fn listing2_constraint_decomposes_to_min_and_max_product() {
+        let r = parse_restriction("32 <= block_size_x*block_size_y <= 1024").unwrap();
+        assert_eq!(r.constraints.len(), 2);
+        let kinds: Vec<&str> = r.constraints.iter().map(|c| c.constraint.kind()).collect();
+        assert!(kinds.contains(&"MinProduct"));
+        assert!(kinds.contains(&"MaxProduct"));
+    }
+
+    #[test]
+    fn unrecognized_conjunct_compiles_to_function() {
+        let r = parse_restriction("min(x, y) >= 2 and x * y <= 256").unwrap();
+        assert_eq!(r.constraints.len(), 2);
+        assert_eq!(r.specific_count(), 1);
+        let function = r
+            .constraints
+            .iter()
+            .find(|c| !c.constraint.is_specific())
+            .unwrap();
+        assert_eq!(function.scope, vec!["x".to_string(), "y".to_string()]);
+        assert!(function.constraint.evaluate(&int_values([32, 2])));
+        assert!(!function.constraint.evaluate(&int_values([1, 8])));
+    }
+
+    #[test]
+    fn divisibility_conjuncts_become_specific_constraints() {
+        let r = parse_restriction("x % 16 == 0 and x % y == 0").unwrap();
+        assert_eq!(r.constraints.len(), 2);
+        assert_eq!(r.specific_count(), 2);
+        let kinds: Vec<&str> = r.constraints.iter().map(|c| c.constraint.kind()).collect();
+        assert!(kinds.contains(&"ModuloEquals"));
+        assert!(kinds.contains(&"Divides"));
+    }
+
+    #[test]
+    fn trivial_and_impossible_restrictions() {
+        let r = parse_restriction("1 < 2").unwrap();
+        assert!(r.is_trivial());
+        let r = parse_restriction("2 < 1").unwrap();
+        assert!(r.always_false);
+        let r = parse_restriction("x > 1 and 2 < 1").unwrap();
+        assert!(r.always_false);
+    }
+
+    #[test]
+    fn generic_lowering_is_one_constraint() {
+        let src = "2 <= y <= 32 <= x * y <= 1024 and x % 2 == 0";
+        let r = parse_restriction_generic(src).unwrap();
+        assert_eq!(r.constraints.len(), 1);
+        assert_eq!(r.specific_count(), 0);
+        assert_eq!(r.constraints[0].scope, vec!["y".to_string(), "x".to_string()]);
+    }
+
+    #[test]
+    fn optimized_and_generic_lowerings_agree() {
+        let sources = [
+            "32 <= x * y <= 1024",
+            "x % 16 == 0 and y >= 2",
+            "x == 0 or y % 4 == 0",
+            "2 <= y <= 32 <= x * y <= 1024",
+            "x * y * 4 <= 2048 and x + y <= 96",
+            "x in [1, 2, 4, 8, 16] and y not in (3, 5)",
+        ];
+        for src in sources {
+            let opt = parse_restriction(src).unwrap();
+            let gen = parse_restriction_generic(src).unwrap();
+            for x in [0i64, 1, 2, 3, 4, 8, 16, 31, 32, 64] {
+                for y in [1i64, 2, 3, 4, 5, 16, 32, 33] {
+                    let env: FxHashMap<String, Value> = [
+                        ("x".to_string(), Value::Int(x)),
+                        ("y".to_string(), Value::Int(y)),
+                    ]
+                    .into_iter()
+                    .collect();
+                    let eval = |r: &ParsedRestriction| -> bool {
+                        if r.always_false {
+                            return false;
+                        }
+                        r.constraints.iter().all(|c| {
+                            let values: Vec<Value> =
+                                c.scope.iter().map(|n| env[n].clone()).collect();
+                            c.constraint.evaluate(&values)
+                        })
+                    };
+                    assert_eq!(eval(&opt), eval(&gen), "{src} x={x} y={y}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parse_errors_propagate() {
+        assert!(parse_restriction("x >").is_err());
+        assert!(parse_restriction_generic("x $ y").is_err());
+    }
+}

@@ -1,0 +1,542 @@
+//! Specific-constraint recognition (Figure 1, step 3).
+//!
+//! After decomposition, each conjunct is matched against the shapes that the
+//! CSP solver has *specific* constraints for: products and (weighted) sums of
+//! parameters compared to constants, single-parameter comparisons, pairwise
+//! comparisons and membership tests. Recognised conjuncts are turned into the
+//! corresponding specific constraint, which unlocks domain preprocessing and
+//! early partial rejection in the solver. Everything else falls back to a
+//! compiled [`crate::compile::VmConstraint`].
+
+use std::sync::Arc;
+
+use at_csp::{
+    CmpOp, ConstraintRef, Divides, ExactProduct, ExactSum, FixedValue, InSet, MaxProduct, MaxSum,
+    MinProduct, MinSum, ModuloEquals, NotInSet, PairCompare, Value, VarCompare,
+};
+
+use crate::ast::{BinOp, Expr};
+
+/// A recognised (or compiled) constraint with its scope in variable-name form.
+#[derive(Clone)]
+pub struct RecognizedConstraint {
+    /// The constraint object to hand to the solver.
+    pub constraint: ConstraintRef,
+    /// The parameter names the constraint ranges over, in scope order.
+    pub scope: Vec<String>,
+    /// Short description, e.g. `MaxProduct(1024)`.
+    pub description: String,
+}
+
+impl std::fmt::Debug for RecognizedConstraint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RecognizedConstraint")
+            .field("description", &self.description)
+            .field("scope", &self.scope)
+            .finish()
+    }
+}
+
+/// The algebraic shape of one side of a comparison.
+#[derive(Debug, Clone, PartialEq)]
+enum Shape {
+    /// A constant value.
+    Const(Value),
+    /// `coeff * v1 * v2 * ...` — a product of variables with a constant factor.
+    Product { coeff: f64, vars: Vec<String> },
+    /// `sum(coeff_i * var_i) + offset`.
+    Sum {
+        terms: Vec<(String, f64)>,
+        offset: f64,
+    },
+    /// Anything else.
+    Other,
+}
+
+fn classify(expr: &Expr) -> Shape {
+    match expr {
+        Expr::Const(v) => Shape::Const(v.clone()),
+        Expr::Var(name) => Shape::Product {
+            coeff: 1.0,
+            vars: vec![name.clone()],
+        },
+        Expr::Neg(inner) => match classify(inner) {
+            Shape::Const(v) => match v.neg() {
+                Some(n) => Shape::Const(n),
+                None => Shape::Other,
+            },
+            Shape::Product { coeff, vars } => Shape::Product { coeff: -coeff, vars },
+            Shape::Sum { terms, offset } => Shape::Sum {
+                terms: terms.into_iter().map(|(v, c)| (v, -c)).collect(),
+                offset: -offset,
+            },
+            Shape::Other => Shape::Other,
+        },
+        Expr::Binary { op: BinOp::Mul, lhs, rhs } => {
+            let (a, b) = (classify(lhs), classify(rhs));
+            match (a, b) {
+                (Shape::Const(c), Shape::Product { coeff, vars })
+                | (Shape::Product { coeff, vars }, Shape::Const(c)) => match c.as_f64() {
+                    Some(f) => Shape::Product { coeff: coeff * f, vars },
+                    None => Shape::Other,
+                },
+                (
+                    Shape::Product { coeff: c1, vars: v1 },
+                    Shape::Product { coeff: c2, vars: v2 },
+                ) => {
+                    let mut vars = v1;
+                    vars.extend(v2);
+                    Shape::Product { coeff: c1 * c2, vars }
+                }
+                (Shape::Const(a), Shape::Const(b)) => match (a.as_f64(), b.as_f64()) {
+                    (Some(x), Some(y)) => Shape::Const(Value::Float(x * y)),
+                    _ => Shape::Other,
+                },
+                // A constant times a sum distributes.
+                (Shape::Const(c), Shape::Sum { terms, offset })
+                | (Shape::Sum { terms, offset }, Shape::Const(c)) => match c.as_f64() {
+                    Some(f) => Shape::Sum {
+                        terms: terms.into_iter().map(|(v, w)| (v, w * f)).collect(),
+                        offset: offset * f,
+                    },
+                    None => Shape::Other,
+                },
+                _ => Shape::Other,
+            }
+        }
+        Expr::Binary { op, lhs, rhs } if matches!(op, BinOp::Add | BinOp::Sub) => {
+            let sign = if *op == BinOp::Add { 1.0 } else { -1.0 };
+            let (a, b) = (as_sum(classify(lhs)), as_sum(classify(rhs)));
+            match (a, b) {
+                (Some((mut terms, offset_a)), Some((terms_b, offset_b))) => {
+                    for (v, w) in terms_b {
+                        terms.push((v, w * sign));
+                    }
+                    Shape::Sum {
+                        terms: merge_terms(terms),
+                        offset: offset_a + sign * offset_b,
+                    }
+                }
+                _ => Shape::Other,
+            }
+        }
+        _ => Shape::Other,
+    }
+}
+
+/// View a shape as a weighted sum, if possible.
+fn as_sum(shape: Shape) -> Option<(Vec<(String, f64)>, f64)> {
+    match shape {
+        Shape::Const(v) => v.as_f64().map(|f| (Vec::new(), f)),
+        Shape::Product { coeff, vars } if vars.len() == 1 => {
+            Some((vec![(vars.into_iter().next().expect("one var"), coeff)], 0.0))
+        }
+        Shape::Sum { terms, offset } => Some((terms, offset)),
+        _ => None,
+    }
+}
+
+fn merge_terms(terms: Vec<(String, f64)>) -> Vec<(String, f64)> {
+    let mut merged: Vec<(String, f64)> = Vec::with_capacity(terms.len());
+    for (v, w) in terms {
+        if let Some(entry) = merged.iter_mut().find(|(name, _)| *name == v) {
+            entry.1 += w;
+        } else {
+            merged.push((v, w));
+        }
+    }
+    merged.retain(|(_, w)| *w != 0.0);
+    merged
+}
+
+/// Try to recognise a single (already folded, decomposed) conjunct as a
+/// specific constraint. Returns `None` when no specific shape applies.
+pub fn recognize(expr: &Expr) -> Option<RecognizedConstraint> {
+    match expr {
+        Expr::Compare { first, rest } if rest.len() == 1 => {
+            let (op, rhs) = (&rest[0].0, &rest[0].1);
+            recognize_comparison(first, *op, rhs)
+        }
+        Expr::In { value, set, negated } => {
+            let name = match value.as_ref() {
+                Expr::Var(n) => n.clone(),
+                _ => return None,
+            };
+            let mut constants = Vec::with_capacity(set.len());
+            for e in set {
+                match e {
+                    Expr::Const(v) => constants.push(v.clone()),
+                    _ => return None,
+                }
+            }
+            let description = format!(
+                "{}({} values)",
+                if *negated { "NotInSet" } else { "InSet" },
+                constants.len()
+            );
+            let constraint: ConstraintRef = if *negated {
+                Arc::new(NotInSet::new(constants))
+            } else {
+                Arc::new(InSet::new(constants))
+            };
+            Some(RecognizedConstraint {
+                constraint,
+                scope: vec![name],
+                description,
+            })
+        }
+        _ => None,
+    }
+}
+
+fn recognize_comparison(lhs: &Expr, op: CmpOp, rhs: &Expr) -> Option<RecognizedConstraint> {
+    // Divisibility patterns: `a % b == 0` and `a % k == r`.
+    if op == CmpOp::Eq {
+        if let Some(recognized) = recognize_modulo(lhs, rhs).or_else(|| recognize_modulo(rhs, lhs))
+        {
+            return Some(recognized);
+        }
+    }
+    let left = classify(lhs);
+    let right = classify(rhs);
+    match (&left, &right) {
+        // constant on the left: mirror the comparison
+        (Shape::Const(_), _) if !matches!(right, Shape::Const(_)) => {
+            build(right.clone(), op.swap(), constant_of(&left)?)
+        }
+        (_, Shape::Const(_)) => build(left.clone(), op, constant_of(&right)?),
+        // variable-to-variable comparison
+        (
+            Shape::Product { coeff: c1, vars: v1 },
+            Shape::Product { coeff: c2, vars: v2 },
+        ) if *c1 == 1.0 && *c2 == 1.0 && v1.len() == 1 && v2.len() == 1 => {
+            Some(RecognizedConstraint {
+                constraint: Arc::new(PairCompare::new(op)),
+                scope: vec![v1[0].clone(), v2[0].clone()],
+                description: format!("PairCompare({})", op.symbol()),
+            })
+        }
+        _ => None,
+    }
+}
+
+/// Recognise `modulo_expr == constant` where `modulo_expr` is `var % var`
+/// (→ [`Divides`], remainder must be 0) or `var % int` (→ [`ModuloEquals`]).
+fn recognize_modulo(modulo_side: &Expr, constant_side: &Expr) -> Option<RecognizedConstraint> {
+    let remainder = match constant_side {
+        Expr::Const(v) => v.as_i64()?,
+        _ => return None,
+    };
+    if let Expr::Binary {
+        op: BinOp::Mod,
+        lhs,
+        rhs,
+    } = modulo_side
+    {
+        match (lhs.as_ref(), rhs.as_ref()) {
+            (Expr::Var(dividend), Expr::Var(divisor)) if remainder == 0 => {
+                return Some(RecognizedConstraint {
+                    constraint: Arc::new(Divides::new()),
+                    scope: vec![dividend.clone(), divisor.clone()],
+                    description: format!("Divides({dividend} % {divisor} == 0)"),
+                });
+            }
+            (Expr::Var(name), Expr::Const(modulus)) => {
+                let modulus = modulus.as_i64()?;
+                if modulus != 0 {
+                    return Some(RecognizedConstraint {
+                        constraint: Arc::new(ModuloEquals::new(modulus, remainder)),
+                        scope: vec![name.clone()],
+                        description: format!("ModuloEquals(% {modulus} == {remainder})"),
+                    });
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+fn constant_of(shape: &Shape) -> Option<f64> {
+    match shape {
+        Shape::Const(v) => v.as_f64(),
+        _ => None,
+    }
+}
+
+/// Build a specific constraint for `shape op constant`.
+fn build(shape: Shape, op: CmpOp, constant: f64) -> Option<RecognizedConstraint> {
+    match shape {
+        // single variable with unit coefficient: plain value comparison
+        Shape::Product { coeff, ref vars } if coeff == 1.0 && vars.len() == 1 => {
+            let name = vars[0].clone();
+            let (constraint, description): (ConstraintRef, String) = if op == CmpOp::Eq {
+                (
+                    Arc::new(FixedValue::new(float_value(constant))),
+                    format!("FixedValue({constant})"),
+                )
+            } else {
+                (
+                    Arc::new(VarCompare::new(op, float_value(constant))),
+                    format!("VarCompare({} {constant})", op.symbol()),
+                )
+            };
+            Some(RecognizedConstraint {
+                constraint,
+                scope: vec![name],
+                description,
+            })
+        }
+        // product of two or more variables (or a scaled single variable)
+        Shape::Product { coeff, vars } => {
+            if coeff == 0.0 {
+                return None;
+            }
+            // coeff * prod(vars) op constant  ⇔  prod(vars) op' constant/coeff
+            let limit = constant / coeff;
+            let op = if coeff < 0.0 { flip(op) } else { op };
+            let (constraint, description): (ConstraintRef, String) = match op {
+                CmpOp::Le => (
+                    Arc::new(MaxProduct::new(limit)),
+                    format!("MaxProduct({limit})"),
+                ),
+                CmpOp::Lt => (
+                    Arc::new(MaxProduct::strict(limit)),
+                    format!("MaxProduct(<{limit})"),
+                ),
+                CmpOp::Ge => (
+                    Arc::new(MinProduct::new(limit)),
+                    format!("MinProduct({limit})"),
+                ),
+                CmpOp::Gt => (
+                    Arc::new(MinProduct::strict(limit)),
+                    format!("MinProduct(>{limit})"),
+                ),
+                CmpOp::Eq => (
+                    Arc::new(ExactProduct::new(limit)),
+                    format!("ExactProduct({limit})"),
+                ),
+                CmpOp::Ne => return None,
+            };
+            Some(RecognizedConstraint {
+                constraint,
+                scope: vars,
+                description,
+            })
+        }
+        Shape::Sum { terms, offset } => {
+            if terms.is_empty() {
+                return None;
+            }
+            let limit = constant - offset;
+            let scope: Vec<String> = terms.iter().map(|(v, _)| v.clone()).collect();
+            let weights: Vec<f64> = terms.iter().map(|(_, w)| *w).collect();
+            let unweighted = weights.iter().all(|&w| w == 1.0);
+            let (constraint, description): (ConstraintRef, String) = match op {
+                CmpOp::Le | CmpOp::Lt => {
+                    let c: ConstraintRef = match (unweighted, op) {
+                        (true, CmpOp::Le) => Arc::new(MaxSum::new(limit)),
+                        (true, _) => Arc::new(MaxSum::strict(limit)),
+                        (false, CmpOp::Le) => Arc::new(MaxSum::weighted(limit, weights)),
+                        (false, _) => {
+                            // strict weighted: approximate with weighted + strictness via epsilon-free path
+                            Arc::new(MaxSum::weighted(limit, weights))
+                        }
+                    };
+                    // A strict weighted sum is rare; keep exactness by refusing it.
+                    if op == CmpOp::Lt && !unweighted {
+                        return None;
+                    }
+                    (c, format!("MaxSum({limit})"))
+                }
+                CmpOp::Ge | CmpOp::Gt => {
+                    if op == CmpOp::Gt && !unweighted {
+                        return None;
+                    }
+                    let c: ConstraintRef = match (unweighted, op) {
+                        (true, CmpOp::Ge) => Arc::new(MinSum::new(limit)),
+                        (true, _) => Arc::new(MinSum::strict(limit)),
+                        (false, _) => Arc::new(MinSum::weighted(limit, weights)),
+                    };
+                    (c, format!("MinSum({limit})"))
+                }
+                CmpOp::Eq => {
+                    let c: ConstraintRef = if unweighted {
+                        Arc::new(ExactSum::new(limit))
+                    } else {
+                        Arc::new(ExactSum::weighted(limit, weights))
+                    };
+                    (c, format!("ExactSum({limit})"))
+                }
+                CmpOp::Ne => return None,
+            };
+            Some(RecognizedConstraint {
+                constraint,
+                scope,
+                description,
+            })
+        }
+        _ => None,
+    }
+}
+
+fn flip(op: CmpOp) -> CmpOp {
+    op.swap()
+}
+
+/// Represent a constant limit as an exact integer when possible.
+fn float_value(v: f64) -> Value {
+    if v.fract() == 0.0 && v.abs() < 9.0e18 {
+        Value::Int(v as i64)
+    } else {
+        Value::Float(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fold::fold;
+    use crate::parser::parse;
+    use at_csp::value::int_values;
+
+    fn rec(src: &str) -> Option<RecognizedConstraint> {
+        recognize(&fold(parse(src).unwrap()))
+    }
+
+    #[test]
+    fn recognizes_max_product() {
+        let r = rec("block_size_x * block_size_y <= 1024").unwrap();
+        assert_eq!(r.constraint.kind(), "MaxProduct");
+        assert_eq!(r.scope, vec!["block_size_x", "block_size_y"]);
+        assert!(r.constraint.evaluate(&int_values([32, 32])));
+        assert!(!r.constraint.evaluate(&int_values([64, 32])));
+    }
+
+    #[test]
+    fn recognizes_min_product_with_constant_on_left() {
+        let r = rec("32 <= block_size_x * block_size_y").unwrap();
+        assert_eq!(r.constraint.kind(), "MinProduct");
+        assert!(r.constraint.evaluate(&int_values([8, 4])));
+        assert!(!r.constraint.evaluate(&int_values([4, 4])));
+    }
+
+    #[test]
+    fn recognizes_scaled_product() {
+        // shared-memory style: 4 bytes per element
+        let r = rec("tile_x * tile_y * 4 <= 49152").unwrap();
+        assert_eq!(r.constraint.kind(), "MaxProduct");
+        assert_eq!(r.scope.len(), 2);
+        assert!(r.constraint.evaluate(&int_values([64, 128]))); // 8192 elements
+        assert!(!r.constraint.evaluate(&int_values([256, 128]))); // 32768 elements > 12288
+    }
+
+    #[test]
+    fn recognizes_var_compare_and_fixed_value() {
+        let r = rec("block_size_y <= 32").unwrap();
+        assert_eq!(r.constraint.kind(), "VarCompare");
+        let r = rec("2 <= block_size_y").unwrap();
+        assert_eq!(r.constraint.kind(), "VarCompare");
+        assert!(r.constraint.evaluate(&int_values([4])));
+        assert!(!r.constraint.evaluate(&int_values([1])));
+        let r = rec("sh_power == 1").unwrap();
+        assert_eq!(r.constraint.kind(), "FixedValue");
+    }
+
+    #[test]
+    fn recognizes_pair_compare() {
+        let r = rec("tile_x <= block_x").unwrap();
+        assert_eq!(r.constraint.kind(), "PairCompare");
+        assert_eq!(r.scope, vec!["tile_x", "block_x"]);
+    }
+
+    #[test]
+    fn recognizes_sums() {
+        let r = rec("a + b + c <= 16").unwrap();
+        assert_eq!(r.constraint.kind(), "MaxSum");
+        assert_eq!(r.scope.len(), 3);
+        let r = rec("a + b >= 4").unwrap();
+        assert_eq!(r.constraint.kind(), "MinSum");
+        let r = rec("a + b == 8").unwrap();
+        assert_eq!(r.constraint.kind(), "ExactSum");
+    }
+
+    #[test]
+    fn recognizes_weighted_sum_with_offset() {
+        // 2*a + 4*b + 8 <= 40  →  weighted MaxSum with limit 32
+        let r = rec("2*a + 4*b + 8 <= 40").unwrap();
+        assert_eq!(r.constraint.kind(), "MaxSum");
+        assert!(r.constraint.evaluate(&int_values([4, 6]))); // 8+24=32
+        assert!(!r.constraint.evaluate(&int_values([5, 6]))); // 34
+    }
+
+    #[test]
+    fn recognizes_membership() {
+        let r = rec("tile in (1, 2, 4)").unwrap();
+        assert_eq!(r.constraint.kind(), "InSet");
+        let r = rec("mode not in ['a', 'b']").unwrap();
+        assert_eq!(r.constraint.kind(), "NotInSet");
+    }
+
+    #[test]
+    fn subtraction_sum() {
+        let r = rec("a - b >= 0").unwrap();
+        assert_eq!(r.constraint.kind(), "MinSum");
+        assert!(r.constraint.evaluate(&int_values([5, 3])));
+        assert!(!r.constraint.evaluate(&int_values([2, 3])));
+    }
+
+    #[test]
+    fn negative_coefficient_flips_comparison() {
+        // -2 * a <= -8  ⇔  a >= 4
+        let r = rec("-2 * a <= -8").unwrap();
+        assert!(r.constraint.evaluate(&int_values([4])));
+        assert!(!r.constraint.evaluate(&int_values([3])));
+    }
+
+    #[test]
+    fn recognizes_divisibility() {
+        let r = rec("a % 16 == 0").unwrap();
+        assert_eq!(r.constraint.kind(), "ModuloEquals");
+        assert_eq!(r.scope, vec!["a"]);
+        assert!(r.constraint.evaluate(&int_values([32])));
+        assert!(!r.constraint.evaluate(&int_values([20])));
+
+        let r = rec("a % 4 == 1").unwrap();
+        assert_eq!(r.constraint.kind(), "ModuloEquals");
+        assert!(r.constraint.evaluate(&int_values([5])));
+
+        let r = rec("tiling % unroll == 0").unwrap();
+        assert_eq!(r.constraint.kind(), "Divides");
+        assert_eq!(r.scope, vec!["tiling", "unroll"]);
+        assert!(r.constraint.evaluate(&int_values([8, 4])));
+        assert!(!r.constraint.evaluate(&int_values([8, 3])));
+
+        // reversed constant side
+        let r = rec("0 == a % 8").unwrap();
+        assert_eq!(r.constraint.kind(), "ModuloEquals");
+
+        // non-zero remainder between two variables stays generic
+        assert!(rec("a % b == 1").is_none());
+        // modulo by zero stays generic (and evaluates to false at runtime)
+        assert!(rec("a % 0 == 0").is_none());
+    }
+
+    #[test]
+    fn unsupported_shapes_are_not_recognized() {
+        assert!(rec("(a + 1) % 16 == 0").is_none());
+        assert!(rec("a * b != 8").is_none());
+        assert!(rec("a or b").is_none());
+        assert!(rec("a * b <= c").is_none());
+        assert!(rec("min(a, b) >= 2").is_none());
+        assert!(rec("x in [y, 2]").is_none());
+    }
+
+    #[test]
+    fn duplicate_terms_merge() {
+        let r = rec("a + a + b <= 10").unwrap();
+        // 2*a + b <= 10
+        assert!(r.constraint.evaluate(&int_values([3, 4])));
+        assert!(!r.constraint.evaluate(&int_values([4, 4])));
+    }
+}

@@ -1,0 +1,114 @@
+//! Tokens of the constraint expression language.
+//!
+//! The language is the subset of Python expressions that occurs in
+//! auto-tuning constraints: arithmetic, comparisons (including chained
+//! comparisons), boolean operators, membership tests and a few built-in
+//! functions (`min`, `max`, `abs`).
+
+use at_csp::CmpOp;
+
+/// A lexical token together with its byte position in the source.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The token kind and payload.
+    pub kind: TokenKind,
+    /// Byte offset of the first character of the token.
+    pub position: usize,
+}
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Integer literal.
+    Int(i64),
+    /// Floating point literal.
+    Float(f64),
+    /// String literal (single or double quoted).
+    Str(String),
+    /// Identifier: a tunable parameter name or a function name.
+    Ident(String),
+    /// `True`
+    True,
+    /// `False`
+    False,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `**`
+    DoubleStar,
+    /// `/`
+    Slash,
+    /// `//`
+    DoubleSlash,
+    /// `%`
+    Percent,
+    /// A comparison operator.
+    Cmp(CmpOp),
+    /// `and`
+    And,
+    /// `or`
+    Or,
+    /// `not`
+    Not,
+    /// `in`
+    In,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `,`
+    Comma,
+    /// End of input.
+    Eof,
+}
+
+impl TokenKind {
+    /// Human-readable description for error messages.
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::Int(v) => format!("integer `{v}`"),
+            TokenKind::Float(v) => format!("float `{v}`"),
+            TokenKind::Str(s) => format!("string \"{s}\""),
+            TokenKind::Ident(s) => format!("identifier `{s}`"),
+            TokenKind::True => "True".to_string(),
+            TokenKind::False => "False".to_string(),
+            TokenKind::Plus => "`+`".to_string(),
+            TokenKind::Minus => "`-`".to_string(),
+            TokenKind::Star => "`*`".to_string(),
+            TokenKind::DoubleStar => "`**`".to_string(),
+            TokenKind::Slash => "`/`".to_string(),
+            TokenKind::DoubleSlash => "`//`".to_string(),
+            TokenKind::Percent => "`%`".to_string(),
+            TokenKind::Cmp(op) => format!("`{}`", op.symbol()),
+            TokenKind::And => "`and`".to_string(),
+            TokenKind::Or => "`or`".to_string(),
+            TokenKind::Not => "`not`".to_string(),
+            TokenKind::In => "`in`".to_string(),
+            TokenKind::LParen => "`(`".to_string(),
+            TokenKind::RParen => "`)`".to_string(),
+            TokenKind::LBracket => "`[`".to_string(),
+            TokenKind::RBracket => "`]`".to_string(),
+            TokenKind::Comma => "`,`".to_string(),
+            TokenKind::Eof => "end of input".to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn describe_is_informative() {
+        assert!(TokenKind::Ident("bs_x".into()).describe().contains("bs_x"));
+        assert!(TokenKind::Cmp(CmpOp::Le).describe().contains("<="));
+        assert_eq!(TokenKind::Eof.describe(), "end of input");
+    }
+}

@@ -1,0 +1,224 @@
+//! A small stack-based bytecode VM for constraint evaluation.
+//!
+//! This is the Rust counterpart of the paper's *dynamic runtime compilation*
+//! of `Function` constraints (Section 4.3.2): instead of re-walking the AST
+//! for every candidate configuration, the expression is compiled once into a
+//! flat instruction sequence that executes against a value stack. Boolean
+//! connectives compile to conditional jumps, preserving Python's
+//! short-circuit semantics.
+
+use at_csp::{CmpOp, Value};
+
+use crate::ast::{apply_builtin, BinOp, BuiltinFn};
+use crate::error::{ExprError, ExprResult};
+
+/// One VM instruction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Op {
+    /// Push a constant.
+    Const(Value),
+    /// Push the value of the scope variable with the given index.
+    Load(usize),
+    /// Apply a binary arithmetic operator to the top two stack values.
+    Binary(BinOp),
+    /// Apply a comparison to the top two stack values, pushing a boolean.
+    Compare(CmpOp),
+    /// Negate the top value arithmetically.
+    Neg,
+    /// Negate the top value logically.
+    Not,
+    /// Membership test of the top value against a constant set.
+    In {
+        /// Allowed values.
+        set: Vec<Value>,
+        /// True for `not in`.
+        negated: bool,
+    },
+    /// Call a built-in with the given number of arguments.
+    Call(BuiltinFn, usize),
+    /// If the top of stack is falsy, jump to the target leaving the value;
+    /// otherwise pop it and continue (Python's `JUMP_IF_FALSE_OR_POP`).
+    JumpIfFalseOrPop(usize),
+    /// If the top of stack is truthy, jump to the target leaving the value;
+    /// otherwise pop it and continue (Python's `JUMP_IF_TRUE_OR_POP`).
+    JumpIfTrueOrPop(usize),
+}
+
+/// A compiled constraint expression.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    ops: Vec<Op>,
+    arity: usize,
+}
+
+impl Program {
+    /// Create a program from raw instructions. `arity` is the number of scope
+    /// variables the program loads.
+    pub fn new(ops: Vec<Op>, arity: usize) -> Self {
+        Program { ops, arity }
+    }
+
+    /// The instructions.
+    pub fn ops(&self) -> &[Op] {
+        &self.ops
+    }
+
+    /// Number of scope variables.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Execute the program against the scope values (in scope order).
+    pub fn eval(&self, values: &[Value]) -> ExprResult<Value> {
+        debug_assert!(values.len() >= self.arity);
+        let mut stack: Vec<Value> = Vec::with_capacity(8);
+        let mut pc = 0usize;
+        while pc < self.ops.len() {
+            match &self.ops[pc] {
+                Op::Const(v) => stack.push(v.clone()),
+                Op::Load(i) => stack.push(values[*i].clone()),
+                Op::Binary(op) => {
+                    let b = stack.pop().ok_or_else(|| stack_underflow())?;
+                    let a = stack.pop().ok_or_else(|| stack_underflow())?;
+                    stack.push(op.apply(&a, &b)?);
+                }
+                Op::Compare(op) => {
+                    let b = stack.pop().ok_or_else(|| stack_underflow())?;
+                    let a = stack.pop().ok_or_else(|| stack_underflow())?;
+                    stack.push(Value::Bool(op.apply(&a, &b)));
+                }
+                Op::Neg => {
+                    let a = stack.pop().ok_or_else(|| stack_underflow())?;
+                    stack.push(a.neg().ok_or_else(|| {
+                        ExprError::Type(format!("cannot negate {}", a.type_name()))
+                    })?);
+                }
+                Op::Not => {
+                    let a = stack.pop().ok_or_else(|| stack_underflow())?;
+                    stack.push(Value::Bool(!a.truthy()));
+                }
+                Op::In { set, negated } => {
+                    let a = stack.pop().ok_or_else(|| stack_underflow())?;
+                    let found = set.iter().any(|v| v.py_eq(&a));
+                    stack.push(Value::Bool(found != *negated));
+                }
+                Op::Call(func, argc) => {
+                    if stack.len() < *argc {
+                        return Err(stack_underflow());
+                    }
+                    let args = stack.split_off(stack.len() - argc);
+                    stack.push(apply_builtin(*func, &args)?);
+                }
+                Op::JumpIfFalseOrPop(target) => {
+                    let top = stack.last().ok_or_else(|| stack_underflow())?;
+                    if !top.truthy() {
+                        pc = *target;
+                        continue;
+                    }
+                    stack.pop();
+                }
+                Op::JumpIfTrueOrPop(target) => {
+                    let top = stack.last().ok_or_else(|| stack_underflow())?;
+                    if top.truthy() {
+                        pc = *target;
+                        continue;
+                    }
+                    stack.pop();
+                }
+            }
+            pc += 1;
+        }
+        stack
+            .pop()
+            .ok_or_else(|| ExprError::Type("program left an empty stack".to_string()))
+    }
+}
+
+fn stack_underflow() -> ExprError {
+    ExprError::Type("VM stack underflow".to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use at_csp::value::int_values;
+
+    #[test]
+    fn arithmetic_program() {
+        // x * y + 2
+        let p = Program::new(
+            vec![
+                Op::Load(0),
+                Op::Load(1),
+                Op::Binary(BinOp::Mul),
+                Op::Const(Value::Int(2)),
+                Op::Binary(BinOp::Add),
+            ],
+            2,
+        );
+        assert_eq!(p.eval(&int_values([3, 4])).unwrap(), Value::Int(14));
+        assert_eq!(p.arity(), 2);
+        assert_eq!(p.ops().len(), 5);
+    }
+
+    #[test]
+    fn comparison_program() {
+        // x <= 10
+        let p = Program::new(
+            vec![Op::Load(0), Op::Const(Value::Int(10)), Op::Compare(CmpOp::Le)],
+            1,
+        );
+        assert_eq!(p.eval(&int_values([5])).unwrap(), Value::Bool(true));
+        assert_eq!(p.eval(&int_values([15])).unwrap(), Value::Bool(false));
+    }
+
+    #[test]
+    fn short_circuit_and_skips_division_by_zero() {
+        // (x != 0) and (10 % x == 0): must not error for x = 0
+        let p = Program::new(
+            vec![
+                Op::Load(0),
+                Op::Const(Value::Int(0)),
+                Op::Compare(CmpOp::Ne),
+                Op::JumpIfFalseOrPop(9),
+                Op::Const(Value::Int(10)),
+                Op::Load(0),
+                Op::Binary(BinOp::Mod),
+                Op::Const(Value::Int(0)),
+                Op::Compare(CmpOp::Eq),
+            ],
+            1,
+        );
+        assert_eq!(p.eval(&int_values([0])).unwrap(), Value::Bool(false));
+        assert_eq!(p.eval(&int_values([5])).unwrap(), Value::Bool(true));
+        assert_eq!(p.eval(&int_values([3])).unwrap(), Value::Bool(false));
+    }
+
+    #[test]
+    fn membership_and_builtin() {
+        let p = Program::new(
+            vec![Op::Load(0), Op::In { set: int_values([1, 2, 4]), negated: false }],
+            1,
+        );
+        assert_eq!(p.eval(&int_values([4])).unwrap(), Value::Bool(true));
+        assert_eq!(p.eval(&int_values([3])).unwrap(), Value::Bool(false));
+
+        let p = Program::new(vec![Op::Load(0), Op::Load(1), Op::Call(BuiltinFn::Max, 2)], 2);
+        assert_eq!(p.eval(&int_values([3, 7])).unwrap(), Value::Int(7));
+    }
+
+    #[test]
+    fn division_by_zero_is_an_error() {
+        let p = Program::new(
+            vec![Op::Const(Value::Int(1)), Op::Const(Value::Int(0)), Op::Binary(BinOp::Div)],
+            0,
+        );
+        assert!(p.eval(&[]).is_err());
+    }
+
+    #[test]
+    fn type_error_reported() {
+        let p = Program::new(vec![Op::Const(Value::str("a")), Op::Neg], 0);
+        assert!(p.eval(&[]).is_err());
+    }
+}

@@ -1,0 +1,66 @@
+//! # at-searchspace — constrained auto-tuning search spaces
+//!
+//! The core crate of this reproduction: it ties the constraint expression
+//! pipeline (`at-expr`), the CSP solvers (`at-csp`) and the chain-of-trees
+//! baseline (`at-cot`) together behind the `SearchSpace` abstraction the
+//! paper contributes to Kernel Tuner (Section 4.4).
+//!
+//! * [`SearchSpaceSpec`] — tunable parameters + restrictions, as the user
+//!   writes them (expression strings, closures, or specific constraints).
+//! * [`Method`] / [`build_search_space`] — construct the space with any of
+//!   the paper's construction methods and obtain a [`BuildReport`] with
+//!   timing and solver statistics.
+//! * [`SearchSpace`] — the resolved space: indexed configurations, hash
+//!   lookups, true parameter bounds, neighbor queries and sampling.
+//!
+//! ```
+//! use at_searchspace::prelude::*;
+//!
+//! let spec = SearchSpaceSpec::new("quickstart")
+//!     .with_param(TunableParameter::pow2("block_size_x", 8))
+//!     .with_param(TunableParameter::pow2("block_size_y", 6))
+//!     .with_expr("32 <= block_size_x*block_size_y <= 1024");
+//!
+//! let (space, report) = build_search_space(&spec, Method::Optimized).unwrap();
+//! assert!(space.len() > 0);
+//! assert_eq!(report.num_valid, space.len());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod format;
+pub mod neighbors;
+pub mod output;
+pub mod param;
+pub mod restriction;
+pub mod sampling;
+pub mod space;
+pub mod spec;
+pub mod stats;
+
+pub use builder::{build_search_space, build_search_space_with, BuildOptions, BuildReport, Method};
+pub use format::{spec_from_json, spec_to_json, FormatError, SpecFile};
+pub use neighbors::{neighbors, NeighborIndex, NeighborMethod};
+pub use output::{to_columnar, to_csv, to_json_cache, to_named_maps};
+pub use param::TunableParameter;
+pub use restriction::Restriction;
+pub use sampling::{coverage_per_parameter, latin_hypercube_sample, sample_indices};
+pub use space::SearchSpace;
+pub use spec::{RestrictionLowering, SearchSpaceSpec};
+pub use stats::SpaceCharacteristics;
+
+/// Commonly used items in one import.
+pub mod prelude {
+    pub use crate::builder::{
+        build_search_space, build_search_space_with, BuildOptions, BuildReport, Method,
+    };
+    pub use crate::neighbors::{neighbors, NeighborIndex, NeighborMethod};
+    pub use crate::param::TunableParameter;
+    pub use crate::restriction::Restriction;
+    pub use crate::sampling::{latin_hypercube_sample, sample_indices};
+    pub use crate::space::SearchSpace;
+    pub use crate::spec::{RestrictionLowering, SearchSpaceSpec};
+    pub use crate::stats::SpaceCharacteristics;
+    pub use at_csp::Value;
+}

@@ -1,0 +1,241 @@
+//! Valid-neighbor queries over the resolved search space.
+//!
+//! Optimization strategies such as genetic algorithms, hill climbing and
+//! simulated annealing repeatedly ask for the valid neighbors of a
+//! configuration. Because the space is fully resolved, neighbors can be
+//! served from an index instead of generating candidate configurations and
+//! re-checking constraints (Section 4.4).
+
+use rustc_hash::FxHashMap;
+
+use at_csp::Value;
+
+use crate::space::SearchSpace;
+
+/// The neighbor definitions supported by Kernel Tuner's `SearchSpace`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NeighborMethod {
+    /// Configurations differing in exactly one parameter (Hamming distance 1).
+    Hamming,
+    /// Configurations whose value *index* differs by at most one in every
+    /// parameter (and by at least one somewhere).
+    Adjacent,
+    /// Configurations differing in exactly one parameter, whose value index
+    /// differs by exactly one.
+    StrictlyAdjacent,
+}
+
+/// A prebuilt index for Hamming-distance-1 neighbor queries.
+///
+/// For every configuration and every parameter position, the configuration is
+/// hashed with that position wildcarded; configurations sharing a bucket are
+/// exactly the ones that differ only in that position.
+#[derive(Debug, Default)]
+pub struct NeighborIndex {
+    buckets: FxHashMap<(usize, Vec<Value>), Vec<usize>>,
+}
+
+impl NeighborIndex {
+    /// Build the index for a space. Cost is `O(len * params)`.
+    pub fn build(space: &SearchSpace) -> Self {
+        let mut buckets: FxHashMap<(usize, Vec<Value>), Vec<usize>> = FxHashMap::default();
+        for (i, config) in space.configs().iter().enumerate() {
+            for pos in 0..config.len() {
+                let mut key = config.clone();
+                key[pos] = Value::Int(i64::MIN); // wildcard marker
+                buckets.entry((pos, key)).or_default().push(i);
+            }
+        }
+        NeighborIndex { buckets }
+    }
+
+    /// Hamming-distance-1 neighbors of the configuration at `index`.
+    pub fn hamming_neighbors(&self, space: &SearchSpace, index: usize) -> Vec<usize> {
+        let config = match space.get(index) {
+            Some(c) => c.to_vec(),
+            None => return Vec::new(),
+        };
+        let mut out = Vec::new();
+        for pos in 0..config.len() {
+            let mut key = config.clone();
+            key[pos] = Value::Int(i64::MIN);
+            if let Some(bucket) = self.buckets.get(&(pos, key)) {
+                out.extend(bucket.iter().copied().filter(|&j| j != index));
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}
+
+/// Neighbors of the configuration at `index` according to `method`.
+///
+/// `Hamming` queries use the prebuilt index when provided and fall back to a
+/// scan otherwise; the index-based variants always scan (their candidate sets
+/// are not bucketable by a single wildcard position).
+pub fn neighbors(
+    space: &SearchSpace,
+    index: usize,
+    method: NeighborMethod,
+    prebuilt: Option<&NeighborIndex>,
+) -> Vec<usize> {
+    if space.get(index).is_none() {
+        return Vec::new();
+    }
+    match method {
+        NeighborMethod::Hamming => match prebuilt {
+            Some(idx) => idx.hamming_neighbors(space, index),
+            None => scan_neighbors(space, index, method),
+        },
+        _ => scan_neighbors(space, index, method),
+    }
+}
+
+fn scan_neighbors(space: &SearchSpace, index: usize, method: NeighborMethod) -> Vec<usize> {
+    let reference = space.value_indices(index).expect("valid index").to_vec();
+    let mut out = Vec::new();
+    for (j, candidate) in space.configs().iter().enumerate() {
+        if j == index {
+            continue;
+        }
+        let cand_indices = space.value_indices(j).expect("valid index");
+        if is_neighbor(&reference, cand_indices, method) {
+            out.push(j);
+        }
+        let _ = candidate;
+    }
+    out
+}
+
+fn is_neighbor(a: &[usize], b: &[usize], method: NeighborMethod) -> bool {
+    match method {
+        NeighborMethod::Hamming => {
+            let differing = a.iter().zip(b.iter()).filter(|(x, y)| x != y).count();
+            differing == 1
+        }
+        NeighborMethod::Adjacent => {
+            let mut any_diff = false;
+            for (&x, &y) in a.iter().zip(b.iter()) {
+                let d = x.abs_diff(y);
+                if d > 1 {
+                    return false;
+                }
+                if d == 1 {
+                    any_diff = true;
+                }
+            }
+            any_diff
+        }
+        NeighborMethod::StrictlyAdjacent => {
+            let mut differing = 0;
+            for (&x, &y) in a.iter().zip(b.iter()) {
+                let d = x.abs_diff(y);
+                if d > 1 {
+                    return false;
+                }
+                if d == 1 {
+                    differing += 1;
+                }
+                if x != y && d != 1 {
+                    return false;
+                }
+            }
+            differing == 1
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::param::TunableParameter;
+    use at_csp::value::int_values;
+
+    /// Full 3x3 grid over x,y in {1,2,4} minus the (4,4) corner.
+    fn space() -> SearchSpace {
+        let params = vec![
+            TunableParameter::ints("x", [1, 2, 4]),
+            TunableParameter::ints("y", [1, 2, 4]),
+        ];
+        let mut configs = Vec::new();
+        for &x in &[1i64, 2, 4] {
+            for &y in &[1i64, 2, 4] {
+                if !(x == 4 && y == 4) {
+                    configs.push(int_values([x, y]));
+                }
+            }
+        }
+        SearchSpace::from_configs("grid", params, configs)
+    }
+
+    #[test]
+    fn hamming_neighbors_scan_and_index_agree() {
+        let s = space();
+        let idx = NeighborIndex::build(&s);
+        for i in 0..s.len() {
+            let scanned = neighbors(&s, i, NeighborMethod::Hamming, None);
+            let indexed = neighbors(&s, i, NeighborMethod::Hamming, Some(&idx));
+            assert_eq!(scanned, indexed, "config {i}");
+        }
+    }
+
+    #[test]
+    fn hamming_neighbors_of_corner() {
+        let s = space();
+        let idx = NeighborIndex::build(&s);
+        let origin = s.index_of(&int_values([1, 1])).unwrap();
+        let n = neighbors(&s, origin, NeighborMethod::Hamming, Some(&idx));
+        // same row or same column: (1,2), (1,4), (2,1), (4,1)
+        assert_eq!(n.len(), 4);
+        for j in n {
+            let cfg = s.get(j).unwrap();
+            assert!(cfg[0] == Value::Int(1) || cfg[1] == Value::Int(1));
+        }
+    }
+
+    #[test]
+    fn adjacent_neighbors_use_value_positions() {
+        let s = space();
+        let center = s.index_of(&int_values([2, 2])).unwrap();
+        let n = neighbors(&s, center, NeighborMethod::Adjacent, None);
+        // all 8 surrounding grid cells except the removed (4,4)
+        assert_eq!(n.len(), 7);
+    }
+
+    #[test]
+    fn strictly_adjacent_neighbors() {
+        let s = space();
+        let center = s.index_of(&int_values([2, 2])).unwrap();
+        let n = neighbors(&s, center, NeighborMethod::StrictlyAdjacent, None);
+        // only the 4 axis-aligned direct neighbors
+        assert_eq!(n.len(), 4);
+        let corner = s.index_of(&int_values([1, 1])).unwrap();
+        let n = neighbors(&s, corner, NeighborMethod::StrictlyAdjacent, None);
+        assert_eq!(n.len(), 2);
+    }
+
+    #[test]
+    fn neighborhood_is_symmetric() {
+        let s = space();
+        let idx = NeighborIndex::build(&s);
+        for method in [
+            NeighborMethod::Hamming,
+            NeighborMethod::Adjacent,
+            NeighborMethod::StrictlyAdjacent,
+        ] {
+            for i in 0..s.len() {
+                for &j in &neighbors(&s, i, method, Some(&idx)) {
+                    let back = neighbors(&s, j, method, Some(&idx));
+                    assert!(back.contains(&i), "{method:?} asymmetric between {i} and {j}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_index_has_no_neighbors() {
+        let s = space();
+        assert!(neighbors(&s, 999, NeighborMethod::Hamming, None).is_empty());
+    }
+}

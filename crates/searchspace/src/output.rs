@@ -1,0 +1,223 @@
+//! Output formats for the resolved search space (Section 4.3.4).
+//!
+//! The paper notes that rearranging solver output into a different structure
+//! per consumer can cost as much as the construction itself, and therefore
+//! provides output formats close to the internal representation. The resolved
+//! [`SearchSpace`] stores a dense row-major matrix; this module provides the
+//! common views on it:
+//!
+//! * the dense rows themselves (zero-copy, the solver's native format),
+//! * a columnar view (one vector per parameter, useful for analysis),
+//! * name-keyed maps (the convenient but expensive dictionary format),
+//! * CSV and a JSON cache format compatible in spirit with Kernel Tuner's
+//!   cache files.
+
+use rustc_hash::FxHashMap;
+
+use at_csp::Value;
+
+use crate::space::SearchSpace;
+
+/// Columnar view: for each parameter, the values of all configurations.
+pub fn to_columnar(space: &SearchSpace) -> Vec<(String, Vec<Value>)> {
+    let mut columns: Vec<(String, Vec<Value>)> = space
+        .params()
+        .iter()
+        .map(|p| (p.name().to_string(), Vec::with_capacity(space.len())))
+        .collect();
+    for row in space.configs() {
+        for (column, value) in columns.iter_mut().zip(row.iter()) {
+            column.1.push(value.clone());
+        }
+    }
+    columns
+}
+
+/// Dictionary view: one name→value map per configuration. This is the
+/// convenient format Python tuners expose; it is provided for compatibility
+/// but costs one hash map per configuration.
+pub fn to_named_maps(space: &SearchSpace) -> Vec<FxHashMap<String, Value>> {
+    space
+        .configs()
+        .iter()
+        .map(|row| {
+            space
+                .params()
+                .iter()
+                .map(|p| p.name().to_string())
+                .zip(row.iter().cloned())
+                .collect()
+        })
+        .collect()
+}
+
+/// CSV rendering with a header row of parameter names.
+pub fn to_csv(space: &SearchSpace) -> String {
+    let mut out = String::new();
+    out.push_str(
+        &space
+            .params()
+            .iter()
+            .map(|p| p.name().to_string())
+            .collect::<Vec<_>>()
+            .join(","),
+    );
+    out.push('\n');
+    for row in space.configs() {
+        let line: Vec<String> = row.iter().map(csv_cell).collect();
+        out.push_str(&line.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+fn csv_cell(value: &Value) -> String {
+    match value {
+        Value::Str(s) => {
+            if s.contains(',') || s.contains('"') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        }
+        other => other.to_string(),
+    }
+}
+
+/// A JSON document in the spirit of Kernel Tuner's cache files: the parameter
+/// names, their declared values, and the list of valid configurations.
+pub fn to_json_cache(space: &SearchSpace) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"space\": {},\n", json_string(space.name())));
+    out.push_str("  \"tune_params_keys\": [");
+    out.push_str(
+        &space
+            .params()
+            .iter()
+            .map(|p| json_string(p.name()))
+            .collect::<Vec<_>>()
+            .join(", "),
+    );
+    out.push_str("],\n  \"tune_params\": {\n");
+    let params: Vec<String> = space
+        .params()
+        .iter()
+        .map(|p| {
+            format!(
+                "    {}: [{}]",
+                json_string(p.name()),
+                p.values().iter().map(json_value).collect::<Vec<_>>().join(", ")
+            )
+        })
+        .collect();
+    out.push_str(&params.join(",\n"));
+    out.push_str("\n  },\n  \"configurations\": [\n");
+    let rows: Vec<String> = space
+        .configs()
+        .iter()
+        .map(|row| {
+            format!(
+                "    [{}]",
+                row.iter().map(json_value).collect::<Vec<_>>().join(", ")
+            )
+        })
+        .collect();
+    out.push_str(&rows.join(",\n"));
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_value(v: &Value) -> String {
+    match v {
+        Value::Int(i) => i.to_string(),
+        Value::Float(f) if f.is_finite() => f.to_string(),
+        Value::Float(_) => "null".to_string(),
+        Value::Bool(b) => b.to_string(),
+        Value::Str(s) => json_string(s),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::param::TunableParameter;
+    use at_csp::value::int_values;
+
+    fn space() -> SearchSpace {
+        let params = vec![
+            TunableParameter::ints("x", [1, 2]),
+            TunableParameter::strings("mode", &["row", "a,b"]),
+        ];
+        let configs = vec![
+            vec![Value::Int(1), Value::str("row")],
+            vec![Value::Int(2), Value::str("a,b")],
+        ];
+        SearchSpace::from_configs("out", params, configs)
+    }
+
+    #[test]
+    fn columnar_view_transposes() {
+        let s = space();
+        let cols = to_columnar(&s);
+        assert_eq!(cols.len(), 2);
+        assert_eq!(cols[0].0, "x");
+        assert_eq!(cols[0].1, int_values([1, 2]));
+        assert_eq!(cols[1].1[1], Value::str("a,b"));
+    }
+
+    #[test]
+    fn named_maps_contain_every_parameter() {
+        let s = space();
+        let maps = to_named_maps(&s);
+        assert_eq!(maps.len(), 2);
+        assert_eq!(maps[0]["x"], Value::Int(1));
+        assert_eq!(maps[1]["mode"], Value::str("a,b"));
+    }
+
+    #[test]
+    fn csv_escapes_commas() {
+        let s = space();
+        let csv = to_csv(&s);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "x,mode");
+        assert_eq!(lines[1], "1,row");
+        assert_eq!(lines[2], "2,\"a,b\"");
+    }
+
+    #[test]
+    fn json_cache_is_structurally_sound() {
+        let s = space();
+        let json = to_json_cache(&s);
+        assert!(json.contains("\"tune_params_keys\": [\"x\", \"mode\"]"));
+        assert!(json.contains("\"configurations\""));
+        assert!(json.contains("[1, \"row\"]"));
+        // balanced braces/brackets as a cheap well-formedness check
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn json_string_escaping() {
+        assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_value(&Value::Float(f64::NAN)), "null");
+        assert_eq!(json_value(&Value::Bool(true)), "true");
+    }
+}

@@ -1,0 +1,106 @@
+//! Tunable parameters.
+
+use at_csp::Value;
+
+/// A tunable parameter: a name and the list of values it may take.
+///
+/// The value order is meaningful: "adjacent" neighbor definitions and Latin
+/// Hypercube strata refer to positions in this list.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TunableParameter {
+    name: String,
+    values: Vec<Value>,
+}
+
+impl TunableParameter {
+    /// Create a parameter. Duplicate values are removed (keeping first
+    /// occurrence) since they would inflate the Cartesian size artificially.
+    pub fn new(name: impl Into<String>, values: Vec<Value>) -> Self {
+        let mut seen: Vec<Value> = Vec::with_capacity(values.len());
+        for v in values {
+            if !seen.contains(&v) {
+                seen.push(v);
+            }
+        }
+        TunableParameter {
+            name: name.into(),
+            values: seen,
+        }
+    }
+
+    /// Convenience: an integer-valued parameter.
+    pub fn ints(name: impl Into<String>, values: impl IntoIterator<Item = i64>) -> Self {
+        Self::new(name, values.into_iter().map(Value::Int).collect())
+    }
+
+    /// Convenience: a parameter over powers of two `1, 2, 4, …, 2^(n-1)`.
+    pub fn pow2(name: impl Into<String>, n: u32) -> Self {
+        Self::new(name, (0..n).map(|i| Value::Int(1 << i)).collect())
+    }
+
+    /// Convenience: a boolean on/off parameter expressed as 0/1.
+    pub fn switch(name: impl Into<String>) -> Self {
+        Self::ints(name, [0, 1])
+    }
+
+    /// Convenience: a string-valued parameter.
+    pub fn strings(name: impl Into<String>, values: &[&str]) -> Self {
+        Self::new(name, values.iter().map(|s| Value::str(s)).collect())
+    }
+
+    /// The parameter name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The parameter values.
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// The number of values.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True when the parameter has no values (an invalid specification).
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Position of a value in the parameter's value list.
+    pub fn index_of(&self, value: &Value) -> Option<usize> {
+        self.values.iter().position(|v| v == value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        let p = TunableParameter::ints("block_size_x", [1, 2, 4, 8]);
+        assert_eq!(p.name(), "block_size_x");
+        assert_eq!(p.len(), 4);
+        assert_eq!(TunableParameter::pow2("y", 5).values()[4], Value::Int(16));
+        assert_eq!(TunableParameter::switch("sh").len(), 2);
+        assert_eq!(
+            TunableParameter::strings("mode", &["auto", "manual"]).values()[1],
+            Value::str("manual")
+        );
+    }
+
+    #[test]
+    fn duplicates_removed() {
+        let p = TunableParameter::ints("x", [1, 2, 2, 3, 1]);
+        assert_eq!(p.len(), 3);
+    }
+
+    #[test]
+    fn index_of() {
+        let p = TunableParameter::ints("x", [1, 2, 4]);
+        assert_eq!(p.index_of(&Value::Int(4)), Some(2));
+        assert_eq!(p.index_of(&Value::Int(3)), None);
+    }
+}

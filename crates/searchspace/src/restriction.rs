@@ -1,0 +1,138 @@
+//! Restrictions: user-facing constraint specifications.
+//!
+//! Kernel Tuner accepts restrictions as Python-evaluable strings or as
+//! lambdas; this crate mirrors both (string expressions and Rust closures)
+//! and additionally accepts pre-built specific constraints for callers that
+//! know exactly what they want.
+
+use std::fmt;
+use std::sync::Arc;
+
+use at_csp::constraints::FunctionConstraint;
+use at_csp::{ConstraintRef, Value};
+
+/// Predicate type for closure restrictions.
+pub type RestrictionFn = dyn Fn(&[Value]) -> bool + Send + Sync;
+
+/// A user-facing restriction on the search space.
+#[derive(Clone)]
+pub enum Restriction {
+    /// A Python-style expression over parameter names, e.g.
+    /// `"32 <= block_size_x*block_size_y <= 1024"`.
+    Expression(String),
+    /// A closure over the named parameters (values are passed in the order of
+    /// `scope`). The Rust counterpart of Kernel Tuner's lambda restrictions.
+    Function {
+        /// Parameter names the closure receives, in order.
+        scope: Vec<String>,
+        /// The predicate.
+        func: Arc<RestrictionFn>,
+        /// Description for reports.
+        label: String,
+    },
+    /// A pre-built specific constraint over the named parameters.
+    Specific {
+        /// Parameter names, in the constraint's expected order.
+        scope: Vec<String>,
+        /// The constraint.
+        constraint: ConstraintRef,
+    },
+}
+
+impl Restriction {
+    /// Build an expression restriction.
+    pub fn expr(source: impl Into<String>) -> Self {
+        Restriction::Expression(source.into())
+    }
+
+    /// Build a closure restriction over the named parameters.
+    pub fn func<F>(scope: &[&str], label: impl Into<String>, func: F) -> Self
+    where
+        F: Fn(&[Value]) -> bool + Send + Sync + 'static,
+    {
+        Restriction::Function {
+            scope: scope.iter().map(|s| s.to_string()).collect(),
+            func: Arc::new(func),
+            label: label.into(),
+        }
+    }
+
+    /// Build a specific-constraint restriction.
+    pub fn specific<C: at_csp::Constraint + 'static>(scope: &[&str], constraint: C) -> Self {
+        Restriction::Specific {
+            scope: scope.iter().map(|s| s.to_string()).collect(),
+            constraint: Arc::new(constraint),
+        }
+    }
+
+    /// A short human-readable description.
+    pub fn describe(&self) -> String {
+        match self {
+            Restriction::Expression(src) => format!("expr: {src}"),
+            Restriction::Function { label, scope, .. } => {
+                format!("fn: {label} over {scope:?}")
+            }
+            Restriction::Specific { constraint, scope } => {
+                format!("{} over {scope:?}", constraint.kind())
+            }
+        }
+    }
+
+    /// Convert a closure restriction to a CSP constraint (expressions are
+    /// handled by the parsing pipeline instead).
+    pub fn as_function_constraint(&self) -> Option<(ConstraintRef, Vec<String>)> {
+        match self {
+            Restriction::Function { scope, func, label } => {
+                let func = func.clone();
+                let constraint: ConstraintRef = Arc::new(FunctionConstraint::with_label(
+                    move |values: &[Value]| func(values),
+                    label.clone(),
+                ));
+                Some((constraint, scope.clone()))
+            }
+            Restriction::Specific { scope, constraint } => {
+                Some((constraint.clone(), scope.clone()))
+            }
+            Restriction::Expression(_) => None,
+        }
+    }
+}
+
+impl fmt::Debug for Restriction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Restriction({})", self.describe())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use at_csp::value::int_values;
+    use at_csp::MaxProduct;
+
+    #[test]
+    fn expression_describe() {
+        let r = Restriction::expr("a * b <= 4");
+        assert!(r.describe().contains("a * b"));
+        assert!(r.as_function_constraint().is_none());
+    }
+
+    #[test]
+    fn function_restriction_evaluates() {
+        let r = Restriction::func(&["a", "b"], "a <= b", |v| v[0] <= v[1]);
+        let (c, scope) = r.as_function_constraint().unwrap();
+        assert_eq!(scope, vec!["a", "b"]);
+        assert!(c.evaluate(&int_values([1, 2])));
+        assert!(!c.evaluate(&int_values([3, 2])));
+        assert!(r.describe().contains("a <= b"));
+    }
+
+    #[test]
+    fn specific_restriction_passthrough() {
+        let r = Restriction::specific(&["x", "y"], MaxProduct::new(64.0));
+        let (c, scope) = r.as_function_constraint().unwrap();
+        assert_eq!(c.kind(), "MaxProduct");
+        assert_eq!(scope.len(), 2);
+        assert!(r.describe().contains("MaxProduct"));
+    }
+}

@@ -1,0 +1,187 @@
+//! Sampling from the resolved search space: uniform random sampling and
+//! Latin Hypercube Sampling (LHS).
+//!
+//! Because the space is fully resolved before tuning, samples are always
+//! valid configurations and uniform sampling is unbiased — unlike sampling
+//! through a chain-of-trees or rejection sampling through forbidden-clause
+//! checks (Section 4.4).
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::space::SearchSpace;
+
+/// Draw `count` distinct configuration indices uniformly at random.
+/// If `count >= len`, all indices are returned (shuffled).
+pub fn sample_indices<R: Rng>(space: &SearchSpace, count: usize, rng: &mut R) -> Vec<usize> {
+    let n = space.len();
+    let mut all: Vec<usize> = (0..n).collect();
+    all.shuffle(rng);
+    all.truncate(count.min(n));
+    all
+}
+
+/// Latin Hypercube Sampling over the valid configurations.
+///
+/// Each numeric parameter's *occurring-value index range* is divided into
+/// `count` strata; one stratum per parameter is drawn per sample (a Latin
+/// square per dimension), the resulting grid point is snapped to the nearest
+/// valid configuration (normalized Euclidean distance over value indices),
+/// and duplicates are removed. The result therefore contains at most `count`
+/// distinct, always-valid configurations spread over the space.
+pub fn latin_hypercube_sample<R: Rng>(
+    space: &SearchSpace,
+    count: usize,
+    rng: &mut R,
+) -> Vec<usize> {
+    let n = space.len();
+    if n == 0 || count == 0 {
+        return Vec::new();
+    }
+    let count = count.min(n);
+    let dims = space.params().len();
+    // Per dimension: a random permutation of the strata 0..count.
+    let mut strata: Vec<Vec<usize>> = Vec::with_capacity(dims);
+    for _ in 0..dims {
+        let mut perm: Vec<usize> = (0..count).collect();
+        perm.shuffle(rng);
+        strata.push(perm);
+    }
+    // Normalized target coordinates per sample.
+    let param_sizes: Vec<usize> = space.params().iter().map(|p| p.len().max(1)).collect();
+    let mut picked = Vec::with_capacity(count);
+    for s in 0..count {
+        let target: Vec<f64> = (0..dims)
+            .map(|d| {
+                let stratum = strata[d][s] as f64;
+                let jitter: f64 = rng.gen_range(0.0..1.0);
+                (stratum + jitter) / count as f64 // in [0, 1)
+            })
+            .collect();
+        //
+
+        // Snap to the nearest valid configuration by normalized value index.
+        let mut best = 0usize;
+        let mut best_dist = f64::INFINITY;
+        for i in 0..n {
+            let indices = space.value_indices(i).expect("valid");
+            let mut dist = 0.0;
+            for d in 0..dims {
+                let coord = indices[d] as f64 / param_sizes[d] as f64;
+                let diff = coord - target[d];
+                dist += diff * diff;
+            }
+            if dist < best_dist {
+                best_dist = dist;
+                best = i;
+            }
+        }
+        picked.push(best);
+    }
+    picked.sort_unstable();
+    picked.dedup();
+    picked
+}
+
+/// Summary of how well a set of samples covers each parameter's range,
+/// reported as the fraction of distinct occurring values hit per parameter.
+/// Used to verify the stratification benefit of LHS over naive sampling.
+pub fn coverage_per_parameter(space: &SearchSpace, samples: &[usize]) -> Vec<f64> {
+    let occurring = space.occurring_values();
+    space
+        .params()
+        .iter()
+        .enumerate()
+        .map(|(d, _)| {
+            let total = occurring[d].len().max(1);
+            let mut seen = std::collections::HashSet::new();
+            for &i in samples {
+                if let Some(cfg) = space.get(i) {
+                    seen.insert(cfg[d].to_string());
+                }
+            }
+            seen.len() as f64 / total as f64
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::param::TunableParameter;
+    use at_csp::value::int_values;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn grid_space(k: i64) -> SearchSpace {
+        let vals: Vec<i64> = (1..=k).collect();
+        let params = vec![
+            TunableParameter::ints("x", vals.clone()),
+            TunableParameter::ints("y", vals.clone()),
+        ];
+        let mut configs = Vec::new();
+        for &x in &vals {
+            for &y in &vals {
+                configs.push(int_values([x, y]));
+            }
+        }
+        SearchSpace::from_configs("grid", params, configs)
+    }
+
+    #[test]
+    fn sample_indices_distinct_and_bounded() {
+        let s = grid_space(8);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let samples = sample_indices(&s, 20, &mut rng);
+        assert_eq!(samples.len(), 20);
+        let mut dedup = samples.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 20);
+        assert!(samples.iter().all(|&i| i < s.len()));
+    }
+
+    #[test]
+    fn sample_more_than_space_returns_everything() {
+        let s = grid_space(3);
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let samples = sample_indices(&s, 100, &mut rng);
+        assert_eq!(samples.len(), 9);
+    }
+
+    #[test]
+    fn lhs_samples_are_valid_and_distinct() {
+        let s = grid_space(10);
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let samples = latin_hypercube_sample(&s, 10, &mut rng);
+        assert!(!samples.is_empty());
+        assert!(samples.len() <= 10);
+        assert!(samples.iter().all(|&i| i < s.len()));
+    }
+
+    #[test]
+    fn lhs_covers_parameter_ranges_better_than_a_single_stratum() {
+        let s = grid_space(10);
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let samples = latin_hypercube_sample(&s, 10, &mut rng);
+        let coverage = coverage_per_parameter(&s, &samples);
+        // with 10 strata over 10 values, each dimension should hit a good
+        // spread of values (well above a clustered sample's coverage)
+        for c in coverage {
+            assert!(c >= 0.5, "coverage {c}");
+        }
+    }
+
+    #[test]
+    fn empty_space_and_zero_count() {
+        let s = SearchSpace::from_configs(
+            "empty",
+            vec![TunableParameter::ints("x", [1])],
+            Vec::new(),
+        );
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        assert!(latin_hypercube_sample(&s, 5, &mut rng).is_empty());
+        let s2 = grid_space(3);
+        assert!(latin_hypercube_sample(&s2, 0, &mut rng).is_empty());
+    }
+}

@@ -1,0 +1,339 @@
+//! The fully resolved search space representation.
+//!
+//! After construction, optimization algorithms need efficient access to the
+//! valid configurations: indexed access for sampling, hash lookups to test
+//! membership and find a configuration's index, the *true* parameter bounds
+//! (which constraints may have shrunk relative to the declared domains), and
+//! neighbor queries. This mirrors Kernel Tuner's `SearchSpace` class
+//! (Section 4.4 of the paper).
+
+use at_csp::{SolutionSet, Value};
+use rustc_hash::FxHashMap;
+
+use crate::param::TunableParameter;
+
+/// A fully resolved, indexed search space.
+#[derive(Debug, Clone)]
+pub struct SearchSpace {
+    name: String,
+    params: Vec<TunableParameter>,
+    /// Valid configurations; each row holds one value per parameter, in
+    /// parameter declaration order.
+    configs: Vec<Vec<Value>>,
+    /// For each configuration, the per-parameter index of its value within
+    /// the parameter's declared value list.
+    value_indices: Vec<Vec<usize>>,
+    /// Hash index from configuration to its position in `configs`.
+    index: FxHashMap<Vec<Value>, usize>,
+}
+
+impl SearchSpace {
+    /// Build the representation from the solver output.
+    pub fn from_solutions(
+        name: impl Into<String>,
+        params: Vec<TunableParameter>,
+        solutions: &SolutionSet,
+    ) -> Self {
+        let configs: Vec<Vec<Value>> = solutions.rows().to_vec();
+        Self::from_configs(name, params, configs)
+    }
+
+    /// Build the representation from raw configuration rows (declaration order).
+    pub fn from_configs(
+        name: impl Into<String>,
+        params: Vec<TunableParameter>,
+        configs: Vec<Vec<Value>>,
+    ) -> Self {
+        let value_indices: Vec<Vec<usize>> = configs
+            .iter()
+            .map(|row| {
+                row.iter()
+                    .zip(params.iter())
+                    .map(|(v, p)| p.index_of(v).unwrap_or(usize::MAX))
+                    .collect()
+            })
+            .collect();
+        let index: FxHashMap<Vec<Value>, usize> = configs
+            .iter()
+            .enumerate()
+            .map(|(i, row)| (row.clone(), i))
+            .collect();
+        SearchSpace {
+            name: name.into(),
+            params,
+            configs,
+            value_indices,
+            index,
+        }
+    }
+
+    /// The space's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The tunable parameters.
+    pub fn params(&self) -> &[TunableParameter] {
+        &self.params
+    }
+
+    /// Parameter names in declaration order.
+    pub fn param_names(&self) -> Vec<&str> {
+        self.params.iter().map(|p| p.name()).collect()
+    }
+
+    /// Number of valid configurations.
+    pub fn len(&self) -> usize {
+        self.configs.len()
+    }
+
+    /// True when the space has no valid configuration.
+    pub fn is_empty(&self) -> bool {
+        self.configs.is_empty()
+    }
+
+    /// The Cartesian size of the unconstrained space.
+    pub fn cartesian_size(&self) -> u128 {
+        self.params
+            .iter()
+            .map(|p| p.len() as u128)
+            .fold(1, |a, b| a.saturating_mul(b))
+    }
+
+    /// Fraction of the Cartesian space that is *invalid* (the paper's
+    /// "fraction of sparsity").
+    pub fn sparsity(&self) -> f64 {
+        let cartesian = self.cartesian_size() as f64;
+        if cartesian == 0.0 {
+            return 0.0;
+        }
+        1.0 - self.len() as f64 / cartesian
+    }
+
+    /// The configuration at `index`.
+    pub fn get(&self, index: usize) -> Option<&[Value]> {
+        self.configs.get(index).map(|v| v.as_slice())
+    }
+
+    /// The per-parameter value indices of the configuration at `index`.
+    pub fn value_indices(&self, index: usize) -> Option<&[usize]> {
+        self.value_indices.get(index).map(|v| v.as_slice())
+    }
+
+    /// All configurations.
+    pub fn configs(&self) -> &[Vec<Value>] {
+        &self.configs
+    }
+
+    /// Whether a configuration is part of the (valid) search space.
+    pub fn contains(&self, config: &[Value]) -> bool {
+        self.index.contains_key(config)
+    }
+
+    /// The index of a configuration, if valid.
+    pub fn index_of(&self, config: &[Value]) -> Option<usize> {
+        self.index.get(config).copied()
+    }
+
+    /// A configuration as `(name, value)` pairs.
+    pub fn named(&self, index: usize) -> Option<Vec<(&str, &Value)>> {
+        self.configs.get(index).map(|row| {
+            self.params
+                .iter()
+                .map(|p| p.name())
+                .zip(row.iter())
+                .collect()
+        })
+    }
+
+    /// The *true* bounds of each numeric parameter over the valid
+    /// configurations: `(min, max)` of the values that actually occur.
+    /// Parameters with non-numeric values yield `None`.
+    pub fn true_bounds(&self) -> Vec<Option<(f64, f64)>> {
+        let n = self.params.len();
+        let mut bounds: Vec<Option<(f64, f64)>> = vec![None; n];
+        for row in &self.configs {
+            for (i, v) in row.iter().enumerate() {
+                if let Some(f) = v.as_f64() {
+                    bounds[i] = Some(match bounds[i] {
+                        Some((lo, hi)) => (lo.min(f), hi.max(f)),
+                        None => (f, f),
+                    });
+                }
+            }
+        }
+        bounds
+    }
+
+    /// For each parameter, the values that actually occur in at least one
+    /// valid configuration (in declared order). Constraints often make some
+    /// declared values unreachable; optimizers should not waste samples there.
+    pub fn occurring_values(&self) -> Vec<Vec<Value>> {
+        self.params
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                p.values()
+                    .iter()
+                    .filter(|v| self.configs.iter().any(|row| &row[i] == *v))
+                    .cloned()
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// A new search space containing only the configurations for which the
+    /// predicate holds (e.g. restricting to a promising region before a
+    /// second tuning pass).
+    pub fn filter<F: Fn(&[Value]) -> bool>(&self, predicate: F) -> SearchSpace {
+        let configs: Vec<Vec<Value>> = self
+            .configs
+            .iter()
+            .filter(|row| predicate(row))
+            .cloned()
+            .collect();
+        SearchSpace::from_configs(self.name.clone(), self.params.clone(), configs)
+    }
+
+    /// Split the configuration indices into `parts` contiguous, near-equal
+    /// blocks — the simplest way to distribute a tuning run over multiple
+    /// workers, each exploring a disjoint part of the space.
+    pub fn partition(&self, parts: usize) -> Vec<std::ops::Range<usize>> {
+        let parts = parts.max(1);
+        let n = self.configs.len();
+        let base = n / parts;
+        let remainder = n % parts;
+        let mut ranges = Vec::with_capacity(parts);
+        let mut start = 0usize;
+        for i in 0..parts {
+            let len = base + usize::from(i < remainder);
+            ranges.push(start..start + len);
+            start += len;
+        }
+        ranges
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use at_csp::value::int_values;
+
+    fn space() -> SearchSpace {
+        // x in {1,2,4}, y in {1,2}; valid: x*y <= 4
+        let params = vec![
+            TunableParameter::ints("x", [1, 2, 4]),
+            TunableParameter::ints("y", [1, 2]),
+        ];
+        let configs = vec![
+            int_values([1, 1]),
+            int_values([1, 2]),
+            int_values([2, 1]),
+            int_values([2, 2]),
+            int_values([4, 1]),
+        ];
+        SearchSpace::from_configs("demo", params, configs)
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let s = space();
+        assert_eq!(s.name(), "demo");
+        assert_eq!(s.len(), 5);
+        assert!(!s.is_empty());
+        assert_eq!(s.cartesian_size(), 6);
+        assert!((s.sparsity() - (1.0 - 5.0 / 6.0)).abs() < 1e-12);
+        assert_eq!(s.param_names(), vec!["x", "y"]);
+        assert_eq!(s.get(2).unwrap(), &int_values([2, 1])[..]);
+        assert_eq!(s.get(99), None);
+    }
+
+    #[test]
+    fn hash_index_lookups() {
+        let s = space();
+        assert!(s.contains(&int_values([2, 2])));
+        assert!(!s.contains(&int_values([4, 2])));
+        assert_eq!(s.index_of(&int_values([4, 1])), Some(4));
+        assert_eq!(s.index_of(&int_values([9, 9])), None);
+    }
+
+    #[test]
+    fn value_indices_match_parameter_positions() {
+        let s = space();
+        assert_eq!(s.value_indices(4).unwrap(), &[2, 0]);
+        assert_eq!(s.value_indices(1).unwrap(), &[0, 1]);
+    }
+
+    #[test]
+    fn true_bounds_and_occurring_values() {
+        let s = space();
+        let bounds = s.true_bounds();
+        assert_eq!(bounds[0], Some((1.0, 4.0)));
+        assert_eq!(bounds[1], Some((1.0, 2.0)));
+        let occurring = s.occurring_values();
+        assert_eq!(occurring[0], int_values([1, 2, 4]));
+        assert_eq!(occurring[1], int_values([1, 2]));
+    }
+
+    #[test]
+    fn true_bounds_shrink_when_values_unreachable() {
+        let params = vec![TunableParameter::ints("x", [1, 2, 64])];
+        let configs = vec![int_values([1]), int_values([2])];
+        let s = SearchSpace::from_configs("shrunk", params, configs);
+        assert_eq!(s.true_bounds()[0], Some((1.0, 2.0)));
+        assert_eq!(s.occurring_values()[0], int_values([1, 2]));
+    }
+
+    #[test]
+    fn named_view() {
+        let s = space();
+        let named = s.named(0).unwrap();
+        assert_eq!(named[0].0, "x");
+        assert_eq!(named[0].1, &Value::Int(1));
+        assert!(s.named(100).is_none());
+    }
+
+    #[test]
+    fn filter_produces_a_consistent_subspace() {
+        let s = space();
+        let filtered = s.filter(|row| row[1] == Value::Int(1));
+        assert_eq!(filtered.len(), 3);
+        assert!(filtered.contains(&int_values([4, 1])));
+        assert!(!filtered.contains(&int_values([1, 2])));
+        // indices are rebuilt for the subspace
+        assert_eq!(filtered.index_of(&int_values([1, 1])), Some(0));
+    }
+
+    #[test]
+    fn partition_covers_everything_without_overlap() {
+        let s = space();
+        for parts in [1usize, 2, 3, 5, 7] {
+            let ranges = s.partition(parts);
+            assert_eq!(ranges.len(), parts.max(1));
+            let total: usize = ranges.iter().map(|r| r.len()).sum();
+            assert_eq!(total, s.len());
+            for pair in ranges.windows(2) {
+                assert_eq!(pair[0].end, pair[1].start);
+            }
+            assert_eq!(ranges.first().unwrap().start, 0);
+            assert_eq!(ranges.last().unwrap().end, s.len());
+        }
+    }
+
+    #[test]
+    fn from_solutions_roundtrip() {
+        let sols = SolutionSet::from_rows(
+            vec!["x".to_string(), "y".to_string()],
+            vec![int_values([1, 1]), int_values([2, 1])],
+        );
+        let s = SearchSpace::from_solutions(
+            "rt",
+            vec![
+                TunableParameter::ints("x", [1, 2]),
+                TunableParameter::ints("y", [1]),
+            ],
+            &sols,
+        );
+        assert_eq!(s.len(), 2);
+    }
+}

@@ -1,0 +1,222 @@
+//! Search space specifications: tunable parameters plus restrictions.
+
+use at_csp::{CspError, CspResult, Problem};
+use at_expr::{parse_restriction, parse_restriction_generic};
+
+use crate::param::TunableParameter;
+use crate::restriction::Restriction;
+
+/// How restriction strings are lowered to CSP constraints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RestrictionLowering {
+    /// Full parsing pipeline: constant folding, decomposition into
+    /// minimal-scope conjuncts and specific-constraint recognition
+    /// (the paper's optimized path).
+    #[default]
+    Optimized,
+    /// One compiled function constraint per restriction string, no
+    /// decomposition or recognition (the unoptimized baseline path).
+    Generic,
+}
+
+/// The definition of a constrained auto-tuning search space.
+#[derive(Debug, Clone, Default)]
+pub struct SearchSpaceSpec {
+    /// A short name for reports.
+    pub name: String,
+    /// The tunable parameters, in declaration order.
+    pub params: Vec<TunableParameter>,
+    /// The restrictions.
+    pub restrictions: Vec<Restriction>,
+}
+
+impl SearchSpaceSpec {
+    /// Create an empty specification.
+    pub fn new(name: impl Into<String>) -> Self {
+        SearchSpaceSpec {
+            name: name.into(),
+            params: Vec::new(),
+            restrictions: Vec::new(),
+        }
+    }
+
+    /// Add a tunable parameter (builder style).
+    pub fn with_param(mut self, param: TunableParameter) -> Self {
+        self.params.push(param);
+        self
+    }
+
+    /// Add a restriction (builder style).
+    pub fn with_restriction(mut self, restriction: Restriction) -> Self {
+        self.restrictions.push(restriction);
+        self
+    }
+
+    /// Add an expression restriction (builder style).
+    pub fn with_expr(self, source: &str) -> Self {
+        self.with_restriction(Restriction::expr(source))
+    }
+
+    /// Add a tunable parameter.
+    pub fn add_param(&mut self, param: TunableParameter) -> &mut Self {
+        self.params.push(param);
+        self
+    }
+
+    /// Add a restriction.
+    pub fn add_restriction(&mut self, restriction: Restriction) -> &mut Self {
+        self.restrictions.push(restriction);
+        self
+    }
+
+    /// Number of tunable parameters (dimensions).
+    pub fn num_params(&self) -> usize {
+        self.params.len()
+    }
+
+    /// Number of restrictions as written by the user.
+    pub fn num_restrictions(&self) -> usize {
+        self.restrictions.len()
+    }
+
+    /// The Cartesian product size of the unconstrained space.
+    pub fn cartesian_size(&self) -> u128 {
+        self.params
+            .iter()
+            .map(|p| p.len() as u128)
+            .fold(1, |a, b| a.saturating_mul(b))
+    }
+
+    /// Position of a parameter by name.
+    pub fn param_index(&self, name: &str) -> Option<usize> {
+        self.params.iter().position(|p| p.name() == name)
+    }
+
+    /// Lower the specification to a CSP [`Problem`].
+    ///
+    /// Expression restrictions are parsed with the selected lowering; closure
+    /// and specific restrictions are attached directly. Restrictions that
+    /// fold to a constant `False` are represented by a constraint that is
+    /// always false over the first parameter so every solver agrees the space
+    /// is empty.
+    pub fn to_problem(&self, lowering: RestrictionLowering) -> CspResult<Problem> {
+        let mut problem = Problem::new();
+        for p in &self.params {
+            problem.add_variable(p.name(), p.values().to_vec())?;
+        }
+        for restriction in &self.restrictions {
+            match restriction {
+                Restriction::Expression(source) => {
+                    let parsed = match lowering {
+                        RestrictionLowering::Optimized => parse_restriction(source),
+                        RestrictionLowering::Generic => parse_restriction_generic(source),
+                    }
+                    .map_err(|e| CspError::Solver(format!("failed to parse `{source}`: {e}")))?;
+                    if parsed.always_false {
+                        let first = self
+                            .params
+                            .first()
+                            .ok_or_else(|| CspError::Solver("empty specification".into()))?;
+                        problem.add_constraint(
+                            at_csp::constraints::FunctionConstraint::with_label(
+                                |_| false,
+                                format!("always false: {source}"),
+                            ),
+                            &[first.name()],
+                        )?;
+                        continue;
+                    }
+                    for c in parsed.constraints {
+                        let scope: Vec<&str> = c.scope.iter().map(|s| s.as_str()).collect();
+                        let ids = problem.resolve_scope(&scope)?;
+                        problem.add_constraint_scoped(c.constraint, ids)?;
+                    }
+                }
+                other => {
+                    let (constraint, scope) = other
+                        .as_function_constraint()
+                        .expect("non-expression restrictions lower directly");
+                    let scope: Vec<&str> = scope.iter().map(|s| s.as_str()).collect();
+                    let ids = problem.resolve_scope(&scope)?;
+                    problem.add_constraint_scoped(constraint, ids)?;
+                }
+            }
+        }
+        Ok(problem)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use at_csp::prelude::*;
+
+    fn spec() -> SearchSpaceSpec {
+        SearchSpaceSpec::new("demo")
+            .with_param(TunableParameter::pow2("block_size_x", 8))
+            .with_param(TunableParameter::pow2("block_size_y", 6))
+            .with_param(TunableParameter::switch("sh_power"))
+            .with_expr("32 <= block_size_x*block_size_y <= 1024")
+            .with_restriction(Restriction::func(
+                &["sh_power", "block_size_x"],
+                "sh_power == 0 or block_size_x >= 4",
+                |v| v[0].as_i64() == Some(0) || v[1].as_i64().unwrap() >= 4,
+            ))
+    }
+
+    #[test]
+    fn spec_accessors() {
+        let s = spec();
+        assert_eq!(s.num_params(), 3);
+        assert_eq!(s.num_restrictions(), 2);
+        assert_eq!(s.cartesian_size(), 8 * 6 * 2);
+        assert_eq!(s.param_index("sh_power"), Some(2));
+        assert_eq!(s.param_index("nope"), None);
+    }
+
+    #[test]
+    fn optimized_lowering_produces_more_specific_constraints() {
+        let s = spec();
+        let optimized = s.to_problem(RestrictionLowering::Optimized).unwrap();
+        let generic = s.to_problem(RestrictionLowering::Generic).unwrap();
+        // optimized: MinProduct + MaxProduct + function = 3; generic: 2 functions
+        assert_eq!(optimized.num_constraints(), 3);
+        assert_eq!(generic.num_constraints(), 2);
+    }
+
+    #[test]
+    fn both_lowerings_yield_identical_spaces() {
+        let s = spec();
+        let optimized = s.to_problem(RestrictionLowering::Optimized).unwrap();
+        let generic = s.to_problem(RestrictionLowering::Generic).unwrap();
+        let a = OptimizedSolver::new().solve(&optimized).unwrap();
+        let b = BruteForceSolver::new().solve(&generic).unwrap();
+        assert!(a.solutions.same_solutions(&b.solutions));
+    }
+
+    #[test]
+    fn always_false_restriction_empties_space() {
+        let s = SearchSpaceSpec::new("empty")
+            .with_param(TunableParameter::ints("x", [1, 2, 3]))
+            .with_expr("1 > 2");
+        let p = s.to_problem(RestrictionLowering::Optimized).unwrap();
+        let r = OptimizedSolver::new().solve(&p).unwrap();
+        assert!(r.solutions.is_empty());
+    }
+
+    #[test]
+    fn bad_expression_reports_error() {
+        let s = SearchSpaceSpec::new("bad")
+            .with_param(TunableParameter::ints("x", [1]))
+            .with_expr("x >");
+        assert!(s.to_problem(RestrictionLowering::Optimized).is_err());
+    }
+
+    #[test]
+    fn unknown_parameter_in_restriction_reports_error() {
+        let s = SearchSpaceSpec::new("bad")
+            .with_param(TunableParameter::ints("x", [1, 2]))
+            .with_expr("x * zz <= 4");
+        assert!(s.to_problem(RestrictionLowering::Optimized).is_err());
+    }
+}

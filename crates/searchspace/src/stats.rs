@@ -1,0 +1,161 @@
+//! Search space characteristics — the columns of Table 2 of the paper.
+
+use at_csp::expected_brute_force_evaluations;
+
+use crate::space::SearchSpace;
+use crate::spec::{RestrictionLowering, SearchSpaceSpec};
+
+/// The characteristics reported in Table 2 for each real-world search space.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpaceCharacteristics {
+    /// Space name.
+    pub name: String,
+    /// Cartesian product size before constraints.
+    pub cartesian_size: u128,
+    /// Number of valid configurations ("constraint size" in Table 2).
+    pub num_valid: u128,
+    /// Number of tunable parameters (dimensions).
+    pub num_params: usize,
+    /// Number of constraints (after the user-facing restrictions are lowered
+    /// with the *generic* lowering, i.e. as the user wrote them).
+    pub num_constraints: usize,
+    /// Average number of distinct parameters per constraint.
+    pub avg_params_per_constraint: f64,
+    /// Smallest number of values over all parameters.
+    pub min_values_per_param: usize,
+    /// Largest number of values over all parameters.
+    pub max_values_per_param: usize,
+    /// Percentage of the Cartesian size that is valid.
+    pub percent_valid: f64,
+    /// Average number of constraint evaluations a brute-force construction
+    /// needs (the paper's closed-form estimate).
+    pub avg_constraint_evaluations: f64,
+}
+
+impl SpaceCharacteristics {
+    /// Compute the characteristics from a specification and its resolved space.
+    pub fn compute(spec: &SearchSpaceSpec, space: &SearchSpace) -> Self {
+        // Constraint structure as the user wrote it (generic lowering).
+        let (num_constraints, avg_params_per_constraint) =
+            match spec.to_problem(RestrictionLowering::Generic) {
+                Ok(problem) => {
+                    let n = problem.num_constraints();
+                    let avg = if n == 0 {
+                        0.0
+                    } else {
+                        problem
+                            .constraints()
+                            .iter()
+                            .map(|e| {
+                                let mut distinct = e.scope.clone();
+                                distinct.sort_unstable();
+                                distinct.dedup();
+                                distinct.len() as f64
+                            })
+                            .sum::<f64>()
+                            / n as f64
+                    };
+                    (n, avg)
+                }
+                Err(_) => (spec.num_restrictions(), 0.0),
+            };
+        let cartesian_size = spec.cartesian_size();
+        let num_valid = space.len() as u128;
+        let invalid = cartesian_size.saturating_sub(num_valid);
+        let percent_valid = if cartesian_size == 0 {
+            0.0
+        } else {
+            num_valid as f64 / cartesian_size as f64 * 100.0
+        };
+        let (min_values, max_values) = spec
+            .params
+            .iter()
+            .map(|p| p.len())
+            .fold((usize::MAX, 0usize), |(lo, hi), v| (lo.min(v), hi.max(v)));
+        SpaceCharacteristics {
+            name: spec.name.clone(),
+            cartesian_size,
+            num_valid,
+            num_params: spec.num_params(),
+            num_constraints,
+            avg_params_per_constraint,
+            min_values_per_param: if spec.params.is_empty() { 0 } else { min_values },
+            max_values_per_param: max_values,
+            percent_valid,
+            avg_constraint_evaluations: expected_brute_force_evaluations(
+                invalid,
+                num_valid,
+                num_constraints,
+            ),
+        }
+    }
+
+    /// Render as one row of a Table 2-style report.
+    pub fn table_row(&self) -> String {
+        format!(
+            "{:<16} {:>14} {:>12} {:>6} {:>6} {:>8.3} {:>5}-{:<5} {:>8.3} {:>16.0}",
+            self.name,
+            self.cartesian_size,
+            self.num_valid,
+            self.num_params,
+            self.num_constraints,
+            self.avg_params_per_constraint,
+            self.min_values_per_param,
+            self.max_values_per_param,
+            self.percent_valid,
+            self.avg_constraint_evaluations,
+        )
+    }
+
+    /// Header matching [`SpaceCharacteristics::table_row`].
+    pub fn table_header() -> String {
+        format!(
+            "{:<16} {:>14} {:>12} {:>6} {:>6} {:>8} {:>11} {:>8} {:>16}",
+            "Name", "Cartesian", "Valid", "Params", "Constr", "AvgVars", "Values", "%valid", "AvgEvals"
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{build_search_space, Method};
+    use crate::param::TunableParameter;
+
+    fn spec() -> SearchSpaceSpec {
+        SearchSpaceSpec::new("demo")
+            .with_param(TunableParameter::pow2("x", 6))
+            .with_param(TunableParameter::pow2("y", 6))
+            .with_param(TunableParameter::ints("z", [1, 2, 3]))
+            .with_expr("32 <= x*y <= 256")
+            .with_expr("z <= 2")
+    }
+
+    #[test]
+    fn characteristics_are_consistent() {
+        let spec = spec();
+        let (space, _) = build_search_space(&spec, Method::Optimized).unwrap();
+        let c = SpaceCharacteristics::compute(&spec, &space);
+        assert_eq!(c.cartesian_size, 6 * 6 * 3);
+        assert_eq!(c.num_params, 3);
+        assert_eq!(c.num_constraints, 2);
+        assert_eq!(c.num_valid, space.len() as u128);
+        assert!((c.percent_valid - space.len() as f64 / 108.0 * 100.0).abs() < 1e-9);
+        assert_eq!(c.min_values_per_param, 3);
+        assert_eq!(c.max_values_per_param, 6);
+        assert!(c.avg_constraint_evaluations > c.num_valid as f64);
+        // each constraint references 2 and 1 distinct parameters respectively
+        assert!((c.avg_params_per_constraint - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn table_rendering() {
+        let spec = spec();
+        let (space, _) = build_search_space(&spec, Method::Optimized).unwrap();
+        let c = SpaceCharacteristics::compute(&spec, &space);
+        let header = SpaceCharacteristics::table_header();
+        let row = c.table_row();
+        assert!(header.contains("Cartesian"));
+        assert!(row.contains("demo"));
+    }
+}

@@ -1,0 +1,24 @@
+//! # at-tuner — a minimal auto-tuner over resolved search spaces
+//!
+//! This crate provides what the paper's Section 5.4 experiment needs from
+//! Kernel Tuner: a budgeted tuning loop over a fully resolved
+//! [`at_searchspace::SearchSpace`], driven by optimization strategies
+//! (random sampling, a genetic algorithm, hill climbing, simulated
+//! annealing, differential evolution, particle swarm optimization and
+//! iterated local search) and a *simulated* kernel performance model
+//! evaluated on a virtual clock. Construction time is charged against the
+//! same budget, so the effect of slow search-space construction on tuning
+//! outcomes (Figures 6 and 7) can be reproduced without GPU hardware.
+
+#![warn(missing_docs)]
+
+pub mod kernel;
+pub mod strategies;
+pub mod tuning;
+
+pub use kernel::{PerformanceModel, SyntheticKernel};
+pub use strategies::{
+    all_strategy_names, strategy_by_name, DifferentialEvolution, GeneticAlgorithm, HillClimbing,
+    IteratedLocalSearch, ParticleSwarm, RandomSampling, SimulatedAnnealing,
+};
+pub use tuning::{tune, Evaluation, Strategy, TuningContext, TuningRun, CACHE_HIT_COST_MS};

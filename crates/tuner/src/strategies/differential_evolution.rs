@@ -1,0 +1,187 @@
+//! Differential evolution adapted to discrete, constrained spaces.
+//!
+//! Individuals live in the per-parameter *value index* space. The classic
+//! DE/rand/1/bin mutation `a + F * (b - c)` is computed on index vectors,
+//! rounded, clamped to each parameter's index range and then snapped to a
+//! valid configuration: if the mutant is not in the resolved search space the
+//! nearest valid configuration (normalized index distance) among a bounded
+//! candidate sample is used. This mirrors how Kernel Tuner adapts continuous
+//! strategies to constrained discrete spaces via the `SearchSpace`.
+
+use rand::Rng;
+
+use at_csp::Value;
+
+use crate::tuning::{Strategy, TuningContext};
+
+/// DE/rand/1/bin over configuration value indices.
+#[derive(Debug, Clone, Copy)]
+pub struct DifferentialEvolution {
+    /// Population size.
+    pub population_size: usize,
+    /// Differential weight `F`.
+    pub differential_weight: f64,
+    /// Crossover probability `CR`.
+    pub crossover_rate: f64,
+    /// How many random valid configurations to consider when snapping an
+    /// invalid mutant back into the space.
+    pub snap_candidates: usize,
+}
+
+impl Default for DifferentialEvolution {
+    fn default() -> Self {
+        DifferentialEvolution {
+            population_size: 20,
+            differential_weight: 0.7,
+            crossover_rate: 0.8,
+            snap_candidates: 64,
+        }
+    }
+}
+
+impl DifferentialEvolution {
+    /// Snap an index vector to a valid configuration index: exact hit if the
+    /// corresponding configuration exists, otherwise the nearest of a random
+    /// sample of valid configurations.
+    fn snap(&self, ctx: &mut TuningContext<'_>, target: &[f64]) -> usize {
+        let space = ctx.space();
+        let exact: Vec<Value> = target
+            .iter()
+            .enumerate()
+            .map(|(d, &idx)| {
+                let param = &space.params()[d];
+                let i = (idx.round() as i64).clamp(0, param.len() as i64 - 1) as usize;
+                param.values()[i].clone()
+            })
+            .collect();
+        if let Some(i) = space.index_of(&exact) {
+            return i;
+        }
+        let n = space.len();
+        let mut best = 0usize;
+        let mut best_dist = f64::INFINITY;
+        for _ in 0..self.snap_candidates.max(1) {
+            let candidate = ctx.rng().gen_range(0..n);
+            let indices = ctx.space().value_indices(candidate).expect("valid index");
+            let dist: f64 = indices
+                .iter()
+                .zip(target.iter())
+                .enumerate()
+                .map(|(d, (&i, &t))| {
+                    let scale = ctx.space().params()[d].len().max(1) as f64;
+                    let diff = (i as f64 - t) / scale;
+                    diff * diff
+                })
+                .sum();
+            if dist < best_dist {
+                best_dist = dist;
+                best = candidate;
+            }
+        }
+        best
+    }
+}
+
+impl Strategy for DifferentialEvolution {
+    fn name(&self) -> &'static str {
+        "differential-evolution"
+    }
+
+    fn run(&self, ctx: &mut TuningContext<'_>) {
+        let n = ctx.space().len();
+        let dims = ctx.space().params().len();
+        let pop_size = self.population_size.min(n).max(4);
+
+        // initial population: random distinct-ish configurations
+        let mut population: Vec<(usize, f64)> = Vec::with_capacity(pop_size);
+        while population.len() < pop_size {
+            let candidate = ctx.rng().gen_range(0..n);
+            match ctx.evaluate(candidate) {
+                Some(t) => population.push((candidate, t)),
+                None => return,
+            }
+        }
+
+        while !ctx.exhausted() {
+            for i in 0..population.len() {
+                // pick three distinct partners
+                let mut partners = [0usize; 3];
+                for slot in &mut partners {
+                    loop {
+                        let pick = ctx.rng().gen_range(0..population.len());
+                        if pick != i {
+                            *slot = pick;
+                            break;
+                        }
+                    }
+                }
+                let (a, b, c) = (
+                    population[partners[0]].0,
+                    population[partners[1]].0,
+                    population[partners[2]].0,
+                );
+                let target_indices = ctx.space().value_indices(population[i].0).expect("valid").to_vec();
+                let ai = ctx.space().value_indices(a).expect("valid").to_vec();
+                let bi = ctx.space().value_indices(b).expect("valid").to_vec();
+                let ci = ctx.space().value_indices(c).expect("valid").to_vec();
+
+                // mutation + binomial crossover in index space
+                let forced = ctx.rng().gen_range(0..dims);
+                let mut trial = vec![0.0f64; dims];
+                for d in 0..dims {
+                    let mutant =
+                        ai[d] as f64 + self.differential_weight * (bi[d] as f64 - ci[d] as f64);
+                    let cross = ctx.rng().gen_bool(self.crossover_rate) || d == forced;
+                    trial[d] = if cross { mutant } else { target_indices[d] as f64 };
+                }
+
+                let candidate = self.snap(ctx, &trial);
+                let candidate_time = match ctx.evaluate(candidate) {
+                    Some(t) => t,
+                    None => return,
+                };
+                if candidate_time < population[i].1 {
+                    population[i] = (candidate, candidate_time);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::SyntheticKernel;
+    use crate::tuning::tune;
+    use at_searchspace::prelude::*;
+    use std::time::Duration;
+
+    #[test]
+    fn de_improves_and_stays_valid() {
+        let spec = SearchSpaceSpec::new("de")
+            .with_param(TunableParameter::pow2("x", 7))
+            .with_param(TunableParameter::pow2("y", 6))
+            .with_param(TunableParameter::ints("t", [1, 2, 4, 8]))
+            .with_expr("16 <= x * y <= 2048")
+            .with_expr("t <= y");
+        let (space, _) = build_search_space(&spec, Method::Optimized).unwrap();
+        let model = SyntheticKernel::for_space(&space, 13);
+        let run = tune(
+            &space,
+            &model,
+            &DifferentialEvolution::default(),
+            Duration::from_secs(60),
+            Duration::ZERO,
+            21,
+        );
+        assert!(run.num_evaluations() > 10);
+        for e in &run.evaluations {
+            assert!(space.get(e.config_index).is_some());
+        }
+        let initial_best = run.evaluations[..DifferentialEvolution::default().population_size.min(run.num_evaluations())]
+            .iter()
+            .map(|e| e.runtime_ms)
+            .fold(f64::INFINITY, f64::min);
+        assert!(run.best_runtime_ms().unwrap() <= initial_best);
+    }
+}

@@ -1,0 +1,172 @@
+//! A genetic algorithm using valid-neighbor mutation.
+//!
+//! The mutation step illustrates why the resolved `SearchSpace` matters: a
+//! mutated individual is chosen among the *valid* Hamming neighbors of its
+//! parent (Section 4.4), so the GA never wastes evaluations on configurations
+//! that violate constraints.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use at_searchspace::{neighbors, NeighborIndex, NeighborMethod};
+
+use crate::tuning::{Strategy, TuningContext};
+
+/// A steady-state genetic algorithm over configuration indices.
+#[derive(Debug, Clone, Copy)]
+pub struct GeneticAlgorithm {
+    /// Population size.
+    pub population_size: usize,
+    /// Probability of mutating an offspring to a random valid neighbor.
+    pub mutation_rate: f64,
+    /// Tournament size for parent selection.
+    pub tournament: usize,
+}
+
+impl Default for GeneticAlgorithm {
+    fn default() -> Self {
+        GeneticAlgorithm {
+            population_size: 16,
+            mutation_rate: 0.3,
+            tournament: 3,
+        }
+    }
+}
+
+impl GeneticAlgorithm {
+    /// Single-point crossover on parameter values, snapped back into the
+    /// valid space through the hash index. Returns `None` when the offspring
+    /// is not a valid configuration.
+    fn crossover(
+        &self,
+        ctx: &mut TuningContext<'_>,
+        parent_a: usize,
+        parent_b: usize,
+    ) -> Option<usize> {
+        let space = ctx.space();
+        let a = space.get(parent_a)?.to_vec();
+        let b = space.get(parent_b)?.to_vec();
+        let cut = ctx.rng().gen_range(1..a.len().max(2));
+        let mut child = Vec::with_capacity(a.len());
+        child.extend_from_slice(&a[..cut.min(a.len())]);
+        child.extend_from_slice(&b[cut.min(b.len())..]);
+        ctx.space().index_of(&child)
+    }
+}
+
+impl Strategy for GeneticAlgorithm {
+    fn name(&self) -> &'static str {
+        "genetic-algorithm"
+    }
+
+    fn run(&self, ctx: &mut TuningContext<'_>) {
+        let index = NeighborIndex::build(ctx.space());
+        let n = ctx.space().len();
+        let pop_size = self.population_size.min(n).max(2);
+
+        // initial population: distinct random configurations
+        let mut all: Vec<usize> = (0..n).collect();
+        all.shuffle(ctx.rng());
+        let mut population: Vec<(usize, f64)> = Vec::with_capacity(pop_size);
+        for &i in all.iter().take(pop_size) {
+            match ctx.evaluate(i) {
+                Some(t) => population.push((i, t)),
+                None => return,
+            }
+        }
+
+        while !ctx.exhausted() && population.len() >= 2 {
+            // tournament selection of two parents
+            let select = |ctx: &mut TuningContext<'_>| {
+                let mut best: Option<(usize, f64)> = None;
+                for _ in 0..self.tournament {
+                    let pick = population[ctx.rng().gen_range(0..population.len())];
+                    if best.map(|b| pick.1 < b.1).unwrap_or(true) {
+                        best = Some(pick);
+                    }
+                }
+                best.expect("non-empty population").0
+            };
+            let parent_a = select(ctx);
+            let parent_b = select(ctx);
+
+            // crossover, falling back to a parent when the child is invalid
+            let mut child = self.crossover(ctx, parent_a, parent_b).unwrap_or(parent_a);
+
+            // mutation: jump to a random valid Hamming neighbor
+            if ctx.rng().gen_bool(self.mutation_rate) {
+                let neighbor_list = neighbors(ctx.space(), child, NeighborMethod::Hamming, Some(&index));
+                if !neighbor_list.is_empty() {
+                    child = neighbor_list[ctx.rng().gen_range(0..neighbor_list.len())];
+                }
+            }
+
+            let child_time = match ctx.evaluate(child) {
+                Some(t) => t,
+                None => return,
+            };
+
+            // steady-state replacement: replace the worst individual if better
+            if let Some(worst) = population
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1 .1.partial_cmp(&b.1 .1).expect("no NaN"))
+                .map(|(i, _)| i)
+            {
+                if child_time < population[worst].1 {
+                    population[worst] = (child, child_time);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::SyntheticKernel;
+    use crate::tuning::tune;
+    use at_searchspace::prelude::*;
+    use std::time::Duration;
+
+    #[test]
+    fn ga_improves_over_initial_population_average() {
+        let spec = SearchSpaceSpec::new("s")
+            .with_param(TunableParameter::pow2("x", 7))
+            .with_param(TunableParameter::pow2("y", 6))
+            .with_param(TunableParameter::ints("t", [1, 2, 4]))
+            .with_expr("32 <= x * y <= 2048")
+            .with_expr("t <= y");
+        let (space, _) = build_search_space(&spec, Method::Optimized).unwrap();
+        let model = SyntheticKernel::for_space(&space, 31);
+        let ga = GeneticAlgorithm::default();
+        let run = tune(&space, &model, &ga, Duration::from_secs(60), Duration::ZERO, 77);
+        let initial_avg: f64 = run.evaluations[..ga.population_size.min(run.num_evaluations())]
+            .iter()
+            .map(|e| e.runtime_ms)
+            .sum::<f64>()
+            / ga.population_size.min(run.num_evaluations()) as f64;
+        assert!(run.best_runtime_ms().unwrap() < initial_avg);
+    }
+
+    #[test]
+    fn ga_only_evaluates_valid_configurations() {
+        let spec = SearchSpaceSpec::new("s")
+            .with_param(TunableParameter::pow2("x", 6))
+            .with_param(TunableParameter::pow2("y", 6))
+            .with_expr("x * y == 64");
+        let (space, _) = build_search_space(&spec, Method::Optimized).unwrap();
+        let model = SyntheticKernel::for_space(&space, 2);
+        let run = tune(
+            &space,
+            &model,
+            &GeneticAlgorithm::default(),
+            Duration::from_secs(20),
+            Duration::ZERO,
+            8,
+        );
+        for e in &run.evaluations {
+            assert!(space.get(e.config_index).is_some());
+        }
+    }
+}

@@ -1,0 +1,93 @@
+//! Greedy hill climbing with random restarts.
+
+use rand::Rng;
+
+use at_searchspace::{neighbors, NeighborIndex, NeighborMethod};
+
+use crate::tuning::{Strategy, TuningContext};
+
+/// Greedy first-improvement hill climbing over Hamming-distance-1 neighbors,
+/// restarting from a random configuration at local optima.
+#[derive(Debug, Clone, Copy)]
+pub struct HillClimbing {
+    /// Neighbor definition used for the climb.
+    pub neighbor_method: NeighborMethod,
+}
+
+impl Default for HillClimbing {
+    fn default() -> Self {
+        HillClimbing {
+            neighbor_method: NeighborMethod::Hamming,
+        }
+    }
+}
+
+impl Strategy for HillClimbing {
+    fn name(&self) -> &'static str {
+        "hill-climbing"
+    }
+
+    fn run(&self, ctx: &mut TuningContext<'_>) {
+        let index = NeighborIndex::build(ctx.space());
+        let n = ctx.space().len();
+        while !ctx.exhausted() {
+            // random restart
+            let mut current = ctx.rng().gen_range(0..n);
+            let mut current_time = match ctx.evaluate(current) {
+                Some(t) => t,
+                None => return,
+            };
+            loop {
+                let mut improved = false;
+                let neighbor_list =
+                    neighbors(ctx.space(), current, self.neighbor_method, Some(&index));
+                for candidate in neighbor_list {
+                    match ctx.evaluate(candidate) {
+                        Some(t) => {
+                            if t < current_time {
+                                current = candidate;
+                                current_time = t;
+                                improved = true;
+                                break; // first improvement
+                            }
+                        }
+                        None => return,
+                    }
+                }
+                if !improved {
+                    break; // local optimum: restart
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::SyntheticKernel;
+    use crate::tuning::tune;
+    use at_searchspace::prelude::*;
+    use std::time::Duration;
+
+    #[test]
+    fn descends_to_a_local_optimum() {
+        let spec = SearchSpaceSpec::new("s")
+            .with_param(TunableParameter::pow2("x", 6))
+            .with_param(TunableParameter::pow2("y", 6))
+            .with_expr("x * y >= 4");
+        let (space, _) = build_search_space(&spec, Method::Optimized).unwrap();
+        let model = SyntheticKernel::for_space(&space, 17);
+        let run = tune(
+            &space,
+            &model,
+            &HillClimbing::default(),
+            Duration::from_secs(30),
+            Duration::ZERO,
+            99,
+        );
+        let best = run.best_runtime_ms().unwrap();
+        // the final best must be no worse than the first random start
+        assert!(best <= run.evaluations[0].runtime_ms);
+    }
+}

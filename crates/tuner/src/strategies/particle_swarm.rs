@@ -1,0 +1,218 @@
+//! Particle swarm optimization over the value-index space.
+//!
+//! Kernel Tuner ships a PSO strategy that treats each configuration as a
+//! point in the per-parameter *value index* space: particle positions are
+//! continuous vectors, and every evaluation snaps the position to the nearest
+//! valid configuration of the resolved search space. The snap step is where
+//! the `SearchSpace` abstraction matters — without the resolved space, a
+//! particle landing on an invalid combination would waste a kernel
+//! compilation just to discover the constraint violation.
+
+use rand::Rng;
+
+use crate::tuning::{Strategy, TuningContext};
+
+/// Particle swarm optimization with inertia and cognitive/social attraction.
+#[derive(Debug, Clone, Copy)]
+pub struct ParticleSwarm {
+    /// Number of particles.
+    pub swarm_size: usize,
+    /// Velocity inertia weight.
+    pub inertia: f64,
+    /// Attraction towards the particle's own best position.
+    pub cognitive: f64,
+    /// Attraction towards the swarm's best position.
+    pub social: f64,
+}
+
+impl Default for ParticleSwarm {
+    fn default() -> Self {
+        ParticleSwarm {
+            swarm_size: 12,
+            inertia: 0.7,
+            cognitive: 1.5,
+            social: 1.5,
+        }
+    }
+}
+
+struct Particle {
+    position: Vec<f64>,
+    velocity: Vec<f64>,
+    best_position: Vec<f64>,
+    best_time: f64,
+}
+
+impl ParticleSwarm {
+    /// Snap a continuous position in value-index space to the nearest valid
+    /// configuration (Euclidean distance over value indices), returning its
+    /// index in the space.
+    fn snap(ctx: &TuningContext<'_>, position: &[f64]) -> usize {
+        let space = ctx.space();
+        let mut best = 0usize;
+        let mut best_dist = f64::INFINITY;
+        for i in 0..space.len() {
+            let indices = space.value_indices(i).expect("index in range");
+            let dist: f64 = indices
+                .iter()
+                .zip(position.iter())
+                .map(|(&idx, &p)| {
+                    let d = idx as f64 - p;
+                    d * d
+                })
+                .sum();
+            if dist < best_dist {
+                best_dist = dist;
+                best = i;
+            }
+        }
+        best
+    }
+
+    fn random_position(ctx: &mut TuningContext<'_>) -> Vec<f64> {
+        let sizes: Vec<usize> = ctx.space().params().iter().map(|p| p.len()).collect();
+        sizes
+            .iter()
+            .map(|&s| ctx.rng().gen_range(0.0..s.max(1) as f64))
+            .collect()
+    }
+}
+
+impl Strategy for ParticleSwarm {
+    fn name(&self) -> &'static str {
+        "particle-swarm"
+    }
+
+    fn run(&self, ctx: &mut TuningContext<'_>) {
+        let dims = ctx.space().params().len();
+        let swarm_size = self.swarm_size.clamp(2, ctx.space().len().max(2));
+
+        // initialize the swarm
+        let mut swarm: Vec<Particle> = Vec::with_capacity(swarm_size);
+        let mut global_best_position: Option<Vec<f64>> = None;
+        let mut global_best_time = f64::INFINITY;
+        for _ in 0..swarm_size {
+            let position = Self::random_position(ctx);
+            let velocity = vec![0.0; dims];
+            let config = Self::snap(ctx, &position);
+            let time = match ctx.evaluate(config) {
+                Some(t) => t,
+                None => return,
+            };
+            if time < global_best_time {
+                global_best_time = time;
+                global_best_position = Some(position.clone());
+            }
+            swarm.push(Particle {
+                best_position: position.clone(),
+                best_time: time,
+                position,
+                velocity,
+            });
+        }
+
+        let sizes: Vec<f64> = ctx
+            .space()
+            .params()
+            .iter()
+            .map(|p| p.len().max(1) as f64)
+            .collect();
+
+        while !ctx.exhausted() {
+            for p in &mut swarm {
+                let global = global_best_position
+                    .as_ref()
+                    .expect("set during initialization")
+                    .clone();
+                for d in 0..dims {
+                    let r1: f64 = ctx.rng().gen();
+                    let r2: f64 = ctx.rng().gen();
+                    p.velocity[d] = self.inertia * p.velocity[d]
+                        + self.cognitive * r1 * (p.best_position[d] - p.position[d])
+                        + self.social * r2 * (global[d] - p.position[d]);
+                    // clamp the step to the parameter range to avoid divergence
+                    let limit = sizes[d];
+                    p.velocity[d] = p.velocity[d].clamp(-limit, limit);
+                    p.position[d] = (p.position[d] + p.velocity[d]).clamp(0.0, limit - 1.0);
+                }
+                let config = Self::snap(ctx, &p.position);
+                let time = match ctx.evaluate(config) {
+                    Some(t) => t,
+                    None => return,
+                };
+                if time < p.best_time {
+                    p.best_time = time;
+                    p.best_position = p.position.clone();
+                }
+                if time < global_best_time {
+                    global_best_time = time;
+                    global_best_position = Some(p.position.clone());
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::SyntheticKernel;
+    use crate::tuning::tune;
+    use at_searchspace::prelude::*;
+    use std::time::Duration;
+
+    fn space() -> SearchSpace {
+        let spec = SearchSpaceSpec::new("pso")
+            .with_param(TunableParameter::pow2("x", 7))
+            .with_param(TunableParameter::pow2("y", 6))
+            .with_param(TunableParameter::ints("w", [1, 2, 4]))
+            .with_expr("16 <= x * y <= 2048");
+        build_search_space(&spec, Method::Optimized).unwrap().0
+    }
+
+    #[test]
+    fn pso_only_evaluates_valid_configurations() {
+        let s = space();
+        let k = SyntheticKernel::for_space(&s, 5);
+        let run = tune(
+            &s,
+            &k,
+            &ParticleSwarm::default(),
+            Duration::from_secs(10),
+            Duration::ZERO,
+            21,
+        );
+        assert!(run.num_evaluations() > 0);
+        for e in &run.evaluations {
+            assert!(s.get(e.config_index).is_some());
+        }
+    }
+
+    #[test]
+    fn pso_improves_over_initial_swarm_average() {
+        let s = space();
+        let k = SyntheticKernel::for_space(&s, 13);
+        let pso = ParticleSwarm::default();
+        let run = tune(&s, &k, &pso, Duration::from_secs(60), Duration::ZERO, 3);
+        let init = pso.swarm_size.min(run.num_evaluations());
+        let initial_avg: f64 =
+            run.evaluations[..init].iter().map(|e| e.runtime_ms).sum::<f64>() / init as f64;
+        assert!(run.best_runtime_ms().unwrap() < initial_avg);
+    }
+
+    #[test]
+    fn snap_returns_a_valid_index() {
+        let s = space();
+        let k = SyntheticKernel::for_space(&s, 1);
+        let mut ctx = crate::tuning::TuningContext::new(
+            &s,
+            &k,
+            Duration::from_secs(1),
+            Duration::ZERO,
+            1,
+        );
+        let pos = ParticleSwarm::random_position(&mut ctx);
+        let idx = ParticleSwarm::snap(&ctx, &pos);
+        assert!(idx < s.len());
+    }
+}

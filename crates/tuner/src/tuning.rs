@@ -1,0 +1,350 @@
+//! The budgeted tuning loop and its virtual clock.
+//!
+//! The tuner evaluates configurations through a [`PerformanceModel`],
+//! charging every measurement (and the initial search space construction) to
+//! a *virtual clock*. This reproduces the setup of Figures 6 and 7: a fixed
+//! time budget is shared between search space construction and kernel
+//! evaluations, so a slow construction method eats into the time available
+//! for actual tuning.
+
+use std::time::Duration;
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use rustc_hash::FxHashMap;
+
+use at_searchspace::SearchSpace;
+
+use crate::kernel::PerformanceModel;
+
+/// One evaluated configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Evaluation {
+    /// Index of the configuration in the search space.
+    pub config_index: usize,
+    /// Simulated kernel runtime in milliseconds.
+    pub runtime_ms: f64,
+    /// Virtual time (milliseconds since tuning start, including construction)
+    /// at which the measurement finished.
+    pub finished_at_ms: f64,
+}
+
+/// The result of one tuning run.
+#[derive(Debug, Clone, Default)]
+pub struct TuningRun {
+    /// Name of the strategy that produced the run.
+    pub strategy: String,
+    /// All evaluations in execution order (cache hits are not repeated).
+    pub evaluations: Vec<Evaluation>,
+    /// Virtual time charged to search space construction (milliseconds).
+    pub construction_ms: f64,
+    /// Total virtual time consumed (milliseconds).
+    pub total_ms: f64,
+    /// The time budget (milliseconds).
+    pub budget_ms: f64,
+}
+
+impl TuningRun {
+    /// The best (lowest) runtime seen so far at each evaluation, as
+    /// `(virtual time ms, best runtime ms)` pairs — the data behind the
+    /// best-configuration-over-time curves of Figures 6 and 7.
+    pub fn best_over_time(&self) -> Vec<(f64, f64)> {
+        let mut best = f64::INFINITY;
+        let mut out = Vec::with_capacity(self.evaluations.len());
+        for e in &self.evaluations {
+            if e.runtime_ms < best {
+                best = e.runtime_ms;
+            }
+            out.push((e.finished_at_ms, best));
+        }
+        out
+    }
+
+    /// The best runtime found, if any configuration was evaluated.
+    pub fn best_runtime_ms(&self) -> Option<f64> {
+        self.evaluations
+            .iter()
+            .map(|e| e.runtime_ms)
+            .min_by(|a, b| a.partial_cmp(b).expect("no NaN runtimes"))
+    }
+
+    /// The best runtime found no later than `time_ms` on the virtual clock.
+    pub fn best_at(&self, time_ms: f64) -> Option<f64> {
+        self.evaluations
+            .iter()
+            .filter(|e| e.finished_at_ms <= time_ms)
+            .map(|e| e.runtime_ms)
+            .min_by(|a, b| a.partial_cmp(b).expect("no NaN runtimes"))
+    }
+
+    /// Number of distinct configurations evaluated.
+    pub fn num_evaluations(&self) -> usize {
+        self.evaluations.len()
+    }
+}
+
+/// Simulated framework overhead of serving a cached measurement, in
+/// milliseconds. Kernel Tuner's strategy loop has a comparable per-iteration
+/// cost; charging it keeps the virtual clock advancing even when a strategy
+/// only revisits configurations it has already measured.
+pub const CACHE_HIT_COST_MS: f64 = 0.5;
+
+/// The mutable state a strategy drives: evaluation, caching, budget and RNG.
+pub struct TuningContext<'a> {
+    space: &'a SearchSpace,
+    model: &'a dyn PerformanceModel,
+    rng: ChaCha8Rng,
+    cache: FxHashMap<usize, f64>,
+    clock_ms: f64,
+    budget_ms: f64,
+    evaluations: Vec<Evaluation>,
+}
+
+impl<'a> TuningContext<'a> {
+    /// Create a context. `construction` is charged to the clock up front.
+    pub fn new(
+        space: &'a SearchSpace,
+        model: &'a dyn PerformanceModel,
+        budget: Duration,
+        construction: Duration,
+        seed: u64,
+    ) -> Self {
+        TuningContext {
+            space,
+            model,
+            rng: ChaCha8Rng::seed_from_u64(seed),
+            cache: FxHashMap::default(),
+            clock_ms: construction.as_secs_f64() * 1000.0,
+            budget_ms: budget.as_secs_f64() * 1000.0,
+            evaluations: Vec::new(),
+        }
+    }
+
+    /// The search space being tuned.
+    pub fn space(&self) -> &SearchSpace {
+        self.space
+    }
+
+    /// The random number generator (seeded per run).
+    pub fn rng(&mut self) -> &mut ChaCha8Rng {
+        &mut self.rng
+    }
+
+    /// Remaining budget in milliseconds (zero when exhausted).
+    pub fn remaining_ms(&self) -> f64 {
+        (self.budget_ms - self.clock_ms).max(0.0)
+    }
+
+    /// True when no further evaluations are possible: either the budget is
+    /// spent, or every configuration of the space has already been measured
+    /// (strategies must terminate once the space is fully explored, since
+    /// cache hits do not advance the virtual clock).
+    pub fn exhausted(&self) -> bool {
+        self.clock_ms >= self.budget_ms || self.cache.len() >= self.space.len()
+    }
+
+    /// Evaluate the configuration at `index`.
+    ///
+    /// Returns `None` when the budget is exhausted (strategies should stop).
+    /// Previously evaluated configurations are served from the cache, like
+    /// Kernel Tuner's `cache` feature; a cache hit still charges
+    /// [`CACHE_HIT_COST_MS`] of framework overhead to the clock so that a
+    /// strategy revisiting cached configurations cannot spin forever on a
+    /// large budget.
+    pub fn evaluate(&mut self, index: usize) -> Option<f64> {
+        if self.exhausted() {
+            return None;
+        }
+        if let Some(&cached) = self.cache.get(&index) {
+            self.clock_ms = (self.clock_ms + CACHE_HIT_COST_MS).min(self.budget_ms);
+            return Some(cached);
+        }
+        let config = self.space.get(index)?;
+        let cost = self.model.measurement_cost_ms(config);
+        if self.clock_ms + cost > self.budget_ms {
+            // The measurement would not finish within the budget.
+            self.clock_ms = self.budget_ms;
+            return None;
+        }
+        let runtime = self.model.runtime_ms(config);
+        self.clock_ms += cost;
+        self.cache.insert(index, runtime);
+        self.evaluations.push(Evaluation {
+            config_index: index,
+            runtime_ms: runtime,
+            finished_at_ms: self.clock_ms,
+        });
+        Some(runtime)
+    }
+
+    /// Finish the run and produce the result record.
+    pub fn finish(self, strategy: &str, construction: Duration) -> TuningRun {
+        TuningRun {
+            strategy: strategy.to_string(),
+            evaluations: self.evaluations,
+            construction_ms: construction.as_secs_f64() * 1000.0,
+            total_ms: self.clock_ms,
+            budget_ms: self.budget_ms,
+        }
+    }
+}
+
+/// An optimization strategy that explores the search space under a budget.
+pub trait Strategy {
+    /// Short name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Run the strategy until the context's budget is exhausted.
+    fn run(&self, ctx: &mut TuningContext<'_>);
+}
+
+/// Tune `space` with `strategy` under a virtual-time `budget`, charging
+/// `construction` (the measured search space construction time) up front.
+pub fn tune(
+    space: &SearchSpace,
+    model: &dyn PerformanceModel,
+    strategy: &dyn Strategy,
+    budget: Duration,
+    construction: Duration,
+    seed: u64,
+) -> TuningRun {
+    let mut ctx = TuningContext::new(space, model, budget, construction, seed);
+    if !space.is_empty() {
+        strategy.run(&mut ctx);
+    }
+    ctx.finish(strategy.name(), construction)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::SyntheticKernel;
+    use crate::strategies::RandomSampling;
+    use at_searchspace::prelude::*;
+
+    fn space() -> SearchSpace {
+        let spec = SearchSpaceSpec::new("s")
+            .with_param(TunableParameter::pow2("x", 6))
+            .with_param(TunableParameter::pow2("y", 6))
+            .with_expr("x * y >= 4");
+        build_search_space(&spec, Method::Optimized).unwrap().0
+    }
+
+    #[test]
+    fn budget_is_respected() {
+        let s = space();
+        let k = SyntheticKernel::for_space(&s, 1);
+        let run = tune(
+            &s,
+            &k,
+            &RandomSampling,
+            Duration::from_millis(2000),
+            Duration::ZERO,
+            42,
+        );
+        assert!(run.total_ms <= run.budget_ms + 1e-9);
+        assert!(run.num_evaluations() > 0);
+        assert!(run
+            .evaluations
+            .iter()
+            .all(|e| e.finished_at_ms <= run.budget_ms));
+    }
+
+    #[test]
+    fn construction_time_reduces_evaluations() {
+        let s = space();
+        let k = SyntheticKernel::for_space(&s, 1);
+        let budget = Duration::from_millis(3000);
+        let fast = tune(&s, &k, &RandomSampling, budget, Duration::ZERO, 42);
+        let slow = tune(
+            &s,
+            &k,
+            &RandomSampling,
+            budget,
+            Duration::from_millis(2500),
+            42,
+        );
+        assert!(slow.num_evaluations() < fast.num_evaluations());
+        assert_eq!(slow.construction_ms, 2500.0);
+    }
+
+    #[test]
+    fn best_over_time_is_monotonically_nonincreasing() {
+        let s = space();
+        let k = SyntheticKernel::for_space(&s, 3);
+        let run = tune(
+            &s,
+            &k,
+            &RandomSampling,
+            Duration::from_millis(5000),
+            Duration::ZERO,
+            7,
+        );
+        let curve = run.best_over_time();
+        assert!(!curve.is_empty());
+        for w in curve.windows(2) {
+            assert!(w[1].1 <= w[0].1);
+            assert!(w[1].0 >= w[0].0);
+        }
+        assert_eq!(run.best_runtime_ms(), Some(curve.last().unwrap().1));
+    }
+
+    #[test]
+    fn best_at_timestamp() {
+        let s = space();
+        let k = SyntheticKernel::for_space(&s, 3);
+        let run = tune(
+            &s,
+            &k,
+            &RandomSampling,
+            Duration::from_millis(5000),
+            Duration::ZERO,
+            7,
+        );
+        assert!(run.best_at(0.0).is_none());
+        let end_best = run.best_at(run.budget_ms).unwrap();
+        assert_eq!(Some(end_best), run.best_runtime_ms());
+    }
+
+    #[test]
+    fn construction_longer_than_budget_means_no_evaluations() {
+        let s = space();
+        let k = SyntheticKernel::for_space(&s, 1);
+        let run = tune(
+            &s,
+            &k,
+            &RandomSampling,
+            Duration::from_millis(1000),
+            Duration::from_millis(2000),
+            1,
+        );
+        assert_eq!(run.num_evaluations(), 0);
+        assert!(run.best_runtime_ms().is_none());
+    }
+
+    #[test]
+    fn strategies_terminate_once_the_space_is_fully_explored() {
+        // A huge budget on a small space must not loop forever: once every
+        // configuration is cached, the context reports exhaustion.
+        let s = space();
+        let k = SyntheticKernel::for_space(&s, 2);
+        let run = tune(
+            &s,
+            &k,
+            &RandomSampling,
+            Duration::from_secs(1_000_000),
+            Duration::ZERO,
+            3,
+        );
+        assert_eq!(run.num_evaluations(), s.len());
+    }
+
+    #[test]
+    fn same_seed_same_run() {
+        let s = space();
+        let k = SyntheticKernel::for_space(&s, 5);
+        let a = tune(&s, &k, &RandomSampling, Duration::from_millis(2000), Duration::ZERO, 9);
+        let b = tune(&s, &k, &RandomSampling, Duration::from_millis(2000), Duration::ZERO, 9);
+        assert_eq!(a.evaluations, b.evaluations);
+    }
+}

@@ -1,0 +1,25 @@
+//! # at-workloads — the evaluation workloads of the paper
+//!
+//! * [`synthetic`] — the synthetic search space generator of Section 5.2.1
+//!   (dimensions 2–5, target Cartesian sizes 1e4–1e6, 1–6 constraints) and the
+//!   78-space evaluation suite.
+//! * [`realworld`] — reconstructions of the eight real-world spaces of
+//!   Section 5.3: Dedispersion, ExpDist, Hotspot (BAT), GEMM (CLBlast),
+//!   MicroHH `advec_u` and ATF PRL at input sizes 2x2, 4x4 and 8x8.
+//! * [`perfmodel`] — deterministic simulated kernels standing in for the
+//!   paper's GPU measurements in the end-to-end experiments.
+
+#![warn(missing_docs)]
+
+pub mod perfmodel;
+pub mod realworld;
+pub mod synthetic;
+
+pub use perfmodel::performance_model_for;
+pub use realworld::{
+    all_real_world, atf_prl, brute_forceable_real_world, dedispersion, expdist, gemm, hotspot,
+    microhh, real_world_by_name, real_world_names, PaperCharacteristics, Workload,
+};
+pub use synthetic::{
+    generate, reduced_synthetic_suite, synthetic_suite, SyntheticConfig, TARGET_SIZES,
+};

@@ -1,0 +1,54 @@
+//! Per-workload simulated performance models.
+//!
+//! Each real-world workload gets a deterministic synthetic kernel whose
+//! scale roughly matches the kernel class it stands in for (a fast memory
+//! bound stencil vs. a heavy compute-bound GEMM), so the end-to-end tuning
+//! experiment charges realistic per-measurement costs to the virtual clock.
+
+use at_searchspace::SearchSpace;
+use at_tuner::SyntheticKernel;
+
+/// Build the simulated performance model for a named workload. Unknown names
+/// fall back to a generic model.
+pub fn performance_model_for(name: &str, space: &SearchSpace, seed: u64) -> SyntheticKernel {
+    let param_sizes: Vec<usize> = space.params().iter().map(|p| p.len().max(1)).collect();
+    let (base_ms, amplitude, noise) = match name {
+        // memory-bound stencil, fast iterations, large spread between good
+        // and bad thread block shapes
+        "Hotspot" => (1.5, 12.0, 0.05),
+        // compute-bound matrix multiply on 4096^3: slow iterations
+        "GEMM" => (20.0, 60.0, 0.03),
+        "Dedispersion" => (3.0, 9.0, 0.05),
+        "ExpDist" => (8.0, 25.0, 0.05),
+        "MicroHH" => (2.5, 10.0, 0.05),
+        n if n.starts_with("ATF PRL") => (5.0, 15.0, 0.08),
+        _ => (2.0, 8.0, 0.05),
+    };
+    SyntheticKernel::new(base_ms, amplitude, noise, seed, param_sizes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::realworld::dedispersion;
+    use at_searchspace::{build_search_space, Method};
+    use at_tuner::PerformanceModel;
+
+    #[test]
+    fn models_differ_per_workload_class() {
+        let w = dedispersion();
+        let (space, _) = build_search_space(&w.spec, Method::Optimized).unwrap();
+        let hotspot = performance_model_for("Hotspot", &space, 1);
+        let gemm = performance_model_for("GEMM", &space, 1);
+        let cfg = space.get(0).unwrap();
+        assert!(gemm.runtime_ms(cfg) > hotspot.runtime_ms(cfg));
+    }
+
+    #[test]
+    fn unknown_workload_gets_generic_model() {
+        let w = dedispersion();
+        let (space, _) = build_search_space(&w.spec, Method::Optimized).unwrap();
+        let model = performance_model_for("something-else", &space, 3);
+        assert!(model.runtime_ms(space.get(0).unwrap()) > 0.0);
+    }
+}

@@ -1,0 +1,254 @@
+//! Synthetic search space generation (Section 5.2.1).
+//!
+//! Given a target Cartesian size, a number of dimensions and a number of
+//! constraints, a synthetic space is generated with approximately uniform
+//! values per dimension: `v = s^(1/d)` values per dimension, rounded normally
+//! for all but the last dimension, which is rounded in the opposite direction
+//! to land closer to the target size. Constraints involving a variety of
+//! operations are generated over randomly chosen dimension combinations.
+
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use at_searchspace::{Restriction, SearchSpaceSpec, TunableParameter};
+
+/// Parameters of one synthetic search space.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SyntheticConfig {
+    /// Number of tunable parameters (2–5 in the paper).
+    pub dimensions: usize,
+    /// Target Cartesian size (1e4 – 1e6 in the paper).
+    pub target_cartesian_size: u64,
+    /// Number of constraints (1–6 in the paper).
+    pub num_constraints: usize,
+    /// Seed controlling the random constraint selection.
+    pub seed: u64,
+}
+
+/// The target Cartesian sizes used by the paper.
+pub const TARGET_SIZES: [u64; 7] = [
+    10_000, 20_000, 50_000, 100_000, 200_000, 500_000, 1_000_000,
+];
+
+/// Generate the synthetic space specification for a configuration.
+pub fn generate(config: SyntheticConfig) -> SearchSpaceSpec {
+    let d = config.dimensions.max(1);
+    let s = config.target_cartesian_size.max(1) as f64;
+    let v = s.powf(1.0 / d as f64);
+
+    // All but the last dimension round half-to-even-ish (normal rounding);
+    // the last dimension rounds in the opposite direction to compensate.
+    let normal = v.round().max(1.0) as usize;
+    let contrary = if v.round() > v {
+        v.floor().max(1.0) as usize
+    } else {
+        v.ceil().max(1.0) as usize
+    };
+
+    let mut spec = SearchSpaceSpec::new(format!(
+        "synthetic-d{}-s{}-c{}",
+        d, config.target_cartesian_size, config.num_constraints
+    ));
+    let mut sizes = Vec::with_capacity(d);
+    for i in 0..d {
+        let count = if i + 1 == d { contrary } else { normal };
+        sizes.push(count);
+        // linear space 1..=count
+        spec.add_param(TunableParameter::ints(
+            format!("p{i}"),
+            (1..=count as i64).collect::<Vec<_>>(),
+        ));
+    }
+
+    let mut rng = ChaCha8Rng::seed_from_u64(config.seed ^ 0xA5A5_1234_5678_9ABC);
+    for ci in 0..config.num_constraints {
+        spec.add_restriction(make_constraint(&mut rng, &sizes, ci));
+    }
+    spec
+}
+
+/// Generate one random constraint over a random subset of dimensions.
+///
+/// The constraint templates cover the operations common in auto-tuning
+/// constraints: bounded products, bounded sums, orderings, divisibility and
+/// conditional (disjunctive) restrictions.
+fn make_constraint<R: Rng>(rng: &mut R, sizes: &[usize], index: usize) -> Restriction {
+    let d = sizes.len();
+    let mut dims: Vec<usize> = (0..d).collect();
+    dims.shuffle(rng);
+    let arity = rng.gen_range(2..=d.min(3).max(2));
+    let chosen: Vec<usize> = dims.into_iter().take(arity).collect();
+    let a = chosen[0];
+    let b = chosen[1 % chosen.len()];
+    let max_a = sizes[a] as f64;
+    let max_b = sizes[b] as f64;
+
+    // rotate through templates so every suite exercises all of them
+    match (index + rng.gen_range(0..6)) % 6 {
+        0 => {
+            // bounded product, keeps between ~30% and ~90% of the plane
+            let frac = rng.gen_range(0.3..0.9);
+            let limit = (max_a * max_b * frac).max(1.0).round();
+            Restriction::expr(format!("p{a} * p{b} <= {limit}"))
+        }
+        1 => {
+            let frac = rng.gen_range(0.05..0.4);
+            let minimum = (max_a * max_b * frac).max(1.0).round();
+            Restriction::expr(format!("p{a} * p{b} >= {minimum}"))
+        }
+        2 => {
+            let frac = rng.gen_range(0.3..0.9);
+            let limit = ((max_a + max_b) * frac).max(2.0).round();
+            Restriction::expr(format!("p{a} + p{b} <= {limit}"))
+        }
+        3 => Restriction::expr(format!("p{a} <= p{b}")),
+        4 => {
+            let k = rng.gen_range(2..=4);
+            Restriction::expr(format!("p{a} % {k} == 0 or p{b} <= p{a}"))
+        }
+        _ => {
+            if chosen.len() >= 3 {
+                let c = chosen[2];
+                let frac = rng.gen_range(0.2..0.8);
+                let limit = (max_a * max_b * sizes[c] as f64 * frac).max(1.0).round();
+                Restriction::expr(format!("p{a} * p{b} * p{c} <= {limit}"))
+            } else {
+                let frac = rng.gen_range(0.1..0.6);
+                let minimum = ((max_a + max_b) * frac).max(1.0).round();
+                Restriction::expr(format!("p{a} + p{b} >= {minimum}"))
+            }
+        }
+    }
+}
+
+/// The evaluation suite: `count` synthetic spaces (the paper uses 78) drawn
+/// deterministically from the grid of dimensions (2–5), target sizes
+/// ([`TARGET_SIZES`]) and constraint counts (1–6).
+pub fn synthetic_suite(count: usize, seed: u64) -> Vec<SyntheticConfig> {
+    let mut grid = Vec::new();
+    for &size in &TARGET_SIZES {
+        for dimensions in 2..=5usize {
+            for num_constraints in 1..=6usize {
+                grid.push(SyntheticConfig {
+                    dimensions,
+                    target_cartesian_size: size,
+                    num_constraints,
+                    seed: seed
+                        ^ (size as u64)
+                            .wrapping_mul(31)
+                            .wrapping_add(dimensions as u64 * 7 + num_constraints as u64),
+                });
+            }
+        }
+    }
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    grid.shuffle(&mut rng);
+    grid.truncate(count);
+    // stable report order: by Cartesian size, then dimensions, then constraints
+    grid.sort_by_key(|c| (c.target_cartesian_size, c.dimensions, c.num_constraints));
+    grid
+}
+
+/// A reduced suite (one order of magnitude smaller Cartesian sizes) for the
+/// blocking-clause / PySMT comparison of Figure 4.
+pub fn reduced_synthetic_suite(count: usize, seed: u64) -> Vec<SyntheticConfig> {
+    synthetic_suite(count, seed)
+        .into_iter()
+        .map(|mut c| {
+            c.target_cartesian_size = (c.target_cartesian_size / 10).max(100);
+            c
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use at_searchspace::{build_search_space, Method};
+
+    #[test]
+    fn generated_space_matches_target_size_roughly() {
+        for (dims, size) in [(2usize, 10_000u64), (3, 50_000), (4, 100_000), (5, 1_000_000)] {
+            let spec = generate(SyntheticConfig {
+                dimensions: dims,
+                target_cartesian_size: size,
+                num_constraints: 2,
+                seed: 1,
+            });
+            assert_eq!(spec.num_params(), dims);
+            let cartesian = spec.cartesian_size() as f64;
+            let target = size as f64;
+            assert!(
+                cartesian > target * 0.5 && cartesian < target * 2.0,
+                "dims {dims} target {target} got {cartesian}"
+            );
+        }
+    }
+
+    #[test]
+    fn number_of_constraints_matches() {
+        let spec = generate(SyntheticConfig {
+            dimensions: 4,
+            target_cartesian_size: 10_000,
+            num_constraints: 5,
+            seed: 3,
+        });
+        assert_eq!(spec.num_restrictions(), 5);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = SyntheticConfig {
+            dimensions: 3,
+            target_cartesian_size: 20_000,
+            num_constraints: 4,
+            seed: 9,
+        };
+        let a = generate(cfg);
+        let b = generate(cfg);
+        assert_eq!(a.num_params(), b.num_params());
+        let ra: Vec<String> = a.restrictions.iter().map(|r| r.describe()).collect();
+        let rb: Vec<String> = b.restrictions.iter().map(|r| r.describe()).collect();
+        assert_eq!(ra, rb);
+    }
+
+    #[test]
+    fn suite_has_requested_size_and_spread() {
+        let suite = synthetic_suite(78, 42);
+        assert_eq!(suite.len(), 78);
+        let dims: std::collections::HashSet<usize> = suite.iter().map(|c| c.dimensions).collect();
+        assert_eq!(dims.len(), 4);
+        let sizes: std::collections::HashSet<u64> =
+            suite.iter().map(|c| c.target_cartesian_size).collect();
+        assert_eq!(sizes.len(), 7);
+        let constraints: std::collections::HashSet<usize> =
+            suite.iter().map(|c| c.num_constraints).collect();
+        assert_eq!(constraints.len(), 6);
+    }
+
+    #[test]
+    fn reduced_suite_is_an_order_of_magnitude_smaller() {
+        let full = synthetic_suite(10, 1);
+        let reduced = reduced_synthetic_suite(10, 1);
+        for (f, r) in full.iter().zip(reduced.iter()) {
+            assert_eq!(f.target_cartesian_size / 10, r.target_cartesian_size);
+        }
+    }
+
+    #[test]
+    fn small_synthetic_spaces_solve_and_are_partially_constrained() {
+        let spec = generate(SyntheticConfig {
+            dimensions: 3,
+            target_cartesian_size: 10_000,
+            num_constraints: 3,
+            seed: 7,
+        });
+        let (space, report) = build_search_space(&spec, Method::Optimized).unwrap();
+        assert!(space.len() > 0, "space should not be empty");
+        assert!(
+            (space.len() as u128) < report.cartesian_size,
+            "constraints should remove something"
+        );
+    }
+}

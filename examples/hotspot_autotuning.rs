@@ -1,0 +1,55 @@
+//! End-to-end auto-tuning of the Hotspot search space (the Section 5.4
+//! scenario): construct the space, then tune it with several optimization
+//! strategies against a simulated kernel under a virtual-time budget.
+//!
+//! Run with: `cargo run --release --example hotspot_autotuning`
+
+use std::time::Duration;
+
+use autotuning_searchspaces::prelude::*;
+use autotuning_searchspaces::tuner::{GeneticAlgorithm, HillClimbing, SimulatedAnnealing};
+use autotuning_searchspaces::workloads::{hotspot, performance_model_for};
+
+fn main() {
+    let workload = hotspot();
+    println!("constructing the Hotspot search space ({} parameters, {} restrictions)…",
+        workload.spec.num_params(), workload.spec.num_restrictions());
+    let (space, report) = build_search_space(&workload.spec, Method::Optimized).expect("construction");
+    println!(
+        "  {} valid configurations out of a Cartesian size of {} ({:?})",
+        space.len(),
+        report.cartesian_size,
+        report.duration
+    );
+
+    let model = performance_model_for("Hotspot", &space, 2024);
+    let budget = Duration::from_secs(120); // virtual seconds
+    let construction = report.duration;
+
+    let strategies: Vec<(&str, Box<dyn Strategy>)> = vec![
+        ("random sampling", Box::new(RandomSampling)),
+        ("genetic algorithm", Box::new(GeneticAlgorithm::default())),
+        ("hill climbing", Box::new(HillClimbing::default())),
+        ("simulated annealing", Box::new(SimulatedAnnealing::default())),
+    ];
+
+    println!("\ntuning with a virtual budget of {budget:?} (construction charged up front):");
+    for (name, strategy) in strategies {
+        let run = tune(&space, &model, strategy.as_ref(), budget, construction, 99);
+        let best = run.best_runtime_ms().unwrap_or(f64::NAN);
+        let best_index = run
+            .evaluations
+            .iter()
+            .min_by(|a, b| a.runtime_ms.partial_cmp(&b.runtime_ms).unwrap())
+            .map(|e| e.config_index);
+        println!(
+            "  {:<22} best simulated runtime {:>8.3} ms after {:>5} evaluations",
+            name,
+            best,
+            run.num_evaluations()
+        );
+        if let Some(i) = best_index {
+            println!("      best configuration: {:?}", space.named(i).unwrap());
+        }
+    }
+}

@@ -1,0 +1,56 @@
+//! Quickstart: define a constrained search space the way a Kernel Tuner user
+//! would (Listing 2 / Listing 3 of the paper), construct it with the
+//! optimized CSP solver, and inspect the result.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use autotuning_searchspaces::prelude::*;
+
+fn main() {
+    // The Hotspot-style thread block constraint from Section 2 of the paper:
+    // between 32 and 1024 threads per block, plus a shared-memory limit.
+    let spec = SearchSpaceSpec::new("quickstart")
+        .with_param(TunableParameter::ints(
+            "block_size_x",
+            vec![1, 2, 4, 8, 16]
+                .into_iter()
+                .chain((1..=32).map(|i| 32 * i))
+                .collect::<Vec<_>>(),
+        ))
+        .with_param(TunableParameter::pow2("block_size_y", 6))
+        .with_param(TunableParameter::ints("work_per_thread", [1, 2, 4, 8]))
+        .with_param(TunableParameter::switch("sh_power"))
+        .with_expr("32 <= block_size_x*block_size_y <= 1024")
+        .with_expr("block_size_x*block_size_y*work_per_thread*sh_power*4 <= 49152");
+
+    println!("Cartesian size (unconstrained): {}", spec.cartesian_size());
+
+    // Construct with the optimized solver — the paper's contribution.
+    let (space, report) = build_search_space(&spec, Method::Optimized).expect("construction");
+    println!(
+        "constructed {} valid configurations in {:?} ({} constraint checks)",
+        space.len(),
+        report.duration,
+        report.stats.constraint_checks
+    );
+
+    // The resolved space knows its true bounds and serves valid neighbors.
+    for (param, bounds) in space.params().iter().zip(space.true_bounds()) {
+        println!("  true bounds of {:<14}: {:?}", param.name(), bounds);
+    }
+
+    // Compare against brute force to see the difference in work.
+    let (_, brute) = build_search_space(&spec, Method::BruteForce).expect("construction");
+    println!(
+        "brute force needed {} constraint checks ({}x more), {:?}",
+        brute.stats.constraint_checks,
+        brute.stats.constraint_checks / report.stats.constraint_checks.max(1),
+        brute.duration,
+    );
+
+    // Show a few configurations.
+    println!("\nfirst three valid configurations:");
+    for i in 0..3.min(space.len()) {
+        println!("  {:?}", space.named(i).unwrap());
+    }
+}

@@ -1,0 +1,79 @@
+//! Search spaces as data: read a JSON specification, construct it, export the
+//! resolved space in the formats downstream tools consume (CSV, a Kernel
+//! Tuner-style JSON cache), and write a spec back out.
+//!
+//! The same JSON format is what the `atss` command-line tool consumes
+//! (`atss construct --spec <file>`), so specs can be shared between scripts,
+//! the CLI and this library.
+//!
+//! Run with: `cargo run --release --example spec_files_and_export`
+
+use autotuning_searchspaces::prelude::*;
+use autotuning_searchspaces::searchspace::{spec_from_json, spec_to_json, to_csv, to_json_cache};
+
+const SPEC_JSON: &str = r#"{
+  "name": "stencil-example",
+  "parameters": [
+    {"name": "block_size_x", "values": [16, 32, 64, 128, 256]},
+    {"name": "block_size_y", "values": [1, 2, 4, 8, 16]},
+    {"name": "temporal_tiling_factor", "values": [1, 2, 3, 4]},
+    {"name": "use_padding", "values": [0, 1]}
+  ],
+  "restrictions": [
+    "32 <= block_size_x * block_size_y <= 1024",
+    "temporal_tiling_factor <= block_size_y",
+    "use_padding == 0 or block_size_x >= 32"
+  ]
+}"#;
+
+fn main() {
+    // 1) Parse the specification from JSON.
+    let spec = spec_from_json(SPEC_JSON).expect("valid spec file");
+    println!(
+        "loaded `{}`: {} parameters, {} restrictions, Cartesian size {}",
+        spec.name,
+        spec.num_params(),
+        spec.num_restrictions(),
+        spec.cartesian_size()
+    );
+
+    // 2) Construct the space with the optimized solver.
+    let (space, report) = build_search_space(&spec, Method::Optimized).expect("construction");
+    println!(
+        "constructed {} valid configurations in {:?}",
+        space.len(),
+        report.duration
+    );
+
+    // 3) Export in the two data formats optimizers and scripts consume.
+    let csv = to_csv(&space);
+    println!(
+        "CSV export: {} lines, header: {}",
+        csv.lines().count(),
+        csv.lines().next().unwrap_or_default()
+    );
+
+    let cache = to_json_cache(&space);
+    println!("JSON cache export: {} bytes", cache.len());
+
+    // 4) Round-trip the specification itself back to JSON (e.g. after
+    //    programmatically narrowing parameter values).
+    let narrowed = {
+        let mut s = SearchSpaceSpec::new(format!("{}-narrowed", spec.name));
+        for p in &spec.params {
+            // keep only the values that actually occur in some valid config
+            let occurring = &space.occurring_values()[spec.param_index(p.name()).unwrap()];
+            s.add_param(TunableParameter::new(p.name(), occurring.clone()));
+        }
+        for r in &spec.restrictions {
+            s.add_restriction(r.clone());
+        }
+        s
+    };
+    let json = spec_to_json(&narrowed).expect("expression-only spec serializes");
+    println!(
+        "re-exported narrowed spec ({} bytes); first line: {}",
+        json.len(),
+        json.lines().next().unwrap_or_default()
+    );
+}

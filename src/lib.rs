@@ -1,0 +1,45 @@
+//! # autotuning-searchspaces
+//!
+//! A from-scratch Rust reproduction of *Efficient Construction of Large
+//! Search Spaces for Auto-Tuning* (ICPP 2025): constraint-based auto-tuning
+//! search spaces constructed through an optimized all-solutions CSP solver,
+//! together with every substrate the paper relies on — the constraint
+//! expression pipeline, the chain-of-trees baseline, the resolved
+//! `SearchSpace` abstraction, a minimal auto-tuner with simulated kernels,
+//! and the evaluation workloads.
+//!
+//! This umbrella crate re-exports the workspace members; see the individual
+//! crates for the full APIs:
+//!
+//! * [`csp`] — finite-domain CSP model and the all-solutions solvers,
+//! * [`expr`] — the Python-style constraint expression parser/compiler,
+//! * [`cot`] — the chain-of-trees construction baseline,
+//! * [`searchspace`] — specifications, construction methods and the resolved
+//!   search space representation,
+//! * [`tuner`] — budgeted tuning strategies over simulated kernels,
+//! * [`workloads`] — the paper's synthetic and real-world evaluation spaces.
+//!
+//! ```
+//! use autotuning_searchspaces::prelude::*;
+//!
+//! let spec = SearchSpaceSpec::new("hotspot-mini")
+//!     .with_param(TunableParameter::pow2("block_size_x", 8))
+//!     .with_param(TunableParameter::pow2("block_size_y", 6))
+//!     .with_expr("32 <= block_size_x*block_size_y <= 1024");
+//! let (space, report) = build_search_space(&spec, Method::Optimized).unwrap();
+//! println!("{} valid configurations in {:?}", space.len(), report.duration);
+//! ```
+
+pub use at_cot as cot;
+pub use at_csp as csp;
+pub use at_expr as expr;
+pub use at_searchspace as searchspace;
+pub use at_tuner as tuner;
+pub use at_workloads as workloads;
+
+/// The most commonly used items across the workspace.
+pub mod prelude {
+    pub use at_csp::prelude::*;
+    pub use at_searchspace::prelude::*;
+    pub use at_tuner::{tune, PerformanceModel, RandomSampling, Strategy, SyntheticKernel};
+}

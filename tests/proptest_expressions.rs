@@ -1,0 +1,95 @@
+//! Property-based tests of the constraint expression pipeline: the optimizing
+//! lowering (folding + decomposition + specific-constraint recognition) must
+//! accept exactly the same configurations as the direct AST interpretation,
+//! for randomly generated expressions and assignments.
+
+use proptest::prelude::*;
+use rustc_hash::FxHashMap;
+
+use autotuning_searchspaces::csp::Value;
+use autotuning_searchspaces::expr::{fold, parse, parse_restriction, parse_restriction_generic};
+
+/// Generate random constraint expression source strings over x, y, z.
+fn expression() -> impl Strategy<Value = String> {
+    let atom = prop_oneof![
+        Just("x".to_string()),
+        Just("y".to_string()),
+        Just("z".to_string()),
+        (1i64..64).prop_map(|v| v.to_string()),
+    ];
+    let product = proptest::collection::vec(atom.clone(), 1..3).prop_map(|parts| parts.join(" * "));
+    let sum = proptest::collection::vec(atom, 1..3).prop_map(|parts| parts.join(" + "));
+    let side = prop_oneof![product, sum];
+    let op = prop_oneof![
+        Just("<="),
+        Just("<"),
+        Just(">="),
+        Just(">"),
+        Just("=="),
+        Just("!=")
+    ];
+    let comparison = (side.clone(), op, side).prop_map(|(l, o, r)| format!("{l} {o} {r}"));
+    let chained = (1i64..16, 1i64..64).prop_map(|(lo, hi)| {
+        let (lo, hi) = (lo.min(hi), lo.max(hi));
+        format!("{lo} <= x * y <= {hi}")
+    });
+    let membership = proptest::collection::vec(1i64..16, 1..4)
+        .prop_map(|vals| format!("x in [{}]", vals.iter().map(|v| v.to_string()).collect::<Vec<_>>().join(", ")));
+    let clause = prop_oneof![comparison, chained, membership];
+    proptest::collection::vec(clause, 1..3).prop_map(|clauses| clauses.join(" and "))
+}
+
+fn env(x: i64, y: i64, z: i64) -> FxHashMap<String, Value> {
+    [
+        ("x".to_string(), Value::Int(x)),
+        ("y".to_string(), Value::Int(y)),
+        ("z".to_string(), Value::Int(z)),
+    ]
+    .into_iter()
+    .collect()
+}
+
+fn evaluate_parsed(
+    parsed: &autotuning_searchspaces::expr::ParsedRestriction,
+    env: &FxHashMap<String, Value>,
+) -> bool {
+    if parsed.always_false {
+        return false;
+    }
+    parsed.constraints.iter().all(|c| {
+        let values: Vec<Value> = c.scope.iter().map(|n| env[n].clone()).collect();
+        c.constraint.evaluate(&values)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn optimized_lowering_matches_reference_interpreter(
+        source in expression(),
+        x in 1i64..32,
+        y in 1i64..32,
+        z in 1i64..32,
+    ) {
+        let expr = fold(parse(&source).unwrap());
+        let environment = env(x, y, z);
+        let reference = expr.evaluate(&environment).unwrap().truthy();
+        let optimized = parse_restriction(&source).unwrap();
+        let generic = parse_restriction_generic(&source).unwrap();
+        prop_assert_eq!(evaluate_parsed(&optimized, &environment), reference, "optimized: {}", source);
+        prop_assert_eq!(evaluate_parsed(&generic, &environment), reference, "generic: {}", source);
+    }
+
+    #[test]
+    fn decomposition_never_increases_scope(source in expression()) {
+        let parsed = parse_restriction(&source).unwrap();
+        let full_scope = fold(parse(&source).unwrap()).variables();
+        for c in &parsed.constraints {
+            for var in &c.scope {
+                prop_assert!(full_scope.contains(var), "{}: scope {:?}", source, c.scope);
+            }
+            prop_assert!(!c.scope.is_empty());
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! Property-based tests: on randomly generated small constraint problems,
+//! every solver and the chain-of-trees construction must agree with brute
+//! force, and decomposed expression lowering must not change the space.
+
+use proptest::prelude::*;
+
+use autotuning_searchspaces::csp::prelude::*;
+use autotuning_searchspaces::csp::value::int_values;
+use autotuning_searchspaces::cot::{build_chain_from_problem, enumerate_chain};
+
+/// A randomly generated small problem description.
+#[derive(Debug, Clone)]
+struct RandomProblem {
+    domains: Vec<Vec<i64>>,
+    max_products: Vec<(usize, usize, i64)>,
+    min_sums: Vec<(usize, usize, i64)>,
+    parity: Option<(usize, i64)>,
+}
+
+fn random_problem() -> impl Strategy<Value = RandomProblem> {
+    let domain = proptest::collection::vec(1i64..20, 1..6);
+    let domains = proptest::collection::vec(domain, 2..5);
+    domains.prop_flat_map(|domains| {
+        let n = domains.len();
+        let max_products =
+            proptest::collection::vec((0..n, 0..n, 1i64..200), 0..3).prop_map(|v| v);
+        let min_sums = proptest::collection::vec((0..n, 0..n, 1i64..30), 0..2);
+        let parity = proptest::option::of((0..n, 2i64..4));
+        (Just(domains), max_products, min_sums, parity).prop_map(
+            |(domains, max_products, min_sums, parity)| RandomProblem {
+                domains,
+                max_products,
+                min_sums,
+                parity,
+            },
+        )
+    })
+}
+
+fn build(problem: &RandomProblem) -> Problem {
+    let mut p = Problem::new();
+    for (i, d) in problem.domains.iter().enumerate() {
+        // deduplicate values to keep the Cartesian size honest
+        let mut values = d.clone();
+        values.sort_unstable();
+        values.dedup();
+        p.add_variable(format!("v{i}"), int_values(values)).unwrap();
+    }
+    for &(a, b, limit) in &problem.max_products {
+        let names = [format!("v{a}"), format!("v{b}")];
+        let scope: Vec<&str> = names.iter().map(|s| s.as_str()).collect();
+        p.add_constraint(MaxProduct::new(limit as f64), &scope).unwrap();
+    }
+    for &(a, b, minimum) in &problem.min_sums {
+        let names = [format!("v{a}"), format!("v{b}")];
+        let scope: Vec<&str> = names.iter().map(|s| s.as_str()).collect();
+        p.add_constraint(MinSum::new(minimum as f64), &scope).unwrap();
+    }
+    if let Some((var, modulus)) = problem.parity {
+        let name = format!("v{var}");
+        p.add_function_constraint(&[&name], move |vals| {
+            vals[0].as_i64().unwrap() % modulus == 0
+        })
+        .unwrap();
+    }
+    p
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn optimized_solver_matches_brute_force(rp in random_problem()) {
+        let problem = build(&rp);
+        let brute = BruteForceSolver::new().solve(&problem).unwrap();
+        let optimized = OptimizedSolver::new().solve(&problem).unwrap();
+        prop_assert!(brute.solutions.same_solutions(&optimized.solutions));
+    }
+
+    #[test]
+    fn parallel_solver_matches_brute_force(rp in random_problem()) {
+        let problem = build(&rp);
+        let brute = BruteForceSolver::new().solve(&problem).unwrap();
+        let parallel = ParallelSolver::new().solve(&problem).unwrap();
+        prop_assert!(brute.solutions.same_solutions(&parallel.solutions));
+    }
+
+    #[test]
+    fn chain_of_trees_matches_brute_force(rp in random_problem()) {
+        let problem = build(&rp);
+        let brute = BruteForceSolver::new().solve(&problem).unwrap();
+        let chain = build_chain_from_problem(&problem);
+        let from_chain = enumerate_chain(&chain);
+        prop_assert_eq!(chain.size(), brute.solutions.len() as u128);
+        prop_assert!(brute.solutions.same_solutions(&from_chain));
+    }
+
+    #[test]
+    fn solver_config_variants_match_brute_force(rp in random_problem()) {
+        let problem = build(&rp);
+        let brute = BruteForceSolver::new().solve(&problem).unwrap();
+        for forward_check in [false, true] {
+            let cfg = OptimizedSolverConfig {
+                variable_ordering: !forward_check,
+                preprocess: forward_check,
+                forward_check,
+                arc_consistency: forward_check,
+            };
+            let result = OptimizedSolver::with_config(cfg).solve(&problem).unwrap();
+            prop_assert!(brute.solutions.same_solutions(&result.solutions));
+        }
+    }
+}

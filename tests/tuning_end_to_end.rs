@@ -1,0 +1,76 @@
+//! End-to-end tuning integration tests (the Section 5.4 scenario): search
+//! space construction feeding into budgeted tuning with simulated kernels.
+
+use std::time::Duration;
+
+use autotuning_searchspaces::prelude::*;
+use autotuning_searchspaces::tuner::{GeneticAlgorithm, HillClimbing};
+use autotuning_searchspaces::workloads::{dedispersion, gemm, performance_model_for};
+
+#[test]
+fn construction_time_eats_into_the_tuning_budget() {
+    let (space, _) = build_search_space(&dedispersion().spec, Method::Optimized).unwrap();
+    let model = performance_model_for("Dedispersion", &space, 7);
+    let budget = Duration::from_secs(30);
+
+    let fast = tune(&space, &model, &RandomSampling, budget, Duration::ZERO, 11);
+    let slow = tune(
+        &space,
+        &model,
+        &RandomSampling,
+        budget,
+        Duration::from_secs(25),
+        11,
+    );
+    assert!(fast.num_evaluations() > slow.num_evaluations());
+    // with the same seed, the slow run's evaluations are a prefix of the fast run's
+    for (a, b) in slow.evaluations.iter().zip(fast.evaluations.iter()) {
+        assert_eq!(a.config_index, b.config_index);
+    }
+    // and its best configuration can therefore not be better
+    if let (Some(slow_best), Some(fast_best)) = (slow.best_runtime_ms(), fast.best_runtime_ms()) {
+        assert!(fast_best <= slow_best);
+    }
+}
+
+#[test]
+fn all_strategies_only_evaluate_valid_configurations_of_gemm() {
+    let (space, report) = build_search_space(&gemm().spec, Method::Optimized).unwrap();
+    assert!(report.num_valid > 0);
+    let model = performance_model_for("GEMM", &space, 3);
+    let strategies: Vec<Box<dyn Strategy>> = vec![
+        Box::new(RandomSampling),
+        Box::new(GeneticAlgorithm::default()),
+        Box::new(HillClimbing::default()),
+    ];
+    for strategy in strategies {
+        let run = tune(
+            &space,
+            &model,
+            strategy.as_ref(),
+            Duration::from_secs(20),
+            Duration::ZERO,
+            5,
+        );
+        assert!(run.num_evaluations() > 0);
+        for e in &run.evaluations {
+            assert!(e.config_index < space.len());
+            assert!(e.runtime_ms > 0.0);
+            assert!(e.finished_at_ms <= run.budget_ms);
+        }
+    }
+}
+
+#[test]
+fn tuning_runs_are_reproducible_per_seed() {
+    let (space, _) = build_search_space(&dedispersion().spec, Method::Optimized).unwrap();
+    let model = performance_model_for("Dedispersion", &space, 1);
+    let a = tune(&space, &model, &RandomSampling, Duration::from_secs(10), Duration::ZERO, 42);
+    let b = tune(&space, &model, &RandomSampling, Duration::from_secs(10), Duration::ZERO, 42);
+    let c = tune(&space, &model, &RandomSampling, Duration::from_secs(10), Duration::ZERO, 43);
+    assert_eq!(a.evaluations, b.evaluations);
+    assert_ne!(
+        a.evaluations.first().map(|e| e.config_index),
+        c.evaluations.first().map(|e| e.config_index)
+    );
+}
