@@ -1,0 +1,40 @@
+# Offline mirror of .github/workflows/ci.yml — `make verify` runs the full
+# gate locally. The workspace has no network dependencies (see vendor/).
+
+CARGO ?= cargo
+
+.PHONY: verify fmt clippy build test doctest smoke doc bench fix
+
+verify: fmt clippy build test smoke doc
+	@echo "---- all checks passed ----"
+
+fmt:
+	$(CARGO) fmt --all --check
+
+clippy:
+	$(CARGO) clippy --workspace --all-targets -- -D warnings
+
+build:
+	$(CARGO) build --release --workspace
+
+test:
+	$(CARGO) test --workspace -q
+
+doctest:
+	$(CARGO) test --workspace -q --doc
+
+# The documented entry points (examples, figure binaries, benches) must at
+# least compile so README instructions cannot rot.
+smoke:
+	$(CARGO) build --workspace --examples --benches --bins
+
+doc:
+	RUSTDOCFLAGS="-D warnings" $(CARGO) doc --workspace --no-deps
+
+bench:
+	$(CARGO) bench -p at_bench
+
+# Apply rustfmt and machine-applicable clippy suggestions.
+fix:
+	$(CARGO) clippy --fix --allow-dirty --workspace --all-targets
+	$(CARGO) fmt --all

@@ -9,10 +9,8 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 
-use at_searchspace::{
-    build_search_space_with, BuildOptions, Method, RestrictionLowering,
-};
 use at_csp::OptimizedSolverConfig;
+use at_searchspace::{build_search_space_with, BuildOptions, Method, RestrictionLowering};
 use at_workloads::gemm;
 
 fn bench_ablation(c: &mut Criterion) {

@@ -11,7 +11,11 @@ fn bench_realworld(c: &mut Criterion) {
     let mut group = c.benchmark_group("figure5/realworld_construction");
     group.sample_size(10);
     for workload in &workloads {
-        for method in [Method::Optimized, Method::ParallelOptimized, Method::ChainOfTrees] {
+        for method in [
+            Method::Optimized,
+            Method::ParallelOptimized,
+            Method::ChainOfTrees,
+        ] {
             group.bench_with_input(
                 BenchmarkId::new(method.label(), &workload.spec.name),
                 &workload.spec,
@@ -26,10 +30,20 @@ fn bench_realworld(c: &mut Criterion) {
     let mut group = c.benchmark_group("figure5/realworld_bruteforce_baseline");
     group.sample_size(10);
     group.bench_function("brute-force/Dedispersion", |b| {
-        b.iter(|| build_search_space(&dedisp.spec, Method::BruteForce).unwrap().0.len())
+        b.iter(|| {
+            build_search_space(&dedisp.spec, Method::BruteForce)
+                .unwrap()
+                .0
+                .len()
+        })
     });
     group.bench_function("original/Dedispersion", |b| {
-        b.iter(|| build_search_space(&dedisp.spec, Method::Original).unwrap().0.len())
+        b.iter(|| {
+            build_search_space(&dedisp.spec, Method::Original)
+                .unwrap()
+                .0
+                .len()
+        })
     });
     group.finish();
 }

@@ -21,7 +21,15 @@ fn bench_searchspace_ops(c: &mut Criterion) {
     group.bench_function("contains", |b| b.iter(|| space.contains(&some_config)));
     group.bench_function("index_of", |b| b.iter(|| space.index_of(&some_config)));
     group.bench_function("hamming_neighbors_indexed", |b| {
-        b.iter(|| neighbors(&space, space.len() / 2, NeighborMethod::Hamming, Some(&index)).len())
+        b.iter(|| {
+            neighbors(
+                &space,
+                space.len() / 2,
+                NeighborMethod::Hamming,
+                Some(&index),
+            )
+            .len()
+        })
     });
     group.bench_function("adjacent_neighbors_scan", |b| {
         b.iter(|| neighbors(&space, space.len() / 2, NeighborMethod::Adjacent, None).len())
@@ -44,7 +52,11 @@ fn bench_searchspace_ops(c: &mut Criterion) {
     let mut group = c.benchmark_group("searchspace_ops/neighbor_index_build");
     group.sample_size(10);
     group.bench_function("dedispersion", |b| {
-        b.iter(|| NeighborIndex::build(&space).hamming_neighbors(&space, 0).len())
+        b.iter(|| {
+            NeighborIndex::build(&space)
+                .hamming_neighbors(&space, 0)
+                .len()
+        })
     });
     group.finish();
 }

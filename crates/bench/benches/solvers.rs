@@ -14,14 +14,16 @@ fn block_size_problem(extra_dims: usize) -> Problem {
     p.add_variable("block_size_y", int_values((0..6).map(|i| 1 << i)))
         .unwrap();
     for d in 0..extra_dims {
-        p.add_variable(format!("extra_{d}"), int_values(1..=8)).unwrap();
+        p.add_variable(format!("extra_{d}"), int_values(1..=8))
+            .unwrap();
     }
     p.add_constraint(MinProduct::new(32.0), &["block_size_x", "block_size_y"])
         .unwrap();
     p.add_constraint(MaxProduct::new(1024.0), &["block_size_x", "block_size_y"])
         .unwrap();
     if extra_dims >= 2 {
-        p.add_constraint(MaxSum::new(10.0), &["extra_0", "extra_1"]).unwrap();
+        p.add_constraint(MaxSum::new(10.0), &["extra_0", "extra_1"])
+            .unwrap();
     }
     p
 }
@@ -31,7 +33,13 @@ fn bench_solvers(c: &mut Criterion) {
     let mut group = c.benchmark_group("solvers/block_size_3_extra_dims");
     group.sample_size(20);
     group.bench_function("brute-force", |b| {
-        b.iter(|| BruteForceSolver::new().solve(&problem).unwrap().solutions.len())
+        b.iter(|| {
+            BruteForceSolver::new()
+                .solve(&problem)
+                .unwrap()
+                .solutions
+                .len()
+        })
     });
     group.bench_function("original", |b| {
         b.iter(|| {
@@ -43,10 +51,22 @@ fn bench_solvers(c: &mut Criterion) {
         })
     });
     group.bench_function("optimized", |b| {
-        b.iter(|| OptimizedSolver::new().solve(&problem).unwrap().solutions.len())
+        b.iter(|| {
+            OptimizedSolver::new()
+                .solve(&problem)
+                .unwrap()
+                .solutions
+                .len()
+        })
     });
     group.bench_function("parallel", |b| {
-        b.iter(|| ParallelSolver::new().solve(&problem).unwrap().solutions.len())
+        b.iter(|| {
+            ParallelSolver::new()
+                .solve(&problem)
+                .unwrap()
+                .solutions
+                .len()
+        })
     });
     group.finish();
 
@@ -54,7 +74,13 @@ fn bench_solvers(c: &mut Criterion) {
     let mut group = c.benchmark_group("solvers/blocking_clause_small");
     group.sample_size(10);
     group.bench_function("blocking-clause", |b| {
-        b.iter(|| BlockingClauseSolver::new().solve(&small).unwrap().solutions.len())
+        b.iter(|| {
+            BlockingClauseSolver::new()
+                .solve(&small)
+                .unwrap()
+                .solutions
+                .len()
+        })
     });
     group.finish();
 }

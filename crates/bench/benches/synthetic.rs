@@ -42,7 +42,11 @@ fn bench_blocking_clause_reduced(c: &mut Criterion) {
         num_constraints: 2,
         seed: 7,
     });
-    for method in [Method::BlockingClause, Method::BruteForce, Method::Optimized] {
+    for method in [
+        Method::BlockingClause,
+        Method::BruteForce,
+        Method::Optimized,
+    ] {
         group.bench_function(method.label(), |b| {
             b.iter(|| build_search_space(&spec, method).unwrap().0.len())
         });
@@ -50,5 +54,9 @@ fn bench_blocking_clause_reduced(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_synthetic_scaling, bench_blocking_clause_reduced);
+criterion_group!(
+    benches,
+    bench_synthetic_scaling,
+    bench_blocking_clause_reduced
+);
 criterion_main!(benches);

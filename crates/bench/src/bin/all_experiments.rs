@@ -4,19 +4,30 @@
 //! reduced problem counts; the individual `figure*` / `table2` binaries
 //! expose the full-fidelity runs and their options.
 //!
-//! Usage: `cargo run --release -p at-bench --bin all_experiments`
+//! Usage: `cargo run --release -p at_bench --bin all_experiments`
 
 use std::process::Command;
 
 fn run(bin: &str, args: &[&str]) {
-    println!("\n################ {bin} {} ################", args.join(" "));
-    let status = Command::new(std::env::current_exe().expect("self path").parent().expect("dir").join(bin))
-        .args(args)
-        .status();
+    println!(
+        "\n################ {bin} {} ################",
+        args.join(" ")
+    );
+    let status = Command::new(
+        std::env::current_exe()
+            .expect("self path")
+            .parent()
+            .expect("dir")
+            .join(bin),
+    )
+    .args(args)
+    .status();
     match status {
         Ok(s) if s.success() => {}
         Ok(s) => eprintln!("{bin} exited with {s}"),
-        Err(e) => eprintln!("failed to launch {bin}: {e} (run `cargo build --release -p at-bench` first)"),
+        Err(e) => {
+            eprintln!("failed to launch {bin}: {e} (run `cargo build --release -p at_bench` first)")
+        }
     }
 }
 

@@ -6,7 +6,7 @@
 //! the constant-folded form, the decomposed conjuncts, and the recognised
 //! specific constraints / compiled function constraints.
 //!
-//! Usage: `cargo run --release -p at-bench --bin figure1 [--constraint "<expr>"]`
+//! Usage: `cargo run --release -p at_bench --bin figure1 [--constraint "<expr>"]`
 
 use at_bench::{cli, header};
 use at_expr::{decompose, fold, parse, parse_restriction, recognize};
@@ -32,12 +32,7 @@ fn main() {
     header("step 3: specific-constraint recognition");
     for (i, piece) in pieces.iter().enumerate() {
         match recognize(piece) {
-            Some(r) => println!(
-                "  conjunct {}: {} over {:?}",
-                i + 1,
-                r.description,
-                r.scope
-            ),
+            Some(r) => println!("  conjunct {}: {} over {:?}", i + 1, r.description, r.scope),
             None => println!("  conjunct {}: compiled Function constraint", i + 1),
         }
     }

@@ -6,7 +6,7 @@
 //! underlying distributions and prints their quartile summaries and a textual
 //! kernel density estimate.
 //!
-//! Usage: `cargo run --release -p at-bench --bin figure2 [--count 78] [--seed 42]`
+//! Usage: `cargo run --release -p at_bench --bin figure2 [--count 78] [--seed 42]`
 
 use at_bench::{cli, header, log_kde, quartiles};
 use at_searchspace::{build_search_space, Method};
@@ -50,7 +50,11 @@ fn main() {
 
     print_distribution("A: Cartesian size", &cartesian, true);
     print_distribution("B: number of valid configurations", &valid, true);
-    print_distribution("C: fraction of constrained configurations", &sparsity, false);
+    print_distribution(
+        "C: fraction of constrained configurations",
+        &sparsity,
+        false,
+    );
 
     let avg_ratio: f64 = valid
         .iter()

@@ -9,7 +9,7 @@
 //! * (B) a kernel density estimate of the per-space times,
 //! * (C) the total time per method and the speedups of the optimized method.
 //!
-//! Usage: `cargo run --release -p at-bench --bin figure3 [--count 78] [--seed 42] [--skip-brute-force]`
+//! Usage: `cargo run --release -p at_bench --bin figure3 [--count 78] [--seed 42] [--skip-brute-force]`
 
 use at_bench::{
     cli, crossover_point, format_seconds, header, log_kde, loglog_regression, measure_all,

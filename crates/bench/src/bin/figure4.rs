@@ -3,7 +3,7 @@
 //! brute force and the optimized solver, on synthetic spaces reduced by one
 //! order of magnitude.
 //!
-//! Usage: `cargo run --release -p at-bench --bin figure4 [--count 20] [--seed 42]`
+//! Usage: `cargo run --release -p at_bench --bin figure4 [--count 20] [--seed 42]`
 
 use at_bench::{cli, format_seconds, header, loglog_regression, measure_all, totals_per_method};
 use at_searchspace::Method;
@@ -12,7 +12,11 @@ use at_workloads::{generate, reduced_synthetic_suite};
 fn main() {
     let count = cli::opt_usize("count", 20);
     let seed = cli::opt_u64("seed", 42);
-    let methods = [Method::BlockingClause, Method::BruteForce, Method::Optimized];
+    let methods = [
+        Method::BlockingClause,
+        Method::BruteForce,
+        Method::Optimized,
+    ];
     println!(
         "Figure 4 — blocking-clause enumeration vs brute force vs optimized on {count} reduced synthetic spaces"
     );
@@ -51,7 +55,12 @@ fn main() {
             .map(|m| m.seconds)
             .collect();
         if let Some((slope, _, r2)) = loglog_regression(&xs, &ys) {
-            println!("{:<20} slope {:>6.3}  R^2 {:>6.3}", method.label(), slope, r2);
+            println!(
+                "{:<20} slope {:>6.3}  R^2 {:>6.3}",
+                method.label(),
+                slope,
+                r2
+            );
         }
     }
     println!(

@@ -8,7 +8,7 @@
 //! speedups of the optimized method.
 //!
 //! Usage:
-//!   `cargo run --release -p at-bench --bin figure5 [--full] [--skip-brute-force]`
+//!   `cargo run --release -p at_bench --bin figure5 [--full] [--skip-brute-force]`
 //! `--full` includes ATF PRL 8x8 (large); brute force is always skipped for
 //! PRL 8x8 unless `--prl8-brute-force` is passed as well.
 
@@ -82,7 +82,10 @@ fn main() {
             continue;
         }
         let times: Vec<f64> = of_method.iter().map(|m| m.seconds).collect();
-        let valid: Vec<f64> = of_method.iter().map(|m| m.num_valid.max(1) as f64).collect();
+        let valid: Vec<f64> = of_method
+            .iter()
+            .map(|m| m.num_valid.max(1) as f64)
+            .collect();
         let cartesian: Vec<f64> = of_method.iter().map(|m| m.cartesian_size as f64).collect();
         let sv = loglog_regression(&valid, &times).map(|f| f.0);
         let sc = loglog_regression(&cartesian, &times).map(|f| f.0);

@@ -12,7 +12,7 @@
 //! worse best-found configuration) is preserved; pass `--budget <seconds>`
 //! to override.
 //!
-//! Usage: `cargo run --release -p at-bench --bin figure6 [--repeats 10] [--budget 60]`
+//! Usage: `cargo run --release -p at_bench --bin figure6 [--repeats 10] [--budget 60]`
 
 use at_bench::experiments::run_tuning_experiment;
 use at_workloads::hotspot;

@@ -3,7 +3,7 @@
 //! the ratio of valid configurations between GEMM and Hotspot, from 30 down
 //! to 10 minutes).
 //!
-//! Usage: `cargo run --release -p at-bench --bin figure7 [--repeats 10] [--budget 20]`
+//! Usage: `cargo run --release -p at_bench --bin figure7 [--repeats 10] [--budget 20]`
 
 use at_bench::experiments::run_tuning_experiment;
 use at_workloads::gemm;

@@ -6,7 +6,7 @@
 //! the closed-form average number of constraint evaluations required by brute
 //! force — next to the values the paper reports.
 //!
-//! Usage: `cargo run --release -p at-bench --bin table2 [--full]`
+//! Usage: `cargo run --release -p at_bench --bin table2 [--full]`
 //! (`--full` includes ATF PRL 8x8, which takes considerably longer)
 
 use at_bench::{cli, format_seconds, header, measure};

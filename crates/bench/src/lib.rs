@@ -9,9 +9,7 @@
 
 use std::time::Instant;
 
-use at_searchspace::{
-    build_search_space, BuildReport, Method, SearchSpace, SearchSpaceSpec,
-};
+use at_searchspace::{build_search_space, BuildReport, Method, SearchSpace, SearchSpaceSpec};
 
 pub mod experiments;
 
@@ -100,7 +98,11 @@ pub fn loglog_regression(xs: &[f64], ys: &[f64]) -> Option<(f64, f64, f64)> {
         .iter()
         .map(|p| (p.1 - (slope * p.0 + intercept)).powi(2))
         .sum();
-    let r2 = if ss_tot > 0.0 { 1.0 - ss_res / ss_tot } else { 1.0 };
+    let r2 = if ss_tot > 0.0 {
+        1.0 - ss_res / ss_tot
+    } else {
+        1.0
+    };
     Some((slope, intercept, r2))
 }
 
@@ -121,7 +123,11 @@ pub fn crossover_point(ra: (f64, f64), rb: (f64, f64)) -> Option<f64> {
 /// Gaussian kernel density estimate of `values` (in log10 space) evaluated on
 /// `grid_points` points spanning the data range. Returns `(grid, density)`.
 pub fn log_kde(values: &[f64], grid_points: usize) -> (Vec<f64>, Vec<f64>) {
-    let logs: Vec<f64> = values.iter().filter(|&&v| v > 0.0).map(|v| v.log10()).collect();
+    let logs: Vec<f64> = values
+        .iter()
+        .filter(|&&v| v > 0.0)
+        .map(|v| v.log10())
+        .collect();
     if logs.is_empty() || grid_points == 0 {
         return (Vec::new(), Vec::new());
     }
@@ -164,7 +170,13 @@ pub fn quartiles(values: &[f64]) -> Option<(f64, f64, f64, f64, f64)> {
         let frac = idx - lo as f64;
         sorted[lo] * (1.0 - frac) + sorted[hi] * frac
     };
-    Some((sorted[0], q(0.25), q(0.5), q(0.75), sorted[sorted.len() - 1]))
+    Some((
+        sorted[0],
+        q(0.25),
+        q(0.5),
+        q(0.75),
+        sorted[sorted.len() - 1],
+    ))
 }
 
 /// Geometric mean of positive values.

@@ -42,8 +42,15 @@ impl std::fmt::Display for ArgError {
         match self {
             ArgError::MissingValue(flag) => write!(f, "flag --{flag} requires a value"),
             ArgError::UnknownFlag(flag) => write!(f, "unknown flag --{flag}"),
-            ArgError::InvalidValue { flag, value, expected } => {
-                write!(f, "invalid value `{value}` for --{flag} (expected {expected})")
+            ArgError::InvalidValue {
+                flag,
+                value,
+                expected,
+            } => {
+                write!(
+                    f,
+                    "invalid value `{value}` for --{flag} (expected {expected})"
+                )
             }
             ArgError::MissingFlag(flag) => write!(f, "missing required flag --{flag}"),
         }
@@ -94,7 +101,8 @@ impl ParsedArgs {
 
     /// The value of a required `--flag`.
     pub fn require(&self, flag: &str) -> Result<&str, ArgError> {
-        self.get(flag).ok_or_else(|| ArgError::MissingFlag(flag.to_string()))
+        self.get(flag)
+            .ok_or_else(|| ArgError::MissingFlag(flag.to_string()))
     }
 
     /// Whether a boolean switch was passed.
@@ -192,7 +200,9 @@ mod tests {
 
     #[test]
     fn error_messages_mention_the_flag() {
-        assert!(ArgError::MissingFlag("spec".into()).to_string().contains("spec"));
+        assert!(ArgError::MissingFlag("spec".into())
+            .to_string()
+            .contains("spec"));
         assert!(ArgError::UnknownFlag("x".into()).to_string().contains("x"));
         assert!(ArgError::MissingValue("y".into()).to_string().contains("y"));
         let e = ArgError::InvalidValue {

@@ -258,7 +258,9 @@ pub fn tune(args: &ParsedArgs) -> Result<String, CliError> {
     let strategy_name = args.get("strategy").unwrap_or("random");
     let strategy = strategy_by_name(strategy_name)
         .ok_or_else(|| CliError::Run(format!("unknown strategy `{strategy_name}`")))?;
-    let budget_ms: u64 = args.number("budget-ms", 30_000u64).map_err(CliError::Args)?;
+    let budget_ms: u64 = args
+        .number("budget-ms", 30_000u64)
+        .map_err(CliError::Args)?;
     let seed: u64 = args.number("seed", 42u64).map_err(CliError::Args)?;
     let method = resolve_method(args)?;
 
@@ -276,8 +278,13 @@ pub fn tune(args: &ParsedArgs) -> Result<String, CliError> {
 
     let mut out = String::new();
     writeln!(out, "workload:           {}", workload.spec.name).expect("write to string");
-    writeln!(out, "construction:       {} ({:?})", method.label(), report.duration)
-        .expect("write to string");
+    writeln!(
+        out,
+        "construction:       {} ({:?})",
+        method.label(),
+        report.duration
+    )
+    .expect("write to string");
     writeln!(out, "strategy:           {}", run.strategy).expect("write to string");
     writeln!(out, "budget:             {budget_ms} ms (virtual)").expect("write to string");
     writeln!(out, "evaluations:        {}", run.num_evaluations()).expect("write to string");
@@ -285,8 +292,11 @@ pub fn tune(args: &ParsedArgs) -> Result<String, CliError> {
         Some(best) => {
             writeln!(out, "best runtime:       {best:.3} ms (simulated)").expect("write to string")
         }
-        None => writeln!(out, "best runtime:       none (budget exhausted by construction)")
-            .expect("write to string"),
+        None => writeln!(
+            out,
+            "best runtime:       none (budget exhausted by construction)"
+        )
+        .expect("write to string"),
     }
     Ok(out)
 }
@@ -321,12 +331,7 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("space.json");
         std::fs::write(&path, spec_template()).unwrap();
-        let spec = resolve_spec(&parsed(&[
-            "construct",
-            "--spec",
-            path.to_str().unwrap(),
-        ]))
-        .unwrap();
+        let spec = resolve_spec(&parsed(&["construct", "--spec", path.to_str().unwrap()])).unwrap();
         assert_eq!(spec.name, "example");
         assert!(resolve_spec(&parsed(&["construct", "--spec", "/no/such/file.json"])).is_err());
     }

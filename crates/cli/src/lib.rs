@@ -1,7 +1,8 @@
 //! # at-cli — the `atss` command-line tool
 //!
 //! A small front end over the library crates, the Rust counterpart of using
-//! Kernel Tuner's `SearchSpace` from a script:
+//! Kernel Tuner's `SearchSpace` from a script (the integration surface the
+//! paper contributes in Section 4.4, exercised on the Section 5.3 workloads):
 //!
 //! ```text
 //! atss workloads                                  list the built-in spaces

@@ -38,7 +38,11 @@ pub fn build_chain(
                 });
             }
         }
-        trees.push(GroupTree::build(group.clone(), &group_domains, &group_constraints));
+        trees.push(GroupTree::build(
+            group.clone(),
+            &group_domains,
+            &group_constraints,
+        ));
     }
     ChainOfTrees::new(names.to_vec(), trees)
 }
@@ -131,7 +135,8 @@ mod tests {
         p.add_variable("a", int_values(1..=8)).unwrap();
         p.add_variable("b", int_values(1..=8)).unwrap();
         p.add_variable("c", int_values(1..=8)).unwrap();
-        p.add_constraint(MaxSum::new(18.0), &["a", "b", "c"]).unwrap();
+        p.add_constraint(MaxSum::new(18.0), &["a", "b", "c"])
+            .unwrap();
         let chain = build_chain_from_problem(&p);
         let flat_cells = enumerate_chain(&chain).len() * 3;
         assert!(chain.node_count() < flat_cells);

@@ -98,7 +98,11 @@ impl ChainOfTrees {
             out = next;
         }
         out.into_iter()
-            .map(|row| row.into_iter().map(|v| v.expect("all params covered")).collect())
+            .map(|row| {
+                row.into_iter()
+                    .map(|v| v.expect("all params covered"))
+                    .collect()
+            })
             .collect()
     }
 

@@ -177,12 +177,7 @@ fn build_level(
     nodes
 }
 
-fn collect_paths(
-    node: &TreeNode,
-    depth: usize,
-    path: &mut Vec<Value>,
-    out: &mut Vec<Vec<Value>>,
-) {
+fn collect_paths(node: &TreeNode, depth: usize, path: &mut Vec<Value>, out: &mut Vec<Vec<Value>>) {
     path.push(node.value.clone());
     if path.len() == depth {
         out.push(path.clone());
@@ -203,7 +198,10 @@ mod tests {
 
     fn product_group() -> GroupTree {
         // two parameters x in {1..32 pow2}, y in {1..32 pow2}, 32 <= x*y <= 256
-        let domains = vec![int_values([1, 2, 4, 8, 16, 32]), int_values([1, 2, 4, 8, 16, 32])];
+        let domains = vec![
+            int_values([1, 2, 4, 8, 16, 32]),
+            int_values([1, 2, 4, 8, 16, 32]),
+        ];
         let constraints = vec![
             GroupConstraint {
                 constraint: Arc::new(MinProduct::new(32.0)),

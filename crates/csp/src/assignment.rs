@@ -129,7 +129,10 @@ mod tests {
         let mut a = Assignment::new(4);
         a.assign(1, Value::Int(7));
         a.assign(3, Value::Int(9));
-        assert_eq!(a.scope_values(&[1, 3]), Some(vec![Value::Int(7), Value::Int(9)]));
+        assert_eq!(
+            a.scope_values(&[1, 3]),
+            Some(vec![Value::Int(7), Value::Int(9)])
+        );
         assert_eq!(a.scope_values(&[0, 1]), None);
         assert_eq!(a.unassigned_in_scope(&[0, 1, 2, 3]), 2);
     }

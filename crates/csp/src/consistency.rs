@@ -34,7 +34,10 @@ pub struct ConsistencyReport {
 
 /// Enforce node consistency: filter every variable's domain through the unary
 /// constraints that mention it.
-pub fn node_consistency(problem: &Problem, domains: &mut DomainStore) -> CspResult<ConsistencyReport> {
+pub fn node_consistency(
+    problem: &Problem,
+    domains: &mut DomainStore,
+) -> CspResult<ConsistencyReport> {
     let mut removed = 0usize;
     for entry in problem.constraints() {
         if entry.scope.len() != 1 {
@@ -62,7 +65,10 @@ pub fn node_consistency(problem: &Problem, domains: &mut DomainStore) -> CspResu
 /// Returns the number of removed values and whether every domain is still
 /// non-empty. Constraints with more than [`MAX_GAC_SCOPE`] variables are
 /// skipped.
-pub fn arc_consistency(problem: &Problem, domains: &mut DomainStore) -> CspResult<ConsistencyReport> {
+pub fn arc_consistency(
+    problem: &Problem,
+    domains: &mut DomainStore,
+) -> CspResult<ConsistencyReport> {
     let node = node_consistency(problem, domains)?;
     if !node.consistent {
         return Ok(node);
@@ -122,12 +128,7 @@ pub fn arc_consistency(problem: &Problem, domains: &mut DomainStore) -> CspResul
 /// Remove the values of the variable at `pos` in the scope of constraint `ci`
 /// that have no supporting combination of the other scope variables.
 /// Returns the number of removed values.
-fn revise(
-    problem: &Problem,
-    domains: &mut DomainStore,
-    ci: usize,
-    pos: usize,
-) -> CspResult<usize> {
+fn revise(problem: &Problem, domains: &mut DomainStore, ci: usize, pos: usize) -> CspResult<usize> {
     let entry = &problem.constraints()[ci];
     let scope = &entry.scope;
     let var = scope[pos];
@@ -181,9 +182,12 @@ mod tests {
         let mut p = Problem::new();
         p.add_variable("x", int_values([1, 2, 4, 8, 16, 32, 64, 128]))
             .unwrap();
-        p.add_variable("y", int_values([1, 2, 4, 8, 16, 32])).unwrap();
-        p.add_constraint(MinProduct::new(32.0), &["x", "y"]).unwrap();
-        p.add_constraint(MaxProduct::new(256.0), &["x", "y"]).unwrap();
+        p.add_variable("y", int_values([1, 2, 4, 8, 16, 32]))
+            .unwrap();
+        p.add_constraint(MinProduct::new(32.0), &["x", "y"])
+            .unwrap();
+        p.add_constraint(MaxProduct::new(256.0), &["x", "y"])
+            .unwrap();
         p
     }
 
@@ -219,9 +223,12 @@ mod tests {
         let mut p2 = Problem::new();
         p2.add_variable("x", int_values([1, 2, 4, 8, 16, 32, 64, 128]))
             .unwrap();
-        p2.add_variable("y", int_values([1, 2, 4, 8, 16, 32])).unwrap();
-        p2.add_constraint(MinProduct::new(32.0), &["x", "y"]).unwrap();
-        p2.add_constraint(MaxProduct::new(64.0), &["x", "y"]).unwrap();
+        p2.add_variable("y", int_values([1, 2, 4, 8, 16, 32]))
+            .unwrap();
+        p2.add_constraint(MinProduct::new(32.0), &["x", "y"])
+            .unwrap();
+        p2.add_constraint(MaxProduct::new(64.0), &["x", "y"])
+            .unwrap();
         let mut domains2 = p2.domain_store();
         let report2 = arc_consistency(&p2, &mut domains2).unwrap();
         assert!(report2.consistent);
@@ -245,7 +252,8 @@ mod tests {
         let mut p = Problem::new();
         p.add_variable("a", int_values([1, 2, 3])).unwrap();
         p.add_variable("b", int_values([1, 2, 3])).unwrap();
-        p.add_constraint(MinProduct::new(100.0), &["a", "b"]).unwrap();
+        p.add_constraint(MinProduct::new(100.0), &["a", "b"])
+            .unwrap();
         let mut domains = p.domain_store();
         let report = arc_consistency(&p, &mut domains).unwrap();
         assert!(!report.consistent);
@@ -282,8 +290,12 @@ mod tests {
         pruned
             .add_variable("y", domains.domain(1).values().to_vec())
             .unwrap();
-        pruned.add_constraint(MinProduct::new(32.0), &["x", "y"]).unwrap();
-        pruned.add_constraint(MaxProduct::new(256.0), &["x", "y"]).unwrap();
+        pruned
+            .add_constraint(MinProduct::new(32.0), &["x", "y"])
+            .unwrap();
+        pruned
+            .add_constraint(MaxProduct::new(256.0), &["x", "y"])
+            .unwrap();
         let after = BruteForceSolver::new().solve(&pruned).unwrap();
         assert!(before.solutions.same_solutions(&after.solutions));
     }
@@ -295,8 +307,10 @@ mod tests {
         p.add_variable("a", int_values([1, 2, 3, 4])).unwrap();
         p.add_variable("b", int_values([1, 2, 3, 4])).unwrap();
         p.add_variable("c", int_values([1, 2, 3, 4])).unwrap();
-        p.add_constraint(PairCompare::new(CmpOp::Lt), &["a", "b"]).unwrap();
-        p.add_constraint(PairCompare::new(CmpOp::Lt), &["b", "c"]).unwrap();
+        p.add_constraint(PairCompare::new(CmpOp::Lt), &["a", "b"])
+            .unwrap();
+        p.add_constraint(PairCompare::new(CmpOp::Lt), &["b", "c"])
+            .unwrap();
         let mut domains = p.domain_store();
         let report = arc_consistency(&p, &mut domains).unwrap();
         assert!(report.consistent);

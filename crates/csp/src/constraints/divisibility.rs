@@ -120,9 +120,7 @@ impl Constraint for Divides {
         // A dividend value needs at least one divisor value dividing it.
         removed += domains.domain_mut(scope[0]).retain(|v| {
             let dividend = v.as_i64().expect("numeric");
-            divisor_values
-                .iter()
-                .any(|&d| d != 0 && dividend % d == 0)
+            divisor_values.iter().any(|&d| d != 0 && dividend % d == 0)
         });
         // A divisor value needs at least one dividend value it divides.
         removed += domains.domain_mut(scope[1]).retain(|v| {

@@ -122,12 +122,16 @@ pub fn generic_check<C: Constraint + ?Sized>(
 
 /// Sum of the numeric interpretations of `values`; `None` if any is non-numeric.
 pub(crate) fn numeric_sum(values: &[Value]) -> Option<f64> {
-    values.iter().try_fold(0.0, |acc, v| Some(acc + v.as_f64()?))
+    values
+        .iter()
+        .try_fold(0.0, |acc, v| Some(acc + v.as_f64()?))
 }
 
 /// Product of the numeric interpretations of `values`; `None` if any is non-numeric.
 pub(crate) fn numeric_product(values: &[Value]) -> Option<f64> {
-    values.iter().try_fold(1.0, |acc, v| Some(acc * v.as_f64()?))
+    values
+        .iter()
+        .try_fold(1.0, |acc, v| Some(acc * v.as_f64()?))
 }
 
 #[cfg(test)]

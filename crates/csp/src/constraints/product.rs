@@ -110,9 +110,7 @@ impl Constraint for MaxProduct {
         domains: &mut DomainStore,
         forward_check: bool,
     ) -> bool {
-        let facts = *self
-            .facts
-            .get_or_init(|| scope_facts(scope, domains));
+        let facts = *self.facts.get_or_init(|| scope_facts(scope, domains));
         // Early partial rejection: with every remaining factor >= 1 the
         // product can only grow, so exceeding the limit now is fatal.
         if facts.all_ge_one {

@@ -166,8 +166,10 @@ mod tests {
     #[test]
     fn table_constraints_agree_with_brute_force() {
         let mut p = Problem::new();
-        p.add_variable("vector_width", int_values([1, 2, 4, 8])).unwrap();
-        p.add_variable("elements_per_thread", int_values([1, 2, 4])).unwrap();
+        p.add_variable("vector_width", int_values([1, 2, 4, 8]))
+            .unwrap();
+        p.add_variable("elements_per_thread", int_values([1, 2, 4]))
+            .unwrap();
         p.add_constraint(
             AllowedTuples::new(vec![
                 int_values([1, 1]),

@@ -47,6 +47,8 @@ mod tests {
             .to_string()
             .contains("x"));
         assert!(CspError::EmptyDomain("y".into()).to_string().contains("y"));
-        assert!(CspError::TypeError("bad".into()).to_string().contains("bad"));
+        assert!(CspError::TypeError("bad".into())
+            .to_string()
+            .contains("bad"));
     }
 }

@@ -47,17 +47,17 @@ pub mod value;
 pub use assignment::Assignment;
 pub use consistency::{arc_consistency, node_consistency, ConsistencyReport};
 pub use constraints::{
-    AllDifferent, AllEqual, AllowedTuples, CmpOp, Constraint, ConstraintRef, Divides,
-    ExactProduct, ExactSum, FixedValue, ForbiddenTuples, FunctionConstraint, InSet, MaxProduct,
-    MaxSum, MinProduct, MinSum, ModuloEquals, NotInSet, PairCompare, VarCompare,
+    AllDifferent, AllEqual, AllowedTuples, CmpOp, Constraint, ConstraintRef, Divides, ExactProduct,
+    ExactSum, FixedValue, ForbiddenTuples, FunctionConstraint, InSet, MaxProduct, MaxSum,
+    MinProduct, MinSum, ModuloEquals, NotInSet, PairCompare, VarCompare,
 };
 pub use domain::{Domain, DomainStore};
 pub use error::{CspError, CspResult};
 pub use problem::{ConstraintEntry, Problem, VarId};
 pub use solution::SolutionSet;
 pub use solvers::{
-    solver_by_name, BlockingClauseSolver, BruteForceSolver, OptimizedSolver,
-    OptimizedSolverConfig, OriginalBacktrackingSolver, ParallelSolver, SolveResult, Solver,
+    solver_by_name, BlockingClauseSolver, BruteForceSolver, OptimizedSolver, OptimizedSolverConfig,
+    OriginalBacktrackingSolver, ParallelSolver, SolveResult, Solver,
 };
 pub use stats::{expected_brute_force_evaluations, SolveStats};
 pub use value::Value;

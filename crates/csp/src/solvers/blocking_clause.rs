@@ -171,7 +171,9 @@ mod tests {
     #[test]
     fn respects_max_solutions() {
         let p = block_size_problem();
-        let bc = BlockingClauseSolver::with_max_solutions(5).solve(&p).unwrap();
+        let bc = BlockingClauseSolver::with_max_solutions(5)
+            .solve(&p)
+            .unwrap();
         assert_eq!(bc.solutions.len(), 5);
     }
 

@@ -118,7 +118,12 @@ impl Solver for BruteForceSolver {
             .map(|v| {
                 let mut solutions = SolutionSet::new(problem.variable_names().to_vec());
                 let mut stats = SolveStats::default();
-                Self::enumerate_suffix(problem, &[v.clone()], &mut solutions, &mut stats);
+                Self::enumerate_suffix(
+                    problem,
+                    std::slice::from_ref(v),
+                    &mut solutions,
+                    &mut stats,
+                );
                 (solutions, stats)
             })
             .collect();

@@ -143,7 +143,8 @@ pub(crate) mod test_support {
         let mut p = Problem::new();
         p.add_variable("x", int_values([1, 2, 3])).unwrap();
         p.add_variable("y", int_values([1, 2, 3])).unwrap();
-        p.add_constraint(MinProduct::new(100.0), &["x", "y"]).unwrap();
+        p.add_constraint(MinProduct::new(100.0), &["x", "y"])
+            .unwrap();
         p
     }
 }
@@ -154,7 +155,13 @@ mod tests {
 
     #[test]
     fn solver_by_name_resolves() {
-        for name in ["brute-force", "original", "optimized", "parallel", "blocking-clause"] {
+        for name in [
+            "brute-force",
+            "original",
+            "optimized",
+            "parallel",
+            "blocking-clause",
+        ] {
             assert!(solver_by_name(name).is_some(), "{name}");
         }
         assert!(solver_by_name("nope").is_none());

@@ -237,9 +237,7 @@ impl Solver for OptimizedSolver {
             return Ok(SolveResult { solutions, stats });
         }
         let mut domains = problem.domain_store();
-        if self.config.preprocess
-            && !Self::preprocess(problem, &mut domains, &mut stats)?
-        {
+        if self.config.preprocess && !Self::preprocess(problem, &mut domains, &mut stats)? {
             return Ok(SolveResult { solutions, stats });
         }
         if self.config.arc_consistency {

@@ -68,9 +68,7 @@ impl Solver for ParallelSolver {
             .par_iter()
             .map(|value| {
                 let mut local_domains = domains.clone();
-                local_domains
-                    .domain_mut(split_var)
-                    .retain(|v| v == value);
+                local_domains.domain_mut(split_var).retain(|v| v == value);
                 let mut local_solutions = SolutionSet::new(problem.variable_names().to_vec());
                 let mut local_stats = SolveStats::default();
                 OptimizedSolver::search(

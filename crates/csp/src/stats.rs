@@ -37,11 +37,7 @@ impl SolveStats {
 /// average `(1 + |S_c|)/2` — and every valid combination is counted once, so
 /// `avg = |S_i| * (1 + |S_c|)/2 + |S_v|`. This reproduces the rightmost
 /// column of Table 2 exactly (e.g. Dedispersion 33414, ExpDist 23889240).
-pub fn expected_brute_force_evaluations(
-    invalid: u128,
-    valid: u128,
-    num_constraints: usize,
-) -> f64 {
+pub fn expected_brute_force_evaluations(invalid: u128, valid: u128, num_constraints: usize) -> f64 {
     invalid as f64 * (1.0 + num_constraints as f64) / 2.0 + valid as f64
 }
 

@@ -180,12 +180,10 @@ impl Value {
     /// Exponentiation, like Python's `**`.
     pub fn pow(&self, other: &Value) -> Option<Value> {
         match (self.as_int_like(), other.as_int_like()) {
-            (Some(a), Some(b)) if b >= 0 && b <= u32::MAX as i64 => {
-                match a.checked_pow(b as u32) {
-                    Some(v) => Some(Value::Int(v)),
-                    None => Some(Value::Float((a as f64).powf(b as f64))),
-                }
-            }
+            (Some(a), Some(b)) if b >= 0 && b <= u32::MAX as i64 => match a.checked_pow(b as u32) {
+                Some(v) => Some(Value::Int(v)),
+                None => Some(Value::Float((a as f64).powf(b as f64))),
+            },
             _ => Some(Value::Float(self.as_f64()?.powf(other.as_f64()?))),
         }
     }
@@ -385,8 +383,14 @@ mod tests {
 
     #[test]
     fn bool_participates_as_int() {
-        assert_eq!(Value::Bool(true).add(&Value::Int(1)).unwrap(), Value::Int(2));
-        assert_eq!(Value::Bool(false).mul(&Value::Int(5)).unwrap(), Value::Int(0));
+        assert_eq!(
+            Value::Bool(true).add(&Value::Int(1)).unwrap(),
+            Value::Int(2)
+        );
+        assert_eq!(
+            Value::Bool(false).mul(&Value::Int(5)).unwrap(),
+            Value::Int(0)
+        );
     }
 
     #[test]

@@ -227,7 +227,11 @@ impl Expr {
                 }
                 Ok(Value::Bool(false))
             }
-            Expr::In { value, set, negated } => {
+            Expr::In {
+                value,
+                set,
+                negated,
+            } => {
                 let v = value.evaluate(env)?;
                 let mut found = false;
                 for e in set {

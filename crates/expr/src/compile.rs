@@ -81,7 +81,11 @@ fn emit(expr: &Expr, index: &FxHashMap<&str, usize>, ops: &mut Vec<Op>) -> ExprR
         Expr::Or(parts) => {
             emit_bool_chain(parts, false, index, ops)?;
         }
-        Expr::In { value, set, negated } => {
+        Expr::In {
+            value,
+            set,
+            negated,
+        } => {
             emit(value, index, ops)?;
             let mut constants = Vec::with_capacity(set.len());
             for e in set {

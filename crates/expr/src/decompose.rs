@@ -111,9 +111,7 @@ mod tests {
         for (x, y) in [(16i64, 4i64), (2, 1), (64, 64), (7, 8), (32, 1), (33, 2)] {
             let env = env(&[("x", x), ("y", y)]);
             let reference = original.evaluate(&env).unwrap().truthy();
-            let conjunction = parts
-                .iter()
-                .all(|p| p.evaluate(&env).unwrap().truthy());
+            let conjunction = parts.iter().all(|p| p.evaluate(&env).unwrap().truthy());
             assert_eq!(reference, conjunction, "x={x} y={y}");
         }
     }

@@ -38,7 +38,7 @@ pub fn fold(expr: Expr) -> Expr {
             for e in es {
                 let e = fold(e);
                 match e {
-                    Expr::Const(v) if v.truthy() => {} // neutral element
+                    Expr::Const(v) if v.truthy() => {}       // neutral element
                     Expr::Const(v) => return Expr::Const(v), // short-circuits to false
                     other => kept.push(other),
                 }
@@ -54,7 +54,7 @@ pub fn fold(expr: Expr) -> Expr {
             for e in es {
                 let e = fold(e);
                 match e {
-                    Expr::Const(v) if !v.truthy() => {} // neutral element
+                    Expr::Const(v) if !v.truthy() => {}      // neutral element
                     Expr::Const(v) => return Expr::Const(v), // short-circuits to true
                     other => kept.push(other),
                 }
@@ -65,7 +65,11 @@ pub fn fold(expr: Expr) -> Expr {
                 _ => Expr::Or(kept),
             }
         }
-        Expr::In { value, set, negated } => Expr::In {
+        Expr::In {
+            value,
+            set,
+            negated,
+        } => Expr::In {
             value: Box::new(fold(*value)),
             set: set.into_iter().map(fold).collect(),
             negated,

@@ -18,76 +18,127 @@ pub fn tokenize(source: &str) -> ExprResult<Vec<Token>> {
                 i += 1;
             }
             '(' => {
-                tokens.push(Token { kind: TokenKind::LParen, position: start });
+                tokens.push(Token {
+                    kind: TokenKind::LParen,
+                    position: start,
+                });
                 i += 1;
             }
             ')' => {
-                tokens.push(Token { kind: TokenKind::RParen, position: start });
+                tokens.push(Token {
+                    kind: TokenKind::RParen,
+                    position: start,
+                });
                 i += 1;
             }
             '[' => {
-                tokens.push(Token { kind: TokenKind::LBracket, position: start });
+                tokens.push(Token {
+                    kind: TokenKind::LBracket,
+                    position: start,
+                });
                 i += 1;
             }
             ']' => {
-                tokens.push(Token { kind: TokenKind::RBracket, position: start });
+                tokens.push(Token {
+                    kind: TokenKind::RBracket,
+                    position: start,
+                });
                 i += 1;
             }
             ',' => {
-                tokens.push(Token { kind: TokenKind::Comma, position: start });
+                tokens.push(Token {
+                    kind: TokenKind::Comma,
+                    position: start,
+                });
                 i += 1;
             }
             '+' => {
-                tokens.push(Token { kind: TokenKind::Plus, position: start });
+                tokens.push(Token {
+                    kind: TokenKind::Plus,
+                    position: start,
+                });
                 i += 1;
             }
             '-' => {
-                tokens.push(Token { kind: TokenKind::Minus, position: start });
+                tokens.push(Token {
+                    kind: TokenKind::Minus,
+                    position: start,
+                });
                 i += 1;
             }
             '%' => {
-                tokens.push(Token { kind: TokenKind::Percent, position: start });
+                tokens.push(Token {
+                    kind: TokenKind::Percent,
+                    position: start,
+                });
                 i += 1;
             }
             '*' => {
                 if bytes.get(i + 1) == Some(&b'*') {
-                    tokens.push(Token { kind: TokenKind::DoubleStar, position: start });
+                    tokens.push(Token {
+                        kind: TokenKind::DoubleStar,
+                        position: start,
+                    });
                     i += 2;
                 } else {
-                    tokens.push(Token { kind: TokenKind::Star, position: start });
+                    tokens.push(Token {
+                        kind: TokenKind::Star,
+                        position: start,
+                    });
                     i += 1;
                 }
             }
             '/' => {
                 if bytes.get(i + 1) == Some(&b'/') {
-                    tokens.push(Token { kind: TokenKind::DoubleSlash, position: start });
+                    tokens.push(Token {
+                        kind: TokenKind::DoubleSlash,
+                        position: start,
+                    });
                     i += 2;
                 } else {
-                    tokens.push(Token { kind: TokenKind::Slash, position: start });
+                    tokens.push(Token {
+                        kind: TokenKind::Slash,
+                        position: start,
+                    });
                     i += 1;
                 }
             }
             '<' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    tokens.push(Token { kind: TokenKind::Cmp(CmpOp::Le), position: start });
+                    tokens.push(Token {
+                        kind: TokenKind::Cmp(CmpOp::Le),
+                        position: start,
+                    });
                     i += 2;
                 } else {
-                    tokens.push(Token { kind: TokenKind::Cmp(CmpOp::Lt), position: start });
+                    tokens.push(Token {
+                        kind: TokenKind::Cmp(CmpOp::Lt),
+                        position: start,
+                    });
                     i += 1;
                 }
             }
             '>' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    tokens.push(Token { kind: TokenKind::Cmp(CmpOp::Ge), position: start });
+                    tokens.push(Token {
+                        kind: TokenKind::Cmp(CmpOp::Ge),
+                        position: start,
+                    });
                     i += 2;
                 } else {
-                    tokens.push(Token { kind: TokenKind::Cmp(CmpOp::Gt), position: start });
+                    tokens.push(Token {
+                        kind: TokenKind::Cmp(CmpOp::Gt),
+                        position: start,
+                    });
                     i += 1;
                 }
             }
             '=' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    tokens.push(Token { kind: TokenKind::Cmp(CmpOp::Eq), position: start });
+                    tokens.push(Token {
+                        kind: TokenKind::Cmp(CmpOp::Eq),
+                        position: start,
+                    });
                     i += 2;
                 } else {
                     return Err(ExprError::Lex {
@@ -98,7 +149,10 @@ pub fn tokenize(source: &str) -> ExprResult<Vec<Token>> {
             }
             '!' => {
                 if bytes.get(i + 1) == Some(&b'=') {
-                    tokens.push(Token { kind: TokenKind::Cmp(CmpOp::Ne), position: start });
+                    tokens.push(Token {
+                        kind: TokenKind::Cmp(CmpOp::Ne),
+                        position: start,
+                    });
                     i += 2;
                 } else {
                     return Err(ExprError::Lex {
@@ -159,7 +213,10 @@ pub fn tokenize(source: &str) -> ExprResult<Vec<Token>> {
                         position: start,
                     })?)
                 };
-                tokens.push(Token { kind, position: start });
+                tokens.push(Token {
+                    kind,
+                    position: start,
+                });
                 i = j;
             }
             c if c.is_ascii_alphabetic() || c == '_' => {
@@ -182,7 +239,10 @@ pub fn tokenize(source: &str) -> ExprResult<Vec<Token>> {
                     "False" => TokenKind::False,
                     _ => TokenKind::Ident(word.to_string()),
                 };
-                tokens.push(Token { kind, position: start });
+                tokens.push(Token {
+                    kind,
+                    position: start,
+                });
                 i = j;
             }
             other => {

@@ -70,7 +70,11 @@ impl Parser {
             Ok(())
         } else {
             Err(ExprError::Parse {
-                message: format!("expected {}, found {}", kind.describe(), self.peek().describe()),
+                message: format!(
+                    "expected {}, found {}",
+                    kind.describe(),
+                    self.peek().describe()
+                ),
                 position: self.position(),
             })
         }
@@ -126,7 +130,10 @@ impl Parser {
         // Membership test?
         if matches!(self.peek(), TokenKind::In)
             || (matches!(self.peek(), TokenKind::Not)
-                && matches!(self.tokens.get(self.pos + 1).map(|t| &t.kind), Some(TokenKind::In)))
+                && matches!(
+                    self.tokens.get(self.pos + 1).map(|t| &t.kind),
+                    Some(TokenKind::In)
+                ))
         {
             let negated = self.eat(&TokenKind::Not);
             self.expect(&TokenKind::In)?;
@@ -160,7 +167,10 @@ impl Parser {
             TokenKind::LParen => (TokenKind::LParen, TokenKind::RParen),
             other => {
                 return Err(ExprError::Parse {
-                    message: format!("expected a list or tuple after `in`, found {}", other.describe()),
+                    message: format!(
+                        "expected a list or tuple after `in`, found {}",
+                        other.describe()
+                    ),
                     position: self.position(),
                 })
             }
@@ -377,9 +387,18 @@ mod tests {
     fn conditional_style_constraint() {
         // typical Kernel Tuner restriction: only applies when a switch is on
         let src = "sh_power == 0 or tile_x % 2 == 0";
-        assert_eq!(eval(src, &[("sh_power", 0), ("tile_x", 3)]), Value::Bool(true));
-        assert_eq!(eval(src, &[("sh_power", 1), ("tile_x", 3)]), Value::Bool(false));
-        assert_eq!(eval(src, &[("sh_power", 1), ("tile_x", 4)]), Value::Bool(true));
+        assert_eq!(
+            eval(src, &[("sh_power", 0), ("tile_x", 3)]),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            eval(src, &[("sh_power", 1), ("tile_x", 3)]),
+            Value::Bool(false)
+        );
+        assert_eq!(
+            eval(src, &[("sh_power", 1), ("tile_x", 4)]),
+            Value::Bool(true)
+        );
     }
 
     #[test]

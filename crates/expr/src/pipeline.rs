@@ -147,9 +147,8 @@ mod tests {
 
     #[test]
     fn figure1_pipeline_produces_four_specific_constraints() {
-        let r =
-            parse_restriction("2 <= block_size_y <= 32 <= block_size_x * block_size_y <= 1024")
-                .unwrap();
+        let r = parse_restriction("2 <= block_size_y <= 32 <= block_size_x * block_size_y <= 1024")
+            .unwrap();
         assert_eq!(r.constraints.len(), 4);
         assert_eq!(r.specific_count(), 4);
         let kinds: Vec<&str> = r.constraints.iter().map(|c| c.constraint.kind()).collect();
@@ -209,7 +208,10 @@ mod tests {
         let r = parse_restriction_generic(src).unwrap();
         assert_eq!(r.constraints.len(), 1);
         assert_eq!(r.specific_count(), 0);
-        assert_eq!(r.constraints[0].scope, vec!["y".to_string(), "x".to_string()]);
+        assert_eq!(
+            r.constraints[0].scope,
+            vec!["y".to_string(), "x".to_string()]
+        );
     }
 
     #[test]

@@ -65,28 +65,47 @@ fn classify(expr: &Expr) -> Shape {
                 Some(n) => Shape::Const(n),
                 None => Shape::Other,
             },
-            Shape::Product { coeff, vars } => Shape::Product { coeff: -coeff, vars },
+            Shape::Product { coeff, vars } => Shape::Product {
+                coeff: -coeff,
+                vars,
+            },
             Shape::Sum { terms, offset } => Shape::Sum {
                 terms: terms.into_iter().map(|(v, c)| (v, -c)).collect(),
                 offset: -offset,
             },
             Shape::Other => Shape::Other,
         },
-        Expr::Binary { op: BinOp::Mul, lhs, rhs } => {
+        Expr::Binary {
+            op: BinOp::Mul,
+            lhs,
+            rhs,
+        } => {
             let (a, b) = (classify(lhs), classify(rhs));
             match (a, b) {
                 (Shape::Const(c), Shape::Product { coeff, vars })
                 | (Shape::Product { coeff, vars }, Shape::Const(c)) => match c.as_f64() {
-                    Some(f) => Shape::Product { coeff: coeff * f, vars },
+                    Some(f) => Shape::Product {
+                        coeff: coeff * f,
+                        vars,
+                    },
                     None => Shape::Other,
                 },
                 (
-                    Shape::Product { coeff: c1, vars: v1 },
-                    Shape::Product { coeff: c2, vars: v2 },
+                    Shape::Product {
+                        coeff: c1,
+                        vars: v1,
+                    },
+                    Shape::Product {
+                        coeff: c2,
+                        vars: v2,
+                    },
                 ) => {
                     let mut vars = v1;
                     vars.extend(v2);
-                    Shape::Product { coeff: c1 * c2, vars }
+                    Shape::Product {
+                        coeff: c1 * c2,
+                        vars,
+                    }
                 }
                 (Shape::Const(a), Shape::Const(b)) => match (a.as_f64(), b.as_f64()) {
                     (Some(x), Some(y)) => Shape::Const(Value::Float(x * y)),
@@ -128,9 +147,10 @@ fn classify(expr: &Expr) -> Shape {
 fn as_sum(shape: Shape) -> Option<(Vec<(String, f64)>, f64)> {
     match shape {
         Shape::Const(v) => v.as_f64().map(|f| (Vec::new(), f)),
-        Shape::Product { coeff, vars } if vars.len() == 1 => {
-            Some((vec![(vars.into_iter().next().expect("one var"), coeff)], 0.0))
-        }
+        Shape::Product { coeff, vars } if vars.len() == 1 => Some((
+            vec![(vars.into_iter().next().expect("one var"), coeff)],
+            0.0,
+        )),
         Shape::Sum { terms, offset } => Some((terms, offset)),
         _ => None,
     }
@@ -157,7 +177,11 @@ pub fn recognize(expr: &Expr) -> Option<RecognizedConstraint> {
             let (op, rhs) = (&rest[0].0, &rest[0].1);
             recognize_comparison(first, *op, rhs)
         }
-        Expr::In { value, set, negated } => {
+        Expr::In {
+            value,
+            set,
+            negated,
+        } => {
             let name = match value.as_ref() {
                 Expr::Var(n) => n.clone(),
                 _ => return None,
@@ -207,8 +231,14 @@ fn recognize_comparison(lhs: &Expr, op: CmpOp, rhs: &Expr) -> Option<RecognizedC
         (_, Shape::Const(_)) => build(left.clone(), op, constant_of(&right)?),
         // variable-to-variable comparison
         (
-            Shape::Product { coeff: c1, vars: v1 },
-            Shape::Product { coeff: c2, vars: v2 },
+            Shape::Product {
+                coeff: c1,
+                vars: v1,
+            },
+            Shape::Product {
+                coeff: c2,
+                vars: v2,
+            },
         ) if *c1 == 1.0 && *c2 == 1.0 && v1.len() == 1 && v2.len() == 1 => {
             Some(RecognizedConstraint {
                 constraint: Arc::new(PairCompare::new(op)),

@@ -78,27 +78,27 @@ impl Program {
                 Op::Const(v) => stack.push(v.clone()),
                 Op::Load(i) => stack.push(values[*i].clone()),
                 Op::Binary(op) => {
-                    let b = stack.pop().ok_or_else(|| stack_underflow())?;
-                    let a = stack.pop().ok_or_else(|| stack_underflow())?;
+                    let b = stack.pop().ok_or_else(stack_underflow)?;
+                    let a = stack.pop().ok_or_else(stack_underflow)?;
                     stack.push(op.apply(&a, &b)?);
                 }
                 Op::Compare(op) => {
-                    let b = stack.pop().ok_or_else(|| stack_underflow())?;
-                    let a = stack.pop().ok_or_else(|| stack_underflow())?;
+                    let b = stack.pop().ok_or_else(stack_underflow)?;
+                    let a = stack.pop().ok_or_else(stack_underflow)?;
                     stack.push(Value::Bool(op.apply(&a, &b)));
                 }
                 Op::Neg => {
-                    let a = stack.pop().ok_or_else(|| stack_underflow())?;
+                    let a = stack.pop().ok_or_else(stack_underflow)?;
                     stack.push(a.neg().ok_or_else(|| {
                         ExprError::Type(format!("cannot negate {}", a.type_name()))
                     })?);
                 }
                 Op::Not => {
-                    let a = stack.pop().ok_or_else(|| stack_underflow())?;
+                    let a = stack.pop().ok_or_else(stack_underflow)?;
                     stack.push(Value::Bool(!a.truthy()));
                 }
                 Op::In { set, negated } => {
-                    let a = stack.pop().ok_or_else(|| stack_underflow())?;
+                    let a = stack.pop().ok_or_else(stack_underflow)?;
                     let found = set.iter().any(|v| v.py_eq(&a));
                     stack.push(Value::Bool(found != *negated));
                 }
@@ -110,7 +110,7 @@ impl Program {
                     stack.push(apply_builtin(*func, &args)?);
                 }
                 Op::JumpIfFalseOrPop(target) => {
-                    let top = stack.last().ok_or_else(|| stack_underflow())?;
+                    let top = stack.last().ok_or_else(stack_underflow)?;
                     if !top.truthy() {
                         pc = *target;
                         continue;
@@ -118,7 +118,7 @@ impl Program {
                     stack.pop();
                 }
                 Op::JumpIfTrueOrPop(target) => {
-                    let top = stack.last().ok_or_else(|| stack_underflow())?;
+                    let top = stack.last().ok_or_else(stack_underflow)?;
                     if top.truthy() {
                         pc = *target;
                         continue;
@@ -165,7 +165,11 @@ mod tests {
     fn comparison_program() {
         // x <= 10
         let p = Program::new(
-            vec![Op::Load(0), Op::Const(Value::Int(10)), Op::Compare(CmpOp::Le)],
+            vec![
+                Op::Load(0),
+                Op::Const(Value::Int(10)),
+                Op::Compare(CmpOp::Le),
+            ],
             1,
         );
         assert_eq!(p.eval(&int_values([5])).unwrap(), Value::Bool(true));
@@ -197,20 +201,33 @@ mod tests {
     #[test]
     fn membership_and_builtin() {
         let p = Program::new(
-            vec![Op::Load(0), Op::In { set: int_values([1, 2, 4]), negated: false }],
+            vec![
+                Op::Load(0),
+                Op::In {
+                    set: int_values([1, 2, 4]),
+                    negated: false,
+                },
+            ],
             1,
         );
         assert_eq!(p.eval(&int_values([4])).unwrap(), Value::Bool(true));
         assert_eq!(p.eval(&int_values([3])).unwrap(), Value::Bool(false));
 
-        let p = Program::new(vec![Op::Load(0), Op::Load(1), Op::Call(BuiltinFn::Max, 2)], 2);
+        let p = Program::new(
+            vec![Op::Load(0), Op::Load(1), Op::Call(BuiltinFn::Max, 2)],
+            2,
+        );
         assert_eq!(p.eval(&int_values([3, 7])).unwrap(), Value::Int(7));
     }
 
     #[test]
     fn division_by_zero_is_an_error() {
         let p = Program::new(
-            vec![Op::Const(Value::Int(1)), Op::Const(Value::Int(0)), Op::Binary(BinOp::Div)],
+            vec![
+                Op::Const(Value::Int(1)),
+                Op::Const(Value::Int(0)),
+                Op::Binary(BinOp::Div),
+            ],
             0,
         );
         assert!(p.eval(&[]).is_err());

@@ -12,12 +12,12 @@ use std::time::{Duration, Instant};
 use at_cot::{build_chain_from_problem, enumerate_chain};
 use at_csp::{
     BlockingClauseSolver, BruteForceSolver, CspError, CspResult, OptimizedSolver,
-    OptimizedSolverConfig, OriginalBacktrackingSolver, ParallelSolver, SolveStats, SolutionSet,
+    OptimizedSolverConfig, OriginalBacktrackingSolver, ParallelSolver, SolutionSet, SolveStats,
     Solver,
 };
 
-use crate::spec::{RestrictionLowering, SearchSpaceSpec};
 use crate::space::SearchSpace;
+use crate::spec::{RestrictionLowering, SearchSpaceSpec};
 
 /// The construction method, matching the series of the paper's evaluation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -115,7 +115,10 @@ pub struct BuildReport {
 }
 
 /// Construct the search space for `spec` with the given method.
-pub fn build_search_space(spec: &SearchSpaceSpec, method: Method) -> CspResult<(SearchSpace, BuildReport)> {
+pub fn build_search_space(
+    spec: &SearchSpaceSpec,
+    method: Method,
+) -> CspResult<(SearchSpace, BuildReport)> {
     build_search_space_with(spec, method, BuildOptions::default())
 }
 
@@ -126,7 +129,9 @@ pub fn build_search_space_with(
     options: BuildOptions,
 ) -> CspResult<(SearchSpace, BuildReport)> {
     let start = Instant::now();
-    let lowering = options.lowering.unwrap_or_else(|| method.default_lowering());
+    let lowering = options
+        .lowering
+        .unwrap_or_else(|| method.default_lowering());
     let problem = spec.to_problem(lowering)?;
     let num_constraints = problem.num_constraints();
 
@@ -205,7 +210,7 @@ mod tests {
     fn all_methods_produce_the_same_space() {
         let spec = hotspot_like_spec();
         let (reference, ref_report) = build_search_space(&spec, Method::BruteForce).unwrap();
-        assert!(reference.len() > 0);
+        assert!(!reference.is_empty());
         assert_eq!(ref_report.num_valid, reference.len());
         for method in Method::all() {
             let (space, report) = build_search_space(&spec, method).unwrap();

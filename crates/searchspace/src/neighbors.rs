@@ -227,7 +227,10 @@ mod tests {
             for i in 0..s.len() {
                 for &j in &neighbors(&s, i, method, Some(&idx)) {
                     let back = neighbors(&s, j, method, Some(&idx));
-                    assert!(back.contains(&i), "{method:?} asymmetric between {i} and {j}");
+                    assert!(
+                        back.contains(&i),
+                        "{method:?} asymmetric between {i} and {j}"
+                    );
                 }
             }
         }

@@ -106,7 +106,11 @@ pub fn to_json_cache(space: &SearchSpace) -> String {
             format!(
                 "    {}: [{}]",
                 json_string(p.name()),
-                p.values().iter().map(json_value).collect::<Vec<_>>().join(", ")
+                p.values()
+                    .iter()
+                    .map(json_value)
+                    .collect::<Vec<_>>()
+                    .join(", ")
             )
         })
         .collect();

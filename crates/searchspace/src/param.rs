@@ -45,7 +45,7 @@ impl TunableParameter {
 
     /// Convenience: a string-valued parameter.
     pub fn strings(name: impl Into<String>, values: &[&str]) -> Self {
-        Self::new(name, values.iter().map(|s| Value::str(s)).collect())
+        Self::new(name, values.iter().map(Value::str).collect())
     }
 
     /// The parameter name.

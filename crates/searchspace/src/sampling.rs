@@ -50,6 +50,7 @@ pub fn latin_hypercube_sample<R: Rng>(
     // Normalized target coordinates per sample.
     let param_sizes: Vec<usize> = space.params().iter().map(|p| p.len().max(1)).collect();
     let mut picked = Vec::with_capacity(count);
+    #[allow(clippy::needless_range_loop)] // `s` selects one stratum *per dimension*
     for s in 0..count {
         let target: Vec<f64> = (0..dims)
             .map(|d| {
@@ -174,11 +175,8 @@ mod tests {
 
     #[test]
     fn empty_space_and_zero_count() {
-        let s = SearchSpace::from_configs(
-            "empty",
-            vec![TunableParameter::ints("x", [1])],
-            Vec::new(),
-        );
+        let s =
+            SearchSpace::from_configs("empty", vec![TunableParameter::ints("x", [1])], Vec::new());
         let mut rng = ChaCha8Rng::seed_from_u64(5);
         assert!(latin_hypercube_sample(&s, 5, &mut rng).is_empty());
         let s2 = grid_space(3);

@@ -79,7 +79,11 @@ impl SpaceCharacteristics {
             num_params: spec.num_params(),
             num_constraints,
             avg_params_per_constraint,
-            min_values_per_param: if spec.params.is_empty() { 0 } else { min_values },
+            min_values_per_param: if spec.params.is_empty() {
+                0
+            } else {
+                min_values
+            },
             max_values_per_param: max_values,
             percent_valid,
             avg_constraint_evaluations: expected_brute_force_evaluations(
@@ -111,7 +115,15 @@ impl SpaceCharacteristics {
     pub fn table_header() -> String {
         format!(
             "{:<16} {:>14} {:>12} {:>6} {:>6} {:>8} {:>11} {:>8} {:>16}",
-            "Name", "Cartesian", "Valid", "Params", "Constr", "AvgVars", "Values", "%valid", "AvgEvals"
+            "Name",
+            "Cartesian",
+            "Valid",
+            "Params",
+            "Constr",
+            "AvgVars",
+            "Values",
+            "%valid",
+            "AvgEvals"
         )
     }
 }

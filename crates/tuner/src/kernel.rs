@@ -70,7 +70,13 @@ impl SyntheticKernel {
     }
 
     /// Create a model with explicit parameters.
-    pub fn new(base_ms: f64, amplitude: f64, noise: f64, seed: u64, param_sizes: Vec<usize>) -> Self {
+    pub fn new(
+        base_ms: f64,
+        amplitude: f64,
+        noise: f64,
+        seed: u64,
+        param_sizes: Vec<usize>,
+    ) -> Self {
         SyntheticKernel {
             base_ms,
             amplitude,

@@ -120,7 +120,11 @@ impl Strategy for DifferentialEvolution {
                     population[partners[1]].0,
                     population[partners[2]].0,
                 );
-                let target_indices = ctx.space().value_indices(population[i].0).expect("valid").to_vec();
+                let target_indices = ctx
+                    .space()
+                    .value_indices(population[i].0)
+                    .expect("valid")
+                    .to_vec();
                 let ai = ctx.space().value_indices(a).expect("valid").to_vec();
                 let bi = ctx.space().value_indices(b).expect("valid").to_vec();
                 let ci = ctx.space().value_indices(c).expect("valid").to_vec();
@@ -132,7 +136,11 @@ impl Strategy for DifferentialEvolution {
                     let mutant =
                         ai[d] as f64 + self.differential_weight * (bi[d] as f64 - ci[d] as f64);
                     let cross = ctx.rng().gen_bool(self.crossover_rate) || d == forced;
-                    trial[d] = if cross { mutant } else { target_indices[d] as f64 };
+                    trial[d] = if cross {
+                        mutant
+                    } else {
+                        target_indices[d] as f64
+                    };
                 }
 
                 let candidate = self.snap(ctx, &trial);
@@ -178,7 +186,9 @@ mod tests {
         for e in &run.evaluations {
             assert!(space.get(e.config_index).is_some());
         }
-        let initial_best = run.evaluations[..DifferentialEvolution::default().population_size.min(run.num_evaluations())]
+        let initial_best = run.evaluations[..DifferentialEvolution::default()
+            .population_size
+            .min(run.num_evaluations())]
             .iter()
             .map(|e| e.runtime_ms)
             .fold(f64::INFINITY, f64::min);

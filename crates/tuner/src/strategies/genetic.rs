@@ -95,7 +95,8 @@ impl Strategy for GeneticAlgorithm {
 
             // mutation: jump to a random valid Hamming neighbor
             if ctx.rng().gen_bool(self.mutation_rate) {
-                let neighbor_list = neighbors(ctx.space(), child, NeighborMethod::Hamming, Some(&index));
+                let neighbor_list =
+                    neighbors(ctx.space(), child, NeighborMethod::Hamming, Some(&index));
                 if !neighbor_list.is_empty() {
                     child = neighbor_list[ctx.rng().gen_range(0..neighbor_list.len())];
                 }
@@ -140,7 +141,14 @@ mod tests {
         let (space, _) = build_search_space(&spec, Method::Optimized).unwrap();
         let model = SyntheticKernel::for_space(&space, 31);
         let ga = GeneticAlgorithm::default();
-        let run = tune(&space, &model, &ga, Duration::from_secs(60), Duration::ZERO, 77);
+        let run = tune(
+            &space,
+            &model,
+            &ga,
+            Duration::from_secs(60),
+            Duration::ZERO,
+            77,
+        );
         let initial_avg: f64 = run.evaluations[..ga.population_size.min(run.num_evaluations())]
             .iter()
             .map(|e| e.runtime_ms)

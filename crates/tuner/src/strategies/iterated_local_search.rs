@@ -109,7 +109,9 @@ impl Strategy for IteratedLocalSearch {
                 None => return,
             };
             let accept = candidate.1 < incumbent.1
-                || ctx.rng().gen_bool(self.accept_worse_probability.clamp(0.0, 1.0));
+                || ctx
+                    .rng()
+                    .gen_bool(self.accept_worse_probability.clamp(0.0, 1.0));
             if accept {
                 incumbent = candidate;
             }

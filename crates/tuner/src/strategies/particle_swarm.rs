@@ -195,8 +195,11 @@ mod tests {
         let pso = ParticleSwarm::default();
         let run = tune(&s, &k, &pso, Duration::from_secs(60), Duration::ZERO, 3);
         let init = pso.swarm_size.min(run.num_evaluations());
-        let initial_avg: f64 =
-            run.evaluations[..init].iter().map(|e| e.runtime_ms).sum::<f64>() / init as f64;
+        let initial_avg: f64 = run.evaluations[..init]
+            .iter()
+            .map(|e| e.runtime_ms)
+            .sum::<f64>()
+            / init as f64;
         assert!(run.best_runtime_ms().unwrap() < initial_avg);
     }
 
@@ -204,13 +207,8 @@ mod tests {
     fn snap_returns_a_valid_index() {
         let s = space();
         let k = SyntheticKernel::for_space(&s, 1);
-        let mut ctx = crate::tuning::TuningContext::new(
-            &s,
-            &k,
-            Duration::from_secs(1),
-            Duration::ZERO,
-            1,
-        );
+        let mut ctx =
+            crate::tuning::TuningContext::new(&s, &k, Duration::from_secs(1), Duration::ZERO, 1);
         let pos = ParticleSwarm::random_position(&mut ctx);
         let idx = ParticleSwarm::snap(&ctx, &pos);
         assert!(idx < s.len());

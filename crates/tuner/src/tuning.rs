@@ -343,8 +343,22 @@ mod tests {
     fn same_seed_same_run() {
         let s = space();
         let k = SyntheticKernel::for_space(&s, 5);
-        let a = tune(&s, &k, &RandomSampling, Duration::from_millis(2000), Duration::ZERO, 9);
-        let b = tune(&s, &k, &RandomSampling, Duration::from_millis(2000), Duration::ZERO, 9);
+        let a = tune(
+            &s,
+            &k,
+            &RandomSampling,
+            Duration::from_millis(2000),
+            Duration::ZERO,
+            9,
+        );
+        let b = tune(
+            &s,
+            &k,
+            &RandomSampling,
+            Duration::from_millis(2000),
+            Duration::ZERO,
+            9,
+        );
         assert_eq!(a.evaluations, b.evaluations);
     }
 }

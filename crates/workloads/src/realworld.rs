@@ -78,18 +78,30 @@ pub fn expdist() -> Workload {
             "block_size_x",
             [1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024],
         ))
-        .with_param(TunableParameter::ints("block_size_y", [1, 2, 4, 8, 16, 32, 64, 128]))
+        .with_param(TunableParameter::ints(
+            "block_size_y",
+            [1, 2, 4, 8, 16, 32, 64, 128],
+        ))
         .with_param(TunableParameter::ints(
             "tile_size_x",
             (1..=8).collect::<Vec<_>>(),
         ))
-        .with_param(TunableParameter::ints("tile_size_y", [1, 2, 3, 4, 5, 6, 7, 8]))
+        .with_param(TunableParameter::ints(
+            "tile_size_y",
+            [1, 2, 3, 4, 5, 6, 7, 8],
+        ))
         .with_param(TunableParameter::ints(
             "num_blocks",
             (1..=8).map(|i| i * 64).collect::<Vec<_>>(),
         ))
-        .with_param(TunableParameter::ints("reduce_block_size", [32, 64, 128, 256, 512, 1024, 2048, 4096]))
-        .with_param(TunableParameter::ints("loop_unroll_factor_x", (0..=8).collect::<Vec<_>>()))
+        .with_param(TunableParameter::ints(
+            "reduce_block_size",
+            [32, 64, 128, 256, 512, 1024, 2048, 4096],
+        ))
+        .with_param(TunableParameter::ints(
+            "loop_unroll_factor_x",
+            (0..=8).collect::<Vec<_>>(),
+        ))
         .with_param(TunableParameter::ints("use_shared_mem", [0, 1, 2]))
         .with_param(TunableParameter::ints("loop_unroll_factor_y", [0]))
         .with_param(TunableParameter::ints("use_column", [0]))
@@ -121,8 +133,14 @@ pub fn hotspot() -> Workload {
         .with_param(TunableParameter::ints("block_size_y", [1, 2, 4, 8, 16, 32]))
         .with_param(TunableParameter::ints("work_per_thread_x", [1, 2, 3, 4, 5]))
         .with_param(TunableParameter::ints("work_per_thread_y", [1, 2, 3, 4, 5]))
-        .with_param(TunableParameter::ints("temporal_tiling_factor", (1..=10).collect::<Vec<_>>()))
-        .with_param(TunableParameter::ints("loop_unroll_factor_t", (1..=10).collect::<Vec<_>>()))
+        .with_param(TunableParameter::ints(
+            "temporal_tiling_factor",
+            (1..=10).collect::<Vec<_>>(),
+        ))
+        .with_param(TunableParameter::ints(
+            "loop_unroll_factor_t",
+            (1..=10).collect::<Vec<_>>(),
+        ))
         .with_param(TunableParameter::ints("sh_power", [0, 1]))
         .with_param(TunableParameter::ints("blocks_per_sm", [0, 1, 2, 3]))
         .with_param(TunableParameter::ints("max_tfactor", [10]))
@@ -421,7 +439,7 @@ mod tests {
     fn dedispersion_is_roughly_half_valid() {
         let w = dedispersion();
         let (space, report) = build_search_space(&w.spec, Method::Optimized).unwrap();
-        assert!(space.len() > 0);
+        assert!(!space.is_empty());
         let fraction = space.len() as f64 / report.cartesian_size as f64;
         assert!(
             (0.25..=0.75).contains(&fraction),
@@ -451,7 +469,7 @@ mod tests {
         for size in [2u32, 4] {
             let w = atf_prl(size);
             let (space, report) = build_search_space(&w.spec, Method::Optimized).unwrap();
-            assert!(space.len() > 0, "PRL {size}x{size} empty");
+            assert!(!space.is_empty(), "PRL {size}x{size} empty");
             let fraction = space.len() as f64 / report.cartesian_size as f64;
             assert!(
                 fraction < 0.2,

@@ -27,9 +27,7 @@ pub struct SyntheticConfig {
 }
 
 /// The target Cartesian sizes used by the paper.
-pub const TARGET_SIZES: [u64; 7] = [
-    10_000, 20_000, 50_000, 100_000, 200_000, 500_000, 1_000_000,
-];
+pub const TARGET_SIZES: [u64; 7] = [10_000, 20_000, 50_000, 100_000, 200_000, 500_000, 1_000_000];
 
 /// Generate the synthetic space specification for a configuration.
 pub fn generate(config: SyntheticConfig) -> SearchSpaceSpec {
@@ -77,7 +75,7 @@ fn make_constraint<R: Rng>(rng: &mut R, sizes: &[usize], index: usize) -> Restri
     let d = sizes.len();
     let mut dims: Vec<usize> = (0..d).collect();
     dims.shuffle(rng);
-    let arity = rng.gen_range(2..=d.min(3).max(2));
+    let arity = rng.gen_range(2..=d.clamp(2, 3));
     let chosen: Vec<usize> = dims.into_iter().take(arity).collect();
     let a = chosen[0];
     let b = chosen[1 % chosen.len()];
@@ -85,7 +83,7 @@ fn make_constraint<R: Rng>(rng: &mut R, sizes: &[usize], index: usize) -> Restri
     let max_b = sizes[b] as f64;
 
     // rotate through templates so every suite exercises all of them
-    match (index + rng.gen_range(0..6)) % 6 {
+    match (index + rng.gen_range(0..6usize)) % 6 {
         0 => {
             // bounded product, keeps between ~30% and ~90% of the plane
             let frac = rng.gen_range(0.3..0.9);
@@ -135,7 +133,7 @@ pub fn synthetic_suite(count: usize, seed: u64) -> Vec<SyntheticConfig> {
                     target_cartesian_size: size,
                     num_constraints,
                     seed: seed
-                        ^ (size as u64)
+                        ^ size
                             .wrapping_mul(31)
                             .wrapping_add(dimensions as u64 * 7 + num_constraints as u64),
                 });
@@ -169,7 +167,12 @@ mod tests {
 
     #[test]
     fn generated_space_matches_target_size_roughly() {
-        for (dims, size) in [(2usize, 10_000u64), (3, 50_000), (4, 100_000), (5, 1_000_000)] {
+        for (dims, size) in [
+            (2usize, 10_000u64),
+            (3, 50_000),
+            (4, 100_000),
+            (5, 1_000_000),
+        ] {
             let spec = generate(SyntheticConfig {
                 dimensions: dims,
                 target_cartesian_size: size,
@@ -245,7 +248,7 @@ mod tests {
             seed: 7,
         });
         let (space, report) = build_search_space(&spec, Method::Optimized).unwrap();
-        assert!(space.len() > 0, "space should not be empty");
+        assert!(!space.is_empty(), "space should not be empty");
         assert!(
             (space.len() as u128) < report.cartesian_size,
             "constraints should remove something"

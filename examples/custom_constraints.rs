@@ -16,7 +16,10 @@ fn main() {
     let spec = SearchSpaceSpec::new("custom-constraints")
         .with_param(TunableParameter::pow2("tile_x", 7))
         .with_param(TunableParameter::pow2("tile_y", 7))
-        .with_param(TunableParameter::strings("layout", &["row", "col", "tiled"]))
+        .with_param(TunableParameter::strings(
+            "layout",
+            &["row", "col", "tiled"],
+        ))
         // 1) a Python-style expression string, parsed and decomposed at runtime
         .with_expr("16 <= tile_x * tile_y <= 1024")
         // 2) a Rust closure over named parameters (the lambda-style API)
@@ -26,7 +29,10 @@ fn main() {
             |v| v[0].as_str() != Some("tiled") || v[1] == v[2],
         ))
         // 3) a pre-built specific constraint
-        .with_restriction(Restriction::specific(&["tile_x", "tile_y"], MaxSum::new(160.0)));
+        .with_restriction(Restriction::specific(
+            &["tile_x", "tile_y"],
+            MaxSum::new(160.0),
+        ));
 
     let (space, report) = build_search_space(&spec, Method::Optimized).expect("construction");
     println!(

@@ -12,9 +12,13 @@ use autotuning_searchspaces::workloads::{hotspot, performance_model_for};
 
 fn main() {
     let workload = hotspot();
-    println!("constructing the Hotspot search space ({} parameters, {} restrictions)…",
-        workload.spec.num_params(), workload.spec.num_restrictions());
-    let (space, report) = build_search_space(&workload.spec, Method::Optimized).expect("construction");
+    println!(
+        "constructing the Hotspot search space ({} parameters, {} restrictions)…",
+        workload.spec.num_params(),
+        workload.spec.num_restrictions()
+    );
+    let (space, report) =
+        build_search_space(&workload.spec, Method::Optimized).expect("construction");
     println!(
         "  {} valid configurations out of a Cartesian size of {} ({:?})",
         space.len(),
@@ -30,7 +34,10 @@ fn main() {
         ("random sampling", Box::new(RandomSampling)),
         ("genetic algorithm", Box::new(GeneticAlgorithm::default())),
         ("hill climbing", Box::new(HillClimbing::default())),
-        ("simulated annealing", Box::new(SimulatedAnnealing::default())),
+        (
+            "simulated annealing",
+            Box::new(SimulatedAnnealing::default()),
+        ),
     ];
 
     println!("\ntuning with a virtual budget of {budget:?} (construction charged up front):");

@@ -29,6 +29,29 @@
 //! let (space, report) = build_search_space(&spec, Method::Optimized).unwrap();
 //! println!("{} valid configurations in {:?}", space.len(), report.duration);
 //! ```
+//!
+//! ## Construction methods are interchangeable
+//!
+//! Every [`searchspace::Method`] resolves a [`searchspace::SearchSpaceSpec`]
+//! to the same set of valid configurations — only construction time differs
+//! (the paper's central comparison):
+//!
+//! ```
+//! use autotuning_searchspaces::prelude::*;
+//!
+//! let spec = SearchSpaceSpec::new("methods-agree")
+//!     .with_param(TunableParameter::ints("x", 1..=8))
+//!     .with_param(TunableParameter::ints("y", 1..=8))
+//!     .with_expr("x * y <= 16")
+//!     .with_expr("x + y >= 4");
+//!
+//! let (optimized, _) = build_search_space(&spec, Method::Optimized).unwrap();
+//! let (brute, _) = build_search_space(&spec, Method::BruteForce).unwrap();
+//! let (chain, _) = build_search_space(&spec, Method::ChainOfTrees).unwrap();
+//! assert_eq!(optimized.len(), brute.len());
+//! assert_eq!(optimized.len(), chain.len());
+//! assert!(optimized.len() > 0);
+//! ```
 
 pub use at_cot as cot;
 pub use at_csp as csp;
@@ -38,6 +61,26 @@ pub use at_tuner as tuner;
 pub use at_workloads as workloads;
 
 /// The most commonly used items across the workspace.
+///
+/// Besides the search-space layer shown in the crate example, the prelude
+/// exposes the underlying CSP machinery, so the all-solutions solvers can be
+/// driven directly (Section 4.3 of the paper):
+///
+/// ```
+/// use autotuning_searchspaces::prelude::*;
+///
+/// let mut problem = Problem::new();
+/// problem.add_variable("x", int_values([1, 2, 3, 4, 5, 6])).unwrap();
+/// problem.add_variable("y", int_values([1, 2, 3, 4, 5, 6])).unwrap();
+/// problem.add_constraint(MaxProduct::new(12.0), &["x", "y"]).unwrap();
+///
+/// let optimized = OptimizedSolver::new().solve(&problem).unwrap();
+/// let brute = BruteForceSolver::new().solve(&problem).unwrap();
+/// assert!(optimized.solutions.same_solutions(&brute.solutions));
+/// for row in optimized.solutions.iter() {
+///     assert!(row[0].as_i64().unwrap() * row[1].as_i64().unwrap() <= 12);
+/// }
+/// ```
 pub mod prelude {
     pub use at_csp::prelude::*;
     pub use at_searchspace::prelude::*;

@@ -33,8 +33,15 @@ fn expression() -> impl Strategy<Value = String> {
         let (lo, hi) = (lo.min(hi), lo.max(hi));
         format!("{lo} <= x * y <= {hi}")
     });
-    let membership = proptest::collection::vec(1i64..16, 1..4)
-        .prop_map(|vals| format!("x in [{}]", vals.iter().map(|v| v.to_string()).collect::<Vec<_>>().join(", ")));
+    let membership = proptest::collection::vec(1i64..16, 1..4).prop_map(|vals| {
+        format!(
+            "x in [{}]",
+            vals.iter()
+                .map(|v| v.to_string())
+                .collect::<Vec<_>>()
+                .join(", ")
+        )
+    });
     let clause = prop_oneof![comparison, chained, membership];
     proptest::collection::vec(clause, 1..3).prop_map(|clauses| clauses.join(" and "))
 }

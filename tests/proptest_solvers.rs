@@ -4,9 +4,9 @@
 
 use proptest::prelude::*;
 
+use autotuning_searchspaces::cot::{build_chain_from_problem, enumerate_chain};
 use autotuning_searchspaces::csp::prelude::*;
 use autotuning_searchspaces::csp::value::int_values;
-use autotuning_searchspaces::cot::{build_chain_from_problem, enumerate_chain};
 
 /// A randomly generated small problem description.
 #[derive(Debug, Clone)]
@@ -22,8 +22,7 @@ fn random_problem() -> impl Strategy<Value = RandomProblem> {
     let domains = proptest::collection::vec(domain, 2..5);
     domains.prop_flat_map(|domains| {
         let n = domains.len();
-        let max_products =
-            proptest::collection::vec((0..n, 0..n, 1i64..200), 0..3).prop_map(|v| v);
+        let max_products = proptest::collection::vec((0..n, 0..n, 1i64..200), 0..3).prop_map(|v| v);
         let min_sums = proptest::collection::vec((0..n, 0..n, 1i64..30), 0..2);
         let parity = proptest::option::of((0..n, 2i64..4));
         (Just(domains), max_products, min_sums, parity).prop_map(
@@ -49,12 +48,14 @@ fn build(problem: &RandomProblem) -> Problem {
     for &(a, b, limit) in &problem.max_products {
         let names = [format!("v{a}"), format!("v{b}")];
         let scope: Vec<&str> = names.iter().map(|s| s.as_str()).collect();
-        p.add_constraint(MaxProduct::new(limit as f64), &scope).unwrap();
+        p.add_constraint(MaxProduct::new(limit as f64), &scope)
+            .unwrap();
     }
     for &(a, b, minimum) in &problem.min_sums {
         let names = [format!("v{a}"), format!("v{b}")];
         let scope: Vec<&str> = names.iter().map(|s| s.as_str()).collect();
-        p.add_constraint(MinSum::new(minimum as f64), &scope).unwrap();
+        p.add_constraint(MinSum::new(minimum as f64), &scope)
+            .unwrap();
     }
     if let Some((var, modulus)) = problem.parity {
         let name = format!("v{var}");

@@ -65,9 +65,30 @@ fn all_strategies_only_evaluate_valid_configurations_of_gemm() {
 fn tuning_runs_are_reproducible_per_seed() {
     let (space, _) = build_search_space(&dedispersion().spec, Method::Optimized).unwrap();
     let model = performance_model_for("Dedispersion", &space, 1);
-    let a = tune(&space, &model, &RandomSampling, Duration::from_secs(10), Duration::ZERO, 42);
-    let b = tune(&space, &model, &RandomSampling, Duration::from_secs(10), Duration::ZERO, 42);
-    let c = tune(&space, &model, &RandomSampling, Duration::from_secs(10), Duration::ZERO, 43);
+    let a = tune(
+        &space,
+        &model,
+        &RandomSampling,
+        Duration::from_secs(10),
+        Duration::ZERO,
+        42,
+    );
+    let b = tune(
+        &space,
+        &model,
+        &RandomSampling,
+        Duration::from_secs(10),
+        Duration::ZERO,
+        42,
+    );
+    let c = tune(
+        &space,
+        &model,
+        &RandomSampling,
+        Duration::from_secs(10),
+        Duration::ZERO,
+        43,
+    );
     assert_eq!(a.evaluations, b.evaluations);
     assert_ne!(
         a.evaluations.first().map(|e| e.config_index),

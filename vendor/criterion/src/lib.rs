@@ -1,0 +1,205 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! A minimal wall-clock benchmark harness exposing the Criterion API shape
+//! the workspace's benches use: `criterion_group!` / `criterion_main!`,
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`] /
+//! [`BenchmarkGroup::bench_with_input`], [`BenchmarkId`] and
+//! [`Bencher::iter`]. Each benchmark runs one warmup iteration plus
+//! `sample_size` timed samples and reports min / median / mean to stdout —
+//! no statistical analysis, plots or HTML reports. See `vendor/README.md`
+//! for the shim policy.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// The top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size: 10,
+        }
+    }
+
+    /// Run a standalone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&id.to_string(), 10, &mut f);
+        self
+    }
+}
+
+/// A named set of benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark (Criterion's default is 100;
+    /// the shim defaults to 10 to keep `cargo bench` quick).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Benchmark a closure under `id` within this group.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(&format!("{}/{}", self.name, id), self.sample_size, &mut f);
+        self
+    }
+
+    /// Benchmark a closure that receives a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_benchmark(
+            &format!("{}/{}", self.name, id),
+            self.sample_size,
+            &mut |b| f(b, input),
+        );
+        self
+    }
+
+    /// End the group (formatting separator only, in this shim).
+    pub fn finish(self) {
+        println!();
+    }
+}
+
+/// A `function/parameter` benchmark identifier.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// Identifier for `function` measured at `parameter`.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            function: function.into(),
+            parameter: parameter.to_string(),
+        }
+    }
+
+    /// Identifier distinguished by parameter only.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            function: String::new(),
+            parameter: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.function.is_empty() {
+            f.write_str(&self.parameter)
+        } else {
+            write!(f, "{}/{}", self.function, self.parameter)
+        }
+    }
+}
+
+/// Passed to the benchmark closure; [`Bencher::iter`] times the routine.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Time one sample of `routine`. The return value is black-boxed so the
+    /// optimizer cannot delete the work.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        black_box(routine());
+        self.samples.push(start.elapsed());
+    }
+}
+
+/// One warmup call plus `sample_size` timed samples; prints a summary line.
+fn run_benchmark<F: FnMut(&mut Bencher)>(label: &str, sample_size: usize, f: &mut F) {
+    let mut warmup = Bencher::default();
+    f(&mut warmup);
+    let mut bencher = Bencher::default();
+    for _ in 0..sample_size {
+        f(&mut bencher);
+    }
+    let mut samples = bencher.samples;
+    if samples.is_empty() {
+        // The closure never called `iter`; count whole-closure time instead.
+        samples = warmup.samples;
+    }
+    samples.sort_unstable();
+    let total: Duration = samples.iter().sum();
+    let mean = total / samples.len().max(1) as u32;
+    let median = samples[samples.len() / 2];
+    let min = samples[0];
+    println!("{label:<60} min {min:>12.3?}   median {median:>12.3?}   mean {mean:>12.3?}");
+}
+
+/// Bundle benchmark functions into a runnable group, Criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generate `fn main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_and_ids_run_and_record() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3);
+        let mut runs = 0u32;
+        group.bench_function("counting", |b| b.iter(|| std::hint::black_box(1 + 1)));
+        group.bench_with_input(BenchmarkId::new("with_input", 7), &7u64, |b, &n| {
+            runs += 1;
+            b.iter(|| n * 2)
+        });
+        group.finish();
+        // warmup + 3 samples
+        assert_eq!(runs, 4);
+        assert_eq!(BenchmarkId::new("f", 10).to_string(), "f/10");
+        assert_eq!(BenchmarkId::from_parameter(10).to_string(), "10");
+    }
+}

@@ -1,0 +1,29 @@
+//! Option strategies (`proptest::option::of`).
+
+use rand::Rng;
+
+use crate::{Strategy, TestRng};
+
+/// A strategy producing `Some` values from `inner` three quarters of the
+/// time, `None` otherwise (matching real proptest's default weighting).
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}
+
+/// The result of [`of`].
+#[derive(Debug, Clone)]
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+        if rng.gen_bool(0.75) {
+            Some(self.inner.generate(rng))
+        } else {
+            None
+        }
+    }
+}

@@ -1,0 +1,25 @@
+//! The random source behind generated cases.
+
+use rand_chacha::ChaCha8Rng;
+
+/// The RNG threaded through [`crate::Strategy::generate`].
+pub type TestRng = ChaCha8Rng;
+
+/// A deterministic per-test generator: seeded from the test's name (FNV-1a)
+/// so each property explores its own stream but reruns reproduce failures.
+/// Set `PROPTEST_SEED` to an integer to perturb all streams at once.
+pub fn rng_for_test(test_name: &str) -> TestRng {
+    use rand::SeedableRng;
+
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in test_name.bytes() {
+        hash ^= byte as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    if let Ok(seed) = std::env::var("PROPTEST_SEED") {
+        if let Ok(n) = seed.parse::<u64>() {
+            hash = hash.wrapping_add(n);
+        }
+    }
+    ChaCha8Rng::seed_from_u64(hash)
+}

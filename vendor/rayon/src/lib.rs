@@ -1,0 +1,131 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! Covers exactly the pattern the workspace uses —
+//! `slice.par_iter().map(f).collect::<Vec<_>>()` — with real data
+//! parallelism: the input slice is split into one contiguous chunk per
+//! available core and mapped on scoped threads, and the per-chunk outputs
+//! are concatenated in order, so results are index-stable exactly like
+//! rayon's. Only this API surface is provided; see `vendor/README.md`.
+
+use std::num::NonZeroUsize;
+
+/// The customary `use rayon::prelude::*;` import surface.
+pub mod prelude {
+    pub use crate::{IntoParallelRefIterator, ParIter, ParMap};
+}
+
+/// Number of worker threads to use (available parallelism, at least 1).
+fn num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Borrowing conversion into a parallel iterator, as implemented by slices.
+pub trait IntoParallelRefIterator<'a> {
+    /// The element type iterated over.
+    type Item: Sync + 'a;
+
+    /// A parallel iterator over references into `self`.
+    fn par_iter(&'a self) -> ParIter<'a, Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = T;
+
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { slice: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = T;
+
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { slice: self }
+    }
+}
+
+/// A parallel iterator over `&T` items of a slice.
+#[derive(Debug, Clone, Copy)]
+pub struct ParIter<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Map each element through `f`, to be executed on worker threads.
+    pub fn map<R, F>(self, f: F) -> ParMap<'a, T, F>
+    where
+        F: Fn(&'a T) -> R + Sync,
+        R: Send,
+    {
+        ParMap {
+            slice: self.slice,
+            f,
+        }
+    }
+}
+
+/// The result of [`ParIter::map`]: a lazy parallel map over a slice.
+#[derive(Debug, Clone, Copy)]
+pub struct ParMap<'a, T, F> {
+    slice: &'a [T],
+    f: F,
+}
+
+impl<'a, T, F, R> ParMap<'a, T, F>
+where
+    T: Sync,
+    F: Fn(&'a T) -> R + Sync,
+    R: Send,
+{
+    /// Execute the map on scoped worker threads and collect the results in
+    /// input order.
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        let n = self.slice.len();
+        let workers = num_threads().min(n.max(1));
+        if n == 0 || workers <= 1 {
+            return self.slice.iter().map(&self.f).collect();
+        }
+        let chunk_size = n.div_ceil(workers);
+        let f = &self.f;
+        let mut chunk_outputs: Vec<Vec<R>> = Vec::new();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .slice
+                .chunks(chunk_size)
+                .map(|chunk| scope.spawn(move || chunk.iter().map(f).collect::<Vec<R>>()))
+                .collect();
+            chunk_outputs = handles
+                .into_iter()
+                .map(|h| h.join().expect("rayon shim worker panicked"))
+                .collect();
+        });
+        chunk_outputs.into_iter().flatten().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let input: Vec<u64> = (0..10_000).collect();
+        let doubled: Vec<u64> = input.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled.len(), input.len());
+        for (i, v) in doubled.iter().enumerate() {
+            assert_eq!(*v, 2 * i as u64);
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        let out: Vec<u32> = empty.par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+        let one = [7u32];
+        let out: Vec<u32> = one.par_iter().map(|&x| x + 1).collect();
+        assert_eq!(out, vec![8]);
+    }
+}

@@ -1,0 +1,115 @@
+//! Offline stand-in for the `rustc-hash` crate.
+//!
+//! Implements the same Fx polynomial hash (multiply + rotate over native
+//! words) and exports the `FxHashMap` / `FxHashSet` aliases the workspace
+//! uses. Only the API surface the workspace needs is provided; see
+//! `vendor/README.md` for why these shims exist.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// A `HashMap` using [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+/// A `HashSet` using [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+/// The `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+const ROTATE: u32 = 5;
+
+/// The Firefox/rustc hasher: fast, not DoS-resistant.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(ROTATE) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(chunk.try_into().unwrap()));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rest.len()].copy_from_slice(rest);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add_to_hash(n);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, n: u128) {
+        self.add_to_hash(n as u64);
+        self.add_to_hash((n >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add_to_hash(n as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_and_set_work() {
+        let mut m: FxHashMap<String, i64> = FxHashMap::default();
+        m.insert("a".into(), 1);
+        m.insert("b".into(), 2);
+        assert_eq!(m.get("a"), Some(&1));
+        let mut s: FxHashSet<u64> = FxHashSet::default();
+        for i in 0..1000 {
+            s.insert(i * 31);
+        }
+        assert_eq!(s.len(), 1000);
+        assert!(s.contains(&310));
+    }
+
+    #[test]
+    fn hashing_is_deterministic() {
+        let mut a = FxHasher::default();
+        let mut b = FxHasher::default();
+        a.write(b"search space");
+        b.write(b"search space");
+        assert_eq!(a.finish(), b.finish());
+        let mut c = FxHasher::default();
+        c.write(b"search spacf");
+        assert_ne!(a.finish(), c.finish());
+    }
+}

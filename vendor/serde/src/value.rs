@@ -1,0 +1,237 @@
+//! The JSON value model shared by the `serde` and `serde_json` shims.
+
+/// A JSON document: the full serde_json data model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON `true` / `false`.
+    Bool(bool),
+    /// A JSON number (integer or floating point).
+    Number(Number),
+    /// A JSON string.
+    String(String),
+    /// A JSON array.
+    Array(Vec<Value>),
+    /// A JSON object. Entries keep insertion order (like serde_json's
+    /// `preserve_order` feature) so output is deterministic.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The object entries, if this value is an object.
+    pub fn as_object(&self) -> Option<&Vec<(String, Value)>> {
+        match self {
+            Value::Object(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// The array elements, if this value is an array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The string contents, if this value is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an `i64`, if it is an integral number.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) => n.as_i64(),
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64`, if it is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => n.as_f64(),
+            _ => None,
+        }
+    }
+
+    /// Look up a key, if this value is an object.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object()
+            .and_then(|entries| entries.iter().find(|(k, _)| k == key).map(|(_, v)| v))
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Number(Number::from_i64(i))
+    }
+}
+
+impl From<i32> for Value {
+    fn from(i: i32) -> Self {
+        Value::Number(Number::from_i64(i as i64))
+    }
+}
+
+impl From<u64> for Value {
+    fn from(u: u64) -> Self {
+        match i64::try_from(u) {
+            Ok(i) => Value::Number(Number::from_i64(i)),
+            Err(_) => Value::Number(Number::from_f64(u as f64)),
+        }
+    }
+}
+
+impl From<usize> for Value {
+    fn from(u: usize) -> Self {
+        Value::from(u as u64)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(f: f64) -> Self {
+        Value::Number(Number::from_f64(f))
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::String(s.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::String(s)
+    }
+}
+
+impl std::fmt::Display for Value {
+    /// Renders compact JSON, like serde_json's `Display` for `Value`.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Value::Null => f.write_str("null"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Number(n) => write!(f, "{n}"),
+            Value::String(s) => f.write_str(&escape_json_string(s)),
+            Value::Array(items) => {
+                f.write_str("[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                f.write_str("]")
+            }
+            Value::Object(entries) => {
+                f.write_str("{")?;
+                for (i, (k, v)) in entries.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{}:{v}", escape_json_string(k))?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+/// Quote and escape a string for JSON output.
+pub fn escape_json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// A JSON number: an `i64` when the text was integral, otherwise an `f64`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Number {
+    repr: Repr,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Repr {
+    Int(i64),
+    Float(f64),
+}
+
+impl Number {
+    /// A number holding an integer.
+    pub fn from_i64(i: i64) -> Self {
+        Number { repr: Repr::Int(i) }
+    }
+
+    /// A number holding a float.
+    pub fn from_f64(f: f64) -> Self {
+        Number {
+            repr: Repr::Float(f),
+        }
+    }
+
+    /// The number as an `i64`, if it is integral.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self.repr {
+            Repr::Int(i) => Some(i),
+            Repr::Float(_) => None,
+        }
+    }
+
+    /// The number as an `f64`. Always succeeds for finite input.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self.repr {
+            Repr::Int(i) => Some(i as f64),
+            Repr::Float(f) => Some(f),
+        }
+    }
+
+    /// Whether the number is stored as an integer.
+    pub fn is_i64(&self) -> bool {
+        matches!(self.repr, Repr::Int(_))
+    }
+}
+
+impl std::fmt::Display for Number {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.repr {
+            Repr::Int(i) => write!(f, "{i}"),
+            Repr::Float(x) => {
+                // serde_json always keeps a float-looking representation so
+                // the value round-trips as a float.
+                if x.fract() == 0.0 && x.is_finite() && x.abs() < 1e15 {
+                    write!(f, "{x:.1}")
+                } else {
+                    write!(f, "{x}")
+                }
+            }
+        }
+    }
+}

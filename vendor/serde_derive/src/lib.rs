@@ -1,0 +1,180 @@
+//! Offline stand-in for the `serde_derive` proc-macro crate.
+//!
+//! Supports what the workspace actually derives: plain (non-generic) structs
+//! with named fields, plus the `#[serde(default)]` field attribute. The
+//! token stream is walked directly with the `proc_macro` API — no `syn` or
+//! `quote`, since those cannot be fetched offline. Generated impls target
+//! the JSON-value traits of the companion `serde` shim.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Field {
+    name: String,
+    has_default: bool,
+}
+
+struct Struct {
+    name: String,
+    fields: Vec<Field>,
+}
+
+/// Derive `serde::Serialize` (shim version: conversion to a JSON value).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_struct(input);
+    let mut body = String::new();
+    body.push_str("let mut entries: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = ::std::vec::Vec::new();\n");
+    for f in &parsed.fields {
+        body.push_str(&format!(
+            "entries.push((\"{n}\".to_string(), ::serde::Serialize::to_value(&self.{n})));\n",
+            n = f.name
+        ));
+    }
+    body.push_str("::serde::Value::Object(entries)\n");
+    let out = format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}}}\n\
+         }}\n",
+        name = parsed.name,
+    );
+    out.parse()
+        .expect("serde_derive shim generated invalid Serialize impl")
+}
+
+/// Derive `serde::Deserialize` (shim version: reconstruction from a JSON value).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_struct(input);
+    let mut inits = String::new();
+    for f in &parsed.fields {
+        let missing = if f.has_default {
+            "::std::default::Default::default()".to_string()
+        } else {
+            format!(
+                "return ::std::result::Result::Err(::serde::DeError::missing_field(\"{}\"))",
+                f.name
+            )
+        };
+        inits.push_str(&format!(
+            "{n}: match entries.iter().find(|(k, _)| k == \"{n}\") {{\n\
+             ::std::option::Option::Some((_, field)) => ::serde::Deserialize::from_value(field)?,\n\
+             ::std::option::Option::None => {missing},\n\
+             }},\n",
+            n = f.name,
+        ));
+    }
+    let out = format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+         let entries = match v.as_object() {{\n\
+         ::std::option::Option::Some(entries) => entries,\n\
+         ::std::option::Option::None => return ::std::result::Result::Err(::serde::DeError::custom(\"expected object\")),\n\
+         }};\n\
+         ::std::result::Result::Ok({name} {{\n{inits}}})\n\
+         }}\n\
+         }}\n",
+        name = parsed.name,
+    );
+    out.parse()
+        .expect("serde_derive shim generated invalid Deserialize impl")
+}
+
+/// Extract the struct name and named fields from the derive input.
+fn parse_struct(input: TokenStream) -> Struct {
+    let mut tokens = input.into_iter().peekable();
+    let mut name: Option<String> = None;
+    let mut fields_group: Option<TokenStream> = None;
+    while let Some(tt) = tokens.next() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                // Skip the attribute's bracket group.
+                tokens.next();
+            }
+            TokenTree::Ident(id) if id.to_string() == "struct" => {
+                if let Some(TokenTree::Ident(n)) = tokens.next() {
+                    name = Some(n.to_string());
+                }
+            }
+            TokenTree::Group(g)
+                if g.delimiter() == Delimiter::Brace
+                    && name.is_some()
+                    && fields_group.is_none() =>
+            {
+                fields_group = Some(g.stream());
+            }
+            _ => {}
+        }
+    }
+    let name = name.expect("serde_derive shim: input is not a struct");
+    let fields_group =
+        fields_group.expect("serde_derive shim: only structs with named fields are supported");
+    Struct {
+        name,
+        fields: parse_fields(fields_group),
+    }
+}
+
+/// Parse the `{ ... }` field list: per field, attributes (looking for
+/// `#[serde(default)]`), visibility, name, `:`, then type tokens up to the
+/// next comma outside angle brackets.
+fn parse_fields(stream: TokenStream) -> Vec<Field> {
+    let mut fields = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    loop {
+        let mut has_default = false;
+        // Attributes.
+        while matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            tokens.next();
+            if let Some(TokenTree::Group(g)) = tokens.next() {
+                has_default |= attr_is_serde_default(g.stream());
+            }
+        }
+        // Visibility (`pub`, `pub(crate)`, ...).
+        if matches!(tokens.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+            tokens.next();
+            if matches!(tokens.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+            {
+                tokens.next();
+            }
+        }
+        let Some(TokenTree::Ident(field_name)) = tokens.next() else {
+            break;
+        };
+        // `:` then the type, consumed up to a top-level comma. The `>` of a
+        // `->` arrow (e.g. in `Box<dyn Fn(i64) -> bool>`) is not an angle
+        // bracket and must not change the depth.
+        tokens.next();
+        let mut angle_depth = 0i32;
+        let mut prev_was_minus = false;
+        for tt in tokens.by_ref() {
+            if let TokenTree::Punct(p) = &tt {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' if !prev_was_minus => angle_depth -= 1,
+                    ',' if angle_depth == 0 => break,
+                    _ => {}
+                }
+                prev_was_minus = p.as_char() == '-';
+            } else {
+                prev_was_minus = false;
+            }
+        }
+        fields.push(Field {
+            name: field_name.to_string(),
+            has_default,
+        });
+    }
+    fields
+}
+
+/// Whether an attribute body (the tokens inside `#[...]`) is `serde(default)`.
+fn attr_is_serde_default(stream: TokenStream) -> bool {
+    let mut tokens = stream.into_iter();
+    match (tokens.next(), tokens.next()) {
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(g))) if id.to_string() == "serde" => g
+            .stream()
+            .into_iter()
+            .any(|tt| matches!(tt, TokenTree::Ident(id) if id.to_string() == "default")),
+        _ => false,
+    }
+}
