@@ -3,9 +3,9 @@
 
 CARGO ?= cargo
 
-.PHONY: verify fmt clippy build test doctest smoke doc bench fix
+.PHONY: verify fmt clippy build test doctest smoke examples doc bench fix
 
-verify: fmt clippy build test smoke doc
+verify: fmt clippy build test smoke examples doc
 	@echo "---- all checks passed ----"
 
 fmt:
@@ -27,6 +27,12 @@ doctest:
 # least compile so README instructions cannot rot.
 smoke:
 	$(CARGO) build --workspace --examples --benches --bins
+
+# Run the two API-tour examples end-to-end so drift between the examples and
+# the `SearchSpace` API fails the gate, not just compilation.
+examples:
+	$(CARGO) run --release --example quickstart
+	$(CARGO) run --release --example spec_files_and_export
 
 doc:
 	RUSTDOCFLAGS="-D warnings" $(CARGO) doc --workspace --no-deps

@@ -1,38 +1,36 @@
 //! Criterion benchmarks of the resolved-search-space operations that
-//! optimization algorithms rely on (Section 4.4): hash lookups, neighbor
-//! queries and sampling.
+//! optimization algorithms rely on (Section 4.4): hash lookups (both the
+//! value-row path and the encoded-row fast path), neighbor queries, sampling
+//! and the single-pass arena statistics.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
 use at_searchspace::{
-    build_search_space, latin_hypercube_sample, neighbors, sample_indices, Method, NeighborIndex,
-    NeighborMethod,
+    build_search_space, latin_hypercube_sample, neighbors, sample_indices, ConfigId, Method,
+    NeighborIndex, NeighborMethod,
 };
 use at_workloads::dedispersion;
 
 fn bench_searchspace_ops(c: &mut Criterion) {
     let (space, _) = build_search_space(&dedispersion().spec, Method::Optimized).unwrap();
     let index = NeighborIndex::build(&space);
-    let some_config = space.get(space.len() / 2).unwrap().to_vec();
+    let mid = ConfigId::from_index(space.len() / 2);
+    let some_config = space.view(mid).unwrap().to_vec();
+    let some_codes = space.codes_of(mid).unwrap().to_vec();
 
     let mut group = c.benchmark_group("searchspace_ops/dedispersion");
     group.bench_function("contains", |b| b.iter(|| space.contains(&some_config)));
     group.bench_function("index_of", |b| b.iter(|| space.index_of(&some_config)));
+    group.bench_function("index_of_codes", |b| {
+        b.iter(|| space.index_of_codes(&some_codes))
+    });
     group.bench_function("hamming_neighbors_indexed", |b| {
-        b.iter(|| {
-            neighbors(
-                &space,
-                space.len() / 2,
-                NeighborMethod::Hamming,
-                Some(&index),
-            )
-            .len()
-        })
+        b.iter(|| neighbors(&space, mid, NeighborMethod::Hamming, Some(&index)).len())
     });
     group.bench_function("adjacent_neighbors_scan", |b| {
-        b.iter(|| neighbors(&space, space.len() / 2, NeighborMethod::Adjacent, None).len())
+        b.iter(|| neighbors(&space, mid, NeighborMethod::Adjacent, None).len())
     });
     group.bench_function("random_sample_100", |b| {
         b.iter(|| {
@@ -47,6 +45,9 @@ fn bench_searchspace_ops(c: &mut Criterion) {
         })
     });
     group.bench_function("true_bounds", |b| b.iter(|| space.true_bounds().len()));
+    group.bench_function("occurring_values", |b| {
+        b.iter(|| space.occurring_values().len())
+    });
     group.finish();
 
     let mut group = c.benchmark_group("searchspace_ops/neighbor_index_build");
@@ -54,7 +55,7 @@ fn bench_searchspace_ops(c: &mut Criterion) {
     group.bench_function("dedispersion", |b| {
         b.iter(|| {
             NeighborIndex::build(&space)
-                .hamming_neighbors(&space, 0)
+                .hamming_neighbors(&space, ConfigId::from_index(0))
                 .len()
         })
     });

@@ -166,7 +166,8 @@ pub fn build_search_space_with(
     };
 
     let num_valid = solutions.len();
-    let space = SearchSpace::from_solutions(spec.name.clone(), spec.params.clone(), &solutions);
+    let space = SearchSpace::from_solutions(spec.name.clone(), spec.params.clone(), &solutions)
+        .map_err(|e| CspError::Solver(format!("indexing the resolved space failed: {e}")))?;
     let report = BuildReport {
         method,
         duration: start.elapsed(),
@@ -215,8 +216,12 @@ mod tests {
         for method in Method::all() {
             let (space, report) = build_search_space(&spec, method).unwrap();
             assert_eq!(space.len(), reference.len(), "{}", method.label());
-            for config in reference.configs() {
-                assert!(space.contains(config), "{} misses a config", method.label());
+            for config in reference.iter_decoded() {
+                assert!(
+                    space.contains(&config),
+                    "{} misses a config",
+                    method.label()
+                );
             }
             assert_eq!(report.cartesian_size, spec.cartesian_size());
         }

@@ -10,8 +10,10 @@
 //! * [`Method`] / [`build_search_space`] — construct the space with any of
 //!   the paper's construction methods and obtain a [`BuildReport`] with
 //!   timing and solver statistics.
-//! * [`SearchSpace`] — the resolved space: indexed configurations, hash
-//!   lookups, true parameter bounds, neighbor queries and sampling.
+//! * [`SearchSpace`] — the resolved space: a compact columnar,
+//!   index-encoded configuration arena with [`ConfigId`] handles,
+//!   borrowing [`ConfigView`] decoding, hash lookups, true parameter
+//!   bounds, neighbor queries and sampling.
 //!
 //! ```
 //! use at_searchspace::prelude::*;
@@ -24,7 +26,36 @@
 //! let (space, report) = build_search_space(&spec, Method::Optimized).unwrap();
 //! assert!(space.len() > 0);
 //! assert_eq!(report.num_valid, space.len());
+//!
+//! // Configurations are addressed by id and decoded lazily.
+//! let id = space.ids().next().unwrap();
+//! let view = space.view(id).unwrap();
+//! assert_eq!(space.index_of(&view.to_vec()), Some(id));
 //! ```
+//!
+//! # MIGRATION: row-cloning API → id-encoded API
+//!
+//! Earlier versions stored the space as `Vec<Vec<Value>>` rows plus a
+//! `HashMap<Vec<Value>, usize>`; the space is now one flat arena of per-
+//! parameter `u32` value codes (~`4 × num_params` bytes per configuration
+//! plus per-parameter dictionaries). The old accessors survive as deprecated
+//! shims that *allocate decoded rows*; translate call sites as follows:
+//!
+//! | old (deprecated)                   | new                                               |
+//! |------------------------------------|---------------------------------------------------|
+//! | `space.configs()`                  | `space.iter()` / `space.iter_decoded()`           |
+//! | `space.get(i)`                     | `space.view(ConfigId::from_index(i))`             |
+//! | `space.get(i).unwrap()[d]`         | `space.view(id).unwrap()[d]` (lazy, borrows)      |
+//! | `space.named(i)`                   | `space.view(id).unwrap().named()`                 |
+//! | `space.value_indices(i)`           | `space.codes_of(id)` (`&[u32]`, zero-copy)        |
+//! | `space.index_of(&values)` → `usize`| `space.index_of(&values)` → [`ConfigId`]          |
+//! | build a row then `index_of`        | build codes then `index_of_codes` (no `Value`s)   |
+//! | `SearchSpace::from_configs(..)`    | now returns `Result<_, SpaceError>`: rows with    |
+//! |                                    | out-of-domain values are rejected, not corrupted  |
+//!
+//! Neighbor queries ([`neighbors()`], [`NeighborIndex`]) and sampling
+//! ([`sample_indices`], [`latin_hypercube_sample`]) consume and produce
+//! [`ConfigId`]s and operate on encoded rows internally.
 
 #![warn(missing_docs)]
 
@@ -46,7 +77,7 @@ pub use output::{to_columnar, to_csv, to_json_cache, to_named_maps};
 pub use param::TunableParameter;
 pub use restriction::Restriction;
 pub use sampling::{coverage_per_parameter, latin_hypercube_sample, sample_indices};
-pub use space::SearchSpace;
+pub use space::{ConfigId, ConfigView, SearchSpace, SpaceError};
 pub use spec::{RestrictionLowering, SearchSpaceSpec};
 pub use stats::SpaceCharacteristics;
 
@@ -59,7 +90,7 @@ pub mod prelude {
     pub use crate::param::TunableParameter;
     pub use crate::restriction::Restriction;
     pub use crate::sampling::{latin_hypercube_sample, sample_indices};
-    pub use crate::space::SearchSpace;
+    pub use crate::space::{ConfigId, ConfigView, SearchSpace, SpaceError};
     pub use crate::spec::{RestrictionLowering, SearchSpaceSpec};
     pub use crate::stats::SpaceCharacteristics;
     pub use at_csp::Value;

@@ -5,62 +5,95 @@
 //! configuration. Because the space is fully resolved, neighbors can be
 //! served from an index instead of generating candidate configurations and
 //! re-checking constraints (Section 4.4).
+//!
+//! All queries operate on [`ConfigId`]s and the space's encoded code rows —
+//! no configuration is decoded to [`at_csp::Value`]s anywhere in this module.
 
 use rustc_hash::FxHashMap;
 
-use at_csp::Value;
-
-use crate::space::SearchSpace;
+use crate::space::{hash_codes, ConfigId, SearchSpace};
 
 /// The neighbor definitions supported by Kernel Tuner's `SearchSpace`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum NeighborMethod {
     /// Configurations differing in exactly one parameter (Hamming distance 1).
     Hamming,
-    /// Configurations whose value *index* differs by at most one in every
+    /// Configurations whose value *code* differs by at most one in every
     /// parameter (and by at least one somewhere).
     Adjacent,
-    /// Configurations differing in exactly one parameter, whose value index
+    /// Configurations differing in exactly one parameter, whose value code
     /// differs by exactly one.
     StrictlyAdjacent,
 }
 
 /// A prebuilt index for Hamming-distance-1 neighbor queries.
 ///
-/// For every configuration and every parameter position, the configuration is
+/// For every configuration and every parameter position, the encoded row is
 /// hashed with that position wildcarded; configurations sharing a bucket are
-/// exactly the ones that differ only in that position.
+/// candidates that differ only in that position. Buckets are keyed by the
+/// 64-bit hash alone (ids are verified against the arena at query time, so a
+/// hash collision can only cost a wasted comparison, never a wrong neighbor),
+/// which keeps the index at one `u64 → Vec<u32>` entry per distinct wildcard
+/// row instead of a cloned key row per configuration.
 #[derive(Debug, Default)]
 pub struct NeighborIndex {
-    buckets: FxHashMap<(usize, Vec<Value>), Vec<usize>>,
+    buckets: FxHashMap<u64, Vec<u32>>,
+}
+
+/// Hash of a code row with position `pos` wildcarded, tagged with `pos` so
+/// buckets of different positions never merge by construction.
+fn wildcard_hash(codes: &[u32], pos: usize) -> u64 {
+    let mut h = hash_codes(&codes[..pos]) ^ (pos as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    h = (h ^ u32::MAX as u64).wrapping_mul(0x0000_0100_0000_01b3);
+    for &c in &codes[pos + 1..] {
+        h = (h ^ c as u64).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// True when `a` and `b` differ exactly at position `pos` and nowhere else.
+fn differs_only_at(a: &[u32], b: &[u32], pos: usize) -> bool {
+    a[pos] != b[pos] && a[..pos] == b[..pos] && a[pos + 1..] == b[pos + 1..]
 }
 
 impl NeighborIndex {
-    /// Build the index for a space. Cost is `O(len * params)`.
+    /// Build the index for a space. Cost is `O(len × params)`.
     pub fn build(space: &SearchSpace) -> Self {
-        let mut buckets: FxHashMap<(usize, Vec<Value>), Vec<usize>> = FxHashMap::default();
-        for (i, config) in space.configs().iter().enumerate() {
-            for pos in 0..config.len() {
-                let mut key = config.clone();
-                key[pos] = Value::Int(i64::MIN); // wildcard marker
-                buckets.entry((pos, key)).or_default().push(i);
+        let mut buckets: FxHashMap<u64, Vec<u32>> = FxHashMap::default();
+        for id in space.ids() {
+            let codes = space.codes_of(id).expect("id in range");
+            for pos in 0..codes.len() {
+                buckets
+                    .entry(wildcard_hash(codes, pos))
+                    .or_default()
+                    .push(id.index() as u32);
             }
         }
         NeighborIndex { buckets }
     }
 
-    /// Hamming-distance-1 neighbors of the configuration at `index`.
-    pub fn hamming_neighbors(&self, space: &SearchSpace, index: usize) -> Vec<usize> {
-        let config = match space.get(index) {
-            Some(c) => c.to_vec(),
+    /// Hamming-distance-1 neighbors of the configuration with the given id.
+    pub fn hamming_neighbors(&self, space: &SearchSpace, id: ConfigId) -> Vec<ConfigId> {
+        let codes = match space.codes_of(id) {
+            Some(c) => c,
             None => return Vec::new(),
         };
         let mut out = Vec::new();
-        for pos in 0..config.len() {
-            let mut key = config.clone();
-            key[pos] = Value::Int(i64::MIN);
-            if let Some(bucket) = self.buckets.get(&(pos, key)) {
-                out.extend(bucket.iter().copied().filter(|&j| j != index));
+        for pos in 0..codes.len() {
+            if let Some(bucket) = self.buckets.get(&wildcard_hash(codes, pos)) {
+                out.extend(
+                    bucket
+                        .iter()
+                        .map(|&j| ConfigId::from_index(j as usize))
+                        .filter(|&j| {
+                            j != id
+                                && differs_only_at(
+                                    codes,
+                                    space.codes_of(j).expect("indexed id in range"),
+                                    pos,
+                                )
+                        }),
+                );
             }
         }
         out.sort_unstable();
@@ -69,46 +102,45 @@ impl NeighborIndex {
     }
 }
 
-/// Neighbors of the configuration at `index` according to `method`.
+/// Neighbors of the configuration with the given id according to `method`.
 ///
 /// `Hamming` queries use the prebuilt index when provided and fall back to a
-/// scan otherwise; the index-based variants always scan (their candidate sets
-/// are not bucketable by a single wildcard position).
+/// scan otherwise; the code-distance variants always scan (their candidate
+/// sets are not bucketable by a single wildcard position).
 pub fn neighbors(
     space: &SearchSpace,
-    index: usize,
+    id: ConfigId,
     method: NeighborMethod,
     prebuilt: Option<&NeighborIndex>,
-) -> Vec<usize> {
-    if space.get(index).is_none() {
+) -> Vec<ConfigId> {
+    if space.codes_of(id).is_none() {
         return Vec::new();
     }
     match method {
         NeighborMethod::Hamming => match prebuilt {
-            Some(idx) => idx.hamming_neighbors(space, index),
-            None => scan_neighbors(space, index, method),
+            Some(index) => index.hamming_neighbors(space, id),
+            None => scan_neighbors(space, id, method),
         },
-        _ => scan_neighbors(space, index, method),
+        _ => scan_neighbors(space, id, method),
     }
 }
 
-fn scan_neighbors(space: &SearchSpace, index: usize, method: NeighborMethod) -> Vec<usize> {
-    let reference = space.value_indices(index).expect("valid index").to_vec();
+fn scan_neighbors(space: &SearchSpace, id: ConfigId, method: NeighborMethod) -> Vec<ConfigId> {
+    let reference = space.codes_of(id).expect("valid id");
     let mut out = Vec::new();
-    for (j, candidate) in space.configs().iter().enumerate() {
-        if j == index {
+    for candidate in space.ids() {
+        if candidate == id {
             continue;
         }
-        let cand_indices = space.value_indices(j).expect("valid index");
-        if is_neighbor(&reference, cand_indices, method) {
-            out.push(j);
+        let codes = space.codes_of(candidate).expect("valid id");
+        if is_neighbor(reference, codes, method) {
+            out.push(candidate);
         }
-        let _ = candidate;
     }
     out
 }
 
-fn is_neighbor(a: &[usize], b: &[usize], method: NeighborMethod) -> bool {
+fn is_neighbor(a: &[u32], b: &[u32], method: NeighborMethod) -> bool {
     match method {
         NeighborMethod::Hamming => {
             let differing = a.iter().zip(b.iter()).filter(|(x, y)| x != y).count();
@@ -130,15 +162,11 @@ fn is_neighbor(a: &[usize], b: &[usize], method: NeighborMethod) -> bool {
         NeighborMethod::StrictlyAdjacent => {
             let mut differing = 0;
             for (&x, &y) in a.iter().zip(b.iter()) {
-                let d = x.abs_diff(y);
-                if d > 1 {
+                if x.abs_diff(y) > 1 {
                     return false;
                 }
-                if d == 1 {
+                if x != y {
                     differing += 1;
-                }
-                if x != y && d != 1 {
-                    return false;
                 }
             }
             differing == 1
@@ -151,6 +179,7 @@ mod tests {
     use super::*;
     use crate::param::TunableParameter;
     use at_csp::value::int_values;
+    use at_csp::Value;
 
     /// Full 3x3 grid over x,y in {1,2,4} minus the (4,4) corner.
     fn space() -> SearchSpace {
@@ -166,31 +195,31 @@ mod tests {
                 }
             }
         }
-        SearchSpace::from_configs("grid", params, configs)
+        SearchSpace::from_configs("grid", params, configs).unwrap()
     }
 
     #[test]
     fn hamming_neighbors_scan_and_index_agree() {
         let s = space();
-        let idx = NeighborIndex::build(&s);
-        for i in 0..s.len() {
-            let scanned = neighbors(&s, i, NeighborMethod::Hamming, None);
-            let indexed = neighbors(&s, i, NeighborMethod::Hamming, Some(&idx));
-            assert_eq!(scanned, indexed, "config {i}");
+        let index = NeighborIndex::build(&s);
+        for id in s.ids() {
+            let scanned = neighbors(&s, id, NeighborMethod::Hamming, None);
+            let indexed = neighbors(&s, id, NeighborMethod::Hamming, Some(&index));
+            assert_eq!(scanned, indexed, "config {id}");
         }
     }
 
     #[test]
     fn hamming_neighbors_of_corner() {
         let s = space();
-        let idx = NeighborIndex::build(&s);
+        let index = NeighborIndex::build(&s);
         let origin = s.index_of(&int_values([1, 1])).unwrap();
-        let n = neighbors(&s, origin, NeighborMethod::Hamming, Some(&idx));
+        let n = neighbors(&s, origin, NeighborMethod::Hamming, Some(&index));
         // same row or same column: (1,2), (1,4), (2,1), (4,1)
         assert_eq!(n.len(), 4);
         for j in n {
-            let cfg = s.get(j).unwrap();
-            assert!(cfg[0] == Value::Int(1) || cfg[1] == Value::Int(1));
+            let view = s.view(j).unwrap();
+            assert!(view[0] == Value::Int(1) || view[1] == Value::Int(1));
         }
     }
 
@@ -218,15 +247,15 @@ mod tests {
     #[test]
     fn neighborhood_is_symmetric() {
         let s = space();
-        let idx = NeighborIndex::build(&s);
+        let index = NeighborIndex::build(&s);
         for method in [
             NeighborMethod::Hamming,
             NeighborMethod::Adjacent,
             NeighborMethod::StrictlyAdjacent,
         ] {
-            for i in 0..s.len() {
-                for &j in &neighbors(&s, i, method, Some(&idx)) {
-                    let back = neighbors(&s, j, method, Some(&idx));
+            for i in s.ids() {
+                for &j in &neighbors(&s, i, method, Some(&index)) {
+                    let back = neighbors(&s, j, method, Some(&index));
                     assert!(
                         back.contains(&i),
                         "{method:?} asymmetric between {i} and {j}"
@@ -237,8 +266,9 @@ mod tests {
     }
 
     #[test]
-    fn invalid_index_has_no_neighbors() {
+    fn invalid_id_has_no_neighbors() {
         let s = space();
-        assert!(neighbors(&s, 999, NeighborMethod::Hamming, None).is_empty());
+        let bogus = ConfigId::from_index(999);
+        assert!(neighbors(&s, bogus, NeighborMethod::Hamming, None).is_empty());
     }
 }

@@ -3,10 +3,9 @@
 //! The paper notes that rearranging solver output into a different structure
 //! per consumer can cost as much as the construction itself, and therefore
 //! provides output formats close to the internal representation. The resolved
-//! [`SearchSpace`] stores a dense row-major matrix; this module provides the
-//! common views on it:
+//! [`SearchSpace`] stores a flat index-encoded arena; this module provides
+//! the common decoded views on it:
 //!
-//! * the dense rows themselves (zero-copy, the solver's native format),
 //! * a columnar view (one vector per parameter, useful for analysis),
 //! * name-keyed maps (the convenient but expensive dictionary format),
 //! * CSV and a JSON cache format compatible in spirit with Kernel Tuner's
@@ -19,18 +18,21 @@ use at_csp::Value;
 use crate::space::SearchSpace;
 
 /// Columnar view: for each parameter, the values of all configurations.
+/// Cheap to produce: the internal representation is already columnar-coded,
+/// so each cell is one dictionary lookup and one `Value` clone.
 pub fn to_columnar(space: &SearchSpace) -> Vec<(String, Vec<Value>)> {
-    let mut columns: Vec<(String, Vec<Value>)> = space
+    space
         .params()
         .iter()
-        .map(|p| (p.name().to_string(), Vec::with_capacity(space.len())))
-        .collect();
-    for row in space.configs() {
-        for (column, value) in columns.iter_mut().zip(row.iter()) {
-            column.1.push(value.clone());
-        }
-    }
-    columns
+        .enumerate()
+        .map(|(d, p)| {
+            let column = space
+                .iter()
+                .map(|view| view.value(d).expect("parameter in range").clone())
+                .collect();
+            (p.name().to_string(), column)
+        })
+        .collect()
 }
 
 /// Dictionary view: one name→value map per configuration. This is the
@@ -38,14 +40,11 @@ pub fn to_columnar(space: &SearchSpace) -> Vec<(String, Vec<Value>)> {
 /// but costs one hash map per configuration.
 pub fn to_named_maps(space: &SearchSpace) -> Vec<FxHashMap<String, Value>> {
     space
-        .configs()
         .iter()
-        .map(|row| {
-            space
-                .params()
-                .iter()
-                .map(|p| p.name().to_string())
-                .zip(row.iter().cloned())
+        .map(|view| {
+            view.named()
+                .into_iter()
+                .map(|(name, value)| (name.to_string(), value.clone()))
                 .collect()
         })
         .collect()
@@ -63,8 +62,8 @@ pub fn to_csv(space: &SearchSpace) -> String {
             .join(","),
     );
     out.push('\n');
-    for row in space.configs() {
-        let line: Vec<String> = row.iter().map(csv_cell).collect();
+    for view in space.iter() {
+        let line: Vec<String> = view.values().map(csv_cell).collect();
         out.push_str(&line.join(","));
         out.push('\n');
     }
@@ -117,12 +116,11 @@ pub fn to_json_cache(space: &SearchSpace) -> String {
     out.push_str(&params.join(",\n"));
     out.push_str("\n  },\n  \"configurations\": [\n");
     let rows: Vec<String> = space
-        .configs()
         .iter()
-        .map(|row| {
+        .map(|view| {
             format!(
                 "    [{}]",
-                row.iter().map(json_value).collect::<Vec<_>>().join(", ")
+                view.values().map(json_value).collect::<Vec<_>>().join(", ")
             )
         })
         .collect();
@@ -174,7 +172,7 @@ mod tests {
             vec![Value::Int(1), Value::str("row")],
             vec![Value::Int(2), Value::str("a,b")],
         ];
-        SearchSpace::from_configs("out", params, configs)
+        SearchSpace::from_configs("out", params, configs).unwrap()
     }
 
     #[test]

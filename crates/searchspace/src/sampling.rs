@@ -4,42 +4,42 @@
 //! Because the space is fully resolved before tuning, samples are always
 //! valid configurations and uniform sampling is unbiased — unlike sampling
 //! through a chain-of-trees or rejection sampling through forbidden-clause
-//! checks (Section 4.4).
+//! checks (Section 4.4). Samples are returned as [`ConfigId`]s; distances
+//! and coverage are computed on the encoded code rows without decoding.
 
 use rand::seq::SliceRandom;
 use rand::Rng;
 
-use crate::space::SearchSpace;
+use crate::space::{ConfigId, SearchSpace};
 
-/// Draw `count` distinct configuration indices uniformly at random.
-/// If `count >= len`, all indices are returned (shuffled).
-pub fn sample_indices<R: Rng>(space: &SearchSpace, count: usize, rng: &mut R) -> Vec<usize> {
-    let n = space.len();
-    let mut all: Vec<usize> = (0..n).collect();
+/// Draw `count` distinct configuration ids uniformly at random.
+/// If `count >= len`, all ids are returned (shuffled).
+pub fn sample_indices<R: Rng>(space: &SearchSpace, count: usize, rng: &mut R) -> Vec<ConfigId> {
+    let mut all: Vec<ConfigId> = space.ids().collect();
     all.shuffle(rng);
-    all.truncate(count.min(n));
+    all.truncate(count.min(space.len()));
     all
 }
 
 /// Latin Hypercube Sampling over the valid configurations.
 ///
-/// Each numeric parameter's *occurring-value index range* is divided into
-/// `count` strata; one stratum per parameter is drawn per sample (a Latin
-/// square per dimension), the resulting grid point is snapped to the nearest
-/// valid configuration (normalized Euclidean distance over value indices),
-/// and duplicates are removed. The result therefore contains at most `count`
-/// distinct, always-valid configurations spread over the space.
+/// Each parameter's *value code range* is divided into `count` strata; one
+/// stratum per parameter is drawn per sample (a Latin square per dimension),
+/// the resulting grid point is snapped to the nearest valid configuration
+/// (normalized Euclidean distance over value codes), and duplicates are
+/// removed. The result therefore contains at most `count` distinct,
+/// always-valid configurations spread over the space.
 pub fn latin_hypercube_sample<R: Rng>(
     space: &SearchSpace,
     count: usize,
     rng: &mut R,
-) -> Vec<usize> {
+) -> Vec<ConfigId> {
     let n = space.len();
     if n == 0 || count == 0 {
         return Vec::new();
     }
     let count = count.min(n);
-    let dims = space.params().len();
+    let dims = space.num_params();
     // Per dimension: a random permutation of the strata 0..count.
     let mut strata: Vec<Vec<usize>> = Vec::with_capacity(dims);
     for _ in 0..dims {
@@ -48,7 +48,11 @@ pub fn latin_hypercube_sample<R: Rng>(
         strata.push(perm);
     }
     // Normalized target coordinates per sample.
-    let param_sizes: Vec<usize> = space.params().iter().map(|p| p.len().max(1)).collect();
+    let inv_sizes: Vec<f64> = space
+        .params()
+        .iter()
+        .map(|p| 1.0 / p.len().max(1) as f64)
+        .collect();
     let mut picked = Vec::with_capacity(count);
     #[allow(clippy::needless_range_loop)] // `s` selects one stratum *per dimension*
     for s in 0..count {
@@ -59,22 +63,20 @@ pub fn latin_hypercube_sample<R: Rng>(
                 (stratum + jitter) / count as f64 // in [0, 1)
             })
             .collect();
-        //
 
-        // Snap to the nearest valid configuration by normalized value index.
-        let mut best = 0usize;
+        // Snap to the nearest valid configuration by normalized value code.
+        let mut best = ConfigId::from_index(0);
         let mut best_dist = f64::INFINITY;
-        for i in 0..n {
-            let indices = space.value_indices(i).expect("valid");
+        for id in space.ids() {
+            let codes = space.codes_of(id).expect("valid id");
             let mut dist = 0.0;
             for d in 0..dims {
-                let coord = indices[d] as f64 / param_sizes[d] as f64;
-                let diff = coord - target[d];
+                let diff = codes[d] as f64 * inv_sizes[d] - target[d];
                 dist += diff * diff;
             }
             if dist < best_dist {
                 best_dist = dist;
-                best = i;
+                best = id;
             }
         }
         picked.push(best);
@@ -87,18 +89,15 @@ pub fn latin_hypercube_sample<R: Rng>(
 /// Summary of how well a set of samples covers each parameter's range,
 /// reported as the fraction of distinct occurring values hit per parameter.
 /// Used to verify the stratification benefit of LHS over naive sampling.
-pub fn coverage_per_parameter(space: &SearchSpace, samples: &[usize]) -> Vec<f64> {
+pub fn coverage_per_parameter(space: &SearchSpace, samples: &[ConfigId]) -> Vec<f64> {
     let occurring = space.occurring_values();
-    space
-        .params()
-        .iter()
-        .enumerate()
-        .map(|(d, _)| {
+    (0..space.num_params())
+        .map(|d| {
             let total = occurring[d].len().max(1);
             let mut seen = std::collections::HashSet::new();
-            for &i in samples {
-                if let Some(cfg) = space.get(i) {
-                    seen.insert(cfg[d].to_string());
+            for &id in samples {
+                if let Some(codes) = space.codes_of(id) {
+                    seen.insert(codes[d]);
                 }
             }
             seen.len() as f64 / total as f64
@@ -126,7 +125,7 @@ mod tests {
                 configs.push(int_values([x, y]));
             }
         }
-        SearchSpace::from_configs("grid", params, configs)
+        SearchSpace::from_configs("grid", params, configs).unwrap()
     }
 
     #[test]
@@ -139,7 +138,7 @@ mod tests {
         dedup.sort_unstable();
         dedup.dedup();
         assert_eq!(dedup.len(), 20);
-        assert!(samples.iter().all(|&i| i < s.len()));
+        assert!(samples.iter().all(|&i| i.index() < s.len()));
     }
 
     #[test]
@@ -157,7 +156,7 @@ mod tests {
         let samples = latin_hypercube_sample(&s, 10, &mut rng);
         assert!(!samples.is_empty());
         assert!(samples.len() <= 10);
-        assert!(samples.iter().all(|&i| i < s.len()));
+        assert!(samples.iter().all(|&i| i.index() < s.len()));
     }
 
     #[test]
@@ -175,8 +174,8 @@ mod tests {
 
     #[test]
     fn empty_space_and_zero_count() {
-        let s =
-            SearchSpace::from_configs("empty", vec![TunableParameter::ints("x", [1])], Vec::new());
+        let s = SearchSpace::from_configs("empty", vec![TunableParameter::ints("x", [1])], vec![])
+            .unwrap();
         let mut rng = ChaCha8Rng::seed_from_u64(5);
         assert!(latin_hypercube_sample(&s, 5, &mut rng).is_empty());
         let s2 = grid_space(3);

@@ -2,69 +2,387 @@
 //!
 //! After construction, optimization algorithms need efficient access to the
 //! valid configurations: indexed access for sampling, hash lookups to test
-//! membership and find a configuration's index, the *true* parameter bounds
+//! membership and find a configuration's id, the *true* parameter bounds
 //! (which constraints may have shrunk relative to the declared domains), and
 //! neighbor queries. This mirrors Kernel Tuner's `SearchSpace` class
 //! (Section 4.4 of the paper).
+//!
+//! # Representation
+//!
+//! At millions of configurations the representation — not just the
+//! construction — dominates memory and lookup cost, so the space is stored
+//! *columnar and index-encoded*: each parameter's distinct values live once
+//! in its [`TunableParameter`] (the per-parameter dictionary), and a
+//! configuration is a row of `u32` *value codes* in a single flat arena
+//! (`len × num_params` entries, stride = `num_params`). Membership tests and
+//! id lookups go through an open-addressing hash table over the encoded rows,
+//! so no `Vec<Value>` keys are ever cloned. Configurations are addressed by
+//! [`ConfigId`] and decoded lazily through a borrowing [`ConfigView`].
+
+use std::fmt;
 
 use at_csp::{SolutionSet, Value};
 use rustc_hash::FxHashMap;
 
 use crate::param::TunableParameter;
 
+/// Identifier of a configuration within one [`SearchSpace`].
+///
+/// A `ConfigId` is a typed index into the space's configuration arena: ids
+/// are dense (`0..space.len()`) and stable for the lifetime of the space they
+/// came from. They are intentionally cheap (`u32`) so optimizers can store
+/// populations, neighbor lists and evaluation caches as plain id collections.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ConfigId(u32);
+
+impl ConfigId {
+    /// Create an id from a raw dense index (`0..space.len()`).
+    ///
+    /// Indices beyond `u32::MAX` saturate to an id that is never valid for
+    /// any space (spaces are capped below `u32::MAX` configurations), so an
+    /// out-of-range index can only ever produce `None` lookups — never alias
+    /// a real configuration.
+    pub fn from_index(index: usize) -> ConfigId {
+        ConfigId(u32::try_from(index).unwrap_or(u32::MAX))
+    }
+
+    /// The raw dense index of this id.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ConfigId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// Errors raised while building a [`SearchSpace`] from raw configurations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpaceError {
+    /// A configuration row referenced a value that is not part of the
+    /// corresponding parameter's declared value list.
+    UnknownValue {
+        /// The parameter whose domain does not contain the value.
+        param: String,
+        /// The offending value.
+        value: Value,
+        /// The index of the offending configuration row.
+        row: usize,
+    },
+    /// A configuration row has the wrong number of values.
+    RowLength {
+        /// The index of the offending configuration row.
+        row: usize,
+        /// The expected row length (the number of parameters).
+        expected: usize,
+        /// The actual row length.
+        found: usize,
+    },
+    /// The space does not fit the `u32` code/id encoding.
+    TooLarge {
+        /// What overflowed (number of configurations or parameter values).
+        what: &'static str,
+        /// The overflowing count.
+        count: usize,
+    },
+}
+
+impl fmt::Display for SpaceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpaceError::UnknownValue { param, value, row } => write!(
+                f,
+                "configuration {row}: value {value} is not in the domain of parameter `{param}`"
+            ),
+            SpaceError::RowLength {
+                row,
+                expected,
+                found,
+            } => write!(
+                f,
+                "configuration {row}: expected {expected} values, found {found}"
+            ),
+            SpaceError::TooLarge { what, count } => {
+                write!(f, "{what} ({count}) exceeds the u32 encoding limit")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SpaceError {}
+
+/// Sentinel for an empty hash-table slot (no configuration id).
+const EMPTY_SLOT: u32 = u32::MAX;
+
+/// FNV-1a over a row of value codes. Mixed with a position tag by the
+/// neighbor index; plain rows start from the FNV offset basis.
+pub(crate) fn hash_codes(codes: &[u32]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &c in codes {
+        h = (h ^ c as u64).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Per-parameter reverse dictionary: value → code.
+///
+/// Encoding a value row is the hot prefix of every `contains`/`index_of`
+/// call, so integer-like domains (the overwhelming majority in auto-tuning)
+/// bypass `Value` hashing entirely: a compact domain uses an O(1) dense
+/// table, a wide one (e.g. powers of two) a binary search over sorted keys.
+/// Keys are `Value::as_i64` to preserve the dictionary's Python-style
+/// cross-type equality (`Int(2) == Float(2.0) == Bool`-as-int), matching
+/// `Value`'s own `Eq`/`Hash`.
+#[derive(Debug, Clone)]
+enum CodeLookup {
+    /// All-integer-like dictionary with a compact range: `table[v - min]`
+    /// holds the code, or [`EMPTY_SLOT`] for integers not in the dictionary.
+    IntDense { min: i64, table: Box<[u32]> },
+    /// All-integer-like dictionary with a wide range: binary search.
+    IntSorted(Box<[(i64, u32)]>),
+    /// Mixed, float or string dictionaries: hash map.
+    Map(FxHashMap<Value, u32>),
+}
+
+impl CodeLookup {
+    /// Build the lookup for one parameter's value dictionary.
+    fn build(values: &[Value]) -> CodeLookup {
+        let ints: Option<Vec<i64>> = values.iter().map(|v| v.as_i64()).collect();
+        let ints = match ints {
+            // `TunableParameter` deduplicates by `py_eq`, so keys are unique.
+            Some(ints) if !ints.is_empty() => ints,
+            _ => {
+                return CodeLookup::Map(
+                    values
+                        .iter()
+                        .enumerate()
+                        .map(|(i, v)| (v.clone(), i as u32))
+                        .collect(),
+                )
+            }
+        };
+        let min = *ints.iter().min().expect("non-empty");
+        let max = *ints.iter().max().expect("non-empty");
+        let range = max.abs_diff(min);
+        // A dense table costs 4 bytes per slot in [min, max]; accept it while
+        // it stays within a small constant factor of the dictionary itself.
+        if range <= (4 * values.len() as u64).max(256) {
+            let mut table = vec![EMPTY_SLOT; range as usize + 1].into_boxed_slice();
+            for (code, &i) in ints.iter().enumerate() {
+                table[(i - min) as usize] = code as u32;
+            }
+            CodeLookup::IntDense { min, table }
+        } else {
+            let mut entries: Vec<(i64, u32)> = ints
+                .into_iter()
+                .enumerate()
+                .map(|(code, i)| (i, code as u32))
+                .collect();
+            entries.sort_unstable_by_key(|&(i, _)| i);
+            CodeLookup::IntSorted(entries.into_boxed_slice())
+        }
+    }
+
+    /// The code of a value, if it is in the dictionary.
+    #[inline]
+    fn code_of(&self, value: &Value) -> Option<u32> {
+        match self {
+            CodeLookup::IntDense { min, table } => {
+                let i = value.as_i64()?;
+                let offset = usize::try_from(i.checked_sub(*min)?).ok()?;
+                let code = *table.get(offset)?;
+                (code != EMPTY_SLOT).then_some(code)
+            }
+            CodeLookup::IntSorted(entries) => {
+                let i = value.as_i64()?;
+                entries
+                    .binary_search_by_key(&i, |&(key, _)| key)
+                    .ok()
+                    .map(|pos| entries[pos].1)
+            }
+            CodeLookup::Map(map) => map.get(value).copied(),
+        }
+    }
+}
+
+/// Open-addressing (linear probing) hash table mapping encoded rows to
+/// configuration ids. Stores only `u32` ids — the keys are the arena rows
+/// themselves, so the whole membership index costs ~4–8 bytes per
+/// configuration instead of a cloned `Vec<Value>` key per configuration.
+#[derive(Debug, Clone)]
+struct RowTable {
+    slots: Box<[u32]>,
+    mask: usize,
+}
+
+impl RowTable {
+    /// Build the table over the `num_configs` rows of `arena` (row `i` is
+    /// `arena[i * stride..(i + 1) * stride]`).
+    fn build(num_configs: usize, stride: usize, arena: &[u32]) -> RowTable {
+        // Keep the load factor under ~7/8.
+        let capacity = (num_configs * 8 / 7 + 1).next_power_of_two().max(8);
+        let mask = capacity - 1;
+        let mut slots = vec![EMPTY_SLOT; capacity].into_boxed_slice();
+        for id in 0..num_configs {
+            let codes = &arena[id * stride..(id + 1) * stride];
+            let mut slot = (hash_codes(codes) as usize) & mask;
+            loop {
+                let occupant = slots[slot];
+                if occupant == EMPTY_SLOT {
+                    slots[slot] = id as u32;
+                    break;
+                }
+                let other = &arena[occupant as usize * stride..(occupant as usize + 1) * stride];
+                if other == codes {
+                    // Duplicate row: the first occurrence keeps the slot.
+                    break;
+                }
+                slot = (slot + 1) & mask;
+            }
+        }
+        RowTable { slots, mask }
+    }
+
+    /// Look up the id of an encoded row.
+    fn lookup(&self, codes: &[u32], stride: usize, arena: &[u32]) -> Option<u32> {
+        let mut slot = (hash_codes(codes) as usize) & self.mask;
+        loop {
+            let occupant = self.slots[slot];
+            if occupant == EMPTY_SLOT {
+                return None;
+            }
+            let i = occupant as usize;
+            if &arena[i * stride..(i + 1) * stride] == codes {
+                return Some(occupant);
+            }
+            slot = (slot + 1) & self.mask;
+        }
+    }
+}
+
 /// A fully resolved, indexed search space.
+///
+/// See the [module documentation](self) for the storage layout. The memory
+/// footprint is `4 × num_params` bytes per configuration (the code arena)
+/// plus ~5 bytes per configuration of hash-table slots, plus the
+/// per-parameter value dictionaries — independent of how many times each
+/// value occurs.
 #[derive(Debug, Clone)]
 pub struct SearchSpace {
     name: String,
     params: Vec<TunableParameter>,
-    /// Valid configurations; each row holds one value per parameter, in
-    /// parameter declaration order.
-    configs: Vec<Vec<Value>>,
-    /// For each configuration, the per-parameter index of its value within
-    /// the parameter's declared value list.
-    value_indices: Vec<Vec<usize>>,
-    /// Hash index from configuration to its position in `configs`.
-    index: FxHashMap<Vec<Value>, usize>,
+    /// Number of valid configurations.
+    num_configs: usize,
+    /// Flat arena of per-parameter value codes; row `i` occupies
+    /// `codes[i * stride .. (i + 1) * stride]` with `stride = params.len()`.
+    codes: Vec<u32>,
+    /// Per-parameter reverse dictionaries: value → code.
+    value_codes: Vec<CodeLookup>,
+    /// Hash index from encoded row to configuration id.
+    table: RowTable,
 }
 
 impl SearchSpace {
     /// Build the representation from the solver output.
+    ///
+    /// The solution columns must be in parameter declaration order (which is
+    /// how [`crate::build_search_space`] lowers specifications).
     pub fn from_solutions(
         name: impl Into<String>,
         params: Vec<TunableParameter>,
         solutions: &SolutionSet,
-    ) -> Self {
-        let configs: Vec<Vec<Value>> = solutions.rows().to_vec();
-        Self::from_configs(name, params, configs)
+    ) -> Result<Self, SpaceError> {
+        Self::from_value_rows(name, params, solutions.len(), solutions.iter())
     }
 
-    /// Build the representation from raw configuration rows (declaration order).
+    /// Build the representation from raw configuration rows (declaration
+    /// order). Returns [`SpaceError::UnknownValue`] when a row contains a
+    /// value outside its parameter's declared value list — silently encoding
+    /// such a row would corrupt every code-based operation downstream.
     pub fn from_configs(
         name: impl Into<String>,
         params: Vec<TunableParameter>,
         configs: Vec<Vec<Value>>,
-    ) -> Self {
-        let value_indices: Vec<Vec<usize>> = configs
-            .iter()
-            .map(|row| {
-                row.iter()
-                    .zip(params.iter())
-                    .map(|(v, p)| p.index_of(v).unwrap_or(usize::MAX))
-                    .collect()
-            })
-            .collect();
-        let index: FxHashMap<Vec<Value>, usize> = configs
-            .iter()
-            .enumerate()
-            .map(|(i, row)| (row.clone(), i))
-            .collect();
-        SearchSpace {
-            name: name.into(),
-            params,
-            configs,
-            value_indices,
-            index,
+    ) -> Result<Self, SpaceError> {
+        let len = configs.len();
+        Self::from_value_rows(name, params, len, configs.iter().map(|r| r.as_slice()))
+    }
+
+    fn from_value_rows<'v>(
+        name: impl Into<String>,
+        params: Vec<TunableParameter>,
+        num_configs: usize,
+        rows: impl Iterator<Item = &'v [Value]>,
+    ) -> Result<Self, SpaceError> {
+        if num_configs > EMPTY_SLOT as usize {
+            return Err(SpaceError::TooLarge {
+                what: "number of configurations",
+                count: num_configs,
+            });
         }
+        let value_codes = reverse_dictionaries(&params)?;
+        let stride = params.len();
+        let mut codes: Vec<u32> = Vec::with_capacity(num_configs * stride);
+        for (row_index, row) in rows.enumerate() {
+            if row.len() != stride {
+                return Err(SpaceError::RowLength {
+                    row: row_index,
+                    expected: stride,
+                    found: row.len(),
+                });
+            }
+            for (value, (param, lookup)) in row.iter().zip(params.iter().zip(value_codes.iter())) {
+                match lookup.code_of(value) {
+                    Some(code) => codes.push(code),
+                    None => {
+                        return Err(SpaceError::UnknownValue {
+                            param: param.name().to_string(),
+                            value: value.clone(),
+                            row: row_index,
+                        })
+                    }
+                }
+            }
+        }
+        Ok(Self::from_parts(
+            name.into(),
+            params,
+            num_configs,
+            codes,
+            value_codes,
+        ))
+    }
+
+    /// Build directly from encoded rows (used by [`SearchSpace::filter`]).
+    fn from_parts(
+        name: String,
+        params: Vec<TunableParameter>,
+        num_configs: usize,
+        codes: Vec<u32>,
+        value_codes: Vec<CodeLookup>,
+    ) -> Self {
+        let table = RowTable::build(num_configs, params.len(), &codes);
+        SearchSpace {
+            name,
+            params,
+            num_configs,
+            codes,
+            value_codes,
+            table,
+        }
+    }
+
+    #[inline]
+    fn stride(&self) -> usize {
+        self.params.len()
+    }
+
+    #[inline]
+    fn row(&self, index: usize) -> &[u32] {
+        let stride = self.stride();
+        &self.codes[index * stride..(index + 1) * stride]
     }
 
     /// The space's name.
@@ -72,7 +390,7 @@ impl SearchSpace {
         &self.name
     }
 
-    /// The tunable parameters.
+    /// The tunable parameters (each one owns its value dictionary).
     pub fn params(&self) -> &[TunableParameter] {
         &self.params
     }
@@ -82,14 +400,19 @@ impl SearchSpace {
         self.params.iter().map(|p| p.name()).collect()
     }
 
+    /// Number of tunable parameters (the arena stride).
+    pub fn num_params(&self) -> usize {
+        self.params.len()
+    }
+
     /// Number of valid configurations.
     pub fn len(&self) -> usize {
-        self.configs.len()
+        self.num_configs
     }
 
     /// True when the space has no valid configuration.
     pub fn is_empty(&self) -> bool {
-        self.configs.is_empty()
+        self.num_configs == 0
     }
 
     /// The Cartesian size of the unconstrained space.
@@ -110,73 +433,158 @@ impl SearchSpace {
         1.0 - self.len() as f64 / cartesian
     }
 
-    /// The configuration at `index`.
-    pub fn get(&self, index: usize) -> Option<&[Value]> {
-        self.configs.get(index).map(|v| v.as_slice())
+    /// The id at a raw dense index, if in range.
+    pub fn id_at(&self, index: usize) -> Option<ConfigId> {
+        (index < self.num_configs).then(|| ConfigId::from_index(index))
     }
 
-    /// The per-parameter value indices of the configuration at `index`.
-    pub fn value_indices(&self, index: usize) -> Option<&[usize]> {
-        self.value_indices.get(index).map(|v| v.as_slice())
+    /// Iterate over all configuration ids (`0..len`).
+    pub fn ids(&self) -> impl ExactSizeIterator<Item = ConfigId> + DoubleEndedIterator {
+        (0..self.num_configs as u32).map(ConfigId)
     }
 
-    /// All configurations.
-    pub fn configs(&self) -> &[Vec<Value>] {
-        &self.configs
+    /// Iterate over all configurations as borrowing [`ConfigView`]s.
+    pub fn iter(&self) -> impl ExactSizeIterator<Item = ConfigView<'_>> + DoubleEndedIterator {
+        (0..self.num_configs as u32).map(move |i| ConfigView {
+            space: self,
+            id: ConfigId(i),
+        })
+    }
+
+    /// Iterate over all configurations decoded to owned value rows.
+    ///
+    /// Decoding clones each cell's [`Value`]; prefer [`SearchSpace::iter`]
+    /// and per-cell access on hot paths.
+    pub fn iter_decoded(&self) -> impl ExactSizeIterator<Item = Vec<Value>> + '_ {
+        self.iter().map(|view| view.to_vec())
+    }
+
+    /// A borrowing view of the configuration with the given id.
+    pub fn view(&self, id: ConfigId) -> Option<ConfigView<'_>> {
+        (id.index() < self.num_configs).then_some(ConfigView { space: self, id })
+    }
+
+    /// The encoded row (per-parameter value codes) of a configuration.
+    pub fn codes_of(&self, id: ConfigId) -> Option<&[u32]> {
+        (id.index() < self.num_configs).then(|| self.row(id.index()))
+    }
+
+    /// Encode a value row into per-parameter codes. Returns `false` (leaving
+    /// `out` in an unspecified state) when the row has the wrong length or
+    /// contains a value outside the declared domains — such a row cannot be
+    /// part of any space over these parameters.
+    pub fn encode_into(&self, config: &[Value], out: &mut Vec<u32>) -> bool {
+        out.clear();
+        if config.len() != self.stride() {
+            return false;
+        }
+        for (value, lookup) in config.iter().zip(self.value_codes.iter()) {
+            match lookup.code_of(value) {
+                Some(code) => out.push(code),
+                None => return false,
+            }
+        }
+        true
+    }
+
+    /// Encode a value row into a fresh code vector, if every value is in its
+    /// parameter's declared value list.
+    pub fn encode(&self, config: &[Value]) -> Option<Vec<u32>> {
+        let mut out = Vec::with_capacity(config.len());
+        self.encode_into(config, &mut out).then_some(out)
     }
 
     /// Whether a configuration is part of the (valid) search space.
     pub fn contains(&self, config: &[Value]) -> bool {
-        self.index.contains_key(config)
+        self.index_of(config).is_some()
     }
 
-    /// The index of a configuration, if valid.
-    pub fn index_of(&self, config: &[Value]) -> Option<usize> {
-        self.index.get(config).copied()
+    /// The id of a configuration given as a value row, if valid.
+    ///
+    /// The row is encoded on the fly (no allocation beyond a small code
+    /// buffer) and looked up by hashing the encoded row.
+    pub fn index_of(&self, config: &[Value]) -> Option<ConfigId> {
+        let mut buf = [0u32; 16];
+        if config.len() <= buf.len() {
+            // Fast path: encode into a stack buffer.
+            if config.len() != self.stride() {
+                return None;
+            }
+            for (slot, (value, lookup)) in buf
+                .iter_mut()
+                .zip(config.iter().zip(self.value_codes.iter()))
+            {
+                *slot = lookup.code_of(value)?;
+            }
+            self.index_of_codes(&buf[..config.len()])
+        } else {
+            let codes = self.encode(config)?;
+            self.index_of_codes(&codes)
+        }
     }
 
-    /// A configuration as `(name, value)` pairs.
-    pub fn named(&self, index: usize) -> Option<Vec<(&str, &Value)>> {
-        self.configs.get(index).map(|row| {
-            self.params
-                .iter()
-                .map(|p| p.name())
-                .zip(row.iter())
-                .collect()
-        })
+    /// The id of a configuration given as an already-encoded row, if valid.
+    /// This is the allocation-free fast path for callers that work in code
+    /// space (crossover, mutation, snapping).
+    pub fn index_of_codes(&self, codes: &[u32]) -> Option<ConfigId> {
+        if codes.len() != self.stride() || self.num_configs == 0 {
+            return None;
+        }
+        self.table
+            .lookup(codes, self.stride(), &self.codes)
+            .map(ConfigId)
+    }
+
+    /// For each parameter, a `values()`-aligned occurrence mask: `true` when
+    /// the value occurs in at least one valid configuration. Computed in a
+    /// single pass over the arena.
+    fn occurrence_masks(&self) -> Vec<Vec<bool>> {
+        let mut masks: Vec<Vec<bool>> = self.params.iter().map(|p| vec![false; p.len()]).collect();
+        for row in self.codes.chunks_exact(self.stride().max(1)) {
+            for (mask, &code) in masks.iter_mut().zip(row.iter()) {
+                mask[code as usize] = true;
+            }
+        }
+        masks
     }
 
     /// The *true* bounds of each numeric parameter over the valid
     /// configurations: `(min, max)` of the values that actually occur.
     /// Parameters with non-numeric values yield `None`.
     pub fn true_bounds(&self) -> Vec<Option<(f64, f64)>> {
-        let n = self.params.len();
-        let mut bounds: Vec<Option<(f64, f64)>> = vec![None; n];
-        for row in &self.configs {
-            for (i, v) in row.iter().enumerate() {
-                if let Some(f) = v.as_f64() {
-                    bounds[i] = Some(match bounds[i] {
-                        Some((lo, hi)) => (lo.min(f), hi.max(f)),
-                        None => (f, f),
-                    });
+        self.occurrence_masks()
+            .iter()
+            .zip(self.params.iter())
+            .map(|(mask, param)| {
+                let mut bounds: Option<(f64, f64)> = None;
+                for (value, _) in param.values().iter().zip(mask.iter()).filter(|(_, &m)| m) {
+                    if let Some(f) = value.as_f64() {
+                        bounds = Some(match bounds {
+                            Some((lo, hi)) => (lo.min(f), hi.max(f)),
+                            None => (f, f),
+                        });
+                    }
                 }
-            }
-        }
-        bounds
+                bounds
+            })
+            .collect()
     }
 
     /// For each parameter, the values that actually occur in at least one
     /// valid configuration (in declared order). Constraints often make some
-    /// declared values unreachable; optimizers should not waste samples there.
+    /// declared values unreachable; optimizers should not waste samples
+    /// there. Computed in one pass over the arena.
     pub fn occurring_values(&self) -> Vec<Vec<Value>> {
-        self.params
+        self.occurrence_masks()
             .iter()
-            .enumerate()
-            .map(|(i, p)| {
-                p.values()
+            .zip(self.params.iter())
+            .map(|(mask, param)| {
+                param
+                    .values()
                     .iter()
-                    .filter(|v| self.configs.iter().any(|row| &row[i] == *v))
-                    .cloned()
+                    .zip(mask.iter())
+                    .filter(|(_, &m)| m)
+                    .map(|(v, _)| v.clone())
                     .collect()
             })
             .collect()
@@ -184,23 +592,35 @@ impl SearchSpace {
 
     /// A new search space containing only the configurations for which the
     /// predicate holds (e.g. restricting to a promising region before a
-    /// second tuning pass).
-    pub fn filter<F: Fn(&[Value]) -> bool>(&self, predicate: F) -> SearchSpace {
-        let configs: Vec<Vec<Value>> = self
-            .configs
-            .iter()
-            .filter(|row| predicate(row))
-            .cloned()
-            .collect();
-        SearchSpace::from_configs(self.name.clone(), self.params.clone(), configs)
+    /// second tuning pass). The surviving code rows are copied directly —
+    /// no configuration is ever decoded.
+    pub fn filter<F: Fn(ConfigView<'_>) -> bool>(&self, predicate: F) -> SearchSpace {
+        let mut codes: Vec<u32> = Vec::new();
+        // Counted separately from the arena length: with zero parameters the
+        // arena stays empty no matter how many rows survive.
+        let mut kept = 0usize;
+        for view in self.iter() {
+            if predicate(view) {
+                codes.extend_from_slice(view.codes());
+                kept += 1;
+            }
+        }
+        SearchSpace::from_parts(
+            self.name.clone(),
+            self.params.clone(),
+            kept,
+            codes,
+            self.value_codes.clone(),
+        )
     }
 
     /// Split the configuration indices into `parts` contiguous, near-equal
     /// blocks — the simplest way to distribute a tuning run over multiple
-    /// workers, each exploring a disjoint part of the space.
+    /// workers, each exploring a disjoint part of the space. Convert a range
+    /// position back to an id with [`ConfigId::from_index`].
     pub fn partition(&self, parts: usize) -> Vec<std::ops::Range<usize>> {
         let parts = parts.max(1);
-        let n = self.configs.len();
+        let n = self.num_configs;
         let base = n / parts;
         let remainder = n % parts;
         let mut ranges = Vec::with_capacity(parts);
@@ -211,6 +631,165 @@ impl SearchSpace {
             start += len;
         }
         ranges
+    }
+
+    /// All configurations, decoded to owned rows.
+    #[deprecated(
+        since = "0.2.0",
+        note = "decodes the entire space; use `iter()` / `iter_decoded()` (see the MIGRATION \
+                section in the crate docs)"
+    )]
+    pub fn configs(&self) -> Vec<Vec<Value>> {
+        self.iter_decoded().collect()
+    }
+
+    /// The configuration at a raw index, decoded to an owned row.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `view(ConfigId::from_index(i))` and decode lazily (see the MIGRATION \
+                section in the crate docs)"
+    )]
+    pub fn get(&self, index: usize) -> Option<Vec<Value>> {
+        self.id_at(index)
+            .map(|id| ConfigView { space: self, id }.to_vec())
+    }
+
+    /// The per-parameter value indices of the configuration at a raw index.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `codes_of(ConfigId::from_index(i))` (see the MIGRATION section in the \
+                crate docs)"
+    )]
+    pub fn value_indices(&self, index: usize) -> Option<Vec<usize>> {
+        self.id_at(index)
+            .map(|id| self.row(id.index()).iter().map(|&c| c as usize).collect())
+    }
+
+    /// A configuration as `(name, value)` pairs.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `view(ConfigId::from_index(i))?.named()` (see the MIGRATION section in \
+                the crate docs)"
+    )]
+    pub fn named(&self, index: usize) -> Option<Vec<(&str, &Value)>> {
+        self.id_at(index)
+            .map(|id| ConfigView { space: self, id }.named())
+    }
+}
+
+/// Build the per-parameter value → code reverse dictionaries.
+fn reverse_dictionaries(params: &[TunableParameter]) -> Result<Vec<CodeLookup>, SpaceError> {
+    params
+        .iter()
+        .map(|p| {
+            if p.len() >= EMPTY_SLOT as usize {
+                return Err(SpaceError::TooLarge {
+                    what: "parameter values",
+                    count: p.len(),
+                });
+            }
+            Ok(CodeLookup::build(p.values()))
+        })
+        .collect()
+}
+
+/// A borrowing, lazily decoding view of one configuration.
+///
+/// A view is a `(space, id)` pair: nothing is decoded until a cell is
+/// accessed, and decoding a cell is a dictionary lookup
+/// (`params[d].values()[code]`) that borrows from the space.
+#[derive(Clone, Copy)]
+pub struct ConfigView<'a> {
+    space: &'a SearchSpace,
+    id: ConfigId,
+}
+
+impl<'a> ConfigView<'a> {
+    /// The id of the viewed configuration.
+    pub fn id(&self) -> ConfigId {
+        self.id
+    }
+
+    /// The encoded row (per-parameter value codes).
+    pub fn codes(&self) -> &'a [u32] {
+        self.space.row(self.id.index())
+    }
+
+    /// Number of parameters (cells) in the configuration.
+    pub fn len(&self) -> usize {
+        self.space.stride()
+    }
+
+    /// True when the space has no parameters.
+    pub fn is_empty(&self) -> bool {
+        self.space.stride() == 0
+    }
+
+    /// The decoded value of parameter `d`, if in range.
+    pub fn value(&self, d: usize) -> Option<&'a Value> {
+        let code = *self.codes().get(d)? as usize;
+        self.space.params.get(d).map(|p| &p.values()[code])
+    }
+
+    /// The decoded value of parameter `d` as an `f64`, if numeric.
+    pub fn as_f64(&self, d: usize) -> Option<f64> {
+        self.value(d)?.as_f64()
+    }
+
+    /// Iterate over the decoded values in declaration order (borrowing).
+    pub fn values(&self) -> impl ExactSizeIterator<Item = &'a Value> + '_ {
+        let params = &self.space.params;
+        self.codes()
+            .iter()
+            .zip(params.iter())
+            .map(|(&code, p)| &p.values()[code as usize])
+    }
+
+    /// Decode into an owned value row.
+    pub fn to_vec(&self) -> Vec<Value> {
+        self.values().cloned().collect()
+    }
+
+    /// Decode into a caller-provided buffer (cleared first), avoiding an
+    /// allocation per decode on hot paths.
+    pub fn decode_into(&self, out: &mut Vec<Value>) {
+        out.clear();
+        out.extend(self.values().cloned());
+    }
+
+    /// The configuration as `(name, value)` pairs.
+    pub fn named(&self) -> Vec<(&'a str, &'a Value)> {
+        self.space
+            .params
+            .iter()
+            .map(|p| p.name())
+            .zip(self.values())
+            .collect()
+    }
+}
+
+impl std::ops::Index<usize> for ConfigView<'_> {
+    type Output = Value;
+
+    fn index(&self, d: usize) -> &Value {
+        self.value(d).expect("parameter index in range")
+    }
+}
+
+impl PartialEq for ConfigView<'_> {
+    fn eq(&self, other: &Self) -> bool {
+        std::ptr::eq(self.space, other.space) && self.id == other.id
+    }
+}
+
+impl fmt::Debug for ConfigView<'_> {
+    /// Renders the named pairs, e.g. `{x: 4, y: 1}`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut map = f.debug_map();
+        for (name, value) in self.named() {
+            map.entry(&format_args!("{name}"), &format_args!("{value}"));
+        }
+        map.finish()
     }
 }
 
@@ -232,7 +811,7 @@ mod tests {
             int_values([2, 2]),
             int_values([4, 1]),
         ];
-        SearchSpace::from_configs("demo", params, configs)
+        SearchSpace::from_configs("demo", params, configs).unwrap()
     }
 
     #[test]
@@ -244,8 +823,12 @@ mod tests {
         assert_eq!(s.cartesian_size(), 6);
         assert!((s.sparsity() - (1.0 - 5.0 / 6.0)).abs() < 1e-12);
         assert_eq!(s.param_names(), vec!["x", "y"]);
-        assert_eq!(s.get(2).unwrap(), &int_values([2, 1])[..]);
-        assert_eq!(s.get(99), None);
+        assert_eq!(s.num_params(), 2);
+        let view = s.view(ConfigId::from_index(2)).unwrap();
+        assert_eq!(view.to_vec(), int_values([2, 1]));
+        assert!(s.view(ConfigId::from_index(99)).is_none());
+        assert_eq!(s.id_at(4), Some(ConfigId::from_index(4)));
+        assert_eq!(s.id_at(5), None);
     }
 
     #[test]
@@ -253,15 +836,83 @@ mod tests {
         let s = space();
         assert!(s.contains(&int_values([2, 2])));
         assert!(!s.contains(&int_values([4, 2])));
-        assert_eq!(s.index_of(&int_values([4, 1])), Some(4));
+        assert_eq!(
+            s.index_of(&int_values([4, 1])),
+            Some(ConfigId::from_index(4))
+        );
         assert_eq!(s.index_of(&int_values([9, 9])), None);
+        assert_eq!(s.index_of(&int_values([1])), None); // wrong arity
     }
 
     #[test]
-    fn value_indices_match_parameter_positions() {
+    fn code_rows_match_parameter_positions() {
         let s = space();
-        assert_eq!(s.value_indices(4).unwrap(), &[2, 0]);
-        assert_eq!(s.value_indices(1).unwrap(), &[0, 1]);
+        assert_eq!(s.codes_of(ConfigId::from_index(4)).unwrap(), &[2, 0]);
+        assert_eq!(s.codes_of(ConfigId::from_index(1)).unwrap(), &[0, 1]);
+        assert_eq!(
+            s.index_of_codes(&[2, 0]),
+            Some(ConfigId::from_index(4)),
+            "encoded fast path agrees"
+        );
+        assert_eq!(s.index_of_codes(&[2, 1]), None); // (4, 2) is invalid
+        assert_eq!(s.index_of_codes(&[0]), None); // wrong arity
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let s = space();
+        for view in s.iter() {
+            let decoded = view.to_vec();
+            let codes = s.encode(&decoded).unwrap();
+            assert_eq!(codes, view.codes());
+            assert_eq!(s.index_of_codes(&codes), Some(view.id()));
+            assert_eq!(s.index_of(&decoded), Some(view.id()));
+        }
+        assert_eq!(s.encode(&int_values([3, 1])), None); // 3 not in x's domain
+    }
+
+    #[test]
+    fn iterators_agree() {
+        let s = space();
+        assert_eq!(s.ids().count(), s.len());
+        assert_eq!(s.iter().count(), s.len());
+        let decoded: Vec<Vec<Value>> = s.iter_decoded().collect();
+        assert_eq!(decoded.len(), s.len());
+        for (id, row) in s.ids().zip(decoded.iter()) {
+            assert_eq!(&s.view(id).unwrap().to_vec(), row);
+        }
+    }
+
+    #[test]
+    fn from_configs_rejects_values_outside_the_domain() {
+        let params = vec![TunableParameter::ints("x", [1, 2])];
+        let err = SearchSpace::from_configs("bad", params.clone(), vec![int_values([3])])
+            .expect_err("3 is not in x's domain");
+        assert_eq!(
+            err,
+            SpaceError::UnknownValue {
+                param: "x".to_string(),
+                value: Value::Int(3),
+                row: 0,
+            }
+        );
+        assert!(err.to_string().contains("x"));
+        let err = SearchSpace::from_configs("bad", params, vec![int_values([1, 2])])
+            .expect_err("wrong arity");
+        assert!(matches!(err, SpaceError::RowLength { row: 0, .. }));
+    }
+
+    #[test]
+    fn view_cell_access() {
+        let s = space();
+        let view = s.view(ConfigId::from_index(4)).unwrap();
+        assert_eq!(view.value(0), Some(&Value::Int(4)));
+        assert_eq!(view.as_f64(1), Some(1.0));
+        assert_eq!(view.value(2), None);
+        assert_eq!(view[1], Value::Int(1));
+        assert_eq!(view.len(), 2);
+        assert!(!view.is_empty());
+        assert_eq!(format!("{view:?}"), "{x: 4, y: 1}");
     }
 
     #[test]
@@ -279,7 +930,7 @@ mod tests {
     fn true_bounds_shrink_when_values_unreachable() {
         let params = vec![TunableParameter::ints("x", [1, 2, 64])];
         let configs = vec![int_values([1]), int_values([2])];
-        let s = SearchSpace::from_configs("shrunk", params, configs);
+        let s = SearchSpace::from_configs("shrunk", params, configs).unwrap();
         assert_eq!(s.true_bounds()[0], Some((1.0, 2.0)));
         assert_eq!(s.occurring_values()[0], int_values([1, 2]));
     }
@@ -287,21 +938,23 @@ mod tests {
     #[test]
     fn named_view() {
         let s = space();
-        let named = s.named(0).unwrap();
+        let named = s.view(ConfigId::from_index(0)).unwrap().named();
         assert_eq!(named[0].0, "x");
         assert_eq!(named[0].1, &Value::Int(1));
-        assert!(s.named(100).is_none());
     }
 
     #[test]
     fn filter_produces_a_consistent_subspace() {
         let s = space();
-        let filtered = s.filter(|row| row[1] == Value::Int(1));
+        let filtered = s.filter(|view| view[1] == Value::Int(1));
         assert_eq!(filtered.len(), 3);
         assert!(filtered.contains(&int_values([4, 1])));
         assert!(!filtered.contains(&int_values([1, 2])));
         // indices are rebuilt for the subspace
-        assert_eq!(filtered.index_of(&int_values([1, 1])), Some(0));
+        assert_eq!(
+            filtered.index_of(&int_values([1, 1])),
+            Some(ConfigId::from_index(0))
+        );
     }
 
     #[test]
@@ -333,7 +986,29 @@ mod tests {
                 TunableParameter::ints("y", [1]),
             ],
             &sols,
-        );
+        )
+        .unwrap();
         assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_still_work() {
+        let s = space();
+        assert_eq!(s.configs().len(), 5);
+        assert_eq!(s.get(2).unwrap(), int_values([2, 1]));
+        assert_eq!(s.get(99), None);
+        assert_eq!(s.value_indices(4).unwrap(), vec![2, 0]);
+        assert_eq!(s.named(0).unwrap()[0].0, "x");
+        assert!(s.named(100).is_none());
+    }
+
+    #[test]
+    fn duplicate_rows_resolve_to_the_first_occurrence() {
+        let params = vec![TunableParameter::ints("x", [1, 2])];
+        let configs = vec![int_values([1]), int_values([2]), int_values([1])];
+        let s = SearchSpace::from_configs("dup", params, configs).unwrap();
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.index_of(&int_values([1])), Some(ConfigId::from_index(0)));
     }
 }

@@ -164,16 +164,16 @@ mod tests {
     fn deterministic() {
         let s = space();
         let k = SyntheticKernel::for_space(&s, 42);
-        let cfg = s.get(0).unwrap();
-        assert_eq!(k.runtime_ms(cfg), k.runtime_ms(cfg));
-        assert_eq!(k.measurement_cost_ms(cfg), k.measurement_cost_ms(cfg));
+        let cfg = s.iter().next().unwrap().to_vec();
+        assert_eq!(k.runtime_ms(&cfg), k.runtime_ms(&cfg));
+        assert_eq!(k.measurement_cost_ms(&cfg), k.measurement_cost_ms(&cfg));
     }
 
     #[test]
     fn different_configs_have_different_runtimes() {
         let s = space();
         let k = SyntheticKernel::for_space(&s, 42);
-        let mut runtimes: Vec<f64> = s.configs().iter().map(|c| k.runtime_ms(c)).collect();
+        let mut runtimes: Vec<f64> = s.iter_decoded().map(|c| k.runtime_ms(&c)).collect();
         runtimes.sort_by(|a, b| a.partial_cmp(b).unwrap());
         runtimes.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
         assert!(runtimes.len() > s.len() / 2, "landscape too flat");
@@ -183,8 +183,8 @@ mod tests {
     fn runtimes_are_positive_and_bounded() {
         let s = space();
         let k = SyntheticKernel::for_space(&s, 7);
-        for c in s.configs() {
-            let t = k.runtime_ms(c);
+        for c in s.iter_decoded() {
+            let t = k.runtime_ms(&c);
             assert!(t > 0.0);
             assert!(t < k.base_ms + k.amplitude * 3.0 + 5.0);
         }
@@ -194,9 +194,9 @@ mod tests {
     fn measurement_cost_includes_overhead_and_iterations() {
         let s = space();
         let k = SyntheticKernel::for_space(&s, 1);
-        let cfg = s.get(0).unwrap();
-        let cost = k.measurement_cost_ms(cfg);
-        assert!(cost > k.runtime_ms(cfg) * k.iterations() as f64);
+        let cfg = s.iter().next().unwrap().to_vec();
+        let cost = k.measurement_cost_ms(&cfg);
+        assert!(cost > k.runtime_ms(&cfg) * k.iterations() as f64);
     }
 
     #[test]
@@ -204,8 +204,8 @@ mod tests {
         let s = space();
         let a = SyntheticKernel::for_space(&s, 1);
         let b = SyntheticKernel::for_space(&s, 2);
-        let cfg = s.get(0).unwrap();
-        assert_ne!(a.runtime_ms(cfg), b.runtime_ms(cfg));
+        let cfg = s.iter().next().unwrap().to_vec();
+        assert_ne!(a.runtime_ms(&cfg), b.runtime_ms(&cfg));
     }
 
     #[test]

@@ -1,20 +1,22 @@
 //! Differential evolution adapted to discrete, constrained spaces.
 //!
-//! Individuals live in the per-parameter *value index* space. The classic
-//! DE/rand/1/bin mutation `a + F * (b - c)` is computed on index vectors,
-//! rounded, clamped to each parameter's index range and then snapped to a
+//! Individuals live in the per-parameter *value code* space. The classic
+//! DE/rand/1/bin mutation `a + F * (b - c)` is computed on code vectors,
+//! rounded, clamped to each parameter's code range and then snapped to a
 //! valid configuration: if the mutant is not in the resolved search space the
-//! nearest valid configuration (normalized index distance) among a bounded
+//! nearest valid configuration (normalized code distance) among a bounded
 //! candidate sample is used. This mirrors how Kernel Tuner adapts continuous
-//! strategies to constrained discrete spaces via the `SearchSpace`.
+//! strategies to constrained discrete spaces via the `SearchSpace`. The whole
+//! strategy works on encoded rows and the [`ConfigId`] fast path — no
+//! configuration is ever decoded to values.
 
 use rand::Rng;
 
-use at_csp::Value;
+use at_searchspace::ConfigId;
 
 use crate::tuning::{Strategy, TuningContext};
 
-/// DE/rand/1/bin over configuration value indices.
+/// DE/rand/1/bin over configuration value codes.
 #[derive(Debug, Clone, Copy)]
 pub struct DifferentialEvolution {
     /// Population size.
@@ -40,36 +42,33 @@ impl Default for DifferentialEvolution {
 }
 
 impl DifferentialEvolution {
-    /// Snap an index vector to a valid configuration index: exact hit if the
-    /// corresponding configuration exists, otherwise the nearest of a random
-    /// sample of valid configurations.
-    fn snap(&self, ctx: &mut TuningContext<'_>, target: &[f64]) -> usize {
+    /// Snap a code vector to a valid configuration id: exact hit through the
+    /// encoded-row fast path if the corresponding configuration exists,
+    /// otherwise the nearest of a random sample of valid configurations.
+    fn snap(&self, ctx: &mut TuningContext<'_>, target: &[f64]) -> ConfigId {
         let space = ctx.space();
-        let exact: Vec<Value> = target
+        let exact: Vec<u32> = target
             .iter()
-            .enumerate()
-            .map(|(d, &idx)| {
-                let param = &space.params()[d];
-                let i = (idx.round() as i64).clamp(0, param.len() as i64 - 1) as usize;
-                param.values()[i].clone()
-            })
+            .zip(space.params().iter())
+            .map(|(&code, param)| (code.round() as i64).clamp(0, param.len() as i64 - 1) as u32)
             .collect();
-        if let Some(i) = space.index_of(&exact) {
-            return i;
+        if let Some(id) = space.index_of_codes(&exact) {
+            return id;
         }
         let n = space.len();
-        let mut best = 0usize;
+        let mut best = ConfigId::from_index(0);
         let mut best_dist = f64::INFINITY;
         for _ in 0..self.snap_candidates.max(1) {
-            let candidate = ctx.rng().gen_range(0..n);
-            let indices = ctx.space().value_indices(candidate).expect("valid index");
-            let dist: f64 = indices
+            let candidate = ConfigId::from_index(ctx.rng().gen_range(0..n));
+            let space = ctx.space();
+            let codes = space.codes_of(candidate).expect("valid id");
+            let dist: f64 = codes
                 .iter()
                 .zip(target.iter())
-                .enumerate()
-                .map(|(d, (&i, &t))| {
-                    let scale = ctx.space().params()[d].len().max(1) as f64;
-                    let diff = (i as f64 - t) / scale;
+                .zip(space.params().iter())
+                .map(|((&c, &t), param)| {
+                    let scale = param.len().max(1) as f64;
+                    let diff = (c as f64 - t) / scale;
                     diff * diff
                 })
                 .sum();
@@ -93,9 +92,9 @@ impl Strategy for DifferentialEvolution {
         let pop_size = self.population_size.min(n).max(4);
 
         // initial population: random distinct-ish configurations
-        let mut population: Vec<(usize, f64)> = Vec::with_capacity(pop_size);
+        let mut population: Vec<(ConfigId, f64)> = Vec::with_capacity(pop_size);
         while population.len() < pop_size {
-            let candidate = ctx.rng().gen_range(0..n);
+            let candidate = ConfigId::from_index(ctx.rng().gen_range(0..n));
             match ctx.evaluate(candidate) {
                 Some(t) => population.push((candidate, t)),
                 None => return,
@@ -120,27 +119,21 @@ impl Strategy for DifferentialEvolution {
                     population[partners[1]].0,
                     population[partners[2]].0,
                 );
-                let target_indices = ctx
-                    .space()
-                    .value_indices(population[i].0)
-                    .expect("valid")
-                    .to_vec();
-                let ai = ctx.space().value_indices(a).expect("valid").to_vec();
-                let bi = ctx.space().value_indices(b).expect("valid").to_vec();
-                let ci = ctx.space().value_indices(c).expect("valid").to_vec();
-
-                // mutation + binomial crossover in index space
+                // mutation + binomial crossover in code space: borrow the
+                // four encoded rows straight from the arena (no decode, no
+                // clone — `space()` outlives the `rng()` borrows below)
+                let space = ctx.space();
+                let ai = space.codes_of(a).expect("valid id");
+                let bi = space.codes_of(b).expect("valid id");
+                let ci = space.codes_of(c).expect("valid id");
+                let target = space.codes_of(population[i].0).expect("valid id");
                 let forced = ctx.rng().gen_range(0..dims);
                 let mut trial = vec![0.0f64; dims];
-                for d in 0..dims {
+                for (d, slot) in trial.iter_mut().enumerate() {
                     let mutant =
                         ai[d] as f64 + self.differential_weight * (bi[d] as f64 - ci[d] as f64);
                     let cross = ctx.rng().gen_bool(self.crossover_rate) || d == forced;
-                    trial[d] = if cross {
-                        mutant
-                    } else {
-                        target_indices[d] as f64
-                    };
+                    *slot = if cross { mutant } else { target[d] as f64 };
                 }
 
                 let candidate = self.snap(ctx, &trial);
@@ -184,7 +177,7 @@ mod tests {
         );
         assert!(run.num_evaluations() > 10);
         for e in &run.evaluations {
-            assert!(space.get(e.config_index).is_some());
+            assert!(space.view(e.config_index).is_some());
         }
         let initial_best = run.evaluations[..DifferentialEvolution::default()
             .population_size

@@ -8,7 +8,7 @@
 use rand::seq::SliceRandom;
 use rand::Rng;
 
-use at_searchspace::{neighbors, NeighborIndex, NeighborMethod};
+use at_searchspace::{neighbors, ConfigId, NeighborIndex, NeighborMethod};
 
 use crate::tuning::{Strategy, TuningContext};
 
@@ -34,23 +34,24 @@ impl Default for GeneticAlgorithm {
 }
 
 impl GeneticAlgorithm {
-    /// Single-point crossover on parameter values, snapped back into the
-    /// valid space through the hash index. Returns `None` when the offspring
-    /// is not a valid configuration.
+    /// Single-point crossover on the encoded code rows, snapped back into
+    /// the valid space through the hash index — no `Value` is ever cloned.
+    /// Returns `None` when the offspring is not a valid configuration.
     fn crossover(
         &self,
         ctx: &mut TuningContext<'_>,
-        parent_a: usize,
-        parent_b: usize,
-    ) -> Option<usize> {
+        parent_a: ConfigId,
+        parent_b: ConfigId,
+    ) -> Option<ConfigId> {
+        let dims = ctx.space().num_params();
+        let cut = ctx.rng().gen_range(1..dims.max(2));
         let space = ctx.space();
-        let a = space.get(parent_a)?.to_vec();
-        let b = space.get(parent_b)?.to_vec();
-        let cut = ctx.rng().gen_range(1..a.len().max(2));
-        let mut child = Vec::with_capacity(a.len());
+        let a = space.codes_of(parent_a)?;
+        let b = space.codes_of(parent_b)?;
+        let mut child = Vec::with_capacity(dims);
         child.extend_from_slice(&a[..cut.min(a.len())]);
         child.extend_from_slice(&b[cut.min(b.len())..]);
-        ctx.space().index_of(&child)
+        space.index_of_codes(&child)
     }
 }
 
@@ -65,9 +66,9 @@ impl Strategy for GeneticAlgorithm {
         let pop_size = self.population_size.min(n).max(2);
 
         // initial population: distinct random configurations
-        let mut all: Vec<usize> = (0..n).collect();
+        let mut all: Vec<ConfigId> = ctx.space().ids().collect();
         all.shuffle(ctx.rng());
-        let mut population: Vec<(usize, f64)> = Vec::with_capacity(pop_size);
+        let mut population: Vec<(ConfigId, f64)> = Vec::with_capacity(pop_size);
         for &i in all.iter().take(pop_size) {
             match ctx.evaluate(i) {
                 Some(t) => population.push((i, t)),
@@ -78,7 +79,7 @@ impl Strategy for GeneticAlgorithm {
         while !ctx.exhausted() && population.len() >= 2 {
             // tournament selection of two parents
             let select = |ctx: &mut TuningContext<'_>| {
-                let mut best: Option<(usize, f64)> = None;
+                let mut best: Option<(ConfigId, f64)> = None;
                 for _ in 0..self.tournament {
                     let pick = population[ctx.rng().gen_range(0..population.len())];
                     if best.map(|b| pick.1 < b.1).unwrap_or(true) {
@@ -174,7 +175,7 @@ mod tests {
             8,
         );
         for e in &run.evaluations {
-            assert!(space.get(e.config_index).is_some());
+            assert!(space.view(e.config_index).is_some());
         }
     }
 }

@@ -2,7 +2,7 @@
 
 use rand::Rng;
 
-use at_searchspace::{neighbors, NeighborIndex, NeighborMethod};
+use at_searchspace::{neighbors, ConfigId, NeighborIndex, NeighborMethod};
 
 use crate::tuning::{Strategy, TuningContext};
 
@@ -32,7 +32,7 @@ impl Strategy for HillClimbing {
         let n = ctx.space().len();
         while !ctx.exhausted() {
             // random restart
-            let mut current = ctx.rng().gen_range(0..n);
+            let mut current = ConfigId::from_index(ctx.rng().gen_range(0..n));
             let mut current_time = match ctx.evaluate(current) {
                 Some(t) => t,
                 None => return,

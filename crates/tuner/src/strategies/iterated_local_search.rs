@@ -9,7 +9,7 @@
 
 use rand::Rng;
 
-use at_searchspace::{neighbors, NeighborIndex, NeighborMethod};
+use at_searchspace::{neighbors, ConfigId, NeighborIndex, NeighborMethod};
 
 use crate::tuning::{Strategy, TuningContext};
 
@@ -42,13 +42,13 @@ impl IteratedLocalSearch {
         &self,
         ctx: &mut TuningContext<'_>,
         index: &NeighborIndex,
-        start: usize,
+        start: ConfigId,
         start_time: f64,
-    ) -> Option<(usize, f64)> {
+    ) -> Option<(ConfigId, f64)> {
         let mut current = start;
         let mut current_time = start_time;
         loop {
-            let mut best_neighbor: Option<(usize, f64)> = None;
+            let mut best_neighbor: Option<(ConfigId, f64)> = None;
             for candidate in neighbors(ctx.space(), current, self.neighbor_method, Some(index)) {
                 let t = ctx.evaluate(candidate)?;
                 if t < current_time && best_neighbor.map(|(_, bt)| t < bt).unwrap_or(true) {
@@ -66,7 +66,12 @@ impl IteratedLocalSearch {
     }
 
     /// Random walk of `perturbation_strength` neighbor steps from `from`.
-    fn perturb(&self, ctx: &mut TuningContext<'_>, index: &NeighborIndex, from: usize) -> usize {
+    fn perturb(
+        &self,
+        ctx: &mut TuningContext<'_>,
+        index: &NeighborIndex,
+        from: ConfigId,
+    ) -> ConfigId {
         let mut current = from;
         for _ in 0..self.perturbation_strength {
             let options = neighbors(ctx.space(), current, self.neighbor_method, Some(index));
@@ -88,7 +93,7 @@ impl Strategy for IteratedLocalSearch {
         let index = NeighborIndex::build(ctx.space());
         let n = ctx.space().len();
 
-        let start = ctx.rng().gen_range(0..n);
+        let start = ConfigId::from_index(ctx.rng().gen_range(0..n));
         let start_time = match ctx.evaluate(start) {
             Some(t) => t,
             None => return,
@@ -166,7 +171,7 @@ mod tests {
             2,
         );
         for e in &run.evaluations {
-            assert!(s.get(e.config_index).is_some());
+            assert!(s.view(e.config_index).is_some());
         }
     }
 

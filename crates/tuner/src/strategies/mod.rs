@@ -87,11 +87,10 @@ mod tests {
         let model = SyntheticKernel::for_space(&space, 11);
         // global optimum by exhaustive evaluation of the model
         let best_possible = space
-            .configs()
-            .iter()
+            .iter_decoded()
             .map(|c| {
                 use crate::kernel::PerformanceModel;
-                model.runtime_ms(c)
+                model.runtime_ms(&c)
             })
             .fold(f64::INFINITY, f64::min);
         for name in all_strategy_names() {

@@ -1,14 +1,17 @@
 //! Particle swarm optimization over the value-index space.
 //!
 //! Kernel Tuner ships a PSO strategy that treats each configuration as a
-//! point in the per-parameter *value index* space: particle positions are
+//! point in the per-parameter *value code* space: particle positions are
 //! continuous vectors, and every evaluation snaps the position to the nearest
 //! valid configuration of the resolved search space. The snap step is where
 //! the `SearchSpace` abstraction matters — without the resolved space, a
 //! particle landing on an invalid combination would waste a kernel
-//! compilation just to discover the constraint violation.
+//! compilation just to discover the constraint violation. Snapping scans the
+//! encoded arena directly.
 
 use rand::Rng;
+
+use at_searchspace::ConfigId;
 
 use crate::tuning::{Strategy, TuningContext};
 
@@ -44,26 +47,25 @@ struct Particle {
 }
 
 impl ParticleSwarm {
-    /// Snap a continuous position in value-index space to the nearest valid
-    /// configuration (Euclidean distance over value indices), returning its
-    /// index in the space.
-    fn snap(ctx: &TuningContext<'_>, position: &[f64]) -> usize {
+    /// Snap a continuous position in value-code space to the nearest valid
+    /// configuration (Euclidean distance over value codes), returning its id.
+    fn snap(ctx: &TuningContext<'_>, position: &[f64]) -> ConfigId {
         let space = ctx.space();
-        let mut best = 0usize;
+        let mut best = ConfigId::from_index(0);
         let mut best_dist = f64::INFINITY;
-        for i in 0..space.len() {
-            let indices = space.value_indices(i).expect("index in range");
-            let dist: f64 = indices
+        for id in space.ids() {
+            let codes = space.codes_of(id).expect("id in range");
+            let dist: f64 = codes
                 .iter()
                 .zip(position.iter())
-                .map(|(&idx, &p)| {
-                    let d = idx as f64 - p;
+                .map(|(&code, &p)| {
+                    let d = code as f64 - p;
                     d * d
                 })
                 .sum();
             if dist < best_dist {
                 best_dist = dist;
-                best = i;
+                best = id;
             }
         }
         best
@@ -184,7 +186,7 @@ mod tests {
         );
         assert!(run.num_evaluations() > 0);
         for e in &run.evaluations {
-            assert!(s.get(e.config_index).is_some());
+            assert!(s.view(e.config_index).is_some());
         }
     }
 
@@ -210,7 +212,7 @@ mod tests {
         let mut ctx =
             crate::tuning::TuningContext::new(&s, &k, Duration::from_secs(1), Duration::ZERO, 1);
         let pos = ParticleSwarm::random_position(&mut ctx);
-        let idx = ParticleSwarm::snap(&ctx, &pos);
-        assert!(idx < s.len());
+        let id = ParticleSwarm::snap(&ctx, &pos);
+        assert!(id.index() < s.len());
     }
 }

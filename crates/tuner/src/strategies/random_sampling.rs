@@ -2,6 +2,8 @@
 
 use rand::seq::SliceRandom;
 
+use at_searchspace::ConfigId;
+
 use crate::tuning::{Strategy, TuningContext};
 
 /// Evaluate configurations in a uniformly random order until the budget runs
@@ -16,10 +18,10 @@ impl Strategy for RandomSampling {
     }
 
     fn run(&self, ctx: &mut TuningContext<'_>) {
-        let mut order: Vec<usize> = (0..ctx.space().len()).collect();
+        let mut order: Vec<ConfigId> = ctx.space().ids().collect();
         order.shuffle(ctx.rng());
-        for index in order {
-            if ctx.evaluate(index).is_none() {
+        for id in order {
+            if ctx.evaluate(id).is_none() {
                 break;
             }
         }
@@ -51,7 +53,7 @@ mod tests {
         );
         // budget is large enough to visit everything exactly once
         assert_eq!(run.num_evaluations(), space.len());
-        let mut seen: Vec<usize> = run.evaluations.iter().map(|e| e.config_index).collect();
+        let mut seen: Vec<ConfigId> = run.evaluations.iter().map(|e| e.config_index).collect();
         seen.sort_unstable();
         seen.dedup();
         assert_eq!(seen.len(), space.len());

@@ -2,7 +2,7 @@
 
 use rand::Rng;
 
-use at_searchspace::{neighbors, NeighborIndex, NeighborMethod};
+use at_searchspace::{neighbors, ConfigId, NeighborIndex, NeighborMethod};
 
 use crate::tuning::{Strategy, TuningContext};
 
@@ -36,7 +36,7 @@ impl Strategy for SimulatedAnnealing {
     fn run(&self, ctx: &mut TuningContext<'_>) {
         let index = NeighborIndex::build(ctx.space());
         let n = ctx.space().len();
-        let mut current = ctx.rng().gen_range(0..n);
+        let mut current = ConfigId::from_index(ctx.rng().gen_range(0..n));
         let mut current_time = match ctx.evaluate(current) {
             Some(t) => t,
             None => return,
@@ -46,7 +46,7 @@ impl Strategy for SimulatedAnnealing {
             let neighbor_list = neighbors(ctx.space(), current, self.neighbor_method, Some(&index));
             if neighbor_list.is_empty() {
                 // isolated configuration: restart somewhere else
-                current = ctx.rng().gen_range(0..n);
+                current = ConfigId::from_index(ctx.rng().gen_range(0..n));
                 current_time = match ctx.evaluate(current) {
                     Some(t) => t,
                     None => return,

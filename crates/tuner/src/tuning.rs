@@ -13,15 +13,16 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use rustc_hash::FxHashMap;
 
-use at_searchspace::SearchSpace;
+use at_csp::Value;
+use at_searchspace::{ConfigId, SearchSpace};
 
 use crate::kernel::PerformanceModel;
 
 /// One evaluated configuration.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Evaluation {
-    /// Index of the configuration in the search space.
-    pub config_index: usize,
+    /// Id of the configuration in the search space.
+    pub config_index: ConfigId,
     /// Simulated kernel runtime in milliseconds.
     pub runtime_ms: f64,
     /// Virtual time (milliseconds since tuning start, including construction)
@@ -94,10 +95,12 @@ pub struct TuningContext<'a> {
     space: &'a SearchSpace,
     model: &'a dyn PerformanceModel,
     rng: ChaCha8Rng,
-    cache: FxHashMap<usize, f64>,
+    cache: FxHashMap<ConfigId, f64>,
     clock_ms: f64,
     budget_ms: f64,
     evaluations: Vec<Evaluation>,
+    /// Reusable decode buffer so evaluations do not allocate per call.
+    scratch: Vec<Value>,
 }
 
 impl<'a> TuningContext<'a> {
@@ -117,11 +120,14 @@ impl<'a> TuningContext<'a> {
             clock_ms: construction.as_secs_f64() * 1000.0,
             budget_ms: budget.as_secs_f64() * 1000.0,
             evaluations: Vec::new(),
+            scratch: Vec::new(),
         }
     }
 
-    /// The search space being tuned.
-    pub fn space(&self) -> &SearchSpace {
+    /// The search space being tuned. The returned reference lives for the
+    /// whole tuning run (`'a`), not just this borrow of the context, so
+    /// strategies can hold arena slices across `rng()`/`evaluate()` calls.
+    pub fn space(&self) -> &'a SearchSpace {
         self.space
     }
 
@@ -143,34 +149,41 @@ impl<'a> TuningContext<'a> {
         self.clock_ms >= self.budget_ms || self.cache.len() >= self.space.len()
     }
 
-    /// Evaluate the configuration at `index`.
+    /// Evaluate the configuration with the given id.
     ///
     /// Returns `None` when the budget is exhausted (strategies should stop).
     /// Previously evaluated configurations are served from the cache, like
     /// Kernel Tuner's `cache` feature; a cache hit still charges
     /// [`CACHE_HIT_COST_MS`] of framework overhead to the clock so that a
     /// strategy revisiting cached configurations cannot spin forever on a
-    /// large budget.
-    pub fn evaluate(&mut self, index: usize) -> Option<f64> {
+    /// large budget. Cache hits never decode the configuration; misses
+    /// decode into a reused buffer.
+    pub fn evaluate(&mut self, id: ConfigId) -> Option<f64> {
         if self.exhausted() {
             return None;
         }
-        if let Some(&cached) = self.cache.get(&index) {
+        if let Some(&cached) = self.cache.get(&id) {
             self.clock_ms = (self.clock_ms + CACHE_HIT_COST_MS).min(self.budget_ms);
             return Some(cached);
         }
-        let config = self.space.get(index)?;
-        let cost = self.model.measurement_cost_ms(config);
+        // Copy the `&'a SearchSpace` out so the view does not borrow `self`.
+        let space = self.space;
+        let view = space.view(id)?;
+        let mut config = std::mem::take(&mut self.scratch);
+        view.decode_into(&mut config);
+        let cost = self.model.measurement_cost_ms(&config);
         if self.clock_ms + cost > self.budget_ms {
             // The measurement would not finish within the budget.
+            self.scratch = config;
             self.clock_ms = self.budget_ms;
             return None;
         }
-        let runtime = self.model.runtime_ms(config);
+        let runtime = self.model.runtime_ms(&config);
+        self.scratch = config;
         self.clock_ms += cost;
-        self.cache.insert(index, runtime);
+        self.cache.insert(id, runtime);
         self.evaluations.push(Evaluation {
-            config_index: index,
+            config_index: id,
             runtime_ms: runtime,
             finished_at_ms: self.clock_ms,
         });

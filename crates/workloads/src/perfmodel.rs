@@ -40,8 +40,8 @@ mod tests {
         let (space, _) = build_search_space(&w.spec, Method::Optimized).unwrap();
         let hotspot = performance_model_for("Hotspot", &space, 1);
         let gemm = performance_model_for("GEMM", &space, 1);
-        let cfg = space.get(0).unwrap();
-        assert!(gemm.runtime_ms(cfg) > hotspot.runtime_ms(cfg));
+        let cfg = space.iter().next().unwrap().to_vec();
+        assert!(gemm.runtime_ms(&cfg) > hotspot.runtime_ms(&cfg));
     }
 
     #[test]
@@ -49,6 +49,6 @@ mod tests {
         let w = dedispersion();
         let (space, _) = build_search_space(&w.spec, Method::Optimized).unwrap();
         let model = performance_model_for("something-else", &space, 3);
-        assert!(model.runtime_ms(space.get(0).unwrap()) > 0.0);
+        assert!(model.runtime_ms(&space.iter().next().unwrap().to_vec()) > 0.0);
     }
 }

@@ -60,8 +60,8 @@ fn main() {
             "(8, 8, tiled) has {} Hamming-distance-1 valid neighbors, e.g.:",
             hamming.len()
         );
-        for &i in hamming.iter().take(3) {
-            println!("  {:?}", space.named(i).unwrap());
+        for &id in hamming.iter().take(3) {
+            println!("  {:?}", space.view(id).unwrap());
         }
     }
 
@@ -69,7 +69,7 @@ fn main() {
     let mut rng = ChaCha8Rng::seed_from_u64(7);
     let samples = latin_hypercube_sample(&space, 8, &mut rng);
     println!("\nLatin Hypercube sample of the space:");
-    for &i in &samples {
-        println!("  {:?}", space.named(i).unwrap());
+    for &id in &samples {
+        println!("  {:?}", space.view(id).unwrap());
     }
 }

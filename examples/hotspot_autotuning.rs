@@ -55,8 +55,8 @@ fn main() {
             best,
             run.num_evaluations()
         );
-        if let Some(i) = best_index {
-            println!("      best configuration: {:?}", space.named(i).unwrap());
+        if let Some(id) = best_index {
+            println!("      best configuration: {:?}", space.view(id).unwrap());
         }
     }
 }

@@ -48,9 +48,9 @@ fn main() {
         brute.duration,
     );
 
-    // Show a few configurations.
+    // Show a few configurations: ids decode lazily through `ConfigView`.
     println!("\nfirst three valid configurations:");
-    for i in 0..3.min(space.len()) {
-        println!("  {:?}", space.named(i).unwrap());
+    for view in space.iter().take(3) {
+        println!("  {} {:?}", view.id(), view);
     }
 }

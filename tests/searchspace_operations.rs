@@ -22,13 +22,13 @@ fn hamming_neighbors_are_symmetric_and_valid_on_a_sample() {
     let space = dedispersion_space();
     let index = NeighborIndex::build(&space);
     let step = (space.len() / 50).max(1);
-    for i in (0..space.len()).step_by(step) {
+    for i in (0..space.len()).step_by(step).map(ConfigId::from_index) {
         let ns = neighbors(&space, i, NeighborMethod::Hamming, Some(&index));
         for &j in &ns {
-            assert!(j < space.len());
-            // exactly one parameter differs
-            let a = space.get(i).unwrap();
-            let b = space.get(j).unwrap();
+            assert!(j.index() < space.len());
+            // exactly one parameter differs (compare the encoded rows)
+            let a = space.codes_of(i).unwrap();
+            let b = space.codes_of(j).unwrap();
             let differing = a.iter().zip(b.iter()).filter(|(x, y)| x != y).count();
             assert_eq!(differing, 1);
             // symmetry
@@ -43,7 +43,7 @@ fn strictly_adjacent_neighbors_are_a_subset_of_hamming_neighbors() {
     let space = dedispersion_space();
     let index = NeighborIndex::build(&space);
     let step = (space.len() / 20).max(1);
-    for i in (0..space.len()).step_by(step) {
+    for i in (0..space.len()).step_by(step).map(ConfigId::from_index) {
         let hamming = neighbors(&space, i, NeighborMethod::Hamming, Some(&index));
         let strict = neighbors(&space, i, NeighborMethod::StrictlyAdjacent, None);
         for j in strict {
@@ -55,9 +55,11 @@ fn strictly_adjacent_neighbors_are_a_subset_of_hamming_neighbors() {
 #[test]
 fn membership_and_index_lookup_agree_with_enumeration() {
     let space = dedispersion_space();
-    for (i, config) in space.configs().iter().enumerate().step_by(37) {
-        assert!(space.contains(config));
-        assert_eq!(space.index_of(config), Some(i));
+    for view in space.iter().step_by(37) {
+        let config = view.to_vec();
+        assert!(space.contains(&config));
+        assert_eq!(space.index_of(&config), Some(view.id()));
+        assert_eq!(space.index_of_codes(view.codes()), Some(view.id()));
     }
 }
 
@@ -88,11 +90,11 @@ fn random_and_lhs_samples_are_valid_and_lhs_spreads_over_parameters() {
     let mut rng = ChaCha8Rng::seed_from_u64(2024);
     let random = sample_indices(&space, 64, &mut rng);
     assert_eq!(random.len(), 64.min(space.len()));
-    assert!(random.iter().all(|&i| i < space.len()));
+    assert!(random.iter().all(|&i| i.index() < space.len()));
 
     let lhs = latin_hypercube_sample(&space, 32, &mut rng);
     assert!(!lhs.is_empty());
-    assert!(lhs.iter().all(|&i| i < space.len()));
+    assert!(lhs.iter().all(|&i| i.index() < space.len()));
     let coverage = coverage_per_parameter(&space, &lhs);
     // multi-valued parameters should see a decent spread of their values
     for (param, c) in space.params().iter().zip(coverage) {

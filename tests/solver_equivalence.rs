@@ -17,9 +17,9 @@ fn assert_all_methods_agree(spec: &SearchSpaceSpec, methods: &[Method]) {
             spec.name,
             method.label()
         );
-        for config in reference.configs() {
+        for config in reference.iter_decoded() {
             assert!(
-                space.contains(config),
+                space.contains(&config),
                 "{}: {} is missing {:?}",
                 spec.name,
                 method.label(),
@@ -91,8 +91,8 @@ fn every_configuration_reported_by_the_optimized_solver_is_valid() {
         .to_problem(RestrictionLowering::Generic)
         .expect("lowering");
     let (space, _) = build_search_space(&w.spec, Method::Optimized).expect("construction");
-    for config in space.configs() {
-        assert!(problem.is_valid_configuration(config));
+    for config in space.iter_decoded() {
+        assert!(problem.is_valid_configuration(&config));
     }
 }
 
@@ -118,7 +118,7 @@ fn optimized_and_generic_lowerings_produce_the_same_space() {
     )
     .expect("construction");
     assert_eq!(optimized.len(), generic.len());
-    for config in optimized.configs() {
-        assert!(generic.contains(config));
+    for config in optimized.iter_decoded() {
+        assert!(generic.contains(&config));
     }
 }

@@ -54,7 +54,7 @@ fn all_strategies_only_evaluate_valid_configurations_of_gemm() {
         );
         assert!(run.num_evaluations() > 0);
         for e in &run.evaluations {
-            assert!(e.config_index < space.len());
+            assert!(e.config_index.index() < space.len());
             assert!(e.runtime_ms > 0.0);
             assert!(e.finished_at_ms <= run.budget_ms);
         }
