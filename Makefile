@@ -3,9 +3,9 @@
 
 CARGO ?= cargo
 
-.PHONY: verify fmt clippy build test doctest smoke examples doc bench fix
+.PHONY: verify fmt clippy build test doctest smoke streaming examples doc bench bench-construction fix
 
-verify: fmt clippy build test smoke examples doc
+verify: fmt clippy build test smoke streaming examples doc
 	@echo "---- all checks passed ----"
 
 fmt:
@@ -28,6 +28,13 @@ doctest:
 smoke:
 	$(CARGO) build --workspace --examples --benches --bins
 
+# The streaming-construction gate: the sink-equivalence and cross-solver
+# regression suites, plus a smoke-build of the construction benchmark
+# (time + peak transient allocation per method).
+streaming:
+	$(CARGO) test -q --test sink_streaming --test proptest_solvers
+	$(CARGO) build -p at_bench --bench construction
+
 # Run the two API-tour examples end-to-end so drift between the examples and
 # the `SearchSpace` API fails the gate, not just compilation.
 examples:
@@ -39,6 +46,10 @@ doc:
 
 bench:
 	$(CARGO) bench -p at_bench
+
+# Construction-path time + peak transient allocation across all six methods.
+bench-construction:
+	$(CARGO) bench -p at_bench --bench construction
 
 # Apply rustfmt and machine-applicable clippy suggestions.
 fix:

@@ -1,0 +1,144 @@
+//! Construction-path benchmarks: time and peak transient allocation for all
+//! six construction methods on real-world workloads.
+//!
+//! Complements `realworld.rs` (which tracks the paper's Figure 5 series) by
+//! measuring what the streaming construction pipeline is specifically
+//! responsible for: the *peak transient allocation* between the start of
+//! `build_search_space` and the finished `SearchSpace`. A custom counting
+//! global allocator reports the high-water mark of live heap bytes during
+//! one instrumented construction per method; with the encoding sink this is
+//! dominated by the `u32` arena itself rather than a decoded
+//! `Vec<Vec<Value>>` copy of every solution.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use at_searchspace::{build_search_space, Method, SearchSpaceSpec};
+use at_workloads::{atf_prl, dedispersion};
+
+/// Live/peak heap byte counters, updated by the global allocator.
+static LIVE: AtomicUsize = AtomicUsize::new(0);
+static PEAK: AtomicUsize = AtomicUsize::new(0);
+
+/// A [`System`]-backed allocator that tracks the high-water mark of live
+/// heap bytes, so one instrumented run can report the peak transient
+/// footprint of a construction.
+struct CountingAllocator;
+
+// SAFETY: delegates every allocation verbatim to `System`; the counters are
+// monotonic atomics with no other side effects.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let ptr = unsafe { System.alloc(layout) };
+        if !ptr.is_null() {
+            let live = LIVE.fetch_add(layout.size(), Ordering::Relaxed) + layout.size();
+            PEAK.fetch_max(live, Ordering::Relaxed);
+        }
+        ptr
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) };
+        LIVE.fetch_sub(layout.size(), Ordering::Relaxed);
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let new_ptr = unsafe { System.realloc(ptr, layout, new_size) };
+        if !new_ptr.is_null() {
+            if new_size >= layout.size() {
+                let grown = new_size - layout.size();
+                let live = LIVE.fetch_add(grown, Ordering::Relaxed) + grown;
+                PEAK.fetch_max(live, Ordering::Relaxed);
+            } else {
+                LIVE.fetch_sub(layout.size() - new_size, Ordering::Relaxed);
+            }
+        }
+        new_ptr
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAllocator = CountingAllocator;
+
+fn workloads() -> Vec<SearchSpaceSpec> {
+    vec![dedispersion().spec, atf_prl(2).spec]
+}
+
+/// The methods in evaluation order, with the quadratic blocking-clause
+/// enumerator last (it dominates runtime).
+const METHODS: [Method; 6] = [
+    Method::BruteForce,
+    Method::Original,
+    Method::Optimized,
+    Method::ParallelOptimized,
+    Method::ChainOfTrees,
+    Method::BlockingClause,
+];
+
+/// One instrumented construction per method/workload: report the peak
+/// transient heap allocation above the pre-call baseline, alongside the
+/// retained size of the finished space.
+fn report_peak_allocation() {
+    println!("construction peak transient allocation (one instrumented run each):");
+    for spec in workloads() {
+        for method in METHODS {
+            let baseline = LIVE.load(Ordering::Relaxed);
+            PEAK.store(baseline, Ordering::Relaxed);
+            let (space, report) = build_search_space(&spec, method).expect("construction");
+            let peak = PEAK.load(Ordering::Relaxed).saturating_sub(baseline);
+            let arena_bytes = space.len() * space.num_params() * std::mem::size_of::<u32>();
+            println!(
+                "  {:<14} {:<20} peak {:>12} B   arena {:>10} B   {} configs in {:.3?}",
+                spec.name,
+                method.label(),
+                peak,
+                arena_bytes,
+                report.num_valid,
+                report.duration,
+            );
+        }
+    }
+}
+
+fn bench_construction(c: &mut Criterion) {
+    report_peak_allocation();
+
+    let mut group = c.benchmark_group("construction/methods");
+    group.sample_size(10);
+    for spec in workloads() {
+        for method in METHODS {
+            if method == Method::BlockingClause {
+                continue; // benched separately: one run costs seconds
+            }
+            group.bench_with_input(
+                BenchmarkId::new(method.label(), &spec.name),
+                &spec,
+                |b, spec| b.iter(|| build_search_space(spec, method).unwrap().0.len()),
+            );
+        }
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("construction/blocking_clause");
+    group.sample_size(2);
+    for spec in workloads() {
+        group.bench_with_input(
+            BenchmarkId::new(Method::BlockingClause.label(), &spec.name),
+            &spec,
+            |b, spec| {
+                b.iter(|| {
+                    build_search_space(spec, Method::BlockingClause)
+                        .unwrap()
+                        .0
+                        .len()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_construction);
+criterion_main!(benches);

@@ -175,6 +175,17 @@ pub fn construct(args: &ParsedArgs) -> Result<String, CliError> {
                 report.stats.constraint_checks
             )
             .expect("write to string");
+            // The resolved arena footprint; construction streams solver
+            // rows straight into it, so no decoded copy of the space is
+            // ever held alongside.
+            writeln!(
+                out,
+                "code arena:           {} bytes ({} configs x {} u32 codes)",
+                space.len() * space.num_params() * std::mem::size_of::<u32>(),
+                space.len(),
+                space.num_params()
+            )
+            .expect("write to string");
             out
         }
         other => {

@@ -1,6 +1,7 @@
 //! End-to-end chain-of-trees construction from a generic space specification.
 
-use at_csp::{ConstraintRef, Problem, SolutionSet, Value};
+use at_csp::sink::RowSink;
+use at_csp::{ConstraintRef, CspResult, Problem, SolutionSet, Value};
 
 use crate::chain::ChainOfTrees;
 use crate::grouping::group_parameters;
@@ -69,6 +70,14 @@ pub fn enumerate_chain(chain: &ChainOfTrees) -> SolutionSet {
     SolutionSet::from_rows(chain.names().to_vec(), chain.enumerate())
 }
 
+/// Stream every configuration of a chain into a [`RowSink`] (rows in
+/// declaration order) — the chain-of-trees counterpart of
+/// [`at_csp::Solver::solve_into`](at_csp::Solver): no decoded intermediate
+/// of the whole space is ever allocated.
+pub fn enumerate_chain_into(chain: &ChainOfTrees, sink: &mut dyn RowSink) -> CspResult<()> {
+    chain.for_each_configuration(|row| sink.push_row(row))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -100,6 +109,17 @@ mod tests {
         let from_solver = OptimizedSolver::new().solve(&p).unwrap();
         assert_eq!(from_chain.len() as u128, chain.size());
         assert!(from_solver.solutions.same_solutions(&from_chain));
+    }
+
+    #[test]
+    fn streaming_enumeration_matches_collected() {
+        let p = block_size_problem();
+        let chain = build_chain_from_problem(&p);
+        let collected = enumerate_chain(&chain);
+        let mut streamed = SolutionSet::new(chain.names().to_vec());
+        enumerate_chain_into(&chain, &mut streamed).unwrap();
+        assert_eq!(streamed.len(), collected.len());
+        assert_eq!(streamed.rows(), collected.rows());
     }
 
     #[test]

@@ -3,7 +3,27 @@
 use at_csp::Value;
 use rand::Rng;
 
-use crate::tree::GroupTree;
+use crate::tree::{GroupTree, TreeNode};
+
+/// Draw a uniform index in `[0, span)` by rejection sampling over two `u64`
+/// draws.
+///
+/// The word is assembled from two full 64-bit draws; words falling in the
+/// final partial block of `span`-sized buckets above `zone` would bias the
+/// low residues, so they are rejected and redrawn (rejection probability is
+/// `(2^128 mod span) / 2^128`, i.e. at most one in two and practically zero
+/// for realistic chain sizes).
+fn uniform_u128<R: Rng>(rng: &mut R, span: u128) -> u128 {
+    debug_assert!(span > 0, "cannot sample an empty range");
+    let rem = (u128::MAX % span + 1) % span; // 2^128 mod span
+    let zone = u128::MAX - rem;
+    loop {
+        let word = ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128;
+        if word <= zone {
+            return word % span;
+        }
+    }
+}
 
 /// A chain of per-group trees representing a constrained search space.
 #[derive(Debug, Clone)]
@@ -76,43 +96,106 @@ impl ChainOfTrees {
         values.into_iter().collect()
     }
 
-    /// Enumerate every configuration in the space (values in declaration
-    /// order). Intended for validation and for spaces that fit in memory.
-    pub fn enumerate(&self) -> Vec<Vec<Value>> {
+    /// Visit every configuration in the space (values in declaration order)
+    /// without materializing the set: each row is assembled in a reused
+    /// buffer and passed to `visit` the moment it is complete, so the whole
+    /// walk allocates O(params), not O(size × params). Returning an error
+    /// from `visit` aborts the walk.
+    ///
+    /// The visit order matches [`ChainOfTrees::configuration`]: the last
+    /// tree varies fastest.
+    pub fn for_each_configuration<E, F>(&self, mut visit: F) -> Result<(), E>
+    where
+        F: FnMut(&[Value]) -> Result<(), E>,
+    {
         if self.is_empty() {
-            return Vec::new();
+            return Ok(());
         }
-        let per_group: Vec<Vec<Vec<Value>>> = self.trees.iter().map(|t| t.enumerate()).collect();
-        let mut out: Vec<Vec<Option<Value>>> = vec![vec![None; self.names.len()]];
-        for (tree, combos) in self.trees.iter().zip(per_group.iter()) {
-            let mut next = Vec::with_capacity(out.len() * combos.len());
-            for partial in &out {
-                for combo in combos {
-                    let mut row = partial.clone();
-                    for (pos, &param) in tree.params.iter().enumerate() {
-                        row[param] = Some(combo[pos].clone());
-                    }
-                    next.push(row);
-                }
+        let mut values: Vec<Option<Value>> = vec![None; self.names.len()];
+        let mut row: Vec<Value> = Vec::with_capacity(self.names.len());
+        self.walk_tree(0, &mut values, &mut row, &mut visit)
+    }
+
+    /// DFS helper for [`ChainOfTrees::for_each_configuration`]: place tree
+    /// `ti`'s values, then recurse into the next tree.
+    fn walk_tree<E, F>(
+        &self,
+        ti: usize,
+        values: &mut Vec<Option<Value>>,
+        row: &mut Vec<Value>,
+        visit: &mut F,
+    ) -> Result<(), E>
+    where
+        F: FnMut(&[Value]) -> Result<(), E>,
+    {
+        if ti == self.trees.len() {
+            row.clear();
+            row.extend(
+                values
+                    .iter()
+                    .map(|v| v.clone().expect("all params covered")),
+            );
+            return visit(row);
+        }
+        let tree = &self.trees[ti];
+        if tree.depth() == 0 {
+            return self.walk_tree(ti + 1, values, row, visit);
+        }
+        self.walk_nodes(ti, &tree.roots, 0, values, row, visit)
+    }
+
+    /// DFS helper walking one tree's levels.
+    #[allow(clippy::too_many_arguments)]
+    fn walk_nodes<E, F>(
+        &self,
+        ti: usize,
+        nodes: &[TreeNode],
+        level: usize,
+        values: &mut Vec<Option<Value>>,
+        row: &mut Vec<Value>,
+        visit: &mut F,
+    ) -> Result<(), E>
+    where
+        F: FnMut(&[Value]) -> Result<(), E>,
+    {
+        let tree = &self.trees[ti];
+        for node in nodes {
+            values[tree.params[level]] = Some(node.value.clone());
+            if level + 1 == tree.depth() {
+                self.walk_tree(ti + 1, values, row, visit)?;
+            } else {
+                self.walk_nodes(ti, &node.children, level + 1, values, row, visit)?;
             }
-            out = next;
         }
-        out.into_iter()
-            .map(|row| {
-                row.into_iter()
-                    .map(|v| v.expect("all params covered"))
-                    .collect()
-            })
-            .collect()
+        Ok(())
+    }
+
+    /// Enumerate every configuration in the space (values in declaration
+    /// order). Intended for validation and for spaces that fit in memory;
+    /// use [`ChainOfTrees::for_each_configuration`] to stream instead.
+    pub fn enumerate(&self) -> Vec<Vec<Value>> {
+        let mut out = Vec::new();
+        let result: Result<(), std::convert::Infallible> = self.for_each_configuration(|row| {
+            out.push(row.to_vec());
+            Ok(())
+        });
+        match result {
+            Ok(()) => out,
+        }
     }
 
     /// Sample a configuration uniformly at random by index.
+    ///
+    /// The index is drawn as a full-width `u128` by rejection sampling
+    /// over two `u64` draws, so it is unbiased at any chain size.
+    /// (An earlier version cast `size()` through `u64`, which panicked on
+    /// chains of exactly `2^64` configurations and made every configuration
+    /// beyond index `u64::MAX - 1` unreachable on larger chains.)
     pub fn sample_uniform<R: Rng>(&self, rng: &mut R) -> Option<Vec<Value>> {
         if self.is_empty() {
             return None;
         }
-        let size = self.size();
-        let index = rng.gen_range(0..size as u64 as u128);
+        let index = uniform_u128(rng, self.size());
         self.configuration(index)
     }
 
@@ -230,6 +313,101 @@ mod tests {
         for _ in 0..200 {
             let row = chain.sample_path_biased(&mut rng).unwrap();
             assert!(expected.contains(&as_tuple(&row)));
+        }
+    }
+
+    #[test]
+    fn streaming_matches_enumerate_in_order() {
+        let chain = small_chain();
+        let mut streamed: Vec<Vec<Value>> = Vec::new();
+        chain
+            .for_each_configuration(|row| -> Result<(), std::convert::Infallible> {
+                streamed.push(row.to_vec());
+                Ok(())
+            })
+            .unwrap();
+        assert_eq!(streamed, chain.enumerate());
+        // and the indexed access agrees with the streaming order
+        for (i, row) in streamed.iter().enumerate() {
+            assert_eq!(chain.configuration(i as u128).as_ref(), Some(row));
+        }
+    }
+
+    #[test]
+    fn streaming_aborts_on_error() {
+        let chain = small_chain();
+        let mut seen = 0usize;
+        let result = chain.for_each_configuration(|_| {
+            seen += 1;
+            if seen == 3 {
+                Err("stop")
+            } else {
+                Ok(())
+            }
+        });
+        assert_eq!(result, Err("stop"));
+        assert_eq!(seen, 3);
+    }
+
+    /// A chain of `num_binary` independent two-value parameters: its size is
+    /// exactly `2^num_binary`, letting tests cross the `u64` boundary with a
+    /// structure that is cheap to build.
+    fn huge_chain(num_binary: usize) -> ChainOfTrees {
+        let names = (0..num_binary).map(|i| format!("p{i}")).collect();
+        let trees = (0..num_binary)
+            .map(|i| GroupTree::build(vec![i], &[int_values([0, 1])], &[]))
+            .collect();
+        ChainOfTrees::new(names, trees)
+    }
+
+    #[test]
+    fn sampling_a_chain_of_exactly_two_pow_64_configurations() {
+        // Regression: `size as u64` truncated 2^64 to 0, so the index draw
+        // panicked on an empty range.
+        let chain = huge_chain(64);
+        assert_eq!(chain.size(), 1u128 << 64);
+        let mut rng = ChaCha8Rng::seed_from_u64(17);
+        for _ in 0..32 {
+            let row = chain.sample_uniform(&mut rng).unwrap();
+            assert_eq!(row.len(), 64);
+        }
+    }
+
+    #[test]
+    fn sampling_reaches_beyond_the_u64_boundary() {
+        // Regression: with the truncating cast every drawn index stayed
+        // below 2^64, so the first (most significant) parameter could never
+        // take its second value on a chain of size 2^65.
+        let chain = huge_chain(65);
+        assert!(chain.size() > u64::MAX as u128);
+        let mut rng = ChaCha8Rng::seed_from_u64(23);
+        let mut high_half_seen = false;
+        for _ in 0..64 {
+            let row = chain.sample_uniform(&mut rng).unwrap();
+            assert_eq!(row.len(), 65);
+            high_half_seen |= row[0].as_i64() == Some(1);
+        }
+        assert!(
+            high_half_seen,
+            "64 draws from a 2^65 space never reached the high half \
+             (probability 2^-64 under a correct sampler)"
+        );
+    }
+
+    #[test]
+    fn uniform_u128_stays_in_range_and_covers_small_spans() {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let mut seen = [false; 7];
+        for _ in 0..500 {
+            let x = uniform_u128(&mut rng, 7);
+            seen[x as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        for _ in 0..100 {
+            let span = 3u128 << 100;
+            assert!(uniform_u128(&mut rng, span) < span);
+            assert!(uniform_u128(&mut rng, u128::MAX) < u128::MAX);
+            assert_eq!(uniform_u128(&mut rng, 1), 0);
         }
     }
 

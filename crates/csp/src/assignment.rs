@@ -78,6 +78,18 @@ impl Assignment {
             .collect()
     }
 
+    /// Copy the current complete assignment into a caller-provided buffer
+    /// (cleared first), avoiding an allocation per solution on the streaming
+    /// path. Panics if the assignment is not complete.
+    pub fn write_solution(&self, out: &mut Vec<Value>) {
+        out.clear();
+        out.extend(
+            self.values
+                .iter()
+                .map(|v| v.clone().expect("assignment complete")),
+        );
+    }
+
     /// Collect the values of `scope`, or `None` if any variable in the scope
     /// is unassigned.
     pub fn scope_values(&self, scope: &[usize]) -> Option<Vec<Value>> {

@@ -9,6 +9,13 @@
 //! baseline solvers (brute force, unoptimized backtracking, blocking-clause
 //! enumeration) used in the paper's evaluation.
 //!
+//! Solvers produce output two ways: [`Solver::solve`] collects an owned
+//! [`SolutionSet`], and [`Solver::solve_into`] *streams* each row into a
+//! [`sink::SolutionSink`] the moment it is found (Section 4.3.4: output
+//! close to the internal representation) — the path `at_searchspace` uses
+//! to encode rows straight into its columnar arena without a decoded
+//! intermediate.
+//!
 //! ## Quick example
 //!
 //! ```
@@ -39,6 +46,7 @@ pub mod constraints;
 pub mod domain;
 pub mod error;
 pub mod problem;
+pub mod sink;
 pub mod solution;
 pub mod solvers;
 pub mod stats;
@@ -54,6 +62,7 @@ pub use constraints::{
 pub use domain::{Domain, DomainStore};
 pub use error::{CspError, CspResult};
 pub use problem::{ConstraintEntry, Problem, VarId};
+pub use sink::{CountingSink, RowChunk, RowSink, SolutionSink};
 pub use solution::SolutionSet;
 pub use solvers::{
     solver_by_name, BlockingClauseSolver, BruteForceSolver, OptimizedSolver, OptimizedSolverConfig,
@@ -70,6 +79,7 @@ pub mod prelude {
         MinSum, ModuloEquals, NotInSet, PairCompare, VarCompare,
     };
     pub use crate::problem::Problem;
+    pub use crate::sink::{RowSink, SolutionSink};
     pub use crate::solution::SolutionSet;
     pub use crate::solvers::{
         BlockingClauseSolver, BruteForceSolver, OptimizedSolver, OptimizedSolverConfig,

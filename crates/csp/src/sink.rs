@@ -1,0 +1,259 @@
+//! Streaming solution output: push rows into a sink as they are found.
+//!
+//! The paper stresses that solver output formats must stay "close to the
+//! internal representation" to scale to millions of configurations
+//! (Section 4.3.4). Materializing every solution as an owned
+//! `Vec<Vec<Value>>` before handing it to the search-space indexer doubles
+//! the peak memory of construction and adds an O(n·params) copy on the hot
+//! path. The sink traits here let a solver push each solution row exactly
+//! once, the moment it is found, into whatever representation the consumer
+//! keeps — a [`SolutionSet`] for the classic API, or an encoding sink that
+//! maps rows straight to `u32` code rows (see `at_searchspace`).
+//!
+//! # Trait layout
+//!
+//! * [`RowSink`] — the minimal receiver: `push_row(&[Value])`. Implemented
+//!   by per-thread chunk buffers and by [`SolutionSet`] itself.
+//! * [`SolutionSink`] — a `RowSink` that can additionally hand out
+//!   independent per-thread chunk buffers ([`SolutionSink::new_chunk`]) and
+//!   merge them back ([`SolutionSink::merge_chunk`]), which is how the
+//!   parallel solvers stream without sharing mutable state across workers.
+//!
+//! A sink may abort enumeration by returning an error from
+//! [`RowSink::push_row`]; solvers propagate it immediately.
+//!
+//! ```
+//! use at_csp::prelude::*;
+//! use at_csp::sink::CountingSink;
+//!
+//! let mut problem = Problem::new();
+//! problem.add_variable("x", int_values([1, 2, 3, 4])).unwrap();
+//! problem.add_variable("y", int_values([1, 2, 3, 4])).unwrap();
+//! problem.add_constraint(MaxProduct::new(4.0), &["x", "y"]).unwrap();
+//!
+//! // Count solutions without materializing any of them.
+//! let mut count = CountingSink::default();
+//! let stats = OptimizedSolver::new().solve_into(&problem, &mut count).unwrap();
+//! assert_eq!(count.rows(), stats.solutions);
+//! ```
+
+use std::any::Any;
+
+use crate::error::{CspError, CspResult};
+use crate::solution::SolutionSet;
+use crate::value::Value;
+
+/// The minimal streaming receiver of solver output.
+///
+/// `row` holds the values of one valid configuration in **variable
+/// declaration order** (the same column order as [`SolutionSet`]); the slice
+/// is only valid for the duration of the call — implementations must copy
+/// (or encode) what they keep.
+pub trait RowSink: Send {
+    /// Receive one solution row. Returning an error aborts the enumeration;
+    /// the solver propagates it unchanged.
+    fn push_row(&mut self, row: &[Value]) -> CspResult<()>;
+
+    /// Type-erased move out of a `Box<Self>`, used by
+    /// [`SolutionSink::merge_chunk`] implementations to recover the concrete
+    /// chunk type without copying its contents.
+    fn into_any(self: Box<Self>) -> Box<dyn Any>;
+}
+
+/// A streaming receiver that also supports data-parallel production.
+///
+/// The parallel solvers never push into the sink from worker threads.
+/// Instead each worker calls [`SolutionSink::new_chunk`] through a shared
+/// reference, pushes its rows into the private chunk, and the solver merges
+/// the finished chunks back on its own thread — in deterministic subproblem
+/// order — with [`SolutionSink::merge_chunk`].
+///
+/// The default implementations buffer decoded rows in a [`RowChunk`]; sinks
+/// with a cheaper internal representation (such as `at_searchspace`'s
+/// encoding sink) override **both** methods so chunks carry that
+/// representation and merging is a buffer append, not a re-push of rows.
+/// Chunks are only ever merged into the sink that created them.
+pub trait SolutionSink: RowSink + Sync {
+    /// Create an empty per-thread chunk buffer. Callable concurrently from
+    /// worker threads through a shared reference.
+    fn new_chunk(&self) -> Box<dyn RowSink> {
+        Box::new(RowChunk::default())
+    }
+
+    /// Merge a chunk previously produced by [`SolutionSink::new_chunk`] on
+    /// this sink (rows keep their per-chunk order).
+    fn merge_chunk(&mut self, chunk: Box<dyn RowSink>) -> CspResult<()> {
+        let chunk = chunk
+            .into_any()
+            .downcast::<RowChunk>()
+            .map_err(|_| CspError::Solver("merge_chunk: foreign chunk type".into()))?;
+        for row in &chunk.rows {
+            self.push_row(row)?;
+        }
+        Ok(())
+    }
+}
+
+/// The default per-thread chunk buffer: owned decoded rows.
+///
+/// Used by sinks that do not override [`SolutionSink::new_chunk`]; it holds
+/// O(chunk) decoded values, not the whole space.
+#[derive(Debug, Default)]
+pub struct RowChunk {
+    rows: Vec<Vec<Value>>,
+}
+
+impl RowChunk {
+    /// The buffered rows.
+    pub fn rows(&self) -> &[Vec<Value>] {
+        &self.rows
+    }
+}
+
+impl RowSink for RowChunk {
+    fn push_row(&mut self, row: &[Value]) -> CspResult<()> {
+        self.rows.push(row.to_vec());
+        Ok(())
+    }
+
+    fn into_any(self: Box<Self>) -> Box<dyn Any> {
+        self
+    }
+}
+
+/// Collecting into a [`SolutionSet`] is the compatibility path: the classic
+/// [`Solver::solve`](crate::solvers::Solver::solve) API is implemented as
+/// `solve_into` with the set itself as the sink.
+impl RowSink for SolutionSet {
+    fn push_row(&mut self, row: &[Value]) -> CspResult<()> {
+        self.push(row.to_vec());
+        Ok(())
+    }
+
+    fn into_any(self: Box<Self>) -> Box<dyn Any> {
+        self
+    }
+}
+
+impl SolutionSink for SolutionSet {}
+
+/// A sink that counts rows and stores nothing — useful for cardinality
+/// queries and for tests that only care about solution counts.
+#[derive(Debug, Default)]
+pub struct CountingSink {
+    rows: u64,
+}
+
+impl CountingSink {
+    /// Number of rows pushed so far.
+    pub fn rows(&self) -> u64 {
+        self.rows
+    }
+}
+
+impl RowSink for CountingSink {
+    fn push_row(&mut self, _row: &[Value]) -> CspResult<()> {
+        self.rows += 1;
+        Ok(())
+    }
+
+    fn into_any(self: Box<Self>) -> Box<dyn Any> {
+        self
+    }
+}
+
+impl SolutionSink for CountingSink {
+    fn new_chunk(&self) -> Box<dyn RowSink> {
+        Box::new(CountingSink::default())
+    }
+
+    fn merge_chunk(&mut self, chunk: Box<dyn RowSink>) -> CspResult<()> {
+        let chunk = chunk
+            .into_any()
+            .downcast::<CountingSink>()
+            .map_err(|_| CspError::Solver("merge_chunk: foreign chunk type".into()))?;
+        self.rows += chunk.rows;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::int_values;
+
+    struct FailingSink {
+        after: u64,
+        seen: u64,
+    }
+
+    impl RowSink for FailingSink {
+        fn push_row(&mut self, _row: &[Value]) -> CspResult<()> {
+            self.seen += 1;
+            if self.seen > self.after {
+                return Err(CspError::Solver("sink full".into()));
+            }
+            Ok(())
+        }
+
+        fn into_any(self: Box<Self>) -> Box<dyn Any> {
+            self
+        }
+    }
+
+    impl SolutionSink for FailingSink {}
+
+    #[test]
+    fn solution_set_collects_pushed_rows() {
+        let mut set = SolutionSet::new(vec!["x".into(), "y".into()]);
+        set.push_row(&int_values([1, 2])).unwrap();
+        set.push_row(&int_values([3, 4])).unwrap();
+        assert_eq!(set.len(), 2);
+        assert_eq!(set.row(1), &int_values([3, 4])[..]);
+    }
+
+    #[test]
+    fn default_chunking_replays_rows_in_order() {
+        let mut set = SolutionSet::new(vec!["x".into()]);
+        let mut chunk = set.new_chunk();
+        chunk.push_row(&int_values([7])).unwrap();
+        chunk.push_row(&int_values([8])).unwrap();
+        set.merge_chunk(chunk).unwrap();
+        assert_eq!(set.len(), 2);
+        assert_eq!(set.row(0), &int_values([7])[..]);
+    }
+
+    #[test]
+    fn counting_sink_merges_counts() {
+        let mut count = CountingSink::default();
+        count.push_row(&int_values([1])).unwrap();
+        let mut chunk = count.new_chunk();
+        chunk.push_row(&int_values([2])).unwrap();
+        chunk.push_row(&int_values([3])).unwrap();
+        count.merge_chunk(chunk).unwrap();
+        assert_eq!(count.rows(), 3);
+    }
+
+    #[test]
+    fn foreign_chunk_is_rejected() {
+        let mut count = CountingSink::default();
+        let foreign: Box<dyn RowSink> = Box::new(RowChunk::default());
+        assert!(count.merge_chunk(foreign).is_err());
+    }
+
+    #[test]
+    fn sink_errors_propagate_from_solvers() {
+        use crate::constraints::MaxSum;
+        use crate::problem::Problem;
+        use crate::solvers::{OptimizedSolver, Solver};
+
+        let mut p = Problem::new();
+        p.add_variable("a", int_values([1, 2, 3])).unwrap();
+        p.add_variable("b", int_values([1, 2, 3])).unwrap();
+        p.add_constraint(MaxSum::new(100.0), &["a", "b"]).unwrap();
+        let mut sink = FailingSink { after: 2, seen: 0 };
+        let err = OptimizedSolver::new().solve_into(&p, &mut sink);
+        assert!(err.is_err(), "push_row errors must abort enumeration");
+        assert_eq!(sink.seen, 3, "enumeration stops at the failing row");
+    }
+}

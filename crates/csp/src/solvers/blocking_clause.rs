@@ -10,11 +10,11 @@
 
 use std::collections::HashSet;
 
-use super::{SolveResult, Solver};
+use super::Solver;
 use crate::assignment::Assignment;
 use crate::error::CspResult;
 use crate::problem::Problem;
-use crate::solution::SolutionSet;
+use crate::sink::SolutionSink;
 use crate::stats::SolveStats;
 use crate::value::Value;
 
@@ -42,30 +42,41 @@ impl BlockingClauseSolver {
 
     /// Find the first solution not contained in `blocked`, restarting the
     /// search from the root (as an SMT solver re-invocation would).
+    ///
+    /// Blocked solutions are identified by their *domain index path* (the
+    /// per-variable index of each assigned value), not by the values
+    /// themselves: value-based keys conflate distinct domain entries that
+    /// compare equal — rendered display strings collide for `Int(1)` vs
+    /// `Str("1")`, and Python-style value equality collides for `Int(2)` vs
+    /// `Float(2.0)` — silently dropping the later solution and returning
+    /// fewer rows than every other solver. Index paths are unambiguous.
+    ///
+    /// On success, `path` holds the found solution's full index path (the
+    /// caller inserts it into `blocked`); on failure `path` is restored.
     #[allow(clippy::too_many_arguments)]
     fn find_one(
         problem: &Problem,
         ready_constraints: &[Vec<usize>],
-        blocked: &HashSet<Vec<String>>,
+        blocked: &HashSet<Vec<u32>>,
         depth: usize,
         assignment: &mut Assignment,
+        path: &mut Vec<u32>,
         stats: &mut SolveStats,
     ) -> Option<Vec<Value>> {
         if depth == problem.num_variables() {
-            let solution = assignment.to_solution();
-            let key: Vec<String> = solution.iter().map(|v| v.to_string()).collect();
             // The blocking clauses are additional constraints in the re-solved
             // problem; count their evaluation as one check.
             stats.constraint_checks += 1;
-            if blocked.contains(&key) {
+            if blocked.contains(path) {
                 return None;
             }
-            return Some(solution);
+            return Some(assignment.to_solution());
         }
         let values: Vec<Value> = problem.domain(depth).values().to_vec();
         let mut scope_buf: Vec<Value> = Vec::new();
-        for value in values {
+        for (index, value) in values.into_iter().enumerate() {
             assignment.assign(depth, value);
+            path.push(index as u32);
             stats.nodes += 1;
             let mut ok = true;
             for &ci in &ready_constraints[depth] {
@@ -87,14 +98,17 @@ impl BlockingClauseSolver {
                     blocked,
                     depth + 1,
                     assignment,
+                    path,
                     stats,
                 ) {
+                    // Leave `path` intact: it is the found index path.
                     assignment.unassign(depth);
                     return Some(found);
                 }
             } else {
                 stats.backtracks += 1;
             }
+            path.pop();
             assignment.unassign(depth);
         }
         None
@@ -106,43 +120,44 @@ impl Solver for BlockingClauseSolver {
         "blocking-clause"
     }
 
-    fn solve(&self, problem: &Problem) -> CspResult<SolveResult> {
-        let names = problem.variable_names().to_vec();
-        let mut solutions = SolutionSet::new(names);
+    fn solve_into(&self, problem: &Problem, sink: &mut dyn SolutionSink) -> CspResult<SolveStats> {
         let mut stats = SolveStats::default();
         if problem.num_variables() == 0 {
-            return Ok(SolveResult { solutions, stats });
+            return Ok(stats);
         }
         let mut ready_constraints: Vec<Vec<usize>> = vec![Vec::new(); problem.num_variables()];
         for (ci, entry) in problem.constraints().iter().enumerate() {
             let last = entry.scope.iter().copied().max().expect("non-empty scope");
             ready_constraints[last].push(ci);
         }
-        let mut blocked: HashSet<Vec<String>> = HashSet::new();
+        let mut blocked: HashSet<Vec<u32>> = HashSet::new();
+        let mut path: Vec<u32> = Vec::with_capacity(problem.num_variables());
         loop {
             if let Some(cap) = self.max_solutions {
-                if solutions.len() >= cap {
+                if blocked.len() >= cap {
                     break;
                 }
             }
             let mut assignment = Assignment::new(problem.num_variables());
+            path.clear();
             match Self::find_one(
                 problem,
                 &ready_constraints,
                 &blocked,
                 0,
                 &mut assignment,
+                &mut path,
                 &mut stats,
             ) {
                 Some(solution) => {
-                    blocked.insert(solution.iter().map(|v| v.to_string()).collect());
-                    solutions.push(solution);
+                    sink.push_row(&solution)?;
                     stats.solutions += 1;
+                    blocked.insert(path.clone());
                 }
                 None => break,
             }
         }
-        Ok(SolveResult { solutions, stats })
+        Ok(stats)
     }
 }
 
@@ -194,5 +209,38 @@ mod tests {
         let p = unsatisfiable_problem();
         let r = BlockingClauseSolver::new().solve(&p).unwrap();
         assert!(r.solutions.is_empty());
+    }
+
+    #[test]
+    fn solutions_with_identical_display_forms_are_not_conflated() {
+        // Int(1) and Str("1") both render as "1": with display-string
+        // blocking keys the second solution was treated as already blocked
+        // and silently dropped from the enumeration.
+        use crate::value::Value;
+        let mut p = Problem::new();
+        p.add_variable("x", vec![Value::Int(1), Value::str("1")])
+            .unwrap();
+        p.add_variable("y", vec![Value::Int(7)]).unwrap();
+        let bf = BruteForceSolver::new().solve(&p).unwrap();
+        let bc = BlockingClauseSolver::new().solve(&p).unwrap();
+        assert_eq!(bf.solutions.len(), 2);
+        assert_eq!(bc.solutions.len(), 2);
+        assert!(bf.solutions.same_solutions(&bc.solutions));
+    }
+
+    #[test]
+    fn python_equal_duplicate_domain_values_are_not_conflated() {
+        // Int(2) and Float(2.0) are distinct domain entries that compare
+        // Python-equal; index-path blocking keys must enumerate both, like
+        // every other solver does.
+        use crate::value::{int_values, Value};
+        let mut p = Problem::new();
+        p.add_variable("x", vec![Value::Int(2), Value::Float(2.0)])
+            .unwrap();
+        p.add_variable("y", int_values(1..=8)).unwrap();
+        let bf = BruteForceSolver::new().solve(&p).unwrap();
+        let bc = BlockingClauseSolver::new().solve(&p).unwrap();
+        assert_eq!(bf.solutions.len(), 16);
+        assert_eq!(bc.solutions.len(), 16);
     }
 }

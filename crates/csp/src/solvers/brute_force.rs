@@ -3,15 +3,15 @@
 //! Iterates the full Cartesian product of all domains and filters out
 //! combinations that violate a constraint — the baseline every auto-tuning
 //! framework falls back to in the absence of something smarter. A rayon-based
-//! parallel mode splits the first dimension across worker threads.
+//! parallel mode splits the leading dimensions across worker threads.
 
 use rayon::prelude::*;
 
-use super::{SolveResult, Solver};
+use super::split::{split_prefixes, split_target};
+use super::{SolveStats, Solver};
 use crate::error::CspResult;
 use crate::problem::Problem;
-use crate::solution::SolutionSet;
-use crate::stats::SolveStats;
+use crate::sink::{RowSink, SolutionSink};
 use crate::value::Value;
 
 /// Exhaustive enumeration of the Cartesian product with post-hoc filtering.
@@ -26,8 +26,9 @@ impl BruteForceSolver {
         BruteForceSolver { parallel: false }
     }
 
-    /// Parallel brute force: the outermost parameter is split across rayon
-    /// worker threads.
+    /// Parallel brute force: the leading parameters are split across rayon
+    /// worker threads — as many leading domains as it takes to produce
+    /// enough subproblems to fill all cores.
     pub fn parallel() -> Self {
         BruteForceSolver { parallel: true }
     }
@@ -35,9 +36,9 @@ impl BruteForceSolver {
     fn enumerate_suffix(
         problem: &Problem,
         prefix: &[Value],
-        solutions: &mut SolutionSet,
+        sink: &mut dyn RowSink,
         stats: &mut SolveStats,
-    ) {
+    ) -> CspResult<()> {
         // Odometer enumeration over the variables after the prefix.
         let num_vars = problem.num_variables();
         let start = prefix.len();
@@ -45,10 +46,11 @@ impl BruteForceSolver {
             .map(|v| problem.domain(v).values())
             .collect();
         if domains.iter().any(|d| d.is_empty()) {
-            return;
+            return Ok(());
         }
         let mut indices = vec![0usize; num_vars - start];
         let mut values: Vec<Value> = Vec::with_capacity(num_vars);
+        let mut scope_buf: Vec<Value> = Vec::new();
         loop {
             values.clear();
             values.extend_from_slice(prefix);
@@ -57,7 +59,6 @@ impl BruteForceSolver {
             }
             stats.nodes += 1;
             let mut ok = true;
-            let mut scope_buf: Vec<Value> = Vec::new();
             for entry in problem.constraints() {
                 scope_buf.clear();
                 scope_buf.extend(entry.scope.iter().map(|&v| values[v].clone()));
@@ -68,14 +69,14 @@ impl BruteForceSolver {
                 }
             }
             if ok {
-                solutions.push(values.clone());
+                sink.push_row(&values)?;
                 stats.solutions += 1;
             }
             // advance odometer
             let mut pos = indices.len();
             loop {
                 if pos == 0 {
-                    return;
+                    return Ok(());
                 }
                 pos -= 1;
                 indices[pos] += 1;
@@ -97,43 +98,43 @@ impl Solver for BruteForceSolver {
         }
     }
 
-    fn solve(&self, problem: &Problem) -> CspResult<SolveResult> {
-        let names = problem.variable_names().to_vec();
+    fn solve_into(&self, problem: &Problem, sink: &mut dyn SolutionSink) -> CspResult<SolveStats> {
+        let mut stats = SolveStats::default();
         if problem.num_variables() == 0 {
-            return Ok(SolveResult {
-                solutions: SolutionSet::new(names),
-                stats: SolveStats::default(),
-            });
+            return Ok(stats);
         }
         if !self.parallel {
-            let mut solutions = SolutionSet::new(names);
-            let mut stats = SolveStats::default();
-            Self::enumerate_suffix(problem, &[], &mut solutions, &mut stats);
-            return Ok(SolveResult { solutions, stats });
+            Self::enumerate_suffix(problem, &[], sink, &mut stats)?;
+            return Ok(stats);
         }
-        // Parallel: one task per value of the first variable.
-        let first_values: Vec<Value> = problem.domain(0).values().to_vec();
-        let partials: Vec<(SolutionSet, SolveStats)> = first_values
+        // Parallel: one task per Cartesian prefix of the leading variables.
+        let order: Vec<usize> = (0..problem.num_variables()).collect();
+        let prefixes = split_prefixes(&order, |v| problem.domain(v).len(), split_target());
+        if prefixes.is_empty() {
+            // Some domain is empty: there are no configurations at all.
+            return Ok(stats);
+        }
+        let sink_ref: &dyn SolutionSink = sink;
+        let partials: Vec<CspResult<(Box<dyn RowSink>, SolveStats)>> = prefixes
             .par_iter()
-            .map(|v| {
-                let mut solutions = SolutionSet::new(problem.variable_names().to_vec());
-                let mut stats = SolveStats::default();
-                Self::enumerate_suffix(
-                    problem,
-                    std::slice::from_ref(v),
-                    &mut solutions,
-                    &mut stats,
-                );
-                (solutions, stats)
+            .map(|prefix| {
+                let values: Vec<Value> = prefix
+                    .iter()
+                    .enumerate()
+                    .map(|(var, &idx)| problem.domain(var).values()[idx].clone())
+                    .collect();
+                let mut chunk = sink_ref.new_chunk();
+                let mut local_stats = SolveStats::default();
+                Self::enumerate_suffix(problem, &values, chunk.as_mut(), &mut local_stats)?;
+                Ok((chunk, local_stats))
             })
             .collect();
-        let mut solutions = SolutionSet::new(names);
-        let mut stats = SolveStats::default();
-        for (s, st) in partials {
-            solutions.extend(s);
-            stats.merge(&st);
+        for partial in partials {
+            let (chunk, local_stats) = partial?;
+            sink.merge_chunk(chunk)?;
+            stats.merge(&local_stats);
         }
-        Ok(SolveResult { solutions, stats })
+        Ok(stats)
     }
 }
 
@@ -141,6 +142,7 @@ impl Solver for BruteForceSolver {
 mod tests {
     use super::super::test_support::*;
     use super::*;
+    use crate::sink::CountingSink;
 
     #[test]
     fn block_size_count_matches_reference() {
@@ -172,6 +174,17 @@ mod tests {
         let par = BruteForceSolver::parallel().solve(&p).unwrap();
         assert!(seq.solutions.same_solutions(&par.solutions));
         assert_eq!(seq.stats.nodes, par.stats.nodes);
+    }
+
+    #[test]
+    fn parallel_streams_through_chunks() {
+        let p = block_size_problem();
+        let mut count = CountingSink::default();
+        let stats = BruteForceSolver::parallel()
+            .solve_into(&p, &mut count)
+            .unwrap();
+        assert_eq!(count.rows() as usize, expected_block_size_solutions());
+        assert_eq!(stats.solutions, count.rows());
     }
 
     #[test]

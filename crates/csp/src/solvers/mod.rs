@@ -16,6 +16,7 @@
 
 use crate::error::CspResult;
 use crate::problem::Problem;
+use crate::sink::SolutionSink;
 use crate::solution::SolutionSet;
 use crate::stats::SolveStats;
 
@@ -24,6 +25,7 @@ mod brute_force;
 mod optimized;
 mod original;
 mod parallel;
+mod split;
 
 pub use blocking_clause::BlockingClauseSolver;
 pub use brute_force::BruteForceSolver;
@@ -41,12 +43,39 @@ pub struct SolveResult {
 }
 
 /// An all-solutions constraint solver.
+///
+/// `solve` and `solve_into` have default implementations in terms of each
+/// other: implement **at least one** of them (the built-in solvers implement
+/// the streaming `solve_into` and get the collecting `solve` for free;
+/// pre-existing external solvers that only implement `solve` keep working
+/// and stream through a compatibility replay).
 pub trait Solver: Send + Sync {
     /// Short name used in reports (e.g. `"optimized"`).
     fn name(&self) -> &'static str;
 
-    /// Enumerate every valid configuration of `problem`.
-    fn solve(&self, problem: &Problem) -> CspResult<SolveResult>;
+    /// Enumerate every valid configuration of `problem` into an owned
+    /// [`SolutionSet`].
+    fn solve(&self, problem: &Problem) -> CspResult<SolveResult> {
+        let mut solutions = SolutionSet::new(problem.variable_names().to_vec());
+        let stats = self.solve_into(problem, &mut solutions)?;
+        Ok(SolveResult { solutions, stats })
+    }
+
+    /// Enumerate every valid configuration of `problem`, pushing each row
+    /// into `sink` the moment it is found (rows are in variable declaration
+    /// order). This is the streaming path: no intermediate `Vec<Vec<Value>>`
+    /// of all solutions is ever materialized by the built-in solvers.
+    ///
+    /// The default implementation falls back to [`Solver::solve`] and
+    /// replays the collected rows, for solver implementations that predate
+    /// the sink API.
+    fn solve_into(&self, problem: &Problem, sink: &mut dyn SolutionSink) -> CspResult<SolveStats> {
+        let result = self.solve(problem)?;
+        for row in result.solutions.iter() {
+            sink.push_row(row)?;
+        }
+        Ok(result.stats)
+    }
 }
 
 /// Construct one of the built-in solvers by paper series name.

@@ -16,12 +16,12 @@
 //! Each optimization can be disabled individually through
 //! [`OptimizedSolverConfig`] for the ablation benchmarks.
 
-use super::{SolveResult, Solver};
+use super::Solver;
 use crate::assignment::Assignment;
 use crate::domain::DomainStore;
 use crate::error::CspResult;
 use crate::problem::Problem;
-use crate::solution::SolutionSet;
+use crate::sink::{RowSink, SolutionSink};
 use crate::stats::SolveStats;
 use crate::value::Value;
 
@@ -128,21 +128,23 @@ impl OptimizedSolver {
         Ok(true)
     }
 
-    /// Core iterative search over a prepared domain store and variable order.
+    /// Core iterative search over a prepared domain store and variable
+    /// order, streaming each solution into `sink` as it is found.
     pub(crate) fn search(
         problem: &Problem,
         domains: &mut DomainStore,
         order: &[usize],
         constraints_per_var: &[Vec<usize>],
         forward_check: bool,
-        solutions: &mut SolutionSet,
+        sink: &mut dyn RowSink,
         stats: &mut SolveStats,
-    ) {
+    ) -> CspResult<()> {
         let n = order.len();
         if n == 0 {
-            return;
+            return Ok(());
         }
         let mut assignment = Assignment::new(problem.num_variables());
+        let mut row_buf: Vec<Value> = Vec::with_capacity(n);
         let mut levels: Vec<Level> = Vec::with_capacity(n);
         levels.push(Level {
             var: order[0],
@@ -203,7 +205,8 @@ impl OptimizedSolver {
                 continue;
             }
             if levels.len() == n {
-                solutions.push(assignment.to_solution());
+                assignment.write_solution(&mut row_buf);
+                sink.push_row(&row_buf)?;
                 stats.solutions += 1;
                 if forward_check {
                     domains.pop_state_all();
@@ -221,6 +224,7 @@ impl OptimizedSolver {
                 active: false,
             });
         }
+        Ok(())
     }
 }
 
@@ -229,22 +233,20 @@ impl Solver for OptimizedSolver {
         "optimized"
     }
 
-    fn solve(&self, problem: &Problem) -> CspResult<SolveResult> {
-        let names = problem.variable_names().to_vec();
-        let mut solutions = SolutionSet::new(names);
+    fn solve_into(&self, problem: &Problem, sink: &mut dyn SolutionSink) -> CspResult<SolveStats> {
         let mut stats = SolveStats::default();
         if problem.num_variables() == 0 {
-            return Ok(SolveResult { solutions, stats });
+            return Ok(stats);
         }
         let mut domains = problem.domain_store();
         if self.config.preprocess && !Self::preprocess(problem, &mut domains, &mut stats)? {
-            return Ok(SolveResult { solutions, stats });
+            return Ok(stats);
         }
         if self.config.arc_consistency {
             let report = crate::consistency::arc_consistency(problem, &mut domains)?;
             stats.preprocess_removed += report.removed as u64;
             if !report.consistent {
-                return Ok(SolveResult { solutions, stats });
+                return Ok(stats);
             }
         }
         let order = Self::variable_order(problem, self.config.variable_ordering);
@@ -255,10 +257,10 @@ impl Solver for OptimizedSolver {
             &order,
             &constraints_per_var,
             self.config.forward_check,
-            &mut solutions,
+            sink,
             &mut stats,
-        );
-        Ok(SolveResult { solutions, stats })
+        )?;
+        Ok(stats)
     }
 }
 

@@ -8,11 +8,11 @@
 //! one-order-of-magnitude advantage over brute force on sparse spaces
 //! (Figure 5C) while still scaling poorly compared to the optimized solver.
 
-use super::{SolveResult, Solver};
+use super::Solver;
 use crate::assignment::Assignment;
 use crate::error::CspResult;
 use crate::problem::Problem;
-use crate::solution::SolutionSet;
+use crate::sink::SolutionSink;
 use crate::stats::SolveStats;
 use crate::value::Value;
 
@@ -33,13 +33,15 @@ impl OriginalBacktrackingSolver {
         depth: usize,
         assignment: &mut Assignment,
         scope_buf: &mut Vec<Value>,
-        solutions: &mut SolutionSet,
+        row_buf: &mut Vec<Value>,
+        sink: &mut dyn SolutionSink,
         stats: &mut SolveStats,
-    ) {
+    ) -> CspResult<()> {
         if depth == problem.num_variables() {
-            solutions.push(assignment.to_solution());
+            assignment.write_solution(row_buf);
+            sink.push_row(row_buf)?;
             stats.solutions += 1;
-            return;
+            return Ok(());
         }
         let values: Vec<Value> = problem.domain(depth).values().to_vec();
         for value in values {
@@ -65,14 +67,16 @@ impl OriginalBacktrackingSolver {
                     depth + 1,
                     assignment,
                     scope_buf,
-                    solutions,
+                    row_buf,
+                    sink,
                     stats,
-                );
+                )?;
             } else {
                 stats.backtracks += 1;
             }
             assignment.unassign(depth);
         }
+        Ok(())
     }
 }
 
@@ -81,12 +85,10 @@ impl Solver for OriginalBacktrackingSolver {
         "original"
     }
 
-    fn solve(&self, problem: &Problem) -> CspResult<SolveResult> {
-        let names = problem.variable_names().to_vec();
-        let mut solutions = SolutionSet::new(names);
+    fn solve_into(&self, problem: &Problem, sink: &mut dyn SolutionSink) -> CspResult<SolveStats> {
         let mut stats = SolveStats::default();
         if problem.num_variables() == 0 {
-            return Ok(SolveResult { solutions, stats });
+            return Ok(stats);
         }
         // A constraint becomes checkable exactly when the latest variable of
         // its scope (in declaration order) is assigned.
@@ -97,16 +99,18 @@ impl Solver for OriginalBacktrackingSolver {
         }
         let mut assignment = Assignment::new(problem.num_variables());
         let mut scope_buf = Vec::new();
+        let mut row_buf = Vec::with_capacity(problem.num_variables());
         Self::search(
             problem,
             &ready_constraints,
             0,
             &mut assignment,
             &mut scope_buf,
-            &mut solutions,
+            &mut row_buf,
+            sink,
             &mut stats,
-        );
-        Ok(SolveResult { solutions, stats })
+        )?;
+        Ok(stats)
     }
 }
 

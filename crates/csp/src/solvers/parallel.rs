@@ -1,23 +1,27 @@
 //! Data-parallel all-solutions solver.
 //!
-//! The search tree is split on the first variable of the optimized search
-//! order: each of its values induces an independent subproblem, which rayon
-//! distributes over worker threads. Every subproblem is solved with the same
-//! iterative optimized search; results are concatenated. Because subproblems
-//! share no mutable state, the result is identical to the sequential solver
-//! (up to row order).
+//! The search tree is split on the leading variables of the optimized search
+//! order: every Cartesian combination of their values induces an independent
+//! subproblem, which rayon distributes over worker threads. Splitting on the
+//! first variable alone load-balances badly when its domain is small, so the
+//! split deepens until there are enough subproblems to keep every core busy
+//! (see [`super::split`]). Every subproblem is solved with the same iterative
+//! optimized search; each worker streams its rows into a private sink chunk
+//! and the chunks are merged in deterministic subproblem order. Because
+//! subproblems share no mutable state, the result is identical to the
+//! sequential solver (up to row order).
 
 use rayon::prelude::*;
 
 use super::optimized::OptimizedSolver;
-use super::{OptimizedSolverConfig, SolveResult, Solver};
+use super::split::{split_prefixes, split_target};
+use super::{OptimizedSolverConfig, Solver};
 use crate::error::CspResult;
 use crate::problem::Problem;
-use crate::solution::SolutionSet;
+use crate::sink::{RowSink, SolutionSink};
 use crate::stats::SolveStats;
-use crate::value::Value;
 
-/// Parallel variant of [`OptimizedSolver`] using first-variable domain splitting.
+/// Parallel variant of [`OptimizedSolver`] using multi-level domain splitting.
 #[derive(Debug, Clone, Default)]
 pub struct ParallelSolver {
     config: OptimizedSolverConfig,
@@ -40,56 +44,70 @@ impl Solver for ParallelSolver {
         "parallel"
     }
 
-    fn solve(&self, problem: &Problem) -> CspResult<SolveResult> {
-        let names = problem.variable_names().to_vec();
+    fn solve_into(&self, problem: &Problem, sink: &mut dyn SolutionSink) -> CspResult<SolveStats> {
         let mut stats = SolveStats::default();
         if problem.num_variables() == 0 {
-            return Ok(SolveResult {
-                solutions: SolutionSet::new(names),
-                stats,
-            });
+            return Ok(stats);
         }
         let mut domains = problem.domain_store();
         if self.config.preprocess
             && !OptimizedSolver::preprocess(problem, &mut domains, &mut stats)?
         {
-            return Ok(SolveResult {
-                solutions: SolutionSet::new(names),
-                stats,
-            });
+            return Ok(stats);
         }
         let order = OptimizedSolver::variable_order(problem, self.config.variable_ordering);
         let constraints_per_var = problem.constraints_per_variable();
-        let split_var = order[0];
-        let split_values: Vec<Value> = domains.domain(split_var).values().to_vec();
         let forward_check = self.config.forward_check;
+        let prefixes = split_prefixes(&order, |v| domains.domain(v).len(), split_target());
+        if prefixes.is_empty() {
+            // An empty split domain: the space has no configurations.
+            return Ok(stats);
+        }
 
-        let partials: Vec<(SolutionSet, SolveStats)> = split_values
+        let sink_ref: &dyn SolutionSink = sink;
+        let domains_ref = &domains;
+        let order_ref = &order;
+        let constraints_ref = &constraints_per_var;
+        let partials: Vec<CspResult<(Box<dyn RowSink>, SolveStats)>> = prefixes
             .par_iter()
-            .map(|value| {
-                let mut local_domains = domains.clone();
-                local_domains.domain_mut(split_var).retain(|v| v == value);
-                let mut local_solutions = SolutionSet::new(problem.variable_names().to_vec());
+            .map(|prefix| {
+                // Pin the first `prefix.len()` variables of the search order
+                // to one value each; the subsearch explores the rest. The
+                // pin is by *index*, not equality: a domain may hold
+                // distinct values that compare Python-equal (Int(2) and
+                // Float(2.0)), and an equality retain would keep both in
+                // every subproblem, duplicating rows vs the sequential run.
+                let mut local_domains = domains_ref.clone();
+                for (level, &value_index) in prefix.iter().enumerate() {
+                    let var = order_ref[level];
+                    let mut position = 0usize;
+                    local_domains.domain_mut(var).retain(|_| {
+                        let keep = position == value_index;
+                        position += 1;
+                        keep
+                    });
+                }
+                let mut chunk = sink_ref.new_chunk();
                 let mut local_stats = SolveStats::default();
                 OptimizedSolver::search(
                     problem,
                     &mut local_domains,
-                    &order,
-                    &constraints_per_var,
+                    order_ref,
+                    constraints_ref,
                     forward_check,
-                    &mut local_solutions,
+                    chunk.as_mut(),
                     &mut local_stats,
-                );
-                (local_solutions, local_stats)
+                )?;
+                Ok((chunk, local_stats))
             })
             .collect();
 
-        let mut solutions = SolutionSet::new(names);
-        for (s, st) in partials {
-            solutions.extend(s);
-            stats.merge(&st);
+        for partial in partials {
+            let (chunk, local_stats) = partial?;
+            sink.merge_chunk(chunk)?;
+            stats.merge(&local_stats);
         }
-        Ok(SolveResult { solutions, stats })
+        Ok(stats)
     }
 }
 
@@ -98,6 +116,7 @@ mod tests {
     use super::super::test_support::*;
     use super::super::{BruteForceSolver, OptimizedSolver};
     use super::*;
+    use crate::sink::CountingSink;
 
     #[test]
     fn matches_sequential_optimized() {
@@ -131,5 +150,32 @@ mod tests {
         };
         let r = ParallelSolver::with_config(cfg).solve(&p).unwrap();
         assert_eq!(r.solutions.len(), expected_mixed_solutions());
+    }
+
+    #[test]
+    fn python_equal_duplicate_domain_values_do_not_duplicate_rows() {
+        // Int(2) and Float(2.0) compare Python-equal but are distinct domain
+        // entries; pinning split variables by *index* must keep exactly one
+        // per subproblem, or the parallel solver would return every such row
+        // once per equal duplicate.
+        use crate::value::{int_values, Value};
+        let mut p = Problem::new();
+        p.add_variable("x", vec![Value::Int(2), Value::Float(2.0)])
+            .unwrap();
+        p.add_variable("y", int_values(1..=8)).unwrap();
+        let seq = OptimizedSolver::new().solve(&p).unwrap();
+        let par = ParallelSolver::new().solve(&p).unwrap();
+        assert_eq!(seq.solutions.len(), 16);
+        assert_eq!(par.solutions.len(), seq.solutions.len());
+    }
+
+    #[test]
+    fn streams_the_same_count_as_collecting() {
+        let p = block_size_problem();
+        let collected = ParallelSolver::new().solve(&p).unwrap();
+        let mut count = CountingSink::default();
+        let stats = ParallelSolver::new().solve_into(&p, &mut count).unwrap();
+        assert_eq!(count.rows() as usize, collected.solutions.len());
+        assert_eq!(stats.solutions, count.rows());
     }
 }

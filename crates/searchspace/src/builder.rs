@@ -9,13 +9,13 @@
 
 use std::time::{Duration, Instant};
 
-use at_cot::{build_chain_from_problem, enumerate_chain};
+use at_cot::{build_chain_from_problem, enumerate_chain_into};
 use at_csp::{
     BlockingClauseSolver, BruteForceSolver, CspError, CspResult, OptimizedSolver,
-    OptimizedSolverConfig, OriginalBacktrackingSolver, ParallelSolver, SolutionSet, SolveStats,
-    Solver,
+    OptimizedSolverConfig, OriginalBacktrackingSolver, ParallelSolver, SolveStats, Solver,
 };
 
+use crate::sink::EncodingSink;
 use crate::space::SearchSpace;
 use crate::spec::{RestrictionLowering, SearchSpaceSpec};
 
@@ -123,6 +123,13 @@ pub fn build_search_space(
 }
 
 /// Construct the search space with explicit options (ablation studies).
+///
+/// Construction streams: the chosen solver (or the chain-of-trees
+/// enumerator) pushes each solution row into an [`EncodingSink`] the moment
+/// it is found, where it is immediately encoded to `u32` value codes in the
+/// space's arena. No decoded `Vec<Vec<Value>>` of the solutions is ever
+/// materialized — the peak decoded footprint is one row per active worker
+/// thread.
 pub fn build_search_space_with(
     spec: &SearchSpaceSpec,
     method: Method,
@@ -134,39 +141,49 @@ pub fn build_search_space_with(
         .unwrap_or_else(|| method.default_lowering());
     let problem = spec.to_problem(lowering)?;
     let num_constraints = problem.num_constraints();
+    // Solvers emit rows in variable declaration order, which is the spec's
+    // parameter order — exactly what the sink encodes against.
+    debug_assert!(problem
+        .variable_names()
+        .iter()
+        .zip(spec.params.iter())
+        .all(|(n, p)| n == p.name()));
+    let mut sink = EncodingSink::new(spec.name.clone(), spec.params.clone())
+        .map_err(|e| CspError::Solver(format!("building the encoding sink failed: {e}")))?;
 
-    let (solutions, stats): (SolutionSet, SolveStats) = match method {
-        Method::BruteForce => run(&BruteForceSolver::new(), &problem)?,
-        Method::Original => run(&OriginalBacktrackingSolver::new(), &problem)?,
+    let stats: SolveStats = match method {
+        Method::BruteForce => run_into(&BruteForceSolver::new(), &problem, &mut sink)?,
+        Method::Original => run_into(&OriginalBacktrackingSolver::new(), &problem, &mut sink)?,
         Method::Optimized => {
             let solver = match options.solver_config {
                 Some(cfg) => OptimizedSolver::with_config(cfg),
                 None => OptimizedSolver::new(),
             };
-            run(&solver, &problem)?
+            run_into(&solver, &problem, &mut sink)?
         }
         Method::ParallelOptimized => {
             let solver = match options.solver_config {
                 Some(cfg) => ParallelSolver::with_config(cfg),
                 None => ParallelSolver::new(),
             };
-            run(&solver, &problem)?
+            run_into(&solver, &problem, &mut sink)?
         }
-        Method::BlockingClause => run(&BlockingClauseSolver::new(), &problem)?,
+        Method::BlockingClause => run_into(&BlockingClauseSolver::new(), &problem, &mut sink)?,
         Method::ChainOfTrees => {
             let chain = build_chain_from_problem(&problem);
-            let solutions = enumerate_chain(&chain);
-            let stats = SolveStats {
+            enumerate_chain_into(&chain, &mut sink)
+                .map_err(|e| CspError::Solver(format!("chain-of-trees: {e}")))?;
+            SolveStats {
                 constraint_checks: chain.constraint_checks(),
-                solutions: solutions.len() as u64,
+                solutions: sink.rows() as u64,
                 ..Default::default()
-            };
-            (solutions, stats)
+            }
         }
     };
 
-    let num_valid = solutions.len();
-    let space = SearchSpace::from_solutions(spec.name.clone(), spec.params.clone(), &solutions)
+    let num_valid = sink.rows();
+    let space = sink
+        .finish()
         .map_err(|e| CspError::Solver(format!("indexing the resolved space failed: {e}")))?;
     let report = BuildReport {
         method,
@@ -179,11 +196,14 @@ pub fn build_search_space_with(
     Ok((space, report))
 }
 
-fn run<S: Solver>(solver: &S, problem: &at_csp::Problem) -> CspResult<(SolutionSet, SolveStats)> {
-    let result = solver
-        .solve(problem)
-        .map_err(|e| CspError::Solver(format!("{}: {e}", solver.name())))?;
-    Ok((result.solutions, result.stats))
+fn run_into<S: Solver>(
+    solver: &S,
+    problem: &at_csp::Problem,
+    sink: &mut EncodingSink,
+) -> CspResult<SolveStats> {
+    solver
+        .solve_into(problem, sink)
+        .map_err(|e| CspError::Solver(format!("{}: {e}", solver.name())))
 }
 
 #[cfg(test)]

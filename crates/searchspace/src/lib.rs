@@ -56,6 +56,26 @@
 //! Neighbor queries ([`neighbors()`], [`NeighborIndex`]) and sampling
 //! ([`sample_indices`], [`latin_hypercube_sample`]) consume and produce
 //! [`ConfigId`]s and operate on encoded rows internally.
+//!
+//! # MIGRATION: collected construction → streaming construction
+//!
+//! Construction used to materialize the solver output twice: every solver
+//! collected a decoded `SolutionSet` (`Vec<Vec<Value>>`) which
+//! `from_solutions` then re-encoded into the arena and dropped. The
+//! construction path now streams — solvers push rows into a
+//! `SolutionSink` (`at_csp::sink`) and [`EncodingSink`] encodes each row
+//! straight into the arena; parallel solvers encode per-thread chunks that
+//! merge by `Vec<u32>` append, without re-encoding or re-hashing:
+//!
+//! | old (collected)                                   | new (streaming)                                  |
+//! |---------------------------------------------------|--------------------------------------------------|
+//! | `solver.solve(&p)?` then `from_solutions(..)`     | `solver.solve_into(&p, &mut EncodingSink)` + `finish()` |
+//! | `enumerate_chain(&chain)` then `from_solutions`   | `enumerate_chain_into(&chain, &mut sink)`        |
+//! | adopt decoded rows: `from_configs(.., rows)`      | adopt encoded rows: [`SearchSpace::from_code_rows`] |
+//!
+//! `Solver::solve`, `from_solutions` and `from_configs` all keep working
+//! (and `build_search_space` is unchanged for callers — it just streams
+//! internally); migrate when construction memory or time matters.
 
 #![warn(missing_docs)]
 
@@ -66,6 +86,7 @@ pub mod output;
 pub mod param;
 pub mod restriction;
 pub mod sampling;
+pub mod sink;
 pub mod space;
 pub mod spec;
 pub mod stats;
@@ -77,6 +98,7 @@ pub use output::{to_columnar, to_csv, to_json_cache, to_named_maps};
 pub use param::TunableParameter;
 pub use restriction::Restriction;
 pub use sampling::{coverage_per_parameter, latin_hypercube_sample, sample_indices};
+pub use sink::EncodingSink;
 pub use space::{ConfigId, ConfigView, SearchSpace, SpaceError};
 pub use spec::{RestrictionLowering, SearchSpaceSpec};
 pub use stats::SpaceCharacteristics;
@@ -90,6 +112,7 @@ pub mod prelude {
     pub use crate::param::TunableParameter;
     pub use crate::restriction::Restriction;
     pub use crate::sampling::{latin_hypercube_sample, sample_indices};
+    pub use crate::sink::EncodingSink;
     pub use crate::space::{ConfigId, ConfigView, SearchSpace, SpaceError};
     pub use crate::spec::{RestrictionLowering, SearchSpaceSpec};
     pub use crate::stats::SpaceCharacteristics;

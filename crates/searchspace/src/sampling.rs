@@ -9,16 +9,35 @@
 
 use rand::seq::SliceRandom;
 use rand::Rng;
+use rustc_hash::FxHashMap;
 
 use crate::space::{ConfigId, SearchSpace};
 
 /// Draw `count` distinct configuration ids uniformly at random.
 /// If `count >= len`, all ids are returned (shuffled).
+///
+/// This is a *partial* Fisher–Yates shuffle over a sparse view of the id
+/// range: only the first `count` steps of the shuffle run, and only the
+/// displaced positions are tracked (in a hash map), so a call costs
+/// O(count) time and memory regardless of the size of the space — drawing
+/// 100 ids from a ten-million-configuration space no longer allocates and
+/// shuffles a ten-million-entry vector. Distinctness and per-seed
+/// determinism are preserved.
 pub fn sample_indices<R: Rng>(space: &SearchSpace, count: usize, rng: &mut R) -> Vec<ConfigId> {
-    let mut all: Vec<ConfigId> = space.ids().collect();
-    all.shuffle(rng);
-    all.truncate(count.min(space.len()));
-    all
+    let n = space.len();
+    let count = count.min(n);
+    // `displaced[p]` is the id currently "stored" at position p of the
+    // virtual id array; absent positions still hold their own id.
+    let mut displaced: FxHashMap<usize, usize> = FxHashMap::default();
+    let mut out = Vec::with_capacity(count);
+    for i in 0..count {
+        let j = rng.gen_range(i..n);
+        let pick = displaced.get(&j).copied().unwrap_or(j);
+        let shadowed = displaced.get(&i).copied().unwrap_or(i);
+        displaced.insert(j, shadowed);
+        out.push(ConfigId::from_index(pick));
+    }
+    out
 }
 
 /// Latin Hypercube Sampling over the valid configurations.
@@ -147,6 +166,32 @@ mod tests {
         let mut rng = ChaCha8Rng::seed_from_u64(2);
         let samples = sample_indices(&s, 100, &mut rng);
         assert_eq!(samples.len(), 9);
+        let mut all: Vec<usize> = samples.iter().map(|id| id.index()).collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..9).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sampling_is_seed_deterministic() {
+        let s = grid_space(16);
+        let a = sample_indices(&s, 40, &mut ChaCha8Rng::seed_from_u64(9));
+        let b = sample_indices(&s, 40, &mut ChaCha8Rng::seed_from_u64(9));
+        assert_eq!(a, b);
+        let c = sample_indices(&s, 40, &mut ChaCha8Rng::seed_from_u64(10));
+        assert_ne!(a, c, "different seeds should draw different samples");
+    }
+
+    #[test]
+    fn sampling_covers_the_whole_id_range() {
+        // every id must be reachable, including the tail of the range
+        let s = grid_space(8); // 64 configurations
+        let mut seen = vec![false; s.len()];
+        for seed in 0..200 {
+            for id in sample_indices(&s, 4, &mut ChaCha8Rng::seed_from_u64(seed)) {
+                seen[id.index()] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "some ids were never drawn");
     }
 
     #[test]

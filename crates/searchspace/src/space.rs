@@ -87,6 +87,23 @@ pub enum SpaceError {
         /// The overflowing count.
         count: usize,
     },
+    /// A pre-encoded configuration row referenced a value code outside the
+    /// corresponding parameter's dictionary.
+    CodeOutOfRange {
+        /// The parameter whose dictionary is too small for the code.
+        param: String,
+        /// The offending value code.
+        code: u32,
+        /// The index of the offending configuration row.
+        row: usize,
+    },
+    /// A pre-encoded arena's length is not a whole number of rows.
+    RaggedArena {
+        /// The arena length handed in.
+        len: usize,
+        /// The expected length (`rows × params`).
+        expected: usize,
+    },
 }
 
 impl fmt::Display for SpaceError {
@@ -107,6 +124,14 @@ impl fmt::Display for SpaceError {
             SpaceError::TooLarge { what, count } => {
                 write!(f, "{what} ({count}) exceeds the u32 encoding limit")
             }
+            SpaceError::CodeOutOfRange { param, code, row } => write!(
+                f,
+                "configuration {row}: code {code} is out of range for parameter `{param}`"
+            ),
+            SpaceError::RaggedArena { len, expected } => write!(
+                f,
+                "encoded arena holds {len} codes where {expected} were expected"
+            ),
         }
     }
 }
@@ -136,7 +161,7 @@ pub(crate) fn hash_codes(codes: &[u32]) -> u64 {
 /// cross-type equality (`Int(2) == Float(2.0) == Bool`-as-int), matching
 /// `Value`'s own `Eq`/`Hash`.
 #[derive(Debug, Clone)]
-enum CodeLookup {
+pub(crate) enum CodeLookup {
     /// All-integer-like dictionary with a compact range: `table[v - min]`
     /// holds the code, or [`EMPTY_SLOT`] for integers not in the dictionary.
     IntDense { min: i64, table: Box<[u32]> },
@@ -187,7 +212,7 @@ impl CodeLookup {
 
     /// The code of a value, if it is in the dictionary.
     #[inline]
-    fn code_of(&self, value: &Value) -> Option<u32> {
+    pub(crate) fn code_of(&self, value: &Value) -> Option<u32> {
         match self {
             CodeLookup::IntDense { min, table } => {
                 let i = value.as_i64()?;
@@ -348,6 +373,73 @@ impl SearchSpace {
         }
         Ok(Self::from_parts(
             name.into(),
+            params,
+            num_configs,
+            codes,
+            value_codes,
+        ))
+    }
+
+    /// Adopt pre-encoded configuration rows: `codes` is a flat arena of
+    /// `num_rows × params.len()` per-parameter value codes in row-major,
+    /// declaration order — exactly the layout the space stores internally,
+    /// so construction performs no decoding and no per-row hashing beyond
+    /// the one membership-table build every constructor needs.
+    ///
+    /// This is the adoption point for streaming construction: an encoding
+    /// sink (see [`crate::EncodingSink`]) produces per-thread chunks of this
+    /// layout, concatenates them, and hands the arena over here. The codes
+    /// are bounds-checked against the parameter dictionaries in one cheap
+    /// pass ([`SpaceError::CodeOutOfRange`] otherwise); a ragged arena
+    /// (`codes.len() != num_rows × params.len()`) is rejected as
+    /// [`SpaceError::RaggedArena`].
+    pub fn from_code_rows(
+        name: impl Into<String>,
+        params: Vec<TunableParameter>,
+        num_rows: usize,
+        codes: Vec<u32>,
+    ) -> Result<Self, SpaceError> {
+        let value_codes = reverse_dictionaries(&params)?;
+        let stride = params.len();
+        let expected = num_rows
+            .checked_mul(stride)
+            .filter(|&len| len == codes.len())
+            .ok_or(SpaceError::RaggedArena {
+                len: codes.len(),
+                expected: num_rows.saturating_mul(stride),
+            })?;
+        debug_assert_eq!(expected, codes.len());
+        for (cell, &code) in codes.iter().enumerate() {
+            let param = &params[cell % stride.max(1)];
+            if code as usize >= param.len() {
+                return Err(SpaceError::CodeOutOfRange {
+                    param: param.name().to_string(),
+                    code,
+                    row: cell / stride.max(1),
+                });
+            }
+        }
+        Self::from_encoded_parts(name.into(), params, num_rows, codes, value_codes)
+    }
+
+    /// Build from an already-validated arena and pre-built reverse
+    /// dictionaries (the encoding sink's adoption path: every code came out
+    /// of `lookups` itself, so no re-validation pass is needed).
+    pub(crate) fn from_encoded_parts(
+        name: String,
+        params: Vec<TunableParameter>,
+        num_configs: usize,
+        codes: Vec<u32>,
+        value_codes: Vec<CodeLookup>,
+    ) -> Result<Self, SpaceError> {
+        if num_configs > EMPTY_SLOT as usize {
+            return Err(SpaceError::TooLarge {
+                what: "number of configurations",
+                count: num_configs,
+            });
+        }
+        Ok(Self::from_parts(
+            name,
             params,
             num_configs,
             codes,
@@ -678,7 +770,9 @@ impl SearchSpace {
 }
 
 /// Build the per-parameter value → code reverse dictionaries.
-fn reverse_dictionaries(params: &[TunableParameter]) -> Result<Vec<CodeLookup>, SpaceError> {
+pub(crate) fn reverse_dictionaries(
+    params: &[TunableParameter],
+) -> Result<Vec<CodeLookup>, SpaceError> {
     params
         .iter()
         .map(|p| {

@@ -6,6 +6,8 @@ use proptest::prelude::*;
 
 use autotuning_searchspaces::cot::{build_chain_from_problem, enumerate_chain};
 use autotuning_searchspaces::csp::prelude::*;
+use autotuning_searchspaces::csp::sink::CountingSink;
+use autotuning_searchspaces::csp::solver_by_name;
 use autotuning_searchspaces::csp::value::int_values;
 
 /// A randomly generated small problem description.
@@ -94,6 +96,33 @@ proptest! {
         let from_chain = enumerate_chain(&chain);
         prop_assert_eq!(chain.size(), brute.solutions.len() as u128);
         prop_assert!(brute.solutions.same_solutions(&from_chain));
+    }
+
+    #[test]
+    fn every_solver_reports_stats_matching_its_solution_count(rp in random_problem()) {
+        // `stats.solutions` must equal the number of rows produced, on both
+        // the collecting path and the streaming sink path, for all solvers.
+        let problem = build(&rp);
+        let mut counts: Vec<u64> = Vec::new();
+        for name in ["brute-force", "original", "optimized", "parallel", "blocking-clause"] {
+            let solver = solver_by_name(name).unwrap();
+            let collected = solver.solve(&problem).unwrap();
+            prop_assert_eq!(
+                collected.stats.solutions as usize,
+                collected.solutions.len(),
+                "{}: collected stats disagree", name
+            );
+            let mut sink = CountingSink::default();
+            let stats = solver.solve_into(&problem, &mut sink).unwrap();
+            prop_assert_eq!(stats.solutions, sink.rows(), "{}: streamed stats disagree", name);
+            prop_assert_eq!(
+                stats.solutions as usize,
+                collected.solutions.len(),
+                "{}: streaming found a different number of solutions", name
+            );
+            counts.push(stats.solutions);
+        }
+        prop_assert!(counts.windows(2).all(|w| w[0] == w[1]), "solvers disagree: {:?}", counts);
     }
 
     #[test]
