@@ -3,9 +3,9 @@
 
 CARGO ?= cargo
 
-.PHONY: verify fmt clippy build test doctest smoke streaming examples doc bench bench-construction fix
+.PHONY: verify fmt clippy build test doctest smoke streaming store examples doc bench bench-construction bench-store fix
 
-verify: fmt clippy build test smoke streaming examples doc
+verify: fmt clippy build test smoke streaming store examples doc
 	@echo "---- all checks passed ----"
 
 fmt:
@@ -35,6 +35,22 @@ streaming:
 	$(CARGO) test -q --test sink_streaming --test proptest_solvers
 	$(CARGO) build -p at_bench --bench construction
 
+# The persistence gate: the save/load round-trip + corruption proptest
+# suite, a smoke-build of the store bench, and an end-to-end cache
+# round-trip through the CLI — construct twice with --cache-dir, assert the
+# second run is a hit and both runs export byte-identical spaces, then
+# verify the cache.
+store:
+	$(CARGO) test -q --test store_roundtrip
+	$(CARGO) build -p at_bench --bench store
+	rm -rf target/store-smoke target/store-smoke-out
+	mkdir -p target/store-smoke-out
+	$(CARGO) run --release -p at_cli --bin atss -- construct --workload dedispersion --cache-dir target/store-smoke --format csv --out target/store-smoke-out/cold.csv
+	$(CARGO) run --release -p at_cli --bin atss -- construct --workload dedispersion --cache-dir target/store-smoke --format summary | grep -E "^cache: +hit"
+	$(CARGO) run --release -p at_cli --bin atss -- construct --workload dedispersion --cache-dir target/store-smoke --format csv --out target/store-smoke-out/warm.csv
+	cmp target/store-smoke-out/cold.csv target/store-smoke-out/warm.csv
+	$(CARGO) run --release -p at_cli --bin atss -- cache verify --cache-dir target/store-smoke
+
 # Run the two API-tour examples end-to-end so drift between the examples and
 # the `SearchSpace` API fails the gate, not just compilation.
 examples:
@@ -50,6 +66,11 @@ bench:
 # Construction-path time + peak transient allocation across all six methods.
 bench-construction:
 	$(CARGO) bench -p at_bench --bench construction
+
+# Persistence-path benchmarks: cold construction vs. warm ATSS load (the
+# acceptance ratio is printed up front).
+bench-store:
+	$(CARGO) bench -p at_bench --bench store
 
 # Apply rustfmt and machine-applicable clippy suggestions.
 fix:

@@ -138,6 +138,26 @@ fn bench_construction(c: &mut Criterion) {
         );
     }
     group.finish();
+
+    // Cold construction vs. a warm ATSS load of the persisted space: the
+    // `at_store` promise is that once a space has been solved, every later
+    // process pays the load, not the solve (`benches/store.rs` has the full
+    // persistence-path suite and the acceptance ratio printout).
+    let mut group = c.benchmark_group("construction/warm_load");
+    group.sample_size(20);
+    let dir = std::env::temp_dir().join("atss-construction-bench");
+    std::fs::create_dir_all(&dir).expect("create bench dir");
+    for spec in workloads() {
+        let (space, _) = build_search_space(&spec, Method::Optimized).expect("construction");
+        let path = dir.join(format!("{}.atss", spec.name));
+        at_store::write_space_to_path(&space, &path).expect("persist");
+        group.bench_with_input(
+            BenchmarkId::new("atss-load", &spec.name),
+            &path,
+            |b, path| b.iter(|| at_store::read_space_from_path(path).unwrap().0.len()),
+        );
+    }
+    group.finish();
 }
 
 criterion_group!(benches, bench_construction);

@@ -1,0 +1,122 @@
+//! Persistence-path benchmarks: cold construction vs. warm `ATSS` load.
+//!
+//! The `at_store` promise is "solve once, serve forever": a warm
+//! [`at_store::SpaceStore`] load must be an order of magnitude faster than
+//! re-constructing with the optimized solver, while producing a
+//! code-for-code identical space. A one-shot comparison (min-of-5, printed
+//! up front, with an identity check) demonstrates the acceptance target on
+//! `dedispersion` and `microhh`; Criterion groups then track the individual
+//! costs:
+//!
+//! * `store/cold_construct` — optimized-solver construction from scratch,
+//! * `store/warm_load` — full `ATSS` read (checksums, dictionary decode,
+//!   arena adoption, membership-table build),
+//! * `store/write` — persisting an already-resolved space.
+
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use at_searchspace::{build_search_space, Method, SearchSpace};
+use at_store::{read_space_from_path, write_space_to_path};
+use at_workloads::{dedispersion, microhh};
+
+fn bench_dir() -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("atss-store-bench");
+    std::fs::create_dir_all(&dir).expect("create bench dir");
+    dir
+}
+
+fn min_of<T>(runs: usize, mut f: impl FnMut() -> T) -> (Duration, T) {
+    let mut best: Option<(Duration, T)> = None;
+    for _ in 0..runs {
+        let start = Instant::now();
+        let value = f();
+        let elapsed = start.elapsed();
+        if best.as_ref().is_none_or(|(b, _)| elapsed < *b) {
+            best = Some((elapsed, value));
+        }
+    }
+    best.expect("at least one run")
+}
+
+fn assert_identical(cold: &SearchSpace, warm: &SearchSpace) {
+    assert_eq!(cold.arena(), warm.arena(), "arenas differ");
+    assert_eq!(cold.name(), warm.name());
+    for view in cold.iter().take(1000) {
+        assert_eq!(warm.index_of(&view.to_vec()), Some(view.id()));
+    }
+}
+
+/// The acceptance comparison: construct cold, load warm, report the ratio.
+fn report_cold_vs_warm() {
+    println!("cold optimized construction vs. warm ATSS load (min of 5):");
+    for workload in [dedispersion(), microhh()] {
+        let spec = workload.spec;
+        let path = bench_dir().join(format!("{}.atss", spec.name));
+        let (cold_time, (cold, _)) = min_of(5, || {
+            build_search_space(&spec, Method::Optimized).expect("construction")
+        });
+        write_space_to_path(&cold, &path).expect("persist");
+        let (warm_time, (warm, info)) = min_of(5, || read_space_from_path(&path).expect("load"));
+        assert_identical(&cold, &warm);
+        let speedup = cold_time.as_secs_f64() / warm_time.as_secs_f64().max(1e-9);
+        println!(
+            "  {:<14} cold {:>10.3?}   warm {:>10.3?}   {:>7.1}x   ({} configs, {} B on disk)",
+            spec.name,
+            cold_time,
+            warm_time,
+            speedup,
+            warm.len(),
+            info.file_bytes,
+        );
+    }
+}
+
+fn bench_store(c: &mut Criterion) {
+    report_cold_vs_warm();
+
+    let workloads: Vec<(String, std::path::PathBuf, SearchSpace)> = [dedispersion(), microhh()]
+        .into_iter()
+        .map(|w| {
+            let spec = w.spec;
+            let (space, _) = build_search_space(&spec, Method::Optimized).expect("construction");
+            let path = bench_dir().join(format!("{}.atss", spec.name));
+            write_space_to_path(&space, &path).expect("persist");
+            (spec.name.clone(), path, space)
+        })
+        .collect();
+
+    let specs = [dedispersion().spec, microhh().spec];
+    let mut group = c.benchmark_group("store/cold_construct");
+    group.sample_size(10);
+    for spec in &specs {
+        group.bench_with_input(
+            BenchmarkId::new("optimized", &spec.name),
+            spec,
+            |b, spec| b.iter(|| build_search_space(spec, Method::Optimized).unwrap().0.len()),
+        );
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("store/warm_load");
+    group.sample_size(20);
+    for (name, path, _) in &workloads {
+        group.bench_with_input(BenchmarkId::new("atss", name), path, |b, path| {
+            b.iter(|| read_space_from_path(path).unwrap().0.len())
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("store/write");
+    group.sample_size(20);
+    for (name, path, space) in &workloads {
+        group.bench_with_input(BenchmarkId::new("atss", name), space, |b, space| {
+            b.iter(|| write_space_to_path(space, path).unwrap().bytes_written)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_store);
+criterion_main!(benches);

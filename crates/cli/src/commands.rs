@@ -4,9 +4,10 @@ use std::fmt::Write as _;
 use std::time::Duration;
 
 use at_searchspace::{
-    build_search_space, spec_from_json, to_csv, to_json_cache, Method, SearchSpaceSpec,
-    SpaceCharacteristics,
+    build_search_space, spec_from_json, to_csv, to_json_cache, BuildReport, Method, SearchSpace,
+    SearchSpaceSpec, SpaceCharacteristics,
 };
+use at_store::{CacheStatus, SpaceStore, SpecFingerprint, StoreOutcome};
 use at_tuner::{strategy_by_name, tune as run_tuning};
 use at_workloads::{all_real_world, performance_model_for, real_world_by_name, real_world_names};
 
@@ -29,12 +30,21 @@ COMMANDS:
                                 chain-of-trees|blocking-clause>   (default: optimized)
                       --format <count|summary|csv|json>           (default: summary)
                       --out <path>                                 write instead of print
+                      --cache-dir <dir>   serve from / persist to an ATSS space cache
     compare         Time several construction methods on one space
                       --workload <name> | --spec <file.json>
                       --methods <comma-separated labels>
     tune            Run a simulated tuning session on a built-in workload
                       --workload <name>  --strategy <name>  --budget-ms <n>
                       --method <construction method>  --seed <n>
+                      --cache-dir <dir>   load the space from the cache (warm
+                                          loads charge milliseconds, not seconds,
+                                          to the tuning budget)
+    cache           Manage an ATSS space cache directory
+                      cache ls     --cache-dir <dir>
+                      cache info   --cache-dir <dir> --workload <n>|--spec <f> [--method <m>]
+                      cache verify --cache-dir <dir>
+                      cache gc     --cache-dir <dir> --max-bytes <n>
     spec-template   Print an example JSON space specification
     help            Show this message
 
@@ -134,15 +144,91 @@ pub fn workloads(args: &ParsedArgs) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// Resolve the space for `spec`: through a [`SpaceStore`] when `--cache-dir`
+/// is passed, by plain construction otherwise. Returns the space, the build
+/// report when solving happened, and the cache outcome when a cache was
+/// involved.
+fn obtain_space(
+    args: &ParsedArgs,
+    spec: &SearchSpaceSpec,
+    method: Method,
+) -> Result<(SearchSpace, Option<BuildReport>, Option<StoreOutcome>), CliError> {
+    match args.get("cache-dir") {
+        None => {
+            let (space, report) = build_search_space(spec, method)
+                .map_err(|e| CliError::Run(format!("construction failed: {e}")))?;
+            Ok((space, Some(report), None))
+        }
+        Some(dir) => {
+            let store = SpaceStore::new(dir)
+                .map_err(|e| CliError::Run(format!("cache at `{dir}`: {e}")))?;
+            let (space, outcome) = store
+                .get_or_build(spec, method)
+                .map_err(|e| CliError::Run(format!("cache at `{dir}`: {e}")))?;
+            Ok((space, outcome.report.clone(), Some(outcome)))
+        }
+    }
+}
+
+/// Render the `cache:` lines of the summary format.
+fn cache_summary_lines(out: &mut String, outcome: &StoreOutcome) {
+    let status = match &outcome.status {
+        CacheStatus::Hit => format!("hit (warm load in {:.3?})", outcome.duration),
+        CacheStatus::Miss => format!(
+            "miss (constructed and persisted in {:.3?})",
+            outcome.duration
+        ),
+        CacheStatus::Uncacheable(reason) => format!("uncacheable ({reason})"),
+    };
+    writeln!(out, "cache:                {status}").expect("write to string");
+    writeln!(
+        out,
+        "cache fingerprint:    {}",
+        outcome
+            .fingerprint
+            .map_or_else(|| "-".to_string(), |fp| fp.to_hex())
+    )
+    .expect("write to string");
+    match &outcome.path {
+        Some(path) => writeln!(
+            out,
+            "cache file:           {} ({} bytes on disk)",
+            path.display(),
+            outcome.file_bytes
+        )
+        .expect("write to string"),
+        None => writeln!(out, "cache file:           -").expect("write to string"),
+    }
+}
+
 /// `atss construct`
 pub fn construct(args: &ParsedArgs) -> Result<String, CliError> {
-    args.ensure_known_flags(&["workload", "spec", "method", "format", "out"])?;
+    args.ensure_known_flags(&["workload", "spec", "method", "format", "out", "cache-dir"])?;
     let spec = resolve_spec(args)?;
     let method = resolve_method(args)?;
-    let (space, report) = build_search_space(&spec, method)
-        .map_err(|e| CliError::Run(format!("construction failed: {e}")))?;
+    let (space, report, outcome) = obtain_space(args, &spec, method)?;
 
     let format = args.get("format").unwrap_or("summary");
+
+    // Space-proportional exports going to a file stream through the
+    // `io::Write` writers — the file never exists as one in-memory String.
+    if let (Some(path), "csv" | "json") = (args.get("out"), format) {
+        let file = std::fs::File::create(path)
+            .map_err(|e| CliError::Run(format!("cannot write `{path}`: {e}")))?;
+        let mut out = std::io::BufWriter::new(file);
+        let result = match format {
+            "csv" => at_searchspace::write_csv(&space, &mut out),
+            _ => at_searchspace::write_json_cache(&space, &mut out),
+        }
+        .and_then(|()| std::io::Write::flush(&mut out));
+        result.map_err(|e| CliError::Run(format!("cannot write `{path}`: {e}")))?;
+        let bytes = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
+        return Ok(format!(
+            "wrote {bytes} bytes ({} configurations) to {path}\n",
+            space.len()
+        ));
+    }
+
     let rendered = match format {
         "count" => format!("{}\n", space.len()),
         "csv" => to_csv(&space),
@@ -152,8 +238,15 @@ pub fn construct(args: &ParsedArgs) -> Result<String, CliError> {
             let mut out = String::new();
             writeln!(out, "space:                {}", spec.name).expect("write to string");
             writeln!(out, "method:               {}", method.label()).expect("write to string");
-            writeln!(out, "construction time:    {:?}", report.duration).expect("write to string");
-            writeln!(out, "cartesian size:       {}", report.cartesian_size)
+            match &report {
+                Some(report) => {
+                    writeln!(out, "construction time:    {:?}", report.duration)
+                        .expect("write to string");
+                }
+                None => writeln!(out, "construction time:    none (cache hit)")
+                    .expect("write to string"),
+            }
+            writeln!(out, "cartesian size:       {}", spec.cartesian_size())
                 .expect("write to string");
             writeln!(out, "valid configurations: {}", space.len()).expect("write to string");
             writeln!(
@@ -162,19 +255,21 @@ pub fn construct(args: &ParsedArgs) -> Result<String, CliError> {
                 characteristics.percent_valid
             )
             .expect("write to string");
-            writeln!(
-                out,
-                "constraints (as written / after lowering): {} / {}",
-                spec.num_restrictions(),
-                report.num_constraints
-            )
-            .expect("write to string");
-            writeln!(
-                out,
-                "constraint checks:    {}",
-                report.stats.constraint_checks
-            )
-            .expect("write to string");
+            if let Some(report) = &report {
+                writeln!(
+                    out,
+                    "constraints (as written / after lowering): {} / {}",
+                    spec.num_restrictions(),
+                    report.num_constraints
+                )
+                .expect("write to string");
+                writeln!(
+                    out,
+                    "constraint checks:    {}",
+                    report.stats.constraint_checks
+                )
+                .expect("write to string");
+            }
             // The resolved arena footprint; construction streams solver
             // rows straight into it, so no decoded copy of the space is
             // ever held alongside.
@@ -186,6 +281,9 @@ pub fn construct(args: &ParsedArgs) -> Result<String, CliError> {
                 space.num_params()
             )
             .expect("write to string");
+            if let Some(outcome) = &outcome {
+                cache_summary_lines(&mut out, outcome);
+            }
             out
         }
         other => {
@@ -262,7 +360,14 @@ pub fn compare(args: &ParsedArgs) -> Result<String, CliError> {
 
 /// `atss tune`
 pub fn tune(args: &ParsedArgs) -> Result<String, CliError> {
-    args.ensure_known_flags(&["workload", "strategy", "budget-ms", "method", "seed"])?;
+    args.ensure_known_flags(&[
+        "workload",
+        "strategy",
+        "budget-ms",
+        "method",
+        "seed",
+        "cache-dir",
+    ])?;
     let name = args.require("workload")?;
     let workload = real_world_by_name(name)
         .ok_or_else(|| CliError::Run(format!("unknown workload `{name}`")))?;
@@ -275,25 +380,37 @@ pub fn tune(args: &ParsedArgs) -> Result<String, CliError> {
     let seed: u64 = args.number("seed", 42u64).map_err(CliError::Args)?;
     let method = resolve_method(args)?;
 
-    let (space, report) = build_search_space(&workload.spec, method)
-        .map_err(|e| CliError::Run(format!("construction failed: {e}")))?;
+    // The end-to-end loop accepts a pre-loaded space: with --cache-dir, a
+    // warm load charges milliseconds (not a full construction) to the
+    // virtual tuning budget — the production deployment the ROADMAP aims at.
+    let (space, report, outcome) = obtain_space(args, &workload.spec, method)?;
+    let construction: Duration = match &outcome {
+        Some(outcome) => outcome.duration,
+        None => report.as_ref().expect("built without cache").duration,
+    };
     let model = performance_model_for(&workload.spec.name, &space, seed);
     let run = run_tuning(
         &space,
         &model,
         strategy.as_ref(),
         Duration::from_millis(budget_ms),
-        report.duration,
+        construction,
         seed,
     );
 
     let mut out = String::new();
     writeln!(out, "workload:           {}", workload.spec.name).expect("write to string");
+    let source = match &outcome {
+        Some(o) if o.status.is_hit() => " [cache hit]",
+        Some(o) if matches!(o.status, CacheStatus::Miss) => " [cache miss]",
+        _ => "",
+    };
     writeln!(
         out,
-        "construction:       {} ({:?})",
+        "construction:       {} ({:?}){}",
         method.label(),
-        report.duration
+        construction,
+        source
     )
     .expect("write to string");
     writeln!(out, "strategy:           {}", run.strategy).expect("write to string");
@@ -310,6 +427,141 @@ pub fn tune(args: &ParsedArgs) -> Result<String, CliError> {
         .expect("write to string"),
     }
     Ok(out)
+}
+
+/// Open the store named by the required `--cache-dir` flag.
+fn resolve_store(args: &ParsedArgs) -> Result<SpaceStore, CliError> {
+    let dir = args.require("cache-dir")?;
+    SpaceStore::new(dir).map_err(|e| CliError::Run(format!("cache at `{dir}`: {e}")))
+}
+
+/// `atss cache <ls|info|verify|gc>`
+pub fn cache(args: &ParsedArgs) -> Result<String, CliError> {
+    let action = args.positional.first().map(|s| s.as_str()).ok_or_else(|| {
+        CliError::Run("usage: atss cache <ls|info|verify|gc> --cache-dir <dir>".to_string())
+    })?;
+    match action {
+        "ls" => cache_ls(args),
+        "info" => cache_info(args),
+        "verify" => cache_verify(args),
+        "gc" => cache_gc(args),
+        other => Err(CliError::Run(format!(
+            "unknown cache action `{other}` (ls, info, verify, gc)"
+        ))),
+    }
+}
+
+fn cache_ls(args: &ParsedArgs) -> Result<String, CliError> {
+    args.ensure_known_flags(&["cache-dir"])?;
+    let store = resolve_store(args)?;
+    let entries = store.entries().map_err(|e| CliError::Run(e.to_string()))?;
+    let mut out = String::new();
+    writeln!(
+        out,
+        "{:<32} {:<16} {:>10} {:>8} {:>12}",
+        "fingerprint", "space", "configs", "params", "bytes"
+    )
+    .expect("write to string");
+    let mut total: u64 = 0;
+    for entry in &entries {
+        let (name, rows, params) = match &entry.info {
+            Some(info) => (
+                info.name.clone(),
+                info.num_rows.to_string(),
+                info.num_params.to_string(),
+            ),
+            None => ("<unreadable>".to_string(), "-".to_string(), "-".to_string()),
+        };
+        writeln!(
+            out,
+            "{:<32} {:<16} {:>10} {:>8} {:>12}",
+            entry.fingerprint.to_hex(),
+            name,
+            rows,
+            params,
+            entry.bytes
+        )
+        .expect("write to string");
+        total += entry.bytes;
+    }
+    writeln!(out, "\n{} entries, {} bytes", entries.len(), total).expect("write to string");
+    Ok(out)
+}
+
+fn cache_info(args: &ParsedArgs) -> Result<String, CliError> {
+    args.ensure_known_flags(&["cache-dir", "workload", "spec", "method"])?;
+    let store = resolve_store(args)?;
+    let spec = resolve_spec(args)?;
+    let method = resolve_method(args)?;
+    let lowering = method.default_lowering();
+    let fingerprint =
+        SpecFingerprint::compute(&spec, lowering).map_err(|e| CliError::Run(e.to_string()))?;
+    let path = store.path_for(&fingerprint);
+
+    let mut out = String::new();
+    writeln!(out, "space:        {}", spec.name).expect("write to string");
+    writeln!(out, "method:       {}", method.label()).expect("write to string");
+    writeln!(out, "fingerprint:  {}", fingerprint.to_hex()).expect("write to string");
+    writeln!(out, "entry:        {}", path.display()).expect("write to string");
+    if path.exists() {
+        match at_store::peek_info(&path) {
+            Ok(info) => {
+                writeln!(out, "cached:       yes").expect("write to string");
+                writeln!(
+                    out,
+                    "contents:     {} configs x {} params, {} bytes on disk",
+                    info.num_rows, info.num_params, info.file_bytes
+                )
+                .expect("write to string");
+            }
+            Err(e) => {
+                writeln!(out, "cached:       damaged ({e})").expect("write to string");
+            }
+        }
+    } else {
+        writeln!(out, "cached:       no").expect("write to string");
+    }
+    Ok(out)
+}
+
+fn cache_verify(args: &ParsedArgs) -> Result<String, CliError> {
+    args.ensure_known_flags(&["cache-dir"])?;
+    let store = resolve_store(args)?;
+    let results = store.verify().map_err(|e| CliError::Run(e.to_string()))?;
+    let mut out = String::new();
+    let mut damaged = 0usize;
+    for (entry, error) in &results {
+        match error {
+            None => writeln!(out, "OK      {}", entry.fingerprint.to_hex()),
+            Some(e) => {
+                damaged += 1;
+                writeln!(out, "DAMAGED {}: {e}", entry.fingerprint.to_hex())
+            }
+        }
+        .expect("write to string");
+    }
+    if damaged > 0 {
+        return Err(CliError::Run(format!(
+            "{out}{damaged} of {} cache entries are damaged (a rebuild will repair them on \
+             next use, or `cache gc` can evict them)",
+            results.len()
+        )));
+    }
+    writeln!(out, "all {} entries verified", results.len()).expect("write to string");
+    Ok(out)
+}
+
+fn cache_gc(args: &ParsedArgs) -> Result<String, CliError> {
+    args.ensure_known_flags(&["cache-dir", "max-bytes"])?;
+    let store = resolve_store(args)?;
+    let max_bytes: u64 = args.number("max-bytes", u64::MAX).map_err(CliError::Args)?;
+    let report = store
+        .gc(max_bytes)
+        .map_err(|e| CliError::Run(e.to_string()))?;
+    Ok(format!(
+        "evicted {} entries ({} -> {} bytes), {} kept\n",
+        report.evicted, report.bytes_before, report.bytes_after, report.kept
+    ))
 }
 
 #[cfg(test)]
@@ -426,6 +678,165 @@ mod tests {
             "count"
         ]))
         .is_err());
+    }
+
+    fn fresh_cache_dir(tag: &str) -> String {
+        let dir = std::env::temp_dir().join(format!("at-cli-cache-test-{tag}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir.to_str().unwrap().to_string()
+    }
+
+    #[test]
+    fn construct_with_cache_dir_misses_then_hits() {
+        let dir = fresh_cache_dir("construct");
+        let cold = construct(&parsed(&[
+            "construct",
+            "--workload",
+            "dedispersion",
+            "--cache-dir",
+            &dir,
+        ]))
+        .unwrap();
+        assert!(cold.contains("cache:"), "{cold}");
+        assert!(cold.contains("miss"), "{cold}");
+        assert!(cold.contains("cache fingerprint:"), "{cold}");
+
+        let warm = construct(&parsed(&[
+            "construct",
+            "--workload",
+            "dedispersion",
+            "--cache-dir",
+            &dir,
+        ]))
+        .unwrap();
+        assert!(warm.contains("hit"), "{warm}");
+        assert!(warm.contains("bytes on disk"), "{warm}");
+
+        // The served space is identical either way.
+        let direct = construct(&parsed(&[
+            "construct",
+            "--workload",
+            "dedispersion",
+            "--format",
+            "csv",
+        ]))
+        .unwrap();
+        let cached = construct(&parsed(&[
+            "construct",
+            "--workload",
+            "dedispersion",
+            "--format",
+            "csv",
+            "--cache-dir",
+            &dir,
+        ]))
+        .unwrap();
+        assert_eq!(direct, cached);
+    }
+
+    #[test]
+    fn cache_subcommands_cover_the_lifecycle() {
+        let dir = fresh_cache_dir("lifecycle");
+        construct(&parsed(&[
+            "construct",
+            "--workload",
+            "dedispersion",
+            "--cache-dir",
+            &dir,
+        ]))
+        .unwrap();
+
+        let ls = cache(&parsed(&["cache", "ls", "--cache-dir", &dir])).unwrap();
+        assert!(ls.contains("Dedispersion"), "{ls}");
+        assert!(ls.contains("1 entries"), "{ls}");
+
+        let info = cache(&parsed(&[
+            "cache",
+            "info",
+            "--cache-dir",
+            &dir,
+            "--workload",
+            "dedispersion",
+        ]))
+        .unwrap();
+        assert!(info.contains("cached:       yes"), "{info}");
+
+        let verify = cache(&parsed(&["cache", "verify", "--cache-dir", &dir])).unwrap();
+        assert!(verify.contains("all 1 entries verified"), "{verify}");
+
+        let gc = cache(&parsed(&[
+            "cache",
+            "gc",
+            "--cache-dir",
+            &dir,
+            "--max-bytes",
+            "0",
+        ]))
+        .unwrap();
+        assert!(gc.contains("evicted 1"), "{gc}");
+        let ls = cache(&parsed(&["cache", "ls", "--cache-dir", &dir])).unwrap();
+        assert!(ls.contains("0 entries"), "{ls}");
+    }
+
+    #[test]
+    fn cache_verify_flags_damage() {
+        let dir = fresh_cache_dir("verify-damage");
+        construct(&parsed(&[
+            "construct",
+            "--workload",
+            "dedispersion",
+            "--cache-dir",
+            &dir,
+        ]))
+        .unwrap();
+        // Damage the single entry.
+        let entry = std::fs::read_dir(&dir)
+            .unwrap()
+            .next()
+            .unwrap()
+            .unwrap()
+            .path();
+        let mut bytes = std::fs::read(&entry).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        std::fs::write(&entry, &bytes).unwrap();
+        let err = cache(&parsed(&["cache", "verify", "--cache-dir", &dir])).unwrap_err();
+        assert!(err.to_string().contains("DAMAGED"), "{err}");
+    }
+
+    #[test]
+    fn cache_requires_an_action_and_a_dir() {
+        assert!(cache(&parsed(&["cache"])).is_err());
+        assert!(cache(&parsed(&["cache", "frob", "--cache-dir", "/tmp/x"])).is_err());
+        assert!(cache(&parsed(&["cache", "ls"])).is_err());
+    }
+
+    #[test]
+    fn tune_with_cache_dir_reports_the_source() {
+        let dir = fresh_cache_dir("tune");
+        let first = tune(&parsed(&[
+            "tune",
+            "--workload",
+            "dedispersion",
+            "--budget-ms",
+            "1000",
+            "--cache-dir",
+            &dir,
+        ]))
+        .unwrap();
+        assert!(first.contains("[cache miss]"), "{first}");
+        let second = tune(&parsed(&[
+            "tune",
+            "--workload",
+            "dedispersion",
+            "--budget-ms",
+            "1000",
+            "--cache-dir",
+            &dir,
+        ]))
+        .unwrap();
+        assert!(second.contains("[cache hit]"), "{second}");
+        assert!(second.contains("best runtime"), "{second}");
     }
 
     #[test]

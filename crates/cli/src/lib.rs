@@ -64,6 +64,7 @@ pub fn run(raw_args: &[String]) -> Result<String, CliError> {
         "construct" => commands::construct(&parsed),
         "compare" => commands::compare(&parsed),
         "tune" => commands::tune(&parsed),
+        "cache" => commands::cache(&parsed),
         "spec-template" => Ok(commands::spec_template()),
         other => Err(CliError::UnknownCommand(other.to_string())),
     }

@@ -10,6 +10,7 @@
 use std::time::{Duration, Instant};
 
 use at_cot::{build_chain_from_problem, enumerate_chain_into};
+use at_csp::sink::SolutionSink;
 use at_csp::{
     BlockingClauseSolver, BruteForceSolver, CspError, CspResult, OptimizedSolver,
     OptimizedSolverConfig, OriginalBacktrackingSolver, ParallelSolver, SolveStats, Solver,
@@ -114,12 +115,89 @@ pub struct BuildReport {
     pub num_constraints: usize,
 }
 
+/// Outcome of driving one construction method into a caller-provided sink
+/// (see [`solve_spec_into`]).
+#[derive(Debug, Clone)]
+pub struct SinkSolveReport {
+    /// Solver counters. For [`Method::ChainOfTrees`] the `solutions` field
+    /// is left at zero — the enumerator does not count rows, the sink does.
+    pub stats: SolveStats,
+    /// Number of constraints after lowering.
+    pub num_constraints: usize,
+}
+
 /// Construct the search space for `spec` with the given method.
 pub fn build_search_space(
     spec: &SearchSpaceSpec,
     method: Method,
 ) -> CspResult<(SearchSpace, BuildReport)> {
     build_search_space_with(spec, method, BuildOptions::default())
+}
+
+/// Lower `spec` and drive the chosen method's solver (or the chain-of-trees
+/// enumerator) into an arbitrary [`SolutionSink`].
+///
+/// This is the streaming core of [`build_search_space_with`], factored out
+/// so other sinks can sit at the end of the pipeline — most importantly
+/// `at_store`'s `StoreWriter`, which persists the space to disk *while* it
+/// is constructed. Every row reaches the sink exactly once, the moment it
+/// is found; parallel solvers fill per-thread chunks obtained from the sink.
+///
+/// The sink is the authority on the row count: for
+/// [`Method::ChainOfTrees`] the returned `stats.solutions` is zero (the
+/// enumerator reports `constraint_checks` only) and callers should consult
+/// their sink.
+pub fn solve_spec_into(
+    spec: &SearchSpaceSpec,
+    method: Method,
+    options: BuildOptions,
+    sink: &mut dyn SolutionSink,
+) -> CspResult<SinkSolveReport> {
+    let lowering = options
+        .lowering
+        .unwrap_or_else(|| method.default_lowering());
+    let problem = spec.to_problem(lowering)?;
+    let num_constraints = problem.num_constraints();
+    // Solvers emit rows in variable declaration order, which is the spec's
+    // parameter order — exactly what encoding sinks encode against.
+    debug_assert!(problem
+        .variable_names()
+        .iter()
+        .zip(spec.params.iter())
+        .all(|(n, p)| n == p.name()));
+
+    let stats: SolveStats = match method {
+        Method::BruteForce => run_into(&BruteForceSolver::new(), &problem, sink)?,
+        Method::Original => run_into(&OriginalBacktrackingSolver::new(), &problem, sink)?,
+        Method::Optimized => {
+            let solver = match options.solver_config {
+                Some(cfg) => OptimizedSolver::with_config(cfg),
+                None => OptimizedSolver::new(),
+            };
+            run_into(&solver, &problem, sink)?
+        }
+        Method::ParallelOptimized => {
+            let solver = match options.solver_config {
+                Some(cfg) => ParallelSolver::with_config(cfg),
+                None => ParallelSolver::new(),
+            };
+            run_into(&solver, &problem, sink)?
+        }
+        Method::BlockingClause => run_into(&BlockingClauseSolver::new(), &problem, sink)?,
+        Method::ChainOfTrees => {
+            let chain = build_chain_from_problem(&problem);
+            enumerate_chain_into(&chain, sink)
+                .map_err(|e| CspError::Solver(format!("chain-of-trees: {e}")))?;
+            SolveStats {
+                constraint_checks: chain.constraint_checks(),
+                ..Default::default()
+            }
+        }
+    };
+    Ok(SinkSolveReport {
+        stats,
+        num_constraints,
+    })
 }
 
 /// Construct the search space with explicit options (ablation studies).
@@ -136,50 +214,13 @@ pub fn build_search_space_with(
     options: BuildOptions,
 ) -> CspResult<(SearchSpace, BuildReport)> {
     let start = Instant::now();
-    let lowering = options
-        .lowering
-        .unwrap_or_else(|| method.default_lowering());
-    let problem = spec.to_problem(lowering)?;
-    let num_constraints = problem.num_constraints();
-    // Solvers emit rows in variable declaration order, which is the spec's
-    // parameter order — exactly what the sink encodes against.
-    debug_assert!(problem
-        .variable_names()
-        .iter()
-        .zip(spec.params.iter())
-        .all(|(n, p)| n == p.name()));
     let mut sink = EncodingSink::new(spec.name.clone(), spec.params.clone())
         .map_err(|e| CspError::Solver(format!("building the encoding sink failed: {e}")))?;
-
-    let stats: SolveStats = match method {
-        Method::BruteForce => run_into(&BruteForceSolver::new(), &problem, &mut sink)?,
-        Method::Original => run_into(&OriginalBacktrackingSolver::new(), &problem, &mut sink)?,
-        Method::Optimized => {
-            let solver = match options.solver_config {
-                Some(cfg) => OptimizedSolver::with_config(cfg),
-                None => OptimizedSolver::new(),
-            };
-            run_into(&solver, &problem, &mut sink)?
-        }
-        Method::ParallelOptimized => {
-            let solver = match options.solver_config {
-                Some(cfg) => ParallelSolver::with_config(cfg),
-                None => ParallelSolver::new(),
-            };
-            run_into(&solver, &problem, &mut sink)?
-        }
-        Method::BlockingClause => run_into(&BlockingClauseSolver::new(), &problem, &mut sink)?,
-        Method::ChainOfTrees => {
-            let chain = build_chain_from_problem(&problem);
-            enumerate_chain_into(&chain, &mut sink)
-                .map_err(|e| CspError::Solver(format!("chain-of-trees: {e}")))?;
-            SolveStats {
-                constraint_checks: chain.constraint_checks(),
-                solutions: sink.rows() as u64,
-                ..Default::default()
-            }
-        }
-    };
+    let solved = solve_spec_into(spec, method, options, &mut sink)?;
+    let mut stats = solved.stats;
+    if method == Method::ChainOfTrees {
+        stats.solutions = sink.rows() as u64;
+    }
 
     let num_valid = sink.rows();
     let space = sink
@@ -191,7 +232,7 @@ pub fn build_search_space_with(
         stats,
         num_valid,
         cartesian_size: spec.cartesian_size(),
-        num_constraints,
+        num_constraints: solved.num_constraints,
     };
     Ok((space, report))
 }
@@ -199,7 +240,7 @@ pub fn build_search_space_with(
 fn run_into<S: Solver>(
     solver: &S,
     problem: &at_csp::Problem,
-    sink: &mut EncodingSink,
+    sink: &mut dyn SolutionSink,
 ) -> CspResult<SolveStats> {
     solver
         .solve_into(problem, sink)

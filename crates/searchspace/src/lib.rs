@@ -91,10 +91,13 @@ pub mod space;
 pub mod spec;
 pub mod stats;
 
-pub use builder::{build_search_space, build_search_space_with, BuildOptions, BuildReport, Method};
+pub use builder::{
+    build_search_space, build_search_space_with, solve_spec_into, BuildOptions, BuildReport,
+    Method, SinkSolveReport,
+};
 pub use format::{spec_from_json, spec_to_json, FormatError, SpecFile};
 pub use neighbors::{neighbors, NeighborIndex, NeighborMethod};
-pub use output::{to_columnar, to_csv, to_json_cache, to_named_maps};
+pub use output::{to_columnar, to_csv, to_json_cache, to_named_maps, write_csv, write_json_cache};
 pub use param::TunableParameter;
 pub use restriction::Restriction;
 pub use sampling::{coverage_per_parameter, latin_hypercube_sample, sample_indices};

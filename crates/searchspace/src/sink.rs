@@ -113,6 +113,26 @@ impl EncodingSink {
         self.rows
     }
 
+    /// The code arena accumulated so far: `rows() × params().len()` value
+    /// codes in row-major order — exactly the layout
+    /// [`SearchSpace::from_code_rows`] adopts. Persistence sinks
+    /// (`at_store`'s `StoreWriter`) stream `codes()[k..]` suffixes to disk
+    /// as rows arrive, so a space is written while it is constructed.
+    pub fn codes(&self) -> &[u32] {
+        &self.codes
+    }
+
+    /// The parameters this sink encodes against (each one owns the value
+    /// dictionary its codes index into).
+    pub fn params(&self) -> &[TunableParameter] {
+        &self.encoder.params
+    }
+
+    /// The name the finished [`SearchSpace`] will carry.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
     /// Build the [`SearchSpace`] from the accumulated arena. The membership
     /// hash table is built here, exactly once.
     pub fn finish(self) -> Result<SearchSpace, SpaceError> {

@@ -141,14 +141,27 @@ impl std::error::Error for SpaceError {}
 /// Sentinel for an empty hash-table slot (no configuration id).
 const EMPTY_SLOT: u32 = u32::MAX;
 
-/// FNV-1a over a row of value codes. Mixed with a position tag by the
-/// neighbor index; plain rows start from the FNV offset basis.
+/// Hash a row of value codes. Mixed with a position tag by the neighbor
+/// index; the function is process-internal (never persisted), so it is
+/// free to change between versions.
+///
+/// Rows are hashed two codes per step with a rotate-multiply mix (in the
+/// style of `FxHasher`): half the multiply chain of a per-code FNV walk,
+/// which is what bounds membership-table builds over hundreds of thousands
+/// of rows — including every warm `at_store` load. The final fold spreads
+/// the well-mixed high bits into the low bits the table masks on.
 pub(crate) fn hash_codes(codes: &[u32]) -> u64 {
+    const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &c in codes {
-        h = (h ^ c as u64).wrapping_mul(0x0000_0100_0000_01b3);
+    let mut chunks = codes.chunks_exact(2);
+    for pair in &mut chunks {
+        let v = (pair[0] as u64) | ((pair[1] as u64) << 32);
+        h = (h.rotate_left(5) ^ v).wrapping_mul(SEED);
     }
-    h
+    if let Some(&last) = chunks.remainder().first() {
+        h = (h.rotate_left(5) ^ last as u64).wrapping_mul(SEED);
+    }
+    h ^ (h >> 32)
 }
 
 /// Per-parameter reverse dictionary: value → code.
@@ -409,14 +422,32 @@ impl SearchSpace {
                 expected: num_rows.saturating_mul(stride),
             })?;
         debug_assert_eq!(expected, codes.len());
-        for (cell, &code) in codes.iter().enumerate() {
-            let param = &params[cell % stride.max(1)];
-            if code as usize >= param.len() {
-                return Err(SpaceError::CodeOutOfRange {
-                    param: param.name().to_string(),
-                    code,
-                    row: cell / stride.max(1),
-                });
+        // This sits on the warm store-load path, over arenas of millions of
+        // codes: validate via one branch-free per-column maxima pass, and
+        // only walk cells individually (to name the offending row) when a
+        // column's maximum actually exceeds its dictionary.
+        let stride_nz = stride.max(1);
+        let mut maxima = vec![0u32; stride];
+        for row in codes.chunks_exact(stride_nz) {
+            for (m, &code) in maxima.iter_mut().zip(row.iter()) {
+                *m = (*m).max(code);
+            }
+        }
+        let out_of_range = maxima
+            .iter()
+            .zip(params.iter())
+            .any(|(&m, p)| m as usize >= p.len());
+        if out_of_range {
+            for (row_index, row) in codes.chunks_exact(stride_nz).enumerate() {
+                for (d, &code) in row.iter().enumerate() {
+                    if code as usize >= params[d].len() {
+                        return Err(SpaceError::CodeOutOfRange {
+                            param: params[d].name().to_string(),
+                            code,
+                            row: row_index,
+                        });
+                    }
+                }
             }
         }
         Self::from_encoded_parts(name.into(), params, num_rows, codes, value_codes)
@@ -559,6 +590,18 @@ impl SearchSpace {
     /// The encoded row (per-parameter value codes) of a configuration.
     pub fn codes_of(&self, id: ConfigId) -> Option<&[u32]> {
         (id.index() < self.num_configs).then(|| self.row(id.index()))
+    }
+
+    /// The whole code arena: `len × num_params` per-parameter value codes in
+    /// row-major declaration order (row `i` occupies
+    /// `arena[i * num_params .. (i + 1) * num_params]`).
+    ///
+    /// This is the space's internal representation, exposed verbatim so
+    /// persistence layers (`at_store`) can write it without decoding a
+    /// single configuration; [`SearchSpace::from_code_rows`] is the inverse
+    /// adoption point.
+    pub fn arena(&self) -> &[u32] {
+        &self.codes
     }
 
     /// Encode a value row into per-parameter codes. Returns `false` (leaving

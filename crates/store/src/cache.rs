@@ -1,0 +1,628 @@
+//! The content-addressed construction cache: solve once, serve forever.
+//!
+//! A [`SpaceStore`] is a directory of `ATSS` files keyed by
+//! [`SpecFingerprint`]: `<dir>/<32-hex>.atss`. The contract of
+//! [`SpaceStore::get_or_build`]:
+//!
+//! * **hit** — the file exists, passes *full* validation (magic, version,
+//!   every checksum, arena/trailer agreement) and rebuilds into a
+//!   `SearchSpace` with zero re-solving; its mtime is touched so LRU
+//!   eviction sees the use.
+//! * **miss** — the space is constructed with the requested method while
+//!   being streamed to a temporary file through [`StoreWriter`], which is
+//!   atomically renamed into place only after the trailer is written.
+//!   Concurrent builders of the same spec race benignly: each writes its
+//!   own temp file and the last rename wins with identical content.
+//! * **stale or corrupt** — any content error (flipped byte, truncation,
+//!   old format version, crashed half-write) is treated as a miss: the
+//!   entry is rebuilt and overwritten. A corrupt cache can never serve a
+//!   corrupt space.
+//! * **uncacheable** — specifications with closure restrictions have no
+//!   canonical content (see [`crate::fingerprint`]); they are built
+//!   normally and never persisted.
+//!
+//! [`SpaceStore::gc`] bounds the directory size: entries are evicted
+//! least-recently-used first (by mtime) until the total fits.
+
+use std::fs::{self, File};
+use std::io::BufWriter;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant, SystemTime};
+
+use at_searchspace::{
+    build_search_space_with, solve_spec_into, BuildOptions, BuildReport, Method, SearchSpace,
+    SearchSpaceSpec,
+};
+
+use crate::error::StoreError;
+use crate::fingerprint::SpecFingerprint;
+use crate::format::{peek_info, read_space_from_path, StoreInfo, StoreWriter};
+
+/// How `get_or_build` satisfied a request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CacheStatus {
+    /// Served from a validated cache file; no solving happened.
+    Hit,
+    /// Constructed (and persisted, streamed during construction).
+    Miss,
+    /// Constructed but not persisted: the spec cannot be content-addressed
+    /// (the string explains why).
+    Uncacheable(String),
+}
+
+impl CacheStatus {
+    /// True for [`CacheStatus::Hit`].
+    pub fn is_hit(&self) -> bool {
+        matches!(self, CacheStatus::Hit)
+    }
+
+    /// A short label: `hit`, `miss` or `uncacheable`.
+    pub fn label(&self) -> &'static str {
+        match self {
+            CacheStatus::Hit => "hit",
+            CacheStatus::Miss => "miss",
+            CacheStatus::Uncacheable(_) => "uncacheable",
+        }
+    }
+}
+
+/// Everything `get_or_build` knows about how it served a space.
+#[derive(Debug, Clone)]
+pub struct StoreOutcome {
+    /// Hit, miss, or uncacheable.
+    pub status: CacheStatus,
+    /// The cache key (absent for uncacheable specs).
+    pub fingerprint: Option<SpecFingerprint>,
+    /// The on-disk entry (absent for uncacheable specs).
+    pub path: Option<PathBuf>,
+    /// Size of the on-disk entry in bytes (0 for uncacheable specs).
+    pub file_bytes: u64,
+    /// Wall-clock time of the load (hit) or construction (miss).
+    pub duration: Duration,
+    /// The construction report — present exactly when solving happened
+    /// (miss / uncacheable); a hit performs no solving.
+    pub report: Option<BuildReport>,
+}
+
+/// One entry in a cache directory listing.
+#[derive(Debug, Clone)]
+pub struct StoreEntry {
+    /// The fingerprint parsed back from the file name.
+    pub fingerprint: SpecFingerprint,
+    /// Full path of the `.atss` file.
+    pub path: PathBuf,
+    /// File size in bytes.
+    pub bytes: u64,
+    /// Last-used time (mtime; touched on every cache hit).
+    pub modified: SystemTime,
+    /// Header metadata, if the header is readable (`None` for a file too
+    /// damaged to peek into — `verify`/`gc` still handle it).
+    pub info: Option<StoreInfo>,
+}
+
+/// Result of one [`SpaceStore::gc`] sweep.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GcReport {
+    /// Entries left in the cache.
+    pub kept: usize,
+    /// Entries evicted (least-recently-used first).
+    pub evicted: usize,
+    /// Total entry bytes before the sweep.
+    pub bytes_before: u64,
+    /// Total entry bytes after the sweep.
+    pub bytes_after: u64,
+}
+
+/// A directory of content-addressed `ATSS` files. See the [module
+/// documentation](self) for the caching contract.
+#[derive(Debug, Clone)]
+pub struct SpaceStore {
+    dir: PathBuf,
+}
+
+impl SpaceStore {
+    /// Open (creating if necessary) a cache directory.
+    pub fn new(dir: impl Into<PathBuf>) -> Result<SpaceStore, StoreError> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir).map_err(|e| StoreError::io(&dir, e))?;
+        Ok(SpaceStore { dir })
+    }
+
+    /// The cache directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The on-disk path an entry with this fingerprint lives at.
+    pub fn path_for(&self, fingerprint: &SpecFingerprint) -> PathBuf {
+        self.dir.join(format!("{}.atss", fingerprint.to_hex()))
+    }
+
+    /// Construct or load the space for `spec` with default build options.
+    pub fn get_or_build(
+        &self,
+        spec: &SearchSpaceSpec,
+        method: Method,
+    ) -> Result<(SearchSpace, StoreOutcome), StoreError> {
+        self.get_or_build_with(spec, method, BuildOptions::default())
+    }
+
+    /// Construct or load the space for `spec`, with explicit build options.
+    ///
+    /// The cache key covers the spec content and the *effective* restriction
+    /// lowering (explicit in `options`, or the method's default), so the
+    /// optimized and baseline lowerings never share an entry.
+    pub fn get_or_build_with(
+        &self,
+        spec: &SearchSpaceSpec,
+        method: Method,
+        options: BuildOptions,
+    ) -> Result<(SearchSpace, StoreOutcome), StoreError> {
+        let lowering = options
+            .lowering
+            .unwrap_or_else(|| method.default_lowering());
+        let fingerprint = match SpecFingerprint::compute(spec, lowering) {
+            Ok(fp) => fp,
+            Err(StoreError::Unfingerprintable(reason)) => {
+                let start = Instant::now();
+                let (space, report) = build_search_space_with(spec, method, options)
+                    .map_err(|e| StoreError::Build(e.to_string()))?;
+                return Ok((
+                    space,
+                    StoreOutcome {
+                        status: CacheStatus::Uncacheable(reason),
+                        fingerprint: None,
+                        path: None,
+                        file_bytes: 0,
+                        duration: start.elapsed(),
+                        report: Some(report),
+                    },
+                ));
+            }
+            Err(e) => return Err(e),
+        };
+        let path = self.path_for(&fingerprint);
+
+        // Warm path: serve the validated entry, or fall through to rebuild
+        // on *any* content problem.
+        if path.exists() {
+            let start = Instant::now();
+            match read_space_from_path(&path) {
+                Ok((space, info)) => {
+                    touch(&path);
+                    return Ok((
+                        space,
+                        StoreOutcome {
+                            status: CacheStatus::Hit,
+                            fingerprint: Some(fingerprint),
+                            path: Some(path),
+                            file_bytes: info.file_bytes,
+                            duration: start.elapsed(),
+                            report: None,
+                        },
+                    ));
+                }
+                Err(e) if e.is_content_error() => { /* stale entry: rebuild below */ }
+                Err(e) => return Err(e),
+            }
+        }
+
+        // Cold path: construct while streaming to a temp file, then rename.
+        // The temp name carries pid + a process-wide counter so concurrent
+        // builders of the same spec — other processes *or* other threads
+        // sharing this store — each stream into their own file; the last
+        // rename wins with identical content.
+        static TMP_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let start = Instant::now();
+        let tmp = self.dir.join(format!(
+            "{}.tmp-{}-{}",
+            fingerprint.to_hex(),
+            std::process::id(),
+            TMP_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
+        ));
+        let built = (|| {
+            let file = File::create(&tmp).map_err(|e| StoreError::io(&tmp, e))?;
+            let mut writer =
+                StoreWriter::new(BufWriter::new(file), spec.name.clone(), spec.params.clone())?;
+            let solved = solve_spec_into(spec, method, options, &mut writer)
+                .map_err(|e| StoreError::Build(e.to_string()))?;
+            let (space, summary) = writer.finish()?;
+            Ok((space, summary, solved))
+        })();
+        let (space, summary, solved) = match built {
+            Ok(parts) => parts,
+            Err(e) => {
+                let _ = fs::remove_file(&tmp);
+                return Err(e);
+            }
+        };
+        if let Err(e) = fs::rename(&tmp, &path) {
+            let _ = fs::remove_file(&tmp);
+            return Err(StoreError::io(&path, e));
+        }
+
+        let mut stats = solved.stats;
+        if method == Method::ChainOfTrees {
+            stats.solutions = summary.rows;
+        }
+        let duration = start.elapsed();
+        let report = BuildReport {
+            method,
+            duration,
+            stats,
+            num_valid: space.len(),
+            cartesian_size: spec.cartesian_size(),
+            num_constraints: solved.num_constraints,
+        };
+        Ok((
+            space,
+            StoreOutcome {
+                status: CacheStatus::Miss,
+                fingerprint: Some(fingerprint),
+                path: Some(path),
+                file_bytes: summary.bytes_written,
+                duration,
+                report: Some(report),
+            },
+        ))
+    }
+
+    /// List the cache entries, most recently used first.
+    pub fn entries(&self) -> Result<Vec<StoreEntry>, StoreError> {
+        let mut entries = Vec::new();
+        let dir = fs::read_dir(&self.dir).map_err(|e| StoreError::io(&self.dir, e))?;
+        for item in dir {
+            let item = item.map_err(|e| StoreError::io(&self.dir, e))?;
+            let path = item.path();
+            if path.extension().and_then(|e| e.to_str()) != Some("atss") {
+                continue;
+            }
+            let fingerprint = match path
+                .file_stem()
+                .and_then(|s| s.to_str())
+                .and_then(SpecFingerprint::from_hex)
+            {
+                Some(fp) => fp,
+                None => continue, // foreign file; not ours to manage
+            };
+            let meta = item.metadata().map_err(|e| StoreError::io(&path, e))?;
+            entries.push(StoreEntry {
+                fingerprint,
+                bytes: meta.len(),
+                modified: meta.modified().unwrap_or(SystemTime::UNIX_EPOCH),
+                info: peek_info(&path).ok(),
+                path,
+            });
+        }
+        entries.sort_by_key(|e| std::cmp::Reverse(e.modified));
+        Ok(entries)
+    }
+
+    /// Fully validate every entry (checksums, structure, code ranges).
+    /// Returns `(entry, None)` for sound entries and `(entry, Some(error))`
+    /// for damaged ones. Damaged entries are left in place — `get_or_build`
+    /// rebuilds them on next use, or [`SpaceStore::gc`] evicts them.
+    pub fn verify(&self) -> Result<Vec<(StoreEntry, Option<StoreError>)>, StoreError> {
+        Ok(self
+            .entries()?
+            .into_iter()
+            .map(|entry| {
+                let result = read_space_from_path(&entry.path).err();
+                (entry, result)
+            })
+            .collect())
+    }
+
+    /// Evict least-recently-used entries until the cache holds at most
+    /// `max_bytes` of entries. Leftover temp files from crashed builds are
+    /// removed once they are demonstrably abandoned (untouched for an
+    /// hour) — a temp file younger than that may be a build in progress in
+    /// another process, which must be left to finish its atomic rename.
+    pub fn gc(&self, max_bytes: u64) -> Result<GcReport, StoreError> {
+        const ABANDONED_TMP_AGE: Duration = Duration::from_secs(3600);
+        let dir = fs::read_dir(&self.dir).map_err(|e| StoreError::io(&self.dir, e))?;
+        for item in dir.flatten() {
+            let name = item.file_name();
+            if !name.to_str().is_some_and(|n| n.contains(".tmp-")) {
+                continue;
+            }
+            let abandoned = item
+                .metadata()
+                .and_then(|m| m.modified())
+                .ok()
+                .and_then(|mtime| SystemTime::now().duration_since(mtime).ok())
+                .is_some_and(|age| age >= ABANDONED_TMP_AGE);
+            if abandoned {
+                let _ = fs::remove_file(item.path());
+            }
+        }
+
+        let mut entries = self.entries()?;
+        // Oldest last → evict from the back.
+        let bytes_before: u64 = entries.iter().map(|e| e.bytes).sum();
+        let mut bytes_after = bytes_before;
+        let mut evicted = 0usize;
+        while bytes_after > max_bytes {
+            let Some(oldest) = entries.pop() else { break };
+            fs::remove_file(&oldest.path).map_err(|e| StoreError::io(&oldest.path, e))?;
+            bytes_after -= oldest.bytes;
+            evicted += 1;
+        }
+        Ok(GcReport {
+            kept: entries.len(),
+            evicted,
+            bytes_before,
+            bytes_after,
+        })
+    }
+}
+
+/// Content-addressed counterpart of
+/// [`at_searchspace::build_search_space_with`]: construct through `store`,
+/// serving a cached space when one exists and persisting the construction
+/// when one does not.
+pub fn build_search_space_cached(
+    spec: &SearchSpaceSpec,
+    method: Method,
+    options: BuildOptions,
+    store: &SpaceStore,
+) -> Result<(SearchSpace, StoreOutcome), StoreError> {
+    store.get_or_build_with(spec, method, options)
+}
+
+/// Best-effort LRU bookkeeping: bump the entry's mtime to now.
+fn touch(path: &Path) {
+    if let Ok(file) = File::options().write(true).open(path) {
+        let _ = file.set_times(fs::FileTimes::new().set_modified(SystemTime::now()));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use at_searchspace::{Restriction, TunableParameter};
+
+    fn spec(name: &str, max: i64) -> SearchSpaceSpec {
+        SearchSpaceSpec::new(name)
+            .with_param(TunableParameter::pow2("x", 5))
+            .with_param(TunableParameter::pow2("y", 4))
+            .with_expr(&format!("x * y <= {max}"))
+    }
+
+    fn fresh_store(tag: &str) -> SpaceStore {
+        let dir = std::env::temp_dir().join(format!("at-store-cache-test-{tag}"));
+        let _ = fs::remove_dir_all(&dir);
+        SpaceStore::new(&dir).unwrap()
+    }
+
+    fn spaces_identical(a: &SearchSpace, b: &SearchSpace) {
+        assert_eq!(a.name(), b.name());
+        assert_eq!(a.arena(), b.arena());
+        for view in a.iter() {
+            assert_eq!(b.index_of(&view.to_vec()), Some(view.id()));
+        }
+    }
+
+    #[test]
+    fn miss_then_hit_serves_the_identical_space() {
+        let store = fresh_store("miss-hit");
+        let spec = spec("cached", 16);
+        let (cold, out) = store.get_or_build(&spec, Method::Optimized).unwrap();
+        assert_eq!(out.status, CacheStatus::Miss);
+        assert!(out.report.is_some());
+        let path = out.path.clone().unwrap();
+        assert!(path.exists());
+        assert_eq!(out.file_bytes, fs::metadata(&path).unwrap().len());
+
+        let (warm, out) = store.get_or_build(&spec, Method::Optimized).unwrap();
+        assert!(out.status.is_hit());
+        assert!(out.report.is_none(), "a hit performs no solving");
+        spaces_identical(&cold, &warm);
+    }
+
+    #[test]
+    fn different_specs_get_different_entries() {
+        let store = fresh_store("distinct");
+        let (a, out_a) = store
+            .get_or_build(&spec("s", 16), Method::Optimized)
+            .unwrap();
+        let (b, out_b) = store
+            .get_or_build(&spec("s", 32), Method::Optimized)
+            .unwrap();
+        assert_ne!(out_a.fingerprint, out_b.fingerprint);
+        assert_ne!(a.len(), b.len());
+        assert_eq!(store.entries().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn corrupt_entries_fall_back_to_rebuild() {
+        let store = fresh_store("corrupt");
+        let spec = spec("fragile", 16);
+        let (cold, out) = store.get_or_build(&spec, Method::Optimized).unwrap();
+        let path = out.path.unwrap();
+
+        // Flip one arena byte on disk.
+        let mut bytes = fs::read(&path).unwrap();
+        let mid = bytes.len() - 40;
+        bytes[mid] ^= 0xFF;
+        fs::write(&path, &bytes).unwrap();
+
+        let (rebuilt, out) = store.get_or_build(&spec, Method::Optimized).unwrap();
+        assert_eq!(out.status, CacheStatus::Miss, "corrupt entry must not hit");
+        spaces_identical(&cold, &rebuilt);
+
+        // The rebuild overwrote the damaged file: next call hits again.
+        let (warm, out) = store.get_or_build(&spec, Method::Optimized).unwrap();
+        assert!(out.status.is_hit());
+        spaces_identical(&cold, &warm);
+    }
+
+    #[test]
+    fn truncated_entries_fall_back_to_rebuild() {
+        let store = fresh_store("truncated");
+        let spec = spec("short", 16);
+        let (cold, out) = store.get_or_build(&spec, Method::Optimized).unwrap();
+        let path = out.path.unwrap();
+        let bytes = fs::read(&path).unwrap();
+        fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+
+        let (rebuilt, out) = store.get_or_build(&spec, Method::Optimized).unwrap();
+        assert_eq!(out.status, CacheStatus::Miss);
+        spaces_identical(&cold, &rebuilt);
+    }
+
+    #[test]
+    fn closure_specs_build_but_never_persist() {
+        let store = fresh_store("uncacheable");
+        let spec = spec("closed", 16).with_restriction(Restriction::func(&["x"], "x >= 2", |v| {
+            v[0].as_i64().unwrap() >= 2
+        }));
+        let (space, out) = store.get_or_build(&spec, Method::Optimized).unwrap();
+        assert!(matches!(out.status, CacheStatus::Uncacheable(_)));
+        assert!(out.fingerprint.is_none());
+        assert!(!space.is_empty());
+        assert!(store.entries().unwrap().is_empty(), "nothing persisted");
+    }
+
+    #[test]
+    fn lowering_is_part_of_the_key() {
+        let store = fresh_store("lowering");
+        let spec = spec("low", 16);
+        let (_, a) = store.get_or_build(&spec, Method::Optimized).unwrap();
+        // Brute force defaults to the generic lowering: distinct entry.
+        let (_, b) = store.get_or_build(&spec, Method::BruteForce).unwrap();
+        assert_eq!(a.status, CacheStatus::Miss);
+        assert_eq!(b.status, CacheStatus::Miss);
+        assert_ne!(a.fingerprint, b.fingerprint);
+    }
+
+    #[test]
+    fn gc_evicts_least_recently_used_first() {
+        let store = fresh_store("gc");
+        let specs = [spec("a", 8), spec("b", 16), spec("c", 32)];
+        let mut paths = Vec::new();
+        for s in &specs {
+            let (_, out) = store.get_or_build(s, Method::Optimized).unwrap();
+            paths.push(out.path.unwrap());
+        }
+        // Make the mtimes unambiguous: a is oldest, c newest.
+        let base = SystemTime::now() - Duration::from_secs(1000);
+        for (i, p) in paths.iter().enumerate() {
+            let file = File::options().write(true).open(p).unwrap();
+            file.set_times(
+                fs::FileTimes::new().set_modified(base + Duration::from_secs(100 * i as u64)),
+            )
+            .unwrap();
+        }
+        let total: u64 = paths.iter().map(|p| fs::metadata(p).unwrap().len()).sum();
+        let keep_two = total - 1; // forces exactly one eviction
+        let report = store.gc(keep_two).unwrap();
+        assert_eq!(report.evicted, 1);
+        assert_eq!(report.kept, 2);
+        assert!(!paths[0].exists(), "oldest entry evicted");
+        assert!(paths[1].exists() && paths[2].exists());
+        assert!(report.bytes_after <= keep_two);
+
+        // gc(0) empties the cache.
+        let report = store.gc(0).unwrap();
+        assert_eq!(report.kept, 0);
+        assert_eq!(report.bytes_after, 0);
+    }
+
+    #[test]
+    fn gc_sweeps_abandoned_temp_files_but_spares_live_ones() {
+        let store = fresh_store("tmp-sweep");
+        let abandoned = store.dir().join("deadbeef.tmp-12345-0");
+        fs::write(&abandoned, b"half a file").unwrap();
+        let file = File::options().write(true).open(&abandoned).unwrap();
+        file.set_times(
+            fs::FileTimes::new().set_modified(SystemTime::now() - Duration::from_secs(7200)),
+        )
+        .unwrap();
+        // A fresh temp file may be another builder mid-write: must survive.
+        let live = store.dir().join("cafebabe.tmp-67890-0");
+        fs::write(&live, b"being written right now").unwrap();
+
+        store.gc(u64::MAX).unwrap();
+        assert!(!abandoned.exists(), "hour-old temp file swept");
+        assert!(live.exists(), "fresh temp file left for its builder");
+    }
+
+    #[test]
+    fn concurrent_builders_of_the_same_spec_do_not_corrupt_each_other() {
+        let store = fresh_store("concurrent");
+        let spec = spec("raced", 16);
+        let (reference, _) = store.get_or_build(&spec, Method::Optimized).unwrap();
+        let _ = store.gc(0); // empty the cache again
+
+        let results: Vec<SearchSpace> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let store = store.clone();
+                    let spec = spec.clone();
+                    s.spawn(move || store.get_or_build(&spec, Method::Optimized).unwrap().0)
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for space in &results {
+            spaces_identical(&reference, space);
+        }
+        // Whatever survived on disk is a sound entry serving the same space.
+        let (served, outcome) = store.get_or_build(&spec, Method::Optimized).unwrap();
+        assert!(outcome.status.is_hit());
+        spaces_identical(&reference, &served);
+    }
+
+    #[test]
+    fn verify_reports_damage_per_entry() {
+        let store = fresh_store("verify");
+        let (_, good) = store
+            .get_or_build(&spec("good", 16), Method::Optimized)
+            .unwrap();
+        let (_, bad) = store
+            .get_or_build(&spec("bad", 32), Method::Optimized)
+            .unwrap();
+        let bad_path = bad.path.unwrap();
+        let mut bytes = fs::read(&bad_path).unwrap();
+        let len = bytes.len();
+        bytes[len - 30] ^= 0x01;
+        fs::write(&bad_path, &bytes).unwrap();
+
+        let results = store.verify().unwrap();
+        assert_eq!(results.len(), 2);
+        for (entry, error) in results {
+            if Some(&entry.path) == good.path.as_ref() {
+                assert!(error.is_none(), "sound entry flagged: {error:?}");
+            } else {
+                assert!(error.is_some(), "damaged entry not flagged");
+            }
+        }
+    }
+
+    #[test]
+    fn entries_carry_header_metadata() {
+        let store = fresh_store("entries");
+        store
+            .get_or_build(&spec("meta", 16), Method::Optimized)
+            .unwrap();
+        let entries = store.entries().unwrap();
+        assert_eq!(entries.len(), 1);
+        let info = entries[0].info.as_ref().unwrap();
+        assert_eq!(info.name, "meta");
+        assert_eq!(info.num_params, 2);
+        assert!(entries[0].bytes > 0);
+    }
+
+    #[test]
+    fn cached_entry_point_matches_builder() {
+        let store = fresh_store("entry-point");
+        let spec = spec("entry", 16);
+        let (via_cache, _) =
+            build_search_space_cached(&spec, Method::Optimized, BuildOptions::default(), &store)
+                .unwrap();
+        let (via_builder, _) =
+            at_searchspace::build_search_space(&spec, Method::Optimized).unwrap();
+        spaces_identical(&via_builder, &via_cache);
+    }
+}

@@ -1,0 +1,158 @@
+//! Error type of the persistence and cache layer.
+
+use std::fmt;
+use std::io;
+use std::path::PathBuf;
+
+use at_searchspace::SpaceError;
+
+/// Errors raised while writing, reading or caching `ATSS` files.
+///
+/// The variants distinguish *environment* failures (I/O) from *content*
+/// failures (bad magic, unsupported version, checksum mismatches, invalid
+/// structure): the cache treats content failures on a cached entry as a
+/// stale file and falls back to rebuilding, so a corrupt cache can never
+/// serve a corrupt space.
+#[derive(Debug)]
+pub enum StoreError {
+    /// An operating-system I/O error, with the path it occurred on when
+    /// known.
+    Io {
+        /// The file or directory involved, if known.
+        path: Option<PathBuf>,
+        /// The underlying error.
+        source: io::Error,
+    },
+    /// The file does not start with the `ATSS` magic — it is not a store
+    /// file at all.
+    BadMagic {
+        /// The four bytes found where the magic was expected.
+        found: [u8; 4],
+    },
+    /// The file's format version is not one this build can read.
+    UnsupportedVersion {
+        /// The version recorded in the file.
+        found: u32,
+        /// The version this build reads and writes.
+        supported: u32,
+    },
+    /// The file is structurally damaged: a truncated or over-long section,
+    /// a checksum mismatch, a malformed value encoding, or a trailer that
+    /// disagrees with the arena.
+    Corrupt {
+        /// The section the damage was detected in (`header`, `params`,
+        /// `arena`, `trailer`).
+        section: &'static str,
+        /// What exactly was wrong.
+        detail: String,
+    },
+    /// The decoded content does not form a valid [`at_searchspace::SearchSpace`]
+    /// (e.g. a code out of dictionary range).
+    Space(SpaceError),
+    /// Constructing the space (on a cache miss) failed in the solver layer.
+    Build(String),
+    /// The specification cannot be content-addressed: it contains a
+    /// restriction (a closure or pre-built constraint) with no canonical
+    /// byte representation. Such specs are always rebuilt, never cached.
+    Unfingerprintable(String),
+}
+
+impl StoreError {
+    /// Wrap an I/O error with the path it occurred on.
+    pub(crate) fn io(path: impl Into<PathBuf>, source: io::Error) -> StoreError {
+        StoreError::Io {
+            path: Some(path.into()),
+            source,
+        }
+    }
+
+    /// Build a [`StoreError::Corrupt`].
+    pub(crate) fn corrupt(section: &'static str, detail: impl Into<String>) -> StoreError {
+        StoreError::Corrupt {
+            section,
+            detail: detail.into(),
+        }
+    }
+
+    /// Whether this error means "the file content is not trustworthy" (as
+    /// opposed to an environment failure). Content errors on cached entries
+    /// trigger a rebuild; I/O errors propagate.
+    pub fn is_content_error(&self) -> bool {
+        matches!(
+            self,
+            StoreError::BadMagic { .. }
+                | StoreError::UnsupportedVersion { .. }
+                | StoreError::Corrupt { .. }
+                | StoreError::Space(_)
+        )
+    }
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io { path, source } => match path {
+                Some(p) => write!(f, "I/O error on `{}`: {source}", p.display()),
+                None => write!(f, "I/O error: {source}"),
+            },
+            StoreError::BadMagic { found } => {
+                write!(f, "not an ATSS file (magic bytes {found:02x?})")
+            }
+            StoreError::UnsupportedVersion { found, supported } => write!(
+                f,
+                "unsupported ATSS format version {found} (this build reads version {supported})"
+            ),
+            StoreError::Corrupt { section, detail } => {
+                write!(f, "corrupt ATSS {section} section: {detail}")
+            }
+            StoreError::Space(e) => write!(f, "stored space is invalid: {e}"),
+            StoreError::Build(msg) => write!(f, "construction failed: {msg}"),
+            StoreError::Unfingerprintable(why) => {
+                write!(f, "specification cannot be content-addressed: {why}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io { source, .. } => Some(source),
+            StoreError::Space(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SpaceError> for StoreError {
+    fn from(e: SpaceError) -> Self {
+        StoreError::Space(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_the_essentials() {
+        let e = StoreError::UnsupportedVersion {
+            found: 9,
+            supported: 1,
+        };
+        assert!(e.to_string().contains('9'));
+        let e = StoreError::corrupt("arena", "checksum mismatch");
+        assert!(e.to_string().contains("arena"));
+        assert!(e.to_string().contains("checksum"));
+        let e = StoreError::io("/tmp/x.atss", io::Error::other("boom"));
+        assert!(e.to_string().contains("x.atss"));
+    }
+
+    #[test]
+    fn content_errors_are_classified() {
+        assert!(StoreError::BadMagic { found: [0; 4] }.is_content_error());
+        assert!(StoreError::corrupt("trailer", "short").is_content_error());
+        assert!(!StoreError::Build("solver".into()).is_content_error());
+        assert!(!StoreError::io("/x", io::Error::other("boom")).is_content_error());
+    }
+}

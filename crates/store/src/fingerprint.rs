@@ -1,0 +1,225 @@
+//! Content-addressing: a deterministic fingerprint over a specification.
+//!
+//! [`SpecFingerprint`] is the cache key of [`crate::SpaceStore`]: two
+//! specifications receive the same fingerprint exactly when they construct
+//! the same space *through the same lowered problem*. The fingerprint is a
+//! 128-bit FNV-1a hash over a canonical byte encoding of
+//!
+//! * the `ATSS` format version (bumping the format invalidates every key),
+//! * the space name,
+//! * every parameter: name and full value list, in declaration order, using
+//!   the same canonical [`at_csp::Value`] byte encoding the file format
+//!   uses (so `Int(2)` and `Float(2.0)` — distinct dictionary entries —
+//!   fingerprint distinctly),
+//! * every restriction's *source string*, in declaration order,
+//! * the [`RestrictionLowering`] the construction will use.
+//!
+//! # Stability guarantees
+//!
+//! The fingerprint is a pure function of the bytes above: it is stable
+//! across processes, runs, platforms and endiannesses (all integers are
+//! hashed in little-endian order), and it never depends on memory layout,
+//! hash-map iteration order or randomized state. It changes when — and
+//! only when — the specification content, the lowering, or
+//! [`crate::FORMAT_VERSION`] changes.
+//!
+//! # What cannot be fingerprinted
+//!
+//! Closure ([`Restriction::Function`]) and pre-built
+//! ([`Restriction::Specific`]) restrictions have no canonical byte
+//! representation — two different closures can share a label, and a label
+//! collision must never alias two different spaces. Specifications
+//! containing them yield [`StoreError::Unfingerprintable`]; the cache
+//! builds such spaces without persisting them.
+
+use std::fmt;
+
+use at_searchspace::{Restriction, RestrictionLowering, SearchSpaceSpec};
+
+use crate::error::StoreError;
+use crate::format::{push_value, FORMAT_VERSION};
+
+/// FNV-1a 128-bit offset basis.
+const FNV_OFFSET: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
+/// FNV-1a 128-bit prime.
+const FNV_PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013B;
+
+/// A 128-bit content hash identifying one (specification, lowering) pair.
+///
+/// Displayed (and stored on disk) as 32 lowercase hex characters; cache
+/// entries live at `<cache-dir>/<hex>.atss`. See the [module
+/// documentation](self) for what the hash covers and its stability
+/// guarantees.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SpecFingerprint(u128);
+
+impl SpecFingerprint {
+    /// Compute the fingerprint of a specification under the given lowering.
+    ///
+    /// Returns [`StoreError::Unfingerprintable`] when the specification
+    /// contains a restriction with no canonical byte representation (a
+    /// closure or a pre-built constraint).
+    pub fn compute(
+        spec: &SearchSpaceSpec,
+        lowering: RestrictionLowering,
+    ) -> Result<SpecFingerprint, StoreError> {
+        let mut buf: Vec<u8> = Vec::with_capacity(256);
+        buf.extend_from_slice(b"ATSS/fingerprint");
+        buf.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+
+        push_len_str(&mut buf, &spec.name);
+
+        buf.extend_from_slice(&(spec.params.len() as u32).to_le_bytes());
+        for p in &spec.params {
+            push_len_str(&mut buf, p.name());
+            buf.extend_from_slice(&(p.len() as u32).to_le_bytes());
+            for v in p.values() {
+                push_value(&mut buf, v);
+            }
+        }
+
+        buf.extend_from_slice(&(spec.restrictions.len() as u32).to_le_bytes());
+        for r in &spec.restrictions {
+            match r {
+                Restriction::Expression(source) => {
+                    buf.push(1);
+                    push_len_str(&mut buf, source);
+                }
+                other => {
+                    return Err(StoreError::Unfingerprintable(format!(
+                        "restriction `{}` is not an expression string",
+                        other.describe()
+                    )))
+                }
+            }
+        }
+
+        buf.push(match lowering {
+            RestrictionLowering::Optimized => 0,
+            RestrictionLowering::Generic => 1,
+        });
+
+        Ok(SpecFingerprint(fnv1a_128(&buf)))
+    }
+
+    /// The fingerprint as 32 lowercase hex characters.
+    pub fn to_hex(&self) -> String {
+        format!("{:032x}", self.0)
+    }
+
+    /// Parse a fingerprint back from its 32-character hex form (the inverse
+    /// of [`SpecFingerprint::to_hex`]).
+    pub fn from_hex(s: &str) -> Option<SpecFingerprint> {
+        if s.len() != 32 {
+            return None;
+        }
+        u128::from_str_radix(s, 16).ok().map(SpecFingerprint)
+    }
+}
+
+impl fmt::Display for SpecFingerprint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:032x}", self.0)
+    }
+}
+
+fn push_len_str(buf: &mut Vec<u8>, s: &str) {
+    buf.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    buf.extend_from_slice(s.as_bytes());
+}
+
+fn fnv1a_128(bytes: &[u8]) -> u128 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h ^= b as u128;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use at_searchspace::TunableParameter;
+
+    fn spec() -> SearchSpaceSpec {
+        SearchSpaceSpec::new("fp")
+            .with_param(TunableParameter::pow2("x", 4))
+            .with_param(TunableParameter::ints("y", [1, 2, 3]))
+            .with_expr("x * y <= 8")
+    }
+
+    #[test]
+    fn deterministic_across_calls() {
+        let a = SpecFingerprint::compute(&spec(), RestrictionLowering::Optimized).unwrap();
+        let b = SpecFingerprint::compute(&spec(), RestrictionLowering::Optimized).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn every_ingredient_changes_the_hash() {
+        let base = SpecFingerprint::compute(&spec(), RestrictionLowering::Optimized).unwrap();
+
+        let mut renamed = spec();
+        renamed.name = "other".into();
+        assert_ne!(
+            base,
+            SpecFingerprint::compute(&renamed, RestrictionLowering::Optimized).unwrap()
+        );
+
+        let extra_value = SearchSpaceSpec::new("fp")
+            .with_param(TunableParameter::pow2("x", 5))
+            .with_param(TunableParameter::ints("y", [1, 2, 3]))
+            .with_expr("x * y <= 8");
+        assert_ne!(
+            base,
+            SpecFingerprint::compute(&extra_value, RestrictionLowering::Optimized).unwrap()
+        );
+
+        let other_restriction = SearchSpaceSpec::new("fp")
+            .with_param(TunableParameter::pow2("x", 4))
+            .with_param(TunableParameter::ints("y", [1, 2, 3]))
+            .with_expr("x * y <= 9");
+        assert_ne!(
+            base,
+            SpecFingerprint::compute(&other_restriction, RestrictionLowering::Optimized).unwrap()
+        );
+
+        assert_ne!(
+            base,
+            SpecFingerprint::compute(&spec(), RestrictionLowering::Generic).unwrap()
+        );
+    }
+
+    #[test]
+    fn value_types_are_distinguished() {
+        let ints = SearchSpaceSpec::new("v").with_param(TunableParameter::ints("x", [2]));
+        let floats = SearchSpaceSpec::new("v")
+            .with_param(TunableParameter::new("x", vec![at_csp::Value::Float(2.0)]));
+        assert_ne!(
+            SpecFingerprint::compute(&ints, RestrictionLowering::Generic).unwrap(),
+            SpecFingerprint::compute(&floats, RestrictionLowering::Generic).unwrap()
+        );
+    }
+
+    #[test]
+    fn closures_are_unfingerprintable() {
+        let s = spec().with_restriction(Restriction::func(&["x"], "x > 0", |v| {
+            v[0].as_i64().unwrap() > 0
+        }));
+        assert!(matches!(
+            SpecFingerprint::compute(&s, RestrictionLowering::Optimized),
+            Err(StoreError::Unfingerprintable(_))
+        ));
+    }
+
+    #[test]
+    fn hex_round_trips() {
+        let fp = SpecFingerprint::compute(&spec(), RestrictionLowering::Optimized).unwrap();
+        let hex = fp.to_hex();
+        assert_eq!(hex.len(), 32);
+        assert_eq!(SpecFingerprint::from_hex(&hex), Some(fp));
+        assert_eq!(SpecFingerprint::from_hex("nope"), None);
+        assert_eq!(fp.to_string(), hex);
+    }
+}

@@ -1,0 +1,1007 @@
+//! The `ATSS` binary format: reading and writing resolved search spaces.
+//!
+//! See the [crate documentation](crate) for the byte-by-byte layout. The
+//! design constraints, in order:
+//!
+//! 1. **Close to the internal representation** (paper Section 4.3.4): the
+//!    configuration arena is written verbatim as little-endian `u32` value
+//!    codes — loading performs no decoding and no re-encoding, only the one
+//!    membership-table build every `SearchSpace` constructor needs.
+//! 2. **Streamable**: [`StoreWriter`] implements the solver sink interface,
+//!    so the file is written *while* the space is constructed; nothing in
+//!    the layout requires knowing the row count up front (it lives in the
+//!    trailer).
+//! 3. **Self-validating**: magic + version up front, a CRC-32 per metadata
+//!    section, and a CRC-32 of the arena in the trailer. Any flipped byte
+//!    or truncation is detected before content is adopted.
+
+use std::fs::File;
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+use at_csp::sink::{RowSink, SolutionSink};
+use at_csp::{CspError, CspResult, Value};
+use at_searchspace::{EncodingSink, SearchSpace, TunableParameter};
+
+use crate::checksum::{crc32, Crc32};
+use crate::error::StoreError;
+
+/// The four magic bytes every store file starts with.
+pub const MAGIC: [u8; 4] = *b"ATSS";
+
+/// The format version this build reads and writes.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Section tags (4 bytes each).
+const TAG_HEADER: [u8; 4] = *b"HDR\0";
+const TAG_PARAMS: [u8; 4] = *b"PAR\0";
+const TAG_ARENA: [u8; 4] = *b"ARN\0";
+const TAG_END: [u8; 4] = *b"END\0";
+
+/// Value-encoding tag bytes.
+const VAL_INT: u8 = 1;
+const VAL_FLOAT: u8 = 2;
+const VAL_BOOL: u8 = 3;
+const VAL_STR: u8 = 4;
+
+/// Size of the fixed trailer: tag (4) + row count (8) + arena CRC-32 (4).
+const TRAILER_LEN: usize = 16;
+
+/// Flush the pending arena codes to the writer once this many accumulate
+/// (64 KiB of file bytes), so streaming writes stay amortised.
+const FLUSH_CODES: usize = 16 * 1024;
+
+// ---------------------------------------------------------------------------
+// byte-level encoding helpers
+// ---------------------------------------------------------------------------
+
+fn push_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn push_str(buf: &mut Vec<u8>, s: &str) {
+    push_u32(buf, s.len() as u32);
+    buf.extend_from_slice(s.as_bytes());
+}
+
+/// Canonical byte encoding of one [`Value`]: a tag byte plus a fixed or
+/// length-prefixed payload. Shared by the params section and the spec
+/// fingerprint, so both agree on what "the same value" means.
+pub(crate) fn push_value(buf: &mut Vec<u8>, v: &Value) {
+    match v {
+        Value::Int(i) => {
+            buf.push(VAL_INT);
+            buf.extend_from_slice(&i.to_le_bytes());
+        }
+        Value::Float(f) => {
+            buf.push(VAL_FLOAT);
+            buf.extend_from_slice(&f.to_bits().to_le_bytes());
+        }
+        Value::Bool(b) => {
+            buf.push(VAL_BOOL);
+            buf.push(u8::from(*b));
+        }
+        Value::Str(s) => {
+            buf.push(VAL_STR);
+            push_str(buf, s);
+        }
+    }
+}
+
+/// A bounds-checked reading cursor over a byte slice; every overrun becomes
+/// a [`StoreError::Corrupt`] for the named section.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    section: &'static str,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(bytes: &'a [u8], section: &'static str) -> Cursor<'a> {
+        Cursor {
+            bytes,
+            pos: 0,
+            section,
+        }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], StoreError> {
+        let end = self.pos.checked_add(n).filter(|&e| e <= self.bytes.len());
+        match end {
+            Some(end) => {
+                let slice = &self.bytes[self.pos..end];
+                self.pos = end;
+                Ok(slice)
+            }
+            None => Err(StoreError::corrupt(
+                self.section,
+                format!(
+                    "needed {n} bytes at offset {}, only {} available",
+                    self.pos,
+                    self.bytes.len() - self.pos
+                ),
+            )),
+        }
+    }
+
+    fn u8(&mut self) -> Result<u8, StoreError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, StoreError> {
+        Ok(u32::from_le_bytes(
+            self.take(4)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    fn u64(&mut self) -> Result<u64, StoreError> {
+        Ok(u64::from_le_bytes(
+            self.take(8)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    fn str(&mut self) -> Result<String, StoreError> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| StoreError::corrupt(self.section, "string is not valid UTF-8"))
+    }
+
+    fn value(&mut self) -> Result<Value, StoreError> {
+        match self.u8()? {
+            VAL_INT => Ok(Value::Int(i64::from_le_bytes(
+                self.take(8)?.try_into().expect("8 bytes"),
+            ))),
+            VAL_FLOAT => Ok(Value::Float(f64::from_bits(u64::from_le_bytes(
+                self.take(8)?.try_into().expect("8 bytes"),
+            )))),
+            VAL_BOOL => Ok(Value::Bool(self.u8()? != 0)),
+            VAL_STR => Ok(Value::str(self.str()?)),
+            tag => Err(StoreError::corrupt(
+                self.section,
+                format!("unknown value tag {tag}"),
+            )),
+        }
+    }
+
+    fn done(&self) -> bool {
+        self.pos == self.bytes.len()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// section writing
+// ---------------------------------------------------------------------------
+
+/// Write one framed metadata section: tag, payload length, payload, CRC-32.
+/// Returns the number of file bytes written.
+fn write_section<W: Write>(out: &mut W, tag: [u8; 4], payload: &[u8]) -> io::Result<u64> {
+    out.write_all(&tag)?;
+    out.write_all(&(payload.len() as u64).to_le_bytes())?;
+    out.write_all(payload)?;
+    out.write_all(&crc32(payload).to_le_bytes())?;
+    Ok(4 + 8 + payload.len() as u64 + 4)
+}
+
+fn header_payload(name: &str, num_params: usize) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(name.len() + 8);
+    push_str(&mut buf, name);
+    push_u32(&mut buf, num_params as u32);
+    buf
+}
+
+fn params_payload(params: &[TunableParameter]) -> Vec<u8> {
+    let mut buf = Vec::new();
+    for p in params {
+        push_str(&mut buf, p.name());
+        push_u32(&mut buf, p.len() as u32);
+        for v in p.values() {
+            push_value(&mut buf, v);
+        }
+    }
+    buf
+}
+
+/// Write the file preamble (magic, version, header section, params section,
+/// arena tag). Returns the number of bytes written.
+fn write_preamble<W: Write>(
+    out: &mut W,
+    name: &str,
+    params: &[TunableParameter],
+) -> io::Result<u64> {
+    out.write_all(&MAGIC)?;
+    out.write_all(&FORMAT_VERSION.to_le_bytes())?;
+    let mut bytes = 8u64;
+    bytes += write_section(out, TAG_HEADER, &header_payload(name, params.len()))?;
+    bytes += write_section(out, TAG_PARAMS, &params_payload(params))?;
+    out.write_all(&TAG_ARENA)?;
+    Ok(bytes + 4)
+}
+
+/// Write the fixed trailer (end tag, row count, arena CRC-32).
+fn write_trailer<W: Write>(out: &mut W, rows: u64, arena_crc: u32) -> io::Result<u64> {
+    out.write_all(&TAG_END)?;
+    out.write_all(&rows.to_le_bytes())?;
+    out.write_all(&arena_crc.to_le_bytes())?;
+    Ok(TRAILER_LEN as u64)
+}
+
+/// Summary of one completed store write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreSummary {
+    /// Number of configuration rows persisted.
+    pub rows: u64,
+    /// Total file bytes written (preamble + arena + trailer).
+    pub bytes_written: u64,
+}
+
+/// Persist an already-resolved [`SearchSpace`] to a writer.
+///
+/// The arena is taken from [`SearchSpace::arena`] verbatim; nothing is
+/// decoded. For persisting a space *while* it is constructed, use
+/// [`StoreWriter`] instead.
+pub fn write_space<W: Write>(space: &SearchSpace, out: &mut W) -> Result<StoreSummary, StoreError> {
+    let io_err = |source| StoreError::Io { path: None, source };
+    let mut bytes = write_preamble(out, space.name(), space.params()).map_err(io_err)?;
+    let mut crc = Crc32::new();
+    let mut buf = Vec::with_capacity(4 * FLUSH_CODES.min(space.arena().len().max(1)));
+    for chunk in space.arena().chunks(FLUSH_CODES) {
+        buf.clear();
+        for &code in chunk {
+            buf.extend_from_slice(&code.to_le_bytes());
+        }
+        crc.update(&buf);
+        out.write_all(&buf).map_err(io_err)?;
+        bytes += buf.len() as u64;
+    }
+    bytes += write_trailer(out, space.len() as u64, crc.finish()).map_err(io_err)?;
+    out.flush().map_err(io_err)?;
+    Ok(StoreSummary {
+        rows: space.len() as u64,
+        bytes_written: bytes,
+    })
+}
+
+/// Persist a space to a file path (plain create + write; for atomic
+/// temp-file + rename semantics, go through `SpaceStore`).
+pub fn write_space_to_path(
+    space: &SearchSpace,
+    path: impl AsRef<Path>,
+) -> Result<StoreSummary, StoreError> {
+    let path = path.as_ref();
+    let file = File::create(path).map_err(|e| StoreError::io(path, e))?;
+    let mut out = io::BufWriter::new(file);
+    write_space(space, &mut out).map_err(|e| match e {
+        StoreError::Io { path: None, source } => StoreError::io(path, source),
+        other => other,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// streaming writer (the solver sink)
+// ---------------------------------------------------------------------------
+
+/// A solver sink that persists the space to a writer *while* it is
+/// constructed, and still hands back the in-memory [`SearchSpace`] at the
+/// end.
+///
+/// `StoreWriter` wraps an [`EncodingSink`]: every row a solver pushes is
+/// encoded to `u32` value codes exactly once, appended to the in-memory
+/// arena, and the arena suffix not yet on disk is flushed to the writer in
+/// 64 KiB batches. Parallel solvers get per-thread encoding chunks exactly
+/// as with a plain `EncodingSink`; merged chunks are flushed the same way.
+/// No row is ever encoded twice, and the peak decoded footprint stays one
+/// row per active worker thread.
+///
+/// Call [`StoreWriter::finish`] to write the trailer and obtain the
+/// resolved space plus a [`StoreSummary`]. Dropping the writer without
+/// finishing leaves a file without a trailer, which readers reject — a
+/// crashed construction can never be mistaken for a complete store file.
+#[derive(Debug)]
+pub struct StoreWriter<W: Write> {
+    sink: EncodingSink,
+    out: W,
+    /// Number of arena codes already written to `out`.
+    flushed: usize,
+    crc: Crc32,
+    bytes_written: u64,
+    /// Reusable code→byte conversion buffer.
+    byte_buf: Vec<u8>,
+}
+
+impl<W: Write> StoreWriter<W> {
+    /// Start a store file: writes magic, version, header and parameter
+    /// dictionaries immediately, leaving the writer positioned at the
+    /// arena. Rows pushed later must be in parameter declaration order.
+    pub fn new(
+        mut out: W,
+        name: impl Into<String>,
+        params: Vec<TunableParameter>,
+    ) -> Result<Self, StoreError> {
+        let name = name.into();
+        let bytes_written = write_preamble(&mut out, &name, &params)
+            .map_err(|source| StoreError::Io { path: None, source })?;
+        let sink = EncodingSink::new(name, params)?;
+        Ok(StoreWriter {
+            sink,
+            out,
+            flushed: 0,
+            crc: Crc32::new(),
+            bytes_written,
+            byte_buf: Vec::new(),
+        })
+    }
+
+    /// Number of rows received so far.
+    pub fn rows(&self) -> usize {
+        self.sink.rows()
+    }
+
+    /// Write the arena suffix that is not yet on disk. `force` flushes any
+    /// pending amount; otherwise flushing waits for a 64 KiB batch.
+    fn flush_pending(&mut self, force: bool) -> io::Result<()> {
+        let codes = self.sink.codes();
+        let pending = codes.len() - self.flushed;
+        if pending == 0 || (!force && pending < FLUSH_CODES) {
+            return Ok(());
+        }
+        self.byte_buf.clear();
+        self.byte_buf.reserve(pending * 4);
+        for &code in &codes[self.flushed..] {
+            self.byte_buf.extend_from_slice(&code.to_le_bytes());
+        }
+        self.crc.update(&self.byte_buf);
+        self.out.write_all(&self.byte_buf)?;
+        self.bytes_written += self.byte_buf.len() as u64;
+        self.flushed = codes.len();
+        Ok(())
+    }
+
+    /// Flush the remaining arena, write the trailer, and return the
+    /// resolved in-memory space together with a write summary.
+    pub fn finish(mut self) -> Result<(SearchSpace, StoreSummary), StoreError> {
+        let io_err = |source| StoreError::Io { path: None, source };
+        self.flush_pending(true).map_err(io_err)?;
+        let rows = self.sink.rows() as u64;
+        self.bytes_written +=
+            write_trailer(&mut self.out, rows, self.crc.finish()).map_err(io_err)?;
+        self.out.flush().map_err(io_err)?;
+        let space = self.sink.finish()?;
+        Ok((
+            space,
+            StoreSummary {
+                rows,
+                bytes_written: self.bytes_written,
+            },
+        ))
+    }
+}
+
+/// Carry an I/O failure across the solver boundary (solvers speak
+/// [`CspError`]).
+fn io_to_csp(e: io::Error) -> CspError {
+    CspError::Solver(format!("store writer: {e}"))
+}
+
+impl<W: Write + Send + Sync + 'static> RowSink for StoreWriter<W> {
+    fn push_row(&mut self, row: &[Value]) -> CspResult<()> {
+        self.sink.push_row(row)?;
+        self.flush_pending(false).map_err(io_to_csp)
+    }
+
+    fn into_any(self: Box<Self>) -> Box<dyn std::any::Any> {
+        self
+    }
+}
+
+impl<W: Write + Send + Sync + 'static> SolutionSink for StoreWriter<W> {
+    fn new_chunk(&self) -> Box<dyn RowSink> {
+        // Worker threads encode into plain EncodingSink chunks; the file is
+        // only touched on merge, which happens on the solver's own thread.
+        self.sink.new_chunk()
+    }
+
+    fn merge_chunk(&mut self, chunk: Box<dyn RowSink>) -> CspResult<()> {
+        self.sink.merge_chunk(chunk)?;
+        self.flush_pending(false).map_err(io_to_csp)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// reading
+// ---------------------------------------------------------------------------
+
+/// Metadata of one store file, available without decoding the arena.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoreInfo {
+    /// Format version recorded in the file.
+    pub version: u32,
+    /// The persisted space's name.
+    pub name: String,
+    /// Number of tunable parameters (the arena stride).
+    pub num_params: usize,
+    /// Number of configuration rows.
+    pub num_rows: usize,
+    /// Total file size in bytes.
+    pub file_bytes: u64,
+}
+
+/// A fully validated, parsed store file, ready to be turned into a
+/// [`SearchSpace`].
+///
+/// Opening a reader checks everything: magic, version, section framing,
+/// all CRC-32s, and that the arena length matches the trailer's row count.
+/// [`StoreReader::into_space`] then adopts the codes through
+/// [`SearchSpace::from_code_rows`] — zero re-solving, zero re-encoding.
+#[derive(Debug)]
+pub struct StoreReader {
+    info: StoreInfo,
+    params: Vec<TunableParameter>,
+    codes: Vec<u32>,
+}
+
+/// The structurally validated parts of a store file: every metadata section
+/// parsed and CRC-checked, the arena located and length-checked — but the
+/// arena's own CRC not yet verified (so it can overlap the index build).
+struct ParsedFile<'a> {
+    info: StoreInfo,
+    params: Vec<TunableParameter>,
+    arena: &'a [u8],
+    arena_crc: u32,
+}
+
+impl StoreReader {
+    /// Read and validate a store file from disk.
+    pub fn open(path: impl AsRef<Path>) -> Result<StoreReader, StoreError> {
+        let path = path.as_ref();
+        let bytes = std::fs::read(path).map_err(|e| StoreError::io(path, e))?;
+        StoreReader::from_bytes(&bytes)
+    }
+
+    /// Parse and validate a store file from a byte slice.
+    pub fn from_bytes(bytes: &[u8]) -> Result<StoreReader, StoreError> {
+        let parsed = parse_structure(bytes)?;
+        if crc32(parsed.arena) != parsed.arena_crc {
+            return Err(StoreError::corrupt("arena", "checksum mismatch"));
+        }
+        let codes = decode_codes(parsed.arena);
+        Ok(StoreReader {
+            info: parsed.info,
+            params: parsed.params,
+            codes,
+        })
+    }
+
+    /// The file's metadata.
+    pub fn info(&self) -> &StoreInfo {
+        &self.info
+    }
+
+    /// The decoded parameter dictionaries.
+    pub fn params(&self) -> &[TunableParameter] {
+        &self.params
+    }
+
+    /// Rebuild the [`SearchSpace`] by adopting the stored arena.
+    pub fn into_space(self) -> Result<(SearchSpace, StoreInfo), StoreError> {
+        let StoreReader {
+            info,
+            params,
+            codes,
+        } = self;
+        let space = SearchSpace::from_code_rows(info.name.clone(), params, info.num_rows, codes)?;
+        Ok((space, info))
+    }
+}
+
+/// Parse and validate everything except the arena checksum.
+fn parse_structure(bytes: &[u8]) -> Result<ParsedFile<'_>, StoreError> {
+    // Magic + version.
+    if bytes.len() < 8 + TRAILER_LEN {
+        return Err(StoreError::corrupt(
+            "header",
+            format!(
+                "file holds {} bytes, too short for any store file",
+                bytes.len()
+            ),
+        ));
+    }
+    if bytes[0..4] != MAGIC {
+        return Err(StoreError::BadMagic {
+            found: bytes[0..4].try_into().expect("4 bytes"),
+        });
+    }
+    let version = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes"));
+    if version != FORMAT_VERSION {
+        return Err(StoreError::UnsupportedVersion {
+            found: version,
+            supported: FORMAT_VERSION,
+        });
+    }
+
+    // Framed metadata sections.
+    let mut pos = 8usize;
+    let header = read_section(bytes, &mut pos, TAG_HEADER, "header")?;
+    let mut cur = Cursor::new(header, "header");
+    let name = cur.str()?;
+    let num_params = cur.u32()? as usize;
+    if !cur.done() {
+        return Err(StoreError::corrupt("header", "trailing bytes after header"));
+    }
+
+    let params_bytes = read_section(bytes, &mut pos, TAG_PARAMS, "params")?;
+    let mut cur = Cursor::new(params_bytes, "params");
+    let mut params = Vec::with_capacity(num_params);
+    for _ in 0..num_params {
+        let pname = cur.str()?;
+        let count = cur.u32()? as usize;
+        let mut values = Vec::with_capacity(count);
+        for _ in 0..count {
+            values.push(cur.value()?);
+        }
+        let param = TunableParameter::new(pname, values);
+        if param.len() != count {
+            // `TunableParameter::new` deduplicates; a shrink means the
+            // file declared duplicate dictionary values, which our
+            // writer never does — codes would silently shift.
+            return Err(StoreError::corrupt(
+                "params",
+                format!("parameter `{}` has duplicate values", param.name()),
+            ));
+        }
+        params.push(param);
+    }
+    if !cur.done() {
+        return Err(StoreError::corrupt(
+            "params",
+            "trailing bytes after the last parameter",
+        ));
+    }
+
+    // Arena tag, then raw codes up to the trailer.
+    if bytes.len() < pos + 4 + TRAILER_LEN {
+        return Err(StoreError::corrupt("arena", "file ends before the arena"));
+    }
+    if bytes[pos..pos + 4] != TAG_ARENA {
+        return Err(StoreError::corrupt("arena", "missing arena tag"));
+    }
+    pos += 4;
+    let trailer_at = bytes.len() - TRAILER_LEN;
+    if trailer_at < pos {
+        return Err(StoreError::corrupt("trailer", "overlaps the arena"));
+    }
+    let mut cur = Cursor::new(&bytes[trailer_at..], "trailer");
+    let end_tag = cur.take(4)?;
+    if end_tag != TAG_END {
+        return Err(StoreError::corrupt(
+            "trailer",
+            "missing end tag (file truncated or construction crashed mid-write)",
+        ));
+    }
+    let num_rows = cur.u64()? as usize;
+    let arena_crc = cur.u32()?;
+
+    let arena = &bytes[pos..trailer_at];
+    let expected = num_rows
+        .checked_mul(num_params)
+        .and_then(|c| c.checked_mul(4));
+    if expected != Some(arena.len()) {
+        return Err(StoreError::corrupt(
+            "arena",
+            format!(
+                "arena holds {} bytes where {num_rows} rows x {num_params} params need {}",
+                arena.len(),
+                expected.map_or("overflow".to_string(), |e| e.to_string()),
+            ),
+        ));
+    }
+    Ok(ParsedFile {
+        info: StoreInfo {
+            version,
+            name,
+            num_params,
+            num_rows,
+            file_bytes: bytes.len() as u64,
+        },
+        params,
+        arena,
+        arena_crc,
+    })
+}
+
+/// Decode the raw little-endian arena bytes into value codes. On
+/// little-endian targets the on-disk bytes *are* the in-memory layout, so
+/// this is a single memcpy (without even a zero-fill of the destination);
+/// big-endian targets convert per element. The caller guarantees
+/// `arena.len()` is a multiple of 4 (checked against the trailer).
+fn decode_codes(arena: &[u8]) -> Vec<u32> {
+    let num_codes = arena.len() / 4;
+    if cfg!(target_endian = "little") {
+        let mut codes: Vec<u32> = Vec::with_capacity(num_codes);
+        // SAFETY: the allocation holds at least `arena.len()` bytes (the
+        // length is a validated multiple of 4), the buffers are distinct,
+        // every byte pattern is a valid `u32`, and `set_len` only covers
+        // the `num_codes` elements just initialised.
+        unsafe {
+            std::ptr::copy_nonoverlapping(
+                arena.as_ptr(),
+                codes.as_mut_ptr().cast::<u8>(),
+                arena.len(),
+            );
+            codes.set_len(num_codes);
+        }
+        codes
+    } else {
+        arena
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().expect("4 bytes")))
+            .collect()
+    }
+}
+
+/// Read one framed metadata section starting at `*pos`, verify its tag and
+/// CRC, and advance `*pos` past it.
+fn read_section<'a>(
+    bytes: &'a [u8],
+    pos: &mut usize,
+    tag: [u8; 4],
+    section: &'static str,
+) -> Result<&'a [u8], StoreError> {
+    let mut cur = Cursor::new(&bytes[*pos..], section);
+    let found = cur.take(4)?;
+    if found != tag {
+        return Err(StoreError::corrupt(section, "unexpected section tag"));
+    }
+    let len = cur.u64()? as usize;
+    let payload = cur.take(len)?;
+    let stored_crc = cur.u32()?;
+    if crc32(payload) != stored_crc {
+        return Err(StoreError::corrupt(section, "checksum mismatch"));
+    }
+    *pos += cur.pos;
+    Ok(payload)
+}
+
+/// Arenas at least this large verify their checksum on a helper thread,
+/// overlapped with the index build (below it, the thread spawn would cost
+/// more than the overlap saves).
+const PARALLEL_CRC_BYTES: usize = 2 << 20;
+
+/// Validate and rebuild a space from an in-memory store file in one call.
+///
+/// For large arenas the arena checksum is verified on a scoped helper
+/// thread *while* the main thread decodes the codes and builds the
+/// membership index — the two dominate warm-load time and are independent.
+/// The space is only returned when both succeed, so a corrupt file is never
+/// served; it merely wastes the (discarded) speculative index build.
+pub fn read_space_from_bytes(bytes: &[u8]) -> Result<(SearchSpace, StoreInfo), StoreError> {
+    let parsed = parse_structure(bytes)?;
+    let multicore = std::thread::available_parallelism().is_ok_and(|n| n.get() > 1);
+    if !multicore || parsed.arena.len() < PARALLEL_CRC_BYTES {
+        if crc32(parsed.arena) != parsed.arena_crc {
+            return Err(StoreError::corrupt("arena", "checksum mismatch"));
+        }
+        let codes = decode_codes(parsed.arena);
+        let space = SearchSpace::from_code_rows(
+            parsed.info.name.clone(),
+            parsed.params,
+            parsed.info.num_rows,
+            codes,
+        )?;
+        return Ok((space, parsed.info));
+    }
+    let ParsedFile {
+        info,
+        params,
+        arena,
+        arena_crc,
+    } = parsed;
+    let (crc_ok, space) = std::thread::scope(|scope| {
+        let checker = scope.spawn(move || crc32(arena) == arena_crc);
+        let codes = decode_codes(arena);
+        let space = SearchSpace::from_code_rows(info.name.clone(), params, info.num_rows, codes);
+        (checker.join().expect("checksum thread"), space)
+    });
+    if !crc_ok {
+        return Err(StoreError::corrupt("arena", "checksum mismatch"));
+    }
+    Ok((space?, info))
+}
+
+/// Read, validate and rebuild a space from a store file in one call.
+pub fn read_space_from_path(
+    path: impl AsRef<Path>,
+) -> Result<(SearchSpace, StoreInfo), StoreError> {
+    let path = path.as_ref();
+    let bytes = std::fs::read(path).map_err(|e| StoreError::io(path, e))?;
+    read_space_from_bytes(&bytes)
+}
+
+/// Read a store file's metadata without loading or validating the arena —
+/// the cheap path for listing a cache directory. The header section's CRC
+/// *is* verified; the arena's is not (use [`StoreReader::open`] for a full
+/// verification).
+pub fn peek_info(path: impl AsRef<Path>) -> Result<StoreInfo, StoreError> {
+    let path = path.as_ref();
+    let mut file = File::open(path).map_err(|e| StoreError::io(path, e))?;
+    let file_bytes = file.metadata().map_err(|e| StoreError::io(path, e))?.len();
+
+    let mut head = [0u8; 8 + 12];
+    file.read_exact(&mut head)
+        .map_err(|_| StoreError::corrupt("header", "file too short"))?;
+    if head[0..4] != MAGIC {
+        return Err(StoreError::BadMagic {
+            found: head[0..4].try_into().expect("4 bytes"),
+        });
+    }
+    let version = u32::from_le_bytes(head[4..8].try_into().expect("4 bytes"));
+    if version != FORMAT_VERSION {
+        return Err(StoreError::UnsupportedVersion {
+            found: version,
+            supported: FORMAT_VERSION,
+        });
+    }
+    if head[8..12] != TAG_HEADER {
+        return Err(StoreError::corrupt("header", "missing header tag"));
+    }
+    let len = u64::from_le_bytes(head[12..20].try_into().expect("8 bytes")) as usize;
+    if len > 1 << 20 {
+        return Err(StoreError::corrupt("header", "implausible header length"));
+    }
+    let mut payload = vec![0u8; len + 4];
+    file.read_exact(&mut payload)
+        .map_err(|_| StoreError::corrupt("header", "file ends inside the header"))?;
+    let (payload, crc_bytes) = payload.split_at(len);
+    if crc32(payload) != u32::from_le_bytes(crc_bytes.try_into().expect("4 bytes")) {
+        return Err(StoreError::corrupt("header", "checksum mismatch"));
+    }
+    let mut cur = Cursor::new(payload, "header");
+    let name = cur.str()?;
+    let num_params = cur.u32()? as usize;
+
+    file.seek(SeekFrom::End(-(TRAILER_LEN as i64)))
+        .map_err(|e| StoreError::io(path, e))?;
+    let mut trailer = [0u8; TRAILER_LEN];
+    file.read_exact(&mut trailer)
+        .map_err(|_| StoreError::corrupt("trailer", "file too short"))?;
+    if trailer[0..4] != TAG_END {
+        return Err(StoreError::corrupt("trailer", "missing end tag"));
+    }
+    let num_rows = u64::from_le_bytes(trailer[4..12].try_into().expect("8 bytes")) as usize;
+
+    Ok(StoreInfo {
+        version,
+        name,
+        num_params,
+        num_rows,
+        file_bytes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use at_csp::value::int_values;
+
+    fn small_space() -> SearchSpace {
+        let params = vec![
+            TunableParameter::ints("x", [1, 2, 4]),
+            TunableParameter::ints("y", [1, 2]),
+        ];
+        let configs = vec![
+            int_values([1, 1]),
+            int_values([1, 2]),
+            int_values([2, 1]),
+            int_values([4, 2]),
+        ];
+        SearchSpace::from_configs("small", params, configs).unwrap()
+    }
+
+    fn spaces_identical(a: &SearchSpace, b: &SearchSpace) {
+        assert_eq!(a.name(), b.name());
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.arena(), b.arena());
+        assert_eq!(a.params().len(), b.params().len());
+        for (pa, pb) in a.params().iter().zip(b.params()) {
+            assert_eq!(pa.name(), pb.name());
+            assert_eq!(pa.values(), pb.values());
+        }
+        for view in a.iter() {
+            assert_eq!(b.index_of(&view.to_vec()), Some(view.id()));
+        }
+    }
+
+    #[test]
+    fn write_read_round_trip() {
+        let space = small_space();
+        let mut bytes = Vec::new();
+        let summary = write_space(&space, &mut bytes).unwrap();
+        assert_eq!(summary.rows, 4);
+        assert_eq!(summary.bytes_written, bytes.len() as u64);
+        let reader = StoreReader::from_bytes(&bytes).unwrap();
+        assert_eq!(reader.info().name, "small");
+        assert_eq!(reader.info().num_rows, 4);
+        assert_eq!(reader.info().num_params, 2);
+        let (loaded, info) = reader.into_space().unwrap();
+        assert_eq!(info.file_bytes, bytes.len() as u64);
+        spaces_identical(&space, &loaded);
+    }
+
+    /// An owned, clonable byte sink: the `RowSink` impl requires
+    /// `W: 'static`, so tests cannot hand a `&mut Vec<u8>` to the writer.
+    #[derive(Clone, Default)]
+    struct SharedBuf(std::sync::Arc<std::sync::Mutex<Vec<u8>>>);
+
+    impl SharedBuf {
+        fn bytes(&self) -> Vec<u8> {
+            self.0.lock().unwrap().clone()
+        }
+    }
+
+    impl Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn streaming_writer_matches_write_space() {
+        let space = small_space();
+        let mut via_space = Vec::new();
+        write_space(&space, &mut via_space).unwrap();
+
+        let buf = SharedBuf::default();
+        let mut writer = StoreWriter::new(buf.clone(), "small", space.params().to_vec()).unwrap();
+        for view in space.iter() {
+            writer.push_row(&view.to_vec()).unwrap();
+        }
+        let (streamed, summary) = writer.finish().unwrap();
+        assert_eq!(summary.rows, 4);
+        spaces_identical(&space, &streamed);
+        assert_eq!(
+            buf.bytes(),
+            via_space,
+            "streamed and one-shot files are identical"
+        );
+    }
+
+    #[test]
+    fn streaming_writer_supports_chunks() {
+        let space = small_space();
+        let buf = SharedBuf::default();
+        let mut writer = StoreWriter::new(buf.clone(), "small", space.params().to_vec()).unwrap();
+        let mut chunk = writer.new_chunk();
+        for view in space.iter() {
+            chunk.push_row(&view.to_vec()).unwrap();
+        }
+        writer.merge_chunk(chunk).unwrap();
+        let (streamed, _) = writer.finish().unwrap();
+        spaces_identical(&space, &streamed);
+        let (loaded, _) = StoreReader::from_bytes(&buf.bytes())
+            .unwrap()
+            .into_space()
+            .unwrap();
+        spaces_identical(&space, &loaded);
+    }
+
+    #[test]
+    fn unfinished_writer_leaves_an_unreadable_file() {
+        let space = small_space();
+        let buf = SharedBuf::default();
+        let mut writer = StoreWriter::new(buf.clone(), "small", space.params().to_vec()).unwrap();
+        writer.push_row(&int_values([1, 1])).unwrap();
+        drop(writer);
+        // No trailer was written: the reader must refuse the file.
+        assert!(StoreReader::from_bytes(&buf.bytes()).is_err());
+    }
+
+    #[test]
+    fn empty_space_round_trips() {
+        let params = vec![TunableParameter::ints("x", [1, 2])];
+        let space = SearchSpace::from_configs("empty", params, vec![]).unwrap();
+        let mut bytes = Vec::new();
+        write_space(&space, &mut bytes).unwrap();
+        let (loaded, info) = StoreReader::from_bytes(&bytes)
+            .unwrap()
+            .into_space()
+            .unwrap();
+        assert_eq!(info.num_rows, 0);
+        assert!(loaded.is_empty());
+        assert_eq!(loaded.params().len(), 1);
+    }
+
+    #[test]
+    fn all_value_kinds_round_trip() {
+        let params = vec![TunableParameter::new(
+            "mixed",
+            vec![
+                Value::Int(-7),
+                Value::Float(2.5),
+                Value::Bool(true),
+                Value::str("a,b\nc"),
+            ],
+        )];
+        let configs = vec![
+            vec![Value::Int(-7)],
+            vec![Value::str("a,b\nc")],
+            vec![Value::Float(2.5)],
+        ];
+        let space = SearchSpace::from_configs("mixed", params, configs).unwrap();
+        let mut bytes = Vec::new();
+        write_space(&space, &mut bytes).unwrap();
+        let (loaded, _) = StoreReader::from_bytes(&bytes)
+            .unwrap()
+            .into_space()
+            .unwrap();
+        spaces_identical(&space, &loaded);
+    }
+
+    #[test]
+    fn bad_magic_and_version_are_rejected() {
+        let space = small_space();
+        let mut bytes = Vec::new();
+        write_space(&space, &mut bytes).unwrap();
+
+        let mut bad = bytes.clone();
+        bad[0] = b'X';
+        assert!(matches!(
+            StoreReader::from_bytes(&bad),
+            Err(StoreError::BadMagic { .. })
+        ));
+
+        let mut bad = bytes.clone();
+        bad[4] = 99;
+        assert!(matches!(
+            StoreReader::from_bytes(&bad),
+            Err(StoreError::UnsupportedVersion { found: 99, .. })
+        ));
+    }
+
+    #[test]
+    fn every_single_byte_flip_is_detected() {
+        let space = small_space();
+        let mut bytes = Vec::new();
+        write_space(&space, &mut bytes).unwrap();
+        for i in 0..bytes.len() {
+            let mut flipped = bytes.clone();
+            flipped[i] ^= 0x40;
+            let result = StoreReader::from_bytes(&flipped).and_then(|r| r.into_space());
+            assert!(result.is_err(), "flip at byte {i} went undetected");
+        }
+    }
+
+    #[test]
+    fn every_truncation_is_detected() {
+        let space = small_space();
+        let mut bytes = Vec::new();
+        write_space(&space, &mut bytes).unwrap();
+        for keep in 0..bytes.len() {
+            let result = StoreReader::from_bytes(&bytes[..keep]).and_then(|r| r.into_space());
+            assert!(
+                result.is_err(),
+                "truncation to {keep} bytes went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn peek_reads_metadata_without_the_arena() {
+        let dir = std::env::temp_dir().join("at-store-format-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("peek.atss");
+        let space = small_space();
+        write_space_to_path(&space, &path).unwrap();
+        let info = peek_info(&path).unwrap();
+        assert_eq!(info.name, "small");
+        assert_eq!(info.num_rows, 4);
+        assert_eq!(info.num_params, 2);
+        assert_eq!(info.version, FORMAT_VERSION);
+        let full = StoreReader::open(&path).unwrap();
+        assert_eq!(full.info(), &info);
+    }
+}

@@ -1,0 +1,113 @@
+//! # at-store — binary persistence and the content-addressed construction cache
+//!
+//! The paper's Section 4.3.4 argues that solver output formats must stay
+//! close to the internal representation, because rearranging the output can
+//! cost as much as construction itself. This crate takes that argument to
+//! disk: a resolved [`SearchSpace`](at_searchspace::SearchSpace) is
+//! persisted as its columnar `u32` code
+//! arena **verbatim** (the `ATSS` format), so a space is solved *once* and
+//! every later process loads it in milliseconds — no re-solving, no
+//! re-encoding, only the membership-table build every constructor needs.
+//!
+//! Three layers:
+//!
+//! * [`StoreWriter`] / [`StoreReader`] / [`write_space`] — the `ATSS` file
+//!   format. `StoreWriter` implements the solver sink interface
+//!   ([`at_csp::sink::SolutionSink`]), so a space is persisted *while* it
+//!   is constructed.
+//! * [`SpecFingerprint`] — deterministic content-addressing of a
+//!   [`SearchSpaceSpec`](at_searchspace::SearchSpaceSpec) +
+//!   [`RestrictionLowering`](at_searchspace::RestrictionLowering) pair
+//!   (see [`fingerprint`] for the exact coverage and stability guarantees).
+//! * [`SpaceStore`] — the cache: [`SpaceStore::get_or_build`] with atomic
+//!   temp-file + rename writes, full validation with fallback to rebuild
+//!   (a corrupt or stale entry is never served), and size-bounded LRU
+//!   [`SpaceStore::gc`].
+//!
+//! ```
+//! use at_searchspace::{Method, SearchSpaceSpec, TunableParameter};
+//! use at_store::SpaceStore;
+//!
+//! let dir = std::env::temp_dir().join("at-store-doctest");
+//! let _ = std::fs::remove_dir_all(&dir);
+//!
+//! let spec = SearchSpaceSpec::new("doc")
+//!     .with_param(TunableParameter::pow2("x", 6))
+//!     .with_param(TunableParameter::pow2("y", 5))
+//!     .with_expr("x * y <= 64");
+//!
+//! let store = SpaceStore::new(&dir).unwrap();
+//! let (cold, out) = store.get_or_build(&spec, Method::Optimized).unwrap();
+//! assert_eq!(out.status.label(), "miss");       // solved and persisted
+//! let (warm, out) = store.get_or_build(&spec, Method::Optimized).unwrap();
+//! assert!(out.status.is_hit());                 // loaded, zero solving
+//! assert_eq!(cold.arena(), warm.arena());       // code-for-code identical
+//! # std::fs::remove_dir_all(&dir).unwrap();
+//! ```
+//!
+//! # The `ATSS` format, byte by byte
+//!
+//! All integers are little-endian. A *string* is a `u32` byte length
+//! followed by that many UTF-8 bytes. A *value* is one tag byte followed by
+//! its payload: `0x01` + `i64` (int), `0x02` + IEEE-754 bit pattern as
+//! `u64` (float), `0x03` + `0x00`/`0x01` (bool), `0x04` + string (str).
+//!
+//! ```text
+//! offset   size  field
+//! 0        4     magic, the ASCII bytes "ATSS"
+//! 4        4     format version, u32 (currently 1)
+//!
+//! --- HEADER section -------------------------------------------------------
+//! 8        4     section tag "HDR\0"
+//! 12       8     payload length H, u64
+//! 20       H     payload:  name : string
+//!                          num_params : u32
+//! 20+H     4     CRC-32 (IEEE) of the H payload bytes
+//!
+//! --- PARAMS section -------------------------------------------------------
+//! .        4     section tag "PAR\0"
+//! .        8     payload length P, u64
+//! .        P     payload, per parameter in declaration order:
+//!                          name : string
+//!                          num_values : u32
+//!                          num_values x value     (the dictionary, in
+//!                                                  code order: code k is
+//!                                                  the k-th value)
+//! .        4     CRC-32 of the P payload bytes
+//!
+//! --- ARENA section --------------------------------------------------------
+//! .        4     section tag "ARN\0"
+//! .        N*S*4 the configuration arena, verbatim: N rows x S params of
+//!                u32 value codes, row-major, declaration order — exactly
+//!                the in-memory layout of `SearchSpace::arena()`
+//!
+//! --- TRAILER (always the last 16 bytes) -----------------------------------
+//! end-16   4     trailer tag "END\0"
+//! end-12   8     row count N, u64      (written last: streaming writers
+//!                                       do not know N up front)
+//! end-4    4     CRC-32 of the N*S*4 arena bytes
+//! ```
+//!
+//! The arena's length is not stored explicitly: it is implied by the file
+//! length and re-checked against `N x S x 4` from the trailer, so
+//! truncation, a crashed half-write (no trailer) and trailer/arena
+//! disagreement are all detected. Every metadata byte is covered by a
+//! section CRC, every arena byte by the trailer CRC.
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod checksum;
+pub mod error;
+pub mod fingerprint;
+pub mod format;
+
+pub use cache::{
+    build_search_space_cached, CacheStatus, GcReport, SpaceStore, StoreEntry, StoreOutcome,
+};
+pub use error::StoreError;
+pub use fingerprint::SpecFingerprint;
+pub use format::{
+    peek_info, read_space_from_path, write_space, write_space_to_path, StoreInfo, StoreReader,
+    StoreSummary, StoreWriter, FORMAT_VERSION, MAGIC,
+};

@@ -16,6 +16,8 @@
 //! * [`cot`] — the chain-of-trees construction baseline,
 //! * [`searchspace`] — specifications, construction methods and the resolved
 //!   search space representation,
+//! * [`store`] — `ATSS` binary persistence and the content-addressed
+//!   construction cache (solve once, serve forever),
 //! * [`tuner`] — budgeted tuning strategies over simulated kernels,
 //! * [`workloads`] — the paper's synthetic and real-world evaluation spaces.
 //!
@@ -57,6 +59,7 @@ pub use at_cot as cot;
 pub use at_csp as csp;
 pub use at_expr as expr;
 pub use at_searchspace as searchspace;
+pub use at_store as store;
 pub use at_tuner as tuner;
 pub use at_workloads as workloads;
 
@@ -84,5 +87,6 @@ pub use at_workloads as workloads;
 pub mod prelude {
     pub use at_csp::prelude::*;
     pub use at_searchspace::prelude::*;
+    pub use at_store::{build_search_space_cached, SpaceStore, SpecFingerprint};
     pub use at_tuner::{tune, PerformanceModel, RandomSampling, Strategy, SyntheticKernel};
 }

@@ -62,6 +62,43 @@ fn all_strategies_only_evaluate_valid_configurations_of_gemm() {
 }
 
 #[test]
+fn tuning_on_a_store_loaded_space_matches_tuning_on_the_cold_build() {
+    // The production loop the ROADMAP aims at: the space is solved once,
+    // persisted, and every later tuning session loads it pre-resolved. The
+    // loaded space must drive the tuner identically — same ids, same
+    // evaluations — and only charge the (much cheaper) load time to the
+    // budget.
+    let store_dir = std::env::temp_dir().join("at-tuning-e2e-store");
+    let _ = std::fs::remove_dir_all(&store_dir);
+    let store = SpaceStore::new(&store_dir).unwrap();
+    let spec = dedispersion().spec;
+
+    let (cold, outcome) = store.get_or_build(&spec, Method::Optimized).unwrap();
+    assert!(!outcome.status.is_hit());
+    let (warm, outcome) = store.get_or_build(&spec, Method::Optimized).unwrap();
+    assert!(outcome.status.is_hit());
+
+    let model = performance_model_for("Dedispersion", &cold, 7);
+    let budget = Duration::from_secs(10);
+    let on_cold = tune(&cold, &model, &RandomSampling, budget, Duration::ZERO, 42);
+    let on_warm = tune(&warm, &model, &RandomSampling, budget, Duration::ZERO, 42);
+    assert_eq!(on_cold.evaluations, on_warm.evaluations);
+
+    // Charging the warm-load duration instead of a construction leaves
+    // strictly more budget for evaluations than charging a slow build.
+    let warm_loaded = tune(&warm, &model, &RandomSampling, budget, outcome.duration, 42);
+    let slow_build = tune(
+        &warm,
+        &model,
+        &RandomSampling,
+        budget,
+        Duration::from_secs(8),
+        42,
+    );
+    assert!(warm_loaded.num_evaluations() >= slow_build.num_evaluations());
+}
+
+#[test]
 fn tuning_runs_are_reproducible_per_seed() {
     let (space, _) = build_search_space(&dedispersion().spec, Method::Optimized).unwrap();
     let model = performance_model_for("Dedispersion", &space, 1);
