@@ -36,12 +36,15 @@ streaming:
 	$(CARGO) build -p at_bench --bench construction
 
 # The persistence gate: the save/load round-trip + corruption proptest
-# suite, a smoke-build of the store bench, and an end-to-end cache
+# suites (including the mmap/IDX suite), a smoke-build of the store bench
+# (which includes the warm_load_mmap group), and an end-to-end cache
 # round-trip through the CLI — construct twice with --cache-dir, assert the
 # second run is a hit and both runs export byte-identical spaces, then
-# verify the cache.
+# re-run with --mmap and assert the summary reports a zero-copy load and
+# the export still matches, then verify the cache (which validates the IDX
+# checksums).
 store:
-	$(CARGO) test -q --test store_roundtrip
+	$(CARGO) test -q --test store_roundtrip --test store_mmap
 	$(CARGO) build -p at_bench --bench store
 	rm -rf target/store-smoke target/store-smoke-out
 	mkdir -p target/store-smoke-out
@@ -49,6 +52,9 @@ store:
 	$(CARGO) run --release -p at_cli --bin atss -- construct --workload dedispersion --cache-dir target/store-smoke --format summary | grep -E "^cache: +hit"
 	$(CARGO) run --release -p at_cli --bin atss -- construct --workload dedispersion --cache-dir target/store-smoke --format csv --out target/store-smoke-out/warm.csv
 	cmp target/store-smoke-out/cold.csv target/store-smoke-out/warm.csv
+	$(CARGO) run --release -p at_cli --bin atss -- construct --workload dedispersion --cache-dir target/store-smoke --mmap --format summary | grep -E "^cache load: +zero-copy \(mmap\)"
+	$(CARGO) run --release -p at_cli --bin atss -- construct --workload dedispersion --cache-dir target/store-smoke --mmap --format csv --out target/store-smoke-out/mmap.csv
+	cmp target/store-smoke-out/cold.csv target/store-smoke-out/mmap.csv
 	$(CARGO) run --release -p at_cli --bin atss -- cache verify --cache-dir target/store-smoke
 
 # Run the two API-tour examples end-to-end so drift between the examples and

@@ -7,7 +7,7 @@ use at_searchspace::{
     build_search_space, spec_from_json, to_csv, to_json_cache, BuildReport, Method, SearchSpace,
     SearchSpaceSpec, SpaceCharacteristics,
 };
-use at_store::{CacheStatus, SpaceStore, SpecFingerprint, StoreOutcome};
+use at_store::{CacheStatus, GcOptions, LoadOptions, SpaceStore, SpecFingerprint, StoreOutcome};
 use at_tuner::{strategy_by_name, tune as run_tuning};
 use at_workloads::{all_real_world, performance_model_for, real_world_by_name, real_world_names};
 
@@ -31,6 +31,8 @@ COMMANDS:
                       --format <count|summary|csv|json>           (default: summary)
                       --out <path>                                 write instead of print
                       --cache-dir <dir>   serve from / persist to an ATSS space cache
+                      --mmap              zero-copy warm loads: mmap the cached
+                                          arena and trust its persisted index
     compare         Time several construction methods on one space
                       --workload <name> | --spec <file.json>
                       --methods <comma-separated labels>
@@ -40,11 +42,13 @@ COMMANDS:
                       --cache-dir <dir>   load the space from the cache (warm
                                           loads charge milliseconds, not seconds,
                                           to the tuning budget)
+                      --mmap              zero-copy warm loads (with --cache-dir)
     cache           Manage an ATSS space cache directory
                       cache ls     --cache-dir <dir>
                       cache info   --cache-dir <dir> --workload <n>|--spec <f> [--method <m>]
+                                   [--mmap]  also time a zero-copy load of the entry
                       cache verify --cache-dir <dir>
-                      cache gc     --cache-dir <dir> --max-bytes <n>
+                      cache gc     --cache-dir <dir> --max-bytes <n> --max-entries <n>
     spec-template   Print an example JSON space specification
     help            Show this message
 
@@ -144,17 +148,29 @@ pub fn workloads(args: &ParsedArgs) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// What [`obtain_space`] hands back: the space, the build report when
+/// solving happened, and the cache outcome + store when a cache was
+/// involved (the store carries the metrics for the summary).
+type ObtainedSpace = (
+    SearchSpace,
+    Option<BuildReport>,
+    Option<(StoreOutcome, SpaceStore)>,
+);
+
 /// Resolve the space for `spec`: through a [`SpaceStore`] when `--cache-dir`
-/// is passed, by plain construction otherwise. Returns the space, the build
-/// report when solving happened, and the cache outcome when a cache was
-/// involved.
+/// is passed (zero-copy when `--mmap` is), by plain construction otherwise.
 fn obtain_space(
     args: &ParsedArgs,
     spec: &SearchSpaceSpec,
     method: Method,
-) -> Result<(SearchSpace, Option<BuildReport>, Option<StoreOutcome>), CliError> {
+) -> Result<ObtainedSpace, CliError> {
     match args.get("cache-dir") {
         None => {
+            if args.switch("mmap") {
+                return Err(CliError::Run(
+                    "--mmap loads from an ATSS cache; pass --cache-dir <dir> with it".to_string(),
+                ));
+            }
             let (space, report) = build_search_space(spec, method)
                 .map_err(|e| CliError::Run(format!("construction failed: {e}")))?;
             Ok((space, Some(report), None))
@@ -162,16 +178,21 @@ fn obtain_space(
         Some(dir) => {
             let store = SpaceStore::new(dir)
                 .map_err(|e| CliError::Run(format!("cache at `{dir}`: {e}")))?;
+            let load = if args.switch("mmap") {
+                LoadOptions::mmap_trusted()
+            } else {
+                LoadOptions::default()
+            };
             let (space, outcome) = store
-                .get_or_build(spec, method)
+                .get_or_build_with_options(spec, method, Default::default(), load)
                 .map_err(|e| CliError::Run(format!("cache at `{dir}`: {e}")))?;
-            Ok((space, outcome.report.clone(), Some(outcome)))
+            Ok((space, outcome.report.clone(), Some((outcome, store))))
         }
     }
 }
 
 /// Render the `cache:` lines of the summary format.
-fn cache_summary_lines(out: &mut String, outcome: &StoreOutcome) {
+fn cache_summary_lines(out: &mut String, outcome: &StoreOutcome, store: &SpaceStore) {
     let status = match &outcome.status {
         CacheStatus::Hit => format!("hit (warm load in {:.3?})", outcome.duration),
         CacheStatus::Miss => format!(
@@ -181,6 +202,9 @@ fn cache_summary_lines(out: &mut String, outcome: &StoreOutcome) {
         CacheStatus::Uncacheable(reason) => format!("uncacheable ({reason})"),
     };
     writeln!(out, "cache:                {status}").expect("write to string");
+    if let Some(load) = &outcome.load {
+        writeln!(out, "cache load:           {}", load.describe()).expect("write to string");
+    }
     writeln!(
         out,
         "cache fingerprint:    {}",
@@ -199,6 +223,12 @@ fn cache_summary_lines(out: &mut String, outcome: &StoreOutcome) {
         .expect("write to string"),
         None => writeln!(out, "cache file:           -").expect("write to string"),
     }
+    writeln!(
+        out,
+        "cache stats:          {}",
+        store.metrics().summary_line()
+    )
+    .expect("write to string");
 }
 
 /// `atss construct`
@@ -281,8 +311,8 @@ pub fn construct(args: &ParsedArgs) -> Result<String, CliError> {
                 space.num_params()
             )
             .expect("write to string");
-            if let Some(outcome) = &outcome {
-                cache_summary_lines(&mut out, outcome);
+            if let Some((outcome, store)) = &outcome {
+                cache_summary_lines(&mut out, outcome, store);
             }
             out
         }
@@ -385,7 +415,7 @@ pub fn tune(args: &ParsedArgs) -> Result<String, CliError> {
     // virtual tuning budget — the production deployment the ROADMAP aims at.
     let (space, report, outcome) = obtain_space(args, &workload.spec, method)?;
     let construction: Duration = match &outcome {
-        Some(outcome) => outcome.duration,
+        Some((outcome, _)) => outcome.duration,
         None => report.as_ref().expect("built without cache").duration,
     };
     let model = performance_model_for(&workload.spec.name, &space, seed);
@@ -401,8 +431,14 @@ pub fn tune(args: &ParsedArgs) -> Result<String, CliError> {
     let mut out = String::new();
     writeln!(out, "workload:           {}", workload.spec.name).expect("write to string");
     let source = match &outcome {
-        Some(o) if o.status.is_hit() => " [cache hit]",
-        Some(o) if matches!(o.status, CacheStatus::Miss) => " [cache miss]",
+        Some((o, _)) if o.status.is_hit() => {
+            if o.load.as_ref().is_some_and(|l| l.is_zero_copy()) {
+                " [cache hit, zero-copy]"
+            } else {
+                " [cache hit]"
+            }
+        }
+        Some((o, _)) if matches!(o.status, CacheStatus::Miss) => " [cache miss]",
         _ => "",
     };
     writeln!(
@@ -458,28 +494,41 @@ fn cache_ls(args: &ParsedArgs) -> Result<String, CliError> {
     let mut out = String::new();
     writeln!(
         out,
-        "{:<32} {:<16} {:>10} {:>8} {:>12}",
-        "fingerprint", "space", "configs", "params", "bytes"
+        "{:<32} {:<16} {:>10} {:>8} {:>12} {:>4} {:>5}",
+        "fingerprint", "space", "configs", "params", "bytes", "ver", "idx"
     )
     .expect("write to string");
     let mut total: u64 = 0;
     for entry in &entries {
-        let (name, rows, params) = match &entry.info {
+        let (name, rows, params, version, idx) = match &entry.info {
             Some(info) => (
                 info.name.clone(),
                 info.num_rows.to_string(),
                 info.num_params.to_string(),
+                info.version.to_string(),
+                match info.index {
+                    Some(_) => "yes".to_string(),
+                    None => "no".to_string(),
+                },
             ),
-            None => ("<unreadable>".to_string(), "-".to_string(), "-".to_string()),
+            None => (
+                "<unreadable>".to_string(),
+                "-".to_string(),
+                "-".to_string(),
+                "-".to_string(),
+                "-".to_string(),
+            ),
         };
         writeln!(
             out,
-            "{:<32} {:<16} {:>10} {:>8} {:>12}",
+            "{:<32} {:<16} {:>10} {:>8} {:>12} {:>4} {:>5}",
             entry.fingerprint.to_hex(),
             name,
             rows,
             params,
-            entry.bytes
+            entry.bytes,
+            version,
+            idx
         )
         .expect("write to string");
         total += entry.bytes;
@@ -506,13 +555,37 @@ fn cache_info(args: &ParsedArgs) -> Result<String, CliError> {
     if path.exists() {
         match at_store::peek_info(&path) {
             Ok(info) => {
-                writeln!(out, "cached:       yes").expect("write to string");
+                writeln!(out, "cached:       yes (format v{})", info.version)
+                    .expect("write to string");
                 writeln!(
                     out,
                     "contents:     {} configs x {} params, {} bytes on disk",
                     info.num_rows, info.num_params, info.file_bytes
                 )
                 .expect("write to string");
+                match info.index {
+                    Some(idx) => writeln!(
+                        out,
+                        "index:        persisted ({} slots, row-hash v{})",
+                        idx.num_slots, idx.hash_version
+                    )
+                    .expect("write to string"),
+                    None => writeln!(out, "index:        none (rebuilt on every load)")
+                        .expect("write to string"),
+                }
+                if args.switch("mmap") {
+                    let start = std::time::Instant::now();
+                    let loaded = at_store::load_space_from_path(&path, LoadOptions::mmap_trusted())
+                        .map_err(|e| CliError::Run(e.to_string()))?;
+                    writeln!(
+                        out,
+                        "mmap load:    {} configs in {:.3?} ({})",
+                        loaded.space.len(),
+                        start.elapsed(),
+                        loaded.report.describe()
+                    )
+                    .expect("write to string");
+                }
             }
             Err(e) => {
                 writeln!(out, "cached:       damaged ({e})").expect("write to string");
@@ -552,11 +625,17 @@ fn cache_verify(args: &ParsedArgs) -> Result<String, CliError> {
 }
 
 fn cache_gc(args: &ParsedArgs) -> Result<String, CliError> {
-    args.ensure_known_flags(&["cache-dir", "max-bytes"])?;
+    args.ensure_known_flags(&["cache-dir", "max-bytes", "max-entries"])?;
     let store = resolve_store(args)?;
     let max_bytes: u64 = args.number("max-bytes", u64::MAX).map_err(CliError::Args)?;
+    let max_entries: usize = args
+        .number("max-entries", usize::MAX)
+        .map_err(CliError::Args)?;
     let report = store
-        .gc(max_bytes)
+        .gc_with(GcOptions {
+            max_bytes,
+            max_entries,
+        })
         .map_err(|e| CliError::Run(e.to_string()))?;
     Ok(format!(
         "evicted {} entries ({} -> {} bytes), {} kept\n",
@@ -809,6 +888,123 @@ mod tests {
         assert!(cache(&parsed(&["cache"])).is_err());
         assert!(cache(&parsed(&["cache", "frob", "--cache-dir", "/tmp/x"])).is_err());
         assert!(cache(&parsed(&["cache", "ls"])).is_err());
+    }
+
+    #[test]
+    fn construct_with_mmap_reports_a_zero_copy_load() {
+        let dir = fresh_cache_dir("mmap");
+        construct(&parsed(&[
+            "construct",
+            "--workload",
+            "dedispersion",
+            "--cache-dir",
+            &dir,
+        ]))
+        .unwrap();
+        let warm = construct(&parsed(&[
+            "construct",
+            "--workload",
+            "dedispersion",
+            "--cache-dir",
+            &dir,
+            "--mmap",
+        ]))
+        .unwrap();
+        assert!(warm.contains("hit"), "{warm}");
+        assert!(warm.contains("cache stats:"), "{warm}");
+        if cfg!(target_os = "linux") {
+            assert!(warm.contains("zero-copy (mmap)"), "{warm}");
+            assert!(warm.contains("persisted index trusted"), "{warm}");
+        }
+
+        // The zero-copy space exports byte-identically to the direct build.
+        let direct = construct(&parsed(&[
+            "construct",
+            "--workload",
+            "dedispersion",
+            "--format",
+            "csv",
+        ]))
+        .unwrap();
+        let mapped = construct(&parsed(&[
+            "construct",
+            "--workload",
+            "dedispersion",
+            "--format",
+            "csv",
+            "--cache-dir",
+            &dir,
+            "--mmap",
+        ]))
+        .unwrap();
+        assert_eq!(direct, mapped);
+    }
+
+    #[test]
+    fn mmap_without_a_cache_dir_is_an_error() {
+        let err = construct(&parsed(&[
+            "construct",
+            "--workload",
+            "dedispersion",
+            "--mmap",
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("--cache-dir"), "{err}");
+    }
+
+    #[test]
+    fn cache_info_reports_the_persisted_index() {
+        let dir = fresh_cache_dir("info-idx");
+        construct(&parsed(&[
+            "construct",
+            "--workload",
+            "dedispersion",
+            "--cache-dir",
+            &dir,
+        ]))
+        .unwrap();
+        let info = cache(&parsed(&[
+            "cache",
+            "info",
+            "--cache-dir",
+            &dir,
+            "--workload",
+            "dedispersion",
+            "--mmap",
+        ]))
+        .unwrap();
+        assert!(info.contains("format v2"), "{info}");
+        assert!(info.contains("index:        persisted"), "{info}");
+        assert!(info.contains("row-hash v1"), "{info}");
+        assert!(info.contains("mmap load:"), "{info}");
+        let ls = cache(&parsed(&["cache", "ls", "--cache-dir", &dir])).unwrap();
+        assert!(ls.contains("yes"), "{ls}");
+    }
+
+    #[test]
+    fn cache_gc_enforces_max_entries() {
+        let dir = fresh_cache_dir("gc-entries");
+        for workload in ["dedispersion", "hotspot"] {
+            construct(&parsed(&[
+                "construct",
+                "--workload",
+                workload,
+                "--cache-dir",
+                &dir,
+            ]))
+            .unwrap();
+        }
+        let gc = cache(&parsed(&[
+            "cache",
+            "gc",
+            "--cache-dir",
+            &dir,
+            "--max-entries",
+            "1",
+        ]))
+        .unwrap();
+        assert!(gc.contains("evicted 1"), "{gc}");
+        assert!(gc.contains("1 kept"), "{gc}");
     }
 
     #[test]

@@ -1,0 +1,117 @@
+//! Storage of the code arena: owned, or borrowed from a shared backing.
+//!
+//! [`SearchSpace`](crate::SearchSpace) stores configurations as a flat
+//! `u32` code arena. Until the zero-copy redesign that arena was always an
+//! owned `Vec<u32>`, which meant every warm load from an `ATSS` store file
+//! *copied* the whole arena out of the file — the dominant cost of serving
+//! a pre-solved space. [`ArenaStorage`] abstracts the backing so the arena
+//! (and the membership-table slots, which share the representation) can be
+//! **borrowed from a memory-mapped store file** instead: the persistence
+//! layer (`at_store`) maps the file, wraps the aligned in-file sections in a
+//! [`CodeBacking`], and hands the space a [`ArenaStorage::Shared`] view.
+//! Every accessor ([`SearchSpace::arena`](crate::SearchSpace::arena),
+//! `codes_of`, `ConfigView`) is backing-agnostic, so consumers compile and
+//! behave identically either way.
+//!
+//! Cloning is cheap for shared storage (an `Arc` bump) and deep for owned
+//! storage, which preserves `SearchSpace: Clone` semantics unchanged.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// An immutable, shareable buffer of `u32` value codes.
+///
+/// The implementor guarantees the slice returned by [`CodeBacking::codes`]
+/// is stable for the backing's lifetime (the bytes never change and never
+/// move). `at_store` implements this over a 4-byte-aligned section of a
+/// memory-mapped `ATSS` file; a test double can simply wrap a `Vec<u32>`.
+pub trait CodeBacking: Send + Sync + fmt::Debug {
+    /// The codes this backing holds.
+    fn codes(&self) -> &[u32];
+}
+
+impl CodeBacking for Vec<u32> {
+    fn codes(&self) -> &[u32] {
+        self
+    }
+}
+
+/// The storage of one `u32` code buffer: owned, or a view into a shared
+/// backing (typically a memory-mapped store file). See the
+/// [module docs](self).
+#[derive(Debug, Clone)]
+pub enum ArenaStorage {
+    /// A plain owned vector (the result of in-process construction, or of a
+    /// copying load).
+    Owned(Vec<u32>),
+    /// A borrowed view into a shared backing. The backing is kept alive by
+    /// the `Arc`, so the view can never dangle; cloning shares the backing.
+    Shared(Arc<dyn CodeBacking>),
+}
+
+impl ArenaStorage {
+    /// The codes, whatever the backing.
+    #[inline]
+    pub fn as_slice(&self) -> &[u32] {
+        match self {
+            ArenaStorage::Owned(codes) => codes,
+            ArenaStorage::Shared(backing) => backing.codes(),
+        }
+    }
+
+    /// Number of codes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.as_slice().len()
+    }
+
+    /// True when the storage holds no codes.
+    pub fn is_empty(&self) -> bool {
+        self.as_slice().is_empty()
+    }
+
+    /// True when the codes are borrowed from a shared backing (a zero-copy
+    /// load) rather than owned.
+    pub fn is_shared(&self) -> bool {
+        matches!(self, ArenaStorage::Shared(_))
+    }
+}
+
+impl From<Vec<u32>> for ArenaStorage {
+    fn from(codes: Vec<u32>) -> Self {
+        ArenaStorage::Owned(codes)
+    }
+}
+
+impl Default for ArenaStorage {
+    fn default() -> Self {
+        ArenaStorage::Owned(Vec::new())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn owned_and_shared_expose_the_same_slice() {
+        let codes = vec![1u32, 2, 3, 4];
+        let owned = ArenaStorage::from(codes.clone());
+        let shared = ArenaStorage::Shared(Arc::new(codes.clone()));
+        assert_eq!(owned.as_slice(), shared.as_slice());
+        assert_eq!(owned.len(), 4);
+        assert!(!owned.is_shared());
+        assert!(shared.is_shared());
+        assert!(!shared.is_empty());
+        assert!(ArenaStorage::default().is_empty());
+    }
+
+    #[test]
+    fn cloning_shared_storage_shares_the_backing() {
+        let backing: Arc<dyn CodeBacking> = Arc::new(vec![7u32; 8]);
+        let storage = ArenaStorage::Shared(Arc::clone(&backing));
+        let clone = storage.clone();
+        assert_eq!(Arc::strong_count(&backing), 3);
+        assert_eq!(clone.as_slice(), storage.as_slice());
+    }
+}

@@ -33,26 +33,16 @@
 //! assert_eq!(space.index_of(&view.to_vec()), Some(id));
 //! ```
 //!
-//! # MIGRATION: row-cloning API → id-encoded API
+//! # Removed APIs
 //!
-//! Earlier versions stored the space as `Vec<Vec<Value>>` rows plus a
-//! `HashMap<Vec<Value>, usize>`; the space is now one flat arena of per-
-//! parameter `u32` value codes (~`4 × num_params` bytes per configuration
-//! plus per-parameter dictionaries). The old accessors survive as deprecated
-//! shims that *allocate decoded rows*; translate call sites as follows:
-//!
-//! | old (deprecated)                   | new                                               |
-//! |------------------------------------|---------------------------------------------------|
-//! | `space.configs()`                  | `space.iter()` / `space.iter_decoded()`           |
-//! | `space.get(i)`                     | `space.view(ConfigId::from_index(i))`             |
-//! | `space.get(i).unwrap()[d]`         | `space.view(id).unwrap()[d]` (lazy, borrows)      |
-//! | `space.named(i)`                   | `space.view(id).unwrap().named()`                 |
-//! | `space.value_indices(i)`           | `space.codes_of(id)` (`&[u32]`, zero-copy)        |
-//! | `space.index_of(&values)` → `usize`| `space.index_of(&values)` → [`ConfigId`]          |
-//! | build a row then `index_of`        | build codes then `index_of_codes` (no `Value`s)   |
-//! | `SearchSpace::from_configs(..)`    | now returns `Result<_, SpaceError>`: rows with    |
-//! |                                    | out-of-domain values are rejected, not corrupted  |
-//!
+//! The decoded-row shims that bridged the pre-columnar representation
+//! (`configs()`, `get(i)`, `named(i)`, `value_indices(i)`) were deprecated
+//! for two releases and are now **removed** — every consumer works in code
+//! space. Their replacements: `space.iter()` / `iter_decoded()` for
+//! `configs()`, `space.view(ConfigId::from_index(i))` for `get`/`named`
+//! (decode lazily, borrowing), and `space.codes_of(id)` for
+//! `value_indices` (`&[u32]`, zero-copy). `index_of` returns a
+//! [`ConfigId`]; callers already in code space use `index_of_codes`.
 //! Neighbor queries ([`neighbors()`], [`NeighborIndex`]) and sampling
 //! ([`sample_indices`], [`latin_hypercube_sample`]) consume and produce
 //! [`ConfigId`]s and operate on encoded rows internally.
@@ -79,6 +69,7 @@
 
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod builder;
 pub mod format;
 pub mod neighbors;
@@ -91,6 +82,7 @@ pub mod space;
 pub mod spec;
 pub mod stats;
 
+pub use arena::{ArenaStorage, CodeBacking};
 pub use builder::{
     build_search_space, build_search_space_with, solve_spec_into, BuildOptions, BuildReport,
     Method, SinkSolveReport,
@@ -102,12 +94,16 @@ pub use param::TunableParameter;
 pub use restriction::Restriction;
 pub use sampling::{coverage_per_parameter, latin_hypercube_sample, sample_indices};
 pub use sink::EncodingSink;
-pub use space::{ConfigId, ConfigView, SearchSpace, SpaceError};
+pub use space::{
+    CodeValidation, ConfigId, ConfigView, IndexVerification, SearchSpace, SpaceError,
+    INDEX_HASH_VERSION,
+};
 pub use spec::{RestrictionLowering, SearchSpaceSpec};
 pub use stats::SpaceCharacteristics;
 
 /// Commonly used items in one import.
 pub mod prelude {
+    pub use crate::arena::ArenaStorage;
     pub use crate::builder::{
         build_search_space, build_search_space_with, BuildOptions, BuildReport, Method,
     };
@@ -116,7 +112,9 @@ pub mod prelude {
     pub use crate::restriction::Restriction;
     pub use crate::sampling::{latin_hypercube_sample, sample_indices};
     pub use crate::sink::EncodingSink;
-    pub use crate::space::{ConfigId, ConfigView, SearchSpace, SpaceError};
+    pub use crate::space::{
+        CodeValidation, ConfigId, ConfigView, IndexVerification, SearchSpace, SpaceError,
+    };
     pub use crate::spec::{RestrictionLowering, SearchSpaceSpec};
     pub use crate::stats::SpaceCharacteristics;
     pub use at_csp::Value;

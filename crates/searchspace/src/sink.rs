@@ -149,7 +149,7 @@ impl EncodingSink {
                 params: shared.params.clone(),
                 lookups: shared.lookups.clone(),
             });
-        SearchSpace::from_encoded_parts(name, params, rows, codes, lookups)
+        SearchSpace::from_encoded_parts(name, params, rows, codes.into(), lookups)
     }
 }
 

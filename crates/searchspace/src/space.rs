@@ -24,6 +24,7 @@ use std::fmt;
 use at_csp::{SolutionSet, Value};
 use rustc_hash::FxHashMap;
 
+use crate::arena::ArenaStorage;
 use crate::param::TunableParameter;
 
 /// Identifier of a configuration within one [`SearchSpace`].
@@ -104,6 +105,15 @@ pub enum SpaceError {
         /// The expected length (`rows × params`).
         expected: usize,
     },
+    /// A persisted membership index was structurally or semantically
+    /// unusable for the arena it was loaded with (wrong slot count, an
+    /// out-of-range occupant, a full table, or a sampled row the index
+    /// cannot find). Loaders treat this as "rebuild the index", never as
+    /// "serve wrong lookups".
+    IndexInvalid {
+        /// What exactly was wrong.
+        detail: String,
+    },
 }
 
 impl fmt::Display for SpaceError {
@@ -132,6 +142,9 @@ impl fmt::Display for SpaceError {
                 f,
                 "encoded arena holds {len} codes where {expected} were expected"
             ),
+            SpaceError::IndexInvalid { detail } => {
+                write!(f, "persisted membership index is unusable: {detail}")
+            }
         }
     }
 }
@@ -141,9 +154,22 @@ impl std::error::Error for SpaceError {}
 /// Sentinel for an empty hash-table slot (no configuration id).
 const EMPTY_SLOT: u32 = u32::MAX;
 
+/// Version of the row-hash function the membership table is built over.
+///
+/// The table's slot positions are a function of the internal `hash_codes`
+/// row hash, and since
+/// persisted store files (`at_store`'s `IDX` section) carry the table
+/// verbatim, the hash is part of the on-disk contract: **changing
+/// `hash_codes` in any observable way requires bumping this constant**, so
+/// loaders detect a table built by a different hash and fall back to a
+/// rebuild instead of missing rows. The function itself must also stay
+/// platform-independent (it is: pure `u64` arithmetic on little-endian
+/// decoded codes).
+pub const INDEX_HASH_VERSION: u32 = 1;
+
 /// Hash a row of value codes. Mixed with a position tag by the neighbor
-/// index; the function is process-internal (never persisted), so it is
-/// free to change between versions.
+/// index; persisted membership tables depend on it byte-for-byte (see
+/// [`INDEX_HASH_VERSION`]).
 ///
 /// Rows are hashed two codes per step with a rotate-multiply mix (in the
 /// style of `FxHasher`): half the multiply chain of a per-code FNV walk,
@@ -245,13 +271,57 @@ impl CodeLookup {
     }
 }
 
+/// Whether arena adoption bounds-checks every code against its parameter
+/// dictionary.
+///
+/// The check is about *eagerness of error reporting*, not memory safety:
+/// every later decode indexes its dictionary through a bounds-checked
+/// slice access, so an out-of-dictionary code can only ever panic cleanly
+/// — never decode to a wrong value and never touch invalid memory. A
+/// corrupt-but-in-range code is undetectable by any validation pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CodeValidation {
+    /// One branch-free per-column maxima pass over the whole arena
+    /// (O(arena)); any out-of-dictionary code is reported up front as
+    /// [`SpaceError::CodeOutOfRange`].
+    Checked,
+    /// Skip the pass (O(1)) — the trusted zero-copy load path, where an
+    /// O(arena) walk would defeat the O(header) goal and the file carries
+    /// checksums for explicit verification instead.
+    Trusted,
+}
+
+/// How far a persisted membership table is trusted before being adopted.
+///
+/// Adoption is *structurally* safe at every level: the lookup algorithm
+/// compares the candidate arena row against the queried codes before
+/// returning an id, so a wrong table can only ever produce a **missed** row
+/// (a false `None`), never a misattributed one — and the structural checks
+/// run unconditionally (power-of-two slot count, every occupant in range,
+/// at least one empty slot so probing terminates). The policy only decides
+/// how hard to look for missed rows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IndexVerification {
+    /// Adopt after the structural checks alone — the O(header) trusted
+    /// path for files this process (or a trusted producer) wrote.
+    Trusted,
+    /// Additionally look up this many evenly spaced arena rows and require
+    /// each to be found (a cheap probabilistic screen against a table that
+    /// was persisted for a different arena).
+    Sampled(usize),
+}
+
 /// Open-addressing (linear probing) hash table mapping encoded rows to
 /// configuration ids. Stores only `u32` ids — the keys are the arena rows
 /// themselves, so the whole membership index costs ~4–8 bytes per
 /// configuration instead of a cloned `Vec<Value>` key per configuration.
+///
+/// The slots live in an [`ArenaStorage`] so a table persisted in an `ATSS`
+/// `IDX` section can be adopted zero-copy from a memory-mapped file
+/// ([`RowTable::adopt`]) instead of rebuilt.
 #[derive(Debug, Clone)]
 struct RowTable {
-    slots: Box<[u32]>,
+    slots: ArenaStorage,
     mask: usize,
 }
 
@@ -262,7 +332,7 @@ impl RowTable {
         // Keep the load factor under ~7/8.
         let capacity = (num_configs * 8 / 7 + 1).next_power_of_two().max(8);
         let mask = capacity - 1;
-        let mut slots = vec![EMPTY_SLOT; capacity].into_boxed_slice();
+        let mut slots = vec![EMPTY_SLOT; capacity];
         for id in 0..num_configs {
             let codes = &arena[id * stride..(id + 1) * stride];
             let mut slot = (hash_codes(codes) as usize) & mask;
@@ -280,14 +350,64 @@ impl RowTable {
                 slot = (slot + 1) & mask;
             }
         }
-        RowTable { slots, mask }
+        RowTable {
+            slots: ArenaStorage::from(slots),
+            mask,
+        }
+    }
+
+    /// Adopt persisted slots instead of rebuilding. The structural checks
+    /// (slot count, occupant range, a free slot for probe termination) are
+    /// unconditional; `verification` decides whether sampled rows are also
+    /// looked up. See [`IndexVerification`].
+    fn adopt(
+        slots: ArenaStorage,
+        num_configs: usize,
+        stride: usize,
+        arena: &[u32],
+        verification: IndexVerification,
+    ) -> Result<RowTable, SpaceError> {
+        let invalid = |detail: String| SpaceError::IndexInvalid { detail };
+        let n = slots.len();
+        if !n.is_power_of_two() || n < 8 {
+            return Err(invalid(format!(
+                "slot count {n} is not a power of two >= 8"
+            )));
+        }
+        let mut free = 0usize;
+        for &occupant in slots.as_slice() {
+            if occupant == EMPTY_SLOT {
+                free += 1;
+            } else if occupant as usize >= num_configs {
+                return Err(invalid(format!(
+                    "occupant {occupant} out of range for {num_configs} rows"
+                )));
+            }
+        }
+        if free == 0 {
+            return Err(invalid("no empty slot; probing would not terminate".into()));
+        }
+        let table = RowTable { slots, mask: n - 1 };
+        if let IndexVerification::Sampled(samples) = verification {
+            let step = (num_configs / samples.max(1)).max(1);
+            for id in (0..num_configs).step_by(step) {
+                let codes = &arena[id * stride..(id + 1) * stride];
+                if table.lookup(codes, stride, arena).is_none() {
+                    return Err(invalid(format!(
+                        "sampled row {id} is missing from the table"
+                    )));
+                }
+            }
+        }
+        Ok(table)
     }
 
     /// Look up the id of an encoded row.
     fn lookup(&self, codes: &[u32], stride: usize, arena: &[u32]) -> Option<u32> {
+        let slots = self.slots.as_slice();
         let mut slot = (hash_codes(codes) as usize) & self.mask;
         loop {
-            let occupant = self.slots[slot];
+            let occupant = slots[slot];
             if occupant == EMPTY_SLOT {
                 return None;
             }
@@ -315,7 +435,9 @@ pub struct SearchSpace {
     num_configs: usize,
     /// Flat arena of per-parameter value codes; row `i` occupies
     /// `codes[i * stride .. (i + 1) * stride]` with `stride = params.len()`.
-    codes: Vec<u32>,
+    /// Owned for in-process construction, or a borrowed view into a shared
+    /// backing (a memory-mapped store file) for zero-copy loads.
+    codes: ArenaStorage,
     /// Per-parameter reverse dictionaries: value → code.
     value_codes: Vec<CodeLookup>,
     /// Hash index from encoded row to configuration id.
@@ -388,7 +510,7 @@ impl SearchSpace {
             name.into(),
             params,
             num_configs,
-            codes,
+            codes.into(),
             value_codes,
         ))
     }
@@ -406,51 +528,90 @@ impl SearchSpace {
     /// pass ([`SpaceError::CodeOutOfRange`] otherwise); a ragged arena
     /// (`codes.len() != num_rows × params.len()`) is rejected as
     /// [`SpaceError::RaggedArena`].
+    ///
+    /// For an arena borrowed from a shared backing (a memory-mapped store
+    /// file), use [`SearchSpace::from_code_storage`]; to also adopt a
+    /// persisted membership table, [`SearchSpace::from_code_storage_with_index`].
     pub fn from_code_rows(
         name: impl Into<String>,
         params: Vec<TunableParameter>,
         num_rows: usize,
         codes: Vec<u32>,
     ) -> Result<Self, SpaceError> {
+        Self::from_code_storage(name, params, num_rows, codes.into())
+    }
+
+    /// [`SearchSpace::from_code_rows`] over any [`ArenaStorage`] backing —
+    /// the zero-copy adoption point: a `Shared` storage is served in place
+    /// (nothing is copied), an `Owned` one is adopted as before. Validation
+    /// is identical either way.
+    pub fn from_code_storage(
+        name: impl Into<String>,
+        params: Vec<TunableParameter>,
+        num_rows: usize,
+        codes: ArenaStorage,
+    ) -> Result<Self, SpaceError> {
         let value_codes = reverse_dictionaries(&params)?;
-        let stride = params.len();
-        let expected = num_rows
-            .checked_mul(stride)
-            .filter(|&len| len == codes.len())
-            .ok_or(SpaceError::RaggedArena {
-                len: codes.len(),
-                expected: num_rows.saturating_mul(stride),
-            })?;
-        debug_assert_eq!(expected, codes.len());
-        // This sits on the warm store-load path, over arenas of millions of
-        // codes: validate via one branch-free per-column maxima pass, and
-        // only walk cells individually (to name the offending row) when a
-        // column's maximum actually exceeds its dictionary.
-        let stride_nz = stride.max(1);
-        let mut maxima = vec![0u32; stride];
-        for row in codes.chunks_exact(stride_nz) {
-            for (m, &code) in maxima.iter_mut().zip(row.iter()) {
-                *m = (*m).max(code);
-            }
-        }
-        let out_of_range = maxima
-            .iter()
-            .zip(params.iter())
-            .any(|(&m, p)| m as usize >= p.len());
-        if out_of_range {
-            for (row_index, row) in codes.chunks_exact(stride_nz).enumerate() {
-                for (d, &code) in row.iter().enumerate() {
-                    if code as usize >= params[d].len() {
-                        return Err(SpaceError::CodeOutOfRange {
-                            param: params[d].name().to_string(),
-                            code,
-                            row: row_index,
-                        });
-                    }
+        validate_code_arena(&params, num_rows, codes.as_slice())?;
+        Self::from_encoded_parts(name.into(), params, num_rows, codes, value_codes)
+    }
+
+    /// [`SearchSpace::from_code_storage`], additionally adopting a
+    /// persisted membership table instead of rebuilding it — the trusted
+    /// warm-load fast path. `slots` is the open-addressing slot array
+    /// exactly as a previous build exposed it via
+    /// [`SearchSpace::index_slots`] (and as `at_store` persists it in the
+    /// `IDX` section); `verification` decides how hard to double-check it
+    /// (see [`IndexVerification`] — structural safety checks always run),
+    /// and `validation` whether the arena codes get the O(arena) bounds
+    /// pass or only lazy bounds-checked decoding (see [`CodeValidation`]).
+    /// An unusable table is [`SpaceError::IndexInvalid`]; callers are
+    /// expected to fall back to the rebuilding path *and report it*.
+    pub fn from_code_storage_with_index(
+        name: impl Into<String>,
+        params: Vec<TunableParameter>,
+        num_rows: usize,
+        codes: ArenaStorage,
+        slots: ArenaStorage,
+        verification: IndexVerification,
+        validation: CodeValidation,
+    ) -> Result<Self, SpaceError> {
+        let value_codes = reverse_dictionaries(&params)?;
+        match validation {
+            CodeValidation::Checked => validate_code_arena(&params, num_rows, codes.as_slice())?,
+            CodeValidation::Trusted => {
+                // Only the O(1) shape check: the arena must still hold
+                // exactly `num_rows` whole rows.
+                let expected = num_rows.checked_mul(params.len());
+                if expected != Some(codes.len()) {
+                    return Err(SpaceError::RaggedArena {
+                        len: codes.len(),
+                        expected: expected.unwrap_or(usize::MAX),
+                    });
                 }
             }
         }
-        Self::from_encoded_parts(name.into(), params, num_rows, codes, value_codes)
+        if num_rows > EMPTY_SLOT as usize {
+            return Err(SpaceError::TooLarge {
+                what: "number of configurations",
+                count: num_rows,
+            });
+        }
+        let table = RowTable::adopt(
+            slots,
+            num_rows,
+            params.len(),
+            codes.as_slice(),
+            verification,
+        )?;
+        Ok(SearchSpace {
+            name: name.into(),
+            params,
+            num_configs: num_rows,
+            codes,
+            value_codes,
+            table,
+        })
     }
 
     /// Build from an already-validated arena and pre-built reverse
@@ -460,7 +621,7 @@ impl SearchSpace {
         name: String,
         params: Vec<TunableParameter>,
         num_configs: usize,
-        codes: Vec<u32>,
+        codes: ArenaStorage,
         value_codes: Vec<CodeLookup>,
     ) -> Result<Self, SpaceError> {
         if num_configs > EMPTY_SLOT as usize {
@@ -483,10 +644,10 @@ impl SearchSpace {
         name: String,
         params: Vec<TunableParameter>,
         num_configs: usize,
-        codes: Vec<u32>,
+        codes: ArenaStorage,
         value_codes: Vec<CodeLookup>,
     ) -> Self {
-        let table = RowTable::build(num_configs, params.len(), &codes);
+        let table = RowTable::build(num_configs, params.len(), codes.as_slice());
         SearchSpace {
             name,
             params,
@@ -505,7 +666,7 @@ impl SearchSpace {
     #[inline]
     fn row(&self, index: usize) -> &[u32] {
         let stride = self.stride();
-        &self.codes[index * stride..(index + 1) * stride]
+        &self.codes.as_slice()[index * stride..(index + 1) * stride]
     }
 
     /// The space's name.
@@ -601,7 +762,30 @@ impl SearchSpace {
     /// single configuration; [`SearchSpace::from_code_rows`] is the inverse
     /// adoption point.
     pub fn arena(&self) -> &[u32] {
+        self.codes.as_slice()
+    }
+
+    /// The arena's storage (owned, or a shared zero-copy view into e.g. a
+    /// memory-mapped store file).
+    pub fn arena_storage(&self) -> &ArenaStorage {
         &self.codes
+    }
+
+    /// True when the arena is served zero-copy from a shared backing (a
+    /// memory-mapped store file) instead of owned memory.
+    pub fn is_zero_copy(&self) -> bool {
+        self.codes.is_shared()
+    }
+
+    /// The membership table's open-addressing slot array, exposed verbatim
+    /// so persistence layers can write it (`at_store`'s `IDX` section);
+    /// [`SearchSpace::from_code_storage_with_index`] is the inverse
+    /// adoption point. Slot semantics: `slots().len()` is a power of two,
+    /// a slot holds a configuration id or `u32::MAX` for empty, and slot
+    /// positions are a function of the row hash (see
+    /// [`INDEX_HASH_VERSION`]).
+    pub fn index_slots(&self) -> &[u32] {
+        self.table.slots.as_slice()
     }
 
     /// Encode a value row into per-parameter codes. Returns `false` (leaving
@@ -666,7 +850,7 @@ impl SearchSpace {
             return None;
         }
         self.table
-            .lookup(codes, self.stride(), &self.codes)
+            .lookup(codes, self.stride(), self.codes.as_slice())
             .map(ConfigId)
     }
 
@@ -675,7 +859,7 @@ impl SearchSpace {
     /// single pass over the arena.
     fn occurrence_masks(&self) -> Vec<Vec<bool>> {
         let mut masks: Vec<Vec<bool>> = self.params.iter().map(|p| vec![false; p.len()]).collect();
-        for row in self.codes.chunks_exact(self.stride().max(1)) {
+        for row in self.codes.as_slice().chunks_exact(self.stride().max(1)) {
             for (mask, &code) in masks.iter_mut().zip(row.iter()) {
                 mask[code as usize] = true;
             }
@@ -744,7 +928,7 @@ impl SearchSpace {
             self.name.clone(),
             self.params.clone(),
             kept,
-            codes,
+            codes.into(),
             self.value_codes.clone(),
         )
     }
@@ -767,49 +951,56 @@ impl SearchSpace {
         }
         ranges
     }
+}
 
-    /// All configurations, decoded to owned rows.
-    #[deprecated(
-        since = "0.2.0",
-        note = "decodes the entire space; use `iter()` / `iter_decoded()` (see the MIGRATION \
-                section in the crate docs)"
-    )]
-    pub fn configs(&self) -> Vec<Vec<Value>> {
-        self.iter_decoded().collect()
+/// Bounds-check a pre-encoded arena against the parameter dictionaries.
+///
+/// This sits on the warm store-load path, over arenas of millions of codes:
+/// validate via one branch-free per-column maxima pass, and only walk cells
+/// individually (to name the offending row) when a column's maximum
+/// actually exceeds its dictionary. The pass is about *eager, well-typed*
+/// error reporting, not memory safety: decoding always goes through
+/// bounds-checked slice indexing, so an out-of-dictionary code that skips
+/// this pass ([`CodeValidation::Trusted`]) surfaces as a clean panic at
+/// first decode rather than as an eager [`SpaceError::CodeOutOfRange`].
+fn validate_code_arena(
+    params: &[TunableParameter],
+    num_rows: usize,
+    codes: &[u32],
+) -> Result<(), SpaceError> {
+    let stride = params.len();
+    num_rows
+        .checked_mul(stride)
+        .filter(|&len| len == codes.len())
+        .ok_or(SpaceError::RaggedArena {
+            len: codes.len(),
+            expected: num_rows.saturating_mul(stride),
+        })?;
+    let stride_nz = stride.max(1);
+    let mut maxima = vec![0u32; stride];
+    for row in codes.chunks_exact(stride_nz) {
+        for (m, &code) in maxima.iter_mut().zip(row.iter()) {
+            *m = (*m).max(code);
+        }
     }
-
-    /// The configuration at a raw index, decoded to an owned row.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `view(ConfigId::from_index(i))` and decode lazily (see the MIGRATION \
-                section in the crate docs)"
-    )]
-    pub fn get(&self, index: usize) -> Option<Vec<Value>> {
-        self.id_at(index)
-            .map(|id| ConfigView { space: self, id }.to_vec())
+    let out_of_range = maxima
+        .iter()
+        .zip(params.iter())
+        .any(|(&m, p)| m as usize >= p.len());
+    if out_of_range {
+        for (row_index, row) in codes.chunks_exact(stride_nz).enumerate() {
+            for (d, &code) in row.iter().enumerate() {
+                if code as usize >= params[d].len() {
+                    return Err(SpaceError::CodeOutOfRange {
+                        param: params[d].name().to_string(),
+                        code,
+                        row: row_index,
+                    });
+                }
+            }
+        }
     }
-
-    /// The per-parameter value indices of the configuration at a raw index.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `codes_of(ConfigId::from_index(i))` (see the MIGRATION section in the \
-                crate docs)"
-    )]
-    pub fn value_indices(&self, index: usize) -> Option<Vec<usize>> {
-        self.id_at(index)
-            .map(|id| self.row(id.index()).iter().map(|&c| c as usize).collect())
-    }
-
-    /// A configuration as `(name, value)` pairs.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `view(ConfigId::from_index(i))?.named()` (see the MIGRATION section in \
-                the crate docs)"
-    )]
-    pub fn named(&self, index: usize) -> Option<Vec<(&str, &Value)>> {
-        self.id_at(index)
-            .map(|id| ConfigView { space: self, id }.named())
-    }
+    Ok(())
 }
 
 /// Build the per-parameter value → code reverse dictionaries.
@@ -1129,15 +1320,114 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_still_work() {
+    fn shared_storage_space_is_identical_to_owned() {
+        let owned = space();
+        let backing = std::sync::Arc::new(owned.arena().to_vec());
+        let shared = SearchSpace::from_code_storage(
+            "demo",
+            owned.params().to_vec(),
+            owned.len(),
+            ArenaStorage::Shared(backing),
+        )
+        .unwrap();
+        assert!(shared.is_zero_copy());
+        assert!(!owned.is_zero_copy());
+        assert_eq!(owned.arena(), shared.arena());
+        for view in owned.iter() {
+            assert_eq!(shared.index_of(&view.to_vec()), Some(view.id()));
+        }
+        // Cloning a shared-storage space stays shared (an Arc bump).
+        assert!(shared.clone().is_zero_copy());
+    }
+
+    #[test]
+    fn adopted_index_answers_like_a_rebuilt_one() {
         let s = space();
-        assert_eq!(s.configs().len(), 5);
-        assert_eq!(s.get(2).unwrap(), int_values([2, 1]));
-        assert_eq!(s.get(99), None);
-        assert_eq!(s.value_indices(4).unwrap(), vec![2, 0]);
-        assert_eq!(s.named(0).unwrap()[0].0, "x");
-        assert!(s.named(100).is_none());
+        let slots = s.index_slots().to_vec();
+        assert!(slots.len().is_power_of_two());
+        for verification in [IndexVerification::Trusted, IndexVerification::Sampled(16)] {
+            let adopted = SearchSpace::from_code_storage_with_index(
+                "demo",
+                s.params().to_vec(),
+                s.len(),
+                ArenaStorage::from(s.arena().to_vec()),
+                ArenaStorage::from(slots.clone()),
+                verification,
+                CodeValidation::Checked,
+            )
+            .unwrap();
+            for view in s.iter() {
+                assert_eq!(adopted.index_of(&view.to_vec()), Some(view.id()));
+            }
+            assert_eq!(adopted.index_of(&int_values([4, 2])), None);
+            assert_eq!(adopted.index_slots(), s.index_slots());
+        }
+    }
+
+    #[test]
+    fn broken_index_slots_are_rejected_not_adopted() {
+        let s = space();
+        let arena = ArenaStorage::from(s.arena().to_vec());
+        let adopt = |slots: Vec<u32>, verification| {
+            SearchSpace::from_code_storage_with_index(
+                "demo",
+                s.params().to_vec(),
+                s.len(),
+                arena.clone(),
+                ArenaStorage::from(slots),
+                verification,
+                CodeValidation::Checked,
+            )
+        };
+        // Not a power of two.
+        let err = adopt(vec![EMPTY_SLOT; 9], IndexVerification::Trusted).unwrap_err();
+        assert!(matches!(err, SpaceError::IndexInvalid { .. }), "{err}");
+        // Occupant out of range.
+        let mut slots = s.index_slots().to_vec();
+        let occupied = slots.iter().position(|&o| o != EMPTY_SLOT).unwrap();
+        slots[occupied] = 99;
+        assert!(adopt(slots, IndexVerification::Trusted).is_err());
+        // A full table would make probing non-terminating.
+        assert!(adopt(vec![0u32; 8], IndexVerification::Trusted).is_err());
+        // An empty table passes the structural checks but cannot answer for
+        // any row: only the sampled policy catches it.
+        let empty = vec![EMPTY_SLOT; 8];
+        assert!(adopt(empty.clone(), IndexVerification::Trusted).is_ok());
+        let err = adopt(empty, IndexVerification::Sampled(4)).unwrap_err();
+        assert!(matches!(err, SpaceError::IndexInvalid { .. }), "{err}");
+    }
+
+    #[test]
+    fn trusted_validation_defers_code_checks_but_not_shape_checks() {
+        let s = space();
+        let slots = ArenaStorage::from(s.index_slots().to_vec());
+        let mut arena = s.arena().to_vec();
+        arena[0] = 99; // out of every dictionary's range
+        let build = |arena: Vec<u32>, rows: usize, validation| {
+            SearchSpace::from_code_storage_with_index(
+                "demo",
+                s.params().to_vec(),
+                rows,
+                ArenaStorage::from(arena),
+                slots.clone(),
+                IndexVerification::Trusted,
+                validation,
+            )
+        };
+        // Checked: the bad code is reported eagerly.
+        assert!(matches!(
+            build(arena.clone(), s.len(), CodeValidation::Checked),
+            Err(SpaceError::CodeOutOfRange { .. })
+        ));
+        // Trusted: adoption succeeds (decoding stays bounds-checked and
+        // would panic on the bad cell, never decode wrongly)...
+        assert!(build(arena.clone(), s.len(), CodeValidation::Trusted).is_ok());
+        // ...but a ragged arena is still rejected even when trusted.
+        arena.pop();
+        assert!(matches!(
+            build(arena, s.len(), CodeValidation::Trusted),
+            Err(SpaceError::RaggedArena { .. })
+        ));
     }
 
     #[test]

@@ -4,29 +4,40 @@
 //! [`SpecFingerprint`]: `<dir>/<32-hex>.atss`. The contract of
 //! [`SpaceStore::get_or_build`]:
 //!
-//! * **hit** — the file exists, passes *full* validation (magic, version,
-//!   every checksum, arena/trailer agreement) and rebuilds into a
-//!   `SearchSpace` with zero re-solving; its mtime is touched so LRU
-//!   eviction sees the use.
+//! * **hit** — the file exists, passes validation per the caller's
+//!   [`LoadOptions`] (the default copying load verifies magic, version,
+//!   every checksum and arena/trailer agreement; the zero-copy mmap load
+//!   trades the arena checksum for O(header) serving — see
+//!   [`crate::format::LoadMode`]) and becomes a `SearchSpace` with zero
+//!   re-solving; its mtime is touched so LRU eviction sees the use. A hit
+//!   whose persisted `IDX` section is unusable still hits (the index is
+//!   rebuilt from the arena), but the condition is **reported** — in the
+//!   outcome's [`LoadReport`], in the `index_fallbacks` metric — and the
+//!   entry is repaired in place.
 //! * **miss** — the space is constructed with the requested method while
 //!   being streamed to a temporary file through [`StoreWriter`], which is
-//!   atomically renamed into place only after the trailer is written.
-//!   Concurrent builders of the same spec race benignly: each writes its
-//!   own temp file and the last rename wins with identical content.
+//!   atomically renamed into place only after the index section and
+//!   trailer are written. Concurrent builders of the same spec race
+//!   benignly: each writes its own temp file and the last rename wins with
+//!   identical content.
 //! * **stale or corrupt** — any content error (flipped byte, truncation,
-//!   old format version, crashed half-write) is treated as a miss: the
-//!   entry is rebuilt and overwritten. A corrupt cache can never serve a
-//!   corrupt space.
+//!   unreadable format version, crashed half-write) is treated as a miss:
+//!   the entry is rebuilt and overwritten (counted in the `rebuilds`
+//!   metric). A corrupt cache can never serve a corrupt space.
 //! * **uncacheable** — specifications with closure restrictions have no
 //!   canonical content (see [`crate::fingerprint`]); they are built
 //!   normally and never persisted.
 //!
-//! [`SpaceStore::gc`] bounds the directory size: entries are evicted
-//! least-recently-used first (by mtime) until the total fits.
+//! [`SpaceStore::gc_with`] bounds the directory by total bytes and entry
+//! count: entries are evicted least-recently-used first (by mtime) until
+//! both bounds hold. [`SpaceStore::metrics`] exposes process-lifetime
+//! hit/miss/rebuild/index-fallback counters and warm-load latency.
 
 use std::fs::{self, File};
 use std::io::BufWriter;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant, SystemTime};
 
 use at_searchspace::{
@@ -36,7 +47,10 @@ use at_searchspace::{
 
 use crate::error::StoreError;
 use crate::fingerprint::SpecFingerprint;
-use crate::format::{peek_info, read_space_from_path, StoreInfo, StoreWriter};
+use crate::format::{
+    peek_info, read_space_from_path, write_space, IndexPolicy, LoadMode, LoadOptions, LoadReport,
+    StoreInfo, StoreReader, StoreWriter,
+};
 
 /// How `get_or_build` satisfied a request.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -82,6 +96,75 @@ pub struct StoreOutcome {
     /// The construction report — present exactly when solving happened
     /// (miss / uncacheable); a hit performs no solving.
     pub report: Option<BuildReport>,
+    /// How a hit was loaded (zero-copy? persisted index adopted?);
+    /// `None` when the space was constructed.
+    pub load: Option<LoadReport>,
+}
+
+/// Process-lifetime observability counters of one [`SpaceStore`] (shared
+/// across clones of the store). All counters are monotonic; read them at
+/// any time from any thread.
+#[derive(Debug, Default)]
+pub struct StoreMetrics {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    uncacheable: AtomicU64,
+    /// Misses caused by an existing entry failing validation (a rebuild
+    /// repaired it), as opposed to a cold first build.
+    rebuilds: AtomicU64,
+    /// Warm loads whose persisted index was unusable and rebuilt.
+    index_fallbacks: AtomicU64,
+    /// Total wall-clock nanoseconds spent in warm loads (hits).
+    load_nanos: AtomicU64,
+}
+
+impl StoreMetrics {
+    /// Cache hits served.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Cache misses (constructions), including rebuilds of damaged entries.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Builds of specs that cannot be content-addressed.
+    pub fn uncacheable(&self) -> u64 {
+        self.uncacheable.load(Ordering::Relaxed)
+    }
+
+    /// Misses that repaired an existing damaged/stale entry.
+    pub fn rebuilds(&self) -> u64 {
+        self.rebuilds.load(Ordering::Relaxed)
+    }
+
+    /// Warm loads whose persisted index section was rejected and rebuilt.
+    pub fn index_fallbacks(&self) -> u64 {
+        self.index_fallbacks.load(Ordering::Relaxed)
+    }
+
+    /// Mean wall-clock time of a warm load, if any happened.
+    pub fn mean_load_time(&self) -> Option<Duration> {
+        let hits = self.hits();
+        (hits > 0).then(|| Duration::from_nanos(self.load_nanos.load(Ordering::Relaxed) / hits))
+    }
+
+    /// One human-readable line, e.g. for `construct --format summary`.
+    pub fn summary_line(&self) -> String {
+        let latency = match self.mean_load_time() {
+            Some(mean) => format!(", mean warm load {mean:.3?}"),
+            None => String::new(),
+        };
+        format!(
+            "{} hits / {} misses ({} rebuilds) / {} uncacheable, {} index fallbacks{latency}",
+            self.hits(),
+            self.misses(),
+            self.rebuilds(),
+            self.uncacheable(),
+            self.index_fallbacks(),
+        )
+    }
 }
 
 /// One entry in a cache directory listing.
@@ -100,6 +183,25 @@ pub struct StoreEntry {
     pub info: Option<StoreInfo>,
 }
 
+/// Bounds enforced by one [`SpaceStore::gc_with`] sweep. Both bounds
+/// default to unlimited; eviction is LRU-first until both hold.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GcOptions {
+    /// Maximum total entry bytes to keep.
+    pub max_bytes: u64,
+    /// Maximum number of entries to keep.
+    pub max_entries: usize,
+}
+
+impl Default for GcOptions {
+    fn default() -> Self {
+        GcOptions {
+            max_bytes: u64::MAX,
+            max_entries: usize::MAX,
+        }
+    }
+}
+
 /// Result of one [`SpaceStore::gc`] sweep.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct GcReport {
@@ -115,9 +217,13 @@ pub struct GcReport {
 
 /// A directory of content-addressed `ATSS` files. See the [module
 /// documentation](self) for the caching contract.
+///
+/// Clones share the observability counters ([`SpaceStore::metrics`]), so a
+/// store handed to worker threads still aggregates into one view.
 #[derive(Debug, Clone)]
 pub struct SpaceStore {
     dir: PathBuf,
+    metrics: Arc<StoreMetrics>,
 }
 
 impl SpaceStore {
@@ -125,12 +231,20 @@ impl SpaceStore {
     pub fn new(dir: impl Into<PathBuf>) -> Result<SpaceStore, StoreError> {
         let dir = dir.into();
         fs::create_dir_all(&dir).map_err(|e| StoreError::io(&dir, e))?;
-        Ok(SpaceStore { dir })
+        Ok(SpaceStore {
+            dir,
+            metrics: Arc::new(StoreMetrics::default()),
+        })
     }
 
     /// The cache directory.
     pub fn dir(&self) -> &Path {
         &self.dir
+    }
+
+    /// The store's process-lifetime observability counters.
+    pub fn metrics(&self) -> &StoreMetrics {
+        &self.metrics
     }
 
     /// The on-disk path an entry with this fingerprint lives at.
@@ -147,7 +261,9 @@ impl SpaceStore {
         self.get_or_build_with(spec, method, BuildOptions::default())
     }
 
-    /// Construct or load the space for `spec`, with explicit build options.
+    /// Construct or load the space for `spec`, with explicit build options
+    /// and the default [`LoadOptions`] (copying load, sampled index
+    /// verification).
     ///
     /// The cache key covers the spec content and the *effective* restriction
     /// lowering (explicit in `options`, or the method's default), so the
@@ -158,6 +274,25 @@ impl SpaceStore {
         method: Method,
         options: BuildOptions,
     ) -> Result<(SearchSpace, StoreOutcome), StoreError> {
+        self.get_or_build_with_options(spec, method, options, LoadOptions::default())
+    }
+
+    /// Construct or load the space for `spec`, with explicit build *and*
+    /// load options — the full-control entry point: `load` picks the warm
+    /// path (copying vs. zero-copy mmap, index rebuild vs. trust vs.
+    /// sampled verification; see [`LoadOptions`]).
+    ///
+    /// A warm load whose persisted index section is unusable still hits —
+    /// the index is rebuilt from the arena — but the condition is reported
+    /// (outcome's [`LoadReport`], the `index_fallbacks` metric) and the
+    /// entry is repaired in place with a freshly written file.
+    pub fn get_or_build_with_options(
+        &self,
+        spec: &SearchSpaceSpec,
+        method: Method,
+        options: BuildOptions,
+        load: LoadOptions,
+    ) -> Result<(SearchSpace, StoreOutcome), StoreError> {
         let lowering = options
             .lowering
             .unwrap_or_else(|| method.default_lowering());
@@ -167,6 +302,7 @@ impl SpaceStore {
                 let start = Instant::now();
                 let (space, report) = build_search_space_with(spec, method, options)
                     .map_err(|e| StoreError::Build(e.to_string()))?;
+                self.metrics.uncacheable.fetch_add(1, Ordering::Relaxed);
                 return Ok((
                     space,
                     StoreOutcome {
@@ -176,6 +312,7 @@ impl SpaceStore {
                         file_bytes: 0,
                         duration: start.elapsed(),
                         report: Some(report),
+                        load: None,
                     },
                 ));
             }
@@ -187,22 +324,57 @@ impl SpaceStore {
         // on *any* content problem.
         if path.exists() {
             let start = Instant::now();
-            match read_space_from_path(&path) {
-                Ok((space, info)) => {
+            match StoreReader::open(&path).and_then(|r| r.load(load)) {
+                Ok(loaded) => {
+                    let duration = start.elapsed();
                     touch(&path);
+                    if loaded.report.index_fallback().is_some() {
+                        self.metrics.index_fallbacks.fetch_add(1, Ordering::Relaxed);
+                        // Repair the stale index in place — best-effort,
+                        // and only ever from checksum-verified bytes: a
+                        // zero-copy load skipped the arena CRC, so writing
+                        // its space back would stamp a fresh valid CRC
+                        // over a possibly-rotted arena, laundering the
+                        // corruption past every future validation.
+                        if loaded.report.is_zero_copy() {
+                            let reverified = StoreReader::open(&path).and_then(|r| {
+                                r.load(LoadOptions {
+                                    mode: LoadMode::Copy,
+                                    index: IndexPolicy::Rebuild,
+                                })
+                            });
+                            if let Ok(verified) = reverified {
+                                let _ = self.rewrite_entry(&verified.space, &path);
+                            }
+                            // A content error here means the arena itself
+                            // is damaged: leave the entry for `verify`/the
+                            // next copying load to catch; the space we
+                            // serve carries the documented mmap trust.
+                        } else {
+                            let _ = self.rewrite_entry(&loaded.space, &path);
+                        }
+                    }
+                    self.metrics.hits.fetch_add(1, Ordering::Relaxed);
+                    self.metrics
+                        .load_nanos
+                        .fetch_add(duration.as_nanos() as u64, Ordering::Relaxed);
                     return Ok((
-                        space,
+                        loaded.space,
                         StoreOutcome {
                             status: CacheStatus::Hit,
                             fingerprint: Some(fingerprint),
                             path: Some(path),
-                            file_bytes: info.file_bytes,
-                            duration: start.elapsed(),
+                            file_bytes: loaded.info.file_bytes,
+                            duration,
                             report: None,
+                            load: Some(loaded.report),
                         },
                     ));
                 }
-                Err(e) if e.is_content_error() => { /* stale entry: rebuild below */ }
+                Err(e) if e.is_content_error() => {
+                    // Stale entry: rebuild below.
+                    self.metrics.rebuilds.fetch_add(1, Ordering::Relaxed);
+                }
                 Err(e) => return Err(e),
             }
         }
@@ -254,6 +426,7 @@ impl SpaceStore {
             cartesian_size: spec.cartesian_size(),
             num_constraints: solved.num_constraints,
         };
+        self.metrics.misses.fetch_add(1, Ordering::Relaxed);
         Ok((
             space,
             StoreOutcome {
@@ -263,8 +436,30 @@ impl SpaceStore {
                 file_bytes: summary.bytes_written,
                 duration,
                 report: Some(report),
+                load: None,
             },
         ))
+    }
+
+    /// Atomically replace an entry with a freshly written file for `space`
+    /// (used to repair entries whose index section went stale).
+    fn rewrite_entry(&self, space: &SearchSpace, path: &Path) -> Result<(), StoreError> {
+        static TMP_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let tmp = self.dir.join(format!(
+            "repair.tmp-{}-{}",
+            std::process::id(),
+            TMP_SEQ.fetch_add(1, Ordering::Relaxed),
+        ));
+        let result = (|| {
+            let file = File::create(&tmp).map_err(|e| StoreError::io(&tmp, e))?;
+            let mut out = BufWriter::new(file);
+            write_space(space, &mut out)?;
+            fs::rename(&tmp, path).map_err(|e| StoreError::io(path, e))
+        })();
+        if result.is_err() {
+            let _ = fs::remove_file(&tmp);
+        }
+        result
     }
 
     /// List the cache entries, most recently used first.
@@ -314,11 +509,22 @@ impl SpaceStore {
     }
 
     /// Evict least-recently-used entries until the cache holds at most
-    /// `max_bytes` of entries. Leftover temp files from crashed builds are
-    /// removed once they are demonstrably abandoned (untouched for an
-    /// hour) — a temp file younger than that may be a build in progress in
-    /// another process, which must be left to finish its atomic rename.
+    /// `max_bytes` of entries ([`SpaceStore::gc_with`] with only the byte
+    /// bound set).
     pub fn gc(&self, max_bytes: u64) -> Result<GcReport, StoreError> {
+        self.gc_with(GcOptions {
+            max_bytes,
+            ..GcOptions::default()
+        })
+    }
+
+    /// Evict least-recently-used entries until both bounds of `options`
+    /// hold (total bytes *and* entry count). Leftover temp files from
+    /// crashed builds are removed once they are demonstrably abandoned
+    /// (untouched for an hour) — a temp file younger than that may be a
+    /// build in progress in another process, which must be left to finish
+    /// its atomic rename.
+    pub fn gc_with(&self, options: GcOptions) -> Result<GcReport, StoreError> {
         const ABANDONED_TMP_AGE: Duration = Duration::from_secs(3600);
         let dir = fs::read_dir(&self.dir).map_err(|e| StoreError::io(&self.dir, e))?;
         for item in dir.flatten() {
@@ -342,7 +548,7 @@ impl SpaceStore {
         let bytes_before: u64 = entries.iter().map(|e| e.bytes).sum();
         let mut bytes_after = bytes_before;
         let mut evicted = 0usize;
-        while bytes_after > max_bytes {
+        while bytes_after > options.max_bytes || entries.len() > options.max_entries {
             let Some(oldest) = entries.pop() else { break };
             fs::remove_file(&oldest.path).map_err(|e| StoreError::io(&oldest.path, e))?;
             bytes_after -= oldest.bytes;
@@ -441,9 +647,13 @@ mod tests {
         let (cold, out) = store.get_or_build(&spec, Method::Optimized).unwrap();
         let path = out.path.unwrap();
 
-        // Flip one arena byte on disk.
+        // Flip one arena byte on disk (located precisely: the bytes after
+        // the arena belong to the IDX section, whose damage is repaired on
+        // load rather than treated as a stale entry).
         let mut bytes = fs::read(&path).unwrap();
-        let mid = bytes.len() - 40;
+        let parsed = crate::format::parse_structure(&bytes).unwrap();
+        let mid = parsed.arena_offset + parsed.arena.len() / 2;
+        drop(parsed);
         bytes[mid] ^= 0xFF;
         fs::write(&path, &bytes).unwrap();
 
@@ -612,6 +822,183 @@ mod tests {
         assert_eq!(info.name, "meta");
         assert_eq!(info.num_params, 2);
         assert!(entries[0].bytes > 0);
+    }
+
+    #[test]
+    fn metrics_count_hits_misses_and_rebuilds() {
+        let store = fresh_store("metrics");
+        let spec = spec("counted", 16);
+        assert_eq!(store.metrics().hits(), 0);
+        store.get_or_build(&spec, Method::Optimized).unwrap();
+        store.get_or_build(&spec, Method::Optimized).unwrap();
+        let clone = store.clone();
+        clone.get_or_build(&spec, Method::Optimized).unwrap();
+        assert_eq!(store.metrics().misses(), 1);
+        assert_eq!(store.metrics().hits(), 2, "clones share the counters");
+        assert_eq!(store.metrics().rebuilds(), 0);
+        assert!(store.metrics().mean_load_time().is_some());
+
+        // Damage the entry: the next get is a miss counted as a rebuild.
+        let path = store.path_for(
+            &SpecFingerprint::compute(&spec, Method::Optimized.default_lowering()).unwrap(),
+        );
+        let bytes = fs::read(&path).unwrap();
+        fs::write(&path, &bytes[..bytes.len() / 4]).unwrap();
+        store.get_or_build(&spec, Method::Optimized).unwrap();
+        assert_eq!(store.metrics().misses(), 2);
+        assert_eq!(store.metrics().rebuilds(), 1);
+        let line = store.metrics().summary_line();
+        assert!(line.contains("2 hits"), "{line}");
+        assert!(line.contains("1 rebuilds"), "{line}");
+    }
+
+    #[test]
+    fn stale_index_hits_with_a_report_and_is_repaired() {
+        let store = fresh_store("stale-index");
+        let spec = spec("stale", 16);
+        let (original, out) = store.get_or_build(&spec, Method::Optimized).unwrap();
+        let path = out.path.unwrap();
+
+        // Damage one byte of the IDX slot array (last byte before the CRC
+        // + trailer): the arena stays sound.
+        let mut bytes = fs::read(&path).unwrap();
+        let pristine_len = bytes.len();
+        let at = pristine_len - 16 - 4 - 1;
+        bytes[at] ^= 0x04;
+        fs::write(&path, &bytes).unwrap();
+
+        let (served, out) = store.get_or_build(&spec, Method::Optimized).unwrap();
+        assert!(
+            out.status.is_hit(),
+            "index damage must not force a re-solve"
+        );
+        let report = out.load.unwrap();
+        assert!(report.index_fallback().unwrap().contains("checksum"));
+        assert_eq!(store.metrics().index_fallbacks(), 1);
+        spaces_identical(&original, &served);
+
+        // The entry was repaired in place: the next load adopts the index.
+        let (served, out) = store.get_or_build(&spec, Method::Optimized).unwrap();
+        assert!(out.status.is_hit());
+        assert!(out.load.unwrap().index_fallback().is_none(), "repaired");
+        spaces_identical(&original, &served);
+    }
+
+    #[test]
+    fn zero_copy_index_fallback_never_launders_a_corrupt_arena() {
+        let store = fresh_store("launder");
+        let spec = spec("laundered", 16);
+        let (_, out) = store.get_or_build(&spec, Method::Optimized).unwrap();
+        let path = out.path.unwrap();
+
+        // Damage the arena AND the IDX section. The arena damage swaps two
+        // distinct in-dictionary codes within one column — undetectable by
+        // code-range validation, only by the arena CRC (the exact shape
+        // that could be laundered). The zero-copy load trusts the arena by
+        // design, so it still hits — but the repair machinery must not
+        // rewrite the entry from unverified bytes (that would stamp a
+        // fresh valid CRC over the rot).
+        let mut bytes = fs::read(&path).unwrap();
+        let parsed = crate::format::parse_structure(&bytes).unwrap();
+        let arena_at = parsed.arena_offset;
+        let arena_len = parsed.arena.len();
+        drop(parsed);
+        let stride_bytes = 2 * 4; // two params
+        let (a, b) = (0..arena_len / stride_bytes - 1)
+            .map(|row| {
+                (
+                    arena_at + row * stride_bytes,
+                    arena_at + (row + 1) * stride_bytes,
+                )
+            })
+            .find(|&(a, b)| bytes[a..a + 4] != bytes[b..b + 4])
+            .expect("two adjacent rows differing in column 0");
+        let cell: [u8; 4] = bytes[a..a + 4].try_into().unwrap();
+        bytes.copy_within(b..b + 4, a);
+        bytes[b..b + 4].copy_from_slice(&cell);
+        let len = bytes.len();
+        bytes[len - 16 - 4 - 1] ^= 0x04; // IDX slot byte
+        fs::write(&path, &bytes).unwrap();
+
+        let (_, out) = store
+            .get_or_build_with_options(
+                &spec,
+                Method::Optimized,
+                BuildOptions::default(),
+                LoadOptions::mmap_trusted(),
+            )
+            .unwrap();
+        if cfg!(target_os = "linux") {
+            assert!(out.status.is_hit(), "mmap trust semantics");
+            assert!(out.load.unwrap().index_fallback().is_some());
+            // The entry must still be detectably damaged afterwards.
+            assert!(
+                read_space_from_path(&path).is_err(),
+                "repair must not launder an unverified arena"
+            );
+        }
+
+        // A default (copying, CRC-verified) get now rebuilds and repairs.
+        let (_, out) = store.get_or_build(&spec, Method::Optimized).unwrap();
+        assert_eq!(out.status, CacheStatus::Miss);
+        assert!(read_space_from_path(&path).is_ok());
+    }
+
+    #[test]
+    fn mmap_load_options_serve_zero_copy_hits() {
+        let store = fresh_store("mmap-hit");
+        let spec = spec("mapped", 16);
+        let (cold, _) = store.get_or_build(&spec, Method::Optimized).unwrap();
+        let (warm, out) = store
+            .get_or_build_with_options(
+                &spec,
+                Method::Optimized,
+                BuildOptions::default(),
+                LoadOptions::mmap_trusted(),
+            )
+            .unwrap();
+        assert!(out.status.is_hit());
+        let report = out.load.unwrap();
+        if cfg!(target_os = "linux") {
+            assert!(report.is_zero_copy(), "{report:?}");
+            assert!(warm.is_zero_copy());
+        }
+        spaces_identical(&cold, &warm);
+    }
+
+    #[test]
+    fn gc_enforces_the_entry_count_bound() {
+        let store = fresh_store("gc-entries");
+        for (i, s) in [spec("a", 8), spec("b", 16), spec("c", 32)]
+            .iter()
+            .enumerate()
+        {
+            let (_, out) = store.get_or_build(s, Method::Optimized).unwrap();
+            // Unambiguous LRU order.
+            let file = File::options().write(true).open(out.path.unwrap()).unwrap();
+            file.set_times(
+                fs::FileTimes::new()
+                    .set_modified(SystemTime::now() - Duration::from_secs(1000 - 100 * i as u64)),
+            )
+            .unwrap();
+        }
+        let report = store
+            .gc_with(GcOptions {
+                max_entries: 2,
+                ..GcOptions::default()
+            })
+            .unwrap();
+        assert_eq!(report.evicted, 1);
+        assert_eq!(report.kept, 2);
+        assert_eq!(store.entries().unwrap().len(), 2);
+        // The byte bound still composes with the entry bound.
+        let report = store
+            .gc_with(GcOptions {
+                max_bytes: 0,
+                max_entries: 2,
+            })
+            .unwrap();
+        assert_eq!(report.kept, 0);
     }
 
     #[test]

@@ -1,41 +1,60 @@
 //! The `ATSS` binary format: reading and writing resolved search spaces.
 //!
-//! See the [crate documentation](crate) for the byte-by-byte layout. The
-//! design constraints, in order:
+//! See the [crate documentation](crate) for the byte-by-byte layout of both
+//! supported versions. The design constraints, in order:
 //!
 //! 1. **Close to the internal representation** (paper Section 4.3.4): the
 //!    configuration arena is written verbatim as little-endian `u32` value
-//!    codes — loading performs no decoding and no re-encoding, only the one
-//!    membership-table build every `SearchSpace` constructor needs.
+//!    codes — loading performs no decoding and no re-encoding. Since v2 the
+//!    arena section is 4-byte aligned and the membership table is persisted
+//!    alongside it (`IDX` section), so a trusted warm load can *borrow*
+//!    both straight out of a memory-mapped file: no copy, no table rebuild,
+//!    O(header) work.
 //! 2. **Streamable**: [`StoreWriter`] implements the solver sink interface,
 //!    so the file is written *while* the space is constructed; nothing in
 //!    the layout requires knowing the row count up front (it lives in the
-//!    trailer).
+//!    trailer, and the index section is written at finish time).
 //! 3. **Self-validating**: magic + version up front, a CRC-32 per metadata
-//!    section, and a CRC-32 of the arena in the trailer. Any flipped byte
-//!    or truncation is detected before content is adopted.
+//!    section (including `IDX`), and a CRC-32 of the arena in the trailer.
+//!    On the copying path any flipped byte or truncation is detected before
+//!    content is adopted; the zero-copy path checks everything except the
+//!    arena checksum (documented per [`LoadMode`]), and a damaged `IDX`
+//!    section always falls back to an index rebuild — reported in the
+//!    [`LoadReport`], and never a wrong lookup (the lookup algorithm
+//!    re-compares arena rows, so a bad table can only miss, not
+//!    misattribute).
 
 use std::fs::File;
 use std::io::{self, Read, Seek, SeekFrom, Write};
 use std::path::Path;
+use std::sync::Arc;
 
 use at_csp::sink::{RowSink, SolutionSink};
 use at_csp::{CspError, CspResult, Value};
-use at_searchspace::{EncodingSink, SearchSpace, TunableParameter};
+use at_searchspace::{
+    ArenaStorage, CodeValidation, EncodingSink, IndexVerification, SearchSpace, SpaceError,
+    TunableParameter, INDEX_HASH_VERSION,
+};
 
 use crate::checksum::{crc32, Crc32};
 use crate::error::StoreError;
+use crate::mmap::{MapError, MappedCodes, MappedFile};
 
 /// The four magic bytes every store file starts with.
 pub const MAGIC: [u8; 4] = *b"ATSS";
 
-/// The format version this build reads and writes.
-pub const FORMAT_VERSION: u32 = 1;
+/// The format version this build writes.
+pub const FORMAT_VERSION: u32 = 2;
+
+/// The oldest format version this build still reads (via the copying
+/// path; v1 files have no alignment rule and no index section).
+pub const MIN_READ_VERSION: u32 = 1;
 
 /// Section tags (4 bytes each).
 const TAG_HEADER: [u8; 4] = *b"HDR\0";
 const TAG_PARAMS: [u8; 4] = *b"PAR\0";
 const TAG_ARENA: [u8; 4] = *b"ARN\0";
+const TAG_INDEX: [u8; 4] = *b"IDX\0";
 const TAG_END: [u8; 4] = *b"END\0";
 
 /// Value-encoding tag bytes.
@@ -50,6 +69,9 @@ const TRAILER_LEN: usize = 16;
 /// Flush the pending arena codes to the writer once this many accumulate
 /// (64 KiB of file bytes), so streaming writes stay amortised.
 const FLUSH_CODES: usize = 16 * 1024;
+
+/// How many evenly spaced rows [`IndexPolicy::VerifySampled`] looks up.
+const VERIFY_SAMPLES: usize = 64;
 
 // ---------------------------------------------------------------------------
 // byte-level encoding helpers
@@ -203,7 +225,8 @@ fn params_payload(params: &[TunableParameter]) -> Vec<u8> {
 }
 
 /// Write the file preamble (magic, version, header section, params section,
-/// arena tag). Returns the number of bytes written.
+/// arena tag + v2 alignment padding). Returns the number of bytes written —
+/// which is also the arena's byte offset, guaranteed `% 4 == 0`.
 fn write_preamble<W: Write>(
     out: &mut W,
     name: &str,
@@ -215,7 +238,32 @@ fn write_preamble<W: Write>(
     bytes += write_section(out, TAG_HEADER, &header_payload(name, params.len()))?;
     bytes += write_section(out, TAG_PARAMS, &params_payload(params))?;
     out.write_all(&TAG_ARENA)?;
-    Ok(bytes + 4)
+    bytes += 4;
+    // v2 alignment rule: a u32 pad length followed by that many zero bytes,
+    // chosen so the first arena byte lands on a 4-byte file offset (mmap
+    // memory is page-aligned, so file-offset alignment is view alignment).
+    let pad = ((4 - ((bytes + 4) % 4)) % 4) as u32;
+    out.write_all(&pad.to_le_bytes())?;
+    out.write_all(&[0u8; 3][..pad as usize])?;
+    Ok(bytes + 4 + pad as u64)
+}
+
+/// Write the `IDX` section for the membership table, returning the bytes
+/// written. A table whose slot count does not fit the format's `u32` count
+/// field (spaces in the billions of rows) is skipped entirely — the file
+/// stays valid and loads rebuild the index — rather than written with a
+/// silently truncated count that would corrupt the section.
+fn write_index_section<W: Write>(out: &mut W, slots: &[u32]) -> io::Result<u64> {
+    let Ok(num_slots) = u32::try_from(slots.len()) else {
+        return Ok(0);
+    };
+    let mut buf = Vec::with_capacity(8 + slots.len() * 4);
+    push_u32(&mut buf, INDEX_HASH_VERSION);
+    push_u32(&mut buf, num_slots);
+    for &slot in slots {
+        buf.extend_from_slice(&slot.to_le_bytes());
+    }
+    write_section(out, TAG_INDEX, &buf)
 }
 
 /// Write the fixed trailer (end tag, row count, arena CRC-32).
@@ -231,15 +279,16 @@ fn write_trailer<W: Write>(out: &mut W, rows: u64, arena_crc: u32) -> io::Result
 pub struct StoreSummary {
     /// Number of configuration rows persisted.
     pub rows: u64,
-    /// Total file bytes written (preamble + arena + trailer).
+    /// Total file bytes written (preamble + arena + index + trailer).
     pub bytes_written: u64,
 }
 
 /// Persist an already-resolved [`SearchSpace`] to a writer.
 ///
-/// The arena is taken from [`SearchSpace::arena`] verbatim; nothing is
-/// decoded. For persisting a space *while* it is constructed, use
-/// [`StoreWriter`] instead.
+/// The arena is taken from [`SearchSpace::arena`] verbatim and the
+/// membership table from [`SearchSpace::index_slots`]; nothing is decoded.
+/// For persisting a space *while* it is constructed, use [`StoreWriter`]
+/// instead.
 pub fn write_space<W: Write>(space: &SearchSpace, out: &mut W) -> Result<StoreSummary, StoreError> {
     let io_err = |source| StoreError::Io { path: None, source };
     let mut bytes = write_preamble(out, space.name(), space.params()).map_err(io_err)?;
@@ -254,6 +303,7 @@ pub fn write_space<W: Write>(space: &SearchSpace, out: &mut W) -> Result<StoreSu
         out.write_all(&buf).map_err(io_err)?;
         bytes += buf.len() as u64;
     }
+    bytes += write_index_section(out, space.index_slots()).map_err(io_err)?;
     bytes += write_trailer(out, space.len() as u64, crc.finish()).map_err(io_err)?;
     out.flush().map_err(io_err)?;
     Ok(StoreSummary {
@@ -293,7 +343,8 @@ pub fn write_space_to_path(
 /// No row is ever encoded twice, and the peak decoded footprint stays one
 /// row per active worker thread.
 ///
-/// Call [`StoreWriter::finish`] to write the trailer and obtain the
+/// Call [`StoreWriter::finish`] to persist the membership table (`IDX`
+/// section, built once by the sink) and the trailer, and obtain the
 /// resolved space plus a [`StoreSummary`]. Dropping the writer without
 /// finishing leaves a file without a trailer, which readers reject — a
 /// crashed construction can never be mistaken for a complete store file.
@@ -357,16 +408,21 @@ impl<W: Write> StoreWriter<W> {
         Ok(())
     }
 
-    /// Flush the remaining arena, write the trailer, and return the
-    /// resolved in-memory space together with a write summary.
+    /// Flush the remaining arena, persist the membership table (`IDX`
+    /// section) and the trailer, and return the resolved in-memory space
+    /// together with a write summary.
     pub fn finish(mut self) -> Result<(SearchSpace, StoreSummary), StoreError> {
         let io_err = |source| StoreError::Io { path: None, source };
         self.flush_pending(true).map_err(io_err)?;
         let rows = self.sink.rows() as u64;
+        // The sink builds the membership table exactly once here; the IDX
+        // section persists it verbatim so warm loads can skip the rebuild.
+        let space = self.sink.finish()?;
+        self.bytes_written +=
+            write_index_section(&mut self.out, space.index_slots()).map_err(io_err)?;
         self.bytes_written +=
             write_trailer(&mut self.out, rows, self.crc.finish()).map_err(io_err)?;
         self.out.flush().map_err(io_err)?;
-        let space = self.sink.finish()?;
         Ok((
             space,
             StoreSummary {
@@ -408,8 +464,169 @@ impl<W: Write + Send + Sync + 'static> SolutionSink for StoreWriter<W> {
 }
 
 // ---------------------------------------------------------------------------
+// load options and reports
+// ---------------------------------------------------------------------------
+
+/// How the arena bytes are brought into memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LoadMode {
+    /// Read the whole file and copy the arena into owned memory. Every
+    /// checksum is verified — this is the fully validating path, and the
+    /// only one for v1 files and big-endian targets.
+    #[default]
+    Copy,
+    /// `mmap(2)` the file and serve the arena (and persisted index slots)
+    /// as borrowed views — zero copy. The arena checksum is **not**
+    /// verified (it would touch every page and defeat the point); the
+    /// `IDX` checksum is still checked before any table is adopted, and
+    /// `cache verify` remains the full-validation tool. Combined with
+    /// [`IndexPolicy::TrustPersisted`] the load is O(header + index
+    /// checksum): even the code-range pass is skipped (decoding stays
+    /// bounds-checked lazily). [`IndexPolicy::Rebuild`] and
+    /// [`IndexPolicy::VerifySampled`] keep the O(arena) code-range pass.
+    /// Falls back to [`LoadMode::Copy`] — recorded in the [`LoadReport`] —
+    /// on non-Linux targets, big-endian targets, unaligned (v1) arenas, or
+    /// mmap failure.
+    Mmap,
+}
+
+/// What to do with the persisted membership table (`IDX` section).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IndexPolicy {
+    /// Ignore any persisted table and rebuild from the arena (the v1
+    /// behavior; always available).
+    Rebuild,
+    /// Adopt the persisted table after its CRC, hash version and
+    /// structural invariants check out — the O(header) trusted path.
+    TrustPersisted,
+    /// Like [`IndexPolicy::TrustPersisted`], plus look up a sample of
+    /// evenly spaced arena rows and require each to be found — a cheap
+    /// screen against a table persisted for a different arena.
+    #[default]
+    VerifySampled,
+}
+
+/// A validated load request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LoadOptions {
+    /// How the arena is materialized.
+    pub mode: LoadMode,
+    /// How the persisted membership table is treated.
+    pub index: IndexPolicy,
+}
+
+impl LoadOptions {
+    /// The zero-copy fast path: mmap the arena, trust the persisted index.
+    pub fn mmap_trusted() -> LoadOptions {
+        LoadOptions {
+            mode: LoadMode::Mmap,
+            index: IndexPolicy::TrustPersisted,
+        }
+    }
+}
+
+/// Where the served arena actually came from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArenaOutcome {
+    /// Copied into owned memory (requested, or the only possibility).
+    Copied,
+    /// Served zero-copy from the memory-mapped file.
+    MmapZeroCopy,
+    /// Mmap was requested but unavailable; copied instead.
+    MmapFellBack {
+        /// Why the mapping could not be served (platform, alignment, v1
+        /// file, syscall failure).
+        reason: String,
+    },
+}
+
+/// Where the served membership table actually came from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IndexOutcome {
+    /// Rebuilt from the arena. `persisted_present` records whether the
+    /// file carried an (ignored) `IDX` section.
+    Rebuilt {
+        /// True when the file had an `IDX` section the policy ignored.
+        persisted_present: bool,
+    },
+    /// The persisted table was adopted. `verified` is true under
+    /// [`IndexPolicy::VerifySampled`].
+    Adopted {
+        /// Whether sampled row lookups were verified on top of the
+        /// structural checks.
+        verified: bool,
+    },
+    /// The persisted table was present but unusable (CRC mismatch, hash
+    /// version mismatch, structural or sampled-lookup failure); the index
+    /// was rebuilt from the arena instead. **This is a reportable
+    /// condition**, not a silent fallback: stale indexes should be
+    /// repaired (the cache rewrites the entry) or at least surfaced.
+    RebuiltAfterFallback {
+        /// Why the persisted table was rejected.
+        reason: String,
+    },
+}
+
+/// Everything a load did, for observability: which path served the arena,
+/// and what happened to the persisted index.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoadReport {
+    /// Arena path taken.
+    pub arena: ArenaOutcome,
+    /// Index path taken.
+    pub index: IndexOutcome,
+}
+
+impl LoadReport {
+    /// True when the arena is served zero-copy from the mapped file.
+    pub fn is_zero_copy(&self) -> bool {
+        self.arena == ArenaOutcome::MmapZeroCopy
+    }
+
+    /// The reason the persisted index was rejected, if it was.
+    pub fn index_fallback(&self) -> Option<&str> {
+        match &self.index {
+            IndexOutcome::RebuiltAfterFallback { reason } => Some(reason),
+            _ => None,
+        }
+    }
+
+    /// A one-line human-readable description (used by CLI summaries).
+    pub fn describe(&self) -> String {
+        let arena = match &self.arena {
+            ArenaOutcome::Copied => "copied".to_string(),
+            ArenaOutcome::MmapZeroCopy => "zero-copy (mmap)".to_string(),
+            ArenaOutcome::MmapFellBack { reason } => format!("copied (mmap fell back: {reason})"),
+        };
+        let index = match &self.index {
+            IndexOutcome::Rebuilt {
+                persisted_present: false,
+            } => "index rebuilt".to_string(),
+            IndexOutcome::Rebuilt {
+                persisted_present: true,
+            } => "index rebuilt (persisted one ignored)".to_string(),
+            IndexOutcome::Adopted { verified: true } => "persisted index verified".to_string(),
+            IndexOutcome::Adopted { verified: false } => "persisted index trusted".to_string(),
+            IndexOutcome::RebuiltAfterFallback { reason } => {
+                format!("index rebuilt (persisted one rejected: {reason})")
+            }
+        };
+        format!("{arena}, {index}")
+    }
+}
+
+// ---------------------------------------------------------------------------
 // reading
 // ---------------------------------------------------------------------------
+
+/// Metadata of a persisted `IDX` (membership table) section.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IndexInfo {
+    /// Version of the row-hash function the table was built with.
+    pub hash_version: u32,
+    /// Number of open-addressing slots.
+    pub num_slots: usize,
+}
 
 /// Metadata of one store file, available without decoding the arena.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -424,78 +641,47 @@ pub struct StoreInfo {
     pub num_rows: usize,
     /// Total file size in bytes.
     pub file_bytes: u64,
-}
-
-/// A fully validated, parsed store file, ready to be turned into a
-/// [`SearchSpace`].
-///
-/// Opening a reader checks everything: magic, version, section framing,
-/// all CRC-32s, and that the arena length matches the trailer's row count.
-/// [`StoreReader::into_space`] then adopts the codes through
-/// [`SearchSpace::from_code_rows`] — zero re-solving, zero re-encoding.
-#[derive(Debug)]
-pub struct StoreReader {
-    info: StoreInfo,
-    params: Vec<TunableParameter>,
-    codes: Vec<u32>,
+    /// The persisted membership table, if the file carries one (v2 files
+    /// written by this build always do; v1 files never do).
+    pub index: Option<IndexInfo>,
 }
 
 /// The structurally validated parts of a store file: every metadata section
-/// parsed and CRC-checked, the arena located and length-checked — but the
-/// arena's own CRC not yet verified (so it can overlap the index build).
-struct ParsedFile<'a> {
+/// parsed and CRC-checked, the arena and optional index located and
+/// length-checked — but the arena CRC and the index payload CRC not yet
+/// verified (the caller decides per [`LoadOptions`]).
+pub(crate) struct ParsedFile<'a> {
     info: StoreInfo,
     params: Vec<TunableParameter>,
-    arena: &'a [u8],
+    /// Byte offset of the first arena byte in the file.
+    pub(crate) arena_offset: usize,
+    pub(crate) arena: &'a [u8],
     arena_crc: u32,
+    idx: Option<ParsedIndex<'a>>,
 }
 
-impl StoreReader {
-    /// Read and validate a store file from disk.
-    pub fn open(path: impl AsRef<Path>) -> Result<StoreReader, StoreError> {
-        let path = path.as_ref();
-        let bytes = std::fs::read(path).map_err(|e| StoreError::io(path, e))?;
-        StoreReader::from_bytes(&bytes)
-    }
+/// The located (framing-validated) `IDX` section.
+struct ParsedIndex<'a> {
+    hash_version: u32,
+    /// Byte offset of the first slot byte in the file (4-byte aligned for
+    /// files written by this build).
+    slots_offset: usize,
+    /// The raw little-endian slot bytes.
+    slots: &'a [u8],
+    /// The whole section payload (hash version + slot count + slots), for
+    /// CRC verification.
+    payload: &'a [u8],
+    crc: u32,
+}
 
-    /// Parse and validate a store file from a byte slice.
-    pub fn from_bytes(bytes: &[u8]) -> Result<StoreReader, StoreError> {
-        let parsed = parse_structure(bytes)?;
-        if crc32(parsed.arena) != parsed.arena_crc {
-            return Err(StoreError::corrupt("arena", "checksum mismatch"));
-        }
-        let codes = decode_codes(parsed.arena);
-        Ok(StoreReader {
-            info: parsed.info,
-            params: parsed.params,
-            codes,
-        })
-    }
-
-    /// The file's metadata.
-    pub fn info(&self) -> &StoreInfo {
-        &self.info
-    }
-
-    /// The decoded parameter dictionaries.
-    pub fn params(&self) -> &[TunableParameter] {
-        &self.params
-    }
-
-    /// Rebuild the [`SearchSpace`] by adopting the stored arena.
-    pub fn into_space(self) -> Result<(SearchSpace, StoreInfo), StoreError> {
-        let StoreReader {
-            info,
-            params,
-            codes,
-        } = self;
-        let space = SearchSpace::from_code_rows(info.name.clone(), params, info.num_rows, codes)?;
-        Ok((space, info))
+impl ParsedIndex<'_> {
+    fn crc_ok(&self) -> bool {
+        crc32(self.payload) == self.crc
     }
 }
 
-/// Parse and validate everything except the arena checksum.
-fn parse_structure(bytes: &[u8]) -> Result<ParsedFile<'_>, StoreError> {
+/// Parse and validate everything except the arena and index checksums.
+pub(crate) fn parse_structure(bytes: &[u8]) -> Result<ParsedFile<'_>, StoreError> {
     // Magic + version.
     if bytes.len() < 8 + TRAILER_LEN {
         return Err(StoreError::corrupt(
@@ -512,7 +698,7 @@ fn parse_structure(bytes: &[u8]) -> Result<ParsedFile<'_>, StoreError> {
         });
     }
     let version = u32::from_le_bytes(bytes[4..8].try_into().expect("4 bytes"));
-    if version != FORMAT_VERSION {
+    if !(MIN_READ_VERSION..=FORMAT_VERSION).contains(&version) {
         return Err(StoreError::UnsupportedVersion {
             found: version,
             supported: FORMAT_VERSION,
@@ -558,7 +744,7 @@ fn parse_structure(bytes: &[u8]) -> Result<ParsedFile<'_>, StoreError> {
         ));
     }
 
-    // Arena tag, then raw codes up to the trailer.
+    // Arena tag (+ v2 alignment padding).
     if bytes.len() < pos + 4 + TRAILER_LEN {
         return Err(StoreError::corrupt("arena", "file ends before the arena"));
     }
@@ -566,6 +752,29 @@ fn parse_structure(bytes: &[u8]) -> Result<ParsedFile<'_>, StoreError> {
         return Err(StoreError::corrupt("arena", "missing arena tag"));
     }
     pos += 4;
+    if version >= 2 {
+        let mut cur = Cursor::new(&bytes[pos..], "arena");
+        let pad = cur.u32()? as usize;
+        if pad > 3 {
+            return Err(StoreError::corrupt(
+                "arena",
+                format!("implausible alignment padding {pad}"),
+            ));
+        }
+        cur.take(pad)?;
+        pos += cur.pos;
+        if !pos.is_multiple_of(4) {
+            return Err(StoreError::corrupt(
+                "arena",
+                "alignment padding does not land the arena on a 4-byte offset",
+            ));
+        }
+    }
+    let arena_offset = pos;
+
+    // Trailer (always the last 16 bytes), then slice the arena by the row
+    // count it declares; anything between arena end and trailer must be a
+    // well-formed IDX section (v2 only).
     let trailer_at = bytes.len() - TRAILER_LEN;
     if trailer_at < pos {
         return Err(StoreError::corrupt("trailer", "overlaps the arena"));
@@ -581,20 +790,74 @@ fn parse_structure(bytes: &[u8]) -> Result<ParsedFile<'_>, StoreError> {
     let num_rows = cur.u64()? as usize;
     let arena_crc = cur.u32()?;
 
-    let arena = &bytes[pos..trailer_at];
-    let expected = num_rows
+    let arena_len = num_rows
         .checked_mul(num_params)
-        .and_then(|c| c.checked_mul(4));
-    if expected != Some(arena.len()) {
+        .and_then(|c| c.checked_mul(4))
+        .filter(|&len| len <= trailer_at - pos)
+        .ok_or_else(|| {
+            StoreError::corrupt(
+                "arena",
+                format!(
+                    "{} bytes before the trailer cannot hold {num_rows} rows x {num_params} params",
+                    trailer_at - pos,
+                ),
+            )
+        })?;
+    let arena = &bytes[pos..pos + arena_len];
+    pos += arena_len;
+
+    // Between arena end and trailer: nothing (v1, or v2 without an index)
+    // or exactly one IDX section.
+    let idx = if pos == trailer_at {
+        None
+    } else if version < 2 {
         return Err(StoreError::corrupt(
             "arena",
             format!(
-                "arena holds {} bytes where {num_rows} rows x {num_params} params need {}",
-                arena.len(),
-                expected.map_or("overflow".to_string(), |e| e.to_string()),
+                "arena holds {} bytes where {num_rows} rows x {num_params} params need {arena_len}",
+                trailer_at - arena_offset,
             ),
         ));
-    }
+    } else {
+        let section_bytes = &bytes[..trailer_at];
+        let mut cur = Cursor::new(&section_bytes[pos..], "index");
+        let tag = cur.take(4)?;
+        if tag != TAG_INDEX {
+            return Err(StoreError::corrupt("index", "unexpected section tag"));
+        }
+        let payload_len = cur.u64()? as usize;
+        let payload_at = pos + cur.pos;
+        let payload = cur.take(payload_len)?;
+        let crc = cur.u32()?;
+        if pos + cur.pos != trailer_at {
+            return Err(StoreError::corrupt(
+                "index",
+                "trailing bytes between the index section and the trailer",
+            ));
+        }
+        let mut pcur = Cursor::new(payload, "index");
+        let hash_version = pcur.u32()?;
+        let num_slots = pcur.u32()? as usize;
+        let slots = pcur.take(
+            num_slots
+                .checked_mul(4)
+                .ok_or_else(|| StoreError::corrupt("index", "slot count overflows"))?,
+        )?;
+        if !pcur.done() {
+            return Err(StoreError::corrupt(
+                "index",
+                "trailing bytes after the slot array",
+            ));
+        }
+        Some(ParsedIndex {
+            hash_version,
+            slots_offset: payload_at + 8,
+            slots,
+            payload,
+            crc,
+        })
+    };
+
     Ok(ParsedFile {
         info: StoreInfo {
             version,
@@ -602,37 +865,43 @@ fn parse_structure(bytes: &[u8]) -> Result<ParsedFile<'_>, StoreError> {
             num_params,
             num_rows,
             file_bytes: bytes.len() as u64,
+            index: idx.as_ref().map(|i| IndexInfo {
+                hash_version: i.hash_version,
+                num_slots: i.slots.len() / 4,
+            }),
         },
         params,
+        arena_offset,
         arena,
         arena_crc,
+        idx,
     })
 }
 
-/// Decode the raw little-endian arena bytes into value codes. On
-/// little-endian targets the on-disk bytes *are* the in-memory layout, so
-/// this is a single memcpy (without even a zero-fill of the destination);
-/// big-endian targets convert per element. The caller guarantees
-/// `arena.len()` is a multiple of 4 (checked against the trailer).
-fn decode_codes(arena: &[u8]) -> Vec<u32> {
-    let num_codes = arena.len() / 4;
+/// Decode raw little-endian `u32` bytes into codes. On little-endian
+/// targets the on-disk bytes *are* the in-memory layout, so this is a
+/// single memcpy (without even a zero-fill of the destination); big-endian
+/// targets convert per element. The caller guarantees `bytes.len()` is a
+/// multiple of 4.
+fn decode_codes(bytes: &[u8]) -> Vec<u32> {
+    let num_codes = bytes.len() / 4;
     if cfg!(target_endian = "little") {
         let mut codes: Vec<u32> = Vec::with_capacity(num_codes);
-        // SAFETY: the allocation holds at least `arena.len()` bytes (the
+        // SAFETY: the allocation holds at least `bytes.len()` bytes (the
         // length is a validated multiple of 4), the buffers are distinct,
         // every byte pattern is a valid `u32`, and `set_len` only covers
         // the `num_codes` elements just initialised.
         unsafe {
             std::ptr::copy_nonoverlapping(
-                arena.as_ptr(),
+                bytes.as_ptr(),
                 codes.as_mut_ptr().cast::<u8>(),
-                arena.len(),
+                bytes.len(),
             );
             codes.set_len(num_codes);
         }
         codes
     } else {
-        arena
+        bytes
             .chunks_exact(4)
             .map(|c| u32::from_le_bytes(c.try_into().expect("4 bytes")))
             .collect()
@@ -662,6 +931,304 @@ fn read_section<'a>(
     Ok(payload)
 }
 
+/// Build a space from parsed content, adopting the (already CRC-checked)
+/// persisted index slots when provided, rebuilding otherwise — with a
+/// reported in-place fallback to a rebuild when adoption fails.
+///
+/// `arena` is consumed by the first construction attempt; the rare
+/// fallback path obtains a fresh storage from `remake_arena` (an Arc bump
+/// for mapped views, a re-decode for owned copies), so the hot adopting
+/// path never deep-clones a multi-million-code arena.
+fn assemble(
+    info: &StoreInfo,
+    params: Vec<TunableParameter>,
+    arena: ArenaStorage,
+    idx: Option<(ArenaStorage, bool)>,
+    persisted_present: bool,
+    remake_arena: impl FnOnce() -> ArenaStorage,
+) -> Result<(SearchSpace, IndexOutcome), StoreError> {
+    match idx {
+        Some((slots, verified)) => {
+            // The verifying policy pays the O(arena) code-bounds pass and
+            // sampled lookups; the trusted one is O(header + index): lazy
+            // bounds-checked decoding covers out-of-range codes.
+            let (verification, validation) = if verified {
+                (
+                    IndexVerification::Sampled(VERIFY_SAMPLES),
+                    CodeValidation::Checked,
+                )
+            } else {
+                (IndexVerification::Trusted, CodeValidation::Trusted)
+            };
+            match SearchSpace::from_code_storage_with_index(
+                info.name.clone(),
+                params.clone(),
+                info.num_rows,
+                arena,
+                slots,
+                verification,
+                validation,
+            ) {
+                Ok(space) => Ok((space, IndexOutcome::Adopted { verified })),
+                Err(SpaceError::IndexInvalid { detail }) => {
+                    let space = SearchSpace::from_code_storage(
+                        info.name.clone(),
+                        params,
+                        info.num_rows,
+                        remake_arena(),
+                    )?;
+                    Ok((space, IndexOutcome::RebuiltAfterFallback { reason: detail }))
+                }
+                Err(e) => Err(e.into()),
+            }
+        }
+        None => {
+            let space =
+                SearchSpace::from_code_storage(info.name.clone(), params, info.num_rows, arena)?;
+            Ok((space, IndexOutcome::Rebuilt { persisted_present }))
+        }
+    }
+}
+
+/// Check the persisted index against the policy, returning the slots to
+/// adopt (owned copy decoded from the payload) or the fallback reason.
+fn usable_index<'a, 'b>(
+    idx: &'a Option<ParsedIndex<'b>>,
+    policy: IndexPolicy,
+) -> Result<Option<&'a ParsedIndex<'b>>, String> {
+    let Some(idx) = idx else {
+        return Ok(None);
+    };
+    if policy == IndexPolicy::Rebuild {
+        return Ok(None);
+    }
+    // CRC first: corruption that happens to land in the hash-version field
+    // must read as "checksum mismatch", not as a version skew (and must
+    // classify identically to the strict reader).
+    if !idx.crc_ok() {
+        return Err("checksum mismatch".to_string());
+    }
+    if idx.hash_version != INDEX_HASH_VERSION {
+        return Err(format!(
+            "row-hash version {} (this build uses {INDEX_HASH_VERSION})",
+            idx.hash_version
+        ));
+    }
+    Ok(Some(idx))
+}
+
+/// A handle to a store file, ready to be loaded with explicit
+/// [`LoadOptions`] (the copying path, or the zero-copy mmap path).
+///
+/// ```no_run
+/// use at_store::{LoadOptions, StoreReader};
+///
+/// let reader = StoreReader::open("space.atss").unwrap();
+/// let loaded = reader.load(LoadOptions::mmap_trusted()).unwrap();
+/// assert!(loaded.report.is_zero_copy());
+/// ```
+#[derive(Debug)]
+pub struct StoreReader {
+    path: std::path::PathBuf,
+    file: File,
+}
+
+/// The result of one [`StoreReader::load`]: the space, the file metadata,
+/// and a report of which paths actually served it.
+#[derive(Debug)]
+pub struct LoadedSpace {
+    /// The resolved space.
+    pub space: SearchSpace,
+    /// The file's metadata.
+    pub info: StoreInfo,
+    /// Which arena/index paths were taken (zero-copy? index adopted?).
+    pub report: LoadReport,
+}
+
+impl StoreReader {
+    /// Open a store file for loading. The file is only read on
+    /// [`StoreReader::load`] / [`StoreReader::info`].
+    pub fn open(path: impl AsRef<Path>) -> Result<StoreReader, StoreError> {
+        let path = path.as_ref().to_path_buf();
+        let file = File::open(&path).map_err(|e| StoreError::io(&path, e))?;
+        Ok(StoreReader { path, file })
+    }
+
+    /// The file's metadata (header + trailer + index frame only; the arena
+    /// is not read).
+    pub fn info(&self) -> Result<StoreInfo, StoreError> {
+        peek_info(&self.path)
+    }
+
+    /// Load the space according to `options`. See [`LoadMode`] and
+    /// [`IndexPolicy`] for the exact validation each combination performs,
+    /// and [`LoadReport`] for what actually happened (requested paths fall
+    /// back rather than fail whenever the file itself is sound).
+    pub fn load(&self, options: LoadOptions) -> Result<LoadedSpace, StoreError> {
+        match options.mode {
+            LoadMode::Copy => self.load_copy(options.index, ArenaOutcome::Copied),
+            LoadMode::Mmap => {
+                if cfg!(target_endian = "big") {
+                    return self.load_copy(
+                        options.index,
+                        ArenaOutcome::MmapFellBack {
+                            reason: "big-endian target".to_string(),
+                        },
+                    );
+                }
+                let map = match MappedFile::map(&self.file) {
+                    Ok(map) => Arc::new(map),
+                    Err(e) => {
+                        return self.load_copy(
+                            options.index,
+                            ArenaOutcome::MmapFellBack {
+                                reason: e.to_string(),
+                            },
+                        )
+                    }
+                };
+                self.load_mapped(map, options.index)
+            }
+        }
+    }
+
+    /// The copying load: full read, every checksum verified.
+    fn load_copy(
+        &self,
+        policy: IndexPolicy,
+        arena_outcome: ArenaOutcome,
+    ) -> Result<LoadedSpace, StoreError> {
+        let bytes = std::fs::read(&self.path).map_err(|e| StoreError::io(&self.path, e))?;
+        Self::load_copy_from_bytes(&bytes, policy, arena_outcome)
+    }
+
+    /// The copying load over bytes already in memory (a fresh read, or a
+    /// mapping that cannot be served zero-copy — sparing a second disk
+    /// read on the v1/unaligned fallback).
+    fn load_copy_from_bytes(
+        bytes: &[u8],
+        policy: IndexPolicy,
+        arena_outcome: ArenaOutcome,
+    ) -> Result<LoadedSpace, StoreError> {
+        let parsed = parse_structure(bytes)?;
+        if crc32(parsed.arena) != parsed.arena_crc {
+            return Err(StoreError::corrupt("arena", "checksum mismatch"));
+        }
+        let persisted_present = parsed.idx.is_some();
+        let (idx, fallback) = match usable_index(&parsed.idx, policy) {
+            Ok(Some(idx)) => (
+                Some((
+                    ArenaStorage::from(decode_codes(idx.slots)),
+                    policy == IndexPolicy::VerifySampled,
+                )),
+                None,
+            ),
+            Ok(None) => (None, None),
+            Err(reason) => (None, Some(reason)),
+        };
+        let arena = ArenaStorage::from(decode_codes(parsed.arena));
+        let (space, index_outcome) = assemble(
+            &parsed.info,
+            parsed.params,
+            arena,
+            idx,
+            persisted_present,
+            || ArenaStorage::from(decode_codes(parsed.arena)),
+        )?;
+        let index_outcome = match fallback {
+            Some(reason) => IndexOutcome::RebuiltAfterFallback { reason },
+            None => index_outcome,
+        };
+        Ok(LoadedSpace {
+            space,
+            info: parsed.info,
+            report: LoadReport {
+                arena: arena_outcome,
+                index: index_outcome,
+            },
+        })
+    }
+
+    /// The zero-copy load: parse the mapped bytes, serve the arena (and,
+    /// policy permitting, the index slots) as borrowed views. The arena
+    /// checksum is intentionally not verified here (see [`LoadMode::Mmap`]).
+    fn load_mapped(
+        &self,
+        map: Arc<MappedFile>,
+        policy: IndexPolicy,
+    ) -> Result<LoadedSpace, StoreError> {
+        let parsed = parse_structure(map.bytes())?;
+        if parsed.info.version < 2 || !parsed.arena_offset.is_multiple_of(4) {
+            let reason = if parsed.info.version < 2 {
+                "v1 file (no alignment rule)".to_string()
+            } else {
+                "unaligned arena".to_string()
+            };
+            drop(parsed);
+            // The bytes are already mapped: copy out of the mapping
+            // instead of reading the file a second time.
+            return Self::load_copy_from_bytes(
+                map.bytes(),
+                policy,
+                ArenaOutcome::MmapFellBack { reason },
+            );
+        }
+        let persisted_present = parsed.idx.is_some();
+        let (idx, fallback) = match usable_index(&parsed.idx, policy) {
+            Ok(Some(idx)) => {
+                match MappedCodes::new(Arc::clone(&map), idx.slots_offset, idx.slots.len()) {
+                    Ok(view) => (
+                        Some((
+                            ArenaStorage::Shared(Arc::new(view)),
+                            policy == IndexPolicy::VerifySampled,
+                        )),
+                        None,
+                    ),
+                    Err(MapError::BadRange { .. }) => {
+                        (None, Some("index slots are not 4-byte aligned".to_string()))
+                    }
+                    Err(e) => (None, Some(e.to_string())),
+                }
+            }
+            Ok(None) => (None, None),
+            Err(reason) => (None, Some(reason)),
+        };
+        let arena_view =
+            MappedCodes::new(Arc::clone(&map), parsed.arena_offset, parsed.arena.len())
+                .map_err(|e| StoreError::corrupt("arena", e.to_string()))?;
+        let arena = ArenaStorage::Shared(Arc::new(arena_view.clone()));
+        let (space, index_outcome) = assemble(
+            &parsed.info,
+            parsed.params,
+            arena,
+            idx,
+            persisted_present,
+            || ArenaStorage::Shared(Arc::new(arena_view)),
+        )?;
+        let index_outcome = match fallback {
+            Some(reason) => IndexOutcome::RebuiltAfterFallback { reason },
+            None => index_outcome,
+        };
+        let info = parsed.info;
+        Ok(LoadedSpace {
+            space,
+            info,
+            report: LoadReport {
+                arena: ArenaOutcome::MmapZeroCopy,
+                index: index_outcome,
+            },
+        })
+    }
+}
+
+/// Load a store file with explicit [`LoadOptions`] in one call.
+pub fn load_space_from_path(
+    path: impl AsRef<Path>,
+    options: LoadOptions,
+) -> Result<LoadedSpace, StoreError> {
+    StoreReader::open(path)?.load(options)
+}
+
 /// Arenas at least this large verify their checksum on a helper thread,
 /// overlapped with the index build (below it, the thread spawn would cost
 /// more than the overlap saves).
@@ -669,13 +1236,55 @@ const PARALLEL_CRC_BYTES: usize = 2 << 20;
 
 /// Validate and rebuild a space from an in-memory store file in one call.
 ///
-/// For large arenas the arena checksum is verified on a scoped helper
-/// thread *while* the main thread decodes the codes and builds the
-/// membership index — the two dominate warm-load time and are independent.
-/// The space is only returned when both succeed, so a corrupt file is never
-/// served; it merely wastes the (discarded) speculative index build.
+/// This is the **strict** entry point: every checksum in the file must
+/// verify — arena, metadata sections, and the `IDX` section when present
+/// (whose table must also pass adoption with sampled verification). Any
+/// mismatch is an error, never a silent fallback; the cache layer maps
+/// such errors to a rebuild. For policy-driven loading (zero-copy, index
+/// trust levels, reported fallbacks) use [`StoreReader::load`].
+///
+/// When no index section is present and the arena is large, the arena
+/// checksum is verified on a scoped helper thread *while* the main thread
+/// decodes the codes and builds the membership table — the two dominate
+/// that load shape and are independent. The space is only returned when
+/// both succeed, so a corrupt file is never served; it merely wastes the
+/// (discarded) speculative index build.
 pub fn read_space_from_bytes(bytes: &[u8]) -> Result<(SearchSpace, StoreInfo), StoreError> {
     let parsed = parse_structure(bytes)?;
+
+    // A present index must be fully sound in the strict reader.
+    if let Some(idx) = &parsed.idx {
+        if !idx.crc_ok() {
+            return Err(StoreError::corrupt("index", "checksum mismatch"));
+        }
+        if idx.hash_version != INDEX_HASH_VERSION {
+            return Err(StoreError::corrupt(
+                "index",
+                format!(
+                    "row-hash version {} (this build uses {INDEX_HASH_VERSION})",
+                    idx.hash_version
+                ),
+            ));
+        }
+        if crc32(parsed.arena) != parsed.arena_crc {
+            return Err(StoreError::corrupt("arena", "checksum mismatch"));
+        }
+        let space = SearchSpace::from_code_storage_with_index(
+            parsed.info.name.clone(),
+            parsed.params,
+            parsed.info.num_rows,
+            ArenaStorage::from(decode_codes(parsed.arena)),
+            ArenaStorage::from(decode_codes(idx.slots)),
+            IndexVerification::Sampled(VERIFY_SAMPLES),
+            CodeValidation::Checked,
+        )
+        .map_err(|e| match e {
+            SpaceError::IndexInvalid { detail } => StoreError::corrupt("index", detail),
+            other => other.into(),
+        })?;
+        return Ok((space, parsed.info));
+    }
+
     let multicore = std::thread::available_parallelism().is_ok_and(|n| n.get() > 1);
     if !multicore || parsed.arena.len() < PARALLEL_CRC_BYTES {
         if crc32(parsed.arena) != parsed.arena_crc {
@@ -695,6 +1304,7 @@ pub fn read_space_from_bytes(bytes: &[u8]) -> Result<(SearchSpace, StoreInfo), S
         params,
         arena,
         arena_crc,
+        ..
     } = parsed;
     let (crc_ok, space) = std::thread::scope(|scope| {
         let checker = scope.spawn(move || crc32(arena) == arena_crc);
@@ -708,7 +1318,8 @@ pub fn read_space_from_bytes(bytes: &[u8]) -> Result<(SearchSpace, StoreInfo), S
     Ok((space?, info))
 }
 
-/// Read, validate and rebuild a space from a store file in one call.
+/// Read, validate and rebuild a space from a store file in one call (the
+/// strict copying path; see [`read_space_from_bytes`]).
 pub fn read_space_from_path(
     path: impl AsRef<Path>,
 ) -> Result<(SearchSpace, StoreInfo), StoreError> {
@@ -719,8 +1330,9 @@ pub fn read_space_from_path(
 
 /// Read a store file's metadata without loading or validating the arena —
 /// the cheap path for listing a cache directory. The header section's CRC
-/// *is* verified; the arena's is not (use [`StoreReader::open`] for a full
-/// verification).
+/// *is* verified, and the `IDX` section's frame (tag, version, slot count)
+/// is located via O(1) seeks; the arena and index checksums are not
+/// checked (use [`read_space_from_bytes`] for a full verification).
 pub fn peek_info(path: impl AsRef<Path>) -> Result<StoreInfo, StoreError> {
     let path = path.as_ref();
     let mut file = File::open(path).map_err(|e| StoreError::io(path, e))?;
@@ -735,7 +1347,7 @@ pub fn peek_info(path: impl AsRef<Path>) -> Result<StoreInfo, StoreError> {
         });
     }
     let version = u32::from_le_bytes(head[4..8].try_into().expect("4 bytes"));
-    if version != FORMAT_VERSION {
+    if !(MIN_READ_VERSION..=FORMAT_VERSION).contains(&version) {
         return Err(StoreError::UnsupportedVersion {
             found: version,
             supported: FORMAT_VERSION,
@@ -744,14 +1356,14 @@ pub fn peek_info(path: impl AsRef<Path>) -> Result<StoreInfo, StoreError> {
     if head[8..12] != TAG_HEADER {
         return Err(StoreError::corrupt("header", "missing header tag"));
     }
-    let len = u64::from_le_bytes(head[12..20].try_into().expect("8 bytes")) as usize;
-    if len > 1 << 20 {
+    let hdr_len = u64::from_le_bytes(head[12..20].try_into().expect("8 bytes")) as usize;
+    if hdr_len > 1 << 20 {
         return Err(StoreError::corrupt("header", "implausible header length"));
     }
-    let mut payload = vec![0u8; len + 4];
+    let mut payload = vec![0u8; hdr_len + 4];
     file.read_exact(&mut payload)
         .map_err(|_| StoreError::corrupt("header", "file ends inside the header"))?;
-    let (payload, crc_bytes) = payload.split_at(len);
+    let (payload, crc_bytes) = payload.split_at(hdr_len);
     if crc32(payload) != u32::from_le_bytes(crc_bytes.try_into().expect("4 bytes")) {
         return Err(StoreError::corrupt("header", "checksum mismatch"));
     }
@@ -769,12 +1381,67 @@ pub fn peek_info(path: impl AsRef<Path>) -> Result<StoreInfo, StoreError> {
     }
     let num_rows = u64::from_le_bytes(trailer[4..12].try_into().expect("8 bytes")) as usize;
 
+    // Locate the IDX frame (v2 only): skip the params section and the
+    // arena without reading either.
+    let mut index = None;
+    if version >= 2 {
+        let par_at = 8 + 12 + hdr_len as u64 + 4;
+        file.seek(SeekFrom::Start(par_at))
+            .map_err(|e| StoreError::io(path, e))?;
+        let mut frame = [0u8; 12];
+        file.read_exact(&mut frame)
+            .map_err(|_| StoreError::corrupt("params", "file ends inside the params frame"))?;
+        if frame[0..4] != TAG_PARAMS {
+            return Err(StoreError::corrupt("params", "missing params tag"));
+        }
+        let par_len = u64::from_le_bytes(frame[4..12].try_into().expect("8 bytes"));
+        let arn_at = par_at + 12 + par_len + 4;
+        file.seek(SeekFrom::Start(arn_at))
+            .map_err(|e| StoreError::io(path, e))?;
+        let mut arn = [0u8; 8];
+        file.read_exact(&mut arn)
+            .map_err(|_| StoreError::corrupt("arena", "file ends inside the arena frame"))?;
+        if arn[0..4] != TAG_ARENA {
+            return Err(StoreError::corrupt("arena", "missing arena tag"));
+        }
+        let pad = u32::from_le_bytes(arn[4..8].try_into().expect("4 bytes")) as u64;
+        if pad > 3 {
+            return Err(StoreError::corrupt(
+                "arena",
+                "implausible alignment padding",
+            ));
+        }
+        let arena_len = (num_rows as u64)
+            .checked_mul(num_params as u64)
+            .and_then(|c| c.checked_mul(4))
+            .ok_or_else(|| StoreError::corrupt("arena", "arena size overflows"))?;
+        let idx_at = arn_at + 8 + pad + arena_len;
+        let trailer_at = file_bytes - TRAILER_LEN as u64;
+        if idx_at < trailer_at {
+            file.seek(SeekFrom::Start(idx_at))
+                .map_err(|e| StoreError::io(path, e))?;
+            let mut frame = [0u8; 4 + 8 + 8];
+            file.read_exact(&mut frame)
+                .map_err(|_| StoreError::corrupt("index", "file ends inside the index frame"))?;
+            if frame[0..4] != TAG_INDEX {
+                return Err(StoreError::corrupt("index", "missing index tag"));
+            }
+            let hash_version = u32::from_le_bytes(frame[12..16].try_into().expect("4 bytes"));
+            let num_slots = u32::from_le_bytes(frame[16..20].try_into().expect("4 bytes")) as usize;
+            index = Some(IndexInfo {
+                hash_version,
+                num_slots,
+            });
+        }
+    }
+
     Ok(StoreInfo {
         version,
         name,
         num_params,
         num_rows,
         file_bytes,
+        index,
     })
 }
 
@@ -811,6 +1478,12 @@ mod tests {
         }
     }
 
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("at-store-format-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
     #[test]
     fn write_read_round_trip() {
         let space = small_space();
@@ -818,13 +1491,34 @@ mod tests {
         let summary = write_space(&space, &mut bytes).unwrap();
         assert_eq!(summary.rows, 4);
         assert_eq!(summary.bytes_written, bytes.len() as u64);
-        let reader = StoreReader::from_bytes(&bytes).unwrap();
-        assert_eq!(reader.info().name, "small");
-        assert_eq!(reader.info().num_rows, 4);
-        assert_eq!(reader.info().num_params, 2);
-        let (loaded, info) = reader.into_space().unwrap();
+        let (loaded, info) = read_space_from_bytes(&bytes).unwrap();
+        assert_eq!(info.name, "small");
+        assert_eq!(info.num_rows, 4);
+        assert_eq!(info.num_params, 2);
+        assert_eq!(info.version, FORMAT_VERSION);
         assert_eq!(info.file_bytes, bytes.len() as u64);
+        let index = info.index.expect("v2 files carry an index");
+        assert_eq!(index.hash_version, INDEX_HASH_VERSION);
+        assert_eq!(index.num_slots, space.index_slots().len());
         spaces_identical(&space, &loaded);
+    }
+
+    #[test]
+    fn v2_arena_is_four_byte_aligned_for_any_name_length() {
+        for name in ["s", "sp", "spa", "spac", "space"] {
+            let params = vec![TunableParameter::ints("x", [1, 2])];
+            let space = SearchSpace::from_configs(name, params, vec![int_values([1])]).unwrap();
+            let mut bytes = Vec::new();
+            write_space(&space, &mut bytes).unwrap();
+            let parsed = parse_structure(&bytes).unwrap();
+            assert_eq!(
+                parsed.arena_offset % 4,
+                0,
+                "arena misaligned for name {name:?}"
+            );
+            let idx = parsed.idx.as_ref().expect("index present");
+            assert_eq!(idx.slots_offset % 4, 0, "slots misaligned for {name:?}");
+        }
     }
 
     /// An owned, clonable byte sink: the `RowSink` impl requires
@@ -882,10 +1576,7 @@ mod tests {
         writer.merge_chunk(chunk).unwrap();
         let (streamed, _) = writer.finish().unwrap();
         spaces_identical(&space, &streamed);
-        let (loaded, _) = StoreReader::from_bytes(&buf.bytes())
-            .unwrap()
-            .into_space()
-            .unwrap();
+        let (loaded, _) = read_space_from_bytes(&buf.bytes()).unwrap();
         spaces_identical(&space, &loaded);
     }
 
@@ -897,7 +1588,7 @@ mod tests {
         writer.push_row(&int_values([1, 1])).unwrap();
         drop(writer);
         // No trailer was written: the reader must refuse the file.
-        assert!(StoreReader::from_bytes(&buf.bytes()).is_err());
+        assert!(read_space_from_bytes(&buf.bytes()).is_err());
     }
 
     #[test]
@@ -906,10 +1597,7 @@ mod tests {
         let space = SearchSpace::from_configs("empty", params, vec![]).unwrap();
         let mut bytes = Vec::new();
         write_space(&space, &mut bytes).unwrap();
-        let (loaded, info) = StoreReader::from_bytes(&bytes)
-            .unwrap()
-            .into_space()
-            .unwrap();
+        let (loaded, info) = read_space_from_bytes(&bytes).unwrap();
         assert_eq!(info.num_rows, 0);
         assert!(loaded.is_empty());
         assert_eq!(loaded.params().len(), 1);
@@ -934,10 +1622,7 @@ mod tests {
         let space = SearchSpace::from_configs("mixed", params, configs).unwrap();
         let mut bytes = Vec::new();
         write_space(&space, &mut bytes).unwrap();
-        let (loaded, _) = StoreReader::from_bytes(&bytes)
-            .unwrap()
-            .into_space()
-            .unwrap();
+        let (loaded, _) = read_space_from_bytes(&bytes).unwrap();
         spaces_identical(&space, &loaded);
     }
 
@@ -950,14 +1635,14 @@ mod tests {
         let mut bad = bytes.clone();
         bad[0] = b'X';
         assert!(matches!(
-            StoreReader::from_bytes(&bad),
+            read_space_from_bytes(&bad),
             Err(StoreError::BadMagic { .. })
         ));
 
         let mut bad = bytes.clone();
         bad[4] = 99;
         assert!(matches!(
-            StoreReader::from_bytes(&bad),
+            read_space_from_bytes(&bad),
             Err(StoreError::UnsupportedVersion { found: 99, .. })
         ));
     }
@@ -970,7 +1655,7 @@ mod tests {
         for i in 0..bytes.len() {
             let mut flipped = bytes.clone();
             flipped[i] ^= 0x40;
-            let result = StoreReader::from_bytes(&flipped).and_then(|r| r.into_space());
+            let result = read_space_from_bytes(&flipped);
             assert!(result.is_err(), "flip at byte {i} went undetected");
         }
     }
@@ -981,7 +1666,7 @@ mod tests {
         let mut bytes = Vec::new();
         write_space(&space, &mut bytes).unwrap();
         for keep in 0..bytes.len() {
-            let result = StoreReader::from_bytes(&bytes[..keep]).and_then(|r| r.into_space());
+            let result = read_space_from_bytes(&bytes[..keep]);
             assert!(
                 result.is_err(),
                 "truncation to {keep} bytes went undetected"
@@ -991,9 +1676,7 @@ mod tests {
 
     #[test]
     fn peek_reads_metadata_without_the_arena() {
-        let dir = std::env::temp_dir().join("at-store-format-test");
-        std::fs::create_dir_all(&dir).unwrap();
-        let path = dir.join("peek.atss");
+        let path = temp_path("peek.atss");
         let space = small_space();
         write_space_to_path(&space, &path).unwrap();
         let info = peek_info(&path).unwrap();
@@ -1001,7 +1684,111 @@ mod tests {
         assert_eq!(info.num_rows, 4);
         assert_eq!(info.num_params, 2);
         assert_eq!(info.version, FORMAT_VERSION);
+        let index = info.index.expect("index frame located");
+        assert_eq!(index.hash_version, INDEX_HASH_VERSION);
+        assert_eq!(index.num_slots, space.index_slots().len());
         let full = StoreReader::open(&path).unwrap();
-        assert_eq!(full.info(), &info);
+        assert_eq!(full.info().unwrap(), info);
+        let (_, read_info) = read_space_from_path(&path).unwrap();
+        assert_eq!(read_info, info);
+    }
+
+    #[test]
+    fn load_options_cover_the_matrix() {
+        let path = temp_path("matrix.atss");
+        let space = small_space();
+        write_space_to_path(&space, &path).unwrap();
+        let reader = StoreReader::open(&path).unwrap();
+        for mode in [LoadMode::Copy, LoadMode::Mmap] {
+            for index in [
+                IndexPolicy::Rebuild,
+                IndexPolicy::TrustPersisted,
+                IndexPolicy::VerifySampled,
+            ] {
+                let loaded = reader.load(LoadOptions { mode, index }).unwrap();
+                spaces_identical(&space, &loaded.space);
+                match index {
+                    IndexPolicy::Rebuild => assert_eq!(
+                        loaded.report.index,
+                        IndexOutcome::Rebuilt {
+                            persisted_present: true
+                        }
+                    ),
+                    IndexPolicy::TrustPersisted => assert_eq!(
+                        loaded.report.index,
+                        IndexOutcome::Adopted { verified: false }
+                    ),
+                    IndexPolicy::VerifySampled => assert_eq!(
+                        loaded.report.index,
+                        IndexOutcome::Adopted { verified: true }
+                    ),
+                }
+                if mode == LoadMode::Mmap && cfg!(target_os = "linux") {
+                    assert!(loaded.report.is_zero_copy(), "{:?}", loaded.report);
+                    assert!(loaded.space.is_zero_copy());
+                } else if mode == LoadMode::Copy {
+                    assert_eq!(loaded.report.arena, ArenaOutcome::Copied);
+                    assert!(!loaded.space.is_zero_copy());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn corrupt_index_falls_back_to_rebuild_with_a_report() {
+        let path = temp_path("bad-index.atss");
+        let space = small_space();
+        let mut bytes = Vec::new();
+        write_space(&space, &mut bytes).unwrap();
+        // Flip a byte inside the IDX slot array (between arena end and the
+        // trailer, past the section frame and payload header).
+        let flip_at = bytes.len() - TRAILER_LEN - 1;
+        bytes[flip_at] ^= 0x08;
+        std::fs::write(&path, &bytes).unwrap();
+
+        // Strict reader: hard error.
+        assert!(read_space_from_bytes(&bytes).is_err());
+
+        // Policy reader: clean fallback, reported — and identical answers.
+        for mode in [LoadMode::Copy, LoadMode::Mmap] {
+            let loaded = StoreReader::open(&path)
+                .unwrap()
+                .load(LoadOptions {
+                    mode,
+                    index: IndexPolicy::VerifySampled,
+                })
+                .unwrap();
+            let reason = loaded
+                .report
+                .index_fallback()
+                .expect("fallback must be reported");
+            assert!(reason.contains("checksum"), "{reason}");
+            spaces_identical(&space, &loaded.space);
+        }
+    }
+
+    #[test]
+    fn wrong_hash_version_index_is_rejected_then_rebuilt() {
+        let space = small_space();
+        let mut bytes = Vec::new();
+        write_space(&space, &mut bytes).unwrap();
+        // The IDX payload starts with the hash version; patch it and fix
+        // the section CRC so only the version mismatch remains.
+        let parsed = parse_structure(&bytes).unwrap();
+        let payload_at = parsed.idx.as_ref().unwrap().slots_offset - 8;
+        let payload_len = parsed.idx.as_ref().unwrap().payload.len();
+        drop(parsed);
+        bytes[payload_at..payload_at + 4].copy_from_slice(&77u32.to_le_bytes());
+        let crc = crc32(&bytes[payload_at..payload_at + payload_len]);
+        let crc_at = payload_at + payload_len;
+        bytes[crc_at..crc_at + 4].copy_from_slice(&crc.to_le_bytes());
+
+        assert!(read_space_from_bytes(&bytes).is_err(), "strict reader");
+        let path = temp_path("hashver.atss");
+        std::fs::write(&path, &bytes).unwrap();
+        let loaded = load_space_from_path(&path, LoadOptions::default()).unwrap();
+        let reason = loaded.report.index_fallback().unwrap();
+        assert!(reason.contains("hash version"), "{reason}");
+        spaces_identical(&space, &loaded.space);
     }
 }

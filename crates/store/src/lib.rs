@@ -3,26 +3,37 @@
 //! The paper's Section 4.3.4 argues that solver output formats must stay
 //! close to the internal representation, because rearranging the output can
 //! cost as much as construction itself. This crate takes that argument to
-//! disk: a resolved [`SearchSpace`](at_searchspace::SearchSpace) is
-//! persisted as its columnar `u32` code
-//! arena **verbatim** (the `ATSS` format), so a space is solved *once* and
-//! every later process loads it in milliseconds — no re-solving, no
-//! re-encoding, only the membership-table build every constructor needs.
+//! disk — and then all the way to zero copies: a resolved
+//! [`SearchSpace`](at_searchspace::SearchSpace) is persisted as its
+//! columnar `u32` code arena **verbatim** plus its membership table (the
+//! `ATSS` format, v2), so a space is solved *once* and every later process
+//! serves it with no re-solving and no re-encoding. The copying load
+//! rebuilds nothing but the in-memory buffers; the `mmap(2)` load with a
+//! trusted persisted index borrows both the arena and the table straight
+//! out of the page cache — O(header) work, one resident copy shared by
+//! every process that maps the same entry.
 //!
 //! Three layers:
 //!
 //! * [`StoreWriter`] / [`StoreReader`] / [`write_space`] — the `ATSS` file
 //!   format. `StoreWriter` implements the solver sink interface
 //!   ([`at_csp::sink::SolutionSink`]), so a space is persisted *while* it
-//!   is constructed.
+//!   is constructed; [`StoreReader::load`] takes [`LoadOptions`]
+//!   (copying vs. zero-copy mmap × index rebuild / trust / sampled
+//!   verification) and returns a [`LoadReport`] of what actually happened.
+//! * [`mmap`] — the hand-rolled `mmap(2)` wrapper behind the zero-copy
+//!   path (Linux FFI against the already-linked C library; owned-copy
+//!   fallback elsewhere).
 //! * [`SpecFingerprint`] — deterministic content-addressing of a
 //!   [`SearchSpaceSpec`](at_searchspace::SearchSpaceSpec) +
 //!   [`RestrictionLowering`](at_searchspace::RestrictionLowering) pair
 //!   (see [`fingerprint`] for the exact coverage and stability guarantees).
-//! * [`SpaceStore`] — the cache: [`SpaceStore::get_or_build`] with atomic
-//!   temp-file + rename writes, full validation with fallback to rebuild
-//!   (a corrupt or stale entry is never served), and size-bounded LRU
-//!   [`SpaceStore::gc`].
+//! * [`SpaceStore`] — the cache: [`SpaceStore::get_or_build_with_options`]
+//!   with atomic temp-file + rename writes, validation with fallback to
+//!   rebuild (a corrupt or stale entry is never served; a stale index is
+//!   repaired and reported), hit/miss/rebuild/latency
+//!   [`SpaceStore::metrics`], and LRU [`SpaceStore::gc_with`] bounded by
+//!   bytes and entry count.
 //!
 //! ```
 //! use at_searchspace::{Method, SearchSpaceSpec, TunableParameter};
@@ -52,10 +63,13 @@
 //! its payload: `0x01` + `i64` (int), `0x02` + IEEE-754 bit pattern as
 //! `u64` (float), `0x03` + `0x00`/`0x01` (bool), `0x04` + string (str).
 //!
+//! This build writes **version 2** and reads versions 1 and 2. The v2
+//! layout (differences from v1 are marked `v2:`):
+//!
 //! ```text
 //! offset   size  field
 //! 0        4     magic, the ASCII bytes "ATSS"
-//! 4        4     format version, u32 (currently 1)
+//! 4        4     format version, u32 (1 or 2)
 //!
 //! --- HEADER section -------------------------------------------------------
 //! 8        4     section tag "HDR\0"
@@ -77,9 +91,31 @@
 //!
 //! --- ARENA section --------------------------------------------------------
 //! .        4     section tag "ARN\0"
+//! .        4     v2: pad length p, u32 (0..=3)
+//! .        p     v2: p zero bytes, chosen so the next offset is a
+//!                multiple of 4 — the *alignment rule* that makes a
+//!                `&[u32]` view over the mmapped file valid (mmap memory
+//!                is page-aligned, so file-offset alignment is pointer
+//!                alignment). v1 has neither field and no alignment
+//!                guarantee, which is why v1 files always load by copy.
 //! .        N*S*4 the configuration arena, verbatim: N rows x S params of
 //!                u32 value codes, row-major, declaration order — exactly
 //!                the in-memory layout of `SearchSpace::arena()`
+//!
+//! --- INDEX section (v2, optional — present in files this build writes) ----
+//! .        4     section tag "IDX\0"
+//! .        8     payload length, u64 (= 8 + num_slots*4)
+//! .        4     row-hash version, u32: the version of the row-hash
+//!                function the table was built with
+//!                (`at_searchspace::INDEX_HASH_VERSION`); a mismatch means
+//!                "rebuild", never "adopt"
+//! .        4     num_slots, u32 (a power of two)
+//! .        S4    num_slots x u32 open-addressing slots, verbatim from
+//!                `SearchSpace::index_slots()` (id, or 0xFFFF_FFFF for
+//!                empty). Starts 4-byte aligned by construction: the arena
+//!                is aligned, its length is a multiple of 4, and the 20
+//!                frame+header bytes preserve alignment.
+//! .        4     CRC-32 of the payload (hash version + count + slots)
 //!
 //! --- TRAILER (always the last 16 bytes) -----------------------------------
 //! end-16   4     trailer tag "END\0"
@@ -88,11 +124,26 @@
 //! end-4    4     CRC-32 of the N*S*4 arena bytes
 //! ```
 //!
-//! The arena's length is not stored explicitly: it is implied by the file
-//! length and re-checked against `N x S x 4` from the trailer, so
+//! The arena's length is not stored explicitly: it is implied by `N x S x 4`
+//! from the trailer and bounds-checked against the file length, so
 //! truncation, a crashed half-write (no trailer) and trailer/arena
 //! disagreement are all detected. Every metadata byte is covered by a
-//! section CRC, every arena byte by the trailer CRC.
+//! section CRC, every arena byte by the trailer CRC, every index byte by
+//! the `IDX` CRC.
+//!
+//! # Trust policy of the zero-copy path
+//!
+//! [`StoreReader::load`] takes [`LoadOptions`]: `mode` picks copying
+//! (every checksum verified) or mmap (zero copy; the arena checksum is
+//! *not* read — it would fault in every page), and `index` picks how the
+//! persisted table is treated ([`IndexPolicy::Rebuild`] /
+//! [`IndexPolicy::TrustPersisted`] / [`IndexPolicy::VerifySampled`]).
+//! Whatever the policy, the `IDX` checksum, hash version and structural
+//! invariants are verified before a single lookup goes through a persisted
+//! table, and an unusable table falls back to a rebuild that is **reported**
+//! in the returned [`LoadReport`] (and counted by `SpaceStore` metrics) —
+//! while the lookup algorithm itself re-compares arena rows, so even a
+//! semantically wrong table can only miss a row, never misattribute one.
 
 #![warn(missing_docs)]
 
@@ -101,13 +152,18 @@ pub mod checksum;
 pub mod error;
 pub mod fingerprint;
 pub mod format;
+pub mod mmap;
 
 pub use cache::{
-    build_search_space_cached, CacheStatus, GcReport, SpaceStore, StoreEntry, StoreOutcome,
+    build_search_space_cached, CacheStatus, GcOptions, GcReport, SpaceStore, StoreEntry,
+    StoreMetrics, StoreOutcome,
 };
 pub use error::StoreError;
 pub use fingerprint::SpecFingerprint;
 pub use format::{
-    peek_info, read_space_from_path, write_space, write_space_to_path, StoreInfo, StoreReader,
-    StoreSummary, StoreWriter, FORMAT_VERSION, MAGIC,
+    load_space_from_path, peek_info, read_space_from_bytes, read_space_from_path, write_space,
+    write_space_to_path, ArenaOutcome, IndexInfo, IndexOutcome, IndexPolicy, LoadMode, LoadOptions,
+    LoadReport, LoadedSpace, StoreInfo, StoreReader, StoreSummary, StoreWriter, FORMAT_VERSION,
+    MAGIC, MIN_READ_VERSION,
 };
+pub use mmap::{MapError, MappedCodes, MappedFile};

@@ -87,6 +87,8 @@ pub use at_workloads as workloads;
 pub mod prelude {
     pub use at_csp::prelude::*;
     pub use at_searchspace::prelude::*;
-    pub use at_store::{build_search_space_cached, SpaceStore, SpecFingerprint};
+    pub use at_store::{
+        build_search_space_cached, IndexPolicy, LoadMode, LoadOptions, SpaceStore, SpecFingerprint,
+    };
     pub use at_tuner::{tune, PerformanceModel, RandomSampling, Strategy, SyntheticKernel};
 }

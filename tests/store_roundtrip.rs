@@ -12,8 +12,8 @@ use autotuning_searchspaces::searchspace::{
     build_search_space, Method, SearchSpace, SearchSpaceSpec, TunableParameter,
 };
 use autotuning_searchspaces::store::{
-    read_space_from_path, write_space, write_space_to_path, CacheStatus, SpaceStore, StoreError,
-    StoreReader, StoreWriter, FORMAT_VERSION,
+    read_space_from_bytes, read_space_from_path, write_space, write_space_to_path, CacheStatus,
+    SpaceStore, StoreError, StoreWriter, FORMAT_VERSION,
 };
 
 /// A randomly generated space description: per-parameter domains (integers,
@@ -114,8 +114,9 @@ proptest! {
         let summary = write_space(&space, &mut bytes).unwrap();
         prop_assert_eq!(summary.rows as usize, space.len());
         prop_assert_eq!(summary.bytes_written as usize, bytes.len());
-        let (loaded, info) = StoreReader::from_bytes(&bytes).unwrap().into_space().unwrap();
+        let (loaded, info) = read_space_from_bytes(&bytes).unwrap();
         prop_assert_eq!(info.version, FORMAT_VERSION);
+        prop_assert!(info.index.is_some(), "v2 files persist the membership table");
         prop_assert_eq!(info.num_rows, space.len());
         assert_spaces_identical(&space, &loaded);
         // Rows outside the space stay outside after a round trip.
@@ -137,7 +138,7 @@ proptest! {
         let mut bytes = Vec::new();
         write_space(&space, &mut bytes).unwrap();
         let keep_bytes = ((bytes.len() - 1) as f64 * cut) as usize;
-        let result = StoreReader::from_bytes(&bytes[..keep_bytes]).and_then(|r| r.into_space());
+        let result = read_space_from_bytes(&bytes[..keep_bytes]);
         prop_assert!(result.is_err(), "truncation to {keep_bytes}/{} bytes slipped through", bytes.len());
     }
 
@@ -149,7 +150,7 @@ proptest! {
         write_space(&space, &mut bytes).unwrap();
         let at = ((bytes.len() - 1) as f64 * pos) as usize;
         bytes[at] ^= mask;
-        let result = StoreReader::from_bytes(&bytes).and_then(|r| r.into_space());
+        let result = read_space_from_bytes(&bytes);
         prop_assert!(result.is_err(), "flip of byte {at} (mask {mask:#04x}) slipped through");
     }
 }
@@ -231,7 +232,7 @@ fn wrong_version_is_a_clean_store_error() {
     let mut bytes = Vec::new();
     write_space(&space, &mut bytes).unwrap();
     bytes[4..8].copy_from_slice(&(FORMAT_VERSION + 1).to_le_bytes());
-    match StoreReader::from_bytes(&bytes) {
+    match read_space_from_bytes(&bytes) {
         Err(StoreError::UnsupportedVersion { found, supported }) => {
             assert_eq!(found, FORMAT_VERSION + 1);
             assert_eq!(supported, FORMAT_VERSION);

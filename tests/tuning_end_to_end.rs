@@ -99,6 +99,37 @@ fn tuning_on_a_store_loaded_space_matches_tuning_on_the_cold_build() {
 }
 
 #[test]
+fn tuning_on_a_zero_copy_mmap_space_matches_the_cold_build() {
+    use autotuning_searchspaces::store::LoadOptions;
+
+    let store_dir = std::env::temp_dir().join("at-tuning-e2e-mmap");
+    let _ = std::fs::remove_dir_all(&store_dir);
+    let store = SpaceStore::new(&store_dir).unwrap();
+    let spec = dedispersion().spec;
+
+    let (cold, _) = store.get_or_build(&spec, Method::Optimized).unwrap();
+    let (mapped, outcome) = store
+        .get_or_build_with_options(
+            &spec,
+            Method::Optimized,
+            BuildOptions::default(),
+            LoadOptions::mmap_trusted(),
+        )
+        .unwrap();
+    assert!(outcome.status.is_hit());
+    if cfg!(target_os = "linux") {
+        assert!(mapped.is_zero_copy());
+    }
+
+    // Same ids, same evaluations: the tuner cannot tell the storages apart.
+    let model = performance_model_for("Dedispersion", &cold, 7);
+    let budget = Duration::from_secs(10);
+    let on_cold = tune(&cold, &model, &RandomSampling, budget, Duration::ZERO, 42);
+    let on_mapped = tune(&mapped, &model, &RandomSampling, budget, Duration::ZERO, 42);
+    assert_eq!(on_cold.evaluations, on_mapped.evaluations);
+}
+
+#[test]
 fn tuning_runs_are_reproducible_per_seed() {
     let (space, _) = build_search_space(&dedispersion().spec, Method::Optimized).unwrap();
     let model = performance_model_for("Dedispersion", &space, 1);
