@@ -3,9 +3,9 @@
 
 CARGO ?= cargo
 
-.PHONY: verify fmt clippy build test doctest smoke streaming store examples doc bench bench-construction bench-store fix
+.PHONY: verify fmt clippy build test doctest smoke streaming store examples doc fuzz-smoke fuzz bench bench-construction bench-store fix
 
-verify: fmt clippy build test smoke streaming store examples doc
+verify: fmt clippy build test smoke streaming store examples doc fuzz-smoke
 	@echo "---- all checks passed ----"
 
 fmt:
@@ -56,6 +56,21 @@ store:
 	$(CARGO) run --release -p at_cli --bin atss -- construct --workload dedispersion --cache-dir target/store-smoke --mmap --format csv --out target/store-smoke-out/mmap.csv
 	cmp target/store-smoke-out/cold.csv target/store-smoke-out/mmap.csv
 	$(CARGO) run --release -p at_cli --bin atss -- cache verify --cache-dir target/store-smoke
+	$(CARGO) run --release -p at_cli --bin atss -- cache verify --cache-dir target/store-smoke --json | grep '"damaged":0'
+
+# The fuzzing gate (see README "Fuzzing & corpus policy"): replay every
+# checked-in regression input, then a short fixed-seed run of all three
+# targets so the differential oracles themselves are exercised on every
+# verify. Deterministic: same seed, same inputs, every run.
+fuzz-smoke:
+	$(CARGO) test -q --test fuzz_corpus
+	$(CARGO) run --release -p at_fuzz -- all --iters 20000 --seed 24301 --no-write
+
+# The long-haul fuzzing run: minutes, not CI. New crashes are minimized and
+# written into tests/fuzz_corpus/<target>/ — fix the bug and check the
+# minimized input in alongside the fix.
+fuzz:
+	$(CARGO) run --release -p at_fuzz -- all --iters 2000000 --seed 24301
 
 # Run the two API-tour examples end-to-end so drift between the examples and
 # the `SearchSpace` API fails the gate, not just compilation.

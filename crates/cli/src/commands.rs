@@ -7,7 +7,10 @@ use at_searchspace::{
     build_search_space, spec_from_json, to_csv, to_json_cache, BuildReport, Method, SearchSpace,
     SearchSpaceSpec, SpaceCharacteristics,
 };
-use at_store::{CacheStatus, GcOptions, LoadOptions, SpaceStore, SpecFingerprint, StoreOutcome};
+use at_store::{
+    CacheStatus, GcOptions, LoadOptions, SpaceStore, SpecFingerprint, StoreEntry, StoreError,
+    StoreOutcome,
+};
 use at_tuner::{strategy_by_name, tune as run_tuning};
 use at_workloads::{all_real_world, performance_model_for, real_world_by_name, real_world_names};
 
@@ -47,7 +50,9 @@ COMMANDS:
                       cache ls     --cache-dir <dir>
                       cache info   --cache-dir <dir> --workload <n>|--spec <f> [--method <m>]
                                    [--mmap]  also time a zero-copy load of the entry
-                      cache verify --cache-dir <dir>
+                      cache verify --cache-dir <dir> [--json]
+                                   --json emits one JSON object per entry plus a
+                                   summary line; damage is reported in-band
                       cache gc     --cache-dir <dir> --max-bytes <n> --max-entries <n>
     spec-template   Print an example JSON space specification
     help            Show this message
@@ -597,10 +602,70 @@ fn cache_info(args: &ParsedArgs) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// Escape a string for inclusion in a JSON string literal. The `--json`
+/// output only ever quotes hex fingerprints, file paths, and error
+/// messages, but paths and messages can contain anything.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// One JSONL line for `cache verify --json`.
+fn verify_json_line(entry: &StoreEntry, error: Option<&StoreError>) -> String {
+    let rows = match &entry.info {
+        Some(info) => info.num_rows.to_string(),
+        None => "null".to_string(),
+    };
+    let error_field = match error {
+        Some(e) => format!("\"{}\"", json_escape(&e.to_string())),
+        None => "null".to_string(),
+    };
+    format!(
+        "{{\"fingerprint\":\"{}\",\"path\":\"{}\",\"bytes\":{},\"rows\":{},\"status\":\"{}\",\"error\":{}}}",
+        json_escape(&entry.fingerprint.to_hex()),
+        json_escape(&entry.path.display().to_string()),
+        entry.bytes,
+        rows,
+        if error.is_none() { "ok" } else { "damaged" },
+        error_field,
+    )
+}
+
 fn cache_verify(args: &ParsedArgs) -> Result<String, CliError> {
     args.ensure_known_flags(&["cache-dir"])?;
     let store = resolve_store(args)?;
     let results = store.verify().map_err(|e| CliError::Run(e.to_string()))?;
+    if args.switch("json") {
+        // Machine output: one object per entry, then a summary object.
+        // Damage is reported in-band (status/error fields and the summary
+        // count) so every line stays parseable JSON; consumers check
+        // `damaged`, not the exit code.
+        let mut out = String::new();
+        let damaged = results.iter().filter(|(_, e)| e.is_some()).count();
+        for (entry, error) in &results {
+            writeln!(out, "{}", verify_json_line(entry, error.as_ref())).expect("write to string");
+        }
+        writeln!(
+            out,
+            "{{\"summary\":true,\"checked\":{},\"damaged\":{damaged}}}",
+            results.len()
+        )
+        .expect("write to string");
+        return Ok(out);
+    }
     let mut out = String::new();
     let mut damaged = 0usize;
     for (entry, error) in &results {
@@ -855,6 +920,62 @@ mod tests {
         assert!(gc.contains("evicted 1"), "{gc}");
         let ls = cache(&parsed(&["cache", "ls", "--cache-dir", &dir])).unwrap();
         assert!(ls.contains("0 entries"), "{ls}");
+    }
+
+    /// `cache verify --json` must emit one parseable JSON object per entry
+    /// with the documented fields, plus a trailing summary object — for
+    /// both clean and damaged caches (damage is reported in-band so every
+    /// line stays valid JSONL).
+    #[test]
+    fn cache_verify_json_schema() {
+        let dir = fresh_cache_dir("verify-json");
+        construct(&parsed(&[
+            "construct",
+            "--workload",
+            "dedispersion",
+            "--cache-dir",
+            &dir,
+        ]))
+        .unwrap();
+
+        let check_schema = |output: &str, status: &str, has_error: bool| {
+            let lines: Vec<&str> = output.lines().collect();
+            assert_eq!(lines.len(), 2, "one entry + summary: {output}");
+            let entry: serde_json::Value = serde_json::from_str(lines[0]).unwrap();
+            let fp = entry.get("fingerprint").unwrap().as_str().unwrap();
+            assert_eq!(fp.len(), 32, "fingerprint is 32 hex chars: {fp}");
+            let path = entry.get("path").unwrap().as_str().unwrap();
+            assert!(path.ends_with(".atss"), "{path}");
+            assert!(entry.get("bytes").unwrap().as_i64().unwrap() > 0);
+            assert!(entry.get("rows").unwrap().as_i64().unwrap() > 0);
+            assert_eq!(entry.get("status").unwrap().as_str().unwrap(), status);
+            let error = entry.get("error").unwrap();
+            assert_eq!(error.as_str().is_some(), has_error, "{error:?}");
+            let summary: serde_json::Value = serde_json::from_str(lines[1]).unwrap();
+            assert_eq!(summary.get("checked").unwrap().as_i64().unwrap(), 1);
+            assert_eq!(
+                summary.get("damaged").unwrap().as_i64().unwrap(),
+                i64::from(has_error)
+            );
+        };
+
+        let clean = cache(&parsed(&["cache", "verify", "--cache-dir", &dir, "--json"])).unwrap();
+        check_schema(&clean, "ok", false);
+
+        // Damage the arena; the entry must flip to "damaged" with the
+        // store error quoted, while the output stays line-by-line JSON.
+        let entry = std::fs::read_dir(&dir)
+            .unwrap()
+            .next()
+            .unwrap()
+            .unwrap()
+            .path();
+        let mut bytes = std::fs::read(&entry).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        std::fs::write(&entry, &bytes).unwrap();
+        let damaged = cache(&parsed(&["cache", "verify", "--cache-dir", &dir, "--json"])).unwrap();
+        check_schema(&damaged, "damaged", true);
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! specific constraints enables domain pruning that a generic function
 //! constraint cannot provide.
 
+use super::compare::CmpOp;
 use super::Constraint;
 use crate::assignment::Assignment;
 use crate::domain::DomainStore;
@@ -43,8 +44,14 @@ impl Constraint for ModuloEquals {
     }
 
     fn evaluate(&self, values: &[Value]) -> bool {
-        values.iter().all(|v| match v.as_i64() {
-            Some(i) => i.rem_euclid(self.modulus) == self.remainder,
+        // Mirror the expression interpreter exactly: `v % modulus` via
+        // Value::rem (which also handles non-integral floats), compared
+        // with Python equality. A modulo error rejects, like any other
+        // evaluation error in a restriction.
+        let modulus = Value::Int(self.modulus);
+        let remainder = Value::Int(self.remainder);
+        values.iter().all(|v| match v.rem(&modulus) {
+            Some(r) => CmpOp::Eq.apply(&r, &remainder),
             None => false,
         })
     }
@@ -78,9 +85,12 @@ impl Constraint for Divides {
     }
 
     fn evaluate(&self, values: &[Value]) -> bool {
-        match (values[0].as_i64(), values[1].as_i64()) {
-            (Some(dividend), Some(divisor)) if divisor != 0 => dividend % divisor == 0,
-            _ => false,
+        // Same parity-by-construction as ModuloEquals: evaluate through
+        // Value::rem so floats and error cases behave exactly as the
+        // interpreter's `dividend % divisor == 0`.
+        match values[0].rem(&values[1]) {
+            Some(r) => CmpOp::Eq.apply(&r, &Value::Int(0)),
+            None => false,
         }
     }
 
@@ -143,6 +153,24 @@ mod tests {
             s.push(Domain::new(int_values(d)));
         }
         s
+    }
+
+    #[test]
+    fn modulo_follows_value_rem_semantics() {
+        // Found by the fuzzer: `y % y == False` with y = 1.75 must hold —
+        // Value::rem handles non-integral floats (1.75 % 1.75 == 0.0, and
+        // 0.0 equals False numerically) — while the old integer-only
+        // evaluation rejected every non-integral float.
+        let d = Divides::new();
+        assert!(d.evaluate(&[Value::Float(1.75), Value::Float(1.75)]));
+        assert!(d.evaluate(&[Value::Float(3.5), Value::Float(1.75)]));
+        assert!(!d.evaluate(&[Value::Float(2.5), Value::Float(1.75)]));
+        assert!(!d.evaluate(&[Value::Float(1.0), Value::Float(0.0)]));
+        assert!(!d.evaluate(&[Value::str("half"), Value::Int(2)]));
+        let m = ModuloEquals::new(2, 1);
+        assert!(m.evaluate(&[Value::Float(3.0)]));
+        assert!(!m.evaluate(&[Value::Float(3.5)]));
+        assert!(!m.evaluate(&[Value::str("half")]));
     }
 
     #[test]

@@ -81,6 +81,15 @@ impl BuiltinFn {
             _ => None,
         }
     }
+
+    /// The source-form name of the function.
+    pub fn name(&self) -> &'static str {
+        match self {
+            BuiltinFn::Min => "min",
+            BuiltinFn::Max => "max",
+            BuiltinFn::Abs => "abs",
+        }
+    }
 }
 
 /// A constraint expression.
@@ -256,6 +265,182 @@ impl Expr {
     pub fn is_constant(&self) -> bool {
         self.variables().is_empty()
     }
+
+    /// Binding strength of the expression's top-level form, mirroring the
+    /// parser's grammar levels (higher binds tighter). Used by [`Display`]
+    /// to decide where parentheses are required.
+    fn precedence(&self) -> u8 {
+        match self {
+            Expr::Or(_) => PREC_OR,
+            Expr::And(_) => PREC_AND,
+            Expr::Not(_) => PREC_NOT,
+            Expr::Compare { .. } | Expr::In { .. } => PREC_CMP,
+            Expr::Binary {
+                op: BinOp::Add | BinOp::Sub,
+                ..
+            } => PREC_ADD,
+            Expr::Binary {
+                op: BinOp::Mul | BinOp::Div | BinOp::FloorDiv | BinOp::Mod,
+                ..
+            } => PREC_MUL,
+            Expr::Neg(_) => PREC_UNARY,
+            Expr::Binary { op: BinOp::Pow, .. } => PREC_POW,
+            // A negative numeric literal prints with a leading `-`, so in
+            // source form it binds like a unary minus (`-3 ** 2` must not
+            // print as the atom-shaped `-3` in the base slot of `**`).
+            Expr::Const(Value::Int(i)) if *i < 0 => PREC_UNARY,
+            Expr::Const(Value::Float(x)) if *x < 0.0 => PREC_UNARY,
+            Expr::Const(_) | Expr::Var(_) | Expr::Call { .. } => PREC_ATOM,
+        }
+    }
+
+    fn fmt_prec(&self, f: &mut std::fmt::Formatter<'_>, min: u8) -> std::fmt::Result {
+        if self.precedence() < min {
+            write!(f, "(")?;
+            self.fmt_inner(f)?;
+            write!(f, ")")
+        } else {
+            self.fmt_inner(f)
+        }
+    }
+
+    fn fmt_inner(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Expr::Const(v) => fmt_value(f, v),
+            Expr::Var(name) => write!(f, "{name}"),
+            Expr::Neg(e) => {
+                write!(f, "-")?;
+                e.fmt_prec(f, PREC_UNARY)
+            }
+            Expr::Not(e) => {
+                write!(f, "not ")?;
+                e.fmt_prec(f, PREC_NOT)
+            }
+            Expr::Binary { op, lhs, rhs } => {
+                // Left-associative chains re-parse identically when the
+                // right operand sits one level tighter; `**` is
+                // right-associative with an atom-only base slot.
+                let (lhs_min, rhs_min) = match op {
+                    BinOp::Add | BinOp::Sub => (PREC_ADD, PREC_MUL),
+                    BinOp::Pow => (PREC_ATOM, PREC_UNARY),
+                    _ => (PREC_MUL, PREC_UNARY),
+                };
+                lhs.fmt_prec(f, lhs_min)?;
+                write!(f, " {} ", op.symbol())?;
+                rhs.fmt_prec(f, rhs_min)
+            }
+            Expr::Compare { first, rest } => {
+                first.fmt_prec(f, PREC_ADD)?;
+                for (op, e) in rest {
+                    write!(f, " {} ", op.symbol())?;
+                    e.fmt_prec(f, PREC_ADD)?;
+                }
+                Ok(())
+            }
+            // Single-operand connectives have no direct source form (the
+            // parser unwraps them), but their `Bool` coercion matters at
+            // value positions — append the neutral element, which changes
+            // neither the result nor the error behaviour.
+            Expr::And(es) => match es.len() {
+                0 => write!(f, "True"),
+                1 => {
+                    es[0].fmt_prec(f, PREC_NOT)?;
+                    write!(f, " and True")
+                }
+                _ => {
+                    for (i, e) in es.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, " and ")?;
+                        }
+                        e.fmt_prec(f, PREC_NOT)?;
+                    }
+                    Ok(())
+                }
+            },
+            Expr::Or(es) => match es.len() {
+                0 => write!(f, "False"),
+                1 => {
+                    es[0].fmt_prec(f, PREC_AND)?;
+                    write!(f, " or False")
+                }
+                _ => {
+                    for (i, e) in es.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, " or ")?;
+                        }
+                        e.fmt_prec(f, PREC_AND)?;
+                    }
+                    Ok(())
+                }
+            },
+            Expr::In {
+                value,
+                set,
+                negated,
+            } => {
+                value.fmt_prec(f, PREC_ADD)?;
+                write!(f, " {}in [", if *negated { "not " } else { "" })?;
+                for (i, e) in set.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    e.fmt_prec(f, PREC_OR)?;
+                }
+                write!(f, "]")
+            }
+            Expr::Call { func, args } => {
+                write!(f, "{}(", func.name())?;
+                for (i, e) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    e.fmt_prec(f, PREC_OR)?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+// Grammar levels for `Display` parenthesization; see `parser.rs`.
+const PREC_OR: u8 = 1;
+const PREC_AND: u8 = 2;
+const PREC_NOT: u8 = 3;
+const PREC_CMP: u8 = 4;
+const PREC_ADD: u8 = 5;
+const PREC_MUL: u8 = 6;
+const PREC_UNARY: u8 = 7;
+const PREC_POW: u8 = 8;
+const PREC_ATOM: u8 = 9;
+
+fn fmt_value(f: &mut std::fmt::Formatter<'_>, v: &Value) -> std::fmt::Result {
+    match v {
+        Value::Int(i) => write!(f, "{i}"),
+        // `{:?}` keeps a decimal point or exponent (`1.0`, `2.5e-3`), both
+        // of which the lexer reads back as the same float. Non-finite
+        // floats have no source form and fail to re-parse.
+        Value::Float(x) => write!(f, "{x:?}"),
+        Value::Bool(true) => write!(f, "True"),
+        Value::Bool(false) => write!(f, "False"),
+        // The lexer has no escape sequences; a string containing both
+        // quote kinds has no exact source form (the parser can never
+        // produce one from valid input).
+        Value::Str(s) => {
+            let quote = if s.contains('\'') { '"' } else { '\'' };
+            write!(f, "{quote}{s}{quote}")
+        }
+    }
+}
+
+/// Prints the expression as parseable source: for any expression the parser
+/// can produce, `parse(&expr.to_string())` returns an identical AST. Forms
+/// the parser cannot produce (negative literals from folding, single-operand
+/// connectives) print as semantically equivalent source — same value, same
+/// error behaviour — under the restriction evaluation convention.
+impl std::fmt::Display for Expr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.fmt_prec(f, 0)
+    }
 }
 
 /// Apply a built-in function to evaluated arguments.
@@ -392,5 +577,71 @@ mod tests {
     fn unbound_variable_errors() {
         let e = Expr::Var("missing".into());
         assert!(e.evaluate(&env(&[])).is_err());
+    }
+
+    #[test]
+    fn display_round_trips_parser_output() {
+        for src in [
+            "32 <= block_size_x * block_size_y <= 1024",
+            "x + y * z",
+            "(x + y) * z",
+            "a - (b - c)",
+            "a - b - c",
+            "2 ** 3 ** 2",
+            "(2 ** 3) ** 2",
+            "-x ** 2",
+            "2 ** -x",
+            "-(x + y)",
+            "not x and y or z",
+            "not (x and y or z)",
+            "x and (y or z)",
+            "not not x",
+            "x in [1, 2.5, 'abc']",
+            "x not in (1, 2)",
+            "min(x, max(y, 2), abs(-z)) == 3",
+            "(a < b) == (c < d)",
+            "x % 16 == 0 and True",
+            "a // b % c * d / e",
+            "1e3 < x",
+        ] {
+            let parsed = crate::parser::parse(src).unwrap();
+            let printed = parsed.to_string();
+            let reparsed = crate::parser::parse(&printed)
+                .unwrap_or_else(|e| panic!("`{src}` printed as unparseable `{printed}`: {e}"));
+            assert_eq!(parsed, reparsed, "`{src}` → `{printed}`");
+        }
+    }
+
+    #[test]
+    fn display_of_unparseable_forms_is_semantically_equivalent() {
+        let environment = env(&[("x", 3)]);
+        // Negative literal in the base slot of `**` (folding can build
+        // this): must print parenthesized, not as the atom `-3`.
+        let e = Expr::Binary {
+            op: BinOp::Pow,
+            lhs: Box::new(Expr::Const(Value::Int(-3))),
+            rhs: Box::new(Expr::Const(Value::Int(2))),
+        };
+        let printed = e.to_string();
+        let reparsed = crate::parser::parse(&printed).unwrap();
+        assert_eq!(
+            reparsed.evaluate(&environment).unwrap(),
+            e.evaluate(&environment).unwrap(),
+            "`{printed}`"
+        );
+        // Single-operand connective at a value position: the `Bool`
+        // coercion must survive printing.
+        let e = Expr::Binary {
+            op: BinOp::Sub,
+            lhs: Box::new(Expr::And(vec![Expr::Var("x".into())])),
+            rhs: Box::new(Expr::Const(Value::Int(1))),
+        };
+        let printed = e.to_string();
+        let reparsed = crate::parser::parse(&printed).unwrap();
+        assert_eq!(
+            reparsed.evaluate(&environment).unwrap(),
+            e.evaluate(&environment).unwrap(),
+            "`{printed}`"
+        );
     }
 }

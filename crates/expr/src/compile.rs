@@ -136,6 +136,12 @@ fn emit_bool_chain(
     index: &FxHashMap<&str, usize>,
     ops: &mut Vec<Op>,
 ) -> ExprResult<()> {
+    if parts.is_empty() {
+        // `And([])` is vacuously true, `Or([])` vacuously false, matching
+        // the interpreter.
+        ops.push(Op::Const(at_csp::Value::Bool(is_and)));
+        return Ok(());
+    }
     let mut jump_sites = Vec::new();
     for (i, part) in parts.iter().enumerate() {
         emit(part, index, ops)?;
@@ -148,6 +154,8 @@ fn emit_bool_chain(
             });
         }
     }
+    // All jumps land on the coercion: connectives yield `Bool` (the
+    // interpreter's semantics), not the deciding operand's raw value.
     let end = ops.len();
     for site in jump_sites {
         match &mut ops[site] {
@@ -155,6 +163,7 @@ fn emit_bool_chain(
             _ => unreachable!("jump site"),
         }
     }
+    ops.push(Op::ToBool);
     Ok(())
 }
 
@@ -261,6 +270,37 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn connectives_yield_booleans_not_raw_operands() {
+        // Found by the fuzzer: the jump ops leave the deciding operand's
+        // raw value on the stack, so without the trailing coercion
+        // `-(y or ...)` negated a string in the VM while the interpreter
+        // negated `Bool(true)`.
+        let expr = fold(parse("-(y or x > 0)").unwrap());
+        let (program, scope) = compile_auto(&expr).unwrap();
+        let env: FxHashMap<String, Value> = [
+            ("y".to_string(), Value::str("half")),
+            ("x".to_string(), Value::Int(1)),
+        ]
+        .into_iter()
+        .collect();
+        let values: Vec<Value> = scope.iter().map(|n| env[n].clone()).collect();
+        assert_eq!(expr.evaluate(&env).unwrap(), Value::Int(-1));
+        assert_eq!(program.eval(&values).unwrap(), Value::Int(-1));
+        // Short-circuit and fall-through paths both coerce.
+        let (program, scope) = compile_auto(&fold(parse("(x and y) + 1").unwrap())).unwrap();
+        let values: Vec<Value> = scope.iter().map(|n| env[n].clone()).collect();
+        assert_eq!(program.eval(&values).unwrap(), Value::Int(2));
+    }
+
+    #[test]
+    fn empty_connectives_compile_to_their_identity() {
+        let (and_prog, _) = compile_auto(&Expr::And(Vec::new())).unwrap();
+        assert_eq!(and_prog.eval(&[]).unwrap(), Value::Bool(true));
+        let (or_prog, _) = compile_auto(&Expr::Or(Vec::new())).unwrap();
+        assert_eq!(or_prog.eval(&[]).unwrap(), Value::Bool(false));
     }
 
     #[test]

@@ -2,23 +2,55 @@
 //!
 //! Sub-expressions without variable references are evaluated at parse time,
 //! and boolean connectives are simplified (`x and True` → `x`,
-//! `x or True` → `True`, …). Folding never changes the semantics: when the
-//! evaluation of a constant sub-expression would fail (e.g. division by
-//! zero), the sub-expression is left untouched so the error surfaces at the
-//! same point as without folding.
+//! `False or x` → `x`, …). Folding never changes the semantics under the
+//! restriction evaluation convention (a configuration whose evaluation
+//! *errors* is rejected, exactly as a raising Python restriction rejects
+//! it): when the evaluation of a constant sub-expression would fail (e.g.
+//! division by zero), the sub-expression is left untouched so the error
+//! surfaces at the same point as without folding — and a decisive constant
+//! inside a connective never erases a preceding operand that could still
+//! error. `x or True` therefore folds to `x or True` (the trailing
+//! disjuncts are dropped, the connective is kept): collapsing it to `True`
+//! would accept configurations where `x` raises, which the reference
+//! interpreter — and Python — rejects.
+//!
+//! The simplifications distinguish two contexts. At the *boolean* positions
+//! (the top level of a restriction and the operands of `and`/`or`/`not`)
+//! only truthiness is observable, so neutral constants are dropped and
+//! single-operand connectives unwrap. At *value* positions (a
+//! parenthesized connective inside arithmetic or a comparison, e.g.
+//! `(x and 1) - 1`) the connective's `Bool` result is itself an operand,
+//! so the connective wrapper is kept — unwrapping `And([x])` to `x` would
+//! replace `Bool(truthy(x))` with the raw value of `x`.
 
 use at_csp::Value;
 use rustc_hash::FxHashMap;
 
 use crate::ast::Expr;
 
-/// Fold constant sub-expressions.
+/// How the folded (sub)expression's result is consumed — see the module
+/// docs. Boolean positions may apply truthiness-only rewrites; value
+/// positions only rewrites that preserve the exact result value.
+#[derive(Clone, Copy, PartialEq)]
+enum Ctx {
+    Boolean,
+    Value,
+}
+
+/// Fold constant sub-expressions of a restriction (a boolean-position
+/// expression).
 pub fn fold(expr: Expr) -> Expr {
+    fold_in(expr, Ctx::Boolean)
+}
+
+fn fold_in(expr: Expr, ctx: Ctx) -> Expr {
     let folded = match expr {
         Expr::Const(_) | Expr::Var(_) => expr,
-        Expr::Neg(e) => Expr::Neg(Box::new(fold(*e))),
+        Expr::Neg(e) => Expr::Neg(Box::new(fold_in(*e, Ctx::Value))),
         Expr::Not(e) => {
-            let inner = fold(*e);
+            // `not` observes only its operand's truthiness and always
+            // returns a `Bool`, in either context.
+            let inner = fold_in(*e, Ctx::Boolean);
             if let Expr::Const(v) = &inner {
                 return Expr::Const(Value::Bool(!v.truthy()));
             }
@@ -26,60 +58,35 @@ pub fn fold(expr: Expr) -> Expr {
         }
         Expr::Binary { op, lhs, rhs } => Expr::Binary {
             op,
-            lhs: Box::new(fold(*lhs)),
-            rhs: Box::new(fold(*rhs)),
+            lhs: Box::new(fold_in(*lhs, Ctx::Value)),
+            rhs: Box::new(fold_in(*rhs, Ctx::Value)),
         },
         Expr::Compare { first, rest } => Expr::Compare {
-            first: Box::new(fold(*first)),
-            rest: rest.into_iter().map(|(op, e)| (op, fold(e))).collect(),
+            first: Box::new(fold_in(*first, Ctx::Value)),
+            rest: rest
+                .into_iter()
+                .map(|(op, e)| (op, fold_in(e, Ctx::Value)))
+                .collect(),
         },
-        Expr::And(es) => {
-            let mut kept = Vec::new();
-            for e in es {
-                let e = fold(e);
-                match e {
-                    Expr::Const(v) if v.truthy() => {}       // neutral element
-                    Expr::Const(v) => return Expr::Const(v), // short-circuits to false
-                    other => kept.push(other),
-                }
-            }
-            match kept.len() {
-                0 => Expr::Const(Value::Bool(true)),
-                1 => kept.pop().expect("one element"),
-                _ => Expr::And(kept),
-            }
-        }
-        Expr::Or(es) => {
-            let mut kept = Vec::new();
-            for e in es {
-                let e = fold(e);
-                match e {
-                    Expr::Const(v) if !v.truthy() => {}      // neutral element
-                    Expr::Const(v) => return Expr::Const(v), // short-circuits to true
-                    other => kept.push(other),
-                }
-            }
-            match kept.len() {
-                0 => Expr::Const(Value::Bool(false)),
-                1 => kept.pop().expect("one element"),
-                _ => Expr::Or(kept),
-            }
-        }
+        Expr::And(es) => fold_connective(es, ctx, false),
+        Expr::Or(es) => fold_connective(es, ctx, true),
         Expr::In {
             value,
             set,
             negated,
         } => Expr::In {
-            value: Box::new(fold(*value)),
-            set: set.into_iter().map(fold).collect(),
+            value: Box::new(fold_in(*value, Ctx::Value)),
+            set: set.into_iter().map(|e| fold_in(e, Ctx::Value)).collect(),
             negated,
         },
         Expr::Call { func, args } => Expr::Call {
             func,
-            args: args.into_iter().map(fold).collect(),
+            args: args.into_iter().map(|e| fold_in(e, Ctx::Value)).collect(),
         },
     };
     // If the (sub)expression has become fully constant, evaluate it now.
+    // This is exact (the same interpreter, the same result value), so it
+    // is sound in any context.
     if !matches!(folded, Expr::Const(_)) && folded.is_constant() {
         let env: FxHashMap<String, Value> = FxHashMap::default();
         if let Ok(v) = folded.evaluate(&env) {
@@ -87,6 +94,51 @@ pub fn fold(expr: Expr) -> Expr {
         }
     }
     folded
+}
+
+/// Fold the operand list of `and` (`decisive = false`) or `or`
+/// (`decisive = true`): a constant operand whose truthiness equals
+/// `decisive` decides the connective.
+///
+/// Neutral constants are always dropped (the connective evaluates to
+/// `Bool(all/any truthy)`, so a neutral operand never changes the result).
+/// A decisive constant ends the list: the operands after it are dropped
+/// (they are never evaluated), but the operands *before* it are kept —
+/// they may error, and an error must keep surfacing exactly as in the
+/// unfolded expression. Only when no (possibly erroring) operand precedes
+/// it may the connective collapse to the constant itself.
+fn fold_connective(es: Vec<Expr>, ctx: Ctx, decisive: bool) -> Expr {
+    let mut kept = Vec::new();
+    for e in es {
+        match fold_in(e, Ctx::Boolean) {
+            Expr::Const(v) if v.truthy() != decisive => {} // neutral element
+            Expr::Const(_) => {
+                // The connective's result is `Bool`, so the decisive
+                // constant is kept in its truthiness-normal form.
+                if kept.is_empty() {
+                    return Expr::Const(Value::Bool(decisive));
+                }
+                kept.push(Expr::Const(Value::Bool(decisive)));
+                break;
+            }
+            other => kept.push(other),
+        }
+    }
+    let wrap = |kept| {
+        if decisive {
+            Expr::Or(kept)
+        } else {
+            Expr::And(kept)
+        }
+    };
+    match kept.len() {
+        0 => Expr::Const(Value::Bool(!decisive)),
+        // In a boolean position a single operand's truthiness is the
+        // result's truthiness; in a value position the `Bool` wrapper is
+        // observable and must stay.
+        1 if ctx == Ctx::Boolean => kept.pop().expect("one element"),
+        _ => wrap(kept),
+    }
 }
 
 #[cfg(test)]
@@ -118,13 +170,44 @@ mod tests {
     }
 
     #[test]
-    fn false_conjunct_collapses() {
-        assert_eq!(folded("x > 1 and 1 > 2"), Expr::Const(Value::Bool(false)));
+    fn false_conjunct_truncates_but_keeps_earlier_operands() {
+        // `x > 1` may error (e.g. a string-valued x compared to an int),
+        // and an erroring configuration must stay rejected — so the
+        // conjunct is kept, the decisive constant appended, and the rest
+        // dropped.
+        let e = folded("x > 1 and 1 > 2 and y < 3");
+        assert_eq!(
+            e,
+            Expr::And(vec![
+                parse("x > 1").unwrap(),
+                Expr::Const(Value::Bool(false)),
+            ])
+        );
     }
 
     #[test]
-    fn true_disjunct_collapses() {
-        assert_eq!(folded("x > 1 or 2 > 1"), Expr::Const(Value::Bool(true)));
+    fn leading_false_conjunct_collapses() {
+        assert_eq!(folded("1 > 2 and x > 1"), Expr::Const(Value::Bool(false)));
+    }
+
+    #[test]
+    fn true_disjunct_truncates_but_keeps_earlier_operands() {
+        // The dual of the `and` case: `x > 1 or True` must NOT collapse to
+        // `True` — when `x > 1` errors, the reference semantics reject the
+        // configuration, while a collapsed `True` would accept it.
+        let e = folded("x > 1 or 2 > 1 or y < 3");
+        assert_eq!(
+            e,
+            Expr::Or(vec![
+                parse("x > 1").unwrap(),
+                Expr::Const(Value::Bool(true)),
+            ])
+        );
+    }
+
+    #[test]
+    fn leading_true_disjunct_collapses() {
+        assert_eq!(folded("2 > 1 or x > 1"), Expr::Const(Value::Bool(true)));
     }
 
     #[test]
@@ -134,10 +217,43 @@ mod tests {
     }
 
     #[test]
+    fn connective_in_value_position_keeps_its_wrapper() {
+        // `(x and 1)` evaluates to `Bool(truthy(x))`; unwrapping it to `x`
+        // inside arithmetic would change `(x and 1) - 1` from `0` to
+        // `x - 1`.
+        let e = folded("(x and 1) - 1");
+        match &e {
+            Expr::Binary { lhs, .. } => {
+                assert_eq!(**lhs, Expr::And(vec![Expr::Var("x".into())]));
+            }
+            other => panic!("{other:?}"),
+        }
+        // At a boolean position the same connective unwraps.
+        assert_eq!(folded("x and 1"), Expr::Var("x".into()));
+    }
+
+    #[test]
     fn division_by_zero_left_untouched() {
         // Must not panic and must not silently become a constant.
         let e = folded("x > 1 / 0");
         assert!(matches!(e, Expr::Compare { .. }));
+    }
+
+    #[test]
+    fn erroring_disjunct_is_not_erased_by_a_true_constant() {
+        // `1 / 0 == 0` errors; `... or True` must keep erroring (→ the
+        // configuration is rejected), not fold to an accepting `True`.
+        let e = folded("1 / 0 == 0 or True");
+        match &e {
+            Expr::Or(parts) => {
+                assert_eq!(parts.len(), 2);
+                assert!(matches!(parts[0], Expr::Compare { .. }));
+                assert_eq!(parts[1], Expr::Const(Value::Bool(true)));
+            }
+            other => panic!("{other:?}"),
+        }
+        let env: FxHashMap<String, Value> = FxHashMap::default();
+        assert!(e.evaluate(&env).is_err(), "the error must still surface");
     }
 
     #[test]

@@ -25,10 +25,27 @@ use crate::error::{ExprError, ExprResult};
 use crate::lexer::tokenize;
 use crate::token::{Token, TokenKind};
 
+/// Maximum expression nesting depth the parser accepts.
+///
+/// Recursive descent recurses once per nesting level (`(`, `not`, unary
+/// signs, call arguments), and the produced `Expr` tree is walked
+/// recursively by every later stage (folding, compilation, `Drop`). An
+/// unbounded depth would let a short hostile input — `((((…` — overflow
+/// the stack as an uncatchable process abort, so depth is capped here,
+/// where the overflow would first occur, and reported as an ordinary
+/// [`ExprError::Parse`]. 200 levels is far beyond any real restriction
+/// while keeping the deepest recursive walk comfortably within even a
+/// small (512 KiB) thread stack.
+const MAX_DEPTH: usize = 200;
+
 /// Parse a constraint expression.
 pub fn parse(source: &str) -> ExprResult<Expr> {
     let tokens = tokenize(source)?;
-    let mut parser = Parser { tokens, pos: 0 };
+    let mut parser = Parser {
+        tokens,
+        pos: 0,
+        depth: 0,
+    };
     let expr = parser.parse_or()?;
     parser.expect_eof()?;
     Ok(expr)
@@ -37,9 +54,30 @@ pub fn parse(source: &str) -> ExprResult<Expr> {
 struct Parser {
     tokens: Vec<Token>,
     pos: usize,
+    /// Current expression nesting depth (see [`MAX_DEPTH`]).
+    depth: usize,
 }
 
 impl Parser {
+    /// Enter one nesting level; errors beyond [`MAX_DEPTH`]. Every
+    /// recursion cycle in the grammar passes through a guarded production
+    /// (`parse_or`, `parse_not`, `parse_factor`), so the parser's own
+    /// stack usage — and the depth of the tree it builds — is bounded.
+    fn enter(&mut self) -> ExprResult<()> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(ExprError::Parse {
+                message: format!("expression nesting exceeds {MAX_DEPTH} levels"),
+                position: self.position(),
+            });
+        }
+        Ok(())
+    }
+
+    fn leave(&mut self) {
+        self.depth -= 1;
+    }
+
     fn peek(&self) -> &TokenKind {
         &self.tokens[self.pos].kind
     }
@@ -92,16 +130,21 @@ impl Parser {
     }
 
     fn parse_or(&mut self) -> ExprResult<Expr> {
-        let first = self.parse_and()?;
-        let mut parts = vec![first];
-        while self.eat(&TokenKind::Or) {
-            parts.push(self.parse_and()?);
-        }
-        Ok(if parts.len() == 1 {
-            parts.pop().expect("one element")
-        } else {
-            Expr::Or(parts)
-        })
+        self.enter()?;
+        let result = (|| {
+            let first = self.parse_and()?;
+            let mut parts = vec![first];
+            while self.eat(&TokenKind::Or) {
+                parts.push(self.parse_and()?);
+            }
+            Ok(if parts.len() == 1 {
+                parts.pop().expect("one element")
+            } else {
+                Expr::Or(parts)
+            })
+        })();
+        self.leave();
+        result
     }
 
     fn parse_and(&mut self) -> ExprResult<Expr> {
@@ -119,7 +162,10 @@ impl Parser {
 
     fn parse_not(&mut self) -> ExprResult<Expr> {
         if self.eat(&TokenKind::Not) {
-            Ok(Expr::Not(Box::new(self.parse_not()?)))
+            self.enter()?;
+            let inner = self.parse_not();
+            self.leave();
+            Ok(Expr::Not(Box::new(inner?)))
         } else {
             self.parse_comparison()
         }
@@ -194,51 +240,85 @@ impl Parser {
     }
 
     fn parse_arith(&mut self) -> ExprResult<Expr> {
-        let mut lhs = self.parse_term()?;
-        loop {
-            let op = match self.peek() {
-                TokenKind::Plus => BinOp::Add,
-                TokenKind::Minus => BinOp::Sub,
-                _ => break,
-            };
-            self.advance();
-            let rhs = self.parse_term()?;
-            lhs = Expr::Binary {
-                op,
-                lhs: Box::new(lhs),
-                rhs: Box::new(rhs),
-            };
-        }
-        Ok(lhs)
+        let lhs = self.parse_term()?;
+        self.parse_left_chain(lhs, |kind| match kind {
+            TokenKind::Plus => Some(BinOp::Add),
+            TokenKind::Minus => Some(BinOp::Sub),
+            _ => None,
+        })
     }
 
     fn parse_term(&mut self) -> ExprResult<Expr> {
-        let mut lhs = self.parse_factor()?;
-        loop {
-            let op = match self.peek() {
-                TokenKind::Star => BinOp::Mul,
-                TokenKind::Slash => BinOp::Div,
-                TokenKind::DoubleSlash => BinOp::FloorDiv,
-                TokenKind::Percent => BinOp::Mod,
-                _ => break,
+        let lhs = self.parse_factor()?;
+        self.parse_left_chain(lhs, |kind| match kind {
+            TokenKind::Star => Some(BinOp::Mul),
+            TokenKind::Slash => Some(BinOp::Div),
+            TokenKind::DoubleSlash => Some(BinOp::FloorDiv),
+            TokenKind::Percent => Some(BinOp::Mod),
+            _ => None,
+        })
+    }
+
+    /// Parse a left-associative operator chain. The loop itself is
+    /// iterative, but each link nests the accumulated left-hand side one
+    /// level deeper — `1 + 1 + … + 1` builds a tree as deep as the chain
+    /// is long, and every later recursive walk (folding, evaluation,
+    /// `Drop`) descends it. Chain links therefore count against
+    /// [`MAX_DEPTH`] like any other nesting.
+    fn parse_left_chain(
+        &mut self,
+        mut lhs: Expr,
+        op_of: impl Fn(&TokenKind) -> Option<BinOp>,
+    ) -> ExprResult<Expr> {
+        let mut levels = 0usize;
+        let result = loop {
+            let Some(op) = op_of(self.peek()) else {
+                break Ok(lhs);
             };
+            if let Err(e) = self.enter() {
+                break Err(e);
+            }
+            levels += 1;
             self.advance();
-            let rhs = self.parse_factor()?;
-            lhs = Expr::Binary {
-                op,
-                lhs: Box::new(lhs),
-                rhs: Box::new(rhs),
-            };
+            match self.parse_term_or_factor(op) {
+                Ok(rhs) => {
+                    lhs = Expr::Binary {
+                        op,
+                        lhs: Box::new(lhs),
+                        rhs: Box::new(rhs),
+                    };
+                }
+                Err(e) => break Err(e),
+            }
+        };
+        for _ in 0..levels {
+            self.leave();
         }
-        Ok(lhs)
+        result
+    }
+
+    /// The right-hand production of one chain link: `+`/`-` chain over
+    /// terms, `*`-family chain over factors.
+    fn parse_term_or_factor(&mut self, op: BinOp) -> ExprResult<Expr> {
+        if matches!(op, BinOp::Add | BinOp::Sub) {
+            self.parse_term()
+        } else {
+            self.parse_factor()
+        }
     }
 
     fn parse_factor(&mut self) -> ExprResult<Expr> {
         if self.eat(&TokenKind::Minus) {
-            return Ok(Expr::Neg(Box::new(self.parse_factor()?)));
+            self.enter()?;
+            let inner = self.parse_factor();
+            self.leave();
+            return Ok(Expr::Neg(Box::new(inner?)));
         }
         if self.eat(&TokenKind::Plus) {
-            return self.parse_factor();
+            self.enter()?;
+            let inner = self.parse_factor();
+            self.leave();
+            return inner;
         }
         self.parse_power()
     }
@@ -247,11 +327,13 @@ impl Parser {
         let base = self.parse_atom()?;
         if self.eat(&TokenKind::DoubleStar) {
             // Right associative, and `-` binds tighter on the exponent side.
-            let exponent = self.parse_factor()?;
+            self.enter()?;
+            let exponent = self.parse_factor();
+            self.leave();
             return Ok(Expr::Binary {
                 op: BinOp::Pow,
                 lhs: Box::new(base),
-                rhs: Box::new(exponent),
+                rhs: Box::new(exponent?),
             });
         }
         Ok(base)
@@ -408,6 +490,45 @@ mod tests {
         assert!(parse("(1").is_err());
         assert!(parse("1 2").is_err());
         assert!(parse("x in 3").is_err());
+    }
+
+    #[test]
+    fn hostile_nesting_is_rejected_cleanly() {
+        // Each of these would overflow the parser's (or a later walk's)
+        // stack if depth were unbounded; all must return a normal error.
+        let cases = [
+            format!("{}x{}", "(".repeat(5000), ")".repeat(5000)),
+            format!("{}x", "not ".repeat(5000)),
+            format!("{}x", "-".repeat(5000)),
+            format!("{}x", "+".repeat(5000)),
+            vec!["1"; 5000].join(" + "),
+            vec!["1"; 5000].join(" * "),
+            vec!["2"; 5000].join(" ** "),
+            format!("{}x{}", "min(".repeat(5000), ")".repeat(5000)),
+            format!("{}1{}", "1 in [".repeat(5000), "]".repeat(5000)),
+        ];
+        for src in &cases {
+            match parse(src) {
+                Err(ExprError::Parse { message, .. }) => {
+                    assert!(message.contains("nesting"), "{message}");
+                }
+                other => panic!("expected a depth error, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn deep_but_bounded_nesting_still_parses() {
+        let src = format!("{}x{}", "(".repeat(150), ")".repeat(150));
+        assert_eq!(parse(&src).unwrap(), Expr::Var("x".into()));
+        let src = format!("{}x", "not ".repeat(150));
+        assert!(parse(&src).is_ok());
+        let chain = vec!["1"; 150].join(" + ");
+        assert_eq!(
+            eval(&chain, &[]),
+            Value::Int(150),
+            "long-but-reasonable sums must keep working"
+        );
     }
 
     #[test]

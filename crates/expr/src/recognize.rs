@@ -43,7 +43,16 @@ enum Shape {
     /// A constant value.
     Const(Value),
     /// `coeff * v1 * v2 * ...` — a product of variables with a constant factor.
-    Product { coeff: f64, vars: Vec<String> },
+    Product {
+        coeff: f64,
+        vars: Vec<String>,
+        /// True only for a literal variable reference, with no arithmetic
+        /// around it. Raw (non-numeric) value comparisons are sound only
+        /// then: `z != 0` is an ordinary comparison even when `z` is a
+        /// string, but `True * z != 0` must *error* (and therefore reject)
+        /// on a string, exactly as the interpreter does.
+        bare: bool,
+    },
     /// `sum(coeff_i * var_i) + offset`.
     Sum {
         terms: Vec<(String, f64)>,
@@ -59,15 +68,17 @@ fn classify(expr: &Expr) -> Shape {
         Expr::Var(name) => Shape::Product {
             coeff: 1.0,
             vars: vec![name.clone()],
+            bare: true,
         },
         Expr::Neg(inner) => match classify(inner) {
             Shape::Const(v) => match v.neg() {
                 Some(n) => Shape::Const(n),
                 None => Shape::Other,
             },
-            Shape::Product { coeff, vars } => Shape::Product {
+            Shape::Product { coeff, vars, .. } => Shape::Product {
                 coeff: -coeff,
                 vars,
+                bare: false,
             },
             Shape::Sum { terms, offset } => Shape::Sum {
                 terms: terms.into_iter().map(|(v, c)| (v, -c)).collect(),
@@ -82,11 +93,12 @@ fn classify(expr: &Expr) -> Shape {
         } => {
             let (a, b) = (classify(lhs), classify(rhs));
             match (a, b) {
-                (Shape::Const(c), Shape::Product { coeff, vars })
-                | (Shape::Product { coeff, vars }, Shape::Const(c)) => match c.as_f64() {
+                (Shape::Const(c), Shape::Product { coeff, vars, .. })
+                | (Shape::Product { coeff, vars, .. }, Shape::Const(c)) => match c.as_f64() {
                     Some(f) => Shape::Product {
                         coeff: coeff * f,
                         vars,
+                        bare: false,
                     },
                     None => Shape::Other,
                 },
@@ -94,10 +106,12 @@ fn classify(expr: &Expr) -> Shape {
                     Shape::Product {
                         coeff: c1,
                         vars: v1,
+                        ..
                     },
                     Shape::Product {
                         coeff: c2,
                         vars: v2,
+                        ..
                     },
                 ) => {
                     let mut vars = v1;
@@ -105,6 +119,7 @@ fn classify(expr: &Expr) -> Shape {
                     Shape::Product {
                         coeff: c1 * c2,
                         vars,
+                        bare: false,
                     }
                 }
                 (Shape::Const(a), Shape::Const(b)) => match (a.as_f64(), b.as_f64()) {
@@ -147,7 +162,7 @@ fn classify(expr: &Expr) -> Shape {
 fn as_sum(shape: Shape) -> Option<(Vec<(String, f64)>, f64)> {
     match shape {
         Shape::Const(v) => v.as_f64().map(|f| (Vec::new(), f)),
-        Shape::Product { coeff, vars } if vars.len() == 1 => Some((
+        Shape::Product { coeff, vars, .. } if vars.len() == 1 => Some((
             vec![(vars.into_iter().next().expect("one var"), coeff)],
             0.0,
         )),
@@ -165,7 +180,11 @@ fn merge_terms(terms: Vec<(String, f64)>) -> Vec<(String, f64)> {
             merged.push((v, w));
         }
     }
-    merged.retain(|(_, w)| *w != 0.0);
+    // Zero-weight terms (`0 * z`, or `z - z` after merging) must stay in
+    // the scope: the interpreter still evaluates the erased arithmetic, so
+    // a non-numeric value errors — and rejects — where a dropped term
+    // would silently accept. The weighted-sum constraints require every
+    // scope value to be numeric, preserving exactly that behaviour.
     merged
 }
 
@@ -234,10 +253,12 @@ fn recognize_comparison(lhs: &Expr, op: CmpOp, rhs: &Expr) -> Option<RecognizedC
             Shape::Product {
                 coeff: c1,
                 vars: v1,
+                bare: true,
             },
             Shape::Product {
                 coeff: c2,
                 vars: v2,
+                bare: true,
             },
         ) if *c1 == 1.0 && *c2 == 1.0 && v1.len() == 1 && v2.len() == 1 => {
             Some(RecognizedConstraint {
@@ -297,8 +318,15 @@ fn constant_of(shape: &Shape) -> Option<f64> {
 /// Build a specific constraint for `shape op constant`.
 fn build(shape: Shape, op: CmpOp, constant: f64) -> Option<RecognizedConstraint> {
     match shape {
-        // single variable with unit coefficient: plain value comparison
-        Shape::Product { coeff, ref vars } if coeff == 1.0 && vars.len() == 1 => {
+        // A literal variable reference: plain value comparison. Only sound
+        // for *bare* variables — `True * z` also reduces to a unit-coeff
+        // product, but its arithmetic errors (and rejects) on non-numeric
+        // values where a raw comparison would not.
+        Shape::Product {
+            coeff,
+            ref vars,
+            bare: true,
+        } if coeff == 1.0 && vars.len() == 1 => {
             let name = vars[0].clone();
             let (constraint, description): (ConstraintRef, String) = if op == CmpOp::Eq {
                 (
@@ -317,8 +345,10 @@ fn build(shape: Shape, op: CmpOp, constant: f64) -> Option<RecognizedConstraint>
                 description,
             })
         }
-        // product of two or more variables (or a scaled single variable)
-        Shape::Product { coeff, vars } => {
+        // Product of two or more variables, a scaled single variable, or a
+        // non-bare unit product (`True * z`): all-numeric evaluation, which
+        // rejects non-numeric values exactly like the erased arithmetic.
+        Shape::Product { coeff, vars, .. } => {
             if coeff == 0.0 {
                 return None;
             }
@@ -432,6 +462,38 @@ mod tests {
 
     fn rec(src: &str) -> Option<RecognizedConstraint> {
         recognize(&fold(parse(src).unwrap()))
+    }
+
+    #[test]
+    fn erased_arithmetic_keeps_error_semantics() {
+        // Found by the fuzzer: `True * z != 0` was recognized as the bare
+        // comparison `z != 0` (VarCompare), which accepts a string — but
+        // the interpreter errors on `True * "half"`, and errors reject.
+        // The multiplication must force the numeric path (here: Ne is not
+        // expressible as a specific constraint, so recognition refuses and
+        // the pipeline falls back to the exact compiled form).
+        assert!(rec("True*z != 0").is_none());
+        // Same erasure with an order comparison: must become a numeric
+        // product constraint that rejects non-numeric values, not a raw
+        // VarCompare that would accept them.
+        let r = rec("1 * z <= 4").unwrap();
+        assert_eq!(r.constraint.kind(), "MaxProduct");
+        assert!(r.constraint.evaluate(&int_values([2])));
+        assert!(!r.constraint.evaluate(&[Value::str("half")]));
+        // And the pairwise form: `True*z == True*w` is not two bare vars.
+        assert!(rec("True*z == True*w").is_none());
+        // A zero-weight term keeps its variable in scope: `y + False*z`
+        // still errors (rejects) on a non-numeric z in the interpreter.
+        let r = rec("y + False*z <= 8").unwrap();
+        assert_eq!(r.scope, vec!["y", "z"]);
+        assert!(r.constraint.evaluate(&int_values([4, 3])));
+        assert!(!r.constraint.evaluate(&[Value::Int(4), Value::str("half")]));
+        // Bare variables still get the raw comparison.
+        let r = rec("z != 0").unwrap();
+        assert_eq!(r.constraint.kind(), "VarCompare");
+        assert!(r.constraint.evaluate(&[Value::str("half")]));
+        let r = rec("z < w").unwrap();
+        assert_eq!(r.constraint.kind(), "PairCompare");
     }
 
     #[test]

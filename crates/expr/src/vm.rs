@@ -42,6 +42,12 @@ pub enum Op {
     /// If the top of stack is truthy, jump to the target leaving the value;
     /// otherwise pop it and continue (Python's `JUMP_IF_TRUE_OR_POP`).
     JumpIfTrueOrPop(usize),
+    /// Replace the top of stack with its truthiness as a boolean. Emitted
+    /// after every `and`/`or` chain: the jump ops leave the deciding
+    /// operand's *raw* value on the stack, while the AST interpreter
+    /// defines connectives to yield `Bool` — without this coercion the two
+    /// diverge whenever a connective feeds arithmetic or negation.
+    ToBool,
 }
 
 /// A compiled constraint expression.
@@ -124,6 +130,10 @@ impl Program {
                         continue;
                     }
                     stack.pop();
+                }
+                Op::ToBool => {
+                    let v = stack.pop().ok_or_else(stack_underflow)?;
+                    stack.push(Value::Bool(v.truthy()));
                 }
             }
             pc += 1;

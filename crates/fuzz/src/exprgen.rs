@@ -1,0 +1,370 @@
+//! Grammar-aware generation and mutation of constraint expression strings.
+//!
+//! The generator produces strings in (a superset of) the restriction
+//! grammar, biased toward the shapes the recognizer and compiler care
+//! about: products and sums under comparison, chained comparisons,
+//! membership tests, boolean connectives, built-in calls, and
+//! error-provoking arithmetic (division by zero, string operands, `**`
+//! towers). The mutator perturbs existing strings both structurally
+//! (wrap in `not (...)`, append a conjunct, swap an operator) and at the
+//! byte level, so malformed inputs stay covered.
+
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+
+const VARS: [&str; 5] = ["x", "y", "z", "block_size_x", "tile"];
+const FUNCS: [&str; 3] = ["min", "max", "abs"];
+const BIN_OPS: [&str; 7] = ["+", "-", "*", "/", "//", "%", "**"];
+const CMP_OPS: [&str; 6] = ["<", "<=", ">", ">=", "==", "!="];
+
+fn atom(rng: &mut ChaCha8Rng, out: &mut String) {
+    match rng.gen_range(0u32..10) {
+        0..=3 => out.push_str(VARS[rng.gen_range(0..VARS.len())]),
+        4..=6 => out.push_str(&rng.gen_range(-3i64..100).to_string()),
+        7 => {
+            // Floats, including ones with an exponent.
+            let v = rng.gen_range(-8i64..32) as f64 / 4.0;
+            out.push_str(&format!("{v:?}"));
+        }
+        8 => out.push_str(if rng.gen_bool(0.5) { "True" } else { "False" }),
+        _ => {
+            let s = ["'half'", "'single'", "''"][rng.gen_range(0usize..3)];
+            out.push_str(s);
+        }
+    }
+}
+
+fn expr(rng: &mut ChaCha8Rng, out: &mut String, depth: usize) {
+    if depth == 0 {
+        atom(rng, out);
+        return;
+    }
+    match rng.gen_range(0u32..12) {
+        0..=2 => atom(rng, out),
+        // Binary arithmetic (division by zero and `**` towers included).
+        3..=4 => {
+            expr(rng, out, depth - 1);
+            out.push(' ');
+            out.push_str(BIN_OPS[rng.gen_range(0..BIN_OPS.len())]);
+            out.push(' ');
+            expr(rng, out, depth - 1);
+        }
+        // Comparison, possibly chained.
+        5..=6 => {
+            expr(rng, out, depth - 1);
+            for _ in 0..rng.gen_range(1usize..3) {
+                out.push(' ');
+                out.push_str(CMP_OPS[rng.gen_range(0..CMP_OPS.len())]);
+                out.push(' ');
+                expr(rng, out, depth - 1);
+            }
+        }
+        // Boolean connectives.
+        7 => {
+            expr(rng, out, depth - 1);
+            let word = if rng.gen_bool(0.5) { " and " } else { " or " };
+            out.push_str(word);
+            expr(rng, out, depth - 1);
+        }
+        8 => {
+            out.push_str("not ");
+            expr(rng, out, depth - 1);
+        }
+        // Membership.
+        9 => {
+            expr(rng, out, depth - 1);
+            out.push_str(if rng.gen_bool(0.3) {
+                " not in ["
+            } else {
+                " in ["
+            });
+            for i in 0..rng.gen_range(0usize..4) {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                expr(rng, out, depth - 1);
+            }
+            out.push(']');
+        }
+        // Built-in call.
+        10 => {
+            out.push_str(FUNCS[rng.gen_range(0..FUNCS.len())]);
+            out.push('(');
+            for i in 0..rng.gen_range(1usize..4) {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                expr(rng, out, depth - 1);
+            }
+            out.push(')');
+        }
+        // Parenthesized / negated.
+        _ => {
+            if rng.gen_bool(0.3) {
+                out.push('-');
+            }
+            out.push('(');
+            expr(rng, out, depth - 1);
+            out.push(')');
+        }
+    }
+}
+
+/// Generate one random expression string.
+pub fn generate(rng: &mut ChaCha8Rng) -> String {
+    let mut out = String::new();
+    let depth = rng.gen_range(1usize..5);
+    expr(rng, &mut out, depth);
+    out
+}
+
+/// Structurally mutate an expression string; falls back to byte-level
+/// damage a fraction of the time so malformed inputs stay covered.
+pub fn mutate_expr(rng: &mut ChaCha8Rng, source: &str) -> String {
+    let s = source.to_string();
+    match rng.gen_range(0u32..8) {
+        0 => format!("not ({s})"),
+        1 => {
+            let mut extra = String::new();
+            expr(rng, &mut extra, 2);
+            let word = if rng.gen_bool(0.5) { " and " } else { " or " };
+            format!("{s}{word}{extra}")
+        }
+        2 => format!("({s})"),
+        // Swap one operator-ish token.
+        3 => {
+            let ops = [
+                "+", "-", "*", "/", "%", "<", ">", "==", "!=", "**", "//", "<=", ">=",
+            ];
+            let from = ops[rng.gen_range(0..ops.len())];
+            let to = ops[rng.gen_range(0..ops.len())];
+            s.replacen(from, to, 1)
+        }
+        // Duplicate a random slice (possibly splitting a UTF-8 char — the
+        // result is lossily re-decoded by the target, which is the point).
+        4 => {
+            let bytes = s.as_bytes();
+            if bytes.is_empty() {
+                return generate(rng);
+            }
+            let start = rng.gen_range(0..bytes.len());
+            let len = rng.gen_range(1..=(bytes.len() - start).min(24));
+            let mut v = bytes.to_vec();
+            let chunk: Vec<u8> = v[start..start + len].to_vec();
+            let at = rng.gen_range(0..=v.len());
+            v.splice(at..at, chunk);
+            String::from_utf8_lossy(&v).into_owned()
+        }
+        // Byte-level damage.
+        5 => {
+            let mut v = s.into_bytes();
+            let count = rng.gen_range(1usize..4);
+            crate::mutate::mutate(rng, &mut v, count);
+            String::from_utf8_lossy(&v).into_owned()
+        }
+        // Inject a hostile token.
+        6 => {
+            let hostile = [
+                "1/0", "0.0", "''", "9**9**9", "1e308", "-(-x)", "min()", "(", ")", "not",
+            ];
+            let at = rng.gen_range(0..=s.len());
+            let at = (0..=at).rev().find(|&i| s.is_char_boundary(i)).unwrap_or(0);
+            let token = hostile[rng.gen_range(0..hostile.len())];
+            format!("{} {} {}", &s[..at], token, &s[at..])
+        }
+        _ => generate(rng),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Target 3: the expression pipeline
+// ---------------------------------------------------------------------------
+
+/// Sample a value for one variable: mostly small ints (the interesting
+/// arithmetic paths), with occasional floats, bools, zeros and strings to
+/// provoke type and division errors.
+fn sample_value(rng: &mut ChaCha8Rng) -> at_csp::Value {
+    use at_csp::Value;
+    match rng.gen_range(0u32..12) {
+        0..=6 => Value::Int(rng.gen_range(-3i64..9)),
+        7 => Value::Int(0),
+        8 => Value::Float(rng.gen_range(-4i64..16) as f64 / 4.0),
+        9 => Value::Bool(rng.gen_bool(0.5)),
+        10 => Value::str("half"),
+        _ => Value::Float(0.0),
+    }
+}
+
+fn verdict(result: &at_expr::ExprResult<at_csp::Value>) -> bool {
+    match result {
+        Ok(v) => v.truthy(),
+        Err(_) => false,
+    }
+}
+
+/// Target 3: lexer → parser → fold → compile → VM on arbitrary strings.
+/// See the crate docs for the oracle.
+pub fn pipeline_target(input: &[u8]) -> Result<(), String> {
+    use at_expr::{compile_auto, fold, parse, parse_restriction, parse_restriction_generic};
+    use rand::SeedableRng;
+    use rustc_hash::FxHashMap;
+
+    let source = String::from_utf8_lossy(input);
+    let Ok(expr) = parse(&source) else {
+        // A clean parse error is a pass; panics are caught by the harness.
+        return Ok(());
+    };
+
+    // Display round-trip: printing and reparsing must reproduce the AST.
+    let printed = expr.to_string();
+    match parse(&printed) {
+        Ok(reparsed) if reparsed == expr => {}
+        Ok(_) => {
+            return Err(format!(
+                "display round-trip changed the AST: {source:?} printed as {printed:?}"
+            ));
+        }
+        Err(e) => {
+            return Err(format!(
+                "display output failed to reparse ({e}): {source:?} printed as {printed:?}"
+            ));
+        }
+    }
+
+    let folded = fold(expr.clone());
+    let vars = expr.variables();
+    let compiled = compile_auto(&folded).ok();
+    let optimized = parse_restriction(&source).ok();
+    let generic = parse_restriction_generic(&source).ok();
+
+    let mut rng = ChaCha8Rng::seed_from_u64(crate::harness::fnv1a(input) ^ 0x45585052);
+    for _ in 0..6 {
+        let env: FxHashMap<String, at_csp::Value> = vars
+            .iter()
+            .map(|name| (name.clone(), sample_value(&mut rng)))
+            .collect();
+
+        let reference = expr.evaluate(&env);
+
+        // Fold differential: same truthiness on Ok, an error exactly when
+        // the original errors.
+        let after_fold = folded.evaluate(&env);
+        match (&reference, &after_fold) {
+            (Ok(a), Ok(b)) => {
+                if a.truthy() != b.truthy() {
+                    return Err(format!(
+                        "fold changed the verdict of {source:?} under {env:?}: \
+                         {a:?} vs {b:?}"
+                    ));
+                }
+            }
+            (Err(_), Err(_)) => {}
+            _ => {
+                return Err(format!(
+                    "fold changed the error behaviour of {source:?} under {env:?}: \
+                     {reference:?} vs {after_fold:?}"
+                ));
+            }
+        }
+
+        // Compile differential: the VM evaluates the folded AST, so it must
+        // agree with the folded AST's interpretation exactly (modulo Ok
+        // truthiness).
+        if let Some((program, scope)) = &compiled {
+            let values: Vec<at_csp::Value> = scope.iter().map(|name| env[name].clone()).collect();
+            let vm = program.eval(&values);
+            match (&after_fold, &vm) {
+                (Ok(a), Ok(b)) => {
+                    if a.truthy() != b.truthy() {
+                        return Err(format!(
+                            "VM verdict diverged from the interpreter on {source:?} \
+                             under {env:?}: {a:?} vs {b:?}"
+                        ));
+                    }
+                }
+                (Err(_), Err(_)) => {}
+                _ => {
+                    return Err(format!(
+                        "VM error behaviour diverged on {source:?} under {env:?}: \
+                         interpreter {after_fold:?} vs VM {vm:?}"
+                    ));
+                }
+            }
+        }
+
+        // Restriction lowerings, under the documented error→reject
+        // convention. Either lowering may cleanly refuse an expression
+        // (Unsupported shapes); when it succeeds it must agree with the
+        // reference interpreter.
+        let expected = verdict(&reference);
+        for (name, parsed) in [("parse_restriction", &optimized), ("generic", &generic)] {
+            let Some(parsed) = parsed else { continue };
+            let got = if parsed.always_false {
+                false
+            } else {
+                parsed.constraints.iter().all(|c| {
+                    let values: Vec<at_csp::Value> =
+                        c.scope.iter().map(|n| env[n].clone()).collect();
+                    c.constraint.evaluate(&values)
+                })
+            };
+            if got != expected {
+                return Err(format!(
+                    "{name} verdict diverged on {source:?} under {env:?}: \
+                     lowering {got} vs reference {expected}"
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pipeline_target_accepts_generated_inputs() {
+        let mut rng = ChaCha8Rng::seed_from_u64(99);
+        for _ in 0..200 {
+            let source = generate(&mut rng);
+            pipeline_target(source.as_bytes()).unwrap();
+        }
+    }
+
+    #[test]
+    fn pipeline_target_accepts_garbage() {
+        pipeline_target(b"").unwrap();
+        pipeline_target(&[0xff, 0xfe, 0x00, 0x41]).unwrap();
+        pipeline_target(b"1 +").unwrap();
+    }
+
+    #[test]
+    fn generated_expressions_mostly_parse() {
+        let mut rng = ChaCha8Rng::seed_from_u64(42);
+        let mut parsed = 0;
+        for _ in 0..200 {
+            if at_expr::parse(&generate(&mut rng)).is_ok() {
+                parsed += 1;
+            }
+        }
+        // The generator is grammar-aware but not grammar-exact (negative
+        // literals in `**` bases etc.); most output must still parse or
+        // the fuzzer would only exercise the lexer's error paths.
+        assert!(parsed > 120, "only {parsed}/200 generated inputs parsed");
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a: Vec<String> = {
+            let mut rng = ChaCha8Rng::seed_from_u64(3);
+            (0..10).map(|_| generate(&mut rng)).collect()
+        };
+        let b: Vec<String> = {
+            let mut rng = ChaCha8Rng::seed_from_u64(3);
+            (0..10).map(|_| generate(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

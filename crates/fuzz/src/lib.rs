@@ -1,0 +1,91 @@
+//! # at-fuzz — in-tree fuzzing and differential oracles for the untrusted-byte parsers
+//!
+//! The workspace has exactly two surfaces that parse bytes we do not
+//! control: the `ATSS` store reader (files arrive from cache directories,
+//! and soon from daemons and remote stores) and the constraint expression
+//! pipeline (restriction strings arrive from user specs and foreign spec
+//! importers). This crate fuzzes both without any external tooling — the
+//! build environment has no registry, so no cargo-fuzz/libFuzzer — using a
+//! seeded ChaCha8 mutation engine, format-aware input generators, and
+//! *differential* oracles that compare independent implementations of the
+//! same contract against each other.
+//!
+//! Run it as
+//!
+//! ```text
+//! cargo run --release -p at_fuzz -- <target> --iters N --seed S
+//! ```
+//!
+//! where `<target>` is one of the three below (or `all`). Any failing
+//! input is shrunk by greedy chunk removal and written to
+//! `tests/fuzz_corpus/<target>/crash-<hash>.bin`; the whole corpus is
+//! replayed by `cargo test` (see `tests/fuzz_corpus.rs`), so every crash
+//! found once is a regression test forever.
+//!
+//! ## Target `atss_reader` — arbitrary bytes, strict reader
+//!
+//! Feeds mutated store files and raw garbage through
+//! [`at_store::read_space_from_bytes`] (the strict, everything-checksummed
+//! path). Oracle:
+//!
+//! * **No panic, no hang** — every outcome is a clean `Ok` or a typed
+//!   [`at_store::StoreError`]; a slow iteration beyond the harness bound
+//!   counts as a failure.
+//! * **Peek differential** — [`at_store::peek_info`] (the cheap O(1)-seek
+//!   metadata path used by `cache verify` listings) must never *reject* a
+//!   file the strict reader accepts, and when both accept they must agree
+//!   on every metadata field. Peek may accept damage the strict reader
+//!   rejects (it skips dictionary contents and content checksums), but
+//!   the same truncation or framing damage must classify the same way.
+//!
+//! ## Target `atss_load_differential` — mutated valid files, load matrix
+//!
+//! Writes a lightly mutated *valid* file to disk and loads it through
+//! [`at_store::StoreReader::load`] under every
+//! `LoadOptions { mode × index }` combination (copy/mmap ×
+//! rebuild/trust/verify). Oracle:
+//!
+//! * All successful loads are **code-for-code identical** (same name,
+//!   params, row count, arena bytes) to each other and — when the strict
+//!   reader accepts the file — to the strict read.
+//! * Every successful load answers membership queries **consistently**:
+//!   any id `index_of_codes` returns points back at exactly the queried
+//!   codes, and when the index is known good (policy `Rebuild`, or any
+//!   policy on a file the strict reader fully validated) every present
+//!   row is found. A damaged persisted index may surface as a *reported*
+//!   fallback ([`at_store::LoadReport::index_fallback`]), a clean error,
+//!   or a miss — never a misattribution.
+//!
+//! ## Target `expr_pipeline` — restriction strings, fold/compile differential
+//!
+//! Feeds grammar-generated, grammar-mutated and raw-garbage strings
+//! through lexer → parser → fold → compile → VM. Oracle, for every input
+//! that parses:
+//!
+//! * **No panic, no hang** at any stage, for any input.
+//! * **Display round-trip** — `parse(expr.to_string())` reproduces the
+//!   identical AST.
+//! * **Fold differential** — under sampled assignments (including
+//!   error-provoking values), the folded AST's `evaluate` agrees with the
+//!   unfolded AST's: same truthiness on `Ok`, an error exactly when the
+//!   original errors (the restriction convention rejects erroring
+//!   configurations, so folding may not erase or invent errors).
+//! * **Compile differential** — when the folded AST compiles, the VM's
+//!   verdict under the error→reject convention equals the reference
+//!   interpreter's; likewise for the full optimizing and generic
+//!   restriction lowerings when they succeed.
+//!
+//! The corpus policy, smoke-vs-long run targets and reproduction recipes
+//! are documented in the README's "Fuzzing & corpus policy" section.
+
+#![warn(missing_docs)]
+
+pub mod atss;
+pub mod exprgen;
+pub mod harness;
+pub mod mutate;
+
+pub use harness::{
+    fnv1a, fuzz_target, minimize, replay_corpus, run_target, silence_panics, FuzzConfig,
+    FuzzReport, Target, TargetFailure,
+};

@@ -1,0 +1,110 @@
+//! Command-line fuzz runner.
+//!
+//! ```text
+//! at_fuzz <target|all> [--iters N] [--seed S] [--corpus DIR] [--no-write]
+//! ```
+//!
+//! Exits nonzero when any target crashes; the minimized input is written
+//! into the corpus directory (unless `--no-write`) so `cargo test` will
+//! replay it from then on.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use at_fuzz::{fuzz_target, silence_panics, FuzzConfig, Target};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: at_fuzz <target|all> [--iters N] [--seed S] [--corpus DIR] [--no-write]\n\
+         targets: {}",
+        Target::ALL
+            .iter()
+            .map(|t| t.name())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let Some(selector) = args.next() else { usage() };
+    let targets: Vec<Target> = if selector == "all" {
+        Target::ALL.to_vec()
+    } else {
+        match Target::from_name(&selector) {
+            Some(t) => vec![t],
+            None => {
+                eprintln!("unknown target {selector:?}");
+                usage();
+            }
+        }
+    };
+
+    let mut config = FuzzConfig::default();
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--iters" => {
+                config.iters = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--seed" => {
+                config.seed = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--corpus" => {
+                config.corpus_dir = args.next().map(PathBuf::from).unwrap_or_else(|| usage())
+            }
+            "--no-write" => config.write_crashes = false,
+            _ => usage(),
+        }
+    }
+
+    silence_panics();
+
+    let mut failed = false;
+    for target in targets {
+        let start = std::time::Instant::now();
+        let report = fuzz_target(target, &config);
+        let elapsed = start.elapsed();
+        let rate = report.iters_run as f64 / elapsed.as_secs_f64().max(1e-9);
+        match &report.crash {
+            None => {
+                println!(
+                    "{}: {} iterations in {:.1}s ({:.0}/s), seed {:#x} — clean",
+                    target.name(),
+                    report.iters_run,
+                    elapsed.as_secs_f64(),
+                    rate,
+                    config.seed,
+                );
+            }
+            Some((input, written, failure)) => {
+                failed = true;
+                println!(
+                    "{}: FAILED after {} iterations (seed {:#x})",
+                    target.name(),
+                    report.iters_run,
+                    config.seed,
+                );
+                println!("  {failure}");
+                println!("  minimized input: {} bytes", input.len());
+                if let Some(path) = written {
+                    println!("  written to {}", path.display());
+                }
+                if let Ok(text) = std::str::from_utf8(input) {
+                    println!("  as text: {text:?}");
+                }
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

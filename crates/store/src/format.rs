@@ -1370,34 +1370,53 @@ pub fn peek_info(path: impl AsRef<Path>) -> Result<StoreInfo, StoreError> {
     let mut cur = Cursor::new(payload, "header");
     let name = cur.str()?;
     let num_params = cur.u32()? as usize;
+    if !cur.done() {
+        return Err(StoreError::corrupt("header", "trailing bytes after header"));
+    }
 
-    file.seek(SeekFrom::End(-(TRAILER_LEN as i64)))
+    // The header read above guarantees `file_bytes >= 20 > TRAILER_LEN`.
+    let trailer_at = file_bytes - TRAILER_LEN as u64;
+    file.seek(SeekFrom::Start(trailer_at))
         .map_err(|e| StoreError::io(path, e))?;
     let mut trailer = [0u8; TRAILER_LEN];
     file.read_exact(&mut trailer)
         .map_err(|_| StoreError::corrupt("trailer", "file too short"))?;
     if trailer[0..4] != TAG_END {
-        return Err(StoreError::corrupt("trailer", "missing end tag"));
+        return Err(StoreError::corrupt(
+            "trailer",
+            "missing end tag (file truncated or construction crashed mid-write)",
+        ));
     }
     let num_rows = u64::from_le_bytes(trailer[4..12].try_into().expect("8 bytes")) as usize;
 
-    // Locate the IDX frame (v2 only): skip the params section and the
-    // arena without reading either.
-    let mut index = None;
-    if version >= 2 {
-        let par_at = 8 + 12 + hdr_len as u64 + 4;
-        file.seek(SeekFrom::Start(par_at))
-            .map_err(|e| StoreError::io(path, e))?;
-        let mut frame = [0u8; 12];
-        file.read_exact(&mut frame)
-            .map_err(|_| StoreError::corrupt("params", "file ends inside the params frame"))?;
-        if frame[0..4] != TAG_PARAMS {
-            return Err(StoreError::corrupt("params", "missing params tag"));
-        }
-        let par_len = u64::from_le_bytes(frame[4..12].try_into().expect("8 bytes"));
-        let arn_at = par_at + 12 + par_len + 4;
-        file.seek(SeekFrom::Start(arn_at))
-            .map_err(|e| StoreError::io(path, e))?;
+    // Walk the remaining section frames with O(1) seeks — the same exact
+    // accounting as `parse_structure`, just without reading the payloads.
+    // Every offset is computed with checked arithmetic: all frame lengths
+    // and the trailer's row count are attacker-controlled, and an
+    // overflowing sum must become a clean corruption error, not a panic or
+    // a wrapped-around seek.
+    let too_short = |section: &'static str| {
+        StoreError::corrupt(section, format!("file ends before the {section} section"))
+    };
+    let par_at = 8 + 12 + hdr_len as u64 + 4; // hdr_len is capped above
+    file.seek(SeekFrom::Start(par_at))
+        .map_err(|e| StoreError::io(path, e))?;
+    let mut frame = [0u8; 12];
+    file.read_exact(&mut frame)
+        .map_err(|_| StoreError::corrupt("params", "file ends inside the params frame"))?;
+    if frame[0..4] != TAG_PARAMS {
+        return Err(StoreError::corrupt("params", "missing params tag"));
+    }
+    let par_len = u64::from_le_bytes(frame[4..12].try_into().expect("8 bytes"));
+    let arena_tag_at = par_at
+        .checked_add(12)
+        .and_then(|v| v.checked_add(par_len))
+        .and_then(|v| v.checked_add(4))
+        .filter(|&v| v <= trailer_at)
+        .ok_or_else(|| too_short("arena"))?;
+    file.seek(SeekFrom::Start(arena_tag_at))
+        .map_err(|e| StoreError::io(path, e))?;
+    let arena_at = if version >= 2 {
         let mut arn = [0u8; 8];
         file.read_exact(&mut arn)
             .map_err(|_| StoreError::corrupt("arena", "file ends inside the arena frame"))?;
@@ -1408,31 +1427,92 @@ pub fn peek_info(path: impl AsRef<Path>) -> Result<StoreInfo, StoreError> {
         if pad > 3 {
             return Err(StoreError::corrupt(
                 "arena",
-                "implausible alignment padding",
+                format!("implausible alignment padding {pad}"),
             ));
         }
-        let arena_len = (num_rows as u64)
-            .checked_mul(num_params as u64)
-            .and_then(|c| c.checked_mul(4))
-            .ok_or_else(|| StoreError::corrupt("arena", "arena size overflows"))?;
-        let idx_at = arn_at + 8 + pad + arena_len;
-        let trailer_at = file_bytes - TRAILER_LEN as u64;
-        if idx_at < trailer_at {
-            file.seek(SeekFrom::Start(idx_at))
-                .map_err(|e| StoreError::io(path, e))?;
-            let mut frame = [0u8; 4 + 8 + 8];
-            file.read_exact(&mut frame)
-                .map_err(|_| StoreError::corrupt("index", "file ends inside the index frame"))?;
-            if frame[0..4] != TAG_INDEX {
-                return Err(StoreError::corrupt("index", "missing index tag"));
-            }
-            let hash_version = u32::from_le_bytes(frame[12..16].try_into().expect("4 bytes"));
-            let num_slots = u32::from_le_bytes(frame[16..20].try_into().expect("4 bytes")) as usize;
-            index = Some(IndexInfo {
-                hash_version,
-                num_slots,
-            });
+        let at = arena_tag_at
+            .checked_add(8 + pad)
+            .filter(|&v| v <= trailer_at)
+            .ok_or_else(|| too_short("arena"))?;
+        if !at.is_multiple_of(4) {
+            return Err(StoreError::corrupt(
+                "arena",
+                "alignment padding does not land the arena on a 4-byte offset",
+            ));
         }
+        at
+    } else {
+        let mut arn = [0u8; 4];
+        file.read_exact(&mut arn)
+            .map_err(|_| StoreError::corrupt("arena", "file ends inside the arena frame"))?;
+        if arn != TAG_ARENA {
+            return Err(StoreError::corrupt("arena", "missing arena tag"));
+        }
+        arena_tag_at
+            .checked_add(4)
+            .filter(|&v| v <= trailer_at)
+            .ok_or_else(|| too_short("arena"))?
+    };
+    let arena_len = (num_rows as u64)
+        .checked_mul(num_params as u64)
+        .and_then(|c| c.checked_mul(4))
+        .ok_or_else(|| StoreError::corrupt("arena", "arena size overflows"))?;
+    let after_arena = arena_at
+        .checked_add(arena_len)
+        .filter(|&v| v <= trailer_at)
+        .ok_or_else(|| {
+            StoreError::corrupt(
+                "arena",
+                format!(
+                    "{} bytes before the trailer cannot hold {num_rows} rows x {num_params} params",
+                    trailer_at.saturating_sub(arena_at),
+                ),
+            )
+        })?;
+
+    // Between arena end and trailer: nothing (v1, or v2 without an index)
+    // or exactly one IDX section — the same rule `parse_structure` applies.
+    let mut index = None;
+    if after_arena < trailer_at {
+        if version < 2 {
+            return Err(StoreError::corrupt(
+                "arena",
+                format!(
+                    "arena holds {} bytes where {num_rows} rows x {num_params} params need {arena_len}",
+                    trailer_at - arena_at,
+                ),
+            ));
+        }
+        file.seek(SeekFrom::Start(after_arena))
+            .map_err(|e| StoreError::io(path, e))?;
+        let mut frame = [0u8; 4 + 8 + 8];
+        file.read_exact(&mut frame)
+            .map_err(|_| StoreError::corrupt("index", "file ends inside the index frame"))?;
+        if frame[0..4] != TAG_INDEX {
+            return Err(StoreError::corrupt("index", "unexpected section tag"));
+        }
+        let payload_len = u64::from_le_bytes(frame[4..12].try_into().expect("8 bytes"));
+        let idx_end = after_arena
+            .checked_add(4 + 8 + 4)
+            .and_then(|v| v.checked_add(payload_len));
+        if idx_end != Some(trailer_at) {
+            return Err(StoreError::corrupt(
+                "index",
+                "trailing bytes between the index section and the trailer",
+            ));
+        }
+        let hash_version = u32::from_le_bytes(frame[12..16].try_into().expect("4 bytes"));
+        let num_slots = u32::from_le_bytes(frame[16..20].try_into().expect("4 bytes")) as usize;
+        if payload_len != 8 + num_slots as u64 * 4 {
+            return Err(StoreError::corrupt(
+                "index",
+                "payload length does not match the slot count",
+            ));
+        }
+        index = Some(IndexInfo {
+            hash_version,
+            num_slots,
+        });
     }
 
     Ok(StoreInfo {
@@ -1691,6 +1771,88 @@ mod tests {
         assert_eq!(full.info().unwrap(), info);
         let (_, read_info) = read_space_from_path(&path).unwrap();
         assert_eq!(read_info, info);
+    }
+
+    /// The `peek_info`/strict-reader differential (fuzz target 1's
+    /// secondary oracle): whenever the cheap peek rejects a file, the
+    /// strict reader must reject it too, and when both accept, the
+    /// metadata must be identical. Peek may accept files the strict
+    /// reader rejects (it skips the param dictionaries and all content
+    /// checksums), but never the other way around.
+    fn assert_peek_not_stricter(bytes: &[u8], tag: &str, what: &str) {
+        let path = temp_path(&format!("peek-diff-{tag}.atss"));
+        std::fs::write(&path, bytes).unwrap();
+        let peeked = peek_info(&path);
+        let strict = read_space_from_bytes(bytes);
+        match (peeked, strict) {
+            (Ok(info), Ok((_, strict_info))) => {
+                assert_eq!(info, strict_info, "{what}: metadata diverged")
+            }
+            (Err(e), Ok(_)) => panic!("{what}: peek rejected ({e}) what the strict reader accepts"),
+            (Err(e), Err(_)) => assert!(
+                e.is_content_error(),
+                "{what}: peek turned damage into a non-content error: {e}"
+            ),
+            (Ok(_), Err(_)) => {} // peek is allowed to be laxer
+        }
+    }
+
+    #[test]
+    fn peek_classifies_every_truncation_as_the_strict_reader_does() {
+        let space = small_space();
+        let mut bytes = Vec::new();
+        write_space(&space, &mut bytes).unwrap();
+        for keep in 0..bytes.len() {
+            assert_peek_not_stricter(&bytes[..keep], "trunc", &format!("truncation to {keep}"));
+        }
+    }
+
+    #[test]
+    fn peek_agrees_with_the_strict_reader_on_single_byte_flips() {
+        let space = small_space();
+        let mut bytes = Vec::new();
+        write_space(&space, &mut bytes).unwrap();
+        for i in 0..bytes.len() {
+            let mut flipped = bytes.clone();
+            flipped[i] ^= 0x40;
+            assert_peek_not_stricter(&flipped, "flip", &format!("flip at byte {i}"));
+        }
+    }
+
+    #[test]
+    fn peek_survives_overflowing_trailer_row_counts() {
+        // A hostile trailer row count must yield a clean corruption error,
+        // not an arithmetic overflow: both the `rows * params * 4` product
+        // and the `arena offset + arena length` sum can exceed `u64`.
+        let space = small_space();
+        let mut bytes = Vec::new();
+        write_space(&space, &mut bytes).unwrap();
+        let rows_at = bytes.len() - TRAILER_LEN + 4;
+        for hostile_rows in [u64::MAX, u64::MAX / 8, u64::MAX / 8 - 1000] {
+            let mut bad = bytes.clone();
+            bad[rows_at..rows_at + 8].copy_from_slice(&hostile_rows.to_le_bytes());
+            assert_peek_not_stricter(
+                &bad,
+                "rows",
+                &format!("trailer claiming {hostile_rows} rows"),
+            );
+        }
+    }
+
+    #[test]
+    fn peek_rejects_stray_bytes_between_arena_and_trailer_in_v1() {
+        let fixture = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../../tests/fixtures/v1-small.atss");
+        let bytes = std::fs::read(fixture).unwrap();
+        assert_peek_not_stricter(&bytes, "v1", "pristine v1 fixture");
+        // Splice a stray byte in front of the trailer: v1 has no index
+        // section, so the gap must be rejected by both readers.
+        let mut padded = bytes.clone();
+        padded.insert(bytes.len() - TRAILER_LEN, 0);
+        assert_peek_not_stricter(&padded, "v1-stray", "v1 file with a stray pre-trailer byte");
+        let path = temp_path("peek-v1-stray.atss");
+        std::fs::write(&path, &padded).unwrap();
+        assert!(peek_info(&path).is_err(), "stray byte accepted by peek");
     }
 
     #[test]

@@ -1,0 +1,202 @@
+//! Property tests for the expression pipeline's internal contracts:
+//!
+//! * **Display round-trip** — for any expression the parser can produce,
+//!   `parse(&expr.to_string())` returns the identical AST. Arbitrary
+//!   constructed ASTs are first *normalized* through one print/parse
+//!   cycle (constructed forms like a single-element `And` have no exact
+//!   source spelling), after which printing is a fixed point.
+//! * **Fold soundness** — folding never changes the verdict: same
+//!   truthiness on `Ok`, an error exactly when the original errors.
+//! * **Compile/VM agreement** — when the folded expression compiles, the
+//!   VM agrees with the AST interpreter on every sampled assignment.
+
+use proptest::prelude::*;
+use rustc_hash::FxHashMap;
+
+use autotuning_searchspaces::csp::{CmpOp, Value};
+use autotuning_searchspaces::expr::{compile_auto, fold, parse, BinOp, BuiltinFn, Expr};
+
+/// The vendored proptest shim has no `bool` module; a two-value range
+/// stands in for `any::<bool>()`.
+fn any_bool() -> impl Strategy<Value = bool> + Clone {
+    (0u32..2).prop_map(|v| v == 1)
+}
+
+fn leaf() -> impl Strategy<Value = Expr> + Clone {
+    prop_oneof![
+        Just(Expr::Var("x".to_string())),
+        Just(Expr::Var("y".to_string())),
+        Just(Expr::Var("z".to_string())),
+        (-9i64..100).prop_map(|v| Expr::Const(Value::Int(v))),
+        (-16i64..64).prop_map(|v| Expr::Const(Value::Float(v as f64 / 4.0))),
+        any_bool().prop_map(|b| Expr::Const(Value::Bool(b))),
+    ]
+}
+
+fn bin_op() -> impl Strategy<Value = BinOp> + Clone {
+    prop_oneof![
+        Just(BinOp::Add),
+        Just(BinOp::Sub),
+        Just(BinOp::Mul),
+        Just(BinOp::Div),
+        Just(BinOp::FloorDiv),
+        Just(BinOp::Mod),
+        Just(BinOp::Pow),
+    ]
+}
+
+fn cmp_op() -> impl Strategy<Value = CmpOp> + Clone {
+    prop_oneof![
+        Just(CmpOp::Lt),
+        Just(CmpOp::Le),
+        Just(CmpOp::Gt),
+        Just(CmpOp::Ge),
+        Just(CmpOp::Eq),
+        Just(CmpOp::Ne),
+    ]
+}
+
+/// Combine sub-expressions one level up. The vendored proptest has no
+/// `prop_recursive`, so depth is built by explicit stacking.
+fn layer(inner: BoxedStrategy<Expr>) -> BoxedStrategy<Expr> {
+    let unary = prop_oneof![
+        inner.clone().prop_map(|e| Expr::Neg(Box::new(e))),
+        inner.clone().prop_map(|e| Expr::Not(Box::new(e))),
+    ];
+    let binary = (bin_op(), inner.clone(), inner.clone()).prop_map(|(op, lhs, rhs)| Expr::Binary {
+        op,
+        lhs: Box::new(lhs),
+        rhs: Box::new(rhs),
+    });
+    let compare = (
+        inner.clone(),
+        proptest::collection::vec((cmp_op(), inner.clone()), 1..3),
+    )
+        .prop_map(|(first, rest)| Expr::Compare {
+            first: Box::new(first),
+            rest,
+        });
+    let connective = (any_bool(), proptest::collection::vec(inner.clone(), 2..4))
+        .prop_map(|(is_and, es)| if is_and { Expr::And(es) } else { Expr::Or(es) });
+    let membership = (
+        inner.clone(),
+        proptest::collection::vec(inner.clone(), 1..4),
+        any_bool(),
+    )
+        .prop_map(|(value, set, negated)| Expr::In {
+            value: Box::new(value),
+            set,
+            negated,
+        });
+    let call = (
+        prop_oneof![Just(BuiltinFn::Min), Just(BuiltinFn::Max)],
+        proptest::collection::vec(inner.clone(), 2..4),
+    )
+        .prop_map(|(func, args)| Expr::Call { func, args });
+    let abs = inner.clone().prop_map(|e| Expr::Call {
+        func: BuiltinFn::Abs,
+        args: vec![e],
+    });
+    prop_oneof![inner, unary, binary, compare, connective, membership, call, abs].boxed()
+}
+
+fn expression() -> BoxedStrategy<Expr> {
+    layer(layer(leaf().boxed()))
+}
+
+fn environments() -> Vec<FxHashMap<String, Value>> {
+    let pools: [[Value; 3]; 4] = [
+        [Value::Int(2), Value::Int(3), Value::Int(0)],
+        [Value::Int(-1), Value::Float(0.5), Value::Int(7)],
+        [Value::Float(0.0), Value::Int(1), Value::Bool(true)],
+        [Value::str("half"), Value::Int(4), Value::Int(2)],
+    ];
+    pools
+        .iter()
+        .map(|pool| {
+            [
+                ("x".to_string(), pool[0].clone()),
+                ("y".to_string(), pool[1].clone()),
+                ("z".to_string(), pool[2].clone()),
+            ]
+            .into_iter()
+            .collect()
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn display_is_a_fixed_point_after_one_normalization(ast in expression()) {
+        // Constructed ASTs may have no exact source spelling; one
+        // print/parse cycle lands in the parser's image...
+        let printed = ast.to_string();
+        let normalized = parse(&printed)
+            .unwrap_or_else(|e| panic!("display output failed to reparse: {printed:?}: {e}"));
+        // ...where printing must round-trip to the identical AST.
+        let reprinted = normalized.to_string();
+        let reparsed = parse(&reprinted)
+            .unwrap_or_else(|e| panic!("second print failed to reparse: {reprinted:?}: {e}"));
+        prop_assert_eq!(&reparsed, &normalized, "print is not a fixed point: {}", printed);
+
+        // And normalization preserves semantics on every sampled env.
+        for env in environments() {
+            let a = ast.evaluate(&env);
+            let b = normalized.evaluate(&env);
+            match (a, b) {
+                (Ok(va), Ok(vb)) => prop_assert_eq!(
+                    va.truthy(), vb.truthy(),
+                    "normalization changed the verdict of {} under {:?}", printed, env
+                ),
+                (Err(_), Err(_)) => {}
+                (a, b) => prop_assert!(
+                    false,
+                    "normalization changed error behaviour of {} under {:?}: {:?} vs {:?}",
+                    printed, env, a, b
+                ),
+            }
+        }
+    }
+
+    #[test]
+    fn fold_and_vm_agree_with_the_interpreter(ast in expression()) {
+        let printed = ast.to_string();
+        let Ok(expr) = parse(&printed) else { return };
+        let folded = fold(expr.clone());
+        let compiled = compile_auto(&folded).ok();
+        for env in environments() {
+            let reference = expr.evaluate(&env);
+            let after_fold = folded.evaluate(&env);
+            match (&reference, &after_fold) {
+                (Ok(a), Ok(b)) => prop_assert_eq!(
+                    a.truthy(), b.truthy(),
+                    "fold changed the verdict of {} under {:?}", printed, env
+                ),
+                (Err(_), Err(_)) => {}
+                _ => prop_assert!(
+                    false,
+                    "fold changed error behaviour of {} under {:?}: {:?} vs {:?}",
+                    printed, env, reference, after_fold
+                ),
+            }
+            if let Some((program, scope)) = &compiled {
+                let values: Vec<Value> = scope.iter().map(|n| env[n].clone()).collect();
+                let vm = program.eval(&values);
+                match (&after_fold, &vm) {
+                    (Ok(a), Ok(b)) => prop_assert_eq!(
+                        a.truthy(), b.truthy(),
+                        "VM diverged from interpreter on {} under {:?}", printed, env
+                    ),
+                    (Err(_), Err(_)) => {}
+                    _ => prop_assert!(
+                        false,
+                        "VM error behaviour diverged on {} under {:?}: {:?} vs {:?}",
+                        printed, env, after_fold, vm
+                    ),
+                }
+            }
+        }
+    }
+}
