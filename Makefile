@@ -3,13 +3,18 @@
 
 CARGO ?= cargo
 
-.PHONY: verify fmt clippy build test doctest smoke streaming store examples doc fuzz-smoke fuzz bench bench-construction bench-store fix
+.PHONY: verify fmt clippy lint-unsafe build test doctest smoke streaming store check-specs examples doc fuzz-smoke fuzz bench bench-construction bench-store fix
 
-verify: fmt clippy build test smoke streaming store examples doc fuzz-smoke
+verify: fmt clippy lint-unsafe build test smoke streaming store check-specs examples doc fuzz-smoke
 	@echo "---- all checks passed ----"
 
 fmt:
 	$(CARGO) fmt --all --check
+
+# Unsafe-audit gate: unsafe code stays confined to the store's mmap path and
+# every site there carries a `// SAFETY:` comment (see scripts/lint_unsafe.sh).
+lint-unsafe:
+	bash scripts/lint_unsafe.sh
 
 clippy:
 	$(CARGO) clippy --workspace --all-targets -- -D warnings
@@ -57,6 +62,25 @@ store:
 	cmp target/store-smoke-out/cold.csv target/store-smoke-out/mmap.csv
 	$(CARGO) run --release -p at_cli --bin atss -- cache verify --cache-dir target/store-smoke
 	$(CARGO) run --release -p at_cli --bin atss -- cache verify --cache-dir target/store-smoke --json | grep '"damaged":0'
+
+# The static-analysis self-check gate: run `atss check` over every built-in
+# workload and the spec template. Clean specs must stay clean; the
+# paper-verbatim GEMM and PRL restriction sets carry known benign findings
+# (int/int true division is always Float → AT0003; tautological guards →
+# AT0006; divisor values no configuration uses → prunable), asserted here as
+# EXPECTED — a change in either direction fails the gate.
+check-specs:
+	$(CARGO) run --release -p at_cli --bin atss -- check --workload dedispersion | grep -F "0 error(s), 0 warning(s)"
+	$(CARGO) run --release -p at_cli --bin atss -- check --workload expdist | grep -F "0 error(s), 0 warning(s)"
+	$(CARGO) run --release -p at_cli --bin atss -- check --workload hotspot | grep -F "0 error(s), 0 warning(s)"
+	$(CARGO) run --release -p at_cli --bin atss -- check --workload microhh | grep -F "0 error(s), 0 warning(s)"
+	$(CARGO) run --release -p at_cli --bin atss -- check --workload gemm --json | grep -c '"code":"AT0003"' | grep -x 2
+	$(CARGO) run --release -p at_cli --bin atss -- check --workload gemm --json | grep -c '"code":"AT0006"' | grep -x 2
+	$(CARGO) run --release -p at_cli --bin atss -- check --workload prl-2x2 --json | grep -c '"code":"AT0006"' | grep -x 6
+	$(CARGO) run --release -p at_cli --bin atss -- check --workload prl-4x4 --json | grep -F '"warnings":4'
+	$(CARGO) run --release -p at_cli --bin atss -- check --workload prl-8x8 --json | grep -F '"prunable_values":8'
+	$(CARGO) run --release -p at_cli --bin atss -- spec-template > target/spec-template.json
+	$(CARGO) run --release -p at_cli --bin atss -- check --spec target/spec-template.json | grep -F "0 error(s), 0 warning(s)"
 
 # The fuzzing gate (see README "Fuzzing & corpus policy"): replay every
 # checked-in regression input, then a short fixed-seed run of all three

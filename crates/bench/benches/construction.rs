@@ -15,8 +15,9 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-use at_searchspace::{build_search_space, Method, SearchSpaceSpec};
-use at_workloads::{atf_prl, dedispersion};
+use at_searchspace::builder::{build_search_space_with, BuildOptions};
+use at_searchspace::{build_search_space, Method, SearchSpaceSpec, TunableParameter};
+use at_workloads::{atf_prl, dedispersion, expdist};
 
 /// Live/peak heap byte counters, updated by the global allocator.
 static LIVE: AtomicUsize = AtomicUsize::new(0);
@@ -158,6 +159,76 @@ fn bench_construction(c: &mut Criterion) {
         );
     }
     group.finish();
+
+    // Analyzer-driven domain pre-pruning: the at_check contract is a
+    // *smaller solve for the identical space*. Assert the identity here —
+    // byte-for-byte arena equality — then time both variants on specs
+    // where the analyzer finds prunable values (expdist: 1, prl-8x8: 8
+    // across 2 parameters, and a synthetic spec whose membership
+    // restrictions kill 80% of two domains — the brute-force enumerator
+    // pays for every dead tuple, so pruning shrinks its product ~25×).
+    let mut group = c.benchmark_group("construction/pruning");
+    group.sample_size(10);
+    for (spec, method) in [
+        (expdist().spec, Method::Optimized),
+        (atf_prl(8).spec, Method::Optimized),
+        (prunable_synthetic(), Method::BruteForce),
+    ] {
+        let prune = BuildOptions {
+            prune: true,
+            ..Default::default()
+        };
+        let (plain, plain_report) = build_search_space(&spec, method).expect("construction");
+        let (pruned, pruned_report) =
+            build_search_space_with(&spec, method, prune).expect("pruned construction");
+        assert_eq!(
+            plain.arena(),
+            pruned.arena(),
+            "{}: pre-pruning must not change the constructed space",
+            spec.name
+        );
+        println!(
+            "  {:<20} {:<12} pruning: {} configs, solve {:.3?} plain vs {:.3?} pruned",
+            spec.name,
+            method.label(),
+            plain_report.num_valid,
+            plain_report.duration,
+            pruned_report.duration,
+        );
+        group.bench_with_input(
+            BenchmarkId::new(format!("plain-{}", method.label()), &spec.name),
+            &spec,
+            |b, spec| b.iter(|| build_search_space(spec, method).unwrap().0.len()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new(format!("pruned-{}", method.label()), &spec.name),
+            &spec,
+            |b, spec| {
+                b.iter(|| {
+                    build_search_space_with(spec, method, prune)
+                        .unwrap()
+                        .0
+                        .len()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+/// A spec built to have a large prunable fraction: the membership
+/// restrictions support only 4 of 20 values of `a` and `b`, so analyzer
+/// pre-pruning cuts the Cartesian product from 160 000 to 6 400 tuples
+/// before the brute-force enumerator ever sees it.
+fn prunable_synthetic() -> SearchSpaceSpec {
+    SearchSpaceSpec::new("synthetic-prunable")
+        .with_param(TunableParameter::ints("a", 1..=20))
+        .with_param(TunableParameter::ints("b", 1..=20))
+        .with_param(TunableParameter::ints("c", 1..=20))
+        .with_param(TunableParameter::ints("d", 1..=20))
+        .with_expr("a in [2, 4, 8, 16]")
+        .with_expr("b in [2, 4, 8, 16]")
+        .with_expr("a * b <= c * d")
 }
 
 criterion_group!(benches, bench_construction);

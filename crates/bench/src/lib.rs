@@ -5,6 +5,7 @@
 //! slopes of Figures 3–5), kernel density estimation (the KDE panels), and
 //! simple textual table/summary formatting.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::time::Instant;

@@ -1,0 +1,338 @@
+//! The abstract domain of the analyzer: finite value sets with a `Top`.
+//!
+//! Every expression node is abstracted by the *set of values it can
+//! evaluate to* plus a flag for *whether evaluation can error* (an error
+//! rejects the configuration under the pipeline's error→reject
+//! convention). Sets are computed by running the **real** concrete
+//! operations ([`BinOp::apply`], [`CmpOp::apply`], [`Value`] semantics)
+//! over all operand combinations, so the abstraction cannot drift from
+//! the interpreter it describes. When a set would exceed [`SET_CAP`]
+//! values — or an operator would have to combine more than [`PAIR_CAP`]
+//! operand pairs — the result widens to [`Abs::Top`], "any value, may
+//! error", which is trivially sound.
+//!
+//! # Soundness
+//!
+//! For every node, the abstract set is a **superset** of the values the
+//! node can concretely take over the (refined) variable domains, and
+//! `may_error` is `true` whenever any concrete evaluation can error.
+//! Claims derived from the abstraction are therefore one-sided:
+//!
+//! - `!can_true()` proves the node is never truthy (used for
+//!   *contradiction* verdicts),
+//! - `!can_false() && !may_error` proves it always evaluates truthily
+//!   (used for *tautology* verdicts),
+//! - the converses are **not** claimed: `can_true()` does not prove a
+//!   satisfying assignment exists. Warning-class diagnostics that need
+//!   an existence claim (e.g. AT0004) only fire from `Abs::Set`
+//!   evidence, never from `Top`.
+
+use at_csp::{CmpOp, Value};
+use at_expr::BinOp;
+use rustc_hash::FxHashSet;
+
+/// Maximum number of values an abstract set may hold before widening.
+pub const SET_CAP: usize = 512;
+
+/// Maximum number of operand combinations an operator application may
+/// enumerate before widening.
+pub const PAIR_CAP: usize = 4096;
+
+/// An abstract value: a finite set of possible concrete values, or
+/// everything.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Abs {
+    /// The node evaluates to one of these values (possibly none, when
+    /// every evaluation errors or the path is unreachable).
+    Set(Vec<Value>),
+    /// Unknown: any value at all.
+    Top,
+}
+
+impl Abs {
+    /// A single-value set.
+    pub fn singleton(v: Value) -> Abs {
+        Abs::Set(vec![v])
+    }
+
+    /// A deduplicated set, widening to `Top` past [`SET_CAP`].
+    pub fn from_values(values: impl IntoIterator<Item = Value>) -> Abs {
+        let mut seen = FxHashSet::default();
+        let mut out = Vec::new();
+        for v in values {
+            if seen.insert(v.clone()) {
+                out.push(v);
+                if out.len() > SET_CAP {
+                    return Abs::Top;
+                }
+            }
+        }
+        Abs::Set(out)
+    }
+
+    /// The members, when finite.
+    pub fn members(&self) -> Option<&[Value]> {
+        match self {
+            Abs::Set(vs) => Some(vs),
+            Abs::Top => None,
+        }
+    }
+
+    /// Whether the set is provably empty (bottom: the node never
+    /// produces a value).
+    pub fn is_empty_set(&self) -> bool {
+        matches!(self, Abs::Set(vs) if vs.is_empty())
+    }
+
+    /// Whether a numeric zero is *known* to be a possible value. `Top`
+    /// answers `false`: zero-based warnings only fire on positive
+    /// evidence.
+    pub fn can_be_zero(&self) -> bool {
+        match self {
+            Abs::Set(vs) => vs.iter().any(|v| v.as_f64() == Some(0.0)),
+            Abs::Top => false,
+        }
+    }
+
+    /// Whether every member is a string (and there is at least one).
+    pub fn all_str(&self) -> bool {
+        match self {
+            Abs::Set(vs) => !vs.is_empty() && vs.iter().all(|v| v.as_str().is_some()),
+            Abs::Top => false,
+        }
+    }
+
+    /// Whether every member is numeric (and there is at least one).
+    pub fn all_numeric(&self) -> bool {
+        match self {
+            Abs::Set(vs) => !vs.is_empty() && vs.iter().all(|v| v.is_numeric()),
+            Abs::Top => false,
+        }
+    }
+
+    /// Whether every member is a float (and there is at least one).
+    pub fn all_float(&self) -> bool {
+        match self {
+            Abs::Set(vs) => !vs.is_empty() && vs.iter().all(|v| matches!(v, Value::Float(_))),
+            Abs::Top => false,
+        }
+    }
+}
+
+/// An abstract value plus the may-error flag.
+#[derive(Debug, Clone)]
+pub struct AbsVal {
+    /// The value set.
+    pub abs: Abs,
+    /// Whether evaluation of the node can error for some assignment
+    /// (errors reject the configuration).
+    pub may_error: bool,
+}
+
+impl AbsVal {
+    /// An exact (never-erroring) set.
+    pub fn exact(abs: Abs) -> AbsVal {
+        AbsVal {
+            abs,
+            may_error: false,
+        }
+    }
+
+    /// The unknown value.
+    pub fn top() -> AbsVal {
+        AbsVal {
+            abs: Abs::Top,
+            may_error: true,
+        }
+    }
+
+    /// Whether some member is truthy (over-approximated: `Top` → yes).
+    pub fn can_true(&self) -> bool {
+        match &self.abs {
+            Abs::Set(vs) => vs.iter().any(Value::truthy),
+            Abs::Top => true,
+        }
+    }
+
+    /// Whether some member is falsy (over-approximated: `Top` → yes).
+    pub fn can_false(&self) -> bool {
+        match &self.abs {
+            Abs::Set(vs) => vs.iter().any(|v| !v.truthy()),
+            Abs::Top => true,
+        }
+    }
+
+    /// Build the boolean abstraction from possibility flags.
+    pub fn bools(can_true: bool, can_false: bool, may_error: bool) -> AbsVal {
+        let mut vs = Vec::new();
+        if can_true {
+            vs.push(Value::Bool(true));
+        }
+        if can_false {
+            vs.push(Value::Bool(false));
+        }
+        AbsVal {
+            abs: Abs::Set(vs),
+            may_error,
+        }
+    }
+}
+
+/// Abstract application of a binary operator: the real [`BinOp::apply`]
+/// over all operand pairs, widening past the caps.
+pub fn binop(op: BinOp, a: &AbsVal, b: &AbsVal) -> AbsVal {
+    let mut may_error = a.may_error || b.may_error;
+    match (a.abs.members(), b.abs.members()) {
+        (Some(xs), Some(ys)) if xs.len().saturating_mul(ys.len()) <= PAIR_CAP => {
+            let mut seen = FxHashSet::default();
+            let mut out = Vec::new();
+            for x in xs {
+                for y in ys {
+                    match op.apply(x, y) {
+                        Ok(v) => {
+                            if seen.insert(v.clone()) {
+                                out.push(v);
+                            }
+                        }
+                        Err(_) => may_error = true,
+                    }
+                }
+            }
+            if out.len() > SET_CAP {
+                return AbsVal::top();
+            }
+            AbsVal {
+                abs: Abs::Set(out),
+                may_error,
+            }
+        }
+        _ => AbsVal::top(),
+    }
+}
+
+/// Abstract negation (`-x`).
+pub fn neg(a: &AbsVal) -> AbsVal {
+    let mut may_error = a.may_error;
+    match a.abs.members() {
+        Some(xs) => {
+            let mut out = Vec::new();
+            for x in xs {
+                match x.neg() {
+                    Some(v) => out.push(v),
+                    None => may_error = true,
+                }
+            }
+            AbsVal {
+                abs: Abs::from_values(out),
+                may_error,
+            }
+        }
+        None => AbsVal::top(),
+    }
+}
+
+/// Possible truth outcomes of one comparison link, via the real
+/// [`CmpOp::apply`] (which never errors).
+///
+/// Returns `(can_true, can_false)`.
+pub fn cmp_link(op: CmpOp, a: &Abs, b: &Abs) -> (bool, bool) {
+    match (a.members(), b.members()) {
+        (Some(xs), Some(ys)) if xs.len().saturating_mul(ys.len()) <= PAIR_CAP => {
+            let mut can_true = false;
+            let mut can_false = false;
+            for x in xs {
+                for y in ys {
+                    if op.apply(x, y) {
+                        can_true = true;
+                    } else {
+                        can_false = true;
+                    }
+                    if can_true && can_false {
+                        return (true, true);
+                    }
+                }
+            }
+            (can_true, can_false)
+        }
+        _ => (true, true),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ints(vals: impl IntoIterator<Item = i64>) -> AbsVal {
+        AbsVal::exact(Abs::from_values(vals.into_iter().map(Value::Int)))
+    }
+
+    #[test]
+    fn binop_runs_the_real_semantics() {
+        let a = ints([2, 3]);
+        let b = ints([4]);
+        let r = binop(BinOp::Mul, &a, &b);
+        assert!(!r.may_error);
+        let members = r.abs.members().unwrap();
+        assert!(members.contains(&Value::Int(8)));
+        assert!(members.contains(&Value::Int(12)));
+        assert_eq!(members.len(), 2);
+    }
+
+    #[test]
+    fn division_by_zero_sets_may_error() {
+        let a = ints([6]);
+        let b = ints([0, 2]);
+        let r = binop(BinOp::Div, &a, &b);
+        assert!(r.may_error, "0 divisor errors");
+        // The non-erroring combination survives: 6 / 2 = 3.0 (true division).
+        assert!(r.abs.members().unwrap().contains(&Value::Float(3.0)));
+    }
+
+    #[test]
+    fn string_arithmetic_errors() {
+        let a = AbsVal::exact(Abs::singleton(Value::str("half")));
+        let b = ints([1]);
+        let r = binop(BinOp::Add, &a, &b);
+        assert!(r.may_error);
+        assert!(r.abs.is_empty_set(), "no combination succeeds");
+    }
+
+    #[test]
+    fn widening_caps_combinations() {
+        let big: Vec<Value> = (0..100).map(Value::Int).collect();
+        let a = AbsVal::exact(Abs::Set(big.clone()));
+        let b = AbsVal::exact(Abs::Set(big));
+        // 100 * 100 > PAIR_CAP: widen rather than enumerate.
+        let r = binop(BinOp::Add, &a, &b);
+        assert_eq!(r.abs, Abs::Top);
+        assert!(r.may_error);
+    }
+
+    #[test]
+    fn cmp_link_over_disjoint_types_is_always_false() {
+        let nums = Abs::from_values([Value::Int(1), Value::Int(2)]);
+        let strs = Abs::from_values([Value::str("a")]);
+        assert_eq!(cmp_link(CmpOp::Eq, &nums, &strs), (false, true));
+        assert_eq!(cmp_link(CmpOp::Lt, &nums, &strs), (false, true));
+        // `!=` on incomparables is always true.
+        assert_eq!(cmp_link(CmpOp::Ne, &nums, &strs), (true, false));
+    }
+
+    #[test]
+    fn truthiness_over_top_is_unknown() {
+        let t = AbsVal::top();
+        assert!(t.can_true());
+        assert!(t.can_false());
+        assert!(!t.abs.can_be_zero(), "Top gives no positive evidence");
+    }
+
+    #[test]
+    fn zero_detection_spans_numeric_kinds() {
+        let z = Abs::from_values([Value::Float(0.0)]);
+        assert!(z.can_be_zero());
+        let b = Abs::from_values([Value::Bool(false)]);
+        assert!(b.can_be_zero());
+        let nz = Abs::from_values([Value::Int(3), Value::str("")]);
+        assert!(!nz.can_be_zero());
+    }
+}

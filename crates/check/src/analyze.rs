@@ -1,0 +1,1285 @@
+//! The analysis passes: typechecking, abstract interpretation over the
+//! parameter domains, and verdict classification.
+
+use at_csp::{CmpOp, Value};
+use at_expr::ast::apply_builtin;
+use at_expr::{parse_spanned, BinOp, Expr, ExprError, Span, SpanNode};
+use at_searchspace::{Restriction, SearchSpaceSpec};
+use rustc_hash::{FxHashMap, FxHashSet};
+
+use crate::absdom::{binop, cmp_link, neg, Abs, AbsVal, PAIR_CAP, SET_CAP};
+use crate::diag::{closest, Code, Diagnostic, Severity};
+
+/// Maximum number of assignments the exact enumeration refinement will
+/// ground out. Below this, verdicts and per-value support come from the
+/// reference interpreter itself and are exact, not abstract.
+pub const EXACT_CAP: u128 = 4096;
+
+/// What the analyzer concluded about one restriction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Satisfied by some assignments and violated (or errored) by others.
+    Contingent,
+    /// Provably satisfied by every assignment in the domains: dropping
+    /// it leaves the space identical.
+    Tautology,
+    /// Provably satisfied by no assignment: the space is empty.
+    Contradiction,
+}
+
+impl Verdict {
+    /// Short lowercase label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Verdict::Contingent => "contingent",
+            Verdict::Tautology => "tautology",
+            Verdict::Contradiction => "contradiction",
+        }
+    }
+}
+
+/// Values of one parameter that restrictions provably exclude.
+#[derive(Debug, Clone)]
+pub struct PrunableParam {
+    /// The parameter name.
+    pub param: String,
+    /// Domain values no satisfying assignment of some restriction uses.
+    pub values: Vec<Value>,
+}
+
+/// The full result of analyzing a spec.
+#[derive(Debug, Clone)]
+pub struct CheckReport {
+    /// The spec's name.
+    pub spec_name: String,
+    /// All findings, in restriction order.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Per-restriction verdicts; `None` when the restriction could not
+    /// be analyzed (parse failure, unknown variables, oversized scope).
+    pub verdicts: Vec<Option<Verdict>>,
+    /// Parameter values provably excluded by some restriction.
+    pub prunable: Vec<PrunableParam>,
+}
+
+impl CheckReport {
+    /// Number of error-severity diagnostics.
+    pub fn num_errors(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity() == Severity::Error)
+            .count()
+    }
+
+    /// Number of warning-severity diagnostics.
+    pub fn num_warnings(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity() == Severity::Warning)
+            .count()
+    }
+
+    /// Whether any diagnostic is an error.
+    pub fn has_errors(&self) -> bool {
+        self.num_errors() > 0
+    }
+
+    /// Whether the report is completely clean.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// Total number of prunable values across parameters.
+    pub fn num_prunable_values(&self) -> usize {
+        self.prunable.iter().map(|p| p.values.len()).sum()
+    }
+
+    /// Render every diagnostic plus a one-line summary, in the style of
+    /// a compiler run.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            out.push_str(&d.render());
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "{}: {} error(s), {} warning(s) across {} restriction(s)\n",
+            self.spec_name,
+            self.num_errors(),
+            self.num_warnings(),
+            self.verdicts.len(),
+        ));
+        if self.num_prunable_values() > 0 {
+            out.push_str(&format!(
+                "domain pre-pruning could remove {} value(s) across {} parameter(s)\n",
+                self.num_prunable_values(),
+                self.prunable.len()
+            ));
+        }
+        out
+    }
+}
+
+/// Run the full analysis over a spec.
+pub fn check_spec(spec: &SearchSpaceSpec) -> CheckReport {
+    let param_names: Vec<String> = spec.params.iter().map(|p| p.name().to_string()).collect();
+    let mut diagnostics = Vec::new();
+    let mut verdicts: Vec<Option<Verdict>> = vec![None; spec.restrictions.len()];
+    // Per-restriction exact satisfying-support, for pruning and pairwise
+    // checks: (vars, per-var allowed value indices) — only for exactly
+    // enumerated restrictions.
+    let mut exact_info: Vec<Option<ExactInfo>> =
+        (0..spec.restrictions.len()).map(|_| None).collect();
+
+    for (index, restriction) in spec.restrictions.iter().enumerate() {
+        match restriction {
+            Restriction::Expression(source) => {
+                analyze_expression(
+                    spec,
+                    &param_names,
+                    index,
+                    source,
+                    &mut diagnostics,
+                    &mut verdicts,
+                    &mut exact_info,
+                );
+            }
+            other => {
+                analyze_opaque(
+                    spec,
+                    &param_names,
+                    index,
+                    other,
+                    &mut diagnostics,
+                    &mut verdicts,
+                    &mut exact_info,
+                );
+            }
+        }
+    }
+
+    pairwise_contradictions(spec, &verdicts, &exact_info, &mut diagnostics);
+    let prunable = collect_prunable(spec, &verdicts, &exact_info);
+
+    CheckReport {
+        spec_name: spec.name.clone(),
+        diagnostics,
+        verdicts,
+        prunable,
+    }
+}
+
+/// Exact enumeration result for one restriction.
+struct ExactInfo {
+    /// Parameter indices in the restriction's scope.
+    scope: Vec<usize>,
+    /// For each scope entry, the set of domain-value indices that appear
+    /// in at least one satisfying assignment.
+    support: Vec<FxHashSet<usize>>,
+    /// Number of satisfying assignments.
+    n_sat: u128,
+    /// Total number of assignments.
+    n_total: u128,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn analyze_expression(
+    spec: &SearchSpaceSpec,
+    param_names: &[String],
+    index: usize,
+    source: &str,
+    diagnostics: &mut Vec<Diagnostic>,
+    verdicts: &mut [Option<Verdict>],
+    exact_info: &mut [Option<ExactInfo>],
+) {
+    let (expr, spans) = match parse_spanned(source) {
+        Ok(pair) => pair,
+        Err(e) => {
+            let position = match &e {
+                ExprError::Lex { position, .. } | ExprError::Parse { position, .. } => {
+                    Some(*position)
+                }
+                _ => None,
+            };
+            diagnostics.push(Diagnostic {
+                code: Code::ParseFailure,
+                message: format!("restriction does not parse: {e}"),
+                restriction: Some(index),
+                source: Some(source.to_string()),
+                // Error positions can sit at end-of-input (e.g. an empty
+                // source); clamp the span into the source.
+                span: position.map(|p| {
+                    let start = p.min(source.len());
+                    Span::new(start, (p + 1).min(source.len()).max(start))
+                }),
+                help: None,
+            });
+            return;
+        }
+    };
+
+    // Layer 1: unknown variables (with did-you-mean).
+    let vars = expr.variables();
+    let mut any_unknown = false;
+    for name in &vars {
+        if !param_names.contains(name) {
+            any_unknown = true;
+            let span = find_var_span(&expr, &spans, name);
+            let help = match closest(name, param_names) {
+                Some(candidate) => format!("did you mean `{candidate}`?"),
+                None => format!("parameters: {}", param_names.join(", ")),
+            };
+            diagnostics.push(Diagnostic {
+                code: Code::UnknownVariable,
+                message: format!("unknown variable `{name}`"),
+                restriction: Some(index),
+                source: Some(source.to_string()),
+                span,
+                help: Some(help),
+            });
+        }
+    }
+    if any_unknown {
+        return;
+    }
+
+    // Layer 2: the abstract walk — node diagnostics plus an abstract
+    // truth summary.
+    let env: Env = vars
+        .iter()
+        .map(|name| {
+            let p = &spec.params[spec.param_index(name).expect("known variable")];
+            (name.clone(), domain_abs(p.values()))
+        })
+        .collect();
+    let mut walker = Walker {
+        source,
+        restriction: index,
+        diags: Vec::new(),
+        dead: Vec::new(),
+    };
+    let summary = walker.eval(&expr, &spans, &env);
+    let Walker { diags, dead, .. } = walker;
+    diagnostics.extend(diags);
+
+    // Exact refinement: when the scope grounds out below EXACT_CAP, the
+    // reference interpreter gives the precise verdict and the per-value
+    // support sets.
+    let scope: Vec<usize> = vars
+        .iter()
+        .map(|name| spec.param_index(name).expect("known variable"))
+        .collect();
+    let verdict = match enumerate_exact(
+        spec,
+        &scope,
+        |env| matches!(expr.evaluate(env), Ok(v) if v.truthy()),
+    ) {
+        Some(info) => {
+            let verdict = verdict_of(&info);
+            exact_info[index] = Some(info);
+            verdict
+        }
+        None => {
+            // Abstract verdict; sound one-sided claims only.
+            if !summary.can_true() {
+                Verdict::Contradiction
+            } else if !summary.can_false() && !summary.may_error {
+                Verdict::Tautology
+            } else {
+                Verdict::Contingent
+            }
+        }
+    };
+    verdicts[index] = Some(verdict);
+
+    emit_verdict_diagnostics(verdict, index, source, &spans, diagnostics);
+    if verdict == Verdict::Contingent {
+        for d in dead {
+            diagnostics.push(Diagnostic {
+                code: Code::DeadBranch,
+                message: d.message,
+                restriction: Some(index),
+                source: Some(source.to_string()),
+                span: Some(d.span),
+                help: None,
+            });
+        }
+    }
+}
+
+/// Closure and pre-built specific restrictions: their predicate can be
+/// run but not inspected, so the analysis is black-box — exact
+/// enumeration when the scope is small, nothing otherwise.
+#[allow(clippy::too_many_arguments)]
+fn analyze_opaque(
+    spec: &SearchSpaceSpec,
+    param_names: &[String],
+    index: usize,
+    restriction: &Restriction,
+    diagnostics: &mut Vec<Diagnostic>,
+    verdicts: &mut [Option<Verdict>],
+    exact_info: &mut [Option<ExactInfo>],
+) {
+    let Some((constraint, scope_names)) = restriction.as_function_constraint() else {
+        return;
+    };
+    let mut any_unknown = false;
+    for name in &scope_names {
+        if !param_names.contains(name) {
+            any_unknown = true;
+            let help = match closest(name, param_names) {
+                Some(candidate) => format!("did you mean `{candidate}`?"),
+                None => format!("parameters: {}", param_names.join(", ")),
+            };
+            diagnostics.push(Diagnostic {
+                code: Code::UnknownVariable,
+                message: format!(
+                    "unknown variable `{name}` in the scope of `{}`",
+                    restriction.describe()
+                ),
+                restriction: Some(index),
+                source: None,
+                span: None,
+                help: Some(help),
+            });
+        }
+    }
+    if any_unknown {
+        return;
+    }
+    let scope: Vec<usize> = scope_names
+        .iter()
+        .map(|name| spec.param_index(name).expect("known variable"))
+        .collect();
+    let mut values = Vec::with_capacity(scope.len());
+    if let Some(info) = enumerate_exact(spec, &scope, |env| {
+        values.clear();
+        for name in &scope_names {
+            values.push(env.get(name).expect("scope variable").clone());
+        }
+        constraint.evaluate(&values)
+    }) {
+        let verdict = verdict_of(&info);
+        exact_info[index] = Some(info);
+        verdicts[index] = Some(verdict);
+        if verdict != Verdict::Contingent {
+            emit_opaque_verdict(verdict, index, restriction, diagnostics);
+        }
+    }
+}
+
+fn verdict_of(info: &ExactInfo) -> Verdict {
+    if info.n_sat == info.n_total {
+        Verdict::Tautology
+    } else if info.n_sat == 0 {
+        Verdict::Contradiction
+    } else {
+        Verdict::Contingent
+    }
+}
+
+fn emit_verdict_diagnostics(
+    verdict: Verdict,
+    index: usize,
+    source: &str,
+    spans: &SpanNode,
+    diagnostics: &mut Vec<Diagnostic>,
+) {
+    match verdict {
+        Verdict::Tautology => diagnostics.push(Diagnostic {
+            code: Code::Tautology,
+            message: "restriction is satisfied by every configuration in the domains".into(),
+            restriction: Some(index),
+            source: Some(source.to_string()),
+            span: Some(spans.span),
+            help: Some("it never rejects anything and can be dropped".into()),
+        }),
+        Verdict::Contradiction => diagnostics.push(Diagnostic {
+            code: Code::Contradiction,
+            message: "no configuration satisfies this restriction".into(),
+            restriction: Some(index),
+            source: Some(source.to_string()),
+            span: Some(spans.span),
+            help: Some("the search space is provably empty; no solve is needed".into()),
+        }),
+        Verdict::Contingent => {}
+    }
+}
+
+fn emit_opaque_verdict(
+    verdict: Verdict,
+    index: usize,
+    restriction: &Restriction,
+    diagnostics: &mut Vec<Diagnostic>,
+) {
+    let (code, message) = match verdict {
+        Verdict::Tautology => (
+            Code::Tautology,
+            format!(
+                "`{}` is satisfied by every configuration in the domains",
+                restriction.describe()
+            ),
+        ),
+        Verdict::Contradiction => (
+            Code::Contradiction,
+            format!("no configuration satisfies `{}`", restriction.describe()),
+        ),
+        Verdict::Contingent => return,
+    };
+    diagnostics.push(Diagnostic {
+        code,
+        message,
+        restriction: Some(index),
+        source: None,
+        span: None,
+        help: None,
+    });
+}
+
+/// Enumerate all assignments of `scope` (by parameter index) when the
+/// product of domain sizes is within [`EXACT_CAP`], feeding each
+/// assignment to `satisfied` and recording the support.
+fn enumerate_exact(
+    spec: &SearchSpaceSpec,
+    scope: &[usize],
+    mut satisfied: impl FnMut(&FxHashMap<String, Value>) -> bool,
+) -> Option<ExactInfo> {
+    let mut total: u128 = 1;
+    for &p in scope {
+        total = total.saturating_mul(spec.params[p].len() as u128);
+    }
+    if total == 0 || total > EXACT_CAP {
+        return None;
+    }
+    let domains: Vec<&[Value]> = scope.iter().map(|&p| spec.params[p].values()).collect();
+    let names: Vec<&str> = scope.iter().map(|&p| spec.params[p].name()).collect();
+    let mut counters = vec![0usize; scope.len()];
+    let mut support: Vec<FxHashSet<usize>> = vec![FxHashSet::default(); scope.len()];
+    let mut env: FxHashMap<String, Value> = FxHashMap::default();
+    let mut n_sat: u128 = 0;
+    loop {
+        for (k, &i) in counters.iter().enumerate() {
+            env.insert(names[k].to_string(), domains[k][i].clone());
+        }
+        if satisfied(&env) {
+            n_sat += 1;
+            for (k, &i) in counters.iter().enumerate() {
+                support[k].insert(i);
+            }
+        }
+        // Odometer step.
+        let mut k = scope.len();
+        loop {
+            if k == 0 {
+                return Some(ExactInfo {
+                    scope: scope.to_vec(),
+                    support,
+                    n_sat,
+                    n_total: total,
+                });
+            }
+            k -= 1;
+            counters[k] += 1;
+            if counters[k] < domains[k].len() {
+                break;
+            }
+            counters[k] = 0;
+        }
+        if scope.is_empty() {
+            // Single empty assignment already evaluated.
+            return Some(ExactInfo {
+                scope: Vec::new(),
+                support,
+                n_sat,
+                n_total: total,
+            });
+        }
+    }
+}
+
+/// AT0008: pairs of individually satisfiable restrictions that are
+/// jointly unsatisfiable. Only exactly-enumerated restrictions with
+/// overlapping scopes participate (disjoint scopes are independent, so
+/// individual satisfiability implies joint satisfiability).
+fn pairwise_contradictions(
+    spec: &SearchSpaceSpec,
+    verdicts: &[Option<Verdict>],
+    exact_info: &[Option<ExactInfo>],
+    diagnostics: &mut Vec<Diagnostic>,
+) {
+    let candidates: Vec<usize> = (0..spec.restrictions.len())
+        .filter(|&i| verdicts[i] == Some(Verdict::Contingent) && exact_info[i].is_some())
+        .collect();
+    for (a_pos, &i) in candidates.iter().enumerate() {
+        for &j in &candidates[a_pos + 1..] {
+            let (si, sj) = (
+                &exact_info[i].as_ref().expect("candidate").scope,
+                &exact_info[j].as_ref().expect("candidate").scope,
+            );
+            if !si.iter().any(|p| sj.contains(p)) {
+                continue;
+            }
+            let joint: Vec<usize> = {
+                let mut s = si.clone();
+                for &p in sj {
+                    if !s.contains(&p) {
+                        s.push(p);
+                    }
+                }
+                s
+            };
+            let (sat_i, sat_j) = match (
+                restriction_predicate(&spec.restrictions[i]),
+                restriction_predicate(&spec.restrictions[j]),
+            ) {
+                (Some(a), Some(b)) => (a, b),
+                _ => continue,
+            };
+            let jointly_satisfiable = enumerate_exact(spec, &joint, |env| sat_i(env) && sat_j(env));
+            if let Some(info) = jointly_satisfiable {
+                if info.n_sat == 0 {
+                    diagnostics.push(Diagnostic {
+                        code: Code::PairwiseContradiction,
+                        message: format!(
+                            "restrictions {i} and {j} can never hold at the same time: \
+                             `{}` and `{}`",
+                            spec.restrictions[i].describe(),
+                            spec.restrictions[j].describe()
+                        ),
+                        restriction: Some(j),
+                        source: None,
+                        span: None,
+                        help: Some("the search space is provably empty".into()),
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// A closure evaluating one restriction under an assignment env.
+/// `None` when the restriction cannot be evaluated this way.
+#[allow(clippy::type_complexity)]
+fn restriction_predicate(
+    restriction: &Restriction,
+) -> Option<Box<dyn Fn(&FxHashMap<String, Value>) -> bool + '_>> {
+    match restriction {
+        Restriction::Expression(source) => {
+            let expr = at_expr::parse(source).ok()?;
+            Some(Box::new(
+                move |env| matches!(expr.evaluate(env), Ok(v) if v.truthy()),
+            ))
+        }
+        other => {
+            let (constraint, scope) = other.as_function_constraint()?;
+            Some(Box::new(move |env| {
+                let values: Vec<Value> = scope
+                    .iter()
+                    .map(|name| env.get(name).expect("scope variable").clone())
+                    .collect();
+                constraint.evaluate(&values)
+            }))
+        }
+    }
+}
+
+/// Fold exact supports into per-parameter prunable value lists. A value
+/// is prunable when **some** restriction's satisfying assignments never
+/// use it — the conjunction then cannot either. Contradictory specs are
+/// skipped (the space is empty; pruning is moot).
+fn collect_prunable(
+    spec: &SearchSpaceSpec,
+    verdicts: &[Option<Verdict>],
+    exact_info: &[Option<ExactInfo>],
+) -> Vec<PrunableParam> {
+    if verdicts.contains(&Some(Verdict::Contradiction)) {
+        return Vec::new();
+    }
+    let mut removable: FxHashMap<usize, FxHashSet<usize>> = FxHashMap::default();
+    for info in exact_info.iter().flatten() {
+        for (k, &p) in info.scope.iter().enumerate() {
+            let domain_len = spec.params[p].len();
+            for value_index in 0..domain_len {
+                if !info.support[k].contains(&value_index) {
+                    removable.entry(p).or_default().insert(value_index);
+                }
+            }
+        }
+    }
+    let mut out: Vec<PrunableParam> = removable
+        .into_iter()
+        .filter(|(_, values)| !values.is_empty())
+        .map(|(p, values)| {
+            let param = &spec.params[p];
+            let mut indices: Vec<usize> = values.into_iter().collect();
+            indices.sort_unstable();
+            PrunableParam {
+                param: param.name().to_string(),
+                values: indices
+                    .into_iter()
+                    .map(|i| param.values()[i].clone())
+                    .collect(),
+            }
+        })
+        .collect();
+    out.sort_by(|a, b| a.param.cmp(&b.param));
+    out
+}
+
+/// Find the span of the first occurrence of variable `name`.
+fn find_var_span(expr: &Expr, spans: &SpanNode, name: &str) -> Option<Span> {
+    match expr {
+        Expr::Var(v) if v == name => Some(spans.span),
+        _ => {
+            let children = expr_children(expr);
+            debug_assert_eq!(children.len(), spans.children.len());
+            children
+                .iter()
+                .zip(&spans.children)
+                .find_map(|(child, child_span)| find_var_span(child, child_span, name))
+        }
+    }
+}
+
+/// The sub-expressions of a node, in [`SpanNode`] child order.
+fn expr_children(expr: &Expr) -> Vec<&Expr> {
+    match expr {
+        Expr::Const(_) | Expr::Var(_) => Vec::new(),
+        Expr::Neg(e) | Expr::Not(e) => vec![e.as_ref()],
+        Expr::Binary { lhs, rhs, .. } => vec![lhs.as_ref(), rhs.as_ref()],
+        Expr::Compare { first, rest } => {
+            let mut v = vec![first.as_ref()];
+            v.extend(rest.iter().map(|(_, e)| e));
+            v
+        }
+        Expr::And(parts) | Expr::Or(parts) => parts.iter().collect(),
+        Expr::In { value, set, .. } => {
+            let mut v = vec![value.as_ref()];
+            v.extend(set.iter());
+            v
+        }
+        Expr::Call { args, .. } => args.iter().collect(),
+    }
+}
+
+/// Abstract a parameter domain.
+fn domain_abs(values: &[Value]) -> Abs {
+    if values.len() > SET_CAP {
+        Abs::Top
+    } else {
+        Abs::Set(values.to_vec())
+    }
+}
+
+type Env = FxHashMap<String, Abs>;
+
+/// A dead-branch candidate recorded during the walk.
+struct DeadCandidate {
+    span: Span,
+    message: String,
+}
+
+/// The abstract interpreter over one restriction expression.
+struct Walker<'a> {
+    source: &'a str,
+    restriction: usize,
+    diags: Vec<Diagnostic>,
+    dead: Vec<DeadCandidate>,
+}
+
+impl Walker<'_> {
+    fn eval(&mut self, expr: &Expr, spans: &SpanNode, env: &Env) -> AbsVal {
+        match expr {
+            Expr::Const(v) => AbsVal::exact(Abs::singleton(v.clone())),
+            Expr::Var(name) => match env.get(name) {
+                Some(abs) => AbsVal::exact(abs.clone()),
+                None => AbsVal::top(),
+            },
+            Expr::Neg(inner) => {
+                let v = self.eval(inner, &spans.children[0], env);
+                neg(&v)
+            }
+            Expr::Not(inner) => {
+                let v = self.eval(inner, &spans.children[0], env);
+                AbsVal::bools(v.can_false(), v.can_true(), v.may_error)
+            }
+            Expr::Binary { op, lhs, rhs } => {
+                let l = self.eval(lhs, &spans.children[0], env);
+                let r = self.eval(rhs, &spans.children[1], env);
+                if matches!(op, BinOp::Div | BinOp::FloorDiv | BinOp::Mod) && r.abs.can_be_zero() {
+                    let rhs_span = spans.children[1].span;
+                    self.diags.push(Diagnostic {
+                        code: Code::PossibleDivisionByZero,
+                        message: format!(
+                            "`{}` can be zero here; configurations hitting `{}` with a zero \
+                             divisor are rejected",
+                            snippet(self.source, rhs_span),
+                            op.symbol()
+                        ),
+                        restriction: Some(self.restriction),
+                        source: Some(self.source.to_string()),
+                        span: Some(rhs_span),
+                        help: Some(format!(
+                            "guard it, e.g. `{} == 0 or …`",
+                            snippet(self.source, rhs_span)
+                        )),
+                    });
+                }
+                binop(*op, &l, &r)
+            }
+            Expr::Compare { first, rest } => {
+                let mut operands = Vec::with_capacity(1 + rest.len());
+                operands.push(self.eval(first, &spans.children[0], env));
+                for (k, (_, rhs)) in rest.iter().enumerate() {
+                    operands.push(self.eval(rhs, &spans.children[k + 1], env));
+                }
+                let may_error = operands.iter().any(|o| o.may_error);
+                let mut can_true = true;
+                let mut can_false = false;
+                for (k, (op, _)) in rest.iter().enumerate() {
+                    let (l, r) = (&operands[k], &operands[k + 1]);
+                    let link_span = spans.children[k].span.to(spans.children[k + 1].span);
+                    self.check_link(*op, l, r, link_span);
+                    let (ct, cf) = cmp_link(*op, &l.abs, &r.abs);
+                    can_true &= ct;
+                    can_false |= cf;
+                }
+                AbsVal::bools(can_true, can_false, may_error)
+            }
+            Expr::In {
+                value,
+                set,
+                negated,
+            } => {
+                let v = self.eval(value, &spans.children[0], env);
+                let elems: Vec<AbsVal> = set
+                    .iter()
+                    .enumerate()
+                    .map(|(k, e)| self.eval(e, &spans.children[k + 1], env))
+                    .collect();
+                let may_error = v.may_error || elems.iter().any(|e| e.may_error);
+                let (mut can_hit, mut can_miss) = (true, true);
+                let total: usize = elems
+                    .iter()
+                    .map(|e| e.abs.members().map_or(PAIR_CAP, <[Value]>::len))
+                    .sum();
+                if let Some(xs) = v.abs.members() {
+                    if xs.len().saturating_mul(total.max(1)) <= PAIR_CAP
+                        && elems.iter().all(|e| e.abs.members().is_some())
+                    {
+                        can_hit = xs.iter().any(|x| {
+                            elems.iter().any(|e| {
+                                e.abs
+                                    .members()
+                                    .expect("checked finite")
+                                    .iter()
+                                    .any(|y| x.py_eq(y))
+                            })
+                        });
+                        can_miss = xs.is_empty()
+                            || xs.iter().any(|x| {
+                                elems.iter().all(|e| {
+                                    e.abs
+                                        .members()
+                                        .expect("checked finite")
+                                        .iter()
+                                        .any(|y| !x.py_eq(y))
+                                        || e.abs.is_empty_set()
+                                })
+                            });
+                        if xs.is_empty() {
+                            can_hit = false;
+                            can_miss = false;
+                        }
+                    }
+                }
+                let (ct, cf) = if *negated {
+                    (can_miss, can_hit)
+                } else {
+                    (can_hit, can_miss)
+                };
+                AbsVal::bools(ct, cf, may_error)
+            }
+            Expr::Call { func, args } => {
+                let arg_vals: Vec<AbsVal> = args
+                    .iter()
+                    .enumerate()
+                    .map(|(k, a)| self.eval(a, &spans.children[k], env))
+                    .collect();
+                let mut may_error = arg_vals.iter().any(|a| a.may_error);
+                let mut product: usize = 1;
+                for a in &arg_vals {
+                    match a.abs.members() {
+                        Some(m) => product = product.saturating_mul(m.len().max(1)),
+                        None => return AbsVal::top(),
+                    }
+                }
+                if product > PAIR_CAP {
+                    return AbsVal::top();
+                }
+                if arg_vals.iter().any(|a| a.abs.is_empty_set()) {
+                    return AbsVal {
+                        abs: Abs::Set(Vec::new()),
+                        may_error,
+                    };
+                }
+                let members: Vec<&[Value]> = arg_vals
+                    .iter()
+                    .map(|a| a.abs.members().expect("checked finite"))
+                    .collect();
+                let mut counters = vec![0usize; members.len()];
+                let mut out = Vec::new();
+                'outer: loop {
+                    let values: Vec<Value> = counters
+                        .iter()
+                        .enumerate()
+                        .map(|(k, &i)| members[k][i].clone())
+                        .collect();
+                    match apply_builtin(*func, &values) {
+                        Ok(v) => out.push(v),
+                        Err(_) => may_error = true,
+                    }
+                    let mut k = members.len();
+                    loop {
+                        if k == 0 {
+                            break 'outer;
+                        }
+                        k -= 1;
+                        counters[k] += 1;
+                        if counters[k] < members[k].len() {
+                            break;
+                        }
+                        counters[k] = 0;
+                    }
+                    if members.is_empty() {
+                        break;
+                    }
+                }
+                AbsVal {
+                    abs: Abs::from_values(out),
+                    may_error,
+                }
+            }
+            Expr::And(parts) => self.eval_connective(parts, spans, env, true),
+            Expr::Or(parts) => self.eval_connective(parts, spans, env, false),
+        }
+    }
+
+    /// Per-link comparison diagnostics (AT0002, AT0003).
+    fn check_link(&mut self, op: CmpOp, l: &AbsVal, r: &AbsVal, link_span: Span) {
+        let cross_type =
+            (l.abs.all_numeric() && r.abs.all_str()) || (l.abs.all_str() && r.abs.all_numeric());
+        if cross_type && op != CmpOp::Ne {
+            self.diags.push(Diagnostic {
+                code: Code::CrossTypeComparison,
+                message: format!(
+                    "`{}` between a number and a string never holds (Python semantics: \
+                     numbers and strings are incomparable)",
+                    op.symbol()
+                ),
+                restriction: Some(self.restriction),
+                source: Some(self.source.to_string()),
+                span: Some(link_span),
+                help: None,
+            });
+            return;
+        }
+        if matches!(op, CmpOp::Eq | CmpOp::Ne)
+            && (l.abs.all_float() || r.abs.all_float())
+            && l.abs.all_numeric()
+            && r.abs.all_numeric()
+        {
+            self.diags.push(Diagnostic {
+                code: Code::FloatEquality,
+                message: format!(
+                    "`{}` on a value that is always a float; exact float equality depends \
+                     on rounding",
+                    op.symbol()
+                ),
+                restriction: Some(self.restriction),
+                source: Some(self.source.to_string()),
+                span: Some(link_span),
+                help: Some("compare with a tolerance or use integer arithmetic".into()),
+            });
+        }
+    }
+
+    /// `and`/`or` with short-circuit paths: operand *k* is analyzed
+    /// under the refinement implied by operands `0..k` (all true for
+    /// `and`, all false for `or`), which is what makes the pervasive
+    /// `luf == 0 or tile % luf == 0` guard idiom analyze cleanly.
+    fn eval_connective(
+        &mut self,
+        parts: &[Expr],
+        spans: &SpanNode,
+        env: &Env,
+        is_and: bool,
+    ) -> AbsVal {
+        let mut env = env.clone();
+        let mut may_error = false;
+        let mut all_parts_processed = true;
+        let mut forced = true; // AND: all can_true; OR: all can_false
+        let mut escape = false; // AND: any can_false; OR: any can_true
+        for (k, part) in parts.iter().enumerate() {
+            let v = self.eval(part, &spans.children[k], &env);
+            may_error |= v.may_error;
+            let (continues, decides) = if is_and {
+                (v.can_true(), v.can_false())
+            } else {
+                (v.can_false(), v.can_true())
+            };
+            escape |= decides;
+            forced &= continues;
+            // Dead-branch candidates: an operand that can never decide
+            // the connective (and never errors) is inert.
+            if !decides && !v.may_error {
+                self.dead.push(DeadCandidate {
+                    span: spans.children[k].span,
+                    message: if is_and {
+                        "this `and` operand is always satisfied here; it never rejects \
+                         anything"
+                            .into()
+                    } else {
+                        "this `or` branch can never be true for any parameter value".into()
+                    },
+                });
+            }
+            if !continues {
+                // Later operands are never evaluated.
+                if k + 1 < parts.len() {
+                    all_parts_processed = false;
+                }
+                break;
+            }
+            refine(&mut env, part, is_and);
+        }
+        let forced = forced && all_parts_processed;
+        if is_and {
+            AbsVal::bools(forced, escape, may_error)
+        } else {
+            AbsVal::bools(escape, forced, may_error)
+        }
+    }
+}
+
+/// Shrink `env` by the knowledge that `expr` evaluated to `truth`.
+/// Only simple, provably-invertible shapes refine; anything else is a
+/// no-op (which keeps the env an over-approximation — sound).
+fn refine(env: &mut Env, expr: &Expr, truth: bool) {
+    match expr {
+        Expr::Not(inner) => refine(env, inner, !truth),
+        Expr::Var(name) => {
+            retain(env, name, |v| v.truthy() == truth);
+        }
+        Expr::Compare { first, rest } if rest.len() == 1 => {
+            let (op, rhs) = (&rest[0].0, &rest[0].1);
+            match (first.as_ref(), rhs) {
+                (Expr::Var(name), Expr::Const(c)) => {
+                    retain(env, name, |v| op.apply(v, c) == truth);
+                }
+                (Expr::Const(c), Expr::Var(name)) => {
+                    retain(env, name, |v| op.apply(c, v) == truth);
+                }
+                _ => {}
+            }
+        }
+        Expr::In {
+            value,
+            set,
+            negated,
+        } => {
+            if let Expr::Var(name) = value.as_ref() {
+                let consts: Option<Vec<&Value>> = set
+                    .iter()
+                    .map(|e| match e {
+                        Expr::Const(c) => Some(c),
+                        _ => None,
+                    })
+                    .collect();
+                if let Some(consts) = consts {
+                    retain(env, name, |v| {
+                        (consts.iter().any(|c| v.py_eq(c)) != *negated) == truth
+                    });
+                }
+            }
+        }
+        _ => {}
+    }
+}
+
+fn retain(env: &mut Env, name: &str, keep: impl Fn(&Value) -> bool) {
+    if let Some(Abs::Set(values)) = env.get_mut(name) {
+        values.retain(|v| keep(v));
+    }
+}
+
+fn snippet(source: &str, span: Span) -> &str {
+    // Clamp into the source and snap to char boundaries (spans are byte
+    // offsets and may land inside a multi-byte char on lossily-decoded
+    // input).
+    let mut start = span.start.min(source.len());
+    while !source.is_char_boundary(start) {
+        start -= 1;
+    }
+    let mut end = span.end.clamp(start, source.len());
+    while !source.is_char_boundary(end) {
+        end += 1;
+    }
+    &source[start..end]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use at_searchspace::TunableParameter;
+
+    fn spec(params: &[(&str, Vec<i64>)], restrictions: &[&str]) -> SearchSpaceSpec {
+        let mut s = SearchSpaceSpec::new("test");
+        for (name, values) in params {
+            s.add_param(TunableParameter::ints(*name, values.iter().copied()));
+        }
+        for r in restrictions {
+            s.add_restriction(Restriction::expr(*r));
+        }
+        s
+    }
+
+    fn codes(report: &CheckReport) -> Vec<Code> {
+        report.diagnostics.iter().map(|d| d.code).collect()
+    }
+
+    #[test]
+    fn clean_spec_is_clean() {
+        let s = spec(
+            &[("x", vec![1, 2, 4]), ("y", vec![1, 2])],
+            &["x * y <= 4", "x >= y"],
+        );
+        let report = check_spec(&s);
+        assert!(report.is_clean(), "{}", report.render());
+        assert_eq!(
+            report.verdicts,
+            vec![Some(Verdict::Contingent), Some(Verdict::Contingent)]
+        );
+    }
+
+    #[test]
+    fn unknown_variable_with_suggestion() {
+        let s = spec(&[("block_size_x", vec![1, 2])], &["block_size_z <= 2"]);
+        let report = check_spec(&s);
+        assert_eq!(codes(&report), vec![Code::UnknownVariable]);
+        let d = &report.diagnostics[0];
+        assert!(d.message.contains("block_size_z"));
+        assert!(d.help.as_ref().unwrap().contains("block_size_x"));
+        assert!(d.span.is_some());
+        assert_eq!(report.verdicts, vec![None]);
+    }
+
+    #[test]
+    fn parse_failure_reports_at0009() {
+        let s = spec(&[("x", vec![1])], &["x >"]);
+        let report = check_spec(&s);
+        assert_eq!(codes(&report), vec![Code::ParseFailure]);
+        assert!(report.has_errors());
+    }
+
+    #[test]
+    fn tautology_and_contradiction_verdicts() {
+        let s = spec(&[("x", vec![1, 2, 4])], &["x >= 1", "x > 99"]);
+        let report = check_spec(&s);
+        assert_eq!(report.verdicts[0], Some(Verdict::Tautology));
+        assert_eq!(report.verdicts[1], Some(Verdict::Contradiction));
+        assert!(codes(&report).contains(&Code::Tautology));
+        assert!(codes(&report).contains(&Code::Contradiction));
+        assert!(report.has_errors());
+    }
+
+    #[test]
+    fn guard_idiom_produces_no_division_warning() {
+        // The classic Kernel Tuner guard: the division is only reachable
+        // when luf != 0, which the path refinement understands.
+        let s = spec(
+            &[("luf", vec![0, 1, 2, 4]), ("tile", vec![1, 2, 4, 8])],
+            &["luf == 0 or tile % luf == 0"],
+        );
+        let report = check_spec(&s);
+        assert!(
+            !codes(&report).contains(&Code::PossibleDivisionByZero),
+            "{}",
+            report.render()
+        );
+        assert_eq!(report.verdicts[0], Some(Verdict::Contingent));
+    }
+
+    #[test]
+    fn unguarded_division_by_zero_warns() {
+        let s = spec(
+            &[("luf", vec![0, 1, 2]), ("tile", vec![2, 4])],
+            &["tile % luf == 0"],
+        );
+        let report = check_spec(&s);
+        assert!(codes(&report).contains(&Code::PossibleDivisionByZero));
+        // The span points at the divisor.
+        let d = report
+            .diagnostics
+            .iter()
+            .find(|d| d.code == Code::PossibleDivisionByZero)
+            .unwrap();
+        let span = d.span.unwrap();
+        assert_eq!(&d.source.as_ref().unwrap()[span.start..span.end], "luf");
+    }
+
+    #[test]
+    fn cross_type_comparison_warns() {
+        let mut s = SearchSpaceSpec::new("test");
+        s.add_param(TunableParameter::ints("x", [1, 2]));
+        s.add_param(TunableParameter::strings("mode", &["fast", "slow"]));
+        s.add_restriction(Restriction::expr("x < mode"));
+        let report = check_spec(&s);
+        assert!(codes(&report).contains(&Code::CrossTypeComparison));
+        // `x < mode` is also never true — a contradiction.
+        assert_eq!(report.verdicts[0], Some(Verdict::Contradiction));
+    }
+
+    #[test]
+    fn string_equality_is_not_cross_type() {
+        let mut s = SearchSpaceSpec::new("test");
+        s.add_param(TunableParameter::strings("mode", &["fast", "slow"]));
+        s.add_restriction(Restriction::expr("mode == 'fast'"));
+        let report = check_spec(&s);
+        assert!(report.is_clean(), "{}", report.render());
+    }
+
+    #[test]
+    fn float_equality_warns() {
+        let mut s = SearchSpaceSpec::new("test");
+        s.add_param(TunableParameter::new(
+            "scale",
+            vec![Value::Float(0.25), Value::Float(0.5)],
+        ));
+        s.add_restriction(Restriction::expr("scale == 0.25"));
+        let report = check_spec(&s);
+        assert!(codes(&report).contains(&Code::FloatEquality));
+    }
+
+    #[test]
+    fn int_equality_does_not_warn_floats() {
+        let s = spec(&[("x", vec![1, 2, 3])], &["x == 2"]);
+        let report = check_spec(&s);
+        assert!(report.is_clean(), "{}", report.render());
+    }
+
+    #[test]
+    fn dead_or_branch_is_flagged() {
+        let s = spec(&[("x", vec![1, 2, 3])], &["x < 0 or x >= 2"]);
+        let report = check_spec(&s);
+        assert!(
+            codes(&report).contains(&Code::DeadBranch),
+            "{}",
+            report.render()
+        );
+        let d = report
+            .diagnostics
+            .iter()
+            .find(|d| d.code == Code::DeadBranch)
+            .unwrap();
+        let span = d.span.unwrap();
+        assert_eq!(&d.source.as_ref().unwrap()[span.start..span.end], "x < 0");
+    }
+
+    #[test]
+    fn dead_and_operand_is_flagged() {
+        let s = spec(
+            &[("x", vec![1, 2, 3]), ("y", vec![1, 2])],
+            &["x >= 1 and y <= x"],
+        );
+        let report = check_spec(&s);
+        assert!(
+            codes(&report).contains(&Code::DeadBranch),
+            "{}",
+            report.render()
+        );
+    }
+
+    #[test]
+    fn pairwise_contradiction_is_found() {
+        let s = spec(&[("x", vec![1, 2, 3, 4])], &["x <= 2", "x >= 3"]);
+        let report = check_spec(&s);
+        assert_eq!(report.verdicts[0], Some(Verdict::Contingent));
+        assert_eq!(report.verdicts[1], Some(Verdict::Contingent));
+        assert!(codes(&report).contains(&Code::PairwiseContradiction));
+        assert!(report.has_errors());
+    }
+
+    #[test]
+    fn disjoint_scopes_are_never_pairwise_contradictory() {
+        let s = spec(
+            &[("x", vec![1, 2]), ("y", vec![1, 2])],
+            &["x <= 1", "y <= 1"],
+        );
+        let report = check_spec(&s);
+        assert!(!codes(&report).contains(&Code::PairwiseContradiction));
+    }
+
+    #[test]
+    fn prunable_values_are_reported() {
+        // x must divide 4 → 3 is prunable.
+        let s = spec(&[("x", vec![1, 2, 3, 4])], &["4 % x == 0"]);
+        let report = check_spec(&s);
+        assert_eq!(report.prunable.len(), 1);
+        assert_eq!(report.prunable[0].param, "x");
+        assert_eq!(report.prunable[0].values, vec![Value::Int(3)]);
+    }
+
+    #[test]
+    fn closure_restrictions_get_exact_verdicts() {
+        let mut s = SearchSpaceSpec::new("test");
+        s.add_param(TunableParameter::ints("x", [1, 2, 3]));
+        s.add_restriction(Restriction::func(&["x"], "x is small", |v| {
+            v[0].as_i64().unwrap() <= 10
+        }));
+        s.add_restriction(Restriction::func(&["x"], "x is huge", |v| {
+            v[0].as_i64().unwrap() > 10
+        }));
+        let report = check_spec(&s);
+        assert_eq!(report.verdicts[0], Some(Verdict::Tautology));
+        assert_eq!(report.verdicts[1], Some(Verdict::Contradiction));
+    }
+
+    #[test]
+    fn oversized_scopes_fall_back_to_abstract_analysis() {
+        // 17^3 = 4913 assignments: past EXACT_CAP, but the abstract
+        // walk still proves the tautology (sum of three positives > 0).
+        let domain: Vec<i64> = (1..=17).collect();
+        let s = spec(
+            &[("a", domain.clone()), ("b", domain.clone()), ("c", domain)],
+            &["a + b + c > 0"],
+        );
+        let report = check_spec(&s);
+        assert_eq!(report.verdicts[0], Some(Verdict::Tautology));
+    }
+
+    #[test]
+    fn no_variable_restrictions_ground_out() {
+        let s = spec(&[("x", vec![1])], &["1 > 2"]);
+        let report = check_spec(&s);
+        assert_eq!(report.verdicts[0], Some(Verdict::Contradiction));
+    }
+
+    #[test]
+    fn in_membership_analyzes() {
+        let s = spec(&[("x", vec![1, 2, 3])], &["x in [1, 2, 3]", "x in [9]"]);
+        let report = check_spec(&s);
+        assert_eq!(report.verdicts[0], Some(Verdict::Tautology));
+        assert_eq!(report.verdicts[1], Some(Verdict::Contradiction));
+    }
+
+    #[test]
+    fn builtin_calls_analyze() {
+        let s = spec(
+            &[("x", vec![1, 2, 3]), ("y", vec![4, 5])],
+            &["min(x, y) <= 3", "max(x, y) < 2"],
+        );
+        let report = check_spec(&s);
+        assert_eq!(report.verdicts[0], Some(Verdict::Tautology));
+        assert_eq!(report.verdicts[1], Some(Verdict::Contradiction));
+    }
+}

@@ -1,0 +1,302 @@
+//! The diagnostic model: stable codes, severities, spans and rendering.
+
+use std::fmt;
+
+use at_expr::Span;
+
+/// How serious a diagnostic is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// The spec is suspicious or wasteful but still constructible.
+    Warning,
+    /// The spec is wrong: construction would fail, reference an unknown
+    /// parameter, or provably produce an empty space.
+    Error,
+}
+
+impl Severity {
+    /// Lowercase label used in rendered output and the JSON DTO.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+/// Stable diagnostic codes.
+///
+/// Codes are append-only: a code never changes meaning or severity once
+/// released, so scripts can match on them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Code {
+    /// AT0001: a restriction references a variable that is not a
+    /// parameter of the spec.
+    UnknownVariable,
+    /// AT0002: a comparison between values whose types can never compare
+    /// as equal or ordered (numbers vs. strings).
+    CrossTypeComparison,
+    /// AT0003: an `==`/`!=` whose operand is always a float; exact float
+    /// equality rarely means what the author intended.
+    FloatEquality,
+    /// AT0004: a `/`, `//` or `%` whose divisor can be zero for some
+    /// reachable assignment; configurations hitting it are rejected.
+    PossibleDivisionByZero,
+    /// AT0005: an operand of `and`/`or` whose truth is forced by the
+    /// parameter domains, making the branch dead.
+    DeadBranch,
+    /// AT0006: a restriction that is satisfied by every assignment in
+    /// the parameter domains — it never rejects anything.
+    Tautology,
+    /// AT0007: a restriction no assignment satisfies — the space is
+    /// provably empty and no solve is needed.
+    Contradiction,
+    /// AT0008: two individually satisfiable restrictions that can never
+    /// hold at the same time — the space is provably empty.
+    PairwiseContradiction,
+    /// AT0009: a restriction string that does not parse.
+    ParseFailure,
+}
+
+impl Code {
+    /// Every code, in numeric order.
+    pub const ALL: [Code; 9] = [
+        Code::UnknownVariable,
+        Code::CrossTypeComparison,
+        Code::FloatEquality,
+        Code::PossibleDivisionByZero,
+        Code::DeadBranch,
+        Code::Tautology,
+        Code::Contradiction,
+        Code::PairwiseContradiction,
+        Code::ParseFailure,
+    ];
+
+    /// The stable `AT`-prefixed code string.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Code::UnknownVariable => "AT0001",
+            Code::CrossTypeComparison => "AT0002",
+            Code::FloatEquality => "AT0003",
+            Code::PossibleDivisionByZero => "AT0004",
+            Code::DeadBranch => "AT0005",
+            Code::Tautology => "AT0006",
+            Code::Contradiction => "AT0007",
+            Code::PairwiseContradiction => "AT0008",
+            Code::ParseFailure => "AT0009",
+        }
+    }
+
+    /// The fixed severity of this code.
+    pub fn severity(&self) -> Severity {
+        match self {
+            Code::UnknownVariable
+            | Code::Contradiction
+            | Code::PairwiseContradiction
+            | Code::ParseFailure => Severity::Error,
+            Code::CrossTypeComparison
+            | Code::FloatEquality
+            | Code::PossibleDivisionByZero
+            | Code::DeadBranch
+            | Code::Tautology => Severity::Warning,
+        }
+    }
+
+    /// A short title for tables and docs.
+    pub fn title(&self) -> &'static str {
+        match self {
+            Code::UnknownVariable => "unknown variable",
+            Code::CrossTypeComparison => "cross-type comparison never holds",
+            Code::FloatEquality => "exact equality on floats",
+            Code::PossibleDivisionByZero => "possible division or modulo by zero",
+            Code::DeadBranch => "domain-forced dead branch",
+            Code::Tautology => "restriction is always satisfied",
+            Code::Contradiction => "restriction is never satisfied",
+            Code::PairwiseContradiction => "restrictions are mutually contradictory",
+            Code::ParseFailure => "restriction does not parse",
+        }
+    }
+}
+
+impl fmt::Display for Code {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One finding of the analyzer.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// The stable code.
+    pub code: Code,
+    /// The main message (one line, no trailing period).
+    pub message: String,
+    /// Index of the restriction the diagnostic is about, if any.
+    pub restriction: Option<usize>,
+    /// The restriction source text, when the restriction is an
+    /// expression (used for the caret snippet).
+    pub source: Option<String>,
+    /// Byte span into `source` the diagnostic points at.
+    pub span: Option<Span>,
+    /// An optional `help:` suggestion (e.g. did-you-mean).
+    pub help: Option<String>,
+}
+
+impl Diagnostic {
+    /// The severity (fixed per code).
+    pub fn severity(&self) -> Severity {
+        self.code.severity()
+    }
+
+    /// Render the diagnostic in the compiler-style human format:
+    ///
+    /// ```text
+    /// warning[AT0004]: `luf` can be zero here; `tile % luf` rejects those configurations
+    ///   --> restriction 2
+    ///    |
+    ///    |  luf == 0 or tile % luf == 0
+    ///    |                     ^^^
+    ///    = help: guard the division behind `luf == 0 or …`
+    /// ```
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{}[{}]: {}\n",
+            self.severity().label(),
+            self.code,
+            self.message
+        ));
+        if let Some(idx) = self.restriction {
+            out.push_str(&format!("  --> restriction {idx}\n"));
+        }
+        if let Some(source) = &self.source {
+            out.push_str("   |\n");
+            out.push_str(&format!("   |  {source}\n"));
+            if let Some(span) = self.span {
+                // Clamp into the source and snap to char boundaries (spans
+                // are byte offsets and may land inside a multi-byte char).
+                let mut start = span.start.min(source.len());
+                while !source.is_char_boundary(start) {
+                    start -= 1;
+                }
+                let mut end = span.end.clamp(start, source.len());
+                while !source.is_char_boundary(end) {
+                    end += 1;
+                }
+                // Align by character so multi-byte source still points at
+                // the right column.
+                let lead = source[..start].chars().count();
+                let width = source[start..end].chars().count().max(1);
+                out.push_str(&format!(
+                    "   |  {}{}\n",
+                    " ".repeat(lead),
+                    "^".repeat(width)
+                ));
+            }
+        }
+        if let Some(help) = &self.help {
+            out.push_str(&format!("   = help: {help}\n"));
+        }
+        out
+    }
+}
+
+/// Levenshtein edit distance, for did-you-mean suggestions.
+pub(crate) fn edit_distance(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+/// The closest candidate within an edit-distance budget, for
+/// did-you-mean suggestions. Ties go to the earlier candidate.
+pub(crate) fn closest<'a>(name: &str, candidates: &'a [String]) -> Option<&'a str> {
+    let budget = (name.chars().count() / 3).max(2);
+    candidates
+        .iter()
+        .map(|c| (edit_distance(name, c), c))
+        .filter(|(d, _)| *d <= budget)
+        .min_by_key(|(d, _)| *d)
+        .map(|(_, c)| c.as_str())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_stable_and_ordered() {
+        let strs: Vec<&str> = Code::ALL.iter().map(|c| c.as_str()).collect();
+        let mut sorted = strs.clone();
+        sorted.sort_unstable();
+        assert_eq!(strs, sorted, "codes must be in numeric order");
+        assert_eq!(strs[0], "AT0001");
+        assert_eq!(strs[8], "AT0009");
+    }
+
+    #[test]
+    fn severities_are_fixed() {
+        assert_eq!(Code::UnknownVariable.severity(), Severity::Error);
+        assert_eq!(Code::Tautology.severity(), Severity::Warning);
+        assert_eq!(Code::Contradiction.severity(), Severity::Error);
+    }
+
+    #[test]
+    fn edit_distance_basics() {
+        assert_eq!(edit_distance("", ""), 0);
+        assert_eq!(edit_distance("abc", "abc"), 0);
+        assert_eq!(edit_distance("abc", "abd"), 1);
+        assert_eq!(edit_distance("block_size_x", "block_size_y"), 1);
+        assert_eq!(edit_distance("kitten", "sitting"), 3);
+    }
+
+    #[test]
+    fn closest_respects_budget() {
+        let candidates = vec!["block_size_x".to_string(), "tile".to_string()];
+        assert_eq!(closest("block_size_z", &candidates), Some("block_size_x"));
+        assert_eq!(closest("blocksizex", &candidates), Some("block_size_x"));
+        assert_eq!(closest("zzzzz", &candidates), None);
+    }
+
+    #[test]
+    fn render_points_carets_at_the_span() {
+        let d = Diagnostic {
+            code: Code::PossibleDivisionByZero,
+            message: "divisor can be zero".into(),
+            restriction: Some(1),
+            source: Some("tile % luf == 0".into()),
+            span: Some(Span::new(7, 10)),
+            help: Some("guard it".into()),
+        };
+        let rendered = d.render();
+        assert!(rendered.starts_with("warning[AT0004]: divisor can be zero"));
+        assert!(rendered.contains("--> restriction 1"));
+        assert!(rendered.contains("|  tile % luf == 0"));
+        assert!(rendered.contains("|         ^^^"));
+        assert!(rendered.contains("= help: guard it"));
+    }
+
+    #[test]
+    fn render_survives_out_of_range_spans() {
+        let d = Diagnostic {
+            code: Code::ParseFailure,
+            message: "bad".into(),
+            restriction: Some(0),
+            source: Some("x >".into()),
+            span: Some(Span::new(3, 9)),
+            help: None,
+        };
+        // Caret clamps to the source; no panic.
+        assert!(d.render().contains("^"));
+    }
+}

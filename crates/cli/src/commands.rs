@@ -4,8 +4,8 @@ use std::fmt::Write as _;
 use std::time::Duration;
 
 use at_searchspace::{
-    build_search_space, spec_from_json, to_csv, to_json_cache, BuildReport, Method, SearchSpace,
-    SearchSpaceSpec, SpaceCharacteristics,
+    build_search_space, build_search_space_with, spec_from_json, to_csv, to_json_cache,
+    BuildOptions, BuildReport, Method, SearchSpace, SearchSpaceSpec, SpaceCharacteristics,
 };
 use at_store::{
     CacheStatus, GcOptions, LoadOptions, SpaceStore, SpecFingerprint, StoreEntry, StoreError,
@@ -27,6 +27,12 @@ USAGE:
 
 COMMANDS:
     workloads       List the built-in real-world search spaces (Table 2)
+    check           Statically analyze a spec's restrictions (no solve)
+                      --workload <name> | --spec <file.json>
+                      --json              one JSON object per diagnostic plus a
+                                          summary line; findings are in-band
+                      exit code is 1 when an error-severity diagnostic
+                      (AT0001/AT0007/AT0008/AT0009) is found
     construct       Construct a search space and print or export it
                       --workload <name> | --spec <file.json>
                       --method <brute-force|original|optimized|parallel-optimized|
@@ -36,6 +42,8 @@ COMMANDS:
                       --cache-dir <dir>   serve from / persist to an ATSS space cache
                       --mmap              zero-copy warm loads: mmap the cached
                                           arena and trust its persisted index
+                      --prune             analyzer-driven domain pre-pruning before
+                                          the solve (identical space, smaller solve)
     compare         Time several construction methods on one space
                       --workload <name> | --spec <file.json>
                       --methods <comma-separated labels>
@@ -169,6 +177,10 @@ fn obtain_space(
     spec: &SearchSpaceSpec,
     method: Method,
 ) -> Result<ObtainedSpace, CliError> {
+    let options = BuildOptions {
+        prune: args.switch("prune"),
+        ..Default::default()
+    };
     match args.get("cache-dir") {
         None => {
             if args.switch("mmap") {
@@ -176,7 +188,7 @@ fn obtain_space(
                     "--mmap loads from an ATSS cache; pass --cache-dir <dir> with it".to_string(),
                 ));
             }
-            let (space, report) = build_search_space(spec, method)
+            let (space, report) = build_search_space_with(spec, method, options)
                 .map_err(|e| CliError::Run(format!("construction failed: {e}")))?;
             Ok((space, Some(report), None))
         }
@@ -189,10 +201,19 @@ fn obtain_space(
                 LoadOptions::default()
             };
             let (space, outcome) = store
-                .get_or_build_with_options(spec, method, Default::default(), load)
+                .get_or_build_with_options(spec, method, options, load)
                 .map_err(|e| CliError::Run(format!("cache at `{dir}`: {e}")))?;
             Ok((space, outcome.report.clone(), Some((outcome, store))))
         }
+    }
+}
+
+/// Implicit analyzer run for `construct`/`tune`: findings go to stderr
+/// and never block the command (use `atss check` for gating).
+fn emit_check_warnings(spec: &SearchSpaceSpec) {
+    let report = at_check::check_spec(spec);
+    if !report.is_clean() {
+        eprint!("{}", report.render());
     }
 }
 
@@ -240,6 +261,7 @@ fn cache_summary_lines(out: &mut String, outcome: &StoreOutcome, store: &SpaceSt
 pub fn construct(args: &ParsedArgs) -> Result<String, CliError> {
     args.ensure_known_flags(&["workload", "spec", "method", "format", "out", "cache-dir"])?;
     let spec = resolve_spec(args)?;
+    emit_check_warnings(&spec);
     let method = resolve_method(args)?;
     let (space, report, outcome) = obtain_space(args, &spec, method)?;
 
@@ -342,6 +364,68 @@ pub fn construct(args: &ParsedArgs) -> Result<String, CliError> {
     }
 }
 
+/// One JSONL line for `check --json`.
+fn check_json_line(d: &at_check::Diagnostic) -> String {
+    let restriction = match d.restriction {
+        Some(i) => i.to_string(),
+        None => "null".to_string(),
+    };
+    let span = match d.span {
+        Some(s) => format!("{{\"start\":{},\"end\":{}}}", s.start, s.end),
+        None => "null".to_string(),
+    };
+    let opt_str = |o: &Option<String>| match o {
+        Some(s) => format!("\"{}\"", json_escape(s)),
+        None => "null".to_string(),
+    };
+    format!(
+        "{{\"code\":\"{}\",\"severity\":\"{}\",\"message\":\"{}\",\"restriction\":{},\"source\":{},\"span\":{},\"help\":{}}}",
+        d.code,
+        d.severity().label(),
+        json_escape(&d.message),
+        restriction,
+        opt_str(&d.source),
+        span,
+        opt_str(&d.help),
+    )
+}
+
+/// `atss check`
+pub fn check(args: &ParsedArgs) -> Result<String, CliError> {
+    args.ensure_known_flags(&["workload", "spec"])?;
+    let spec = resolve_spec(args)?;
+    let report = at_check::check_spec(&spec);
+    if args.switch("json") {
+        // Machine output mirrors `cache verify --json`: one object per
+        // diagnostic plus a summary line, problems reported in-band so
+        // every line stays parseable JSON — consumers check `errors`,
+        // not the exit code.
+        let mut out = String::new();
+        for d in &report.diagnostics {
+            writeln!(out, "{}", check_json_line(d)).expect("write to string");
+        }
+        writeln!(
+            out,
+            "{{\"summary\":true,\"spec\":\"{}\",\"restrictions\":{},\"errors\":{},\"warnings\":{},\"prunable_values\":{}}}",
+            json_escape(&report.spec_name),
+            report.verdicts.len(),
+            report.num_errors(),
+            report.num_warnings(),
+            report.num_prunable_values(),
+        )
+        .expect("write to string");
+        return Ok(out);
+    }
+    // Human mode: error-severity findings fail the command (exit 1) so
+    // the self-check gates can rely on the exit code.
+    let rendered = report.render();
+    if report.has_errors() {
+        Err(CliError::Run(rendered))
+    } else {
+        Ok(rendered)
+    }
+}
+
 /// `atss compare`
 pub fn compare(args: &ParsedArgs) -> Result<String, CliError> {
     args.ensure_known_flags(&["workload", "spec", "methods"])?;
@@ -406,6 +490,7 @@ pub fn tune(args: &ParsedArgs) -> Result<String, CliError> {
     let name = args.require("workload")?;
     let workload = real_world_by_name(name)
         .ok_or_else(|| CliError::Run(format!("unknown workload `{name}`")))?;
+    emit_check_warnings(&workload.spec);
     let strategy_name = args.get("strategy").unwrap_or("random");
     let strategy = strategy_by_name(strategy_name)
         .ok_or_else(|| CliError::Run(format!("unknown strategy `{strategy_name}`")))?;
@@ -1166,5 +1251,111 @@ mod tests {
             "astrology"
         ]))
         .is_err());
+    }
+
+    #[test]
+    fn check_reports_clean_and_warning_workloads() {
+        let clean = check(&parsed(&["check", "--workload", "dedispersion"])).unwrap();
+        assert!(clean.contains("0 error(s), 0 warning(s)"), "{clean}");
+
+        // GEMM's paper-verbatim restrictions carry known benign warnings;
+        // warnings alone must not fail the command.
+        let gemm = check(&parsed(&["check", "--workload", "gemm"])).unwrap();
+        assert!(gemm.contains("AT0003"), "{gemm}");
+        assert!(gemm.contains("AT0006"), "{gemm}");
+        assert!(gemm.contains("0 error(s), 4 warning(s)"), "{gemm}");
+    }
+
+    #[test]
+    fn check_exits_nonzero_on_error_diagnostics() {
+        // A restriction referencing a misspelled parameter is an AT0001
+        // error; human mode must fail so gates can use the exit code.
+        let dir = std::env::temp_dir().join("at-cli-check-typo");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("typo.json");
+        let json = spec_template().replace("work_per_thread <=", "work_per_thrd <=");
+        std::fs::write(&path, json).unwrap();
+
+        let err = check(&parsed(&["check", "--spec", path.to_str().unwrap()])).unwrap_err();
+        let text = err.to_string();
+        assert!(text.contains("AT0001"), "{text}");
+        assert!(text.contains("work_per_thread"), "did-you-mean: {text}");
+
+        // JSON mode reports the same problem in-band and succeeds.
+        let json_out = check(&parsed(&[
+            "check",
+            "--spec",
+            path.to_str().unwrap(),
+            "--json",
+        ]))
+        .unwrap();
+        assert!(json_out.contains("\"code\":\"AT0001\""), "{json_out}");
+    }
+
+    /// `check --json` must emit one parseable JSON object per diagnostic
+    /// with the documented fields, plus a trailing summary object.
+    #[test]
+    fn check_json_schema() {
+        let out = check(&parsed(&["check", "--workload", "gemm", "--json"])).unwrap();
+        let lines: Vec<&str> = out.lines().collect();
+        assert!(lines.len() >= 2, "diagnostics + summary: {out}");
+
+        let is_null = |v: &serde_json::Value| *v == serde_json::Value::Null;
+        for line in &lines[..lines.len() - 1] {
+            let d: serde_json::Value = serde_json::from_str(line).unwrap();
+            let code = d.get("code").unwrap().as_str().unwrap();
+            assert!(
+                code.starts_with("AT") && code.len() == 6,
+                "stable code: {code}"
+            );
+            let severity = d.get("severity").unwrap().as_str().unwrap();
+            assert!(matches!(severity, "error" | "warning"), "{severity}");
+            assert!(d.get("message").unwrap().as_str().is_some());
+            let restriction = d.get("restriction").unwrap();
+            assert!(restriction.as_i64().is_some() || is_null(restriction));
+            let source = d.get("source").unwrap();
+            assert!(source.as_str().is_some() || is_null(source));
+            let span = d.get("span").unwrap();
+            if !is_null(span) {
+                let start = span.get("start").unwrap().as_i64().unwrap();
+                let end = span.get("end").unwrap().as_i64().unwrap();
+                assert!(0 <= start && start <= end);
+            }
+            let help = d.get("help").unwrap();
+            assert!(help.as_str().is_some() || is_null(help));
+        }
+
+        let summary: serde_json::Value = serde_json::from_str(lines[lines.len() - 1]).unwrap();
+        assert_eq!(
+            summary.get("summary").unwrap(),
+            &serde_json::Value::Bool(true)
+        );
+        assert_eq!(summary.get("spec").unwrap().as_str(), Some("GEMM"));
+        assert_eq!(summary.get("restrictions").unwrap().as_i64(), Some(8));
+        assert_eq!(summary.get("errors").unwrap().as_i64(), Some(0));
+        assert_eq!(summary.get("warnings").unwrap().as_i64(), Some(4));
+        assert!(summary.get("prunable_values").unwrap().as_i64().is_some());
+    }
+
+    #[test]
+    fn construct_with_prune_matches_plain_construction() {
+        let plain = construct(&parsed(&[
+            "construct",
+            "--workload",
+            "dedispersion",
+            "--format",
+            "csv",
+        ]))
+        .unwrap();
+        let pruned = construct(&parsed(&[
+            "construct",
+            "--workload",
+            "dedispersion",
+            "--format",
+            "csv",
+            "--prune",
+        ]))
+        .unwrap();
+        assert_eq!(plain, pruned, "--prune must not change the space");
     }
 }

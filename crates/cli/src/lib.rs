@@ -16,6 +16,7 @@
 //! Every command returns its report as a string (printed by `main`), which is
 //! what the unit tests assert on.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod args;
@@ -61,6 +62,7 @@ pub fn run(raw_args: &[String]) -> Result<String, CliError> {
     match command.as_str() {
         "help" | "--help" | "-h" => Ok(commands::help()),
         "workloads" => commands::workloads(&parsed),
+        "check" => commands::check(&parsed),
         "construct" => commands::construct(&parsed),
         "compare" => commands::compare(&parsed),
         "tune" => commands::tune(&parsed),

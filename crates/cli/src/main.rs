@@ -2,6 +2,8 @@
 //!
 //! See `atss help` (or [`at_cli`]) for the available commands.
 
+#![forbid(unsafe_code)]
+
 use std::process::ExitCode;
 
 fn main() -> ExitCode {

@@ -11,6 +11,7 @@
 //! access, unbiased index-based sampling and the naive (biased) per-level
 //! path sampling discussed in Section 4.4 of the paper.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod builder;

@@ -125,6 +125,39 @@ pub fn arc_consistency(
     })
 }
 
+/// Analyzer-driven domain pre-pruning: run [`arc_consistency`] over a
+/// scratch domain store and commit the shrunken domains back into the
+/// problem itself.
+///
+/// Every removed value has no supporting assignment in some constraint,
+/// so it appears in **no** solution: the solution set — and any search
+/// space built from it — is unchanged, while every solver now iterates
+/// smaller domains. Domains are never emptied: when the pass detects a
+/// wipeout (the problem is unsatisfiable) the problem is left exactly
+/// as it was and the report says `consistent: false`; discovering
+/// emptiness stays the solve's job.
+pub fn preprune_domains(problem: &mut Problem) -> CspResult<ConsistencyReport> {
+    let mut domains = problem.domain_store();
+    let report = arc_consistency(problem, &mut domains)?;
+    if !report.consistent {
+        return Ok(ConsistencyReport {
+            removed: 0,
+            consistent: false,
+        });
+    }
+    let mut removed = 0usize;
+    for id in 0..problem.num_variables() {
+        let survivors = domains.domain(id);
+        removed += problem
+            .retain_domain(id, |v| survivors.contains(v))
+            .unwrap_or(0);
+    }
+    Ok(ConsistencyReport {
+        removed,
+        consistent: true,
+    })
+}
+
 /// Remove the values of the variable at `pos` in the scope of constraint `ci`
 /// that have no supporting combination of the other scope variables.
 /// Returns the number of removed values.
@@ -298,6 +331,52 @@ mod tests {
             .unwrap();
         let after = BruteForceSolver::new().solve(&pruned).unwrap();
         assert!(before.solutions.same_solutions(&after.solutions));
+    }
+
+    #[test]
+    fn preprune_commits_shrunken_domains() {
+        let mut p = Problem::new();
+        p.add_variable("x", int_values([1, 2, 4, 8, 16, 32, 64, 128]))
+            .unwrap();
+        p.add_variable("y", int_values([1, 2, 4, 8, 16, 32]))
+            .unwrap();
+        p.add_constraint(MinProduct::new(32.0), &["x", "y"])
+            .unwrap();
+        p.add_constraint(MaxProduct::new(64.0), &["x", "y"])
+            .unwrap();
+        let before = BruteForceSolver::new().solve(&p).unwrap();
+        let report = preprune_domains(&mut p).unwrap();
+        assert!(report.consistent);
+        assert!(report.removed > 0);
+        assert!(!p.domain(0).contains(&Value::Int(128)));
+        // The solution set is untouched.
+        let after = BruteForceSolver::new().solve(&p).unwrap();
+        assert!(before.solutions.same_solutions(&after.solutions));
+    }
+
+    #[test]
+    fn preprune_leaves_unsatisfiable_problems_untouched() {
+        let mut p = Problem::new();
+        p.add_variable("a", int_values([1, 2, 3])).unwrap();
+        p.add_variable("b", int_values([1, 2, 3])).unwrap();
+        p.add_constraint(MinProduct::new(100.0), &["a", "b"])
+            .unwrap();
+        let report = preprune_domains(&mut p).unwrap();
+        assert!(!report.consistent);
+        assert_eq!(report.removed, 0);
+        // Domains keep every value: emptiness is the solver's call.
+        assert_eq!(p.domain(0).len(), 3);
+        assert_eq!(p.domain(1).len(), 3);
+    }
+
+    #[test]
+    fn retain_domain_refuses_wipeout() {
+        let mut p = Problem::new();
+        p.add_variable("x", int_values([1, 2, 3])).unwrap();
+        assert_eq!(p.retain_domain(0, |_| false), None);
+        assert_eq!(p.domain(0).len(), 3, "refused retain leaves the domain");
+        assert_eq!(p.retain_domain(0, |v| v.as_i64().unwrap() >= 2), Some(1));
+        assert_eq!(p.domain(0).values(), &int_values([2, 3])[..]);
     }
 
     #[test]

@@ -4,7 +4,11 @@
 //! During search, forward checking temporarily *hides* values that are
 //! incompatible with the current partial assignment; on backtrack the hidden
 //! values are restored. This mirrors the `Domain` class of python-constraint
-//! (`pushState` / `popState` / `hideValue`).
+//! (`pushState` / `popState` / `hideValue`), with one deliberate difference:
+//! restoration puts every value back at the position it was hidden from, so
+//! the visible order never depends on search history. Solvers therefore
+//! enumerate solutions in a canonical order — which is what makes
+//! analyzer-driven domain pre-pruning produce byte-identical spaces.
 
 use crate::value::Value;
 
@@ -12,19 +16,35 @@ use crate::value::Value;
 #[derive(Debug, Clone)]
 pub struct Domain {
     values: Vec<Value>,
-    hidden: Vec<Value>,
+    /// Hidden values with the index they were removed from; restored LIFO,
+    /// which exactly inverts the removals.
+    hidden: Vec<(usize, Value)>,
     states: Vec<usize>,
+    /// Size at construction, before any permanent removal. Search-order
+    /// heuristics tie-break on this instead of [`Domain::len`] so that
+    /// pre-pruning (which shrinks domains without changing the solution
+    /// set) cannot perturb the enumeration order.
+    declared: usize,
 }
 
 impl Domain {
     /// Create a domain from a list of values. Duplicate values are retained
     /// (problem construction is responsible for deduplication if desired).
     pub fn new(values: Vec<Value>) -> Self {
+        let declared = values.len();
         Domain {
             values,
             hidden: Vec::new(),
             states: Vec::new(),
+            declared,
         }
+    }
+
+    /// The domain size at construction, unaffected by permanent removals
+    /// (pre-pruning, preprocessing). See the field docs for why search
+    /// heuristics use this rather than the live [`Domain::len`].
+    pub fn declared_len(&self) -> usize {
+        self.declared
     }
 
     /// Currently visible values.
@@ -72,11 +92,14 @@ impl Domain {
     }
 
     /// Restore all values hidden since the matching [`Domain::push_state`].
+    /// Values go back to the positions they were hidden from (LIFO
+    /// reinsertion exactly inverts the removals), so the visible order is
+    /// independent of what the search hid in between.
     pub fn pop_state(&mut self) {
         let mark = self.states.pop().unwrap_or(0);
         while self.hidden.len() > mark {
-            let v = self.hidden.pop().expect("hidden not empty");
-            self.values.push(v);
+            let (pos, v) = self.hidden.pop().expect("hidden not empty");
+            self.values.insert(pos.min(self.values.len()), v);
         }
     }
 
@@ -85,7 +108,7 @@ impl Domain {
     pub fn hide_value(&mut self, value: &Value) -> bool {
         if let Some(pos) = self.values.iter().position(|v| v == value) {
             let v = self.values.remove(pos);
-            self.hidden.push(v);
+            self.hidden.push((pos, v));
             true
         } else {
             false
@@ -101,7 +124,7 @@ impl Domain {
                 i += 1;
             } else {
                 let v = self.values.remove(i);
-                self.hidden.push(v);
+                self.hidden.push((i, v));
             }
         }
         !self.values.is_empty()
@@ -109,8 +132,8 @@ impl Domain {
 
     /// Reset the domain, restoring every hidden value and dropping states.
     pub fn reset(&mut self) {
-        while let Some(v) = self.hidden.pop() {
-            self.values.push(v);
+        while let Some((pos, v)) = self.hidden.pop() {
+            self.values.insert(pos.min(self.values.len()), v);
         }
         self.states.clear();
     }

@@ -38,6 +38,7 @@
 //! }
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod assignment;
@@ -53,7 +54,7 @@ pub mod stats;
 pub mod value;
 
 pub use assignment::Assignment;
-pub use consistency::{arc_consistency, node_consistency, ConsistencyReport};
+pub use consistency::{arc_consistency, node_consistency, preprune_domains, ConsistencyReport};
 pub use constraints::{
     AllDifferent, AllEqual, AllowedTuples, CmpOp, Constraint, ConstraintRef, Divides, ExactProduct,
     ExactSum, FixedValue, ForbiddenTuples, FunctionConstraint, InSet, MaxProduct, MaxSum,

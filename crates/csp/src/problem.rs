@@ -174,6 +174,22 @@ impl Problem {
         DomainStore::from_domains(self.domains.clone())
     }
 
+    /// Shrink a variable's domain to the values satisfying `keep`,
+    /// preserving their relative order.
+    ///
+    /// Refuses to empty a domain: when no value would survive, the
+    /// domain is left untouched and `None` is returned (an empty domain
+    /// would violate the [`Problem`] invariant; emptiness is the
+    /// solver's discovery to make). Otherwise returns the number of
+    /// values removed.
+    pub fn retain_domain(&mut self, id: VarId, keep: impl Fn(&Value) -> bool) -> Option<usize> {
+        let domain = &self.domains[id];
+        if !domain.values().iter().any(&keep) {
+            return None;
+        }
+        Some(self.domains[id].retain(keep))
+    }
+
     /// For each variable, the indices of the constraints whose scope contains it.
     pub fn constraints_per_variable(&self) -> Vec<Vec<usize>> {
         let mut per_var = vec![Vec::new(); self.names.len()];

@@ -83,7 +83,10 @@ impl OptimizedSolver {
     }
 
     /// Compute the search order: variables participating in more constraints
-    /// first, smaller domains first among ties (Section 4.3.1).
+    /// first, smaller domains first among ties (Section 4.3.1). Ties use
+    /// the *declared* domain size, so analyzer-driven pre-pruning (which
+    /// shrinks domains without changing the solution set) cannot perturb
+    /// the order — the constructed space stays byte-identical.
     pub(crate) fn variable_order(problem: &Problem, enabled: bool) -> Vec<usize> {
         let mut order: Vec<usize> = (0..problem.num_variables()).collect();
         if !enabled {
@@ -93,7 +96,7 @@ impl OptimizedSolver {
         order.sort_by_key(|&v| {
             (
                 std::cmp::Reverse(per_var[v].len()),
-                problem.domain(v).len(),
+                problem.domain(v).declared_len(),
                 v,
             )
         });

@@ -21,6 +21,7 @@ pub fn tokenize(source: &str) -> ExprResult<Vec<Token>> {
                 tokens.push(Token {
                     kind: TokenKind::LParen,
                     position: start,
+                    end: start + 1,
                 });
                 i += 1;
             }
@@ -28,6 +29,7 @@ pub fn tokenize(source: &str) -> ExprResult<Vec<Token>> {
                 tokens.push(Token {
                     kind: TokenKind::RParen,
                     position: start,
+                    end: start + 1,
                 });
                 i += 1;
             }
@@ -35,6 +37,7 @@ pub fn tokenize(source: &str) -> ExprResult<Vec<Token>> {
                 tokens.push(Token {
                     kind: TokenKind::LBracket,
                     position: start,
+                    end: start + 1,
                 });
                 i += 1;
             }
@@ -42,6 +45,7 @@ pub fn tokenize(source: &str) -> ExprResult<Vec<Token>> {
                 tokens.push(Token {
                     kind: TokenKind::RBracket,
                     position: start,
+                    end: start + 1,
                 });
                 i += 1;
             }
@@ -49,6 +53,7 @@ pub fn tokenize(source: &str) -> ExprResult<Vec<Token>> {
                 tokens.push(Token {
                     kind: TokenKind::Comma,
                     position: start,
+                    end: start + 1,
                 });
                 i += 1;
             }
@@ -56,6 +61,7 @@ pub fn tokenize(source: &str) -> ExprResult<Vec<Token>> {
                 tokens.push(Token {
                     kind: TokenKind::Plus,
                     position: start,
+                    end: start + 1,
                 });
                 i += 1;
             }
@@ -63,6 +69,7 @@ pub fn tokenize(source: &str) -> ExprResult<Vec<Token>> {
                 tokens.push(Token {
                     kind: TokenKind::Minus,
                     position: start,
+                    end: start + 1,
                 });
                 i += 1;
             }
@@ -70,6 +77,7 @@ pub fn tokenize(source: &str) -> ExprResult<Vec<Token>> {
                 tokens.push(Token {
                     kind: TokenKind::Percent,
                     position: start,
+                    end: start + 1,
                 });
                 i += 1;
             }
@@ -78,12 +86,14 @@ pub fn tokenize(source: &str) -> ExprResult<Vec<Token>> {
                     tokens.push(Token {
                         kind: TokenKind::DoubleStar,
                         position: start,
+                        end: start + 2,
                     });
                     i += 2;
                 } else {
                     tokens.push(Token {
                         kind: TokenKind::Star,
                         position: start,
+                        end: start + 1,
                     });
                     i += 1;
                 }
@@ -93,12 +103,14 @@ pub fn tokenize(source: &str) -> ExprResult<Vec<Token>> {
                     tokens.push(Token {
                         kind: TokenKind::DoubleSlash,
                         position: start,
+                        end: start + 2,
                     });
                     i += 2;
                 } else {
                     tokens.push(Token {
                         kind: TokenKind::Slash,
                         position: start,
+                        end: start + 1,
                     });
                     i += 1;
                 }
@@ -108,12 +120,14 @@ pub fn tokenize(source: &str) -> ExprResult<Vec<Token>> {
                     tokens.push(Token {
                         kind: TokenKind::Cmp(CmpOp::Le),
                         position: start,
+                        end: start + 2,
                     });
                     i += 2;
                 } else {
                     tokens.push(Token {
                         kind: TokenKind::Cmp(CmpOp::Lt),
                         position: start,
+                        end: start + 1,
                     });
                     i += 1;
                 }
@@ -123,12 +137,14 @@ pub fn tokenize(source: &str) -> ExprResult<Vec<Token>> {
                     tokens.push(Token {
                         kind: TokenKind::Cmp(CmpOp::Ge),
                         position: start,
+                        end: start + 2,
                     });
                     i += 2;
                 } else {
                     tokens.push(Token {
                         kind: TokenKind::Cmp(CmpOp::Gt),
                         position: start,
+                        end: start + 1,
                     });
                     i += 1;
                 }
@@ -138,6 +154,7 @@ pub fn tokenize(source: &str) -> ExprResult<Vec<Token>> {
                     tokens.push(Token {
                         kind: TokenKind::Cmp(CmpOp::Eq),
                         position: start,
+                        end: start + 2,
                     });
                     i += 2;
                 } else {
@@ -152,6 +169,7 @@ pub fn tokenize(source: &str) -> ExprResult<Vec<Token>> {
                     tokens.push(Token {
                         kind: TokenKind::Cmp(CmpOp::Ne),
                         position: start,
+                        end: start + 2,
                     });
                     i += 2;
                 } else {
@@ -176,6 +194,7 @@ pub fn tokenize(source: &str) -> ExprResult<Vec<Token>> {
                 tokens.push(Token {
                     kind: TokenKind::Str(source[i + 1..j].to_string()),
                     position: start,
+                    end: j + 1,
                 });
                 i = j + 1;
             }
@@ -216,6 +235,7 @@ pub fn tokenize(source: &str) -> ExprResult<Vec<Token>> {
                 tokens.push(Token {
                     kind,
                     position: start,
+                    end: j,
                 });
                 i = j;
             }
@@ -242,6 +262,7 @@ pub fn tokenize(source: &str) -> ExprResult<Vec<Token>> {
                 tokens.push(Token {
                     kind,
                     position: start,
+                    end: j,
                 });
                 i = j;
             }
@@ -256,6 +277,7 @@ pub fn tokenize(source: &str) -> ExprResult<Vec<Token>> {
     tokens.push(Token {
         kind: TokenKind::Eof,
         position: source.len(),
+        end: source.len(),
     });
     Ok(tokens)
 }
@@ -319,6 +341,16 @@ mod tests {
     fn scientific_notation() {
         assert_eq!(kinds("1e3")[0], TokenKind::Float(1000.0));
         assert_eq!(kinds("2.5e-2")[0], TokenKind::Float(0.025));
+    }
+
+    #[test]
+    fn token_spans_cover_the_source() {
+        let toks = tokenize("32 <= block_size_x * 'ab'").unwrap();
+        let spans: Vec<(usize, usize)> = toks.iter().map(|t| (t.position, t.end)).collect();
+        assert_eq!(
+            spans,
+            vec![(0, 2), (3, 5), (6, 18), (19, 20), (21, 25), (25, 25)]
+        );
     }
 
     #[test]

@@ -18,6 +18,7 @@
 //! assert_eq!(parsed.specific_count(), 2);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod ast;
@@ -29,6 +30,7 @@ pub mod lexer;
 pub mod parser;
 pub mod pipeline;
 pub mod recognize;
+pub mod span;
 pub mod token;
 pub mod vm;
 
@@ -38,9 +40,10 @@ pub use decompose::decompose;
 pub use error::{ExprError, ExprResult};
 pub use fold::fold;
 pub use lexer::tokenize;
-pub use parser::parse;
+pub use parser::{parse, parse_spanned};
 pub use pipeline::{
     parse_restriction, parse_restriction_generic, restriction_from_expr, ParsedRestriction,
 };
 pub use recognize::{recognize, RecognizedConstraint};
+pub use span::{Span, SpanNode};
 pub use vm::{Op, Program};

@@ -17,12 +17,18 @@
 //!              | IDENT "(" args ")" | "(" expr ")" | collection
 //! collection  := "[" expr ("," expr)* "]" | "(" expr ("," expr)+ ")"
 //! ```
+//!
+//! Every production also tracks the byte [`Span`] of the sub-expression
+//! it builds; [`parse_spanned`] returns the resulting [`SpanNode`] tree
+//! (same shape as the `Expr` tree) alongside the expression, while
+//! [`parse`] discards it.
 
 use at_csp::Value;
 
 use crate::ast::{BinOp, BuiltinFn, Expr};
 use crate::error::{ExprError, ExprResult};
 use crate::lexer::tokenize;
+use crate::span::{Span, SpanNode};
 use crate::token::{Token, TokenKind};
 
 /// Maximum expression nesting depth the parser accepts.
@@ -33,22 +39,37 @@ use crate::token::{Token, TokenKind};
 /// unbounded depth would let a short hostile input — `((((…` — overflow
 /// the stack as an uncatchable process abort, so depth is capped here,
 /// where the overflow would first occur, and reported as an ordinary
-/// [`ExprError::Parse`]. 200 levels is far beyond any real restriction
-/// while keeping the deepest recursive walk comfortably within even a
-/// small (512 KiB) thread stack.
-const MAX_DEPTH: usize = 200;
+/// [`ExprError::Parse`]. 100 levels is far beyond any real restriction
+/// (the paper workloads nest < 20) while keeping the deepest recursive
+/// walk — including the span bookkeeping, whose per-level cost in
+/// unoptimized builds is what sizes this cap — well within a default
+/// thread stack.
+const MAX_DEPTH: usize = 100;
+
+/// A parsed sub-expression together with its (boxed, to keep parser
+/// stack frames small) span tree.
+type Sp = (Expr, Box<SpanNode>);
 
 /// Parse a constraint expression.
 pub fn parse(source: &str) -> ExprResult<Expr> {
+    parse_spanned(source).map(|(expr, _)| expr)
+}
+
+/// Parse a constraint expression, also returning the byte-span tree.
+///
+/// The [`SpanNode`] tree has exactly the shape of the returned [`Expr`]
+/// tree (see [`SpanNode`] for the child ordering), so diagnostics can
+/// walk both in lockstep and point at the offending source bytes.
+pub fn parse_spanned(source: &str) -> ExprResult<(Expr, SpanNode)> {
     let tokens = tokenize(source)?;
     let mut parser = Parser {
         tokens,
         pos: 0,
         depth: 0,
     };
-    let expr = parser.parse_or()?;
+    let (expr, spans) = parser.parse_or()?;
     parser.expect_eof()?;
-    Ok(expr)
+    Ok((expr, *spans))
 }
 
 struct Parser {
@@ -84,6 +105,17 @@ impl Parser {
 
     fn position(&self) -> usize {
         self.tokens[self.pos].position
+    }
+
+    /// Span of the token at the cursor.
+    fn current_span(&self) -> Span {
+        let tok = &self.tokens[self.pos];
+        Span::new(tok.position, tok.end)
+    }
+
+    /// End offset of the most recently consumed token.
+    fn prev_end(&self) -> usize {
+        self.tokens[self.pos.saturating_sub(1)].end
     }
 
     fn advance(&mut self) -> TokenKind {
@@ -129,7 +161,7 @@ impl Parser {
         }
     }
 
-    fn parse_or(&mut self) -> ExprResult<Expr> {
+    fn parse_or(&mut self) -> ExprResult<Sp> {
         self.enter()?;
         let result = (|| {
             let first = self.parse_and()?;
@@ -137,42 +169,40 @@ impl Parser {
             while self.eat(&TokenKind::Or) {
                 parts.push(self.parse_and()?);
             }
-            Ok(if parts.len() == 1 {
-                parts.pop().expect("one element")
-            } else {
-                Expr::Or(parts)
-            })
+            Ok(connective(parts, Expr::Or))
         })();
         self.leave();
         result
     }
 
-    fn parse_and(&mut self) -> ExprResult<Expr> {
+    fn parse_and(&mut self) -> ExprResult<Sp> {
         let first = self.parse_not()?;
         let mut parts = vec![first];
         while self.eat(&TokenKind::And) {
             parts.push(self.parse_not()?);
         }
-        Ok(if parts.len() == 1 {
-            parts.pop().expect("one element")
-        } else {
-            Expr::And(parts)
-        })
+        Ok(connective(parts, Expr::And))
     }
 
-    fn parse_not(&mut self) -> ExprResult<Expr> {
+    fn parse_not(&mut self) -> ExprResult<Sp> {
+        let start = self.position();
         if self.eat(&TokenKind::Not) {
             self.enter()?;
             let inner = self.parse_not();
             self.leave();
-            Ok(Expr::Not(Box::new(inner?)))
+            let (expr, node) = inner?;
+            let span = Span::new(start, node.span.end);
+            Ok((
+                Expr::Not(Box::new(expr)),
+                Box::new(SpanNode::node(span, vec![*node])),
+            ))
         } else {
             self.parse_comparison()
         }
     }
 
-    fn parse_comparison(&mut self) -> ExprResult<Expr> {
-        let first = self.parse_arith()?;
+    fn parse_comparison(&mut self) -> ExprResult<Sp> {
+        let (first, first_node) = self.parse_arith()?;
         // Membership test?
         if matches!(self.peek(), TokenKind::In)
             || (matches!(self.peek(), TokenKind::Not)
@@ -183,31 +213,52 @@ impl Parser {
         {
             let negated = self.eat(&TokenKind::Not);
             self.expect(&TokenKind::In)?;
-            let set = self.parse_collection()?;
-            return Ok(Expr::In {
-                value: Box::new(first),
-                set,
-                negated,
-            });
+            let (set, set_span) = self.parse_collection()?;
+            let span = Span::new(first_node.span.start, set_span.end);
+            let mut children = vec![*first_node];
+            let mut set_exprs = Vec::with_capacity(set.len());
+            for (expr, node) in set {
+                set_exprs.push(expr);
+                children.push(*node);
+            }
+            return Ok((
+                Expr::In {
+                    value: Box::new(first),
+                    set: set_exprs,
+                    negated,
+                },
+                Box::new(SpanNode::node(span, children)),
+            ));
         }
         let mut rest = Vec::new();
+        let mut nodes = vec![*first_node];
         while let TokenKind::Cmp(op) = self.peek() {
             let op = *op;
             self.advance();
-            let rhs = self.parse_arith()?;
+            let (rhs, rhs_node) = self.parse_arith()?;
             rest.push((op, rhs));
+            nodes.push(*rhs_node);
         }
         if rest.is_empty() {
-            Ok(first)
+            Ok((first, Box::new(nodes.pop().expect("one element"))))
         } else {
-            Ok(Expr::Compare {
-                first: Box::new(first),
-                rest,
-            })
+            let span = nodes[0]
+                .span
+                .to(nodes.last().expect("at least two operands").span);
+            Ok((
+                Expr::Compare {
+                    first: Box::new(first),
+                    rest,
+                },
+                Box::new(SpanNode::node(span, nodes)),
+            ))
         }
     }
 
-    fn parse_collection(&mut self) -> ExprResult<Vec<Expr>> {
+    /// Parse a bracketed or parenthesized collection; the returned span
+    /// covers the brackets themselves.
+    fn parse_collection(&mut self) -> ExprResult<(Vec<Sp>, Span)> {
+        let open_start = self.position();
         let (open, close) = match self.peek() {
             TokenKind::LBracket => (TokenKind::LBracket, TokenKind::RBracket),
             TokenKind::LParen => (TokenKind::LParen, TokenKind::RParen),
@@ -236,10 +287,10 @@ impl Parser {
             }
         }
         self.expect(&close)?;
-        Ok(items)
+        Ok((items, Span::new(open_start, self.prev_end())))
     }
 
-    fn parse_arith(&mut self) -> ExprResult<Expr> {
+    fn parse_arith(&mut self) -> ExprResult<Sp> {
         let lhs = self.parse_term()?;
         self.parse_left_chain(lhs, |kind| match kind {
             TokenKind::Plus => Some(BinOp::Add),
@@ -248,7 +299,7 @@ impl Parser {
         })
     }
 
-    fn parse_term(&mut self) -> ExprResult<Expr> {
+    fn parse_term(&mut self) -> ExprResult<Sp> {
         let lhs = self.parse_factor()?;
         self.parse_left_chain(lhs, |kind| match kind {
             TokenKind::Star => Some(BinOp::Mul),
@@ -267,9 +318,9 @@ impl Parser {
     /// [`MAX_DEPTH`] like any other nesting.
     fn parse_left_chain(
         &mut self,
-        mut lhs: Expr,
+        mut lhs: Sp,
         op_of: impl Fn(&TokenKind) -> Option<BinOp>,
-    ) -> ExprResult<Expr> {
+    ) -> ExprResult<Sp> {
         let mut levels = 0usize;
         let result = loop {
             let Some(op) = op_of(self.peek()) else {
@@ -281,12 +332,17 @@ impl Parser {
             levels += 1;
             self.advance();
             match self.parse_term_or_factor(op) {
-                Ok(rhs) => {
-                    lhs = Expr::Binary {
-                        op,
-                        lhs: Box::new(lhs),
-                        rhs: Box::new(rhs),
-                    };
+                Ok((rhs, rhs_node)) => {
+                    let (lhs_expr, lhs_node) = lhs;
+                    let span = lhs_node.span.to(rhs_node.span);
+                    lhs = (
+                        Expr::Binary {
+                            op,
+                            lhs: Box::new(lhs_expr),
+                            rhs: Box::new(rhs),
+                        },
+                        Box::new(SpanNode::node(span, vec![*lhs_node, *rhs_node])),
+                    );
                 }
                 Err(e) => break Err(e),
             }
@@ -299,7 +355,7 @@ impl Parser {
 
     /// The right-hand production of one chain link: `+`/`-` chain over
     /// terms, `*`-family chain over factors.
-    fn parse_term_or_factor(&mut self, op: BinOp) -> ExprResult<Expr> {
+    fn parse_term_or_factor(&mut self, op: BinOp) -> ExprResult<Sp> {
         if matches!(op, BinOp::Add | BinOp::Sub) {
             self.parse_term()
         } else {
@@ -307,46 +363,74 @@ impl Parser {
         }
     }
 
-    fn parse_factor(&mut self) -> ExprResult<Expr> {
+    fn parse_factor(&mut self) -> ExprResult<Sp> {
+        let start = self.position();
         if self.eat(&TokenKind::Minus) {
             self.enter()?;
             let inner = self.parse_factor();
             self.leave();
-            return Ok(Expr::Neg(Box::new(inner?)));
+            let (expr, node) = inner?;
+            let span = Span::new(start, node.span.end);
+            return Ok((
+                Expr::Neg(Box::new(expr)),
+                Box::new(SpanNode::node(span, vec![*node])),
+            ));
         }
         if self.eat(&TokenKind::Plus) {
             self.enter()?;
             let inner = self.parse_factor();
             self.leave();
+            // Unary `+` is a no-op and creates no tree node.
             return inner;
         }
         self.parse_power()
     }
 
-    fn parse_power(&mut self) -> ExprResult<Expr> {
-        let base = self.parse_atom()?;
+    fn parse_power(&mut self) -> ExprResult<Sp> {
+        let (base, base_node) = self.parse_atom()?;
         if self.eat(&TokenKind::DoubleStar) {
             // Right associative, and `-` binds tighter on the exponent side.
             self.enter()?;
             let exponent = self.parse_factor();
             self.leave();
-            return Ok(Expr::Binary {
-                op: BinOp::Pow,
-                lhs: Box::new(base),
-                rhs: Box::new(exponent?),
-            });
+            let (exp_expr, exp_node) = exponent?;
+            let span = base_node.span.to(exp_node.span);
+            return Ok((
+                Expr::Binary {
+                    op: BinOp::Pow,
+                    lhs: Box::new(base),
+                    rhs: Box::new(exp_expr),
+                },
+                Box::new(SpanNode::node(span, vec![*base_node, *exp_node])),
+            ));
         }
-        Ok(base)
+        Ok((base, base_node))
     }
 
-    fn parse_atom(&mut self) -> ExprResult<Expr> {
+    fn parse_atom(&mut self) -> ExprResult<Sp> {
         let position = self.position();
+        let token_span = self.current_span();
         match self.advance() {
-            TokenKind::Int(v) => Ok(Expr::Const(Value::Int(v))),
-            TokenKind::Float(v) => Ok(Expr::Const(Value::Float(v))),
-            TokenKind::Str(s) => Ok(Expr::Const(Value::str(s))),
-            TokenKind::True => Ok(Expr::Const(Value::Bool(true))),
-            TokenKind::False => Ok(Expr::Const(Value::Bool(false))),
+            TokenKind::Int(v) => Ok((
+                Expr::Const(Value::Int(v)),
+                Box::new(SpanNode::leaf(token_span)),
+            )),
+            TokenKind::Float(v) => Ok((
+                Expr::Const(Value::Float(v)),
+                Box::new(SpanNode::leaf(token_span)),
+            )),
+            TokenKind::Str(s) => Ok((
+                Expr::Const(Value::str(s)),
+                Box::new(SpanNode::leaf(token_span)),
+            )),
+            TokenKind::True => Ok((
+                Expr::Const(Value::Bool(true)),
+                Box::new(SpanNode::leaf(token_span)),
+            )),
+            TokenKind::False => Ok((
+                Expr::Const(Value::Bool(false)),
+                Box::new(SpanNode::leaf(token_span)),
+            )),
             TokenKind::Ident(name) => {
                 if self.peek() == &TokenKind::LParen {
                     let func = BuiltinFn::from_name(&name).ok_or_else(|| ExprError::Parse {
@@ -364,12 +448,27 @@ impl Parser {
                         }
                     }
                     self.expect(&TokenKind::RParen)?;
-                    Ok(Expr::Call { func, args })
+                    let span = Span::new(position, self.prev_end());
+                    let mut arg_exprs = Vec::with_capacity(args.len());
+                    let mut arg_nodes = Vec::with_capacity(args.len());
+                    for (expr, node) in args {
+                        arg_exprs.push(expr);
+                        arg_nodes.push(*node);
+                    }
+                    Ok((
+                        Expr::Call {
+                            func,
+                            args: arg_exprs,
+                        },
+                        Box::new(SpanNode::node(span, arg_nodes)),
+                    ))
                 } else {
-                    Ok(Expr::Var(name))
+                    Ok((Expr::Var(name), Box::new(SpanNode::leaf(token_span))))
                 }
             }
             TokenKind::LParen => {
+                // Parenthesized group: no tree node of its own, so the
+                // span tree keeps the shape of the `Expr` tree.
                 let inner = self.parse_or()?;
                 self.expect(&TokenKind::RParen)?;
                 Ok(inner)
@@ -380,6 +479,25 @@ impl Parser {
             }),
         }
     }
+}
+
+/// Collapse a one-element connective chain to its single operand, or
+/// build the `And`/`Or` node with the covering span.
+fn connective(mut parts: Vec<Sp>, build: impl FnOnce(Vec<Expr>) -> Expr) -> Sp {
+    if parts.len() == 1 {
+        return parts.pop().expect("one element");
+    }
+    let span = parts[0]
+        .1
+        .span
+        .to(parts.last().expect("at least two operands").1.span);
+    let mut exprs = Vec::with_capacity(parts.len());
+    let mut nodes = Vec::with_capacity(parts.len());
+    for (expr, node) in parts {
+        exprs.push(expr);
+        nodes.push(*node);
+    }
+    (build(exprs), Box::new(SpanNode::node(span, nodes)))
 }
 
 #[cfg(test)]
@@ -519,14 +637,14 @@ mod tests {
 
     #[test]
     fn deep_but_bounded_nesting_still_parses() {
-        let src = format!("{}x{}", "(".repeat(150), ")".repeat(150));
+        let src = format!("{}x{}", "(".repeat(80), ")".repeat(80));
         assert_eq!(parse(&src).unwrap(), Expr::Var("x".into()));
-        let src = format!("{}x", "not ".repeat(150));
+        let src = format!("{}x", "not ".repeat(80));
         assert!(parse(&src).is_ok());
-        let chain = vec!["1"; 150].join(" + ");
+        let chain = vec!["1"; 80].join(" + ");
         assert_eq!(
             eval(&chain, &[]),
-            Value::Int(150),
+            Value::Int(80),
             "long-but-reasonable sums must keep working"
         );
     }
@@ -546,5 +664,102 @@ mod tests {
                 other => panic!("{other:?}"),
             }
         }
+    }
+
+    /// The span tree must mirror the expression tree node-for-node; check
+    /// shapes and exact byte ranges on representative inputs.
+    #[test]
+    fn spans_mirror_the_expression_tree() {
+        fn check_shape(expr: &Expr, node: &SpanNode) {
+            let expected = match expr {
+                Expr::Const(_) | Expr::Var(_) => 0,
+                Expr::Neg(_) | Expr::Not(_) => 1,
+                Expr::Binary { .. } => 2,
+                Expr::Compare { rest, .. } => 1 + rest.len(),
+                Expr::And(parts) | Expr::Or(parts) => parts.len(),
+                Expr::In { set, .. } => 1 + set.len(),
+                Expr::Call { args, .. } => args.len(),
+            };
+            assert_eq!(node.children.len(), expected, "{expr} vs {node:?}");
+            let children: Vec<&Expr> = match expr {
+                Expr::Const(_) | Expr::Var(_) => vec![],
+                Expr::Neg(e) | Expr::Not(e) => vec![e.as_ref()],
+                Expr::Binary { lhs, rhs, .. } => vec![lhs.as_ref(), rhs.as_ref()],
+                Expr::Compare { first, rest } => {
+                    let mut v = vec![first.as_ref()];
+                    v.extend(rest.iter().map(|(_, e)| e));
+                    v
+                }
+                Expr::And(parts) | Expr::Or(parts) => parts.iter().collect(),
+                Expr::In { value, set, .. } => {
+                    let mut v = vec![value.as_ref()];
+                    v.extend(set.iter());
+                    v
+                }
+                Expr::Call { args, .. } => args.iter().collect(),
+            };
+            for (child_expr, child_node) in children.iter().zip(&node.children) {
+                assert!(
+                    child_node.span.start >= node.span.start
+                        && child_node.span.end <= node.span.end,
+                    "child span {:?} escapes parent {:?}",
+                    child_node.span,
+                    node.span
+                );
+                check_shape(child_expr, child_node);
+            }
+        }
+
+        for src in [
+            "32 <= block_size_x*block_size_y <= 1024",
+            "x in [1, 2, 4] and not y",
+            "min(x, 4) == 9 or -x ** 2 < 3",
+            "a == 0 or (b % a == 0 and not a > 3)",
+            "+x + -y",
+        ] {
+            let (expr, spans) = parse_spanned(src).unwrap();
+            check_shape(&expr, &spans);
+            assert!(spans.span.end <= src.len());
+        }
+    }
+
+    #[test]
+    fn spans_point_at_the_source_bytes() {
+        let src = "xx <= yy * 3 and zz in [1, 22]";
+        let (expr, spans) = parse_spanned(src).unwrap();
+        let Expr::And(parts) = &expr else {
+            panic!("expected And, got {expr:?}")
+        };
+        assert_eq!(parts.len(), 2);
+        // Whole expression.
+        assert_eq!(&src[spans.span.start..spans.span.end], src);
+        // First conjunct: the chained comparison `xx <= yy * 3`.
+        let cmp = &spans.children[0];
+        assert_eq!(&src[cmp.span.start..cmp.span.end], "xx <= yy * 3");
+        assert_eq!(
+            &src[cmp.children[0].span.start..cmp.children[0].span.end],
+            "xx"
+        );
+        assert_eq!(
+            &src[cmp.children[1].span.start..cmp.children[1].span.end],
+            "yy * 3"
+        );
+        // Second conjunct: the membership test covers through `]`.
+        let mem = &spans.children[1];
+        assert_eq!(&src[mem.span.start..mem.span.end], "zz in [1, 22]");
+        assert_eq!(
+            &src[mem.children[2].span.start..mem.children[2].span.end],
+            "22"
+        );
+    }
+
+    #[test]
+    fn parenthesized_groups_inherit_inner_spans() {
+        let src = "(x + 1) * 2";
+        let (expr, spans) = parse_spanned(src).unwrap();
+        assert!(matches!(expr, Expr::Binary { op: BinOp::Mul, .. }));
+        // The lhs node is the inner sum; its span excludes the parens.
+        let lhs = &spans.children[0];
+        assert_eq!(&src[lhs.span.start..lhs.span.end], "x + 1");
     }
 }

@@ -1,0 +1,97 @@
+//! Source spans for parsed expressions.
+//!
+//! The parser can report, for every node of the [`Expr`](crate::Expr)
+//! tree, which byte range of the source text produced it. Spans are kept
+//! *outside* the `Expr` itself — in a parallel [`SpanNode`] tree with the
+//! same shape — so that structural equality, hashing, and the display
+//! round-trip of expressions stay byte-position-independent: two
+//! restrictions that differ only in whitespace still compare equal.
+
+/// A half-open byte range `[start, end)` into the source string.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub start: usize,
+    /// Byte offset one past the last character.
+    pub end: usize,
+}
+
+impl Span {
+    /// Construct a span.
+    pub fn new(start: usize, end: usize) -> Self {
+        Span { start, end }
+    }
+
+    /// The smallest span covering both `self` and `other`.
+    pub fn to(self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+
+    /// The number of bytes covered.
+    pub fn len(&self) -> usize {
+        self.end.saturating_sub(self.start)
+    }
+
+    /// Whether the span covers no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.end <= self.start
+    }
+}
+
+/// A tree of spans mirroring the shape of an [`Expr`](crate::Expr) tree.
+///
+/// The children correspond, in order, to the sub-expressions of the
+/// expression node the span belongs to:
+///
+/// - `Const`/`Var`: no children
+/// - `Neg`/`Not`: one child (the operand)
+/// - `Binary`: two children (lhs, rhs)
+/// - `Compare`: the first operand, then one child per `rest` operand
+/// - `And`/`Or`: one child per operand
+/// - `In`: the tested value, then one child per set element
+/// - `Call`: one child per argument
+///
+/// Parenthesized groups and unary `+` do not create nodes of their own
+/// (the parser unwraps them), so the shapes always match and the two
+/// trees can be walked in lockstep.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanNode {
+    /// The byte range of the whole sub-expression.
+    pub span: Span,
+    /// Spans of the sub-expressions, in the order documented above.
+    pub children: Vec<SpanNode>,
+}
+
+impl SpanNode {
+    /// A leaf span node.
+    pub fn leaf(span: Span) -> Self {
+        SpanNode {
+            span,
+            children: Vec::new(),
+        }
+    }
+
+    /// A span node with children.
+    pub fn node(span: Span, children: Vec<SpanNode>) -> Self {
+        SpanNode { span, children }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_union_covers_both() {
+        let a = Span::new(3, 7);
+        let b = Span::new(10, 12);
+        assert_eq!(a.to(b), Span::new(3, 12));
+        assert_eq!(b.to(a), Span::new(3, 12));
+        assert_eq!(a.len(), 4);
+        assert!(!a.is_empty());
+        assert!(Span::new(5, 5).is_empty());
+    }
+}

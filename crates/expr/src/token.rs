@@ -14,6 +14,8 @@ pub struct Token {
     pub kind: TokenKind,
     /// Byte offset of the first character of the token.
     pub position: usize,
+    /// Byte offset one past the last character of the token.
+    pub end: usize,
 }
 
 /// Token kinds.

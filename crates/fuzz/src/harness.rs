@@ -17,7 +17,7 @@ use std::time::{Duration, Instant};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
-use crate::{atss, exprgen, mutate};
+use crate::{atss, checkgen, exprgen, mutate};
 
 /// Wall-clock bound for a single target execution. The targets do
 /// strictly bounded work per byte, so anything past this is a hang (or an
@@ -36,7 +36,7 @@ pub fn fnv1a(bytes: &[u8]) -> u64 {
     hash
 }
 
-/// The three fuzz targets. Each wraps a `fn(&[u8]) -> Result<(), String>`
+/// The four fuzz targets. Each wraps a `fn(&[u8]) -> Result<(), String>`
 /// whose `Err` is an oracle violation; panics and hangs are detected by
 /// the harness around it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -47,14 +47,18 @@ pub enum Target {
     AtssLoadDifferential,
     /// Arbitrary strings through lexer → parser → fold → compile → VM.
     ExprPipeline,
+    /// Restriction strings through the static analyzer, with brute-force
+    /// ground truth and the pre-pruning construction identity.
+    CheckPipeline,
 }
 
 impl Target {
     /// Every target, in a stable order.
-    pub const ALL: [Target; 3] = [
+    pub const ALL: [Target; 4] = [
         Target::AtssReader,
         Target::AtssLoadDifferential,
         Target::ExprPipeline,
+        Target::CheckPipeline,
     ];
 
     /// The CLI / corpus-directory name of this target.
@@ -63,6 +67,7 @@ impl Target {
             Target::AtssReader => "atss_reader",
             Target::AtssLoadDifferential => "atss_load_differential",
             Target::ExprPipeline => "expr_pipeline",
+            Target::CheckPipeline => "check_pipeline",
         }
     }
 
@@ -76,6 +81,7 @@ impl Target {
             Target::AtssReader => atss::reader_target(input),
             Target::AtssLoadDifferential => atss::load_differential_target(input),
             Target::ExprPipeline => exprgen::pipeline_target(input),
+            Target::CheckPipeline => checkgen::check_target(input),
         }
     }
 }
@@ -245,7 +251,8 @@ fn next_input(target: Target, rng: &mut ChaCha8Rng, seeds: &[Vec<u8>]) -> Vec<u8
             }
             data
         }
-        Target::ExprPipeline => match rng.gen_range(0u32..10) {
+        // Both string targets draw from the same grammar-aware input space.
+        Target::ExprPipeline | Target::CheckPipeline => match rng.gen_range(0u32..10) {
             0..=3 => exprgen::generate(rng).into_bytes(),
             4..=8 => {
                 let base = String::from_utf8_lossy(&pick(rng)).into_owned();
@@ -268,6 +275,26 @@ fn target_seeds(target: Target, corpus: &[Vec<u8>]) -> Vec<Vec<u8>> {
                 "block_size_x == 2 ** tile and not (x in [1, 2])",
                 "1 <= x * y <= 64 or z != 0",
                 "min(x, y) > 0.5 and 'half' != 'single'",
+            ]
+            .iter()
+            .map(|s| s.as_bytes().to_vec())
+            .collect();
+            seeds.extend((0..8).map(|_| exprgen::generate(&mut rng).into_bytes()));
+            seeds
+        }
+        // Analyzer-interesting shapes: guard idioms, tautologies,
+        // contradictions, prunable divisors, typos for did-you-mean.
+        Target::CheckPipeline => {
+            let mut rng = ChaCha8Rng::seed_from_u64(0xC4EC);
+            let mut seeds: Vec<Vec<u8>> = [
+                "tile % block_size_x == 0",
+                "x % y == 0 or y == 0",
+                "x >= 0 or x < 0",
+                "x > 2 and x < 2",
+                "blck_size_x * tile <= 64",
+                "x / y > 0.5 and z != 'half'",
+                "4 % x == 0",
+                "x == y == z or tile in [1, 2, 4]",
             ]
             .iter()
             .map(|s| s.as_bytes().to_vec())

@@ -8,7 +8,9 @@
 //! build environment has no registry, so no cargo-fuzz/libFuzzer — using a
 //! seeded ChaCha8 mutation engine, format-aware input generators, and
 //! *differential* oracles that compare independent implementations of the
-//! same contract against each other.
+//! same contract against each other. A fourth target points the same
+//! restriction strings at the `at_check` static analyzer and holds its
+//! verdicts to brute-force ground truth.
 //!
 //! Run it as
 //!
@@ -16,7 +18,7 @@
 //! cargo run --release -p at_fuzz -- <target> --iters N --seed S
 //! ```
 //!
-//! where `<target>` is one of the three below (or `all`). Any failing
+//! where `<target>` is one of the four below (or `all`). Any failing
 //! input is shrunk by greedy chunk removal and written to
 //! `tests/fuzz_corpus/<target>/crash-<hash>.bin`; the whole corpus is
 //! replayed by `cargo test` (see `tests/fuzz_corpus.rs`), so every crash
@@ -75,12 +77,32 @@
 //!   interpreter's; likewise for the full optimizing and generic
 //!   restriction lowerings when they succeed.
 //!
+//! ## Target `check_pipeline` — restriction strings, analyzer vs ground truth
+//!
+//! Feeds the same grammar-generated/mutated/garbage strings through
+//! [`at_check::check_spec`] as the single restriction of a small spec
+//! whose domains are derived from the input hash (cartesian product ≤
+//! 243, so exhaustive enumeration is cheap). Oracle:
+//!
+//! * **No panic, no hang** in analysis or rendering; spans stay in
+//!   bounds; parse failures surface as `AT0009`.
+//! * **Verdict soundness** — a `Contradiction` verdict means brute force
+//!   finds zero satisfying assignments; a `Tautology` verdict means every
+//!   assignment satisfies, and dropping the restriction leaves the
+//!   constructed space byte-identical.
+//! * **Prunable soundness** — every reported prunable `(param, value)`
+//!   appears in no satisfying assignment.
+//! * **Pruned ≡ unpruned** — construction with analyzer-driven domain
+//!   pre-pruning yields byte-identical arenas to construction without it.
+//!
 //! The corpus policy, smoke-vs-long run targets and reproduction recipes
 //! are documented in the README's "Fuzzing & corpus policy" section.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod atss;
+pub mod checkgen;
 pub mod exprgen;
 pub mod harness;
 pub mod mutate;

@@ -8,6 +8,8 @@
 //! into the corpus directory (unless `--no-write`) so `cargo test` will
 //! replay it from then on.
 
+#![forbid(unsafe_code)]
+
 use std::path::PathBuf;
 use std::process::ExitCode;
 

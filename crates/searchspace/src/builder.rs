@@ -95,6 +95,11 @@ pub struct BuildOptions {
     pub lowering: Option<RestrictionLowering>,
     /// Solver feature toggles for the optimized/parallel methods.
     pub solver_config: Option<OptimizedSolverConfig>,
+    /// Run analyzer-driven domain pre-pruning before solving (see
+    /// [`SearchSpaceSpec::to_problem_with`]): domain values that
+    /// provably appear in no solution are dropped up front. The
+    /// constructed space is code-for-code identical either way.
+    pub prune: bool,
 }
 
 /// Statistics of one construction run.
@@ -156,7 +161,7 @@ pub fn solve_spec_into(
     let lowering = options
         .lowering
         .unwrap_or_else(|| method.default_lowering());
-    let problem = spec.to_problem(lowering)?;
+    let problem = spec.to_problem_with(lowering, options.prune)?;
     let num_constraints = problem.num_constraints();
     // Solvers emit rows in variable declaration order, which is the spec's
     // parameter order — exactly what encoding sinks encode against.
@@ -330,10 +335,30 @@ mod tests {
                 forward_check: false,
                 arc_consistency: false,
             }),
+            ..Default::default()
         };
         let (space, _) = build_search_space_with(&spec, Method::Optimized, options).unwrap();
         let (reference, _) = build_search_space(&spec, Method::BruteForce).unwrap();
         assert_eq!(space.len(), reference.len());
+    }
+
+    #[test]
+    fn pruned_construction_is_code_for_code_identical() {
+        let spec = hotspot_like_spec();
+        for method in Method::all() {
+            let (plain, _) = build_search_space(&spec, method).unwrap();
+            let (pruned, _) = build_search_space_with(
+                &spec,
+                method,
+                BuildOptions {
+                    prune: true,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+            assert_eq!(plain.len(), pruned.len(), "{method:?}");
+            assert_eq!(plain.arena(), pruned.arena(), "{method:?}");
+        }
     }
 
     #[test]

@@ -67,6 +67,7 @@
 //! (and `build_search_space` is unchanged for callers — it just streams
 //! internally); migrate when construction memory or time matters.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod arena;

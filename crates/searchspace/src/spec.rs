@@ -144,6 +144,27 @@ impl SearchSpaceSpec {
         }
         Ok(problem)
     }
+
+    /// Lower the specification like [`Self::to_problem`], optionally
+    /// running analyzer-driven domain pre-pruning on the result.
+    ///
+    /// With `prune` set, [`at_csp::preprune_domains`] removes every
+    /// domain value that provably appears in no solution (generalized
+    /// arc consistency) before any solver runs. The solution set — and
+    /// therefore the constructed space — is unchanged; only the amount
+    /// of work the solve performs shrinks. Unsatisfiable problems are
+    /// left untouched so every method still discovers emptiness itself.
+    pub fn to_problem_with(
+        &self,
+        lowering: RestrictionLowering,
+        prune: bool,
+    ) -> CspResult<Problem> {
+        let mut problem = self.to_problem(lowering)?;
+        if prune {
+            at_csp::preprune_domains(&mut problem)?;
+        }
+        Ok(problem)
+    }
 }
 
 #[cfg(test)]

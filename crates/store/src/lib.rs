@@ -145,6 +145,7 @@
 //! while the lookup algorithm itself re-compares arena rows, so even a
 //! semantically wrong table can only miss a row, never misattribute one.
 
+#![deny(unsafe_op_in_unsafe_fn)]
 #![warn(missing_docs)]
 
 pub mod cache;

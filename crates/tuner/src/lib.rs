@@ -10,6 +10,7 @@
 //! same budget, so the effect of slow search-space construction on tuning
 //! outcomes (Figures 6 and 7) can be reproduced without GPU hardware.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod kernel;

@@ -9,6 +9,7 @@
 //! * [`perfmodel`] — deterministic simulated kernels standing in for the
 //!   paper's GPU measurements in the end-to-end experiments.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod perfmodel;

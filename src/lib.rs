@@ -55,6 +55,10 @@
 //! assert!(optimized.len() > 0);
 //! ```
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use at_check as check;
 pub use at_cot as cot;
 pub use at_csp as csp;
 pub use at_expr as expr;

@@ -104,7 +104,7 @@ fn optimized_and_generic_lowerings_produce_the_same_space() {
         Method::Optimized,
         BuildOptions {
             lowering: Some(RestrictionLowering::Optimized),
-            solver_config: None,
+            ..Default::default()
         },
     )
     .expect("construction");
@@ -113,7 +113,7 @@ fn optimized_and_generic_lowerings_produce_the_same_space() {
         Method::Optimized,
         BuildOptions {
             lowering: Some(RestrictionLowering::Generic),
-            solver_config: None,
+            ..Default::default()
         },
     )
     .expect("construction");
