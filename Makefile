@@ -3,9 +3,9 @@
 
 CARGO ?= cargo
 
-.PHONY: verify fmt clippy lint-unsafe build test doctest smoke streaming store check-specs examples doc fuzz-smoke fuzz bench bench-construction bench-store fix
+.PHONY: verify fmt clippy lint-unsafe build test doctest smoke streaming store check-specs tune-smoke examples doc fuzz-smoke fuzz bench bench-construction bench-store bench-tuner fix
 
-verify: fmt clippy lint-unsafe build test smoke streaming store check-specs examples doc fuzz-smoke
+verify: fmt clippy lint-unsafe build test smoke streaming store check-specs tune-smoke examples doc fuzz-smoke
 	@echo "---- all checks passed ----"
 
 fmt:
@@ -82,6 +82,23 @@ check-specs:
 	$(CARGO) run --release -p at_cli --bin atss -- spec-template > target/spec-template.json
 	$(CARGO) run --release -p at_cli --bin atss -- check --spec target/spec-template.json | grep -F "0 error(s), 0 warning(s)"
 
+# The batched-evaluation gate: `atss capabilities` must emit its schema,
+# and tuning must be thread-count-deterministic end to end — tune two
+# workloads at --eval-threads 1 and 4 (construction pinned to 0 ms so the
+# virtual clock matches across process runs) and require the result fields
+# (best runtime/config, evaluation count, virtual clock) byte-identical.
+tune-smoke:
+	$(CARGO) run --release -p at_cli --bin atss -- capabilities | grep -F '"schema":"atss.capabilities.v1"'
+	rm -rf target/tune-smoke
+	mkdir -p target/tune-smoke
+	for w in dedispersion hotspot; do \
+	  for t in 1 4; do \
+	    $(CARGO) run --release -p at_cli --bin atss -- tune --workload $$w --strategy genetic --budget-ms 5000 --seed 7 --construction-ms 0 --eval-threads $$t --json \
+	      | grep -oE '"(best_runtime_ms|best_config_id|evaluations|total_ms)":[^,}]*' > target/tune-smoke/$$w-$$t.txt || exit 1; \
+	  done; \
+	  cmp target/tune-smoke/$$w-1.txt target/tune-smoke/$$w-4.txt || exit 1; \
+	done
+
 # The fuzzing gate (see README "Fuzzing & corpus policy"): replay every
 # checked-in regression input, then a short fixed-seed run of all three
 # targets so the differential oracles themselves are exercised on every
@@ -116,6 +133,12 @@ bench-construction:
 # acceptance ratio is printed up front).
 bench-store:
 	$(CARGO) bench -p at_bench --bench store
+
+# Batched-evaluation benchmarks: per-strategy eval throughput at 1 vs 4
+# eval threads (the determinism check and the speedup comparison are
+# printed up front), plus batch-engine and sharded-cache microbenchmarks.
+bench-tuner:
+	$(CARGO) bench -p at_bench --bench tuner
 
 # Apply rustfmt and machine-applicable clippy suggestions.
 fix:

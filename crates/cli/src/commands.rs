@@ -11,7 +11,7 @@ use at_store::{
     CacheStatus, GcOptions, LoadOptions, SpaceStore, SpecFingerprint, StoreEntry, StoreError,
     StoreOutcome,
 };
-use at_tuner::{strategy_by_name, tune as run_tuning};
+use at_tuner::{all_strategy_names, strategy_by_name, tune_with_options, EvalOptions, TuningRun};
 use at_workloads::{all_real_world, performance_model_for, real_world_by_name, real_world_names};
 
 use crate::args::ParsedArgs;
@@ -50,6 +50,13 @@ COMMANDS:
     tune            Run a simulated tuning session on a built-in workload
                       --workload <name>  --strategy <name>  --budget-ms <n>
                       --method <construction method>  --seed <n>
+                      --eval-threads <n>  parallel evaluation fan-out (the run is
+                                          identical for any thread count)
+                      --construction-ms <n>  charge a fixed virtual construction
+                                          time instead of the measured one
+                                          (reproducible across invocations)
+                      --json              one-line atss.tune.v1 object: best
+                                          config + eval-pipeline metrics
                       --cache-dir <dir>   load the space from the cache (warm
                                           loads charge milliseconds, not seconds,
                                           to the tuning budget)
@@ -62,6 +69,8 @@ COMMANDS:
                                    --json emits one JSON object per entry plus a
                                    summary line; damage is reported in-band
                       cache gc     --cache-dir <dir> --max-bytes <n> --max-entries <n>
+    capabilities    Print a machine-readable atss.capabilities.v1 JSON object
+                    (methods, solvers, strategies, workloads, store features)
     spec-template   Print an example JSON space specification
     help            Show this message
 
@@ -486,11 +495,15 @@ pub fn tune(args: &ParsedArgs) -> Result<String, CliError> {
         "method",
         "seed",
         "cache-dir",
+        "eval-threads",
+        "construction-ms",
     ])?;
     let name = args.require("workload")?;
     let workload = real_world_by_name(name)
         .ok_or_else(|| CliError::Run(format!("unknown workload `{name}`")))?;
-    emit_check_warnings(&workload.spec);
+    if !args.switch("json") {
+        emit_check_warnings(&workload.spec);
+    }
     let strategy_name = args.get("strategy").unwrap_or("random");
     let strategy = strategy_by_name(strategy_name)
         .ok_or_else(|| CliError::Run(format!("unknown strategy `{strategy_name}`")))?;
@@ -498,37 +511,77 @@ pub fn tune(args: &ParsedArgs) -> Result<String, CliError> {
         .number("budget-ms", 30_000u64)
         .map_err(CliError::Args)?;
     let seed: u64 = args.number("seed", 42u64).map_err(CliError::Args)?;
+    let eval_threads: usize = args
+        .number("eval-threads", 1usize)
+        .map_err(CliError::Args)?;
+    if eval_threads == 0 {
+        return Err(CliError::Run(
+            "--eval-threads must be at least 1".to_string(),
+        ));
+    }
     let method = resolve_method(args)?;
 
     // The end-to-end loop accepts a pre-loaded space: with --cache-dir, a
     // warm load charges milliseconds (not a full construction) to the
     // virtual tuning budget — the production deployment the ROADMAP aims at.
     let (space, report, outcome) = obtain_space(args, &workload.spec, method)?;
-    let construction: Duration = match &outcome {
-        Some((outcome, _)) => outcome.duration,
-        None => report.as_ref().expect("built without cache").duration,
+    // --construction-ms overrides the measured construction time with a
+    // fixed virtual charge, making whole runs reproducible across process
+    // invocations (the tune-smoke gate diffs two of them).
+    let construction: Duration = match args.get("construction-ms") {
+        Some(_) => {
+            let ms: u64 = args
+                .number("construction-ms", 0u64)
+                .map_err(CliError::Args)?;
+            Duration::from_millis(ms)
+        }
+        None => match &outcome {
+            Some((outcome, _)) => outcome.duration,
+            None => report.as_ref().expect("built without cache").duration,
+        },
     };
     let model = performance_model_for(&workload.spec.name, &space, seed);
-    let run = run_tuning(
+    let run = tune_with_options(
         &space,
         &model,
         strategy.as_ref(),
         Duration::from_millis(budget_ms),
         construction,
         seed,
+        EvalOptions::with_threads(eval_threads),
     );
+
+    let cache_source = match &outcome {
+        Some((o, _)) if o.status.is_hit() => {
+            if o.load.as_ref().is_some_and(|l| l.is_zero_copy()) {
+                "hit-zero-copy"
+            } else {
+                "hit"
+            }
+        }
+        Some((o, _)) if matches!(o.status, CacheStatus::Miss) => "miss",
+        Some(_) => "uncacheable",
+        None => "cold",
+    };
+
+    if args.switch("json") {
+        return Ok(tune_json_line(
+            &workload.spec.name,
+            method,
+            seed,
+            budget_ms,
+            cache_source,
+            &space,
+            &run,
+        ));
+    }
 
     let mut out = String::new();
     writeln!(out, "workload:           {}", workload.spec.name).expect("write to string");
-    let source = match &outcome {
-        Some((o, _)) if o.status.is_hit() => {
-            if o.load.as_ref().is_some_and(|l| l.is_zero_copy()) {
-                " [cache hit, zero-copy]"
-            } else {
-                " [cache hit]"
-            }
-        }
-        Some((o, _)) if matches!(o.status, CacheStatus::Miss) => " [cache miss]",
+    let source = match cache_source {
+        "hit-zero-copy" => " [cache hit, zero-copy]",
+        "hit" => " [cache hit]",
+        "miss" => " [cache miss]",
         _ => "",
     };
     writeln!(
@@ -541,10 +594,42 @@ pub fn tune(args: &ParsedArgs) -> Result<String, CliError> {
     .expect("write to string");
     writeln!(out, "strategy:           {}", run.strategy).expect("write to string");
     writeln!(out, "budget:             {budget_ms} ms (virtual)").expect("write to string");
+    writeln!(out, "eval threads:       {}", run.metrics.threads).expect("write to string");
     writeln!(out, "evaluations:        {}", run.num_evaluations()).expect("write to string");
-    match run.best_runtime_ms() {
+    writeln!(out, "eval pipeline:      {}", run.metrics.summary_line()).expect("write to string");
+    if run.metrics.rejected > 0 {
+        writeln!(
+            out,
+            "rejected proposals: {} (ids outside the space)",
+            run.metrics.rejected
+        )
+        .expect("write to string");
+    }
+    match run.best_evaluation() {
         Some(best) => {
-            writeln!(out, "best runtime:       {best:.3} ms (simulated)").expect("write to string")
+            writeln!(
+                out,
+                "best runtime:       {:.3} ms (simulated)",
+                best.runtime_ms
+            )
+            .expect("write to string");
+            let rendered = space
+                .view(best.config_index)
+                .map(|v| {
+                    v.to_vec()
+                        .iter()
+                        .zip(space.params())
+                        .map(|(value, p)| format!("{}={}", p.name(), value))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                })
+                .unwrap_or_default();
+            writeln!(
+                out,
+                "best configuration: #{} ({rendered})",
+                best.config_index.index()
+            )
+            .expect("write to string");
         }
         None => writeln!(
             out,
@@ -553,6 +638,162 @@ pub fn tune(args: &ParsedArgs) -> Result<String, CliError> {
         .expect("write to string"),
     }
     Ok(out)
+}
+
+/// Render a parameter [`Value`](at_searchspace::prelude::Value) as JSON.
+fn value_to_json(v: &at_searchspace::prelude::Value) -> String {
+    use at_searchspace::prelude::Value;
+    match v {
+        Value::Int(i) => i.to_string(),
+        Value::Float(f) if f.is_finite() => f.to_string(),
+        Value::Float(_) => "null".to_string(),
+        Value::Bool(b) => b.to_string(),
+        Value::Str(s) => format!("\"{}\"", json_escape(s)),
+    }
+}
+
+/// The `tune --json` DTO: one JSON object on one line, schema `atss.tune.v1`.
+/// Everything a robot consumer needs is in-band; for a fixed seed and
+/// construction charge the object is identical across `--eval-threads`
+/// values except for the `threads`/`fanout_*` metrics fields.
+#[allow(clippy::too_many_arguments)]
+fn tune_json_line(
+    workload: &str,
+    method: Method,
+    seed: u64,
+    budget_ms: u64,
+    cache_source: &str,
+    space: &SearchSpace,
+    run: &TuningRun,
+) -> String {
+    let m = &run.metrics;
+    let (best_runtime, best_id, best_config) = match run.best_evaluation() {
+        Some(best) => {
+            let config = space
+                .view(best.config_index)
+                .map(|view| {
+                    let fields: Vec<String> = view
+                        .to_vec()
+                        .iter()
+                        .zip(space.params())
+                        .map(|(value, p)| {
+                            format!("\"{}\":{}", json_escape(p.name()), value_to_json(value))
+                        })
+                        .collect();
+                    format!("{{{}}}", fields.join(","))
+                })
+                .unwrap_or_else(|| "null".to_string());
+            (
+                best.runtime_ms.to_string(),
+                best.config_index.index().to_string(),
+                config,
+            )
+        }
+        None => ("null".into(), "null".into(), "null".into()),
+    };
+    format!(
+        "{{\"schema\":\"atss.tune.v1\",\"workload\":\"{}\",\"strategy\":\"{}\",\
+         \"method\":\"{}\",\"seed\":{seed},\"budget_ms\":{budget_ms},\
+         \"construction_ms\":{},\"total_ms\":{},\"evaluations\":{},\
+         \"best_runtime_ms\":{best_runtime},\"best_config_id\":{best_id},\
+         \"best_config\":{best_config},\"cache_source\":\"{cache_source}\",\
+         \"metrics\":{{\"batches\":{},\"proposed\":{},\"measured\":{},\
+         \"cache_hits\":{},\"deduped\":{},\"rejected\":{},\"out_of_budget\":{},\
+         \"largest_batch\":{},\"threads\":{},\"fanout_batches\":{},\
+         \"fanout_thread_slots\":{},\"cache_hit_ratio\":{},\"dedup_ratio\":{},\
+         \"fanout_utilization\":{}}}}}\n",
+        json_escape(workload),
+        json_escape(&run.strategy),
+        method.label(),
+        run.construction_ms,
+        run.total_ms,
+        run.num_evaluations(),
+        m.batches,
+        m.proposed,
+        m.measured,
+        m.cache_hits,
+        m.deduped,
+        m.rejected,
+        m.out_of_budget,
+        m.largest_batch,
+        m.threads,
+        m.fanout_batches,
+        m.fanout_thread_slots,
+        m.cache_hit_ratio(),
+        m.dedup_ratio(),
+        m.fanout_utilization(),
+    )
+}
+
+/// `atss capabilities`: machine-readable introspection of what this build
+/// supports — one JSON object, schema `atss.capabilities.v1`. Robots use it
+/// to discover methods, solvers, strategies, workloads, store features and
+/// which commands speak `--json` without parsing help text.
+pub fn capabilities(args: &ParsedArgs) -> Result<String, CliError> {
+    args.ensure_known_flags(&[])?;
+    let quote_list = |items: &[&str]| {
+        items
+            .iter()
+            .map(|s| format!("\"{}\"", json_escape(s)))
+            .collect::<Vec<_>>()
+            .join(",")
+    };
+    let methods: Vec<&str> = Method::all().iter().map(|m| m.label()).collect();
+    let diagnostics = at_check::Code::ALL
+        .iter()
+        .map(|c| {
+            format!(
+                "{{\"code\":\"{}\",\"severity\":\"{}\"}}",
+                c.as_str(),
+                c.severity().label()
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",");
+    Ok(format!(
+        "{{\"schema\":\"atss.capabilities.v1\",\"name\":\"atss\",\"version\":\"{}\",\
+         \"commands\":[{}],\"methods\":[{}],\"solvers\":[{}],\"strategies\":[{}],\
+         \"workloads\":[{}],\"neighbor_methods\":[{}],\
+         \"eval\":{{\"backends\":[\"performance-model\"],\"batched\":true,\
+         \"threads_flag\":\"--eval-threads\"}},\
+         \"store\":{{\"format_version\":{},\"min_read_version\":{},\"features\":[{}]}},\
+         \"check\":{{\"diagnostics\":[{diagnostics}]}},\
+         \"json_commands\":[{}]}}\n",
+        env!("CARGO_PKG_VERSION"),
+        quote_list(&[
+            "workloads",
+            "check",
+            "construct",
+            "compare",
+            "tune",
+            "cache",
+            "capabilities",
+            "spec-template",
+            "help",
+        ]),
+        quote_list(&methods),
+        quote_list(&[
+            "brute-force",
+            "original",
+            "optimized",
+            "parallel",
+            "blocking-clause",
+        ]),
+        quote_list(all_strategy_names()),
+        quote_list(real_world_names()),
+        quote_list(&["hamming", "adjacent", "strictly-adjacent"]),
+        at_store::FORMAT_VERSION,
+        at_store::MIN_READ_VERSION,
+        quote_list(&[
+            "content-addressed-cache",
+            "mmap-zero-copy",
+            "persisted-index",
+            "crc-framing",
+            "verify",
+            "gc",
+        ]),
+        quote_list(&["check", "cache verify", "tune", "capabilities"]),
+    ))
 }
 
 /// Open the store named by the required `--cache-dir` flag.
@@ -1094,6 +1335,183 @@ mod tests {
         assert!(cache(&parsed(&["cache"])).is_err());
         assert!(cache(&parsed(&["cache", "frob", "--cache-dir", "/tmp/x"])).is_err());
         assert!(cache(&parsed(&["cache", "ls"])).is_err());
+    }
+
+    #[test]
+    fn tune_json_schema() {
+        let out = tune(&parsed(&[
+            "tune",
+            "--workload",
+            "dedispersion",
+            "--strategy",
+            "genetic",
+            "--budget-ms",
+            "2000",
+            "--seed",
+            "7",
+            "--construction-ms",
+            "0",
+            "--json",
+        ]))
+        .unwrap();
+        let doc: serde_json::Value = serde_json::from_str(out.trim()).unwrap();
+        assert_eq!(doc.get("schema").unwrap().as_str().unwrap(), "atss.tune.v1");
+        assert_eq!(
+            doc.get("workload").unwrap().as_str().unwrap(),
+            "Dedispersion"
+        );
+        assert_eq!(
+            doc.get("strategy").unwrap().as_str().unwrap(),
+            "genetic-algorithm"
+        );
+        assert_eq!(doc.get("seed").unwrap().as_i64().unwrap(), 7);
+        assert_eq!(doc.get("budget_ms").unwrap().as_i64().unwrap(), 2000);
+        assert_eq!(doc.get("construction_ms").unwrap().as_f64().unwrap(), 0.0);
+        assert!(doc.get("evaluations").unwrap().as_i64().unwrap() > 0);
+        assert!(doc.get("best_runtime_ms").unwrap().as_f64().unwrap() > 0.0);
+        assert!(doc.get("best_config_id").unwrap().as_i64().unwrap() >= 0);
+        let config = doc.get("best_config").unwrap().as_object().unwrap();
+        assert!(
+            config.iter().any(|(k, _)| k == "block_size_x"),
+            "{config:?}"
+        );
+        assert_eq!(doc.get("cache_source").unwrap().as_str().unwrap(), "cold");
+        let metrics = doc.get("metrics").unwrap();
+        for field in [
+            "batches",
+            "proposed",
+            "measured",
+            "cache_hits",
+            "deduped",
+            "rejected",
+            "out_of_budget",
+            "largest_batch",
+            "threads",
+            "fanout_batches",
+            "fanout_thread_slots",
+            "cache_hit_ratio",
+            "dedup_ratio",
+            "fanout_utilization",
+        ] {
+            assert!(metrics.get(field).is_some(), "missing metrics.{field}");
+        }
+        assert_eq!(metrics.get("rejected").unwrap().as_i64().unwrap(), 0);
+        assert_eq!(metrics.get("threads").unwrap().as_i64().unwrap(), 1);
+    }
+
+    #[test]
+    fn tune_json_is_identical_across_eval_threads() {
+        let run_with = |threads: &str| {
+            tune(&parsed(&[
+                "tune",
+                "--workload",
+                "dedispersion",
+                "--strategy",
+                "particle-swarm",
+                "--budget-ms",
+                "3000",
+                "--seed",
+                "13",
+                "--construction-ms",
+                "0",
+                "--eval-threads",
+                threads,
+                "--json",
+            ]))
+            .unwrap()
+        };
+        let serial: serde_json::Value = serde_json::from_str(run_with("1").trim()).unwrap();
+        let parallel: serde_json::Value = serde_json::from_str(run_with("4").trim()).unwrap();
+        for field in [
+            "evaluations",
+            "best_runtime_ms",
+            "best_config_id",
+            "best_config",
+            "total_ms",
+        ] {
+            assert_eq!(serial.get(field), parallel.get(field), "{field}");
+        }
+        // The work counters match too; only the fan-out bookkeeping differs.
+        for field in ["proposed", "measured", "cache_hits", "deduped", "rejected"] {
+            assert_eq!(
+                serial.get("metrics").unwrap().get(field),
+                parallel.get("metrics").unwrap().get(field),
+                "metrics.{field}"
+            );
+        }
+    }
+
+    #[test]
+    fn tune_rejects_zero_eval_threads() {
+        let err = tune(&parsed(&[
+            "tune",
+            "--workload",
+            "dedispersion",
+            "--eval-threads",
+            "0",
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("eval-threads"), "{err}");
+    }
+
+    #[test]
+    fn tune_human_summary_reports_the_eval_pipeline() {
+        let out = tune(&parsed(&[
+            "tune",
+            "--workload",
+            "dedispersion",
+            "--strategy",
+            "genetic",
+            "--budget-ms",
+            "2000",
+            "--seed",
+            "3",
+            "--eval-threads",
+            "2",
+        ]))
+        .unwrap();
+        assert!(out.contains("eval threads:       2"), "{out}");
+        assert!(out.contains("eval pipeline:"), "{out}");
+        assert!(out.contains("best configuration: #"), "{out}");
+    }
+
+    #[test]
+    fn capabilities_json_schema() {
+        let out = capabilities(&parsed(&["capabilities"])).unwrap();
+        let doc: serde_json::Value = serde_json::from_str(out.trim()).unwrap();
+        assert_eq!(
+            doc.get("schema").unwrap().as_str().unwrap(),
+            "atss.capabilities.v1"
+        );
+        assert_eq!(doc.get("methods").unwrap().as_array().unwrap().len(), 6);
+        assert_eq!(doc.get("solvers").unwrap().as_array().unwrap().len(), 5);
+        let strategies = doc.get("strategies").unwrap().as_array().unwrap();
+        assert!(strategies.iter().any(|s| s.as_str() == Some("genetic")));
+        assert_eq!(doc.get("workloads").unwrap().as_array().unwrap().len(), 8);
+        let store = doc.get("store").unwrap();
+        assert_eq!(
+            store.get("format_version").unwrap().as_i64().unwrap(),
+            i64::from(at_store::FORMAT_VERSION)
+        );
+        let diags = doc
+            .get("check")
+            .unwrap()
+            .get("diagnostics")
+            .unwrap()
+            .as_array()
+            .unwrap();
+        assert_eq!(diags.len(), at_check::Code::ALL.len());
+        assert_eq!(
+            doc.get("eval")
+                .unwrap()
+                .get("threads_flag")
+                .unwrap()
+                .as_str()
+                .unwrap(),
+            "--eval-threads"
+        );
+        let json_commands = doc.get("json_commands").unwrap().as_array().unwrap();
+        assert!(json_commands.iter().any(|c| c.as_str() == Some("tune")));
     }
 
     #[test]

@@ -67,6 +67,7 @@ pub fn run(raw_args: &[String]) -> Result<String, CliError> {
         "compare" => commands::compare(&parsed),
         "tune" => commands::tune(&parsed),
         "cache" => commands::cache(&parsed),
+        "capabilities" => commands::capabilities(&parsed),
         "spec-template" => Ok(commands::spec_template()),
         other => Err(CliError::UnknownCommand(other.to_string())),
     }

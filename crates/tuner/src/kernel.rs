@@ -8,6 +8,11 @@
 //! jitter. What matters for the experiment — that different configurations
 //! have different, reproducible performance, and that evaluating one costs
 //! simulated wall-clock time — is preserved.
+//!
+//! Models plug into the batched evaluation pipeline through
+//! [`crate::eval::ModelBackend`], the first [`crate::eval::EvalBackend`]
+//! implementation; the `Send + Sync` bound is what lets the engine share a
+//! model across its fan-out worker threads.
 
 use at_csp::Value;
 use at_searchspace::SearchSpace;

@@ -9,17 +9,32 @@
 //! evaluated on a virtual clock. Construction time is charged against the
 //! same budget, so the effect of slow search-space construction on tuning
 //! outcomes (Figures 6 and 7) can be reproduced without GPU hardware.
+//!
+//! Evaluation is batch-first: strategies submit whole generations, swarms
+//! or neighbor rings through [`TuningContext::evaluate_batch`], and the
+//! engine dedups, serves a sharded eval cache, fans the distinct misses out
+//! over scoped threads ([`EvalOptions::threads`]) against an
+//! [`EvalBackend`], and merges results deterministically — the run is
+//! identical for any thread count.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod eval;
 pub mod kernel;
 pub mod strategies;
 pub mod tuning;
 
+pub use eval::{
+    out_of_budget, EvalBackend, EvalMetrics, EvalOptions, EvalOutcome, Measurement, ModelBackend,
+    ShardedEvalCache,
+};
 pub use kernel::{PerformanceModel, SyntheticKernel};
 pub use strategies::{
     all_strategy_names, strategy_by_name, DifferentialEvolution, GeneticAlgorithm, HillClimbing,
     IteratedLocalSearch, ParticleSwarm, RandomSampling, SimulatedAnnealing,
 };
-pub use tuning::{tune, Evaluation, Strategy, TuningContext, TuningRun, CACHE_HIT_COST_MS};
+pub use tuning::{
+    tune, tune_with_backend, tune_with_options, Evaluation, Strategy, TuningContext, TuningRun,
+    CACHE_HIT_COST_MS,
+};

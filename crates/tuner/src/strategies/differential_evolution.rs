@@ -9,17 +9,23 @@
 //! strategies to constrained discrete spaces via the `SearchSpace`. The whole
 //! strategy works on encoded rows and the [`ConfigId`] fast path — no
 //! configuration is ever decoded to values.
+//!
+//! The generation is the batch: all trial vectors are built serially (the
+//! RNG draws stay in proposal order), then the whole generation is submitted
+//! through [`TuningContext::evaluate_batch`] and selection happens
+//! element-wise against the previous population.
 
 use rand::Rng;
 
 use at_searchspace::ConfigId;
 
+use crate::eval::out_of_budget;
 use crate::tuning::{Strategy, TuningContext};
 
 /// DE/rand/1/bin over configuration value codes.
 #[derive(Debug, Clone, Copy)]
 pub struct DifferentialEvolution {
-    /// Population size.
+    /// Population size (and trial batch size per generation).
     pub population_size: usize,
     /// Differential weight `F`.
     pub differential_weight: f64,
@@ -91,17 +97,24 @@ impl Strategy for DifferentialEvolution {
         let dims = ctx.space().params().len();
         let pop_size = self.population_size.min(n).max(4);
 
-        // initial population: random distinct-ish configurations
-        let mut population: Vec<(ConfigId, f64)> = Vec::with_capacity(pop_size);
-        while population.len() < pop_size {
-            let candidate = ConfigId::from_index(ctx.rng().gen_range(0..n));
-            match ctx.evaluate(candidate) {
-                Some(t) => population.push((candidate, t)),
-                None => return,
-            }
+        // initial population: one batch of random configurations (sampled
+        // with replacement; the engine dedups in-batch repeats)
+        let seeds: Vec<ConfigId> = (0..pop_size)
+            .map(|_| ConfigId::from_index(ctx.rng().gen_range(0..n)))
+            .collect();
+        let outcomes = ctx.evaluate_batch(&seeds);
+        let mut population: Vec<(ConfigId, f64)> = seeds
+            .iter()
+            .zip(&outcomes)
+            .filter_map(|(&id, o)| o.runtime().map(|t| (id, t)))
+            .collect();
+        if out_of_budget(&outcomes) || population.len() < 4 {
+            return;
         }
 
         while !ctx.exhausted() {
+            // build the whole generation of trial configurations first
+            let mut trials: Vec<ConfigId> = Vec::with_capacity(population.len());
             for i in 0..population.len() {
                 // pick three distinct partners
                 let mut partners = [0usize; 3];
@@ -135,15 +148,22 @@ impl Strategy for DifferentialEvolution {
                     let cross = ctx.rng().gen_bool(self.crossover_rate) || d == forced;
                     *slot = if cross { mutant } else { target[d] as f64 };
                 }
+                trials.push(self.snap(ctx, &trial));
+            }
 
-                let candidate = self.snap(ctx, &trial);
-                let candidate_time = match ctx.evaluate(candidate) {
-                    Some(t) => t,
-                    None => return,
-                };
-                if candidate_time < population[i].1 {
-                    population[i] = (candidate, candidate_time);
+            // one batch per generation, then element-wise selection
+            let outcomes = ctx.evaluate_batch(&trials);
+            for ((&trial, outcome), incumbent) in
+                trials.iter().zip(&outcomes).zip(population.iter_mut())
+            {
+                if let Some(t) = outcome.runtime() {
+                    if t < incumbent.1 {
+                        *incumbent = (trial, t);
+                    }
                 }
+            }
+            if out_of_budget(&outcomes) {
+                return;
             }
         }
     }
@@ -179,6 +199,8 @@ mod tests {
         for e in &run.evaluations {
             assert!(space.view(e.config_index).is_some());
         }
+        // snapping keeps every proposal inside the space
+        assert_eq!(run.metrics.rejected, 0);
         let initial_best = run.evaluations[..DifferentialEvolution::default()
             .population_size
             .min(run.num_evaluations())]

@@ -4,18 +4,24 @@
 //! mutated individual is chosen among the *valid* Hamming neighbors of its
 //! parent (Section 4.4), so the GA never wastes evaluations on configurations
 //! that violate constraints.
+//!
+//! The algorithm is generational (µ+λ): each generation proposes a full
+//! batch of offspring through [`TuningContext::evaluate_batch`], so the
+//! engine can measure the whole generation in parallel, then parents and
+//! offspring compete for the next generation's population slots.
 
 use rand::seq::SliceRandom;
 use rand::Rng;
 
 use at_searchspace::{neighbors, ConfigId, NeighborIndex, NeighborMethod};
 
+use crate::eval::out_of_budget;
 use crate::tuning::{Strategy, TuningContext};
 
-/// A steady-state genetic algorithm over configuration indices.
+/// A generational (µ+λ) genetic algorithm over configuration indices.
 #[derive(Debug, Clone, Copy)]
 pub struct GeneticAlgorithm {
-    /// Population size.
+    /// Population size (and offspring batch size per generation).
     pub population_size: usize,
     /// Probability of mutating an offspring to a random valid neighbor.
     pub mutation_rate: f64,
@@ -53,6 +59,18 @@ impl GeneticAlgorithm {
         child.extend_from_slice(&b[cut.min(b.len())..]);
         space.index_of_codes(&child)
     }
+
+    /// Tournament selection from the current population.
+    fn select(&self, ctx: &mut TuningContext<'_>, population: &[(ConfigId, f64)]) -> ConfigId {
+        let mut best: Option<(ConfigId, f64)> = None;
+        for _ in 0..self.tournament {
+            let pick = population[ctx.rng().gen_range(0..population.len())];
+            if best.map(|b| pick.1 < b.1).unwrap_or(true) {
+                best = Some(pick);
+            }
+        }
+        best.expect("non-empty population").0
+    }
 }
 
 impl Strategy for GeneticAlgorithm {
@@ -65,59 +83,61 @@ impl Strategy for GeneticAlgorithm {
         let n = ctx.space().len();
         let pop_size = self.population_size.min(n).max(2);
 
-        // initial population: distinct random configurations
+        // initial population: one batch of distinct random configurations
         let mut all: Vec<ConfigId> = ctx.space().ids().collect();
         all.shuffle(ctx.rng());
-        let mut population: Vec<(ConfigId, f64)> = Vec::with_capacity(pop_size);
-        for &i in all.iter().take(pop_size) {
-            match ctx.evaluate(i) {
-                Some(t) => population.push((i, t)),
-                None => return,
-            }
+        let seeds = &all[..pop_size];
+        let outcomes = ctx.evaluate_batch(seeds);
+        let mut population: Vec<(ConfigId, f64)> = seeds
+            .iter()
+            .zip(&outcomes)
+            .filter_map(|(&id, o)| o.runtime().map(|t| (id, t)))
+            .collect();
+        if out_of_budget(&outcomes) || population.len() < 2 {
+            return;
         }
 
-        while !ctx.exhausted() && population.len() >= 2 {
-            // tournament selection of two parents
-            let select = |ctx: &mut TuningContext<'_>| {
-                let mut best: Option<(ConfigId, f64)> = None;
-                for _ in 0..self.tournament {
-                    let pick = population[ctx.rng().gen_range(0..population.len())];
-                    if best.map(|b| pick.1 < b.1).unwrap_or(true) {
-                        best = Some(pick);
+        while !ctx.exhausted() {
+            // propose a whole generation of offspring
+            let mut offspring: Vec<ConfigId> = Vec::with_capacity(pop_size);
+            for _ in 0..pop_size {
+                let parent_a = self.select(ctx, &population);
+                let parent_b = self.select(ctx, &population);
+
+                // crossover, falling back to a parent when the child is invalid
+                let mut child = self.crossover(ctx, parent_a, parent_b).unwrap_or(parent_a);
+
+                // mutation: jump to a random valid Hamming neighbor
+                if ctx.rng().gen_bool(self.mutation_rate) {
+                    let neighbor_list =
+                        neighbors(ctx.space(), child, NeighborMethod::Hamming, Some(&index));
+                    if !neighbor_list.is_empty() {
+                        child = neighbor_list[ctx.rng().gen_range(0..neighbor_list.len())];
                     }
                 }
-                best.expect("non-empty population").0
-            };
-            let parent_a = select(ctx);
-            let parent_b = select(ctx);
-
-            // crossover, falling back to a parent when the child is invalid
-            let mut child = self.crossover(ctx, parent_a, parent_b).unwrap_or(parent_a);
-
-            // mutation: jump to a random valid Hamming neighbor
-            if ctx.rng().gen_bool(self.mutation_rate) {
-                let neighbor_list =
-                    neighbors(ctx.space(), child, NeighborMethod::Hamming, Some(&index));
-                if !neighbor_list.is_empty() {
-                    child = neighbor_list[ctx.rng().gen_range(0..neighbor_list.len())];
-                }
+                offspring.push(child);
             }
 
-            let child_time = match ctx.evaluate(child) {
-                Some(t) => t,
-                None => return,
-            };
+            let outcomes = ctx.evaluate_batch(&offspring);
+            population.extend(
+                offspring
+                    .iter()
+                    .zip(&outcomes)
+                    .filter_map(|(&id, o)| o.runtime().map(|t| (id, t))),
+            );
 
-            // steady-state replacement: replace the worst individual if better
-            if let Some(worst) = population
-                .iter()
-                .enumerate()
-                .max_by(|a, b| a.1 .1.partial_cmp(&b.1 .1).expect("no NaN"))
-                .map(|(i, _)| i)
-            {
-                if child_time < population[worst].1 {
-                    population[worst] = (child, child_time);
-                }
+            // µ+λ survivor selection: best distinct individuals, ties broken
+            // by id so the outcome is deterministic
+            population.sort_by(|a, b| {
+                a.1.partial_cmp(&b.1)
+                    .expect("no NaN runtimes")
+                    .then_with(|| a.0.index().cmp(&b.0.index()))
+            });
+            population.dedup_by_key(|p| p.0);
+            population.truncate(pop_size);
+
+            if out_of_budget(&outcomes) {
+                return;
             }
         }
     }
@@ -177,5 +197,28 @@ mod tests {
         for e in &run.evaluations {
             assert!(space.view(e.config_index).is_some());
         }
+        // the GA proposes no out-of-space ids, only possibly-duplicate ones
+        assert_eq!(run.metrics.rejected, 0);
+    }
+
+    #[test]
+    fn ga_proposes_whole_generations() {
+        let spec = SearchSpaceSpec::new("s")
+            .with_param(TunableParameter::pow2("x", 7))
+            .with_param(TunableParameter::pow2("y", 6))
+            .with_expr("32 <= x * y <= 2048");
+        let (space, _) = build_search_space(&spec, Method::Optimized).unwrap();
+        let model = SyntheticKernel::for_space(&space, 31);
+        let ga = GeneticAlgorithm::default();
+        let run = tune(
+            &space,
+            &model,
+            &ga,
+            Duration::from_secs(30),
+            Duration::ZERO,
+            77,
+        );
+        assert_eq!(run.metrics.largest_batch, ga.population_size);
+        assert!(run.metrics.batches >= 2);
     }
 }

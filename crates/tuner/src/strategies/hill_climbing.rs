@@ -4,10 +4,14 @@ use rand::Rng;
 
 use at_searchspace::{neighbors, ConfigId, NeighborIndex, NeighborMethod};
 
+use crate::eval::out_of_budget;
 use crate::tuning::{Strategy, TuningContext};
 
-/// Greedy first-improvement hill climbing over Hamming-distance-1 neighbors,
-/// restarting from a random configuration at local optima.
+/// Greedy hill climbing over Hamming-distance-1 neighbors, restarting from a
+/// random configuration at local optima. Each step proposes the *entire*
+/// neighbor ring as one batch (so the engine can measure it in parallel) and
+/// moves to the best improving neighbor — steepest descent rather than the
+/// first-improvement walk the serial evaluator forced.
 #[derive(Debug, Clone, Copy)]
 pub struct HillClimbing {
     /// Neighbor definition used for the climb.
@@ -32,30 +36,36 @@ impl Strategy for HillClimbing {
         let n = ctx.space().len();
         while !ctx.exhausted() {
             // random restart
-            let mut current = ConfigId::from_index(ctx.rng().gen_range(0..n));
-            let mut current_time = match ctx.evaluate(current) {
-                Some(t) => t,
-                None => return,
+            let current = ConfigId::from_index(ctx.rng().gen_range(0..n));
+            let start = ctx.evaluate_one(current);
+            if start.is_out_of_budget() {
+                return;
+            }
+            let Some(mut current_time) = start.runtime() else {
+                continue;
             };
+            let mut current = current;
             loop {
-                let mut improved = false;
-                let neighbor_list =
-                    neighbors(ctx.space(), current, self.neighbor_method, Some(&index));
-                for candidate in neighbor_list {
-                    match ctx.evaluate(candidate) {
-                        Some(t) => {
-                            if t < current_time {
-                                current = candidate;
-                                current_time = t;
-                                improved = true;
-                                break; // first improvement
-                            }
+                let ring = neighbors(ctx.space(), current, self.neighbor_method, Some(&index));
+                let outcomes = ctx.evaluate_batch(&ring);
+                // steepest descent: best improving neighbor, if any
+                let mut best: Option<(ConfigId, f64)> = None;
+                for (&candidate, outcome) in ring.iter().zip(&outcomes) {
+                    if let Some(t) = outcome.runtime() {
+                        if t < current_time && best.map(|(_, bt)| t < bt).unwrap_or(true) {
+                            best = Some((candidate, t));
                         }
-                        None => return,
                     }
                 }
-                if !improved {
-                    break; // local optimum: restart
+                if out_of_budget(&outcomes) {
+                    return;
+                }
+                match best {
+                    Some((next, t)) => {
+                        current = next;
+                        current_time = t;
+                    }
+                    None => break, // local optimum: restart
                 }
             }
         }

@@ -5,12 +5,14 @@
 //! restarts the descent from there, accepting the new local optimum only if
 //! it improves on the incumbent. Kernel Tuner ships this as `greedy_ils`; it
 //! tends to outperform plain restarts on the plateau-rich landscapes of GPU
-//! tuning spaces.
+//! tuning spaces. The descent proposes each neighbor ring as one batch, so
+//! the engine can measure the ring in parallel.
 
 use rand::Rng;
 
 use at_searchspace::{neighbors, ConfigId, NeighborIndex, NeighborMethod};
 
+use crate::eval::out_of_budget;
 use crate::tuning::{Strategy, TuningContext};
 
 /// Iterated local search over Hamming-distance-1 neighborhoods.
@@ -36,8 +38,9 @@ impl Default for IteratedLocalSearch {
 }
 
 impl IteratedLocalSearch {
-    /// Greedy best-improvement descent from `start`. Returns the local
-    /// optimum and its runtime, or `None` when the budget ran out.
+    /// Greedy best-improvement descent from `start`, batching each neighbor
+    /// ring. Returns the local optimum and its runtime, or `None` when the
+    /// budget ran out.
     fn descend(
         &self,
         ctx: &mut TuningContext<'_>,
@@ -48,12 +51,18 @@ impl IteratedLocalSearch {
         let mut current = start;
         let mut current_time = start_time;
         loop {
+            let ring = neighbors(ctx.space(), current, self.neighbor_method, Some(index));
+            let outcomes = ctx.evaluate_batch(&ring);
             let mut best_neighbor: Option<(ConfigId, f64)> = None;
-            for candidate in neighbors(ctx.space(), current, self.neighbor_method, Some(index)) {
-                let t = ctx.evaluate(candidate)?;
-                if t < current_time && best_neighbor.map(|(_, bt)| t < bt).unwrap_or(true) {
-                    best_neighbor = Some((candidate, t));
+            for (&candidate, outcome) in ring.iter().zip(&outcomes) {
+                if let Some(t) = outcome.runtime() {
+                    if t < current_time && best_neighbor.map(|(_, bt)| t < bt).unwrap_or(true) {
+                        best_neighbor = Some((candidate, t));
+                    }
                 }
+            }
+            if out_of_budget(&outcomes) {
+                return None;
             }
             match best_neighbor {
                 Some((next, t)) => {
@@ -94,7 +103,7 @@ impl Strategy for IteratedLocalSearch {
         let n = ctx.space().len();
 
         let start = ConfigId::from_index(ctx.rng().gen_range(0..n));
-        let start_time = match ctx.evaluate(start) {
+        let start_time = match ctx.evaluate_one(start).runtime() {
             Some(t) => t,
             None => return,
         };
@@ -105,7 +114,7 @@ impl Strategy for IteratedLocalSearch {
 
         while !ctx.exhausted() {
             let restart = self.perturb(ctx, &index, incumbent.0);
-            let restart_time = match ctx.evaluate(restart) {
+            let restart_time = match ctx.evaluate_one(restart).runtime() {
                 Some(t) => t,
                 None => return,
             };

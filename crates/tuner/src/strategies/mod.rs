@@ -4,6 +4,12 @@
 //! the comparison towards any particular optimizer; the other strategies
 //! exercise the `SearchSpace` neighbor and sampling machinery the same way
 //! Kernel Tuner's optimizers do.
+//!
+//! All strategies drive the batched evaluation engine: population methods
+//! (GA, DE, PSO) submit whole generations/swarms per call, the local
+//! searches (hill climbing, ILS) submit neighbor rings, random sampling
+//! submits fixed-size chunks of its shuffled order, and simulated annealing
+//! — inherently sequential — submits batches of one.
 
 mod differential_evolution;
 mod genetic;
@@ -109,6 +115,38 @@ mod tests {
                 "{name}: found {best:.3} vs optimum {best_possible:.3}"
             );
             assert!(run.num_evaluations() >= 10, "{name} evaluated too little");
+        }
+    }
+
+    #[test]
+    fn every_strategy_is_identical_across_thread_counts() {
+        use crate::eval::EvalOptions;
+        use crate::tuning::tune_with_options;
+        let space = test_space();
+        let model = SyntheticKernel::for_space(&space, 7);
+        for name in all_strategy_names() {
+            let strategy = strategy_by_name(name).unwrap();
+            let budget = Duration::from_secs(5);
+            let serial = tune_with_options(
+                &space,
+                &model,
+                strategy.as_ref(),
+                budget,
+                Duration::ZERO,
+                99,
+                EvalOptions::with_threads(1),
+            );
+            let parallel = tune_with_options(
+                &space,
+                &model,
+                strategy.as_ref(),
+                budget,
+                Duration::ZERO,
+                99,
+                EvalOptions::with_threads(8),
+            );
+            assert_eq!(serial.evaluations, parallel.evaluations, "{name}");
+            assert_eq!(serial.total_ms, parallel.total_ms, "{name}");
         }
     }
 

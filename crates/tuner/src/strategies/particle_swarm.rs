@@ -2,23 +2,32 @@
 //!
 //! Kernel Tuner ships a PSO strategy that treats each configuration as a
 //! point in the per-parameter *value code* space: particle positions are
-//! continuous vectors, and every evaluation snaps the position to the nearest
-//! valid configuration of the resolved search space. The snap step is where
-//! the `SearchSpace` abstraction matters — without the resolved space, a
+//! continuous vectors, and every evaluation snaps the position to a valid
+//! configuration of the resolved search space. The snap step is where the
+//! `SearchSpace` abstraction matters — without the resolved space, a
 //! particle landing on an invalid combination would waste a kernel
-//! compilation just to discover the constraint violation. Snapping scans the
-//! encoded arena directly.
+//! compilation just to discover the constraint violation. Snapping first
+//! tries the exact rounded position through the encoded-row hash index and
+//! only falls back to a bounded random sample of valid configurations, so
+//! snap cost is independent of space size.
+//!
+//! The swarm moves *synchronously*: every particle updates its velocity
+//! against the previous generation's global best, the whole swarm is
+//! evaluated as one batch, and personal/global bests are updated afterwards
+//! — the classic synchronous PSO formulation, and exactly what the batch
+//! engine wants.
 
 use rand::Rng;
 
 use at_searchspace::ConfigId;
 
+use crate::eval::out_of_budget;
 use crate::tuning::{Strategy, TuningContext};
 
 /// Particle swarm optimization with inertia and cognitive/social attraction.
 #[derive(Debug, Clone, Copy)]
 pub struct ParticleSwarm {
-    /// Number of particles.
+    /// Number of particles (and batch size per iteration).
     pub swarm_size: usize,
     /// Velocity inertia weight.
     pub inertia: f64,
@@ -26,6 +35,9 @@ pub struct ParticleSwarm {
     pub cognitive: f64,
     /// Attraction towards the swarm's best position.
     pub social: f64,
+    /// How many random valid configurations to consider when the rounded
+    /// position is not itself a valid configuration.
+    pub snap_candidates: usize,
 }
 
 impl Default for ParticleSwarm {
@@ -35,6 +47,7 @@ impl Default for ParticleSwarm {
             inertia: 0.7,
             cognitive: 1.5,
             social: 1.5,
+            snap_candidates: 64,
         }
     }
 }
@@ -47,25 +60,40 @@ struct Particle {
 }
 
 impl ParticleSwarm {
-    /// Snap a continuous position in value-code space to the nearest valid
-    /// configuration (Euclidean distance over value codes), returning its id.
-    fn snap(ctx: &TuningContext<'_>, position: &[f64]) -> ConfigId {
+    /// Snap a continuous position in value-code space to a valid
+    /// configuration id: exact hit through the encoded-row hash index when
+    /// the rounded position is valid, otherwise the nearest (normalized code
+    /// distance) of a bounded random sample of valid configurations.
+    fn snap(&self, ctx: &mut TuningContext<'_>, position: &[f64]) -> ConfigId {
         let space = ctx.space();
+        let exact: Vec<u32> = position
+            .iter()
+            .zip(space.params().iter())
+            .map(|(&p, param)| (p.round() as i64).clamp(0, param.len() as i64 - 1) as u32)
+            .collect();
+        if let Some(id) = space.index_of_codes(&exact) {
+            return id;
+        }
+        let n = space.len();
         let mut best = ConfigId::from_index(0);
         let mut best_dist = f64::INFINITY;
-        for id in space.ids() {
-            let codes = space.codes_of(id).expect("id in range");
+        for _ in 0..self.snap_candidates.max(1) {
+            let candidate = ConfigId::from_index(ctx.rng().gen_range(0..n));
+            let space = ctx.space();
+            let codes = space.codes_of(candidate).expect("valid id");
             let dist: f64 = codes
                 .iter()
                 .zip(position.iter())
-                .map(|(&code, &p)| {
-                    let d = code as f64 - p;
+                .zip(space.params().iter())
+                .map(|((&c, &p), param)| {
+                    let scale = param.len().max(1) as f64;
+                    let d = (c as f64 - p) / scale;
                     d * d
                 })
                 .sum();
             if dist < best_dist {
                 best_dist = dist;
-                best = id;
+                best = candidate;
             }
         }
         best
@@ -89,28 +117,33 @@ impl Strategy for ParticleSwarm {
         let dims = ctx.space().params().len();
         let swarm_size = self.swarm_size.clamp(2, ctx.space().len().max(2));
 
-        // initialize the swarm
+        // initialize the swarm: one batch over all starting positions
         let mut swarm: Vec<Particle> = Vec::with_capacity(swarm_size);
-        let mut global_best_position: Option<Vec<f64>> = None;
-        let mut global_best_time = f64::INFINITY;
+        let mut configs: Vec<ConfigId> = Vec::with_capacity(swarm_size);
         for _ in 0..swarm_size {
             let position = Self::random_position(ctx);
-            let velocity = vec![0.0; dims];
-            let config = Self::snap(ctx, &position);
-            let time = match ctx.evaluate(config) {
-                Some(t) => t,
-                None => return,
-            };
-            if time < global_best_time {
-                global_best_time = time;
-                global_best_position = Some(position.clone());
-            }
+            configs.push(self.snap(ctx, &position));
             swarm.push(Particle {
                 best_position: position.clone(),
-                best_time: time,
+                best_time: f64::INFINITY,
                 position,
-                velocity,
+                velocity: vec![0.0; dims],
             });
+        }
+        let outcomes = ctx.evaluate_batch(&configs);
+        let mut global_best_position: Option<Vec<f64>> = None;
+        let mut global_best_time = f64::INFINITY;
+        for (p, outcome) in swarm.iter_mut().zip(&outcomes) {
+            if let Some(time) = outcome.runtime() {
+                p.best_time = time;
+                if time < global_best_time {
+                    global_best_time = time;
+                    global_best_position = Some(p.position.clone());
+                }
+            }
+        }
+        if out_of_budget(&outcomes) || global_best_position.is_none() {
+            return;
         }
 
         let sizes: Vec<f64> = ctx
@@ -121,11 +154,14 @@ impl Strategy for ParticleSwarm {
             .collect();
 
         while !ctx.exhausted() {
+            // move every particle against the previous generation's global
+            // best, collecting the whole swarm as one batch
+            let global = global_best_position
+                .as_ref()
+                .expect("set during initialization")
+                .clone();
+            configs.clear();
             for p in &mut swarm {
-                let global = global_best_position
-                    .as_ref()
-                    .expect("set during initialization")
-                    .clone();
                 for d in 0..dims {
                     let r1: f64 = ctx.rng().gen();
                     let r2: f64 = ctx.rng().gen();
@@ -137,19 +173,26 @@ impl Strategy for ParticleSwarm {
                     p.velocity[d] = p.velocity[d].clamp(-limit, limit);
                     p.position[d] = (p.position[d] + p.velocity[d]).clamp(0.0, limit - 1.0);
                 }
-                let config = Self::snap(ctx, &p.position);
-                let time = match ctx.evaluate(config) {
-                    Some(t) => t,
-                    None => return,
-                };
-                if time < p.best_time {
-                    p.best_time = time;
-                    p.best_position = p.position.clone();
+            }
+            for p in &swarm {
+                configs.push(self.snap(ctx, &p.position));
+            }
+
+            let outcomes = ctx.evaluate_batch(&configs);
+            for (p, outcome) in swarm.iter_mut().zip(&outcomes) {
+                if let Some(time) = outcome.runtime() {
+                    if time < p.best_time {
+                        p.best_time = time;
+                        p.best_position = p.position.clone();
+                    }
+                    if time < global_best_time {
+                        global_best_time = time;
+                        global_best_position = Some(p.position.clone());
+                    }
                 }
-                if time < global_best_time {
-                    global_best_time = time;
-                    global_best_position = Some(p.position.clone());
-                }
+            }
+            if out_of_budget(&outcomes) {
+                return;
             }
         }
     }
@@ -188,6 +231,8 @@ mod tests {
         for e in &run.evaluations {
             assert!(s.view(e.config_index).is_some());
         }
+        // snapping keeps every proposal inside the space
+        assert_eq!(run.metrics.rejected, 0);
     }
 
     #[test]
@@ -209,10 +254,18 @@ mod tests {
     fn snap_returns_a_valid_index() {
         let s = space();
         let k = SyntheticKernel::for_space(&s, 1);
-        let mut ctx =
-            crate::tuning::TuningContext::new(&s, &k, Duration::from_secs(1), Duration::ZERO, 1);
+        let backend = crate::eval::ModelBackend::new(&k);
+        let mut ctx = crate::tuning::TuningContext::new(
+            &s,
+            &backend,
+            Duration::from_secs(1),
+            Duration::ZERO,
+            1,
+            crate::eval::EvalOptions::default(),
+        );
+        let pso = ParticleSwarm::default();
         let pos = ParticleSwarm::random_position(&mut ctx);
-        let id = ParticleSwarm::snap(&ctx, &pos);
+        let id = pso.snap(&mut ctx, &pos);
         assert!(id.index() < s.len());
     }
 }

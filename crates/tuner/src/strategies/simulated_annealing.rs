@@ -7,7 +7,10 @@ use at_searchspace::{neighbors, ConfigId, NeighborIndex, NeighborMethod};
 use crate::tuning::{Strategy, TuningContext};
 
 /// Simulated annealing: random neighbor moves accepted with a
-/// temperature-dependent Metropolis criterion.
+/// temperature-dependent Metropolis criterion. The Markov chain makes each
+/// proposal depend on the previous acceptance, so SA is inherently
+/// sequential: it drives the batch engine with batches of one
+/// ([`TuningContext::evaluate_one`]).
 #[derive(Debug, Clone, Copy)]
 pub struct SimulatedAnnealing {
     /// Initial temperature relative to the first measured runtime.
@@ -37,7 +40,7 @@ impl Strategy for SimulatedAnnealing {
         let index = NeighborIndex::build(ctx.space());
         let n = ctx.space().len();
         let mut current = ConfigId::from_index(ctx.rng().gen_range(0..n));
-        let mut current_time = match ctx.evaluate(current) {
+        let mut current_time = match ctx.evaluate_one(current).runtime() {
             Some(t) => t,
             None => return,
         };
@@ -47,14 +50,14 @@ impl Strategy for SimulatedAnnealing {
             if neighbor_list.is_empty() {
                 // isolated configuration: restart somewhere else
                 current = ConfigId::from_index(ctx.rng().gen_range(0..n));
-                current_time = match ctx.evaluate(current) {
+                current_time = match ctx.evaluate_one(current).runtime() {
                     Some(t) => t,
                     None => return,
                 };
                 continue;
             }
             let pick = neighbor_list[ctx.rng().gen_range(0..neighbor_list.len())];
-            let candidate_time = match ctx.evaluate(pick) {
+            let candidate_time = match ctx.evaluate_one(pick).runtime() {
                 Some(t) => t,
                 None => return,
             };
@@ -98,5 +101,7 @@ mod tests {
         );
         assert!(run.best_runtime_ms().unwrap() <= run.evaluations[0].runtime_ms);
         assert!(run.num_evaluations() > 5);
+        // SA drives the engine strictly with batches of one
+        assert_eq!(run.metrics.largest_batch, 1);
     }
 }

@@ -1,11 +1,26 @@
-//! The budgeted tuning loop and its virtual clock.
+//! The budgeted tuning loop: virtual clock + batched evaluation engine.
 //!
-//! The tuner evaluates configurations through a [`PerformanceModel`],
-//! charging every measurement (and the initial search space construction) to
-//! a *virtual clock*. This reproduces the setup of Figures 6 and 7: a fixed
+//! The tuner evaluates configurations through an [`EvalBackend`], charging
+//! every measurement (and the initial search space construction) to a
+//! *virtual clock*. This reproduces the setup of Figures 6 and 7: a fixed
 //! time budget is shared between search space construction and kernel
 //! evaluations, so a slow construction method eats into the time available
 //! for actual tuning.
+//!
+//! Strategies submit whole batches of proposals ([`TuningContext::
+//! evaluate_batch`]). The engine runs each batch in three phases:
+//!
+//! 1. **Resolve** (serial): classify each slot as a cache hit, an
+//!    out-of-space rejection, the first occurrence of a distinct uncached
+//!    configuration, or an in-batch duplicate of one.
+//! 2. **Fan-out** (parallel): measure the distinct uncached configurations
+//!    on scoped worker threads via the backend, inserting results into the
+//!    sharded eval cache as they land; results are joined in chunk order.
+//! 3. **Merge** (serial, proposal order): charge the virtual clock slot by
+//!    slot exactly as the old one-at-a-time path did — full measurement
+//!    cost for fresh measurements, [`CACHE_HIT_COST_MS`] for hits and
+//!    in-batch duplicates, nothing for rejections — so a batched run is
+//!    cost-trajectory-identical to a serial run regardless of thread count.
 
 use std::time::Duration;
 
@@ -13,9 +28,11 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use rustc_hash::FxHashMap;
 
-use at_csp::Value;
 use at_searchspace::{ConfigId, SearchSpace};
 
+use crate::eval::{
+    EvalBackend, EvalMetrics, EvalOptions, EvalOutcome, Measurement, ModelBackend, ShardedEvalCache,
+};
 use crate::kernel::PerformanceModel;
 
 /// One evaluated configuration.
@@ -43,6 +60,9 @@ pub struct TuningRun {
     pub total_ms: f64,
     /// The time budget (milliseconds).
     pub budget_ms: f64,
+    /// What the evaluation pipeline did: batch sizes, cache hit/dedup
+    /// ratios, rejected proposals, fan-out utilization.
+    pub metrics: EvalMetrics,
 }
 
 impl TuningRun {
@@ -63,10 +83,16 @@ impl TuningRun {
 
     /// The best runtime found, if any configuration was evaluated.
     pub fn best_runtime_ms(&self) -> Option<f64> {
-        self.evaluations
-            .iter()
-            .map(|e| e.runtime_ms)
-            .min_by(|a, b| a.partial_cmp(b).expect("no NaN runtimes"))
+        self.best_evaluation().map(|e| e.runtime_ms)
+    }
+
+    /// The best evaluation (lowest runtime; first reached on ties).
+    pub fn best_evaluation(&self) -> Option<&Evaluation> {
+        self.evaluations.iter().min_by(|a, b| {
+            a.runtime_ms
+                .partial_cmp(&b.runtime_ms)
+                .expect("no NaN runtimes")
+        })
     }
 
     /// The best runtime found no later than `time_ms` on the virtual clock.
@@ -90,43 +116,65 @@ impl TuningRun {
 /// only revisits configurations it has already measured.
 pub const CACHE_HIT_COST_MS: f64 = 0.5;
 
-/// The mutable state a strategy drives: evaluation, caching, budget and RNG.
+/// How a batch slot resolves before the fan-out: the serial phase-1
+/// classification that phase 3 replays in proposal order.
+enum Slot {
+    /// Served by the eval cache (a previous batch measured it).
+    Hit(Measurement),
+    /// The id names no configuration of the space.
+    Reject,
+    /// First occurrence of a distinct uncached configuration; the payload
+    /// indexes into the fan-out's `unique` list.
+    Unique(usize),
+    /// In-batch duplicate of `unique[payload]`.
+    Dup(usize),
+}
+
+/// The mutable state a strategy drives: batched evaluation, caching,
+/// budget and RNG.
 pub struct TuningContext<'a> {
     space: &'a SearchSpace,
-    model: &'a dyn PerformanceModel,
+    backend: &'a dyn EvalBackend,
+    threads: usize,
     rng: ChaCha8Rng,
-    cache: FxHashMap<ConfigId, f64>,
+    cache: ShardedEvalCache,
     clock_ms: f64,
     budget_ms: f64,
     evaluations: Vec<Evaluation>,
-    /// Reusable decode buffer so evaluations do not allocate per call.
-    scratch: Vec<Value>,
+    metrics: EvalMetrics,
 }
 
 impl<'a> TuningContext<'a> {
     /// Create a context. `construction` is charged to the clock up front.
     pub fn new(
         space: &'a SearchSpace,
-        model: &'a dyn PerformanceModel,
+        backend: &'a dyn EvalBackend,
         budget: Duration,
         construction: Duration,
         seed: u64,
+        options: EvalOptions,
     ) -> Self {
+        let threads = options.threads.max(1);
         TuningContext {
             space,
-            model,
+            backend,
+            threads,
             rng: ChaCha8Rng::seed_from_u64(seed),
-            cache: FxHashMap::default(),
+            cache: ShardedEvalCache::new(),
             clock_ms: construction.as_secs_f64() * 1000.0,
             budget_ms: budget.as_secs_f64() * 1000.0,
             evaluations: Vec::new(),
-            scratch: Vec::new(),
+            metrics: EvalMetrics {
+                threads,
+                ..EvalMetrics::default()
+            },
         }
     }
 
     /// The search space being tuned. The returned reference lives for the
     /// whole tuning run (`'a`), not just this borrow of the context, so
-    /// strategies can hold arena slices across `rng()`/`evaluate()` calls.
+    /// strategies can hold arena slices across `rng()`/`evaluate_batch()`
+    /// calls.
     pub fn space(&self) -> &'a SearchSpace {
         self.space
     }
@@ -146,48 +194,167 @@ impl<'a> TuningContext<'a> {
     /// (strategies must terminate once the space is fully explored, since
     /// cache hits do not advance the virtual clock).
     pub fn exhausted(&self) -> bool {
-        self.clock_ms >= self.budget_ms || self.cache.len() >= self.space.len()
+        self.clock_ms >= self.budget_ms || self.evaluations.len() >= self.space.len()
     }
 
-    /// Evaluate the configuration with the given id.
+    /// Evaluate a batch of proposed configurations.
     ///
-    /// Returns `None` when the budget is exhausted (strategies should stop).
-    /// Previously evaluated configurations are served from the cache, like
-    /// Kernel Tuner's `cache` feature; a cache hit still charges
-    /// [`CACHE_HIT_COST_MS`] of framework overhead to the clock so that a
-    /// strategy revisiting cached configurations cannot spin forever on a
-    /// large budget. Cache hits never decode the configuration; misses
-    /// decode into a reused buffer.
-    pub fn evaluate(&mut self, id: ConfigId) -> Option<f64> {
-        if self.exhausted() {
-            return None;
+    /// Returns one [`EvalOutcome`] per proposal, in proposal order. The
+    /// distinct uncached configurations in the batch are measured in
+    /// parallel (up to the configured fan-out width), but all budget
+    /// accounting happens serially in proposal order, so the run is
+    /// identical for any thread count. Once an outcome in the batch is
+    /// [`EvalOutcome::OutOfBudget`], every later slot is too — strategies
+    /// should stop proposing (see [`crate::eval::out_of_budget`]).
+    ///
+    /// Cache hits and in-batch duplicates are served like Kernel Tuner's
+    /// `cache` feature: the stored runtime comes back bitwise-identical and
+    /// only [`CACHE_HIT_COST_MS`] of framework overhead is charged.
+    /// Proposals whose id names no configuration of the space come back
+    /// [`EvalOutcome::Rejected`] — nothing is charged, and the rejection is
+    /// counted in the run's [`EvalMetrics`].
+    pub fn evaluate_batch(&mut self, ids: &[ConfigId]) -> Vec<EvalOutcome> {
+        self.metrics.batches += 1;
+        self.metrics.proposed += ids.len() as u64;
+        self.metrics.largest_batch = self.metrics.largest_batch.max(ids.len());
+
+        // Phase 1 — resolve: classify every slot, collecting the distinct
+        // uncached configurations that need fresh measurements.
+        let mut slots: Vec<Slot> = Vec::with_capacity(ids.len());
+        let mut unique: Vec<ConfigId> = Vec::new();
+        let mut first_seen: FxHashMap<ConfigId, usize> = FxHashMap::default();
+        for &id in ids {
+            let slot = if let Some(m) = self.cache.get(id) {
+                Slot::Hit(m)
+            } else if let Some(&u) = first_seen.get(&id) {
+                Slot::Dup(u)
+            } else if self.space.view(id).is_none() {
+                Slot::Reject
+            } else {
+                let u = unique.len();
+                unique.push(id);
+                first_seen.insert(id, u);
+                Slot::Unique(u)
+            };
+            slots.push(slot);
         }
-        if let Some(&cached) = self.cache.get(&id) {
-            self.clock_ms = (self.clock_ms + CACHE_HIT_COST_MS).min(self.budget_ms);
-            return Some(cached);
+
+        // Phase 2 — fan-out: measure the distinct misses in parallel.
+        let measured = self.measure_unique(&unique);
+
+        // Phase 3 — merge: replay the slots in proposal order against the
+        // virtual clock. `committed[u]` tracks whether unique configuration
+        // `u` fit the budget, so in-batch duplicates behave exactly like
+        // cache hits of a measurement that really happened.
+        let mut committed = vec![false; unique.len()];
+        let mut outcomes = Vec::with_capacity(ids.len());
+        for (slot, &id) in slots.iter().zip(ids) {
+            if self.exhausted() {
+                self.metrics.out_of_budget += 1;
+                outcomes.push(EvalOutcome::OutOfBudget);
+                continue;
+            }
+            let outcome = match *slot {
+                Slot::Hit(m) => {
+                    self.charge_hit();
+                    self.metrics.cache_hits += 1;
+                    EvalOutcome::Cached(m.runtime_ms)
+                }
+                Slot::Reject => {
+                    self.metrics.rejected += 1;
+                    EvalOutcome::Rejected
+                }
+                Slot::Unique(u) => match measured[u] {
+                    Some(m) if self.clock_ms + m.cost_ms <= self.budget_ms => {
+                        self.clock_ms += m.cost_ms;
+                        self.evaluations.push(Evaluation {
+                            config_index: id,
+                            runtime_ms: m.runtime_ms,
+                            finished_at_ms: self.clock_ms,
+                        });
+                        committed[u] = true;
+                        self.metrics.measured += 1;
+                        EvalOutcome::Measured(m.runtime_ms)
+                    }
+                    Some(_) => {
+                        // The measurement would not finish within the budget.
+                        self.clock_ms = self.budget_ms;
+                        self.metrics.out_of_budget += 1;
+                        EvalOutcome::OutOfBudget
+                    }
+                    // The backend refused an id the space resolved — treat
+                    // it like an out-of-space proposal.
+                    None => {
+                        self.metrics.rejected += 1;
+                        EvalOutcome::Rejected
+                    }
+                },
+                Slot::Dup(u) => {
+                    if committed[u] {
+                        self.charge_hit();
+                        self.metrics.deduped += 1;
+                        EvalOutcome::Cached(
+                            measured[u].expect("committed implies measured").runtime_ms,
+                        )
+                    } else {
+                        // The first occurrence overflowed the budget, so the
+                        // clock is already pinned at the budget.
+                        self.metrics.out_of_budget += 1;
+                        EvalOutcome::OutOfBudget
+                    }
+                }
+            };
+            outcomes.push(outcome);
         }
-        // Copy the `&'a SearchSpace` out so the view does not borrow `self`.
+        outcomes
+    }
+
+    /// Evaluate a single configuration (a batch of 1).
+    pub fn evaluate_one(&mut self, id: ConfigId) -> EvalOutcome {
+        self.evaluate_batch(std::slice::from_ref(&id))[0]
+    }
+
+    fn charge_hit(&mut self) {
+        self.clock_ms = (self.clock_ms + CACHE_HIT_COST_MS).min(self.budget_ms);
+    }
+
+    /// Measure the distinct uncached configurations of a batch, fanning out
+    /// over scoped worker threads when more than one thread is configured.
+    /// Results come back in input order regardless of scheduling; each
+    /// worker also publishes its measurements to the sharded cache.
+    fn measure_unique(&mut self, unique: &[ConfigId]) -> Vec<Option<Measurement>> {
+        let workers = self.threads.min(unique.len());
         let space = self.space;
-        let view = space.view(id)?;
-        let mut config = std::mem::take(&mut self.scratch);
-        view.decode_into(&mut config);
-        let cost = self.model.measurement_cost_ms(&config);
-        if self.clock_ms + cost > self.budget_ms {
-            // The measurement would not finish within the budget.
-            self.scratch = config;
-            self.clock_ms = self.budget_ms;
-            return None;
+        let backend = self.backend;
+        let cache = &self.cache;
+        let measure_chunk = |chunk: &[ConfigId]| {
+            let results = backend.evaluate_batch(space, chunk);
+            debug_assert_eq!(results.len(), chunk.len());
+            for (&id, m) in chunk.iter().zip(&results) {
+                if let Some(m) = *m {
+                    cache.insert(id, m);
+                }
+            }
+            results
+        };
+        if workers <= 1 {
+            return measure_chunk(unique);
         }
-        let runtime = self.model.runtime_ms(&config);
-        self.scratch = config;
-        self.clock_ms += cost;
-        self.cache.insert(id, runtime);
-        self.evaluations.push(Evaluation {
-            config_index: id,
-            runtime_ms: runtime,
-            finished_at_ms: self.clock_ms,
-        });
-        Some(runtime)
+        self.metrics.fanout_batches += 1;
+        self.metrics.fanout_thread_slots += workers as u64;
+        let chunk_len = unique.len().div_ceil(workers);
+        std::thread::scope(|s| {
+            let mc = &measure_chunk;
+            let handles: Vec<_> = unique
+                .chunks(chunk_len)
+                .map(|chunk| s.spawn(move || mc(chunk)))
+                .collect();
+            let mut out = Vec::with_capacity(unique.len());
+            for h in handles {
+                out.extend(h.join().expect("eval worker panicked"));
+            }
+            out
+        })
     }
 
     /// Finish the run and produce the result record.
@@ -198,6 +365,7 @@ impl<'a> TuningContext<'a> {
             construction_ms: construction.as_secs_f64() * 1000.0,
             total_ms: self.clock_ms,
             budget_ms: self.budget_ms,
+            metrics: self.metrics,
         }
     }
 }
@@ -213,6 +381,9 @@ pub trait Strategy {
 
 /// Tune `space` with `strategy` under a virtual-time `budget`, charging
 /// `construction` (the measured search space construction time) up front.
+/// Evaluates through the in-process performance model, serially — see
+/// [`tune_with_options`] for parallel fan-out and [`tune_with_backend`]
+/// for custom backends.
 pub fn tune(
     space: &SearchSpace,
     model: &dyn PerformanceModel,
@@ -221,7 +392,54 @@ pub fn tune(
     construction: Duration,
     seed: u64,
 ) -> TuningRun {
-    let mut ctx = TuningContext::new(space, model, budget, construction, seed);
+    tune_with_options(
+        space,
+        model,
+        strategy,
+        budget,
+        construction,
+        seed,
+        EvalOptions::default(),
+    )
+}
+
+/// [`tune`], with explicit evaluation options (fan-out width). The run is
+/// identical for any thread count; only wall-clock time differs.
+#[allow(clippy::too_many_arguments)]
+pub fn tune_with_options(
+    space: &SearchSpace,
+    model: &dyn PerformanceModel,
+    strategy: &dyn Strategy,
+    budget: Duration,
+    construction: Duration,
+    seed: u64,
+    options: EvalOptions,
+) -> TuningRun {
+    let backend = ModelBackend::new(model);
+    tune_with_backend(
+        space,
+        &backend,
+        strategy,
+        budget,
+        construction,
+        seed,
+        options,
+    )
+}
+
+/// Tune against an arbitrary [`EvalBackend`] — the entry point a
+/// measure-on-real-hardware backend plugs into.
+#[allow(clippy::too_many_arguments)]
+pub fn tune_with_backend(
+    space: &SearchSpace,
+    backend: &dyn EvalBackend,
+    strategy: &dyn Strategy,
+    budget: Duration,
+    construction: Duration,
+    seed: u64,
+    options: EvalOptions,
+) -> TuningRun {
+    let mut ctx = TuningContext::new(space, backend, budget, construction, seed, options);
     if !space.is_empty() {
         strategy.run(&mut ctx);
     }
@@ -338,7 +556,7 @@ mod tests {
     #[test]
     fn strategies_terminate_once_the_space_is_fully_explored() {
         // A huge budget on a small space must not loop forever: once every
-        // configuration is cached, the context reports exhaustion.
+        // configuration is measured, the context reports exhaustion.
         let s = space();
         let k = SyntheticKernel::for_space(&s, 2);
         let run = tune(
@@ -373,5 +591,142 @@ mod tests {
             9,
         );
         assert_eq!(a.evaluations, b.evaluations);
+    }
+
+    #[test]
+    fn batch_with_duplicates_measures_once_and_serves_the_rest() {
+        let s = space();
+        let k = SyntheticKernel::for_space(&s, 4);
+        let backend = ModelBackend::new(&k);
+        let mut ctx = TuningContext::new(
+            &s,
+            &backend,
+            Duration::from_secs(60),
+            Duration::ZERO,
+            0,
+            EvalOptions::default(),
+        );
+        let a = ConfigId::from_index(0);
+        let b = ConfigId::from_index(1);
+        let out = ctx.evaluate_batch(&[a, a, b]);
+        let ra = out[0].runtime().unwrap();
+        assert!(matches!(out[0], EvalOutcome::Measured(_)));
+        // The duplicate is bitwise-identical and only charged the hit cost.
+        assert_eq!(out[1], EvalOutcome::Cached(ra));
+        assert!(matches!(out[2], EvalOutcome::Measured(_)));
+        let run = ctx.finish("test", Duration::ZERO);
+        assert_eq!(run.num_evaluations(), 2);
+        assert_eq!(run.metrics.measured, 2);
+        assert_eq!(run.metrics.deduped, 1);
+        let cfg_a = s.view(a).unwrap().to_vec();
+        let cfg_b = s.view(b).unwrap().to_vec();
+        let expected =
+            k.measurement_cost_ms(&cfg_a) + CACHE_HIT_COST_MS + k.measurement_cost_ms(&cfg_b);
+        assert_eq!(run.total_ms, expected);
+    }
+
+    #[test]
+    fn cache_hit_returns_identical_runtime_and_charges_only_overhead() {
+        let s = space();
+        let k = SyntheticKernel::for_space(&s, 4);
+        let backend = ModelBackend::new(&k);
+        let mut ctx = TuningContext::new(
+            &s,
+            &backend,
+            Duration::from_secs(60),
+            Duration::ZERO,
+            0,
+            EvalOptions::default(),
+        );
+        let a = ConfigId::from_index(5);
+        let first = ctx.evaluate_one(a);
+        let clock_after_first = ctx.clock_ms;
+        let second = ctx.evaluate_one(a);
+        assert_eq!(second, EvalOutcome::Cached(first.runtime().unwrap()));
+        assert_eq!(ctx.clock_ms, clock_after_first + CACHE_HIT_COST_MS);
+        let run = ctx.finish("test", Duration::ZERO);
+        assert_eq!(run.num_evaluations(), 1);
+        assert_eq!(run.metrics.cache_hits, 1);
+    }
+
+    #[test]
+    fn out_of_space_proposals_are_rejected_and_counted() {
+        let s = space();
+        let k = SyntheticKernel::for_space(&s, 4);
+        let backend = ModelBackend::new(&k);
+        let mut ctx = TuningContext::new(
+            &s,
+            &backend,
+            Duration::from_secs(60),
+            Duration::ZERO,
+            0,
+            EvalOptions::default(),
+        );
+        let bogus = ConfigId::from_index(s.len());
+        let good = ConfigId::from_index(0);
+        let out = ctx.evaluate_batch(&[bogus, good]);
+        assert_eq!(out[0], EvalOutcome::Rejected);
+        assert!(matches!(out[1], EvalOutcome::Measured(_)));
+        // A rejection charges nothing.
+        let cfg = s.view(good).unwrap().to_vec();
+        assert_eq!(ctx.clock_ms, k.measurement_cost_ms(&cfg));
+        let run = ctx.finish("test", Duration::ZERO);
+        assert_eq!(run.metrics.rejected, 1);
+    }
+
+    #[test]
+    fn threads_do_not_change_the_run() {
+        let s = space();
+        let k = SyntheticKernel::for_space(&s, 5);
+        let budget = Duration::from_millis(4000);
+        let serial = tune_with_options(
+            &s,
+            &k,
+            &RandomSampling,
+            budget,
+            Duration::ZERO,
+            11,
+            EvalOptions::with_threads(1),
+        );
+        let parallel = tune_with_options(
+            &s,
+            &k,
+            &RandomSampling,
+            budget,
+            Duration::ZERO,
+            11,
+            EvalOptions::with_threads(8),
+        );
+        assert_eq!(serial.evaluations, parallel.evaluations);
+        assert_eq!(serial.total_ms, parallel.total_ms);
+        // Everything except the fan-out bookkeeping matches too.
+        assert_eq!(serial.metrics.measured, parallel.metrics.measured);
+        assert_eq!(serial.metrics.cache_hits, parallel.metrics.cache_hits);
+        assert_eq!(serial.metrics.deduped, parallel.metrics.deduped);
+        assert_eq!(serial.metrics.rejected, parallel.metrics.rejected);
+    }
+
+    #[test]
+    fn budget_overflow_mid_batch_pins_the_clock() {
+        let s = space();
+        let k = SyntheticKernel::for_space(&s, 4);
+        let backend = ModelBackend::new(&k);
+        // Budget fits exactly one measurement of ~58+ ms, not two.
+        let mut ctx = TuningContext::new(
+            &s,
+            &backend,
+            Duration::from_millis(100),
+            Duration::ZERO,
+            0,
+            EvalOptions::default(),
+        );
+        let ids: Vec<ConfigId> = (0..4).map(ConfigId::from_index).collect();
+        let out = ctx.evaluate_batch(&ids);
+        assert!(matches!(out[0], EvalOutcome::Measured(_)));
+        assert!(out[1..].iter().all(|o| o.is_out_of_budget()));
+        let run = ctx.finish("test", Duration::ZERO);
+        assert_eq!(run.total_ms, run.budget_ms);
+        assert_eq!(run.num_evaluations(), 1);
+        assert_eq!(run.metrics.out_of_budget, 3);
     }
 }

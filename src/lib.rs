@@ -94,5 +94,8 @@ pub mod prelude {
     pub use at_store::{
         build_search_space_cached, IndexPolicy, LoadMode, LoadOptions, SpaceStore, SpecFingerprint,
     };
-    pub use at_tuner::{tune, PerformanceModel, RandomSampling, Strategy, SyntheticKernel};
+    pub use at_tuner::{
+        tune, tune_with_backend, tune_with_options, EvalBackend, EvalOptions, Measurement,
+        PerformanceModel, RandomSampling, Strategy, SyntheticKernel,
+    };
 }

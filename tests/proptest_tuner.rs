@@ -1,0 +1,155 @@
+//! Property-based tests for the batched evaluation pipeline.
+//!
+//! Three properties, over randomly drawn strategies, seeds, budgets and
+//! thread counts:
+//!
+//! 1. **Thread-count invariance**: a batched tuning run is identical —
+//!    same evaluations in the same order, same virtual clock, same work
+//!    counters — whether the fan-out uses 1 thread or many. Parallelism
+//!    may only change wall-clock time, never the result.
+//! 2. **Cache correctness**: re-proposing an already-measured
+//!    configuration returns the bitwise-identical runtime and charges
+//!    exactly the cache-hit overhead, never the measurement cost again.
+//! 3. **Rejection accounting**: out-of-space proposals are rejected,
+//!    counted, and charge nothing — they can never consume budget or
+//!    produce evaluations.
+
+use proptest::prelude::*;
+use std::time::Duration;
+
+use autotuning_searchspaces::prelude::*;
+use autotuning_searchspaces::tuner::{
+    all_strategy_names, strategy_by_name, EvalOutcome, ModelBackend, TuningContext,
+    CACHE_HIT_COST_MS,
+};
+
+/// A small but non-trivial space (the shape of the paper's workloads in
+/// miniature): two pow2 dims with a coupled product bound plus a tile
+/// parameter, so neighbor rings, crossover and snapping all have work to do.
+fn small_space() -> SearchSpace {
+    let spec = SearchSpaceSpec::new("proptest-tuner")
+        .with_param(TunableParameter::pow2("block_size_x", 8))
+        .with_param(TunableParameter::pow2("block_size_y", 6))
+        .with_param(TunableParameter::ints("tile", [1, 2, 4, 8]))
+        .with_expr("32 <= block_size_x*block_size_y <= 1024")
+        .with_expr("tile <= block_size_y");
+    build_search_space(&spec, Method::Optimized).unwrap().0
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn any_strategy_is_thread_count_invariant(
+        strategy_idx in 0usize..7,
+        seed in 0u64..10_000,
+        budget_ms in 300u64..3000,
+        threads in 2usize..9,
+    ) {
+        let space = small_space();
+        let model = SyntheticKernel::for_space(&space, seed ^ 0xA5A5);
+        let name = all_strategy_names()[strategy_idx];
+        let strategy = strategy_by_name(name).unwrap();
+        let budget = Duration::from_millis(budget_ms);
+        let serial = tune_with_options(
+            &space,
+            &model,
+            strategy.as_ref(),
+            budget,
+            Duration::ZERO,
+            seed,
+            EvalOptions::with_threads(1),
+        );
+        let parallel = tune_with_options(
+            &space,
+            &model,
+            strategy.as_ref(),
+            budget,
+            Duration::ZERO,
+            seed,
+            EvalOptions::with_threads(threads),
+        );
+        prop_assert_eq!(&serial.evaluations, &parallel.evaluations, "{}", name);
+        prop_assert_eq!(serial.total_ms, parallel.total_ms, "{}", name);
+        prop_assert_eq!(serial.best_runtime_ms(), parallel.best_runtime_ms(), "{}", name);
+        // All work counters are thread-count-invariant; only the fan-out
+        // bookkeeping (fanout_batches / fanout_thread_slots / threads) may
+        // legitimately differ.
+        prop_assert_eq!(serial.metrics.batches, parallel.metrics.batches, "{}", name);
+        prop_assert_eq!(serial.metrics.proposed, parallel.metrics.proposed, "{}", name);
+        prop_assert_eq!(serial.metrics.measured, parallel.metrics.measured, "{}", name);
+        prop_assert_eq!(serial.metrics.cache_hits, parallel.metrics.cache_hits, "{}", name);
+        prop_assert_eq!(serial.metrics.deduped, parallel.metrics.deduped, "{}", name);
+        prop_assert_eq!(serial.metrics.rejected, parallel.metrics.rejected, "{}", name);
+        prop_assert_eq!(serial.metrics.out_of_budget, parallel.metrics.out_of_budget, "{}", name);
+        prop_assert_eq!(serial.metrics.largest_batch, parallel.metrics.largest_batch, "{}", name);
+    }
+
+    #[test]
+    fn cache_hits_are_bitwise_identical_and_never_recharge_the_budget(
+        seed in 0u64..10_000,
+        raw_index in 0usize..10_000,
+        threads in 1usize..9,
+    ) {
+        let space = small_space();
+        let model = SyntheticKernel::for_space(&space, seed);
+        let backend = ModelBackend::new(&model);
+        let mut ctx = TuningContext::new(
+            &space,
+            &backend,
+            Duration::from_secs(600),
+            Duration::ZERO,
+            seed,
+            EvalOptions::with_threads(threads),
+        );
+        let id = ConfigId::from_index(raw_index % space.len());
+        let first = ctx.evaluate_one(id);
+        let runtime = first.runtime().unwrap();
+        prop_assert!(matches!(first, EvalOutcome::Measured(_)));
+        let remaining = ctx.remaining_ms();
+        // Re-proposing the same id — alone and inside a larger batch — must
+        // serve the cache: bitwise-identical runtime, only the hit overhead.
+        let hit = ctx.evaluate_one(id);
+        prop_assert_eq!(hit, EvalOutcome::Cached(runtime));
+        prop_assert_eq!(ctx.remaining_ms(), remaining - CACHE_HIT_COST_MS);
+        let batch = ctx.evaluate_batch(&[id, id]);
+        prop_assert_eq!(batch[0], EvalOutcome::Cached(runtime));
+        prop_assert_eq!(batch[1], EvalOutcome::Cached(runtime));
+        prop_assert_eq!(ctx.remaining_ms(), remaining - 3.0 * CACHE_HIT_COST_MS);
+        let run = ctx.finish("proptest", Duration::ZERO);
+        prop_assert_eq!(run.num_evaluations(), 1);
+        prop_assert_eq!(run.metrics.measured, 1);
+        prop_assert_eq!(run.metrics.cache_hits + run.metrics.deduped, 3);
+    }
+
+    #[test]
+    fn out_of_space_proposals_charge_nothing_and_are_counted(
+        seed in 0u64..10_000,
+        offset in 0usize..1000,
+        threads in 1usize..9,
+    ) {
+        let space = small_space();
+        let model = SyntheticKernel::for_space(&space, seed);
+        let backend = ModelBackend::new(&model);
+        let mut ctx = TuningContext::new(
+            &space,
+            &backend,
+            Duration::from_secs(600),
+            Duration::ZERO,
+            seed,
+            EvalOptions::with_threads(threads),
+        );
+        let bogus = ConfigId::from_index(space.len() + offset);
+        let good = ConfigId::from_index(seed as usize % space.len());
+        let before = ctx.remaining_ms();
+        prop_assert_eq!(ctx.evaluate_one(bogus), EvalOutcome::Rejected);
+        prop_assert_eq!(ctx.remaining_ms(), before);
+        let out = ctx.evaluate_batch(&[bogus, good, bogus]);
+        prop_assert_eq!(out[0], EvalOutcome::Rejected);
+        prop_assert!(matches!(out[1], EvalOutcome::Measured(_)));
+        prop_assert_eq!(out[2], EvalOutcome::Rejected);
+        let run = ctx.finish("proptest", Duration::ZERO);
+        prop_assert_eq!(run.metrics.rejected, 3);
+        prop_assert_eq!(run.num_evaluations(), 1);
+    }
+}

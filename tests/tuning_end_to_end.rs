@@ -130,6 +130,52 @@ fn tuning_on_a_zero_copy_mmap_space_matches_the_cold_build() {
 }
 
 #[test]
+fn parallel_fanout_reproduces_the_serial_run_on_a_real_workload() {
+    // The batched pipeline's core guarantee, end to end: the same workload,
+    // strategy and seed produce the identical run whether evaluations fan
+    // out over 1 thread or 8 — construction feeding batches feeding the
+    // virtual clock, with the sharded cache in the middle.
+    let (space, _) = build_search_space(&dedispersion().spec, Method::Optimized).unwrap();
+    let model = performance_model_for("Dedispersion", &space, 7);
+    let budget = Duration::from_secs(15);
+    for strategy in [
+        Box::new(RandomSampling) as Box<dyn Strategy>,
+        Box::new(GeneticAlgorithm::default()),
+        Box::new(HillClimbing::default()),
+    ] {
+        let serial = tune_with_options(
+            &space,
+            &model,
+            strategy.as_ref(),
+            budget,
+            Duration::ZERO,
+            21,
+            EvalOptions::with_threads(1),
+        );
+        let parallel = tune_with_options(
+            &space,
+            &model,
+            strategy.as_ref(),
+            budget,
+            Duration::ZERO,
+            21,
+            EvalOptions::with_threads(8),
+        );
+        assert_eq!(
+            serial.evaluations, parallel.evaluations,
+            "{}",
+            serial.strategy
+        );
+        assert_eq!(serial.total_ms, parallel.total_ms, "{}", serial.strategy);
+        assert_eq!(
+            serial.metrics.cache_hits, parallel.metrics.cache_hits,
+            "{}",
+            serial.strategy
+        );
+    }
+}
+
+#[test]
 fn tuning_runs_are_reproducible_per_seed() {
     let (space, _) = build_search_space(&dedispersion().spec, Method::Optimized).unwrap();
     let model = performance_model_for("Dedispersion", &space, 1);
