@@ -3,9 +3,9 @@
 
 CARGO ?= cargo
 
-.PHONY: verify fmt clippy lint-unsafe build test doctest smoke streaming store check-specs tune-smoke examples doc fuzz-smoke fuzz bench bench-construction bench-store bench-tuner fix
+.PHONY: verify fmt clippy lint-unsafe build test doctest smoke streaming store check-specs tune-smoke obs-smoke examples doc fuzz-smoke fuzz bench bench-construction bench-store bench-tuner fix
 
-verify: fmt clippy lint-unsafe build test smoke streaming store check-specs tune-smoke examples doc fuzz-smoke
+verify: fmt clippy lint-unsafe build test smoke streaming store check-specs tune-smoke obs-smoke examples doc fuzz-smoke
 	@echo "---- all checks passed ----"
 
 fmt:
@@ -98,6 +98,25 @@ tune-smoke:
 	  done; \
 	  cmp target/tune-smoke/$$w-1.txt target/tune-smoke/$$w-4.txt || exit 1; \
 	done
+
+# The observability gate (see README "Observability"): traced construct
+# and tune runs on two workloads must produce (a) trace files that pass
+# the tool's own `trace-lint` walk, (b) a one-line atss.metrics.v1
+# envelope, and (c) — the zero-interference contract — exports that are
+# byte-identical with and without `--trace --metrics`.
+obs-smoke:
+	rm -rf target/obs-smoke
+	mkdir -p target/obs-smoke
+	for w in dedispersion microhh; do \
+	  $(CARGO) run --release -p at_cli --bin atss -- construct --workload $$w --format csv --out target/obs-smoke/$$w-plain.csv || exit 1; \
+	  $(CARGO) run --release -p at_cli --bin atss -- construct --workload $$w --format csv --out target/obs-smoke/$$w-traced.csv --trace target/obs-smoke/$$w-construct.trace.json --metrics \
+	    | grep -F '"schema":"atss.metrics.v1"' || exit 1; \
+	  cmp target/obs-smoke/$$w-plain.csv target/obs-smoke/$$w-traced.csv || exit 1; \
+	  $(CARGO) run --release -p at_cli --bin atss -- trace-lint target/obs-smoke/$$w-construct.trace.json || exit 1; \
+	done
+	$(CARGO) run --release -p at_cli --bin atss -- tune --workload hotspot --strategy genetic --budget-ms 3000 --seed 7 --construction-ms 0 --eval-threads 4 --json --metrics --trace target/obs-smoke/tune.trace.json \
+	  | grep -F '"observability":{"schema":"atss.metrics.v1"'
+	$(CARGO) run --release -p at_cli --bin atss -- trace-lint target/obs-smoke/tune.trace.json
 
 # The fuzzing gate (see README "Fuzzing & corpus policy"): replay every
 # checked-in regression input, then a short fixed-seed run of all three

@@ -121,6 +121,9 @@ impl CheckReport {
 
 /// Run the full analysis over a spec.
 pub fn check_spec(spec: &SearchSpaceSpec) -> CheckReport {
+    let _span = at_obs::span("check", "analyze")
+        .arg("restrictions", spec.restrictions.len() as u64)
+        .arg("params", spec.params.len() as u64);
     let param_names: Vec<String> = spec.params.iter().map(|p| p.name().to_string()).collect();
     let mut diagnostics = Vec::new();
     let mut verdicts: Vec<Option<Verdict>> = vec![None; spec.restrictions.len()];

@@ -60,7 +60,7 @@ impl std::fmt::Display for ArgError {
 impl std::error::Error for ArgError {}
 
 /// Flags that do not take a value.
-const SWITCHES: &[&str] = &["full", "help", "quiet", "mmap", "json", "prune"];
+const SWITCHES: &[&str] = &["full", "help", "quiet", "mmap", "json", "prune", "metrics"];
 
 /// Parse raw arguments into a [`ParsedArgs`].
 pub fn parse(args: &[String]) -> Result<ParsedArgs, ArgError> {

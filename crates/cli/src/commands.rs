@@ -3,6 +3,7 @@
 use std::fmt::Write as _;
 use std::time::Duration;
 
+use at_obs::json::Json;
 use at_searchspace::{
     build_search_space, build_search_space_with, spec_from_json, to_csv, to_json_cache,
     BuildOptions, BuildReport, Method, SearchSpace, SearchSpaceSpec, SpaceCharacteristics,
@@ -15,6 +16,7 @@ use at_tuner::{all_strategy_names, strategy_by_name, tune_with_options, EvalOpti
 use at_workloads::{all_real_world, performance_model_for, real_world_by_name, real_world_names};
 
 use crate::args::ParsedArgs;
+use crate::obs::{eval_section, solve_section, store_section, ObsSession};
 use crate::CliError;
 
 /// The help text.
@@ -44,9 +46,13 @@ COMMANDS:
                                           arena and trust its persisted index
                       --prune             analyzer-driven domain pre-pruning before
                                           the solve (identical space, smaller solve)
+                      --json              one-line atss.construct.v1 object instead
+                                          of the human summary (export still goes
+                                          through --format/--out)
     compare         Time several construction methods on one space
                       --workload <name> | --spec <file.json>
                       --methods <comma-separated labels>
+                      --json              one-line atss.compare.v1 object
     tune            Run a simulated tuning session on a built-in workload
                       --workload <name>  --strategy <name>  --budget-ms <n>
                       --method <construction method>  --seed <n>
@@ -69,10 +75,34 @@ COMMANDS:
                                    --json emits one JSON object per entry plus a
                                    summary line; damage is reported in-band
                       cache gc     --cache-dir <dir> --max-bytes <n> --max-entries <n>
+    trace-lint      Structurally validate a --trace export: top-level array,
+                    required event fields, per-thread timestamp monotonicity
+                      atss trace-lint <trace.json>
     capabilities    Print a machine-readable atss.capabilities.v1 JSON object
                     (methods, solvers, strategies, workloads, store features)
     spec-template   Print an example JSON space specification
     help            Show this message
+
+OBSERVABILITY (construct, check, compare, tune, cache):
+    --trace <file>   record spans across the whole pipeline (parse -> check ->
+                     solve -> encode -> store -> eval, with per-thread solver
+                     chunks and eval workers) and write a Chrome trace-event
+                     JSON array; open it at https://ui.perfetto.dev
+    --metrics        emit a one-line atss.metrics.v1 envelope: per-phase
+                     timers, peak transient heap bytes, and the solver /
+                     store / eval counters of the run. `tune --json` and
+                     `construct/compare --json` embed it as `observability`;
+                     everywhere else it is the last output line. Recording
+                     never changes what the pipeline computes.
+
+EXIT CODES (every subcommand):
+    0   success
+    1   any failure: bad flags, unknown names, I/O errors, or a failed
+        construction / tuning run. Additionally, in human (non --json) mode:
+        `check` exits 1 when an error-severity diagnostic is found,
+        `cache verify` exits 1 when any entry is damaged, and `trace-lint`
+        exits 1 on a malformed trace. With --json, findings are reported
+        in-band and the exit code stays 0 unless the command itself fails.
 
 Built-in workloads: dedispersion, expdist, hotspot, gemm, microhh,
 prl-2x2, prl-4x4, prl-8x8.
@@ -102,25 +132,36 @@ pub fn spec_template() -> String {
 
 /// Resolve the search space specification selected by `--workload` or `--spec`.
 fn resolve_spec(args: &ParsedArgs) -> Result<SearchSpaceSpec, CliError> {
-    match (args.get("workload"), args.get("spec")) {
+    let span = at_obs::span("parse-spec", "parse");
+    let spec = match (args.get("workload"), args.get("spec")) {
         (Some(name), None) => real_world_by_name(name).map(|w| w.spec).ok_or_else(|| {
             CliError::Run(format!(
                 "unknown workload `{name}` (available: {})",
                 real_world_names().join(", ")
             ))
-        }),
+        })?,
         (None, Some(path)) => {
             let text = std::fs::read_to_string(path)
                 .map_err(|e| CliError::Run(format!("cannot read `{path}`: {e}")))?;
-            spec_from_json(&text).map_err(|e| CliError::Run(format!("cannot parse `{path}`: {e}")))
+            spec_from_json(&text)
+                .map_err(|e| CliError::Run(format!("cannot parse `{path}`: {e}")))?
         }
-        (Some(_), Some(_)) => Err(CliError::Run(
-            "pass either --workload or --spec, not both".to_string(),
-        )),
-        (None, None) => Err(CliError::Run(
-            "pass --workload <name> or --spec <file.json>".to_string(),
-        )),
-    }
+        (Some(_), Some(_)) => {
+            return Err(CliError::Run(
+                "pass either --workload or --spec, not both".to_string(),
+            ))
+        }
+        (None, None) => {
+            return Err(CliError::Run(
+                "pass --workload <name> or --spec <file.json>".to_string(),
+            ))
+        }
+    };
+    drop(
+        span.arg("params", spec.num_params() as u64)
+            .arg("restrictions", spec.num_restrictions() as u64),
+    );
+    Ok(spec)
 }
 
 fn resolve_method(args: &ParsedArgs) -> Result<Method, CliError> {
@@ -266,13 +307,128 @@ fn cache_summary_lines(out: &mut String, outcome: &StoreOutcome, store: &SpaceSt
     .expect("write to string");
 }
 
+/// How the space reached the command, as a stable label for the JSON
+/// envelopes: `cold` (no cache), `miss`, `hit`, `hit-zero-copy`,
+/// `uncacheable`.
+fn cache_source_label(outcome: &Option<(StoreOutcome, SpaceStore)>) -> &'static str {
+    match outcome {
+        Some((o, _)) if o.status.is_hit() => {
+            if o.load.as_ref().is_some_and(|l| l.is_zero_copy()) {
+                "hit-zero-copy"
+            } else {
+                "hit"
+            }
+        }
+        Some((o, _)) if matches!(o.status, CacheStatus::Miss) => "miss",
+        Some(_) => "uncacheable",
+        None => "cold",
+    }
+}
+
+/// Splice a pre-rendered `atss.metrics.v1` envelope into a one-line JSON
+/// object as its final `"observability"` field. Both sides are one-line
+/// house-format JSON, so the textual composition is exact.
+fn embed_observability(line: String, envelope: Option<&str>) -> String {
+    match envelope {
+        None => line,
+        Some(env) => {
+            let body = line.trim_end();
+            let body = &body[..body.len() - 1];
+            format!("{body},\"observability\":{env}}}\n")
+        }
+    }
+}
+
+/// Append the `atss.metrics.v1` envelope as the final output line (the
+/// `--metrics` contract for human-format and JSONL commands).
+fn append_metrics(mut out: String, envelope: Option<String>) -> String {
+    if let Some(env) = envelope {
+        if !out.is_empty() && !out.ends_with('\n') {
+            out.push('\n');
+        }
+        out.push_str(&env);
+        out.push('\n');
+    }
+    out
+}
+
+/// The `construct --json` DTO: one JSON object on one line, schema
+/// `atss.construct.v1`.
+fn construct_json_line(
+    spec: &SearchSpaceSpec,
+    method: Method,
+    space: &SearchSpace,
+    report: &Option<BuildReport>,
+    outcome: &Option<(StoreOutcome, SpaceStore)>,
+    envelope: Option<&str>,
+) -> String {
+    let mut doc = Json::obj();
+    doc.push("schema", Json::Str("atss.construct.v1".to_string()));
+    doc.push("space", Json::Str(spec.name.clone()));
+    doc.push("method", Json::Str(method.label().to_string()));
+    doc.push(
+        "cartesian",
+        Json::U64(u64::try_from(spec.cartesian_size()).unwrap_or(u64::MAX)),
+    );
+    doc.push("valid", Json::U64(space.len() as u64));
+    doc.push(
+        "construction_ms",
+        match report {
+            Some(r) => Json::F64(r.duration.as_secs_f64() * 1_000.0),
+            None => Json::Null,
+        },
+    );
+    doc.push(
+        "constraint_checks",
+        match report {
+            Some(r) => Json::U64(r.stats.constraint_checks),
+            None => Json::Null,
+        },
+    );
+    doc.push(
+        "arena_bytes",
+        Json::U64((space.len() * space.num_params() * std::mem::size_of::<u32>()) as u64),
+    );
+    doc.push(
+        "cache_source",
+        Json::Str(cache_source_label(outcome).to_string()),
+    );
+    embed_observability(
+        format!(
+            "{doc}
+"
+        ),
+        envelope,
+    )
+}
+
 /// `atss construct`
 pub fn construct(args: &ParsedArgs) -> Result<String, CliError> {
-    args.ensure_known_flags(&["workload", "spec", "method", "format", "out", "cache-dir"])?;
+    args.ensure_known_flags(&[
+        "workload",
+        "spec",
+        "method",
+        "format",
+        "out",
+        "cache-dir",
+        "trace",
+    ])?;
+    let obs = ObsSession::begin(args);
     let spec = resolve_spec(args)?;
     emit_check_warnings(&spec);
     let method = resolve_method(args)?;
     let (space, report, outcome) = obtain_space(args, &spec, method)?;
+
+    // The traced window is the pipeline itself (parse -> check -> lower ->
+    // solve -> encode -> store); rendering and export are outside it.
+    let mut sections: Vec<(&'static str, Json)> = Vec::new();
+    if let Some(report) = &report {
+        sections.push(("solve", solve_section(report)));
+    }
+    if let Some((_, store)) = &outcome {
+        sections.push(("store", store_section(store.metrics())));
+    }
+    let envelope = obs.finish("construct", sections)?;
 
     let format = args.get("format").unwrap_or("summary");
 
@@ -288,10 +444,35 @@ pub fn construct(args: &ParsedArgs) -> Result<String, CliError> {
         }
         .and_then(|()| std::io::Write::flush(&mut out));
         result.map_err(|e| CliError::Run(format!("cannot write `{path}`: {e}")))?;
+        if args.switch("json") {
+            return Ok(construct_json_line(
+                &spec,
+                method,
+                &space,
+                &report,
+                &outcome,
+                envelope.as_deref(),
+            ));
+        }
         let bytes = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
-        return Ok(format!(
-            "wrote {bytes} bytes ({} configurations) to {path}\n",
-            space.len()
+        return Ok(append_metrics(
+            format!(
+                "wrote {bytes} bytes ({} configurations) to {path}\n",
+                space.len()
+            ),
+            envelope,
+        ));
+    }
+
+    // Robot mode: the one-line envelope replaces the stdout rendering.
+    if args.switch("json") {
+        return Ok(construct_json_line(
+            &spec,
+            method,
+            &space,
+            &report,
+            &outcome,
+            envelope.as_deref(),
         ));
     }
 
@@ -360,14 +541,17 @@ pub fn construct(args: &ParsedArgs) -> Result<String, CliError> {
     };
 
     match args.get("out") {
-        None => Ok(rendered),
+        None => Ok(append_metrics(rendered, envelope)),
         Some(path) => {
             std::fs::write(path, &rendered)
                 .map_err(|e| CliError::Run(format!("cannot write `{path}`: {e}")))?;
-            Ok(format!(
-                "wrote {} bytes ({} configurations) to {path}\n",
-                rendered.len(),
-                space.len()
+            Ok(append_metrics(
+                format!(
+                    "wrote {} bytes ({} configurations) to {path}\n",
+                    rendered.len(),
+                    space.len()
+                ),
+                envelope,
             ))
         }
     }
@@ -401,9 +585,21 @@ fn check_json_line(d: &at_check::Diagnostic) -> String {
 
 /// `atss check`
 pub fn check(args: &ParsedArgs) -> Result<String, CliError> {
-    args.ensure_known_flags(&["workload", "spec"])?;
+    args.ensure_known_flags(&["workload", "spec", "trace"])?;
+    let obs = ObsSession::begin(args);
     let spec = resolve_spec(args)?;
     let report = at_check::check_spec(&spec);
+
+    let mut section = Json::obj();
+    section.push("restrictions", Json::U64(report.verdicts.len() as u64));
+    section.push("errors", Json::U64(report.num_errors() as u64));
+    section.push("warnings", Json::U64(report.num_warnings() as u64));
+    section.push(
+        "prunable_values",
+        Json::U64(report.num_prunable_values() as u64),
+    );
+    let envelope = obs.finish("check", vec![("check", section)])?;
+
     if args.switch("json") {
         // Machine output mirrors `cache verify --json`: one object per
         // diagnostic plus a summary line, problems reported in-band so
@@ -415,7 +611,7 @@ pub fn check(args: &ParsedArgs) -> Result<String, CliError> {
         }
         writeln!(
             out,
-            "{{\"summary\":true,\"spec\":\"{}\",\"restrictions\":{},\"errors\":{},\"warnings\":{},\"prunable_values\":{}}}",
+            "{{\"schema\":\"atss.check.v1\",\"summary\":true,\"spec\":\"{}\",\"restrictions\":{},\"errors\":{},\"warnings\":{},\"prunable_values\":{}}}",
             json_escape(&report.spec_name),
             report.verdicts.len(),
             report.num_errors(),
@@ -423,7 +619,7 @@ pub fn check(args: &ParsedArgs) -> Result<String, CliError> {
             report.num_prunable_values(),
         )
         .expect("write to string");
-        return Ok(out);
+        return Ok(append_metrics(out, envelope));
     }
     // Human mode: error-severity findings fail the command (exit 1) so
     // the self-check gates can rely on the exit code.
@@ -431,13 +627,14 @@ pub fn check(args: &ParsedArgs) -> Result<String, CliError> {
     if report.has_errors() {
         Err(CliError::Run(rendered))
     } else {
-        Ok(rendered)
+        Ok(append_metrics(rendered, envelope))
     }
 }
 
 /// `atss compare`
 pub fn compare(args: &ParsedArgs) -> Result<String, CliError> {
-    args.ensure_known_flags(&["workload", "spec", "methods"])?;
+    args.ensure_known_flags(&["workload", "spec", "methods", "trace"])?;
+    let obs = ObsSession::begin(args);
     let spec = resolve_spec(args)?;
     let methods: Vec<Method> = match args.get("methods") {
         None => vec![Method::Optimized, Method::ChainOfTrees, Method::Original],
@@ -450,17 +647,10 @@ pub fn compare(args: &ParsedArgs) -> Result<String, CliError> {
             .collect::<Result<_, _>>()?,
     };
 
-    let mut out = String::new();
-    writeln!(out, "space: {}", spec.name).expect("write to string");
-    writeln!(
-        out,
-        "{:<20} {:>14} {:>12} {:>18}",
-        "method", "time", "valid", "constraint checks"
-    )
-    .expect("write to string");
+    let mut reports: Vec<BuildReport> = Vec::with_capacity(methods.len());
     let mut reference: Option<usize> = None;
-    for method in methods {
-        let (space, report) = build_search_space(&spec, method)
+    for method in &methods {
+        let (space, report) = build_search_space(&spec, *method)
             .map_err(|e| CliError::Run(format!("{}: {e}", method.label())))?;
         if let Some(expected) = reference {
             if expected != space.len() {
@@ -473,17 +663,51 @@ pub fn compare(args: &ParsedArgs) -> Result<String, CliError> {
         } else {
             reference = Some(space.len());
         }
+        reports.push(report);
+    }
+
+    let per_method: Vec<Json> = reports.iter().map(solve_section).collect();
+    let envelope = obs.finish("compare", vec![("methods", Json::Arr(per_method.clone()))])?;
+
+    if args.switch("json") {
+        let mut doc = Json::obj();
+        doc.push("schema", Json::Str("atss.compare.v1".to_string()));
+        doc.push("space", Json::Str(spec.name.clone()));
+        doc.push(
+            "cartesian",
+            Json::U64(u64::try_from(spec.cartesian_size()).unwrap_or(u64::MAX)),
+        );
+        doc.push("valid", Json::U64(reference.unwrap_or(0) as u64));
+        doc.push("methods", Json::Arr(per_method));
+        return Ok(embed_observability(
+            format!(
+                "{doc}
+"
+            ),
+            envelope.as_deref(),
+        ));
+    }
+
+    let mut out = String::new();
+    writeln!(out, "space: {}", spec.name).expect("write to string");
+    writeln!(
+        out,
+        "{:<20} {:>14} {:>12} {:>18}",
+        "method", "time", "valid", "constraint checks"
+    )
+    .expect("write to string");
+    for report in &reports {
         writeln!(
             out,
             "{:<20} {:>14} {:>12} {:>18}",
-            method.label(),
+            report.method.label(),
             format!("{:.3?}", report.duration),
-            space.len(),
+            report.num_valid,
             report.stats.constraint_checks
         )
         .expect("write to string");
     }
-    Ok(out)
+    Ok(append_metrics(out, envelope))
 }
 
 /// `atss tune`
@@ -497,7 +721,9 @@ pub fn tune(args: &ParsedArgs) -> Result<String, CliError> {
         "cache-dir",
         "eval-threads",
         "construction-ms",
+        "trace",
     ])?;
+    let obs = ObsSession::begin(args);
     let name = args.require("workload")?;
     let workload = real_world_by_name(name)
         .ok_or_else(|| CliError::Run(format!("unknown workload `{name}`")))?;
@@ -551,18 +777,17 @@ pub fn tune(args: &ParsedArgs) -> Result<String, CliError> {
         EvalOptions::with_threads(eval_threads),
     );
 
-    let cache_source = match &outcome {
-        Some((o, _)) if o.status.is_hit() => {
-            if o.load.as_ref().is_some_and(|l| l.is_zero_copy()) {
-                "hit-zero-copy"
-            } else {
-                "hit"
-            }
-        }
-        Some((o, _)) if matches!(o.status, CacheStatus::Miss) => "miss",
-        Some(_) => "uncacheable",
-        None => "cold",
-    };
+    let cache_source = cache_source_label(&outcome);
+
+    let mut sections: Vec<(&'static str, Json)> = Vec::new();
+    if let Some(report) = &report {
+        sections.push(("solve", solve_section(report)));
+    }
+    if let Some((_, store)) = &outcome {
+        sections.push(("store", store_section(store.metrics())));
+    }
+    sections.push(("eval", eval_section(&run.metrics)));
+    let envelope = obs.finish("tune", sections)?;
 
     if args.switch("json") {
         return Ok(tune_json_line(
@@ -573,6 +798,7 @@ pub fn tune(args: &ParsedArgs) -> Result<String, CliError> {
             cache_source,
             &space,
             &run,
+            envelope.as_deref(),
         ));
     }
 
@@ -637,7 +863,7 @@ pub fn tune(args: &ParsedArgs) -> Result<String, CliError> {
         )
         .expect("write to string"),
     }
-    Ok(out)
+    Ok(append_metrics(out, envelope))
 }
 
 /// Render a parameter [`Value`](at_searchspace::prelude::Value) as JSON.
@@ -655,7 +881,10 @@ fn value_to_json(v: &at_searchspace::prelude::Value) -> String {
 /// The `tune --json` DTO: one JSON object on one line, schema `atss.tune.v1`.
 /// Everything a robot consumer needs is in-band; for a fixed seed and
 /// construction charge the object is identical across `--eval-threads`
-/// values except for the `threads`/`fanout_*` metrics fields.
+/// values except for the `threads`/`fanout_*` metrics fields. When
+/// `--metrics` is also passed, the `atss.metrics.v1` envelope rides along
+/// as the final `observability` field (and only then — without it the
+/// object carries no wall-clock-dependent keys beyond `total_ms`).
 #[allow(clippy::too_many_arguments)]
 fn tune_json_line(
     workload: &str,
@@ -665,6 +894,7 @@ fn tune_json_line(
     cache_source: &str,
     space: &SearchSpace,
     run: &TuningRun,
+    envelope: Option<&str>,
 ) -> String {
     let m = &run.metrics;
     let (best_runtime, best_id, best_config) = match run.best_evaluation() {
@@ -691,7 +921,7 @@ fn tune_json_line(
         }
         None => ("null".into(), "null".into(), "null".into()),
     };
-    format!(
+    let line = format!(
         "{{\"schema\":\"atss.tune.v1\",\"workload\":\"{}\",\"strategy\":\"{}\",\
          \"method\":\"{}\",\"seed\":{seed},\"budget_ms\":{budget_ms},\
          \"construction_ms\":{},\"total_ms\":{},\"evaluations\":{},\
@@ -722,7 +952,8 @@ fn tune_json_line(
         m.cache_hit_ratio(),
         m.dedup_ratio(),
         m.fanout_utilization(),
-    )
+    );
+    embed_observability(line, envelope)
 }
 
 /// `atss capabilities`: machine-readable introspection of what this build
@@ -758,6 +989,10 @@ pub fn capabilities(args: &ParsedArgs) -> Result<String, CliError> {
          \"threads_flag\":\"--eval-threads\"}},\
          \"store\":{{\"format_version\":{},\"min_read_version\":{},\"features\":[{}]}},\
          \"check\":{{\"diagnostics\":[{diagnostics}]}},\
+         \"observability\":{{\"trace_flag\":\"--trace\",\"metrics_flag\":\"--metrics\",\
+         \"trace_format\":\"chrome-trace-event\",\"metrics_schema\":\"atss.metrics.v1\",\
+         \"commands\":[{}]}},\
+         \"schemas\":[{}],\
          \"json_commands\":[{}]}}\n",
         env!("CARGO_PKG_VERSION"),
         quote_list(&[
@@ -767,6 +1002,7 @@ pub fn capabilities(args: &ParsedArgs) -> Result<String, CliError> {
             "compare",
             "tune",
             "cache",
+            "trace-lint",
             "capabilities",
             "spec-template",
             "help",
@@ -792,7 +1028,24 @@ pub fn capabilities(args: &ParsedArgs) -> Result<String, CliError> {
             "verify",
             "gc",
         ]),
-        quote_list(&["check", "cache verify", "tune", "capabilities"]),
+        quote_list(&["construct", "check", "compare", "tune", "cache"]),
+        quote_list(&[
+            "atss.capabilities.v1",
+            "atss.construct.v1",
+            "atss.compare.v1",
+            "atss.check.v1",
+            "atss.tune.v1",
+            "atss.cache-verify.v1",
+            "atss.metrics.v1",
+        ]),
+        quote_list(&[
+            "check",
+            "construct",
+            "compare",
+            "cache verify",
+            "tune",
+            "capabilities",
+        ]),
     ))
 }
 
@@ -807,19 +1060,36 @@ pub fn cache(args: &ParsedArgs) -> Result<String, CliError> {
     let action = args.positional.first().map(|s| s.as_str()).ok_or_else(|| {
         CliError::Run("usage: atss cache <ls|info|verify|gc> --cache-dir <dir>".to_string())
     })?;
-    match action {
-        "ls" => cache_ls(args),
-        "info" => cache_info(args),
-        "verify" => cache_verify(args),
-        "gc" => cache_gc(args),
-        other => Err(CliError::Run(format!(
-            "unknown cache action `{other}` (ls, info, verify, gc)"
-        ))),
-    }
+    let obs = ObsSession::begin(args);
+    let (out, store, command) = match action {
+        "ls" => {
+            let (out, store) = cache_ls(args)?;
+            (out, store, "cache ls")
+        }
+        "info" => {
+            let (out, store) = cache_info(args)?;
+            (out, store, "cache info")
+        }
+        "verify" => {
+            let (out, store) = cache_verify(args)?;
+            (out, store, "cache verify")
+        }
+        "gc" => {
+            let (out, store) = cache_gc(args)?;
+            (out, store, "cache gc")
+        }
+        other => {
+            return Err(CliError::Run(format!(
+                "unknown cache action `{other}` (ls, info, verify, gc)"
+            )))
+        }
+    };
+    let envelope = obs.finish(command, vec![("store", store_section(store.metrics()))])?;
+    Ok(append_metrics(out, envelope))
 }
 
-fn cache_ls(args: &ParsedArgs) -> Result<String, CliError> {
-    args.ensure_known_flags(&["cache-dir"])?;
+fn cache_ls(args: &ParsedArgs) -> Result<(String, SpaceStore), CliError> {
+    args.ensure_known_flags(&["cache-dir", "trace"])?;
     let store = resolve_store(args)?;
     let entries = store.entries().map_err(|e| CliError::Run(e.to_string()))?;
     let mut out = String::new();
@@ -865,11 +1135,11 @@ fn cache_ls(args: &ParsedArgs) -> Result<String, CliError> {
         total += entry.bytes;
     }
     writeln!(out, "\n{} entries, {} bytes", entries.len(), total).expect("write to string");
-    Ok(out)
+    Ok((out, store))
 }
 
-fn cache_info(args: &ParsedArgs) -> Result<String, CliError> {
-    args.ensure_known_flags(&["cache-dir", "workload", "spec", "method"])?;
+fn cache_info(args: &ParsedArgs) -> Result<(String, SpaceStore), CliError> {
+    args.ensure_known_flags(&["cache-dir", "workload", "spec", "method", "trace"])?;
     let store = resolve_store(args)?;
     let spec = resolve_spec(args)?;
     let method = resolve_method(args)?;
@@ -916,6 +1186,17 @@ fn cache_info(args: &ParsedArgs) -> Result<String, CliError> {
                         loaded.report.describe()
                     )
                     .expect("write to string");
+                    // An index fallback means the persisted index was
+                    // rejected and silently repaired by an in-memory
+                    // rebuild — surface it so operators know the entry
+                    // is worth re-writing.
+                    if let Some(reason) = loaded.report.index_fallback() {
+                        writeln!(
+                            out,
+                            "index repair: persisted index rejected ({reason}); rebuilt in memory"
+                        )
+                        .expect("write to string");
+                    }
                 }
             }
             Err(e) => {
@@ -925,7 +1206,7 @@ fn cache_info(args: &ParsedArgs) -> Result<String, CliError> {
     } else {
         writeln!(out, "cached:       no").expect("write to string");
     }
-    Ok(out)
+    Ok((out, store))
 }
 
 /// Escape a string for inclusion in a JSON string literal. The `--json`
@@ -970,8 +1251,8 @@ fn verify_json_line(entry: &StoreEntry, error: Option<&StoreError>) -> String {
     )
 }
 
-fn cache_verify(args: &ParsedArgs) -> Result<String, CliError> {
-    args.ensure_known_flags(&["cache-dir"])?;
+fn cache_verify(args: &ParsedArgs) -> Result<(String, SpaceStore), CliError> {
+    args.ensure_known_flags(&["cache-dir", "trace"])?;
     let store = resolve_store(args)?;
     let results = store.verify().map_err(|e| CliError::Run(e.to_string()))?;
     if args.switch("json") {
@@ -986,11 +1267,11 @@ fn cache_verify(args: &ParsedArgs) -> Result<String, CliError> {
         }
         writeln!(
             out,
-            "{{\"summary\":true,\"checked\":{},\"damaged\":{damaged}}}",
+            "{{\"schema\":\"atss.cache-verify.v1\",\"summary\":true,\"checked\":{},\"damaged\":{damaged}}}",
             results.len()
         )
         .expect("write to string");
-        return Ok(out);
+        return Ok((out, store));
     }
     let mut out = String::new();
     let mut damaged = 0usize;
@@ -1012,11 +1293,11 @@ fn cache_verify(args: &ParsedArgs) -> Result<String, CliError> {
         )));
     }
     writeln!(out, "all {} entries verified", results.len()).expect("write to string");
-    Ok(out)
+    Ok((out, store))
 }
 
-fn cache_gc(args: &ParsedArgs) -> Result<String, CliError> {
-    args.ensure_known_flags(&["cache-dir", "max-bytes", "max-entries"])?;
+fn cache_gc(args: &ParsedArgs) -> Result<(String, SpaceStore), CliError> {
+    args.ensure_known_flags(&["cache-dir", "max-bytes", "max-entries", "trace"])?;
     let store = resolve_store(args)?;
     let max_bytes: u64 = args.number("max-bytes", u64::MAX).map_err(CliError::Args)?;
     let max_entries: usize = args
@@ -1028,9 +1309,127 @@ fn cache_gc(args: &ParsedArgs) -> Result<String, CliError> {
             max_entries,
         })
         .map_err(|e| CliError::Run(e.to_string()))?;
+    // The summary line carries the store's lifetime counters — including
+    // the gc evictions this run just performed.
+    let out = format!(
+        "evicted {} entries ({} -> {} bytes), {} kept\ncache stats: {}\n",
+        report.evicted,
+        report.bytes_before,
+        report.bytes_after,
+        report.kept,
+        store.metrics().summary_line()
+    );
+    Ok((out, store))
+}
+
+/// `atss trace-lint <file>`: structural validation of a `--trace` export.
+///
+/// Checks the contract the Chrome trace-event exporter promises (and the
+/// obs-smoke gate and schema tests rely on): the file is a JSON array;
+/// every event carries `ph`/`pid`/`tid`/`name`; complete events (`X`)
+/// carry `cat`, a numeric `ts` and `dur`, with `ts` monotonically
+/// non-decreasing per thread; instants (`i`) carry thread scope
+/// (`"s":"t"`); metadata (`M`) events carry an `args.name`, and exactly
+/// the process itself is named. Exit code 1 on any violation.
+pub fn trace_lint(args: &ParsedArgs) -> Result<String, CliError> {
+    args.ensure_known_flags(&[])?;
+    let path = args
+        .positional
+        .first()
+        .ok_or_else(|| CliError::Run("usage: atss trace-lint <trace.json>".to_string()))?;
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CliError::Run(format!("cannot read `{path}`: {e}")))?;
+    let doc: serde_json::Value = serde_json::from_str(&text)
+        .map_err(|e| CliError::Run(format!("trace-lint: `{path}` is not valid JSON: {e}")))?;
+    let events = doc
+        .as_array()
+        .ok_or_else(|| CliError::Run("trace-lint: top level must be a JSON array".to_string()))?;
+
+    let mut spans = 0usize;
+    let mut instants = 0usize;
+    let mut metadata = 0usize;
+    let mut process_named = false;
+    let mut threads = std::collections::BTreeSet::new();
+    let mut last_ts: std::collections::BTreeMap<i64, f64> = std::collections::BTreeMap::new();
+    for (i, event) in events.iter().enumerate() {
+        let field = |key: &str| {
+            event
+                .get(key)
+                .ok_or_else(|| CliError::Run(format!("trace-lint: event {i}: missing `{key}`")))
+        };
+        let str_field = |key: &str| {
+            field(key)?.as_str().map(str::to_string).ok_or_else(|| {
+                CliError::Run(format!("trace-lint: event {i}: `{key}` must be a string"))
+            })
+        };
+        let num_field = |key: &str| {
+            field(key)?.as_f64().ok_or_else(|| {
+                CliError::Run(format!("trace-lint: event {i}: `{key}` must be a number"))
+            })
+        };
+        let ph = str_field("ph")?;
+        let name = str_field("name")?;
+        field("pid")?;
+        let tid = field("tid")?.as_i64().ok_or_else(|| {
+            CliError::Run(format!("trace-lint: event {i}: `tid` must be an integer"))
+        })?;
+        match ph.as_str() {
+            "M" => {
+                metadata += 1;
+                let labeled = event.get("args").and_then(|a| a.get("name"));
+                if labeled.and_then(|n| n.as_str()).is_none() {
+                    return Err(CliError::Run(format!(
+                        "trace-lint: event {i}: metadata without args.name"
+                    )));
+                }
+                if name == "process_name" {
+                    process_named = true;
+                }
+            }
+            "X" => {
+                spans += 1;
+                threads.insert(tid);
+                str_field("cat")?;
+                let ts = num_field("ts")?;
+                num_field("dur")?;
+                if let Some(prev) = last_ts.get(&tid) {
+                    if ts < *prev {
+                        return Err(CliError::Run(format!(
+                            "trace-lint: event {i}: timestamps not monotone on tid {tid} \
+                             ({ts} after {prev})"
+                        )));
+                    }
+                }
+                last_ts.insert(tid, ts);
+            }
+            "i" => {
+                instants += 1;
+                threads.insert(tid);
+                str_field("cat")?;
+                num_field("ts")?;
+                if str_field("s")? != "t" {
+                    return Err(CliError::Run(format!(
+                        "trace-lint: event {i}: instant without thread scope"
+                    )));
+                }
+            }
+            other => {
+                return Err(CliError::Run(format!(
+                    "trace-lint: event {i}: unknown phase `{other}`"
+                )))
+            }
+        }
+    }
+    if !process_named {
+        return Err(CliError::Run(
+            "trace-lint: no process_name metadata event".to_string(),
+        ));
+    }
     Ok(format!(
-        "evicted {} entries ({} -> {} bytes), {} kept\n",
-        report.evicted, report.bytes_before, report.bytes_after, report.kept
+        "trace OK: {path}: {} events ({spans} spans, {instants} instants, {metadata} metadata) \
+         across {} thread(s)\n",
+        events.len(),
+        threads.len().max(1)
     ))
 }
 
@@ -1512,6 +1911,20 @@ mod tests {
         );
         let json_commands = doc.get("json_commands").unwrap().as_array().unwrap();
         assert!(json_commands.iter().any(|c| c.as_str() == Some("tune")));
+        assert!(json_commands
+            .iter()
+            .any(|c| c.as_str() == Some("construct")));
+        assert!(json_commands.iter().any(|c| c.as_str() == Some("compare")));
+        let obs = doc.get("observability").unwrap();
+        assert_eq!(obs.get("trace_flag").unwrap().as_str(), Some("--trace"));
+        assert_eq!(
+            obs.get("metrics_schema").unwrap().as_str(),
+            Some("atss.metrics.v1")
+        );
+        let schemas = doc.get("schemas").unwrap().as_array().unwrap();
+        assert!(schemas
+            .iter()
+            .any(|s| s.as_str() == Some("atss.metrics.v1")));
     }
 
     #[test]
@@ -1745,6 +2158,10 @@ mod tests {
 
         let summary: serde_json::Value = serde_json::from_str(lines[lines.len() - 1]).unwrap();
         assert_eq!(
+            summary.get("schema").unwrap().as_str(),
+            Some("atss.check.v1")
+        );
+        assert_eq!(
             summary.get("summary").unwrap(),
             &serde_json::Value::Bool(true)
         );
@@ -1753,6 +2170,197 @@ mod tests {
         assert_eq!(summary.get("errors").unwrap().as_i64(), Some(0));
         assert_eq!(summary.get("warnings").unwrap().as_i64(), Some(4));
         assert!(summary.get("prunable_values").unwrap().as_i64().is_some());
+    }
+
+    /// Tests that flip the process-global recorder on serialize here, so
+    /// concurrently running tests never drain each other's spans.
+    static OBS_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    #[test]
+    fn construct_json_schema() {
+        let out = construct(&parsed(&[
+            "construct",
+            "--workload",
+            "dedispersion",
+            "--json",
+        ]))
+        .unwrap();
+        let doc: serde_json::Value = serde_json::from_str(out.trim()).unwrap();
+        assert_eq!(
+            doc.get("schema").unwrap().as_str().unwrap(),
+            "atss.construct.v1"
+        );
+        assert_eq!(doc.get("space").unwrap().as_str().unwrap(), "Dedispersion");
+        assert_eq!(doc.get("method").unwrap().as_str().unwrap(), "optimized");
+        assert!(doc.get("valid").unwrap().as_i64().unwrap() > 1000);
+        assert!(doc.get("cartesian").unwrap().as_i64().unwrap() > 0);
+        assert!(doc.get("construction_ms").unwrap().as_f64().unwrap() > 0.0);
+        assert!(doc.get("constraint_checks").unwrap().as_i64().unwrap() > 0);
+        assert!(doc.get("arena_bytes").unwrap().as_i64().unwrap() > 0);
+        assert_eq!(doc.get("cache_source").unwrap().as_str().unwrap(), "cold");
+        // The envelope only rides along when --metrics is passed.
+        assert!(doc.get("observability").is_none());
+    }
+
+    #[test]
+    fn compare_json_schema() {
+        let out = compare(&parsed(&[
+            "compare",
+            "--workload",
+            "dedispersion",
+            "--methods",
+            "optimized,chain-of-trees",
+            "--json",
+        ]))
+        .unwrap();
+        let doc: serde_json::Value = serde_json::from_str(out.trim()).unwrap();
+        assert_eq!(
+            doc.get("schema").unwrap().as_str().unwrap(),
+            "atss.compare.v1"
+        );
+        assert_eq!(doc.get("space").unwrap().as_str().unwrap(), "Dedispersion");
+        let methods = doc.get("methods").unwrap().as_array().unwrap();
+        assert_eq!(methods.len(), 2);
+        for entry in methods {
+            assert!(entry.get("method").unwrap().as_str().is_some());
+            assert!(entry.get("duration_ms").unwrap().as_f64().unwrap() > 0.0);
+            assert!(entry.get("valid").unwrap().as_i64().unwrap() > 1000);
+        }
+    }
+
+    #[test]
+    fn construct_metrics_envelope_and_trace_roundtrip() {
+        let _guard = OBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let dir = std::env::temp_dir().join("at-cli-obs-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace = dir.join("construct-trace.json");
+        let out = construct(&parsed(&[
+            "construct",
+            "--workload",
+            "dedispersion",
+            "--metrics",
+            "--trace",
+            trace.to_str().unwrap(),
+        ]))
+        .unwrap();
+
+        // The envelope is the final output line.
+        let envelope = out.lines().last().unwrap();
+        let doc: serde_json::Value = serde_json::from_str(envelope).unwrap();
+        assert_eq!(
+            doc.get("schema").unwrap().as_str().unwrap(),
+            "atss.metrics.v1"
+        );
+        assert_eq!(doc.get("command").unwrap().as_str().unwrap(), "construct");
+        assert!(doc.get("spans").unwrap().as_i64().unwrap() > 0);
+        let phases = doc.get("phases").unwrap().as_array().unwrap();
+        let names: Vec<&str> = phases
+            .iter()
+            .map(|p| p.get("name").unwrap().as_str().unwrap())
+            .collect();
+        for expected in ["parse-spec", "check", "lower", "solve", "encode-finish"] {
+            assert!(names.contains(&expected), "{expected} missing in {names:?}");
+        }
+        let solve = doc.get("solve").unwrap();
+        assert!(solve.get("constraint_checks").unwrap().as_i64().unwrap() > 0);
+        assert!(solve.get("valid").unwrap().as_i64().unwrap() > 1000);
+        // The test binary does not install the counting allocator, and the
+        // envelope says so rather than reporting a bogus zero peak.
+        let alloc = doc.get("alloc").unwrap();
+        assert_eq!(
+            alloc.get("installed").unwrap(),
+            &serde_json::Value::Bool(false)
+        );
+
+        // The trace file passes the tool's own structural linter.
+        let lint = trace_lint(&parsed(&["trace-lint", trace.to_str().unwrap()])).unwrap();
+        assert!(lint.contains("trace OK"), "{lint}");
+    }
+
+    #[test]
+    fn tune_json_with_metrics_embeds_the_envelope() {
+        let _guard = OBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let out = tune(&parsed(&[
+            "tune",
+            "--workload",
+            "dedispersion",
+            "--budget-ms",
+            "1000",
+            "--seed",
+            "3",
+            "--construction-ms",
+            "0",
+            "--json",
+            "--metrics",
+        ]))
+        .unwrap();
+        let doc: serde_json::Value = serde_json::from_str(out.trim()).unwrap();
+        assert_eq!(doc.get("schema").unwrap().as_str().unwrap(), "atss.tune.v1");
+        let obs = doc.get("observability").unwrap();
+        assert_eq!(
+            obs.get("schema").unwrap().as_str().unwrap(),
+            "atss.metrics.v1"
+        );
+        assert_eq!(obs.get("command").unwrap().as_str().unwrap(), "tune");
+        let eval = obs.get("eval").unwrap();
+        assert!(eval.get("proposed").unwrap().as_i64().unwrap() > 0);
+    }
+
+    #[test]
+    fn trace_lint_rejects_malformed_traces() {
+        let dir = std::env::temp_dir().join("at-cli-obs-test");
+        std::fs::create_dir_all(&dir).unwrap();
+
+        let not_array = dir.join("not-array.json");
+        std::fs::write(&not_array, "{}").unwrap();
+        let err = trace_lint(&parsed(&["trace-lint", not_array.to_str().unwrap()])).unwrap_err();
+        assert!(err.to_string().contains("array"), "{err}");
+
+        let missing_ph = dir.join("missing-ph.json");
+        std::fs::write(&missing_ph, r#"[{"name":"a","pid":1,"tid":0}]"#).unwrap();
+        let err = trace_lint(&parsed(&["trace-lint", missing_ph.to_str().unwrap()])).unwrap_err();
+        assert!(err.to_string().contains("event 0"), "{err}");
+
+        let non_monotone = dir.join("non-monotone.json");
+        std::fs::write(
+            &non_monotone,
+            r#"[{"name":"process_name","ph":"M","pid":1,"tid":0,"args":{"name":"atss"}},
+{"name":"a","cat":"c","ph":"X","ts":5.0,"dur":1.0,"pid":1,"tid":0},
+{"name":"b","cat":"c","ph":"X","ts":3.0,"dur":1.0,"pid":1,"tid":0}]"#,
+        )
+        .unwrap();
+        let err = trace_lint(&parsed(&["trace-lint", non_monotone.to_str().unwrap()])).unwrap_err();
+        assert!(err.to_string().contains("monotone"), "{err}");
+
+        assert!(trace_lint(&parsed(&["trace-lint"])).is_err());
+        assert!(trace_lint(&parsed(&["trace-lint", "/no/such/trace.json"])).is_err());
+    }
+
+    #[test]
+    fn tracing_does_not_change_the_export() {
+        let _guard = OBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let dir = std::env::temp_dir().join("at-cli-obs-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace = dir.join("identity-trace.json");
+        let plain = construct(&parsed(&[
+            "construct",
+            "--workload",
+            "dedispersion",
+            "--format",
+            "csv",
+        ]))
+        .unwrap();
+        let traced = construct(&parsed(&[
+            "construct",
+            "--workload",
+            "dedispersion",
+            "--format",
+            "csv",
+            "--trace",
+            trace.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert_eq!(plain, traced, "--trace must not change the export");
     }
 
     #[test]

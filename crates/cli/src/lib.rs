@@ -13,6 +13,11 @@
 //! atss spec-template                              print an example JSON spec
 //! ```
 //!
+//! Every pipeline command additionally accepts `--trace <file>` (Chrome
+//! trace-event export of the run, via [`at_obs`]) and `--metrics` (a
+//! one-line `atss.metrics.v1` envelope); `atss trace-lint` validates the
+//! trace files the tool itself writes. See `atss help` for the contract.
+//!
 //! Every command returns its report as a string (printed by `main`), which is
 //! what the unit tests assert on.
 
@@ -21,6 +26,7 @@
 
 pub mod args;
 pub mod commands;
+pub mod obs;
 
 use args::{parse, ArgError};
 
@@ -67,6 +73,7 @@ pub fn run(raw_args: &[String]) -> Result<String, CliError> {
         "compare" => commands::compare(&parsed),
         "tune" => commands::tune(&parsed),
         "cache" => commands::cache(&parsed),
+        "trace-lint" => commands::trace_lint(&parsed),
         "capabilities" => commands::capabilities(&parsed),
         "spec-template" => Ok(commands::spec_template()),
         other => Err(CliError::UnknownCommand(other.to_string())),

@@ -6,6 +6,13 @@
 
 use std::process::ExitCode;
 
+/// The counting allocator from `at_obs` backs the `--metrics` envelope's
+/// `alloc.peak_bytes` probe (peak transient heap of a construction). It
+/// delegates to the system allocator with two relaxed atomic updates per
+/// allocation — the same cost the benches have always paid.
+#[global_allocator]
+static ALLOC: at_obs::alloc::CountingAllocator = at_obs::alloc::CountingAllocator;
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match at_cli::run(&args) {

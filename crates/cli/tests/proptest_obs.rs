@@ -1,0 +1,100 @@
+//! Zero-interference properties of the observability layer.
+//!
+//! The contract `at_obs` documents — and the ISSUE's tentpole demands — is
+//! that turning the recorder on never changes what the pipeline computes:
+//! the recorder only reads the clock and writes its own buffers. Two
+//! properties pin that down over random workloads, formats, seeds and
+//! fan-out widths:
+//!
+//! 1. **Export byte-identity**: `construct` renders the bit-identical
+//!    space with and without `--trace`/`--metrics` (the envelope is an
+//!    appended line, never a mutation of the export itself).
+//! 2. **Trajectory identity**: a `tune --json` run — every evaluation,
+//!    the best configuration, the virtual clock, the work counters — is
+//!    identical with and without the recorder.
+//!
+//! The recorder is process-global, so every case serializes on one lock;
+//! the properties still cover the multi-threaded fan-out because the
+//! traced run spawns its own eval workers.
+
+use std::sync::Mutex;
+
+use proptest::prelude::*;
+
+use at_cli::args::{parse, ParsedArgs};
+use at_cli::commands::{construct, tune};
+
+static OBS_LOCK: Mutex<()> = Mutex::new(());
+
+fn parsed(args: &[&str]) -> ParsedArgs {
+    parse(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>()).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn construct_exports_are_byte_identical_under_tracing(
+        workload_idx in 0usize..2,
+        format_idx in 0usize..3,
+    ) {
+        let _guard = OBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let workload = ["dedispersion", "hotspot"][workload_idx];
+        let format = ["csv", "count", "json"][format_idx];
+        let trace = std::env::temp_dir()
+            .join(format!("at-proptest-obs-{workload}-{format}.trace.json"));
+        let plain = construct(&parsed(&[
+            "construct", "--workload", workload, "--format", format,
+        ]))
+        .unwrap();
+        let traced = construct(&parsed(&[
+            "construct", "--workload", workload, "--format", format,
+            "--trace", trace.to_str().unwrap(),
+        ]))
+        .unwrap();
+        prop_assert_eq!(plain, traced);
+        // The trace itself was written and is non-trivial.
+        prop_assert!(std::fs::metadata(&trace).unwrap().len() > 2);
+    }
+
+    #[test]
+    fn tune_trajectories_are_identical_under_metrics(
+        seed in 0u64..500,
+        threads in 1usize..5,
+    ) {
+        let _guard = OBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let seed = seed.to_string();
+        let threads = threads.to_string();
+        let trace = std::env::temp_dir().join("at-proptest-obs-tune.trace.json");
+        let base = [
+            "tune", "--workload", "dedispersion", "--strategy", "genetic",
+            "--budget-ms", "1200", "--construction-ms", "0",
+            "--seed", &seed, "--eval-threads", &threads, "--json",
+        ];
+        let plain = tune(&parsed(&base)).unwrap();
+        let mut traced_args = base.to_vec();
+        let trace_path = trace.to_str().unwrap();
+        traced_args.extend(["--metrics", "--trace", trace_path]);
+        let traced = tune(&parsed(&traced_args)).unwrap();
+
+        let plain_doc: serde_json::Value = serde_json::from_str(plain.trim()).unwrap();
+        let traced_doc: serde_json::Value = serde_json::from_str(traced.trim()).unwrap();
+        // Everything the tuning run computed is identical; the traced run
+        // only gains the embedded `observability` envelope.
+        for field in [
+            "evaluations",
+            "best_runtime_ms",
+            "best_config_id",
+            "best_config",
+            "total_ms",
+            "metrics",
+        ] {
+            prop_assert!(
+                plain_doc.get(field) == traced_doc.get(field),
+                "field `{}` diverged under tracing", field
+            );
+        }
+        prop_assert!(plain_doc.get("observability").is_none());
+        prop_assert!(traced_doc.get("observability").is_some());
+    }
+}

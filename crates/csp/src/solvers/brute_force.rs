@@ -117,7 +117,9 @@ impl Solver for BruteForceSolver {
         let sink_ref: &dyn SolutionSink = sink;
         let partials: Vec<CspResult<(Box<dyn RowSink>, SolveStats)>> = prefixes
             .par_iter()
-            .map(|prefix| {
+            .enumerate()
+            .map(|(chunk_index, prefix)| {
+                let span = at_obs::span("solve-chunk", "solve").arg("chunk", chunk_index as u64);
                 let values: Vec<Value> = prefix
                     .iter()
                     .enumerate()
@@ -126,6 +128,10 @@ impl Solver for BruteForceSolver {
                 let mut chunk = sink_ref.new_chunk();
                 let mut local_stats = SolveStats::default();
                 Self::enumerate_suffix(problem, &values, chunk.as_mut(), &mut local_stats)?;
+                drop(
+                    span.arg("nodes", local_stats.nodes)
+                        .arg("solutions", local_stats.solutions),
+                );
                 Ok((chunk, local_stats))
             })
             .collect();

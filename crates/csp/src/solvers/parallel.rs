@@ -70,7 +70,9 @@ impl Solver for ParallelSolver {
         let constraints_ref = &constraints_per_var;
         let partials: Vec<CspResult<(Box<dyn RowSink>, SolveStats)>> = prefixes
             .par_iter()
-            .map(|prefix| {
+            .enumerate()
+            .map(|(chunk_index, prefix)| {
+                let span = at_obs::span("solve-chunk", "solve").arg("chunk", chunk_index as u64);
                 // Pin the first `prefix.len()` variables of the search order
                 // to one value each; the subsearch explores the rest. The
                 // pin is by *index*, not equality: a domain may hold
@@ -98,6 +100,10 @@ impl Solver for ParallelSolver {
                     chunk.as_mut(),
                     &mut local_stats,
                 )?;
+                drop(
+                    span.arg("nodes", local_stats.nodes)
+                        .arg("solutions", local_stats.solutions),
+                );
                 Ok((chunk, local_stats))
             })
             .collect();

@@ -1,0 +1,162 @@
+//! Chrome trace-event JSON export.
+//!
+//! [`chrome_trace`] serializes drained [`SpanRecord`]s into the
+//! trace-event *array* format that `about://tracing` and
+//! [Perfetto](https://ui.perfetto.dev) load directly: a JSON array of
+//! event objects. Spans become complete events (`"ph":"X"` — start +
+//! duration in one object, so no begin/end balancing is needed);
+//! instant events become `"ph":"i"` with thread scope. Two metadata
+//! (`"ph":"M"`) events name the process and each recorded thread so
+//! the Perfetto track labels read `atss` / `thread 0..n` instead of
+//! raw ids.
+//!
+//! Timestamps and durations are microseconds (the trace-event unit),
+//! written as decimals with nanosecond precision so adjacent solver
+//! chunks stay ordered.
+
+use crate::json::Json;
+use crate::recorder::{SpanKind, SpanRecord};
+
+/// Serialize records (as returned by [`crate::drain`]) into a Chrome
+/// trace-event JSON array. The result is self-contained and loadable
+/// by Perfetto / `about://tracing` as-is.
+pub fn chrome_trace(records: &[SpanRecord]) -> String {
+    let mut events: Vec<Json> = Vec::with_capacity(records.len() + 8);
+
+    let mut meta = Json::obj();
+    meta.push("name", Json::Str("process_name".to_string()));
+    meta.push("ph", Json::Str("M".to_string()));
+    meta.push("pid", Json::U64(1));
+    meta.push("tid", Json::U64(0));
+    let mut args = Json::obj();
+    args.push("name", Json::Str("atss".to_string()));
+    meta.push("args", args);
+    events.push(meta);
+
+    let mut threads: Vec<u32> = records.iter().map(|r| r.thread).collect();
+    threads.sort_unstable();
+    threads.dedup();
+    for t in threads {
+        let mut meta = Json::obj();
+        meta.push("name", Json::Str("thread_name".to_string()));
+        meta.push("ph", Json::Str("M".to_string()));
+        meta.push("pid", Json::U64(1));
+        meta.push("tid", Json::U64(u64::from(t)));
+        let mut args = Json::obj();
+        args.push("name", Json::Str(format!("thread {t}")));
+        meta.push("args", args);
+        events.push(meta);
+    }
+
+    for r in records {
+        events.push(record_event(r));
+    }
+    Json::Arr(events).to_string()
+}
+
+/// One record as a trace event object.
+fn record_event(r: &SpanRecord) -> Json {
+    let mut ev = Json::obj();
+    ev.push("name", Json::Str(r.name.to_string()));
+    ev.push("cat", Json::Str(r.cat.to_string()));
+    match r.kind {
+        SpanKind::Span => {
+            ev.push("ph", Json::Str("X".to_string()));
+        }
+        SpanKind::Event => {
+            ev.push("ph", Json::Str("i".to_string()));
+            ev.push("s", Json::Str("t".to_string()));
+        }
+    }
+    ev.push("ts", Json::F64(r.start_ns as f64 / 1_000.0));
+    if r.kind == SpanKind::Span {
+        ev.push("dur", Json::F64(r.dur_ns as f64 / 1_000.0));
+    }
+    ev.push("pid", Json::U64(1));
+    ev.push("tid", Json::U64(u64::from(r.thread)));
+    if r.num_args > 0 {
+        let mut args = Json::obj();
+        for (k, v) in r.args() {
+            args.push(k, Json::U64(*v));
+        }
+        ev.push("args", args);
+    }
+    ev
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::MAX_ARGS;
+
+    fn record(
+        name: &'static str,
+        thread: u32,
+        start_ns: u64,
+        dur_ns: u64,
+        kind: SpanKind,
+    ) -> SpanRecord {
+        SpanRecord {
+            name,
+            cat: "test",
+            thread,
+            start_ns,
+            dur_ns,
+            kind,
+            args: [("", 0); MAX_ARGS],
+            num_args: 0,
+        }
+    }
+
+    #[test]
+    fn trace_is_an_array_with_metadata_and_one_event_per_record() {
+        let records = vec![
+            record("a", 0, 1_000, 2_000, SpanKind::Span),
+            record("b", 1, 1_500, 0, SpanKind::Event),
+        ];
+        let text = chrome_trace(&records);
+        let v: serde_json::Value = serde_json::from_str(&text).unwrap();
+        let events = v.as_array().unwrap();
+        // process_name + 2 thread_name + 2 records
+        assert_eq!(events.len(), 5);
+        let span = events
+            .iter()
+            .find(|e| e.get("name").and_then(|n| n.as_str()) == Some("a"))
+            .unwrap();
+        assert_eq!(span.get("ph").and_then(|p| p.as_str()), Some("X"));
+        assert_eq!(span.get("ts").and_then(|t| t.as_f64()), Some(1.0));
+        assert_eq!(span.get("dur").and_then(|d| d.as_f64()), Some(2.0));
+        assert_eq!(span.get("tid").and_then(|t| t.as_i64()), Some(0));
+        let instant = events
+            .iter()
+            .find(|e| e.get("name").and_then(|n| n.as_str()) == Some("b"))
+            .unwrap();
+        assert_eq!(instant.get("ph").and_then(|p| p.as_str()), Some("i"));
+        assert_eq!(instant.get("s").and_then(|s| s.as_str()), Some("t"));
+        assert!(instant.get("dur").is_none());
+    }
+
+    #[test]
+    fn span_args_are_exported_as_an_args_object() {
+        let mut r = record("solve", 2, 10, 20, SpanKind::Span);
+        r.args[0] = ("rows", 128);
+        r.num_args = 1;
+        let text = chrome_trace(&[r]);
+        let v: serde_json::Value = serde_json::from_str(&text).unwrap();
+        let ev = v
+            .as_array()
+            .unwrap()
+            .iter()
+            .find(|e| e.get("name").and_then(|n| n.as_str()) == Some("solve"))
+            .unwrap();
+        let args = ev.get("args").unwrap();
+        assert_eq!(args.get("rows").and_then(|r| r.as_i64()), Some(128));
+    }
+
+    #[test]
+    fn empty_record_set_still_yields_a_loadable_array() {
+        let text = chrome_trace(&[]);
+        let v: serde_json::Value = serde_json::from_str(&text).unwrap();
+        assert_eq!(v.as_array().unwrap().len(), 1); // just process_name
+    }
+}

@@ -161,8 +161,14 @@ pub fn solve_spec_into(
     let lowering = options
         .lowering
         .unwrap_or_else(|| method.default_lowering());
+    let lower_span = at_obs::span("lower", "construct");
     let problem = spec.to_problem_with(lowering, options.prune)?;
     let num_constraints = problem.num_constraints();
+    drop(
+        lower_span
+            .arg("variables", problem.num_variables() as u64)
+            .arg("constraints", num_constraints as u64),
+    );
     // Solvers emit rows in variable declaration order, which is the spec's
     // parameter order — exactly what encoding sinks encode against.
     debug_assert!(problem
@@ -171,6 +177,7 @@ pub fn solve_spec_into(
         .zip(spec.params.iter())
         .all(|(n, p)| n == p.name()));
 
+    let solve_span = at_obs::span("solve", "construct");
     let stats: SolveStats = match method {
         Method::BruteForce => run_into(&BruteForceSolver::new(), &problem, sink)?,
         Method::Original => run_into(&OriginalBacktrackingSolver::new(), &problem, sink)?,
@@ -199,6 +206,12 @@ pub fn solve_spec_into(
             }
         }
     };
+    drop(
+        solve_span
+            .arg("nodes", stats.nodes)
+            .arg("checks", stats.constraint_checks)
+            .arg("solutions", stats.solutions),
+    );
     Ok(SinkSolveReport {
         stats,
         num_constraints,

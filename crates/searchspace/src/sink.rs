@@ -142,6 +142,12 @@ impl EncodingSink {
             codes,
             rows,
         } = self;
+        let _span = at_obs::span("encode-finish", "construct")
+            .arg("rows", rows as u64)
+            .arg(
+                "arena_bytes",
+                (codes.len() * std::mem::size_of::<u32>()) as u64,
+            );
         // All chunks are merged (and dropped) by now, so this is a move,
         // not a copy, on every normal path.
         let Encoder { params, lookups } =

@@ -114,6 +114,8 @@ pub struct StoreMetrics {
     rebuilds: AtomicU64,
     /// Warm loads whose persisted index was unusable and rebuilt.
     index_fallbacks: AtomicU64,
+    /// Entries evicted by [`SpaceStore::gc`] sweeps.
+    gc_evictions: AtomicU64,
     /// Total wall-clock nanoseconds spent in warm loads (hits).
     load_nanos: AtomicU64,
 }
@@ -144,6 +146,11 @@ impl StoreMetrics {
         self.index_fallbacks.load(Ordering::Relaxed)
     }
 
+    /// Entries evicted by gc sweeps over this store's lifetime.
+    pub fn gc_evictions(&self) -> u64 {
+        self.gc_evictions.load(Ordering::Relaxed)
+    }
+
     /// Mean wall-clock time of a warm load, if any happened.
     pub fn mean_load_time(&self) -> Option<Duration> {
         let hits = self.hits();
@@ -157,12 +164,14 @@ impl StoreMetrics {
             None => String::new(),
         };
         format!(
-            "{} hits / {} misses ({} rebuilds) / {} uncacheable, {} index fallbacks{latency}",
+            "{} hits / {} misses ({} rebuilds) / {} uncacheable, {} index fallbacks, \
+             {} gc evictions{latency}",
             self.hits(),
             self.misses(),
             self.rebuilds(),
             self.uncacheable(),
             self.index_fallbacks(),
+            self.gc_evictions(),
         )
     }
 }
@@ -303,6 +312,7 @@ impl SpaceStore {
                 let (space, report) = build_search_space_with(spec, method, options)
                     .map_err(|e| StoreError::Build(e.to_string()))?;
                 self.metrics.uncacheable.fetch_add(1, Ordering::Relaxed);
+                at_obs::event("cache-uncacheable", "store", &[]);
                 return Ok((
                     space,
                     StoreOutcome {
@@ -358,6 +368,14 @@ impl SpaceStore {
                     self.metrics
                         .load_nanos
                         .fetch_add(duration.as_nanos() as u64, Ordering::Relaxed);
+                    at_obs::event(
+                        "cache-hit",
+                        "store",
+                        &[
+                            ("load_us", duration.as_micros() as u64),
+                            ("zero_copy", u64::from(loaded.report.is_zero_copy())),
+                        ],
+                    );
                     return Ok((
                         loaded.space,
                         StoreOutcome {
@@ -374,6 +392,7 @@ impl SpaceStore {
                 Err(e) if e.is_content_error() => {
                     // Stale entry: rebuild below.
                     self.metrics.rebuilds.fetch_add(1, Ordering::Relaxed);
+                    at_obs::event("cache-rebuild", "store", &[]);
                 }
                 Err(e) => return Err(e),
             }
@@ -427,6 +446,14 @@ impl SpaceStore {
             num_constraints: solved.num_constraints,
         };
         self.metrics.misses.fetch_add(1, Ordering::Relaxed);
+        at_obs::event(
+            "cache-miss",
+            "store",
+            &[
+                ("build_us", duration.as_micros() as u64),
+                ("rows", space.len() as u64),
+            ],
+        );
         Ok((
             space,
             StoreOutcome {
@@ -526,6 +553,7 @@ impl SpaceStore {
     /// its atomic rename.
     pub fn gc_with(&self, options: GcOptions) -> Result<GcReport, StoreError> {
         const ABANDONED_TMP_AGE: Duration = Duration::from_secs(3600);
+        let span = at_obs::span("cache-gc", "store");
         let dir = fs::read_dir(&self.dir).map_err(|e| StoreError::io(&self.dir, e))?;
         for item in dir.flatten() {
             let name = item.file_name();
@@ -554,6 +582,14 @@ impl SpaceStore {
             bytes_after -= oldest.bytes;
             evicted += 1;
         }
+        self.metrics
+            .gc_evictions
+            .fetch_add(evicted as u64, Ordering::Relaxed);
+        drop(
+            span.arg("evicted", evicted as u64)
+                .arg("kept", entries.len() as u64)
+                .arg("bytes_after", bytes_after),
+        );
         Ok(GcReport {
             kept: entries.len(),
             evicted,

@@ -396,6 +396,7 @@ impl<W: Write> StoreWriter<W> {
         if pending == 0 || (!force && pending < FLUSH_CODES) {
             return Ok(());
         }
+        let span = at_obs::span("store-flush", "store");
         self.byte_buf.clear();
         self.byte_buf.reserve(pending * 4);
         for &code in &codes[self.flushed..] {
@@ -405,6 +406,7 @@ impl<W: Write> StoreWriter<W> {
         self.out.write_all(&self.byte_buf)?;
         self.bytes_written += self.byte_buf.len() as u64;
         self.flushed = codes.len();
+        drop(span.arg("bytes", self.byte_buf.len() as u64));
         Ok(())
     }
 
@@ -415,6 +417,7 @@ impl<W: Write> StoreWriter<W> {
         let io_err = |source| StoreError::Io { path: None, source };
         self.flush_pending(true).map_err(io_err)?;
         let rows = self.sink.rows() as u64;
+        let span = at_obs::span("store-write-finish", "store").arg("rows", rows);
         // The sink builds the membership table exactly once here; the IDX
         // section persists it verbatim so warm loads can skip the rebuild.
         let space = self.sink.finish()?;
@@ -423,6 +426,7 @@ impl<W: Write> StoreWriter<W> {
         self.bytes_written +=
             write_trailer(&mut self.out, rows, self.crc.finish()).map_err(io_err)?;
         self.out.flush().map_err(io_err)?;
+        drop(span.arg("bytes", self.bytes_written));
         Ok((
             space,
             StoreSummary {
@@ -1065,31 +1069,40 @@ impl StoreReader {
     /// and [`LoadReport`] for what actually happened (requested paths fall
     /// back rather than fail whenever the file itself is sound).
     pub fn load(&self, options: LoadOptions) -> Result<LoadedSpace, StoreError> {
-        match options.mode {
+        let span = at_obs::span("store-load", "store")
+            .arg("mmap_requested", u64::from(options.mode == LoadMode::Mmap));
+        let loaded = match options.mode {
             LoadMode::Copy => self.load_copy(options.index, ArenaOutcome::Copied),
             LoadMode::Mmap => {
                 if cfg!(target_endian = "big") {
-                    return self.load_copy(
+                    self.load_copy(
                         options.index,
                         ArenaOutcome::MmapFellBack {
                             reason: "big-endian target".to_string(),
                         },
-                    );
-                }
-                let map = match MappedFile::map(&self.file) {
-                    Ok(map) => Arc::new(map),
-                    Err(e) => {
-                        return self.load_copy(
+                    )
+                } else {
+                    match MappedFile::map(&self.file) {
+                        Ok(map) => self.load_mapped(Arc::new(map), options.index),
+                        Err(e) => self.load_copy(
                             options.index,
                             ArenaOutcome::MmapFellBack {
                                 reason: e.to_string(),
                             },
-                        )
+                        ),
                     }
-                };
-                self.load_mapped(map, options.index)
+                }
             }
-        }
+        }?;
+        drop(
+            span.arg("rows", loaded.space.len() as u64)
+                .arg("zero_copy", u64::from(loaded.report.is_zero_copy()))
+                .arg(
+                    "index_fallback",
+                    u64::from(loaded.report.index_fallback().is_some()),
+                ),
+        );
+        Ok(loaded)
     }
 
     /// The copying load: full read, every checksum verified.

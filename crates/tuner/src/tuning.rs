@@ -220,6 +220,7 @@ impl<'a> TuningContext<'a> {
 
         // Phase 1 — resolve: classify every slot, collecting the distinct
         // uncached configurations that need fresh measurements.
+        let resolve_span = at_obs::span("resolve", "tune").arg("proposed", ids.len() as u64);
         let mut slots: Vec<Slot> = Vec::with_capacity(ids.len());
         let mut unique: Vec<ConfigId> = Vec::new();
         let mut first_seen: FxHashMap<ConfigId, usize> = FxHashMap::default();
@@ -239,13 +240,18 @@ impl<'a> TuningContext<'a> {
             slots.push(slot);
         }
 
+        drop(resolve_span.arg("unique", unique.len() as u64));
+
         // Phase 2 — fan-out: measure the distinct misses in parallel.
+        let fanout_span = at_obs::span("fanout", "tune").arg("unique", unique.len() as u64);
         let measured = self.measure_unique(&unique);
+        drop(fanout_span);
 
         // Phase 3 — merge: replay the slots in proposal order against the
         // virtual clock. `committed[u]` tracks whether unique configuration
         // `u` fit the budget, so in-batch duplicates behave exactly like
         // cache hits of a measurement that really happened.
+        let merge_span = at_obs::span("merge", "tune");
         let mut committed = vec![false; unique.len()];
         let mut outcomes = Vec::with_capacity(ids.len());
         for (slot, &id) in slots.iter().zip(ids) {
@@ -306,6 +312,7 @@ impl<'a> TuningContext<'a> {
             };
             outcomes.push(outcome);
         }
+        drop(merge_span.arg("outcomes", outcomes.len() as u64));
         outcomes
     }
 
@@ -338,6 +345,9 @@ impl<'a> TuningContext<'a> {
             results
         };
         if workers <= 1 {
+            let _span = at_obs::span("eval-worker", "tune")
+                .arg("worker", 0)
+                .arg("configs", unique.len() as u64);
             return measure_chunk(unique);
         }
         self.metrics.fanout_batches += 1;
@@ -347,7 +357,15 @@ impl<'a> TuningContext<'a> {
             let mc = &measure_chunk;
             let handles: Vec<_> = unique
                 .chunks(chunk_len)
-                .map(|chunk| s.spawn(move || mc(chunk)))
+                .enumerate()
+                .map(|(worker, chunk)| {
+                    s.spawn(move || {
+                        let _span = at_obs::span("eval-worker", "tune")
+                            .arg("worker", worker as u64)
+                            .arg("configs", chunk.len() as u64);
+                        mc(chunk)
+                    })
+                })
                 .collect();
             let mut out = Vec::with_capacity(unique.len());
             for h in handles {

@@ -16,6 +16,9 @@
 //! * [`cot`] — the chain-of-trees construction baseline,
 //! * [`searchspace`] — specifications, construction methods and the resolved
 //!   search space representation,
+//! * [`obs`] — the observability layer: span/event tracing across the
+//!   construct → store → tune pipeline, Chrome trace export, and the
+//!   counting-allocator peak-memory probe,
 //! * [`store`] — `ATSS` binary persistence and the content-addressed
 //!   construction cache (solve once, serve forever),
 //! * [`tuner`] — budgeted tuning strategies over simulated kernels,
@@ -62,6 +65,7 @@ pub use at_check as check;
 pub use at_cot as cot;
 pub use at_csp as csp;
 pub use at_expr as expr;
+pub use at_obs as obs;
 pub use at_searchspace as searchspace;
 pub use at_store as store;
 pub use at_tuner as tuner;

@@ -1,17 +1,18 @@
 //! Offline stand-in for the `rayon` crate.
 //!
-//! Covers exactly the pattern the workspace uses —
-//! `slice.par_iter().map(f).collect::<Vec<_>>()` — with real data
-//! parallelism: the input slice is split into one contiguous chunk per
-//! available core and mapped on scoped threads, and the per-chunk outputs
-//! are concatenated in order, so results are index-stable exactly like
-//! rayon's. Only this API surface is provided; see `vendor/README.md`.
+//! Covers exactly the patterns the workspace uses —
+//! `slice.par_iter().map(f).collect::<Vec<_>>()` and the same with an
+//! interposed `.enumerate()` — with real data parallelism: the input
+//! slice is split into one contiguous chunk per available core and
+//! mapped on scoped threads, and the per-chunk outputs are concatenated
+//! in order, so results are index-stable exactly like rayon's. Only
+//! this API surface is provided; see `vendor/README.md`.
 
 use std::num::NonZeroUsize;
 
 /// The customary `use rayon::prelude::*;` import surface.
 pub mod prelude {
-    pub use crate::{IntoParallelRefIterator, ParIter, ParMap};
+    pub use crate::{IntoParallelRefIterator, ParEnumerate, ParEnumerateMap, ParIter, ParMap};
 }
 
 /// Number of worker threads to use (available parallelism, at least 1).
@@ -63,6 +64,83 @@ impl<'a, T: Sync> ParIter<'a, T> {
             slice: self.slice,
             f,
         }
+    }
+
+    /// Pair each element with its index, like rayon's
+    /// `IndexedParallelIterator::enumerate`.
+    pub fn enumerate(self) -> ParEnumerate<'a, T> {
+        ParEnumerate { slice: self.slice }
+    }
+}
+
+/// The result of [`ParIter::enumerate`]: a parallel iterator over
+/// `(index, &T)` pairs.
+#[derive(Debug, Clone, Copy)]
+pub struct ParEnumerate<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParEnumerate<'a, T> {
+    /// Map each `(index, &T)` pair through `f`, to be executed on worker
+    /// threads.
+    pub fn map<R, F>(self, f: F) -> ParEnumerateMap<'a, T, F>
+    where
+        F: Fn((usize, &'a T)) -> R + Sync,
+        R: Send,
+    {
+        ParEnumerateMap {
+            slice: self.slice,
+            f,
+        }
+    }
+}
+
+/// The result of [`ParEnumerate::map`]: a lazy parallel indexed map.
+#[derive(Debug, Clone, Copy)]
+pub struct ParEnumerateMap<'a, T, F> {
+    slice: &'a [T],
+    f: F,
+}
+
+impl<'a, T, F, R> ParEnumerateMap<'a, T, F>
+where
+    T: Sync,
+    F: Fn((usize, &'a T)) -> R + Sync,
+    R: Send,
+{
+    /// Execute the map on scoped worker threads and collect the results in
+    /// input order.
+    pub fn collect<C: FromIterator<R>>(self) -> C {
+        let n = self.slice.len();
+        let workers = num_threads().min(n.max(1));
+        if n == 0 || workers <= 1 {
+            return self.slice.iter().enumerate().map(&self.f).collect();
+        }
+        let chunk_size = n.div_ceil(workers);
+        let f = &self.f;
+        let mut chunk_outputs: Vec<Vec<R>> = Vec::new();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .slice
+                .chunks(chunk_size)
+                .enumerate()
+                .map(|(chunk_no, chunk)| {
+                    let base = chunk_no * chunk_size;
+                    scope.spawn(move || {
+                        chunk
+                            .iter()
+                            .enumerate()
+                            .map(|(i, item)| f((base + i, item)))
+                            .collect::<Vec<R>>()
+                    })
+                })
+                .collect();
+            chunk_outputs = handles
+                .into_iter()
+                .map(|h| h.join().expect("rayon shim worker panicked"))
+                .collect();
+        });
+        chunk_outputs.into_iter().flatten().collect()
     }
 }
 
@@ -116,6 +194,17 @@ mod tests {
         assert_eq!(doubled.len(), input.len());
         for (i, v) in doubled.iter().enumerate() {
             assert_eq!(*v, 2 * i as u64);
+        }
+    }
+
+    #[test]
+    fn enumerate_map_collect_pairs_indices() {
+        let input: Vec<u64> = (0..4_000).map(|x| x * 3).collect();
+        let out: Vec<(usize, u64)> = input.par_iter().enumerate().map(|(i, &x)| (i, x)).collect();
+        assert_eq!(out.len(), input.len());
+        for (i, (idx, v)) in out.iter().enumerate() {
+            assert_eq!(*idx, i);
+            assert_eq!(*v, 3 * i as u64);
         }
     }
 
