@@ -3,9 +3,9 @@
 
 CARGO ?= cargo
 
-.PHONY: verify fmt clippy lint-unsafe build test doctest smoke streaming store check-specs tune-smoke obs-smoke examples doc fuzz-smoke fuzz bench bench-construction bench-store bench-tuner fix
+.PHONY: verify fmt clippy lint-unsafe build test doctest smoke streaming store check-specs tune-smoke obs-smoke daemon-smoke examples doc fuzz-smoke fuzz bench bench-construction bench-store bench-tuner bench-daemon fix
 
-verify: fmt clippy lint-unsafe build test smoke streaming store check-specs tune-smoke obs-smoke examples doc fuzz-smoke
+verify: fmt clippy lint-unsafe build test smoke streaming store check-specs tune-smoke obs-smoke daemon-smoke examples doc fuzz-smoke
 	@echo "---- all checks passed ----"
 
 fmt:
@@ -118,6 +118,14 @@ obs-smoke:
 	  | grep -F '"observability":{"schema":"atss.metrics.v1"'
 	$(CARGO) run --release -p at_cli --bin atss -- trace-lint target/obs-smoke/tune.trace.json
 
+# The space-server gate (see README "Space-server daemon"): a release
+# atssd driven through its full lifecycle — cold/warm --daemon constructs,
+# byte-compared exports (daemon vs. daemonless), client resolve, ping,
+# the atss.daemon-status.v1 envelope, unreachable-socket fallback, and a
+# SIGTERM drain that must remove socket and pidfile.
+daemon-smoke:
+	bash scripts/daemon_smoke.sh
+
 # The fuzzing gate (see README "Fuzzing & corpus policy"): replay every
 # checked-in regression input, then a short fixed-seed run of all three
 # targets so the differential oracles themselves are exercised on every
@@ -158,6 +166,11 @@ bench-store:
 # printed up front), plus batch-engine and sharded-cache microbenchmarks.
 bench-tuner:
 	$(CARGO) bench -p at_bench --bench tuner
+
+# Space-server benchmarks: warm daemon resolve + mmap attach vs. local
+# cold construction (the acceptance ratio is printed up front).
+bench-daemon:
+	$(CARGO) bench -p at_bench --bench daemon
 
 # Apply rustfmt and machine-applicable clippy suggestions.
 fix:

@@ -1,0 +1,185 @@
+//! Space-server benchmarks: what does the daemon cost, and what does it
+//! save?
+//!
+//! The `at_daemon` promise is the `at_store` promise made resident: one
+//! process owns construction and integrity, and every other process
+//! attaches to the shared `ATSS` entry in O(header) time. A one-shot
+//! comparison (min-of-5, printed up front, with an identity check against
+//! a daemonless construction) demonstrates the acceptance target — a warm
+//! daemon resolve + mmap attach is orders of magnitude cheaper than
+//! constructing the space locally. Criterion groups then track the
+//! individual costs:
+//!
+//! * `daemon/local_construct` — the daemonless baseline: optimized-solver
+//!   construction from scratch in the client process,
+//! * `daemon/warm_resolve` — one `Resolve` round-trip over the Unix
+//!   socket against a warm daemon (protocol + cache-probe cost only),
+//! * `daemon/warm_resolve_attach` — the full client story on a persistent
+//!   connection: resolve, then mmap + trusted-index attach,
+//! * `daemon/connect_resolve_attach` — the same including a fresh
+//!   `connect()` per iteration (the cold-client, warm-daemon shape a CLI
+//!   invocation pays).
+
+#[cfg(unix)]
+mod unix_bench {
+    use std::path::PathBuf;
+    use std::time::{Duration, Instant};
+
+    use criterion::{criterion_group, BenchmarkId, Criterion};
+
+    use at_daemon::{Daemon, DaemonClient, DaemonConfig};
+    use at_searchspace::{build_search_space, Method, SearchSpace, SearchSpaceSpec};
+    use at_workloads::{dedispersion, microhh};
+
+    fn bench_dir() -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("atss-daemon-bench-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("create bench dir");
+        dir
+    }
+
+    fn min_of<T>(runs: usize, mut f: impl FnMut() -> T) -> (Duration, T) {
+        let mut best: Option<(Duration, T)> = None;
+        for _ in 0..runs {
+            let start = Instant::now();
+            let value = f();
+            let elapsed = start.elapsed();
+            if best.as_ref().is_none_or(|(b, _)| elapsed < *b) {
+                best = Some((elapsed, value));
+            }
+        }
+        best.expect("at least one run")
+    }
+
+    fn assert_identical(local: &SearchSpace, served: &SearchSpace) {
+        assert_eq!(local.arena(), served.arena(), "arenas differ");
+        assert_eq!(local.name(), served.name());
+        assert_eq!(local.len(), served.len());
+    }
+
+    /// The acceptance comparison: local cold construction vs. a warm
+    /// daemon resolve + O(header) mmap attach, identity-checked.
+    fn report_local_vs_daemon(socket: &PathBuf, specs: &[SearchSpaceSpec]) {
+        println!("local cold construction vs. warm daemon resolve + mmap attach (min of 5):");
+        for spec in specs {
+            let (cold_time, (local, _)) = min_of(5, || {
+                build_search_space(spec, Method::Optimized).expect("construction")
+            });
+            let mut client = DaemonClient::connect(socket).expect("connect");
+            let (warm_time, attached) = min_of(5, || {
+                let resolved = client
+                    .resolve_spec(spec, Method::Optimized, false, |_| {})
+                    .expect("resolve");
+                resolved.attach().expect("attach")
+            });
+            assert_identical(&local, &attached.space);
+            assert!(attached.report.is_zero_copy(), "warm attach must be mmap");
+            let ratio = cold_time.as_secs_f64() / warm_time.as_secs_f64().max(1e-9);
+            println!(
+                "  {:<14} local-cold {:>10.3?}   daemon-warm {:>10.3?} ({:>7.1}x)   \
+                 ({} configs, {} B on disk)",
+                spec.name,
+                cold_time,
+                warm_time,
+                ratio,
+                attached.space.len(),
+                attached.info.file_bytes,
+            );
+        }
+    }
+
+    fn bench_daemon(c: &mut Criterion) {
+        let base = bench_dir();
+        let socket = base.join("atssd.sock");
+        let daemon =
+            Daemon::bind(DaemonConfig::new(&socket, base.join("cache"))).expect("bind daemon");
+        let handle = daemon.handle();
+        let join = std::thread::spawn(move || {
+            daemon.run().expect("daemon run");
+        });
+
+        // Warm the daemon: one cold resolve per workload, so every
+        // criterion iteration below measures the warm path.
+        let specs = vec![dedispersion().spec, microhh().spec];
+        {
+            let mut client = DaemonClient::connect(&socket).expect("connect");
+            for spec in &specs {
+                client
+                    .resolve_spec(spec, Method::Optimized, false, |_| {})
+                    .expect("warm-up resolve");
+            }
+        }
+
+        report_local_vs_daemon(&socket, &specs);
+
+        let mut group = c.benchmark_group("daemon/local_construct");
+        group.sample_size(10);
+        for spec in &specs {
+            group.bench_with_input(
+                BenchmarkId::new("optimized", &spec.name),
+                spec,
+                |b, spec| b.iter(|| build_search_space(spec, Method::Optimized).unwrap().0.len()),
+            );
+        }
+        group.finish();
+
+        let mut group = c.benchmark_group("daemon/warm_resolve");
+        group.sample_size(50);
+        for spec in &specs {
+            let mut client = DaemonClient::connect(&socket).expect("connect");
+            group.bench_with_input(BenchmarkId::new("socket", &spec.name), spec, |b, spec| {
+                b.iter(|| {
+                    client
+                        .resolve_spec(spec, Method::Optimized, false, |_| {})
+                        .unwrap()
+                        .rows
+                })
+            });
+        }
+        group.finish();
+
+        let mut group = c.benchmark_group("daemon/warm_resolve_attach");
+        group.sample_size(50);
+        for spec in &specs {
+            let mut client = DaemonClient::connect(&socket).expect("connect");
+            group.bench_with_input(BenchmarkId::new("socket", &spec.name), spec, |b, spec| {
+                b.iter(|| {
+                    let resolved = client
+                        .resolve_spec(spec, Method::Optimized, false, |_| {})
+                        .unwrap();
+                    resolved.attach().unwrap().space.len()
+                })
+            });
+        }
+        group.finish();
+
+        let mut group = c.benchmark_group("daemon/connect_resolve_attach");
+        group.sample_size(50);
+        for spec in &specs {
+            group.bench_with_input(BenchmarkId::new("socket", &spec.name), spec, |b, spec| {
+                b.iter(|| {
+                    let mut client = DaemonClient::connect(&socket).unwrap();
+                    let resolved = client
+                        .resolve_spec(spec, Method::Optimized, false, |_| {})
+                        .unwrap();
+                    resolved.attach().unwrap().space.len()
+                })
+            });
+        }
+        group.finish();
+
+        handle.request_shutdown();
+        join.join().expect("daemon thread");
+        let _ = std::fs::remove_dir_all(&base);
+    }
+
+    criterion_group!(benches, bench_daemon);
+}
+
+#[cfg(unix)]
+fn main() {
+    unix_bench::benches();
+}
+
+#[cfg(not(unix))]
+fn main() {}

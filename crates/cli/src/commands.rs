@@ -16,6 +16,7 @@ use at_tuner::{all_strategy_names, strategy_by_name, tune_with_options, EvalOpti
 use at_workloads::{all_real_world, performance_model_for, real_world_by_name, real_world_names};
 
 use crate::args::ParsedArgs;
+use crate::daemon_cmd::{try_daemon_obtain, DaemonServed};
 use crate::obs::{eval_section, solve_section, store_section, ObsSession};
 use crate::CliError;
 
@@ -44,6 +45,9 @@ COMMANDS:
                       --cache-dir <dir>   serve from / persist to an ATSS space cache
                       --mmap              zero-copy warm loads: mmap the cached
                                           arena and trust its persisted index
+                      --daemon <socket>   resolve through a running space-server
+                                          (O(header) mmap attach; falls back to
+                                          local construction when unreachable)
                       --prune             analyzer-driven domain pre-pruning before
                                           the solve (identical space, smaller solve)
                       --json              one-line atss.construct.v1 object instead
@@ -67,6 +71,9 @@ COMMANDS:
                                           loads charge milliseconds, not seconds,
                                           to the tuning budget)
                       --mmap              zero-copy warm loads (with --cache-dir)
+                      --daemon <socket>   resolve through a running space-server
+                                          (warm serves charge the attach, not a
+                                          solve; local fallback when unreachable)
     cache           Manage an ATSS space cache directory
                       cache ls     --cache-dir <dir>
                       cache info   --cache-dir <dir> --workload <n>|--spec <f> [--method <m>]
@@ -75,6 +82,25 @@ COMMANDS:
                                    --json emits one JSON object per entry plus a
                                    summary line; damage is reported in-band
                       cache gc     --cache-dir <dir> --max-bytes <n> --max-entries <n>
+                                   (entries pinned by a space-server are
+                                   reported and never evicted)
+    daemon          Run or control the resident space-server, atssd
+                    (ATSD protocol v1 over a Unix domain socket; one daemon
+                    owns the cache, dedupes concurrent builds, and hands
+                    clients validated paths to mmap in O(header))
+                      daemon run    --socket <path> --cache-dir <dir>
+                                    [--pidfile <path>] [--max-bytes <n>]
+                                    [--max-entries <n>]  (GC between builds;
+                                    pinned entries are skipped)
+                      daemon status --socket <path>   one-line
+                                    atss.daemon-status.v1 JSON envelope
+                      daemon stop   --socket <path>   drain builds, then exit
+                      daemon ping   --socket <path>
+    client          Talk to a running space-server
+                      client resolve --socket <path> --workload <n>|--spec <f>
+                                     [--method <m>] [--prune]
+                                     get-or-build via the daemon, mmap-attach
+                      client ping    --socket <path>
     trace-lint      Structurally validate a --trace export: top-level array,
                     required event fields, per-thread timestamp monotonicity
                       atss trace-lint <trace.json>
@@ -131,7 +157,7 @@ pub fn spec_template() -> String {
 }
 
 /// Resolve the search space specification selected by `--workload` or `--spec`.
-fn resolve_spec(args: &ParsedArgs) -> Result<SearchSpaceSpec, CliError> {
+pub(crate) fn resolve_spec(args: &ParsedArgs) -> Result<SearchSpaceSpec, CliError> {
     let span = at_obs::span("parse-spec", "parse");
     let spec = match (args.get("workload"), args.get("spec")) {
         (Some(name), None) => real_world_by_name(name).map(|w| w.spec).ok_or_else(|| {
@@ -164,7 +190,7 @@ fn resolve_spec(args: &ParsedArgs) -> Result<SearchSpaceSpec, CliError> {
     Ok(spec)
 }
 
-fn resolve_method(args: &ParsedArgs) -> Result<Method, CliError> {
+pub(crate) fn resolve_method(args: &ParsedArgs) -> Result<Method, CliError> {
     match args.get("method") {
         None => Ok(Method::Optimized),
         Some(label) => Method::from_label(label).ok_or_else(|| {
@@ -212,16 +238,22 @@ pub fn workloads(args: &ParsedArgs) -> Result<String, CliError> {
 }
 
 /// What [`obtain_space`] hands back: the space, the build report when
-/// solving happened, and the cache outcome + store when a cache was
-/// involved (the store carries the metrics for the summary).
+/// solving happened, the cache outcome + store when a cache was
+/// involved (the store carries the metrics for the summary), and the
+/// daemon reply when `--daemon` resolved the space through a running
+/// space-server.
 type ObtainedSpace = (
     SearchSpace,
     Option<BuildReport>,
     Option<(StoreOutcome, SpaceStore)>,
+    Option<DaemonServed>,
 );
 
-/// Resolve the space for `spec`: through a [`SpaceStore`] when `--cache-dir`
-/// is passed (zero-copy when `--mmap` is), by plain construction otherwise.
+/// Resolve the space for `spec`: through a running space-server when
+/// `--daemon <socket>` is passed (transparently falling back to local
+/// construction when it is unreachable), through a [`SpaceStore`] when
+/// `--cache-dir` is (zero-copy when `--mmap` is), by plain construction
+/// otherwise.
 fn obtain_space(
     args: &ParsedArgs,
     spec: &SearchSpaceSpec,
@@ -231,6 +263,18 @@ fn obtain_space(
         prune: args.switch("prune"),
         ..Default::default()
     };
+    if let Some(socket) = args.get("daemon") {
+        // The daemon path: ship the spec, wait through any build, attach
+        // O(header). A dead or unreachable daemon must never fail a
+        // tuner, so every error falls back to local construction with a
+        // note on stderr.
+        match try_daemon_obtain(socket, spec, method, options.prune) {
+            Ok((space, served)) => return Ok((space, None, None, Some(served))),
+            Err(e) => {
+                eprintln!("atss: daemon at `{socket}` unavailable ({e}); constructing locally")
+            }
+        }
+    }
     match args.get("cache-dir") {
         None => {
             if args.switch("mmap") {
@@ -240,7 +284,7 @@ fn obtain_space(
             }
             let (space, report) = build_search_space_with(spec, method, options)
                 .map_err(|e| CliError::Run(format!("construction failed: {e}")))?;
-            Ok((space, Some(report), None))
+            Ok((space, Some(report), None, None))
         }
         Some(dir) => {
             let store = SpaceStore::new(dir)
@@ -253,7 +297,7 @@ fn obtain_space(
             let (space, outcome) = store
                 .get_or_build_with_options(spec, method, options, load)
                 .map_err(|e| CliError::Run(format!("cache at `{dir}`: {e}")))?;
-            Ok((space, outcome.report.clone(), Some((outcome, store))))
+            Ok((space, outcome.report.clone(), Some((outcome, store)), None))
         }
     }
 }
@@ -309,8 +353,15 @@ fn cache_summary_lines(out: &mut String, outcome: &StoreOutcome, store: &SpaceSt
 
 /// How the space reached the command, as a stable label for the JSON
 /// envelopes: `cold` (no cache), `miss`, `hit`, `hit-zero-copy`,
-/// `uncacheable`.
-fn cache_source_label(outcome: &Option<(StoreOutcome, SpaceStore)>) -> &'static str {
+/// `uncacheable`, or `daemon-warm` / `daemon-validated` / `daemon-built`
+/// / `daemon-coalesced` when a space-server resolved it.
+fn cache_source_label(
+    outcome: &Option<(StoreOutcome, SpaceStore)>,
+    daemon: &Option<DaemonServed>,
+) -> &'static str {
+    if let Some(served) = daemon {
+        return served.source_label();
+    }
     match outcome {
         Some((o, _)) if o.status.is_hit() => {
             if o.load.as_ref().is_some_and(|l| l.is_zero_copy()) {
@@ -341,7 +392,7 @@ fn embed_observability(line: String, envelope: Option<&str>) -> String {
 
 /// Append the `atss.metrics.v1` envelope as the final output line (the
 /// `--metrics` contract for human-format and JSONL commands).
-fn append_metrics(mut out: String, envelope: Option<String>) -> String {
+pub(crate) fn append_metrics(mut out: String, envelope: Option<String>) -> String {
     if let Some(env) = envelope {
         if !out.is_empty() && !out.ends_with('\n') {
             out.push('\n');
@@ -360,6 +411,7 @@ fn construct_json_line(
     space: &SearchSpace,
     report: &Option<BuildReport>,
     outcome: &Option<(StoreOutcome, SpaceStore)>,
+    daemon: &Option<DaemonServed>,
     envelope: Option<&str>,
 ) -> String {
     let mut doc = Json::obj();
@@ -391,7 +443,7 @@ fn construct_json_line(
     );
     doc.push(
         "cache_source",
-        Json::Str(cache_source_label(outcome).to_string()),
+        Json::Str(cache_source_label(outcome, daemon).to_string()),
     );
     embed_observability(
         format!(
@@ -411,13 +463,14 @@ pub fn construct(args: &ParsedArgs) -> Result<String, CliError> {
         "format",
         "out",
         "cache-dir",
+        "daemon",
         "trace",
     ])?;
     let obs = ObsSession::begin(args);
     let spec = resolve_spec(args)?;
     emit_check_warnings(&spec);
     let method = resolve_method(args)?;
-    let (space, report, outcome) = obtain_space(args, &spec, method)?;
+    let (space, report, outcome, served) = obtain_space(args, &spec, method)?;
 
     // The traced window is the pipeline itself (parse -> check -> lower ->
     // solve -> encode -> store); rendering and export are outside it.
@@ -451,6 +504,7 @@ pub fn construct(args: &ParsedArgs) -> Result<String, CliError> {
                 &space,
                 &report,
                 &outcome,
+                &served,
                 envelope.as_deref(),
             ));
         }
@@ -472,6 +526,7 @@ pub fn construct(args: &ParsedArgs) -> Result<String, CliError> {
             &space,
             &report,
             &outcome,
+            &served,
             envelope.as_deref(),
         ));
     }
@@ -530,6 +585,9 @@ pub fn construct(args: &ParsedArgs) -> Result<String, CliError> {
             .expect("write to string");
             if let Some((outcome, store)) = &outcome {
                 cache_summary_lines(&mut out, outcome, store);
+            }
+            if let Some(served) = &served {
+                served.summary_lines(&mut out);
             }
             out
         }
@@ -719,6 +777,7 @@ pub fn tune(args: &ParsedArgs) -> Result<String, CliError> {
         "method",
         "seed",
         "cache-dir",
+        "daemon",
         "eval-threads",
         "construction-ms",
         "trace",
@@ -750,7 +809,7 @@ pub fn tune(args: &ParsedArgs) -> Result<String, CliError> {
     // The end-to-end loop accepts a pre-loaded space: with --cache-dir, a
     // warm load charges milliseconds (not a full construction) to the
     // virtual tuning budget — the production deployment the ROADMAP aims at.
-    let (space, report, outcome) = obtain_space(args, &workload.spec, method)?;
+    let (space, report, outcome, served) = obtain_space(args, &workload.spec, method)?;
     // --construction-ms overrides the measured construction time with a
     // fixed virtual charge, making whole runs reproducible across process
     // invocations (the tune-smoke gate diffs two of them).
@@ -761,9 +820,13 @@ pub fn tune(args: &ParsedArgs) -> Result<String, CliError> {
                 .map_err(CliError::Args)?;
             Duration::from_millis(ms)
         }
-        None => match &outcome {
-            Some((outcome, _)) => outcome.duration,
-            None => report.as_ref().expect("built without cache").duration,
+        None => match (&outcome, &served) {
+            (Some((outcome, _)), _) => outcome.duration,
+            // Daemon-served: the budget is charged what acquisition
+            // actually cost this process — resolve (including any build
+            // wait) plus the O(header) attach.
+            (None, Some(s)) => s.resolve_time + s.attach_time,
+            (None, None) => report.as_ref().expect("built without cache").duration,
         },
     };
     let model = performance_model_for(&workload.spec.name, &space, seed);
@@ -777,7 +840,7 @@ pub fn tune(args: &ParsedArgs) -> Result<String, CliError> {
         EvalOptions::with_threads(eval_threads),
     );
 
-    let cache_source = cache_source_label(&outcome);
+    let cache_source = cache_source_label(&outcome, &served);
 
     let mut sections: Vec<(&'static str, Json)> = Vec::new();
     if let Some(report) = &report {
@@ -808,6 +871,10 @@ pub fn tune(args: &ParsedArgs) -> Result<String, CliError> {
         "hit-zero-copy" => " [cache hit, zero-copy]",
         "hit" => " [cache hit]",
         "miss" => " [cache miss]",
+        "daemon-warm" => " [daemon, warm]",
+        "daemon-validated" => " [daemon, validated]",
+        "daemon-built" => " [daemon, built]",
+        "daemon-coalesced" => " [daemon, coalesced]",
         _ => "",
     };
     writeln!(
@@ -988,6 +1055,10 @@ pub fn capabilities(args: &ParsedArgs) -> Result<String, CliError> {
          \"eval\":{{\"backends\":[\"performance-model\"],\"batched\":true,\
          \"threads_flag\":\"--eval-threads\"}},\
          \"store\":{{\"format_version\":{},\"min_read_version\":{},\"features\":[{}]}},\
+         \"daemon\":{{\"protocol\":\"ATSD\",\"protocol_version\":{},\
+         \"socket_flag\":\"--daemon\",\"subcommands\":[{}],\
+         \"client_subcommands\":[{}],\
+         \"status_schema\":\"atss.daemon-status.v1\"}},\
          \"check\":{{\"diagnostics\":[{diagnostics}]}},\
          \"observability\":{{\"trace_flag\":\"--trace\",\"metrics_flag\":\"--metrics\",\
          \"trace_format\":\"chrome-trace-event\",\"metrics_schema\":\"atss.metrics.v1\",\
@@ -1003,6 +1074,8 @@ pub fn capabilities(args: &ParsedArgs) -> Result<String, CliError> {
             "tune",
             "cache",
             "trace-lint",
+            "daemon",
+            "client",
             "capabilities",
             "spec-template",
             "help",
@@ -1027,7 +1100,11 @@ pub fn capabilities(args: &ParsedArgs) -> Result<String, CliError> {
             "crc-framing",
             "verify",
             "gc",
+            "entry-pinning",
         ]),
+        at_daemon::PROTOCOL_VERSION,
+        quote_list(&["run", "status", "stop", "ping"]),
+        quote_list(&["resolve", "ping"]),
         quote_list(&["construct", "check", "compare", "tune", "cache"]),
         quote_list(&[
             "atss.capabilities.v1",
@@ -1036,6 +1113,7 @@ pub fn capabilities(args: &ParsedArgs) -> Result<String, CliError> {
             "atss.check.v1",
             "atss.tune.v1",
             "atss.cache-verify.v1",
+            "atss.daemon-status.v1",
             "atss.metrics.v1",
         ]),
         quote_list(&[
@@ -1153,6 +1231,19 @@ fn cache_info(args: &ParsedArgs) -> Result<(String, SpaceStore), CliError> {
     writeln!(out, "method:       {}", method.label()).expect("write to string");
     writeln!(out, "fingerprint:  {}", fingerprint.to_hex()).expect("write to string");
     writeln!(out, "entry:        {}", path.display()).expect("write to string");
+    // Pins are per-process (a space-server pins entries it has handed
+    // out); in a one-shot CLI invocation this is almost always "no",
+    // but the line keeps the daemon's `status` and this view congruent.
+    writeln!(
+        out,
+        "pinned:       {}",
+        if store.is_pinned(&fingerprint) {
+            "yes (gc will skip this entry)"
+        } else {
+            "no"
+        }
+    )
+    .expect("write to string");
     if path.exists() {
         match at_store::peek_info(&path) {
             Ok(info) => {
@@ -1312,11 +1403,12 @@ fn cache_gc(args: &ParsedArgs) -> Result<(String, SpaceStore), CliError> {
     // The summary line carries the store's lifetime counters — including
     // the gc evictions this run just performed.
     let out = format!(
-        "evicted {} entries ({} -> {} bytes), {} kept\ncache stats: {}\n",
+        "evicted {} entries ({} -> {} bytes), {} kept, {} pinned (skipped)\ncache stats: {}\n",
         report.evicted,
         report.bytes_before,
         report.bytes_after,
         report.kept,
+        report.pinned_skipped,
         store.metrics().summary_line()
     );
     Ok((out, store))
@@ -1925,6 +2017,33 @@ mod tests {
         assert!(schemas
             .iter()
             .any(|s| s.as_str() == Some("atss.metrics.v1")));
+        assert!(schemas
+            .iter()
+            .any(|s| s.as_str() == Some("atss.daemon-status.v1")));
+        let commands = doc.get("commands").unwrap().as_array().unwrap();
+        assert!(commands.iter().any(|c| c.as_str() == Some("daemon")));
+        assert!(commands.iter().any(|c| c.as_str() == Some("client")));
+        let daemon = doc.get("daemon").unwrap();
+        assert_eq!(daemon.get("protocol").unwrap().as_str(), Some("ATSD"));
+        assert_eq!(
+            daemon.get("protocol_version").unwrap().as_i64().unwrap(),
+            i64::from(at_daemon::PROTOCOL_VERSION)
+        );
+        assert_eq!(
+            daemon.get("status_schema").unwrap().as_str(),
+            Some("atss.daemon-status.v1")
+        );
+        let subcommands = daemon.get("subcommands").unwrap().as_array().unwrap();
+        assert!(subcommands.iter().any(|s| s.as_str() == Some("run")));
+        assert!(subcommands.iter().any(|s| s.as_str() == Some("status")));
+        let features = doc
+            .get("store")
+            .unwrap()
+            .get("features")
+            .unwrap()
+            .as_array()
+            .unwrap();
+        assert!(features.iter().any(|f| f.as_str() == Some("entry-pinning")));
     }
 
     #[test]

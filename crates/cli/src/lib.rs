@@ -26,6 +26,7 @@
 
 pub mod args;
 pub mod commands;
+pub mod daemon_cmd;
 pub mod obs;
 
 use args::{parse, ArgError};
@@ -73,6 +74,8 @@ pub fn run(raw_args: &[String]) -> Result<String, CliError> {
         "compare" => commands::compare(&parsed),
         "tune" => commands::tune(&parsed),
         "cache" => commands::cache(&parsed),
+        "daemon" => daemon_cmd::daemon(&parsed),
+        "client" => daemon_cmd::client(&parsed),
         "trace-lint" => commands::trace_lint(&parsed),
         "capabilities" => commands::capabilities(&parsed),
         "spec-template" => Ok(commands::spec_template()),

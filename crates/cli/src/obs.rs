@@ -163,6 +163,8 @@ pub fn store_section(metrics: &StoreMetrics) -> Json {
     store.push("uncacheable", Json::U64(metrics.uncacheable()));
     store.push("index_fallbacks", Json::U64(metrics.index_fallbacks()));
     store.push("gc_evictions", Json::U64(metrics.gc_evictions()));
+    store.push("gc_pin_skips", Json::U64(metrics.gc_pin_skips()));
+    store.push("pinned", Json::U64(metrics.pinned_now()));
     store.push(
         "mean_load_us",
         match metrics.mean_load_time() {

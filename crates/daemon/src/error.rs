@@ -1,0 +1,110 @@
+//! The daemon crate's error type, shared by server and client.
+
+use std::path::PathBuf;
+
+use crate::proto::{ProtoError, WireError};
+
+/// Everything that can go wrong binding, serving, or talking to a daemon.
+#[derive(Debug)]
+pub enum DaemonError {
+    /// A filesystem or socket operation failed.
+    Io {
+        /// The path or socket involved.
+        path: PathBuf,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+    /// The socket is owned by a live daemon (connect succeeded).
+    AlreadyRunning {
+        /// The contested socket path.
+        socket: PathBuf,
+    },
+    /// The peer sent bytes that are not a valid frame.
+    Proto(ProtoError),
+    /// The peer answered with a frame the protocol does not allow here.
+    UnexpectedFrame {
+        /// What was expected.
+        expected: &'static str,
+        /// A short description of what arrived.
+        got: String,
+    },
+    /// The daemon replied with an error frame.
+    Server {
+        /// The reply's status code (400 bad request, 422 uncacheable,
+        /// 500 build failure).
+        code: u16,
+        /// The reply's message.
+        message: String,
+    },
+    /// A `Get` found no usable entry for the fingerprint.
+    NotFound,
+    /// The store layer failed (opening the cache, building, loading).
+    Store(at_store::StoreError),
+    /// The request cannot be shipped to a daemon (e.g. a spec with
+    /// closure restrictions has no JSON form); the caller should build
+    /// locally.
+    Unshippable(String),
+}
+
+impl std::fmt::Display for DaemonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DaemonError::Io { path, source } => {
+                write!(f, "{}: {source}", path.display())
+            }
+            DaemonError::AlreadyRunning { socket } => {
+                write!(f, "a daemon is already serving {}", socket.display())
+            }
+            DaemonError::Proto(e) => write!(f, "protocol error: {e}"),
+            DaemonError::UnexpectedFrame { expected, got } => {
+                write!(f, "expected {expected}, daemon sent {got}")
+            }
+            DaemonError::Server { code, message } => {
+                write!(f, "daemon error {code}: {message}")
+            }
+            DaemonError::NotFound => write!(f, "no cache entry for that fingerprint"),
+            DaemonError::Store(e) => write!(f, "store error: {e}"),
+            DaemonError::Unshippable(why) => {
+                write!(f, "request cannot be served by a daemon: {why}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DaemonError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DaemonError::Io { source, .. } => Some(source),
+            DaemonError::Proto(e) => Some(e),
+            DaemonError::Store(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<at_store::StoreError> for DaemonError {
+    fn from(e: at_store::StoreError) -> Self {
+        DaemonError::Store(e)
+    }
+}
+
+impl From<WireError> for DaemonError {
+    fn from(e: WireError) -> Self {
+        match e {
+            WireError::Io(source) => DaemonError::Io {
+                path: PathBuf::from("<socket>"),
+                source,
+            },
+            WireError::Proto(p) => DaemonError::Proto(p),
+        }
+    }
+}
+
+impl DaemonError {
+    pub(crate) fn io(path: impl Into<PathBuf>, source: std::io::Error) -> DaemonError {
+        DaemonError::Io {
+            path: path.into(),
+            source,
+        }
+    }
+}

@@ -1,0 +1,207 @@
+//! Fuzz target `daemon_proto`: arbitrary bytes through the `ATSD` frame
+//! decoder, with a buffer-vs-stream framing differential.
+//!
+//! The daemon's frame decoder is the workspace's third untrusted-byte
+//! surface: any local process can connect to the socket and send
+//! anything. The oracle (see [`proto_target`]):
+//!
+//! * **No panic, no hang** — every input yields a decoded frame or a
+//!   typed [`at_daemon::ProtoError`]; nothing else.
+//! * **Canonical encoding** — when a prefix decodes, re-encoding the
+//!   frame reproduces that prefix byte-for-byte, and decoding the
+//!   re-encoding yields the same frame again (the protocol admits exactly
+//!   one wire form per frame).
+//! * **Stream differential** — walking the buffer with
+//!   [`Frame::decode`] and reading it through [`read_frame`] (the
+//!   blocking path the daemon actually serves with) must agree frame for
+//!   frame, error for error, with `Ok(None)` exactly at a clean
+//!   end-of-stream frame boundary.
+
+use std::io::Cursor;
+
+use at_daemon::proto::{read_frame, Frame, ServeKind, WireError};
+use at_store::SpecFingerprint;
+
+/// The fuzz oracle for the `ATSD` wire format.
+pub fn proto_target(input: &[u8]) -> Result<(), String> {
+    // 1. Prefix decode: canonical encoding + idempotence.
+    if let Ok((frame, consumed)) = Frame::decode(input) {
+        let encoded = frame.encode();
+        if encoded != input[..consumed] {
+            return Err(format!(
+                "non-canonical encoding: decode consumed {consumed} bytes but \
+                 re-encoding {frame:?} produced {} different bytes",
+                encoded.len()
+            ));
+        }
+        match Frame::decode(&encoded) {
+            Ok((again, n)) if again == frame && n == encoded.len() => {}
+            Ok((again, n)) => {
+                return Err(format!(
+                    "decode not idempotent: {frame:?} re-decoded as {again:?} ({n} bytes)"
+                ))
+            }
+            Err(e) => return Err(format!("re-encoded frame rejected: {e}")),
+        }
+    }
+
+    // 2. Stream differential: read_frame over the same bytes must mirror
+    // iterated Frame::decode — same frames, same terminal error, and a
+    // clean None exactly at an end-of-buffer frame boundary.
+    let mut cursor = Cursor::new(input);
+    let mut offset = 0usize;
+    let mut frames = 0usize;
+    loop {
+        // Defense in depth against a decoder that stops consuming: the
+        // buffer holds at most len/12 frames.
+        if frames > input.len() / 12 + 1 {
+            return Err("stream yielded more frames than the buffer can hold".to_string());
+        }
+        if offset == input.len() {
+            match read_frame(&mut cursor) {
+                Ok(None) => return Ok(()),
+                other => {
+                    return Err(format!(
+                        "buffer exhausted at a frame boundary but read_frame gave {other:?}"
+                    ))
+                }
+            }
+        }
+        match Frame::decode(&input[offset..]) {
+            Ok((expected, consumed)) => match read_frame(&mut cursor) {
+                Ok(Some(got)) if got == expected => {
+                    offset += consumed;
+                    frames += 1;
+                }
+                other => {
+                    return Err(format!(
+                        "at offset {offset}: decode gave {expected:?} but read_frame gave {other:?}"
+                    ))
+                }
+            },
+            Err(expected) => {
+                return match read_frame(&mut cursor) {
+                    Err(WireError::Proto(got)) if got == expected => Ok(()),
+                    other => Err(format!(
+                        "at offset {offset}: decode rejected with {expected:?} but \
+                         read_frame gave {other:?}"
+                    )),
+                };
+            }
+        }
+    }
+}
+
+/// Deterministic valid wire images: one frame of every type (every
+/// payload shape the decoder knows) plus a multi-frame stream. These are
+/// the mutation seeds and the checked-in corpus base.
+pub fn seed_frames() -> Vec<Vec<u8>> {
+    let fp = SpecFingerprint::from_u128(0x0123_4567_89ab_cdef_fedc_ba98_7654_3210);
+    let frames = [
+        Frame::Ping,
+        Frame::Get { fingerprint: fp },
+        Frame::Resolve {
+            spec_json: "{\"name\":\"demo\",\"parameters\":[{\"name\":\"x\",\"values\":[1,2]}],\
+                        \"restrictions\":[\"x > 0\"]}"
+                .to_string(),
+            method: "optimized".to_string(),
+            prune: true,
+        },
+        Frame::Status,
+        Frame::Shutdown,
+        Frame::Ready {
+            fingerprint: fp,
+            path: "/tmp/atss-cache/entry.atss".to_string(),
+            file_bytes: 4096,
+            rows: 128,
+            served: ServeKind::Warm,
+            build_us: 0,
+        },
+        Frame::Building {
+            fingerprint: fp,
+            elapsed_ms: 250,
+            waiters: 3,
+        },
+        Frame::NotFound { fingerprint: fp },
+        Frame::ErrorReply {
+            code: 400,
+            message: "malformed frame".to_string(),
+        },
+        Frame::StatusReply {
+            json: "{\"schema\":\"atss.daemon-status.v1\",\"pid\":1}".to_string(),
+        },
+        Frame::Bye,
+        Frame::Pong {
+            pid: 4242,
+            uptime_ms: 60_000,
+        },
+    ];
+    let mut seeds: Vec<Vec<u8>> = frames.iter().map(Frame::encode).collect();
+    let stream: Vec<u8> = frames.iter().flat_map(Frame::encode).collect();
+    seeds.push(stream);
+    seeds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_seed_passes_the_oracle() {
+        for (i, seed) in seed_frames().iter().enumerate() {
+            proto_target(seed).unwrap_or_else(|e| panic!("seed {i}: {e}"));
+        }
+    }
+
+    #[test]
+    fn garbage_and_truncations_pass_the_oracle() {
+        proto_target(b"").unwrap();
+        proto_target(b"ATSD").unwrap();
+        proto_target(&[0xff; 64]).unwrap();
+        for seed in seed_frames() {
+            for cut in 0..seed.len().min(40) {
+                proto_target(&seed[..cut]).unwrap();
+            }
+        }
+    }
+
+    /// Regenerates the checked-in seed corpus (deterministic bytes; see
+    /// [`seed_frames`]). Run manually after a protocol revision:
+    /// `cargo test -p at_fuzz --lib dump_seed_corpus -- --ignored`.
+    #[test]
+    #[ignore = "writes the checked-in corpus; run manually after protocol changes"]
+    fn dump_seed_corpus() {
+        let names = [
+            "ping",
+            "get",
+            "resolve",
+            "status",
+            "shutdown",
+            "ready",
+            "building",
+            "notfound",
+            "error",
+            "statusreply",
+            "bye",
+            "pong",
+            "stream",
+        ];
+        let seeds = seed_frames();
+        assert_eq!(seeds.len(), names.len());
+        let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../../tests/fuzz_corpus/daemon_proto");
+        std::fs::create_dir_all(&dir).unwrap();
+        for (name, bytes) in names.iter().zip(&seeds) {
+            std::fs::write(dir.join(format!("seed-{name}.bin")), bytes).unwrap();
+        }
+    }
+
+    #[test]
+    fn the_oracle_would_catch_a_decoder_desync() {
+        // A frame followed by garbage must report the garbage's error,
+        // not silently succeed — exercised through the public target.
+        let mut bytes = Frame::Ping.encode();
+        bytes.extend_from_slice(b"GARBAGE_____");
+        proto_target(&bytes).unwrap();
+    }
+}

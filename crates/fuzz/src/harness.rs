@@ -17,7 +17,7 @@ use std::time::{Duration, Instant};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
-use crate::{atss, checkgen, exprgen, mutate};
+use crate::{atss, checkgen, daemonproto, exprgen, mutate};
 
 /// Wall-clock bound for a single target execution. The targets do
 /// strictly bounded work per byte, so anything past this is a hang (or an
@@ -36,7 +36,7 @@ pub fn fnv1a(bytes: &[u8]) -> u64 {
     hash
 }
 
-/// The four fuzz targets. Each wraps a `fn(&[u8]) -> Result<(), String>`
+/// The five fuzz targets. Each wraps a `fn(&[u8]) -> Result<(), String>`
 /// whose `Err` is an oracle violation; panics and hangs are detected by
 /// the harness around it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -50,15 +50,19 @@ pub enum Target {
     /// Restriction strings through the static analyzer, with brute-force
     /// ground truth and the pre-pruning construction identity.
     CheckPipeline,
+    /// Arbitrary bytes through the `ATSD` daemon frame decoder, with a
+    /// buffer-vs-stream framing differential.
+    DaemonProto,
 }
 
 impl Target {
     /// Every target, in a stable order.
-    pub const ALL: [Target; 4] = [
+    pub const ALL: [Target; 5] = [
         Target::AtssReader,
         Target::AtssLoadDifferential,
         Target::ExprPipeline,
         Target::CheckPipeline,
+        Target::DaemonProto,
     ];
 
     /// The CLI / corpus-directory name of this target.
@@ -68,6 +72,7 @@ impl Target {
             Target::AtssLoadDifferential => "atss_load_differential",
             Target::ExprPipeline => "expr_pipeline",
             Target::CheckPipeline => "check_pipeline",
+            Target::DaemonProto => "daemon_proto",
         }
     }
 
@@ -82,6 +87,7 @@ impl Target {
             Target::AtssLoadDifferential => atss::load_differential_target(input),
             Target::ExprPipeline => exprgen::pipeline_target(input),
             Target::CheckPipeline => checkgen::check_target(input),
+            Target::DaemonProto => daemonproto::proto_target(input),
         }
     }
 }
@@ -251,6 +257,35 @@ fn next_input(target: Target, rng: &mut ChaCha8Rng, seeds: &[Vec<u8>]) -> Vec<u8
             }
             data
         }
+        // Frame streams: mutated valid frames, spliced streams, and raw
+        // garbage (half of it stamped with the real magic so it reaches
+        // the header checks past the first four bytes).
+        Target::DaemonProto => match rng.gen_range(0u32..10) {
+            0..=4 => {
+                let mut data = pick(rng);
+                let count = rng.gen_range(1usize..6);
+                mutate::mutate(rng, &mut data, count);
+                data
+            }
+            5..=6 => {
+                let mut data = pick(rng);
+                let other = pick(rng);
+                mutate::splice(rng, &mut data, &other);
+                if rng.gen_bool(0.3) {
+                    mutate::mutate_once(rng, &mut data);
+                }
+                data
+            }
+            _ => {
+                let mut data: Vec<u8> = (0..rng.gen_range(0usize..256))
+                    .map(|_| rng.gen_range(0u8..=255))
+                    .collect();
+                if rng.gen_bool(0.5) && data.len() >= 4 {
+                    data[0..4].copy_from_slice(b"ATSD");
+                }
+                data
+            }
+        },
         // Both string targets draw from the same grammar-aware input space.
         Target::ExprPipeline | Target::CheckPipeline => match rng.gen_range(0u32..10) {
             0..=3 => exprgen::generate(rng).into_bytes(),
@@ -302,6 +337,7 @@ fn target_seeds(target: Target, corpus: &[Vec<u8>]) -> Vec<Vec<u8>> {
             seeds.extend((0..8).map(|_| exprgen::generate(&mut rng).into_bytes()));
             seeds
         }
+        Target::DaemonProto => daemonproto::seed_frames(),
     };
     seeds.extend(corpus.iter().cloned());
     seeds

@@ -1,10 +1,12 @@
 //! # at-fuzz — in-tree fuzzing and differential oracles for the untrusted-byte parsers
 //!
-//! The workspace has exactly two surfaces that parse bytes we do not
-//! control: the `ATSS` store reader (files arrive from cache directories,
-//! and soon from daemons and remote stores) and the constraint expression
-//! pipeline (restriction strings arrive from user specs and foreign spec
-//! importers). This crate fuzzes both without any external tooling — the
+//! The workspace has exactly three surfaces that parse bytes we do not
+//! control: the `ATSS` store reader (files arrive from cache
+//! directories), the constraint expression pipeline (restriction strings
+//! arrive from user specs and foreign spec importers), and the `ATSD`
+//! daemon frame decoder (any local process can connect to the space
+//! server's socket). This crate fuzzes all of them without any external
+//! tooling — the
 //! build environment has no registry, so no cargo-fuzz/libFuzzer — using a
 //! seeded ChaCha8 mutation engine, format-aware input generators, and
 //! *differential* oracles that compare independent implementations of the
@@ -18,7 +20,7 @@
 //! cargo run --release -p at_fuzz -- <target> --iters N --seed S
 //! ```
 //!
-//! where `<target>` is one of the four below (or `all`). Any failing
+//! where `<target>` is one of the five below (or `all`). Any failing
 //! input is shrunk by greedy chunk removal and written to
 //! `tests/fuzz_corpus/<target>/crash-<hash>.bin`; the whole corpus is
 //! replayed by `cargo test` (see `tests/fuzz_corpus.rs`), so every crash
@@ -95,6 +97,21 @@
 //! * **Pruned ≡ unpruned** — construction with analyzer-driven domain
 //!   pre-pruning yields byte-identical arenas to construction without it.
 //!
+//! ## Target `daemon_proto` — arbitrary bytes through the `ATSD` frame decoder
+//!
+//! Feeds mutated valid frames, spliced frame streams and raw garbage
+//! through [`at_daemon::proto::Frame::decode`] and the blocking
+//! [`at_daemon::proto::read_frame`] the daemon serves with. Oracle:
+//!
+//! * **No panic, no hang** — every input yields a frame or a typed
+//!   [`at_daemon::ProtoError`]; the decoder does bounded work per byte.
+//! * **Canonical encoding** — a decoded prefix re-encodes byte-for-byte,
+//!   and re-decoding yields the same frame (one wire form per frame).
+//! * **Buffer-vs-stream differential** — iterated `Frame::decode` over
+//!   the buffer and `read_frame` over the same bytes as a stream agree
+//!   frame for frame and error for error, with a clean end-of-stream
+//!   exactly at a frame boundary.
+//!
 //! The corpus policy, smoke-vs-long run targets and reproduction recipes
 //! are documented in the README's "Fuzzing & corpus policy" section.
 
@@ -103,6 +120,7 @@
 
 pub mod atss;
 pub mod checkgen;
+pub mod daemonproto;
 pub mod exprgen;
 pub mod harness;
 pub mod mutate;

@@ -30,14 +30,20 @@
 //!
 //! [`SpaceStore::gc_with`] bounds the directory by total bytes and entry
 //! count: entries are evicted least-recently-used first (by mtime) until
-//! both bounds hold. [`SpaceStore::metrics`] exposes process-lifetime
-//! hit/miss/rebuild/index-fallback counters and warm-load latency.
+//! both bounds hold — except entries currently **pinned** by a
+//! [`PinGuard`] ([`SpaceStore::pin`]), which a sweep reports and skips: a
+//! long-lived server hands out paths into the cache directory, and an
+//! entry must not be deleted while a client it was promised to may still
+//! be attaching. [`SpaceStore::metrics`] exposes process-lifetime
+//! hit/miss/rebuild/index-fallback counters, warm-load latency, the live
+//! pin count and the pin-skips GC has performed.
 
+use std::collections::HashMap;
 use std::fs::{self, File};
 use std::io::BufWriter;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant, SystemTime};
 
 use at_searchspace::{
@@ -116,8 +122,14 @@ pub struct StoreMetrics {
     index_fallbacks: AtomicU64,
     /// Entries evicted by [`SpaceStore::gc`] sweeps.
     gc_evictions: AtomicU64,
+    /// Pinned entries a gc sweep wanted to evict but skipped.
+    gc_pin_skips: AtomicU64,
     /// Total wall-clock nanoseconds spent in warm loads (hits).
     load_nanos: AtomicU64,
+    /// Live pins: fingerprint → outstanding [`PinGuard`] count. Lives on
+    /// the metrics block because that is the one structure every clone of
+    /// a store already shares.
+    pins: Mutex<HashMap<SpecFingerprint, usize>>,
 }
 
 impl StoreMetrics {
@@ -151,6 +163,17 @@ impl StoreMetrics {
         self.gc_evictions.load(Ordering::Relaxed)
     }
 
+    /// Pinned entries gc sweeps wanted to evict but skipped.
+    pub fn gc_pin_skips(&self) -> u64 {
+        self.gc_pin_skips.load(Ordering::Relaxed)
+    }
+
+    /// Entries currently pinned (distinct fingerprints with at least one
+    /// live [`PinGuard`]).
+    pub fn pinned_now(&self) -> u64 {
+        self.pins.lock().expect("pin table poisoned").len() as u64
+    }
+
     /// Mean wall-clock time of a warm load, if any happened.
     pub fn mean_load_time(&self) -> Option<Duration> {
         let hits = self.hits();
@@ -163,9 +186,13 @@ impl StoreMetrics {
             Some(mean) => format!(", mean warm load {mean:.3?}"),
             None => String::new(),
         };
+        let pins = match self.pinned_now() {
+            0 => String::new(),
+            n => format!(", {n} pinned"),
+        };
         format!(
             "{} hits / {} misses ({} rebuilds) / {} uncacheable, {} index fallbacks, \
-             {} gc evictions{latency}",
+             {} gc evictions{pins}{latency}",
             self.hits(),
             self.misses(),
             self.rebuilds(),
@@ -173,6 +200,38 @@ impl StoreMetrics {
             self.index_fallbacks(),
             self.gc_evictions(),
         )
+    }
+}
+
+/// An RAII pin on one cache entry: while any guard for a fingerprint is
+/// alive, [`SpaceStore::gc_with`] sweeps of any clone of the issuing store
+/// report and skip that entry instead of evicting it. Dropping the last
+/// guard unpins. Pins are per-process bookkeeping (they live in the shared
+/// [`StoreMetrics`] block, not on disk): a *different* process gc'ing the
+/// same directory does not see them, which is exactly the daemon contract —
+/// one resident process owns both the pins and the sweeps.
+#[derive(Debug)]
+pub struct PinGuard {
+    metrics: Arc<StoreMetrics>,
+    fingerprint: SpecFingerprint,
+}
+
+impl PinGuard {
+    /// The pinned entry's fingerprint.
+    pub fn fingerprint(&self) -> SpecFingerprint {
+        self.fingerprint
+    }
+}
+
+impl Drop for PinGuard {
+    fn drop(&mut self) {
+        let mut pins = self.metrics.pins.lock().expect("pin table poisoned");
+        if let Some(count) = pins.get_mut(&self.fingerprint) {
+            *count -= 1;
+            if *count == 0 {
+                pins.remove(&self.fingerprint);
+            }
+        }
     }
 }
 
@@ -218,6 +277,9 @@ pub struct GcReport {
     pub kept: usize,
     /// Entries evicted (least-recently-used first).
     pub evicted: usize,
+    /// Pinned entries the sweep wanted to evict but skipped (they are
+    /// counted in `kept` and still occupy `bytes_after`).
+    pub pinned_skipped: usize,
     /// Total entry bytes before the sweep.
     pub bytes_before: u64,
     /// Total entry bytes after the sweep.
@@ -259,6 +321,32 @@ impl SpaceStore {
     /// The on-disk path an entry with this fingerprint lives at.
     pub fn path_for(&self, fingerprint: &SpecFingerprint) -> PathBuf {
         self.dir.join(format!("{}.atss", fingerprint.to_hex()))
+    }
+
+    /// Pin an entry against gc eviction for the lifetime of the returned
+    /// guard. Pins nest (same fingerprint may be pinned by several guards)
+    /// and are shared across clones of this store; see [`PinGuard`].
+    pub fn pin(&self, fingerprint: &SpecFingerprint) -> PinGuard {
+        let mut pins = self.metrics.pins.lock().expect("pin table poisoned");
+        *pins.entry(*fingerprint).or_insert(0) += 1;
+        PinGuard {
+            metrics: Arc::clone(&self.metrics),
+            fingerprint: *fingerprint,
+        }
+    }
+
+    /// Whether the entry currently has at least one live [`PinGuard`].
+    pub fn is_pinned(&self, fingerprint: &SpecFingerprint) -> bool {
+        self.metrics
+            .pins
+            .lock()
+            .expect("pin table poisoned")
+            .contains_key(fingerprint)
+    }
+
+    /// Distinct fingerprints currently pinned.
+    pub fn pinned_count(&self) -> usize {
+        self.metrics.pins.lock().expect("pin table poisoned").len()
     }
 
     /// Construct or load the space for `spec` with default build options.
@@ -572,27 +660,43 @@ impl SpaceStore {
         }
 
         let mut entries = self.entries()?;
-        // Oldest last → evict from the back.
+        // Oldest last → evict from the back. A pinned entry in eviction
+        // position is set aside (it still counts toward the bounds, so the
+        // sweep keeps trying younger candidates) and reported as skipped.
         let bytes_before: u64 = entries.iter().map(|e| e.bytes).sum();
         let mut bytes_after = bytes_before;
         let mut evicted = 0usize;
-        while bytes_after > options.max_bytes || entries.len() > options.max_entries {
+        let mut pinned_kept: Vec<StoreEntry> = Vec::new();
+        while bytes_after > options.max_bytes
+            || entries.len() + pinned_kept.len() > options.max_entries
+        {
             let Some(oldest) = entries.pop() else { break };
+            if self.is_pinned(&oldest.fingerprint) {
+                pinned_kept.push(oldest);
+                continue;
+            }
             fs::remove_file(&oldest.path).map_err(|e| StoreError::io(&oldest.path, e))?;
             bytes_after -= oldest.bytes;
             evicted += 1;
         }
+        let kept = entries.len() + pinned_kept.len();
+        let pinned_skipped = pinned_kept.len();
         self.metrics
             .gc_evictions
             .fetch_add(evicted as u64, Ordering::Relaxed);
+        self.metrics
+            .gc_pin_skips
+            .fetch_add(pinned_skipped as u64, Ordering::Relaxed);
         drop(
             span.arg("evicted", evicted as u64)
-                .arg("kept", entries.len() as u64)
+                .arg("kept", kept as u64)
+                .arg("pinned_skipped", pinned_skipped as u64)
                 .arg("bytes_after", bytes_after),
         );
         Ok(GcReport {
-            kept: entries.len(),
+            kept,
             evicted,
+            pinned_skipped,
             bytes_before,
             bytes_after,
         })
@@ -773,6 +877,64 @@ mod tests {
         let report = store.gc(0).unwrap();
         assert_eq!(report.kept, 0);
         assert_eq!(report.bytes_after, 0);
+    }
+
+    #[test]
+    fn pinned_entries_survive_gc_and_are_reported() {
+        let store = fresh_store("gc-pins");
+        let specs = [spec("a", 8), spec("b", 16)];
+        let mut outs = Vec::new();
+        for s in &specs {
+            let (_, out) = store.get_or_build(s, Method::Optimized).unwrap();
+            outs.push(out);
+        }
+        let pinned_fp = outs[0].fingerprint.unwrap();
+        let pinned_path = outs[0].path.clone().unwrap();
+        let other_path = outs[1].path.clone().unwrap();
+
+        let guard = store.pin(&pinned_fp);
+        assert!(store.is_pinned(&pinned_fp));
+        assert_eq!(store.pinned_count(), 1);
+        assert!(store.metrics().summary_line().contains("1 pinned"));
+
+        // gc(0) wants the cache empty; the pinned entry must survive.
+        let report = store.gc(0).unwrap();
+        assert_eq!(report.evicted, 1);
+        assert_eq!(report.kept, 1);
+        assert_eq!(report.pinned_skipped, 1);
+        assert!(pinned_path.exists(), "pinned entry survived the sweep");
+        assert!(!other_path.exists(), "unpinned entry evicted");
+        assert!(report.bytes_after > 0);
+        assert_eq!(store.metrics().gc_pin_skips(), 1);
+
+        // Dropping the last guard unpins; the next sweep evicts.
+        drop(guard);
+        assert!(!store.is_pinned(&pinned_fp));
+        let report = store.gc(0).unwrap();
+        assert_eq!(report.evicted, 1);
+        assert_eq!(report.pinned_skipped, 0);
+        assert!(!pinned_path.exists());
+    }
+
+    #[test]
+    fn pins_nest_and_are_shared_across_clones() {
+        let store = fresh_store("pin-clones");
+        let (_, out) = store
+            .get_or_build(&spec("a", 8), Method::Optimized)
+            .unwrap();
+        let fp = out.fingerprint.unwrap();
+
+        let clone = store.clone();
+        let g1 = store.pin(&fp);
+        let g2 = clone.pin(&fp);
+        assert_eq!(store.pinned_count(), 1, "same fingerprint, one pin slot");
+        assert!(clone.is_pinned(&fp));
+        drop(g1);
+        assert!(store.is_pinned(&fp), "second guard still holds the pin");
+        drop(g2);
+        assert!(!store.is_pinned(&fp));
+        assert_eq!(clone.pinned_count(), 0);
+        assert_eq!(store.metrics().pinned_now(), 0);
     }
 
     #[test]

@@ -102,6 +102,18 @@ impl SpecFingerprint {
         Ok(SpecFingerprint(fnv1a_128(&buf)))
     }
 
+    /// The raw 128-bit hash value (for binary wire encodings; the daemon
+    /// protocol ships fingerprints as these 16 bytes, little-endian).
+    pub fn as_u128(&self) -> u128 {
+        self.0
+    }
+
+    /// Reconstruct a fingerprint from its raw 128-bit value (the inverse
+    /// of [`SpecFingerprint::as_u128`]).
+    pub fn from_u128(raw: u128) -> SpecFingerprint {
+        SpecFingerprint(raw)
+    }
+
     /// The fingerprint as 32 lowercase hex characters.
     pub fn to_hex(&self) -> String {
         format!("{:032x}", self.0)

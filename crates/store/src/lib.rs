@@ -156,7 +156,7 @@ pub mod format;
 pub mod mmap;
 
 pub use cache::{
-    build_search_space_cached, CacheStatus, GcOptions, GcReport, SpaceStore, StoreEntry,
+    build_search_space_cached, CacheStatus, GcOptions, GcReport, PinGuard, SpaceStore, StoreEntry,
     StoreMetrics, StoreOutcome,
 };
 pub use error::StoreError;

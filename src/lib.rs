@@ -21,6 +21,9 @@
 //!   counting-allocator peak-memory probe,
 //! * [`store`] — `ATSS` binary persistence and the content-addressed
 //!   construction cache (solve once, serve forever),
+//! * [`daemon`] — the resident space-server (`atssd`): one daemon owns
+//!   the store, dedupes concurrent builds (single-flight), and hands
+//!   clients validated paths to mmap in O(header),
 //! * [`tuner`] — budgeted tuning strategies over simulated kernels,
 //! * [`workloads`] — the paper's synthetic and real-world evaluation spaces.
 //!
@@ -64,6 +67,7 @@
 pub use at_check as check;
 pub use at_cot as cot;
 pub use at_csp as csp;
+pub use at_daemon as daemon;
 pub use at_expr as expr;
 pub use at_obs as obs;
 pub use at_searchspace as searchspace;
